@@ -1,0 +1,87 @@
+"""EXP A2 — ablation: linear scalability and interval-granularity effects.
+
+Two claims of Section III:
+
+* throughput scales linearly as nodes join ("reaching linear scalability
+  with increasing computing power of the participating nodes");
+* efficiency depends on dispatch granularity — large intervals amortize the
+  fixed scatter/gather/merge costs, small ones don't.
+"""
+
+import pytest
+
+from repro.cluster import ClusterNode, GPUWorker, simulate_run
+from repro.cluster.topology import build_paper_network
+from repro.kernels.variants import HashAlgorithm
+
+WORK = 10**10
+
+
+def growing_network(n_nodes: int) -> ClusterNode:
+    """A flat master plus n identical 500-Mkey/s workers."""
+    return ClusterNode(
+        "master",
+        devices=[GPUWorker(f"g{i}", 500e6) for i in range(n_nodes)],
+    )
+
+
+def test_a2_linear_scaling(benchmark):
+    def sweep():
+        return {
+            n: simulate_run(growing_network(n), WORK).throughput for n in (1, 2, 4, 8, 16)
+        }
+
+    curve = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    from repro.analysis.sweeps import Series, ascii_plot
+
+    series = Series(
+        "whole-network Gkeys/s vs node count",
+        tuple(curve),
+        tuple(x / 1e9 for x in curve.values()),
+    )
+    print()
+    print(ascii_plot(series, width=40, height=8))
+    base = curve[1]
+    for n, throughput in curve.items():
+        speedup = throughput / base
+        assert speedup == pytest.approx(n, rel=0.03), f"{n} nodes"
+
+
+def test_a2_interval_granularity(benchmark):
+    net = build_paper_network(HashAlgorithm.MD5)
+
+    def sweep():
+        sizes = [10**7, 10**8, 10**9, 10**10]
+        return {size: simulate_run(net, WORK, round_size=size).dispatch_efficiency for size in sizes}
+
+    curve = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nround size -> dispatch efficiency:", {s: round(e, 4) for s, e in curve.items()})
+    effs = list(curve.values())
+    assert effs == sorted(effs)  # monotone: bigger rounds, less overhead
+    assert effs[0] < 0.9  # fine granularity visibly hurts
+    assert effs[-1] > 0.99  # the paper's operating regime
+
+
+def test_a2_heterogeneity_costs_nothing_with_balancing(benchmark):
+    # Same aggregate power, balanced shares: equal wall time regardless of
+    # how skewed the device mix is.
+    uniform = ClusterNode("u", devices=[GPUWorker(f"u{i}", 500e6) for i in range(4)])
+    skewed = ClusterNode(
+        "s",
+        devices=[
+            GPUWorker("big", 1700e6),
+            GPUWorker("mid", 200e6),
+            GPUWorker("small", 70e6),
+            GPUWorker("tiny", 30e6),
+        ],
+    )
+
+    def run_both():
+        return (
+            simulate_run(uniform, WORK).elapsed,
+            simulate_run(skewed, WORK).elapsed,
+        )
+
+    t_uniform, t_skewed = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print(f"\nuniform: {t_uniform:.2f}s, skewed: {t_skewed:.2f}s")
+    assert t_skewed == pytest.approx(t_uniform, rel=0.05)

@@ -1,0 +1,97 @@
+"""EXP A3 — ablation: the real vectorized engine and the tuning curve.
+
+Measures the NumPy SIMT engine's actual Mkeys/s (MD5, SHA1, SHA256-mining)
+and the efficiency-vs-batch-size curve — the CPU analogue of the paper's
+per-node tuning step that finds ``n_j`` for a target efficiency.
+"""
+
+import hashlib
+
+import numpy as np
+
+from repro.apps.cracking import CrackEngine, CrackTarget
+from repro.apps.mining import MiningJob, mine_interval
+from repro.hashes.padding import Endian, pack_single_block
+from repro.hashes.vec_md5 import md5_batch
+from repro.hashes.vec_sha1 import sha1_batch
+from repro.keyspace import ALNUM_MIXED, Interval
+from repro.kernels.variants import HashAlgorithm
+
+BATCH = 1 << 14
+
+
+def _blocks(endian):
+    rng = np.random.default_rng(7)
+    chars = rng.integers(97, 123, size=(BATCH, 8), dtype=np.uint8)
+    return pack_single_block(chars, endian)
+
+
+def test_a3_md5_batch_throughput(benchmark):
+    blocks = _blocks(Endian.LITTLE)
+    benchmark(md5_batch, blocks)
+    rate = BATCH / benchmark.stats["mean"] / 1e6 if benchmark.stats else float("nan")
+    print(f"\nvectorized MD5: {rate:.2f} Mkeys/s per core")
+
+
+def test_a3_sha1_batch_throughput(benchmark):
+    blocks = _blocks(Endian.BIG)
+    benchmark(sha1_batch, blocks)
+    rate = BATCH / benchmark.stats["mean"] / 1e6 if benchmark.stats else float("nan")
+    print(f"\nvectorized SHA1: {rate:.2f} Mkeys/s per core")
+
+
+def test_a3_end_to_end_crack_throughput(benchmark):
+    target = CrackTarget(
+        algorithm=HashAlgorithm.MD5,
+        digest=hashlib.md5(b"absent").digest(),
+        charset=ALNUM_MIXED,
+        min_length=8,
+        max_length=8,
+    )
+
+    def scan():
+        engine = CrackEngine(target, batch_size=BATCH)
+        engine.search(Interval(0, 4 * BATCH))
+        return engine.stats
+
+    stats = benchmark.pedantic(scan, rounds=3, iterations=1)
+    print(f"\nend-to-end crack scan: {stats.mkeys_per_second:.2f} Mkeys/s per core")
+
+
+def test_a3_mining_throughput(benchmark):
+    job = MiningJob(header=bytes(range(80)) * 1, difficulty_bits=40)
+    benchmark.pedantic(
+        mine_interval, args=(job, Interval(0, 1 << 15)), kwargs={"batch_size": BATCH},
+        rounds=3, iterations=1,
+    )
+    rate = (1 << 15) / benchmark.stats["mean"] / 1e6 if benchmark.stats else float("nan")
+    print(f"\nSHA256d mining: {rate:.2f} Mnonces/s per core")
+
+
+def test_a3_tuning_curve(benchmark):
+    """The per-node tuning step on the real engine: throughput vs batch."""
+    target = CrackTarget(
+        algorithm=HashAlgorithm.MD5,
+        digest=hashlib.md5(b"absent").digest(),
+        charset=ALNUM_MIXED,
+        min_length=8,
+        max_length=8,
+    )
+
+    def tune():
+        import time
+
+        curve = {}
+        for exp in (6, 8, 10, 12, 14):
+            batch = 1 << exp
+            engine = CrackEngine(target, batch_size=batch)
+            t0 = time.perf_counter()
+            engine.search(Interval(0, 1 << 16))
+            curve[batch] = (1 << 16) / (time.perf_counter() - t0) / 1e6
+        return curve
+
+    curve = benchmark.pedantic(tune, rounds=1, iterations=1)
+    print("\nbatch -> Mkeys/s:", {b: round(x, 2) for b, x in curve.items()})
+    # Large batches must beat tiny ones (per-batch Python overhead is the
+    # CPU analogue of the kernel-launch overhead).
+    assert curve[1 << 14] > curve[1 << 6]

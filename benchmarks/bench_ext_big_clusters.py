@@ -1,0 +1,83 @@
+"""EXP A8 (extension) — "clusters of greater complexity, size, and
+heterogeneity" (the paper's stated major future-work goal).
+
+Generates deep random dispatch trees far beyond the paper's 4-node testbed
+and measures:
+
+* dispatch efficiency on random heterogeneous trees (dozens of devices
+  over 3 dispatch levels, throughputs spanning 40x);
+* the benefit of topology reconfiguration (re-parenting a dead
+  dispatcher's children) as trees grow deeper, where a single dispatcher
+  death silences ever larger subtrees.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster import ClusterNode, FaultPlan, GPUWorker, run_with_faults, simulate_run
+
+
+def random_tree(seed: int, breadth: int = 4, depth: int = 3) -> ClusterNode:
+    """A heterogeneous dispatch tree: every node also owns 1-2 devices."""
+    rng = random.Random(seed)
+    counter = {"n": 0}
+
+    def build(level: int) -> ClusterNode:
+        counter["n"] += 1
+        name = f"n{counter['n']}"
+        devices = [
+            GPUWorker(f"{name}-g{i}", rng.uniform(50e6, 2000e6))
+            for i in range(rng.randint(1, 2))
+        ]
+        children = []
+        if level < depth:
+            children = [build(level + 1) for _ in range(rng.randint(2, breadth))]
+        return ClusterNode(name, devices=devices, children=children)
+
+    root = build(1)
+    root.validate_tree()
+    return root
+
+
+def test_a8_efficiency_holds_at_scale(benchmark):
+    def sweep():
+        out = {}
+        for seed in (1, 2, 3):
+            tree = random_tree(seed)
+            n_devices = len(tree.subtree_devices())
+            result = simulate_run(tree, int(tree.aggregate_throughput * 20))
+            out[f"seed{seed}"] = (n_devices, result.dispatch_efficiency)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for label, (n, eff) in results.items():
+        print(f"{label}: {n:3d} devices over 3 levels -> dispatch efficiency {eff:.4f}")
+        assert n > 10
+        assert eff > 0.98  # linear scalability survives depth and skew
+
+
+def test_a8_reparenting_matters_more_in_deep_trees(benchmark):
+    def compare():
+        tree_a = random_tree(7)
+        # Pick the child subtree holding the most aggregate power.
+        victim = max(tree_a.children, key=lambda c: c.aggregate_throughput)
+        total = int(tree_a.aggregate_throughput * 30)
+        rounds = total // 20
+        plan_off = FaultPlan(failures={victim.name: 2})
+        plan_on = FaultPlan(failures={victim.name: 2}, reparent_orphans=True)
+        off = run_with_faults(random_tree(7), total, rounds, plan=plan_off)
+        on = run_with_faults(random_tree(7), total, rounds, plan=plan_on)
+        lost_share = victim.aggregate_throughput / tree_a.aggregate_throughput
+        return lost_share, off, on
+
+    lost_share, off, on = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print(f"\nkilled dispatcher held {lost_share:.0%} of the cluster's power")
+    print(f"without reparenting: {off.wall_time:6.1f}s wall")
+    print(f"with reparenting   : {on.wall_time:6.1f}s wall "
+          f"({off.wall_time / on.wall_time:.2f}x faster)")
+    assert off.covered_exactly and on.covered_exactly
+    assert on.wall_time < off.wall_time
+    # The deeper/larger the silenced subtree, the larger the win.
+    assert lost_share > 0.10

@@ -1,0 +1,92 @@
+"""EXP A9 (extension) — NTLM: the MD4 reversal kernel on Windows hashes.
+
+NTLM (``MD4(UTF-16LE(password))``) is unsalted and three rounds shorter
+than MD5; every tool in the paper's Table VIII comparison also shipped NTLM
+kernels.  This bench measures the real vectorized engine on the format:
+the reversal fast path (30 of 48 steps via per-lane reverted targets) vs
+the full-hash baseline, plus a crack of the famous ``NTLM("password")``
+digest.
+"""
+
+import pytest
+
+from repro.apps.ntlm import NTLMCrackStats, NTLMTarget, crack_ntlm, ntlm_hex
+from repro.keyspace import ALNUM_LOWER, ALPHA_LOWER, Interval
+
+
+@pytest.mark.parametrize("variant", ["optimized", "naive"])
+def test_a9_ntlm_engine_throughput(benchmark, variant):
+    target = NTLMTarget(
+        digest=bytes.fromhex(ntlm_hex("zzzzzz")),
+        charset=ALNUM_LOWER,
+        min_length=6,
+        max_length=6,
+    )
+    interval = Interval(0, 200_000)
+
+    def scan():
+        stats = NTLMCrackStats()
+        crack_ntlm(target, interval, stats=stats, force_naive=(variant == "naive"))
+        return stats
+
+    stats = benchmark.pedantic(scan, rounds=3, iterations=1)
+    print(f"\nNTLM {variant}: {stats.mkeys_per_second:.2f} Mkeys/s")
+
+
+def test_a9_reversal_beats_naive(benchmark):
+    target = NTLMTarget(
+        digest=bytes.fromhex(ntlm_hex("zzzzzz")),
+        charset=ALNUM_LOWER,
+        min_length=6,
+        max_length=6,
+    )
+    interval = Interval(0, 400_000)
+
+    def ratio():
+        import time
+
+        crack_ntlm(target, Interval(0, 50_000))  # warm up
+        fast = min(
+            _timed(lambda: crack_ntlm(target, interval)) for _ in range(3)
+        )
+        slow = min(
+            _timed(lambda: crack_ntlm(target, interval, force_naive=True))
+            for _ in range(3)
+        )
+        return slow / fast
+
+    def _timed(fn):
+        import time
+
+        t0 = time.perf_counter()
+        fn()
+        return time.perf_counter() - t0
+
+    speedup = benchmark.pedantic(ratio, rounds=1, iterations=1)
+    print(f"\nNTLM reversal speedup (measured): {speedup:.2f}x — "
+          f"typically 1.1-1.3x; timing on a shared container jitters")
+    # The deterministic part of the claim: the fast path runs 30 of MD4's
+    # 48 steps per candidate and returns identical results.
+    from repro.hashes.md4_reversal import MD4_EARLY_STEPS
+
+    assert MD4_EARLY_STEPS / 48 < 2 / 3
+    small = Interval(0, 40_000)
+    assert crack_ntlm(target, small) == crack_ntlm(target, small, force_naive=True)
+
+
+def test_a9_cracks_the_famous_hash(benchmark):
+    # 8846f7eaee8fb117ad06bdd830b7586c = NTLM("password"); crack a
+    # policy-window slice around it to keep the bench quick.
+    target = NTLMTarget(
+        digest=bytes.fromhex("8846f7eaee8fb117ad06bdd830b7586c"),
+        charset=ALPHA_LOWER,
+        min_length=8,
+        max_length=8,
+    )
+    index = target.mapping.index_of("password")
+    window = Interval(max(0, index - 100_000), index + 100_000)
+    matches = benchmark.pedantic(
+        crack_ntlm, args=(target, window), rounds=1, iterations=1
+    )
+    print(f"\ncracked: {[k for _, k in matches]!r} at id {index:,}")
+    assert [k for _, k in matches] == ["password"]

@@ -1,0 +1,51 @@
+"""EXP F2 — Figure 2: the incremental ``next`` operator.
+
+Measures ``K_next`` against ``K_f`` — the inequality the whole per-thread
+iteration strategy rests on ("the next(f(i)) function can be obtained with
+a much smaller effort ... in most cases it modifies just a single
+character") — and the resulting process-efficiency curve of Section III-A.
+"""
+
+from repro.core.costs import CostModel, process_efficiency
+from repro.keyspace import ALNUM_MIXED, KeyMapping, KeyOrder, index_to_key, next_key
+
+
+def test_fig2_next_equals_f_of_successor(benchmark):
+    mapping = KeyMapping(ALNUM_MIXED, 1, 8)
+    start = mapping.size // 2
+
+    def walk():
+        key = mapping.key_at(start)
+        for i in range(100):
+            key = next_key(key, ALNUM_MIXED)
+        return key
+
+    final = benchmark(walk)
+    assert final == mapping.key_at(start + 100)
+
+
+def test_fig2_knext_much_cheaper_than_kf(benchmark):
+    import timeit
+
+    mapping = KeyMapping(ALNUM_MIXED, 8, 8, KeyOrder.PREFIX_FASTEST)
+    index = mapping.size // 3
+    key = mapping.key_at(index)
+
+    k_f = timeit.timeit(lambda: mapping.key_at(index), number=2000) / 2000
+    k_next = (
+        timeit.timeit(
+            lambda: next_key(key, ALNUM_MIXED, KeyOrder.PREFIX_FASTEST), number=2000
+        )
+        / 2000
+    )
+    benchmark(next_key, key, ALNUM_MIXED, KeyOrder.PREFIX_FASTEST)
+    ratio = k_f / k_next
+    print(f"\nK_f = {k_f * 1e6:.2f} us, K_next = {k_next * 1e6:.2f} us, ratio = {ratio:.1f}x")
+    assert k_next < k_f  # the premise of the per-thread iteration strategy
+
+    # Section III-A: efficiency grows with interval length when K_next < K_f.
+    model = CostModel(k_f=k_f, k_next=k_next, k_c=k_next * 0.5)
+    curve = [(n, process_efficiency(n, model)) for n in (1, 10, 100, 10_000)]
+    print("efficiency vs run length:", [(n, round(e, 3)) for n, e in curve])
+    effs = [e for _, e in curve]
+    assert effs == sorted(effs)

@@ -1,0 +1,42 @@
+"""EXP T1 — Table I: multiprocessor architecture per compute capability.
+
+Regenerates the architecture table from the simulator's own
+:data:`repro.gpusim.arch.ARCHITECTURES` objects and checks it cell-by-cell
+against the paper's published values.
+"""
+
+from repro.analysis.paper_data import PAPER_TABLE_I
+from repro.analysis.tables import render_table
+from repro.gpusim.arch import ARCHITECTURES
+
+
+def reproduce_table1() -> dict:
+    out = {}
+    for name in ("1.*", "2.0", "2.1", "3.0"):
+        arch = ARCHITECTURES[name]
+        out[name] = {
+            "Cores per MP": arch.cores_per_mp,
+            "Groups of cores per MP": arch.core_groups,
+            "Group size": arch.group_size,
+            "Issue time (clock cycles)": arch.issue_time,
+            "Warp schedulers": arch.warp_schedulers,
+            "Issue mode": "dual-issue" if arch.dual_issue else "single-issue",
+        }
+    return out
+
+
+def test_table1_architecture(benchmark):
+    ours = benchmark(reproduce_table1)
+    rows = list(PAPER_TABLE_I["1.*"].keys())
+    columns = list(PAPER_TABLE_I.keys())
+    print()
+    print(
+        render_table(
+            "Table I - multiprocessor architecture (reproduced)",
+            columns=columns,
+            rows=[[ours[cc][row] for cc in columns] for row in rows],
+            row_labels=rows,
+        )
+    )
+    assert ours == PAPER_TABLE_I
+    print("All cells match the paper exactly.")

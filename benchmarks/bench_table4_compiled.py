@@ -1,0 +1,36 @@
+"""EXP T4 — Table IV: compiled instruction count of the length-4 MD5 kernel.
+
+Lowers the length-4-specialized source trace with the per-architecture
+compiler model (rotates -> SHL+SHR+ADD on 1.*, SHL+IMAD.HI on 2.*/3.0) and
+prints it against the paper's ``cuobjdump -sass`` counts.
+"""
+
+from repro.analysis.tables import compare_rows, render_comparison, max_abs_delta
+from repro.kernels.variants import (
+    HashAlgorithm,
+    KernelVariant,
+    PAPER_TABLE_IV,
+    traced_mixes,
+)
+
+
+def reproduce_table4() -> dict:
+    mixes = traced_mixes(HashAlgorithm.MD5, KernelVariant.NAIVE)
+    return {family: mixes[family].as_table_row() for family in ("1.x", "2.x")}
+
+
+def test_table4_compiled_counts(benchmark):
+    ours = benchmark(reproduce_table4)
+    for family, paper_label in (("1.x", "1.*"), ("2.x", "2.* and 3.0")):
+        paper_row = {
+            k: v for k, v in PAPER_TABLE_IV[family].as_table_row().items() if v or k in ("IADD", "AND/OR/XOR", "SHR/SHL", "IMAD/ISCADD")
+        }
+        ours_row = ours[family]
+        comparisons = compare_rows(paper_row, ours_row)
+        print()
+        print(render_comparison(f"Table IV ({paper_label}) - naive MD5 kernel", comparisons))
+        # Shift/MAD columns match exactly; IADD within the constant-folding
+        # delta of the authors' compiler (documented in EXPERIMENTS.md).
+        assert ours_row["SHR/SHL"] == paper_row["SHR/SHL"]
+        assert ours_row["IMAD/ISCADD"] == paper_row["IMAD/ISCADD"]
+        assert max_abs_delta(comparisons) < 10.0

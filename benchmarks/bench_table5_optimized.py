@@ -1,0 +1,34 @@
+"""EXP T5 — Table V: instruction count of the optimized MD5 kernel.
+
+The reversal + early-exit kernel runs 46 of the 64 steps; the traced and
+lowered counts are printed against the paper's Table V.
+"""
+
+from repro.analysis.tables import compare_rows, render_comparison, max_abs_delta
+from repro.kernels.variants import (
+    HashAlgorithm,
+    KernelVariant,
+    PAPER_TABLE_V,
+    traced_mixes,
+)
+
+
+def reproduce_table5() -> dict:
+    mixes = traced_mixes(HashAlgorithm.MD5, KernelVariant.OPTIMIZED)
+    return {family: mixes[family].as_table_row() for family in ("1.x", "2.x")}
+
+
+def test_table5_optimized_counts(benchmark):
+    ours = benchmark(reproduce_table5)
+    for family, paper_label in (("1.x", "1.*"), ("2.x", "2.* and 3.0")):
+        paper_row = PAPER_TABLE_V[family].as_table_row()
+        comparisons = compare_rows(
+            {k: v for k, v in paper_row.items() if k not in ("PRMT (byte_perm)", "SHF (funnel shift)")},
+            ours[family],
+        )
+        print()
+        print(render_comparison(f"Table V ({paper_label}) - reversal + early exit", comparisons))
+        assert max_abs_delta(comparisons) < 6.0
+    # 2.x shift columns: exactly one rotate per forward step (46).
+    assert ours["2.x"]["SHR/SHL"] == 46
+    assert ours["2.x"]["IMAD/ISCADD"] == 46

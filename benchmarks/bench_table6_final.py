@@ -1,0 +1,46 @@
+"""EXP T6 — Table VI: the final optimized kernel with ``__byte_perm``.
+
+On CC 3.0 the three 16-bit rotations surviving the early exit (steps 34, 38
+and 42) lower to single PRMT instructions; everything else matches Table V.
+"""
+
+from repro.analysis.tables import compare_rows, render_comparison, max_abs_delta
+from repro.kernels.variants import (
+    HashAlgorithm,
+    KernelVariant,
+    PAPER_TABLE_VI,
+    traced_mixes,
+)
+
+
+def reproduce_table6() -> dict:
+    mixes = traced_mixes(HashAlgorithm.MD5, KernelVariant.BYTE_PERM)
+    return {family: mixes[family].as_table_row() for family in ("1.x", "2.x", "3.0")}
+
+
+def test_table6_final_counts(benchmark):
+    ours = benchmark(reproduce_table6)
+    paper_30 = PAPER_TABLE_VI["3.0"].as_table_row()
+    comparisons = compare_rows(
+        {k: v for k, v in paper_30.items() if k != "SHF (funnel shift)"}, ours["3.0"]
+    )
+    print()
+    print(render_comparison("Table VI (3.0) - final optimized kernel", comparisons))
+    # The headline cells of the paper's optimization story, exactly:
+    assert ours["3.0"]["SHR/SHL"] == 43
+    assert ours["3.0"]["IMAD/ISCADD"] == 43
+    assert ours["3.0"]["PRMT (byte_perm)"] == 3
+    assert max_abs_delta(comparisons) < 6.0
+
+
+def test_table6_shift_port_balance(benchmark):
+    # Section V-B: "shifts and additions contribute equally to the
+    # bottleneck, since 43 + 43 + 3 = 89 ~= 270/3".
+    mix = benchmark(
+        lambda: traced_mixes(HashAlgorithm.MD5, KernelVariant.BYTE_PERM)["3.0"]
+    )
+    shm = mix.shift_mad
+    addlop = mix.add_lop
+    print(f"\nN_SHM = {shm}, N_ADD+N_LOP = {addlop}, ratio = {addlop / shm:.2f}")
+    assert shm == 89
+    assert abs(addlop / 3 - shm) / shm < 0.05

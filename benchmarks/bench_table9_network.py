@@ -1,0 +1,61 @@
+"""EXP T9 — Table IX: whole-network throughput and efficiency.
+
+Runs the discrete-event simulation of the A/B/C/D dispatch tree over a
+slice of the paper's search space (passwords of up to 8 mixed-case
+alphanumerics) and reports network throughput plus the Table IX efficiency
+(throughput over the sum of theoretical single-device rates).
+"""
+
+import pytest
+
+from repro.analysis.paper_data import PAPER_TABLE_IX
+from repro.analysis.tables import Comparison, render_comparison
+from repro.cluster import build_paper_network, simulate_run
+from repro.keyspace import space_size
+from repro.kernels.variants import HashAlgorithm
+
+#: A thousandth of the paper's <=8-alphanumeric space keeps the DES fast
+#: while leaving hundreds of dispatch rounds.
+WORK = space_size(62, 1, 8) // 1000
+
+
+def reproduce_table9() -> dict:
+    out = {}
+    for algo, label in ((HashAlgorithm.MD5, "MD5"), (HashAlgorithm.SHA1, "SHA1")):
+        net = build_paper_network(algo)
+        result = simulate_run(net, WORK)
+        out[label] = {
+            "theoretical": net.aggregate_theoretical / 1e6,
+            "our approach": result.mkeys_per_second,
+            "efficiency": result.network_efficiency,
+        }
+    return out
+
+
+def test_table9_network(benchmark):
+    ours = benchmark.pedantic(reproduce_table9, rounds=1, iterations=1)
+    for label in ("MD5", "SHA1"):
+        comparisons = [
+            Comparison(col, PAPER_TABLE_IX[label][col], ours[label][col])
+            for col in ("theoretical", "our approach", "efficiency")
+        ]
+        print()
+        print(render_comparison(f"Table IX - {label} whole network", comparisons))
+    # MD5 matches the paper tightly (the MD5 kernel mixes are the paper's).
+    assert ours["MD5"]["our approach"] == pytest.approx(3258.4, rel=0.05)
+    assert ours["MD5"]["efficiency"] == pytest.approx(0.852, abs=0.03)
+    # SHA1 throughput matches; efficiency is higher than the paper's 0.898
+    # because our SHA1 theoretical model runs low on Fermi (EXPERIMENTS.md).
+    assert ours["SHA1"]["our approach"] == pytest.approx(950.1, rel=0.07)
+    assert 0.85 < ours["SHA1"]["efficiency"] <= 1.0
+
+
+def test_table9_parallelism_claim(benchmark):
+    # "an actual overall throughput that is roughly equal to the sum of the
+    # throughputs of the single devices" — dispatch efficiency ~1.
+    net = build_paper_network(HashAlgorithm.MD5)
+    result = benchmark.pedantic(
+        simulate_run, args=(net, WORK), rounds=1, iterations=1
+    )
+    print(f"\ndispatch efficiency: {result.dispatch_efficiency:.4f} over {result.rounds} rounds")
+    assert result.dispatch_efficiency > 0.98

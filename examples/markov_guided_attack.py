@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Probability-guided brute force: testing likely passwords first.
+
+Section III-A of the paper notes the bijection f(i) "can be trivial or it
+can follow a heuristics to favor testing of the most likely solutions" —
+the Markov-chain approach its related work (Marechal; Narayanan &
+Shmatikov) develops.  This example trains a bigram model on a small leaked
+corpus, cracks a human-style password via the guided order, and compares
+the guessing rank against plain lexicographic brute force.
+
+Run:  python examples/markov_guided_attack.py
+"""
+
+import itertools
+
+from repro import ALPHA_LOWER, CrackTarget
+from repro.apps.markov import MarkovAttack, MarkovModel
+
+# --------------------------------------------------------------------- #
+# Train on a (toy) leaked-password corpus.
+# --------------------------------------------------------------------- #
+CORPUS = [
+    "password", "sunshine", "princess", "football", "charlie",
+    "shadow", "monkey", "dragon", "master", "summer",
+    "passion", "passing", "fashion", "mission", "session",
+]
+model = MarkovModel(ALPHA_LOWER, smoothing=0.01)
+used = model.train(CORPUS)
+print(f"trained bigram model on {used} corpus words")
+
+# --------------------------------------------------------------------- #
+# Peek at the head of the guided enumeration.
+# --------------------------------------------------------------------- #
+head = [w for w, _ in itertools.islice(model.iter_candidates(6, 6), 10)]
+print(f"ten most likely 6-char candidates: {head}")
+
+# --------------------------------------------------------------------- #
+# Crack a corpus-like password.
+# --------------------------------------------------------------------- #
+target = CrackTarget.from_password("passio", ALPHA_LOWER, min_length=6, max_length=6)
+attack = MarkovAttack(model, min_length=6, max_length=6)
+findings = attack.search(target, budget=50_000)
+
+assert findings, "the guided order must reach the corpus-like password"
+finding = findings[0]
+lex_rank = target.mapping.index_of("passio")
+print(f"\ncracked {finding.password!r}")
+print(f"guided guessing rank : {finding.rank:,}")
+print(f"lexicographic rank   : {lex_rank:,}")
+print(f"speedup              : {lex_rank / max(finding.rank, 1):,.0f}x fewer guesses")
+print(f"model log-probability: {finding.log_prob:.2f}")
+
+# --------------------------------------------------------------------- #
+# The flip side: a random password gains nothing from the heuristic.
+# --------------------------------------------------------------------- #
+random_pw = "qzxvkj"
+rank = attack.rank_of(random_pw, limit=50_000)
+print(f"\nrandom password {random_pw!r}: "
+      f"{'rank ' + format(rank, ',') if rank is not None else 'beyond 50,000 guided guesses'}")
+print("— which is exactly why auditing policies force random passwords.")

@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Quickstart: crack an MD5-hashed password on your CPU cores.
+
+The one-minute tour of the library: define a target (here built from a
+known password so the example is self-contained), run the local parallel
+backend — the same scatter/gather pattern the paper runs on a GPU cluster,
+with NumPy lanes standing in for CUDA threads — and inspect the result.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ALPHA_LOWER, CrackTarget, CrackingSession
+
+# An auditor is handed this digest from a credential database:
+target = CrackTarget.from_password(
+    "dog",  # the unknown; only its MD5 is used below
+    charset=ALPHA_LOWER,
+    min_length=1,
+    max_length=4,  # policy says short passwords are the threat model
+)
+print(f"target digest : {target.digest.hex()}")
+print(f"search space  : {target.space_size:,} candidate keys "
+      f"(lower-case, 1-4 chars)")
+
+session = CrackingSession(target)
+result = session.run_local(stop_on_first=True)
+
+print(f"backend       : {result.backend} ({result.workers} workers)")
+print(f"tested        : {result.candidates_tested:,} candidates "
+      f"in {result.elapsed:.2f}s ({result.mkeys_per_second:.2f} Mkeys/s)")
+print(f"cracked       : {result.passwords}")
+
+assert result.passwords == ["dog"]
+print("\nThe digest-reversal kernel (Section V of the paper) did the work:")
+print("each candidate ran 46 of MD5's 64 steps before being rejected.")

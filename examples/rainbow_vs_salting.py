@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Why salting forces brute force: rainbow tables demolished by one byte.
+
+Section I of the paper surveys the four hash-lookup strategies and observes
+that precomputation attacks (lookup tables, rainbow tables) "are completely
+useless when the key is concatenated with a random string in a technique
+called salting ... [which] does not increment the search space since the
+salt is known by definition".  This example measures all of that:
+
+1. build a lookup table and a rainbow table for 4-char lowercase MD5;
+2. show the rainbow table inverts most unsalted digests using ~1% of the
+   lookup table's memory (the time-memory tradeoff);
+3. salt the same password and watch both tables return nothing;
+4. crack the salted digest anyway with the brute-force engine, unchanged.
+
+Run:  python examples/rainbow_vs_salting.py
+"""
+
+import hashlib
+import time
+
+from repro import ALPHA_LOWER, CrackTarget, HashAlgorithm, Interval
+from repro.apps.cracking import CrackEngine
+from repro.apps.rainbow import LookupTable, RainbowTable
+
+CHARSET = ALPHA_LOWER
+LENGTH = 4
+PASSWORD = "wolf"
+SALT = b"#a1"
+
+# --------------------------------------------------------------------- #
+# 1. Precomputation: both tables, offline.
+# --------------------------------------------------------------------- #
+print(f"key space: {len(CHARSET)}^{LENGTH} = {len(CHARSET)**LENGTH:,} keys")
+t0 = time.perf_counter()
+lookup = LookupTable(CHARSET, LENGTH).build()
+print(f"lookup table : {lookup.entries:,} entries, "
+      f"{lookup.memory_bytes / 1e6:.1f} MB payload "
+      f"({time.perf_counter() - t0:.1f}s to build)")
+
+t0 = time.perf_counter()
+rainbow = RainbowTable(CHARSET, LENGTH, chain_length=200, n_chains=4000, seed=7).build()
+print(f"rainbow table: {rainbow.stored_chains:,} chains, "
+      f"{rainbow.memory_bytes / 1e3:.1f} KB payload "
+      f"({time.perf_counter() - t0:.1f}s to build)")
+
+coverage = rainbow.coverage_sample(sample=60)
+print(f"rainbow coverage (sampled): {coverage:.0%} of the space "
+      f"at {rainbow.memory_bytes / lookup.memory_bytes:.1%} of the memory")
+
+# --------------------------------------------------------------------- #
+# 2. Unsalted: both tables invert instantly.
+# --------------------------------------------------------------------- #
+digest = hashlib.md5(PASSWORD.encode()).digest()
+print(f"\nunsalted MD5({PASSWORD!r}):")
+print(f"  lookup table  -> {lookup.lookup(digest)!r}")
+print(f"  rainbow table -> {rainbow.lookup(digest)!r}")
+
+# --------------------------------------------------------------------- #
+# 3. Salted: the precomputation is void.
+# --------------------------------------------------------------------- #
+salted = hashlib.md5(PASSWORD.encode() + SALT).digest()
+print(f"\nsalted MD5({PASSWORD!r} + {SALT!r}):")
+print(f"  lookup table  -> {lookup.lookup(salted)!r}")
+print(f"  rainbow table -> {rainbow.lookup(salted)!r}")
+
+# --------------------------------------------------------------------- #
+# 4. Brute force does not care: the salt is just template bytes.
+# --------------------------------------------------------------------- #
+target = CrackTarget(
+    algorithm=HashAlgorithm.MD5,
+    digest=salted,
+    charset=CHARSET,
+    min_length=LENGTH,
+    max_length=LENGTH,
+    suffix=SALT,
+)
+engine = CrackEngine(target)
+t0 = time.perf_counter()
+matches = engine.search(Interval(0, target.space_size))
+elapsed = time.perf_counter() - t0
+print(f"\nbrute force on the salted digest: "
+      f"{[k for _, k in matches]!r} in {elapsed:.2f}s "
+      f"({engine.stats.mkeys_per_second:.2f} Mkeys/s)")
+assert [k for _, k in matches] == [PASSWORD]
+print("the search space never grew — the salt is known by definition.")

@@ -1,0 +1,70 @@
+"""repro — reproduction of *Exhaustive Key Search on Clusters of GPUs*
+(Barbieri, Cardellini, Filippone; IPPS 2014).
+
+The library implements the paper's exhaustive-search parallelization
+pattern end to end: base-N key-space enumeration, from-scratch MD5/SHA1/
+SHA256 with vectorized SIMT-style kernels and the digest-reversal
+optimization, a CUDA multiprocessor performance model and cycle simulator,
+and a hierarchical heterogeneous dispatch substrate with both a
+discrete-event cluster simulator and a real multiprocessing backend.
+
+Quickstart::
+
+    from repro import ALPHA_LOWER, CrackTarget, CrackingSession
+
+    target = CrackTarget.from_password("dog", ALPHA_LOWER, max_length=4)
+    result = CrackingSession(target).run_local()
+    print(result.passwords)   # ['dog']
+"""
+
+from repro.keyspace import (
+    ALNUM_MIXED,
+    ALPHA_LOWER,
+    ALPHA_MIXED,
+    ASCII_PRINTABLE,
+    Charset,
+    DIGITS,
+    Interval,
+    KeyMapping,
+    KeyOrder,
+)
+from repro.kernels.variants import HashAlgorithm, KernelVariant
+from repro.apps.cracking import CrackEngine, CrackTarget, crack_interval
+from repro.apps.mining import MiningJob, mine_interval
+from repro.apps.audit import AuditEntry, AuditSession
+from repro.core.session import CrackingSession
+from repro.core.search import ExhaustiveSearch, SearchProblem, keyspace_problem
+from repro.cluster.topology import build_paper_network
+from repro.cluster.local import LocalCluster
+from repro.cluster.simulate import simulate_run
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALNUM_MIXED",
+    "ALPHA_LOWER",
+    "ALPHA_MIXED",
+    "ASCII_PRINTABLE",
+    "Charset",
+    "DIGITS",
+    "Interval",
+    "KeyMapping",
+    "KeyOrder",
+    "HashAlgorithm",
+    "KernelVariant",
+    "CrackEngine",
+    "CrackTarget",
+    "crack_interval",
+    "MiningJob",
+    "mine_interval",
+    "AuditEntry",
+    "AuditSession",
+    "CrackingSession",
+    "ExhaustiveSearch",
+    "SearchProblem",
+    "keyspace_problem",
+    "build_paper_network",
+    "LocalCluster",
+    "simulate_run",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Analysis helpers: paper reference data and report rendering.
+
+* :mod:`repro.analysis.paper_data` — every table of the paper, verbatim,
+  as structured constants (the ground truth the benchmarks print next to
+  the reproduced values);
+* :mod:`repro.analysis.tables` — plain-text table rendering and
+  paper-vs-measured comparison helpers used by the benchmark harness and
+  EXPERIMENTS.md.
+"""
+
+from repro.analysis.paper_data import (
+    PAPER_TABLE_I,
+    PAPER_TABLE_II,
+    PAPER_TABLE_III,
+    PAPER_TABLE_VII,
+    PAPER_TABLE_VIII,
+    PAPER_TABLE_IX,
+)
+from repro.analysis.tables import Comparison, compare_rows, render_table
+
+__all__ = [
+    "PAPER_TABLE_I",
+    "PAPER_TABLE_II",
+    "PAPER_TABLE_III",
+    "PAPER_TABLE_VII",
+    "PAPER_TABLE_VIII",
+    "PAPER_TABLE_IX",
+    "Comparison",
+    "compare_rows",
+    "render_table",
+]

@@ -1,0 +1,111 @@
+"""Offline performance-model fitting (Section III).
+
+"The tuning step could be skipped when a performance model that correlates
+efficiency, performances, and size of the search subspace for the
+considered algorithm is available.  An approximated model could be built
+offline by performing a sequence of tests with increasing search size on
+each node of the cluster."
+
+This module builds exactly that model: given ``(interval size, measured
+throughput)`` samples from a node, least-squares fit the two-parameter
+dispatch-cost law
+
+.. code-block:: text
+
+    time(n) = overhead + n / peak_rate
+
+and return a calibrated :class:`~repro.gpusim.launch.LaunchModel` whose
+efficiency curve and minimum-batch answers replace the online tuning step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy.optimize import curve_fit
+
+from repro.gpusim.launch import LaunchModel, min_batch_for_efficiency
+
+
+@dataclass(frozen=True)
+class FittedNodeModel:
+    """A node's fitted performance law plus fit diagnostics."""
+
+    peak_rate: float  #: keys/second
+    overhead: float  #: seconds of fixed cost per dispatched interval
+    residual_rms: float  #: RMS of relative time residuals
+
+    def launch_model(self, watchdog_limit: float = 2.0) -> LaunchModel:
+        """The calibrated launch model the dispatcher consumes."""
+        return LaunchModel(
+            peak_rate=self.peak_rate,
+            launch_overhead=0.0,
+            watchdog_limit=watchdog_limit,
+            fixed_overhead=self.overhead,
+        )
+
+    def min_batch(self, target_efficiency: float) -> int:
+        """``n_j`` for a target efficiency, straight from the fitted law."""
+        return min_batch_for_efficiency(self.launch_model(), target_efficiency)
+
+    def predicted_throughput(self, n: int) -> float:
+        """Expected keys/second on an interval of *n* candidates."""
+        if n <= 0:
+            return 0.0
+        return n / (self.overhead + n / self.peak_rate)
+
+
+def fit_node_model(samples: Sequence[tuple[int, float]]) -> FittedNodeModel:
+    """Fit the time law from ``(interval size, throughput keys/s)`` samples.
+
+    Needs at least three samples spanning different sizes; the small-n
+    samples pin the overhead, the large-n samples pin the peak rate.
+    """
+    if len(samples) < 3:
+        raise ValueError("need at least 3 (size, throughput) samples")
+    sizes = np.array([float(n) for n, _ in samples])
+    rates = np.array([float(x) for _, x in samples])
+    if (sizes <= 0).any() or (rates <= 0).any():
+        raise ValueError("sizes and throughputs must be positive")
+    if len(set(sizes.tolist())) < 3:
+        raise ValueError("samples must span at least 3 distinct sizes")
+    times = sizes / rates
+
+    def law(n, overhead, inv_rate):
+        return overhead + n * inv_rate
+
+    # Weight by 1/time so small (overhead-dominated) samples matter.
+    popt, _ = curve_fit(
+        law,
+        sizes,
+        times,
+        p0=[times.min() / 2, times.max() / sizes.max()],
+        sigma=times,
+        bounds=([0.0, 1e-15], [np.inf, np.inf]),
+    )
+    overhead, inv_rate = popt
+    predicted = law(sizes, *popt)
+    residual_rms = float(np.sqrt(np.mean(((predicted - times) / times) ** 2)))
+    return FittedNodeModel(
+        peak_rate=1.0 / inv_rate, overhead=float(overhead), residual_rms=residual_rms
+    )
+
+
+def tuning_samples_from_model(
+    model: LaunchModel, sizes: Sequence[int], noise: float = 0.0, seed: int = 0
+) -> list[tuple[int, float]]:
+    """Synthesize tuning-run measurements from a known launch model.
+
+    ``noise`` adds multiplicative Gaussian jitter, modelling real timing
+    variance; used by the tests to verify the fit recovers the truth.
+    """
+    rng = np.random.default_rng(seed)
+    out = []
+    for n in sizes:
+        rate = model.throughput_at(n)
+        if noise:
+            rate *= float(1.0 + noise * rng.standard_normal())
+        out.append((n, max(rate, 1.0)))
+    return out

@@ -1,0 +1,97 @@
+"""Parameter sweeps and terminal plots.
+
+The paper reports only tables; these helpers regenerate the *curves* its
+arguments imply — efficiency vs interval size, throughput vs node count,
+the tuning curve — as data series plus a dependency-free ASCII renderer, so
+``pytest benchmarks/ -s`` can show shapes, not just endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cluster.node import ClusterNode, GPUWorker
+from repro.cluster.simulate import simulate_run
+from repro.gpusim.launch import LaunchModel, efficiency_at
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labelled (x, y) series."""
+
+    label: str
+    xs: tuple
+    ys: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValueError("xs and ys must align")
+        if not self.xs:
+            raise ValueError("series must be non-empty")
+
+
+def ascii_plot(series: Series, width: int = 60, height: int = 12) -> str:
+    """Render a series as a fixed-width ASCII scatter/line chart.
+
+    X positions follow the *index* of each sample (sweeps are usually
+    log-spaced, so index spacing reads better than linear value spacing);
+    y is scaled linearly between the observed extremes.
+    """
+    if width < 8 or height < 3:
+        raise ValueError("plot too small")
+    lo, hi = min(series.ys), max(series.ys)
+    span = (hi - lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    n = len(series.xs)
+    for i, y in enumerate(series.ys):
+        col = round(i * (width - 1) / max(n - 1, 1))
+        row = height - 1 - round((y - lo) / span * (height - 1))
+        grid[row][col] = "*"
+    lines = [f"{series.label}  [{lo:.4g} .. {hi:.4g}]"]
+    for r, row in enumerate(grid):
+        edge = f"{hi:.3g}" if r == 0 else (f"{lo:.3g}" if r == height - 1 else "")
+        lines.append(f"{edge:>8s} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 10 + f"{series.xs[0]:<12g}" + " " * max(0, width - 26) + f"{series.xs[-1]:>12g}"
+    )
+    return "\n".join(lines)
+
+
+def efficiency_vs_interval(
+    model: LaunchModel, sizes: Sequence[int] | None = None
+) -> Series:
+    """The Section III curve: per-node efficiency against interval size."""
+    sizes = tuple(sizes) if sizes else tuple(10**k for k in range(2, 12))
+    return Series(
+        label="efficiency vs interval size",
+        xs=sizes,
+        ys=tuple(efficiency_at(model, n) for n in sizes),
+    )
+
+
+def throughput_vs_nodes(
+    node_rate: float = 500e6, counts: Sequence[int] = (1, 2, 4, 8, 16, 32)
+) -> Series:
+    """The linear-scalability curve of the abstract's headline claim."""
+    ys = []
+    for n in counts:
+        cluster = ClusterNode(
+            "master", devices=[GPUWorker(f"g{i}", node_rate) for i in range(n)]
+        )
+        result = simulate_run(cluster, int(node_rate * n * 10))
+        ys.append(result.throughput / 1e9)
+    return Series(label="Gkeys/s vs node count", xs=tuple(counts), ys=tuple(ys))
+
+
+def speedup_series(series: Series) -> Series:
+    """Normalize a throughput series to its first point (speedup curve)."""
+    base = series.ys[0]
+    if base == 0:
+        raise ValueError("cannot normalize a zero baseline")
+    return Series(
+        label=f"{series.label} (speedup)",
+        xs=series.xs,
+        ys=tuple(y / base for y in series.ys),
+    )

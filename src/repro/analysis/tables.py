@@ -1,0 +1,89 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmarks print each of the paper's tables next to the reproduced
+values, so ``pytest benchmarks/ --benchmark-only -s`` regenerates the
+evaluation section in the terminal.  No dependency on any plotting stack —
+these are the same fixed-width tables the paper prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    row_labels: Sequence[str] | None = None,
+) -> str:
+    """Render a fixed-width table with an optional label column."""
+    header = ([""] if row_labels is not None else []) + list(columns)
+    body: list[list[str]] = []
+    for i, row in enumerate(rows):
+        cells = [_fmt(c) for c in row]
+        if row_labels is not None:
+            cells = [str(row_labels[i])] + cells
+        body.append(cells)
+    widths = [
+        max(len(header[j]), *(len(r[j]) for r in body)) if body else len(header[j])
+        for j in range(len(header))
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for cells in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}" if abs(value) < 1000 else f"{value:.1f}"
+    return str(value)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-vs-measured cell."""
+
+    label: str
+    paper: float | None
+    ours: float | None
+
+    @property
+    def delta_pct(self) -> float | None:
+        """Relative deviation in percent (None when either side is absent)."""
+        if self.paper in (None, 0) or self.ours is None:
+            return None
+        return 100.0 * (self.ours - self.paper) / self.paper
+
+
+def compare_rows(
+    paper: Mapping[str, float | None], ours: Mapping[str, float | None]
+) -> list[Comparison]:
+    """Pair up paper and reproduced values by key (paper's key order)."""
+    return [Comparison(key, paper[key], ours.get(key)) for key in paper]
+
+
+def render_comparison(title: str, comparisons: Sequence[Comparison]) -> str:
+    """A paper / ours / delta% table — the EXPERIMENTS.md row format."""
+    rows = [
+        (c.paper, c.ours, f"{c.delta_pct:+.1f}%" if c.delta_pct is not None else "-")
+        for c in comparisons
+    ]
+    return render_table(
+        title,
+        columns=["paper", "ours", "delta"],
+        rows=rows,
+        row_labels=[c.label for c in comparisons],
+    )
+
+
+def max_abs_delta(comparisons: Sequence[Comparison]) -> float:
+    """Largest |delta%| across the comparable cells (0 if none compare)."""
+    deltas = [abs(c.delta_pct) for c in comparisons if c.delta_pct is not None]
+    return max(deltas, default=0.0)

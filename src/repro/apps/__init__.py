@@ -1,0 +1,49 @@
+"""Applications built on the exhaustive-search pattern.
+
+* :mod:`repro.apps.cracking` — password cracking for MD5/SHA1 (the paper's
+  case study), including salted digests and the optimized reversal kernels;
+* :mod:`repro.apps.mining` — Bitcoin-style SHA256 nonce mining (the
+  introduction's second motivating workload);
+* :mod:`repro.apps.audit` — auditing sessions over many password hashes;
+* :mod:`repro.apps.dictionary` — dictionary and hybrid attack generators
+  (the non-brute-force lookup strategies of Section I).
+"""
+
+from repro.apps.cracking import (
+    CrackTarget,
+    crack_interval,
+    crack_interval_multi,
+    CrackEngine,
+)
+from repro.apps.mining import MiningJob, mine_interval, leading_zero_bits
+from repro.apps.audit import AuditReport, AuditSession
+from repro.apps.dictionary import DictionaryAttack, HybridAttack, mangle_word
+from repro.apps.markov import MarkovAttack, MarkovModel
+from repro.apps.maskcrack import MaskTarget, crack_mask
+from repro.apps.ntlm import NTLMTarget, crack_ntlm, ntlm_digest, ntlm_hex
+from repro.apps.rainbow import LookupTable, RainbowTable
+
+__all__ = [
+    "CrackTarget",
+    "crack_interval",
+    "crack_interval_multi",
+    "CrackEngine",
+    "MiningJob",
+    "mine_interval",
+    "leading_zero_bits",
+    "AuditReport",
+    "AuditSession",
+    "DictionaryAttack",
+    "HybridAttack",
+    "mangle_word",
+    "MarkovAttack",
+    "MarkovModel",
+    "MaskTarget",
+    "crack_mask",
+    "NTLMTarget",
+    "crack_ntlm",
+    "ntlm_digest",
+    "ntlm_hex",
+    "LookupTable",
+    "RainbowTable",
+]

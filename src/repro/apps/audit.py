@@ -1,0 +1,182 @@
+"""Password auditing sessions.
+
+Section I: "In some working environments, it is a standard procedure to make
+periodic cracking tests, called *auditing* sessions, to assess the
+reliability of the employees' passwords."  An :class:`AuditSession` takes a
+set of account digests and runs the cracking engine over a shared search
+space, reporting which accounts fell and how quickly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.apps.cracking import CrackEngine, CrackTarget, crack_interval_multi
+from repro.keyspace import Charset, Interval
+from repro.kernels.variants import HashAlgorithm
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """One account in the audit: a label and its stored digest."""
+
+    account: str
+    digest: bytes
+    #: Per-account salt, as stored alongside the hash in the credential DB.
+    prefix: bytes = b""
+    suffix: bytes = b""
+
+
+@dataclass
+class AuditFinding:
+    """A cracked account."""
+
+    account: str
+    password: str
+    candidates_tested: int
+    elapsed: float
+
+
+@dataclass
+class AuditReport:
+    """Outcome of an auditing session."""
+
+    findings: list[AuditFinding] = field(default_factory=list)
+    accounts_total: int = 0
+    candidates_tested: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def cracked(self) -> int:
+        return len(self.findings)
+
+    @property
+    def survival_rate(self) -> float:
+        """Fraction of accounts the brute-force budget did not crack."""
+        if self.accounts_total == 0:
+            return 1.0
+        return 1.0 - self.cracked / self.accounts_total
+
+    def password_of(self, account: str) -> str | None:
+        for finding in self.findings:
+            if finding.account == account:
+                return finding.password
+        return None
+
+
+class AuditSession:
+    """Brute-force audit of many accounts over one search space.
+
+    Because salts differ per account, each account is an independent target
+    (precomputed tables are useless — the very point of salting); the
+    session shares the space description and budget across them.
+    """
+
+    def __init__(
+        self,
+        entries: list[AuditEntry],
+        charset: Charset,
+        algorithm: HashAlgorithm = HashAlgorithm.MD5,
+        min_length: int = 1,
+        max_length: int = 4,
+        batch_size: int = 1 << 14,
+    ) -> None:
+        if not entries:
+            raise ValueError("audit needs at least one account")
+        names = [e.account for e in entries]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate account labels")
+        self.entries = list(entries)
+        self.charset = charset
+        self.algorithm = algorithm
+        self.min_length = min_length
+        self.max_length = max_length
+        self.batch_size = batch_size
+
+    def target_for(self, entry: AuditEntry) -> CrackTarget:
+        """The cracking target of one account."""
+        return CrackTarget(
+            algorithm=self.algorithm,
+            digest=entry.digest,
+            charset=self.charset,
+            min_length=self.min_length,
+            max_length=self.max_length,
+            prefix=entry.prefix,
+            suffix=entry.suffix,
+        )
+
+    def run_shared(self, budget: int | None = None) -> AuditReport:
+        """Audit all unsalted accounts in one shared scan.
+
+        The multi-target optimization: accounts without per-account salts
+        share the *same* candidate stream, so the hash work is paid once
+        for the whole session (one 46-step forward pass per candidate plus
+        one register compare per digest) instead of once per account.
+        Salted accounts are audited individually afterwards, since their
+        digests live in different message templates.
+        """
+        shared = [
+            e for e in self.entries if not e.prefix and not e.suffix
+        ]
+        salted = [e for e in self.entries if e.prefix or e.suffix]
+        if self.algorithm is not HashAlgorithm.MD5:
+            raise ValueError("the shared scan supports MD5 sessions")
+        report = AuditReport(accounts_total=len(self.entries))
+        started = time.perf_counter()
+        if shared:
+            targets = [self.target_for(e) for e in shared]
+            space = targets[0].space_size
+            stop = space if budget is None else min(budget, space)
+            t0 = time.perf_counter()
+            triples = crack_interval_multi(
+                targets, Interval(0, stop), batch_size=self.batch_size
+            )
+            elapsed = time.perf_counter() - t0
+            report.candidates_tested += stop
+            seen: set[int] = set()
+            for _, password, t_idx in triples:
+                if t_idx in seen:
+                    continue  # report the first (lowest-id) preimage
+                seen.add(t_idx)
+                report.findings.append(
+                    AuditFinding(shared[t_idx].account, password, stop, elapsed)
+                )
+        for entry in salted:
+            sub = AuditSession(
+                [entry],
+                self.charset,
+                self.algorithm,
+                self.min_length,
+                self.max_length,
+                self.batch_size,
+            ).run(budget)
+            report.candidates_tested += sub.candidates_tested
+            report.findings.extend(sub.findings)
+        report.elapsed = time.perf_counter() - started
+        return report
+
+    def run(self, budget: int | None = None) -> AuditReport:
+        """Audit every account, testing at most *budget* candidates each.
+
+        ``budget=None`` exhausts the space — only sensible for the small
+        windows an auditing policy actually checks (weak short passwords).
+        """
+        report = AuditReport(accounts_total=len(self.entries))
+        started = time.perf_counter()
+        for entry in self.entries:
+            target = self.target_for(entry)
+            space = target.space_size
+            stop = space if budget is None else min(budget, space)
+            engine = CrackEngine(target, batch_size=self.batch_size)
+            t0 = time.perf_counter()
+            matches = engine.search(Interval(0, stop))
+            elapsed = time.perf_counter() - t0
+            report.candidates_tested += engine.stats.tested
+            if matches:
+                _, password = matches[0]
+                report.findings.append(
+                    AuditFinding(entry.account, password, engine.stats.tested, elapsed)
+                )
+        report.elapsed = time.perf_counter() - started
+        return report

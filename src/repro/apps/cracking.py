@@ -1,0 +1,352 @@
+"""Password cracking: the paper's case study application (Section IV).
+
+A :class:`CrackTarget` describes the lookup problem — the digest, the
+charset, the length window, optional salt bytes around the key — and
+:func:`crack_interval` scans an interval of candidate ids with the
+vectorized kernels:
+
+* **Optimized path** (no salt prefix): candidates are enumerated in
+  prefix-fastest order (the paper's mapping (4)), so every aligned run of
+  ``N**4`` ids shares all message words except word 0.  The digest is
+  reverted once per run and each candidate costs only the forward steps of
+  the reversal kernel (:mod:`repro.hashes.reversal`).
+* **Generic path** (salt prefix present, which shifts the key off word 0):
+  full vectorized hash + digest compare.
+
+Both paths really crack hashes — the examples and the cluster backend plant
+passwords and recover them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hashes.md5 import md5_digest, md5_digest_to_state
+from repro.hashes.padding import Endian, pack_single_block
+from repro.hashes.reversal import (
+    MD5ReversedTarget,
+    SHA1EarlyTarget,
+    md5_search_block,
+    md5_search_block_multi,
+    md5_search_block_naive,
+    sha1_search_block,
+    sha1_search_block_naive,
+)
+from repro.hashes.sha1 import sha1_digest, sha1_digest_to_state
+from repro.hashes.vec_md5 import md5_batch
+from repro.hashes.vec_sha1 import sha1_batch
+from repro.keyspace import Charset, Interval, KeyMapping, KeyOrder
+from repro.keyspace.vectorized import batch_keys
+from repro.kernels.variants import HashAlgorithm
+
+
+@dataclass(frozen=True)
+class CrackTarget:
+    """A hash-reversal problem: find every key whose digest matches.
+
+    ``prefix``/``suffix`` are salt bytes concatenated around the key before
+    hashing; per Section I, salting defeats precomputed tables but "does not
+    increment the search space since the salt is known by definition".
+    """
+
+    algorithm: HashAlgorithm
+    digest: bytes
+    charset: Charset
+    min_length: int = 1
+    max_length: int = 8
+    prefix: bytes = b""
+    suffix: bytes = b""
+
+    def __post_init__(self) -> None:
+        expected = {HashAlgorithm.MD5: 16, HashAlgorithm.SHA1: 20}[self.algorithm]
+        if len(self.digest) != expected:
+            raise ValueError(
+                f"{self.algorithm.value} digest must be {expected} bytes, "
+                f"got {len(self.digest)}"
+            )
+        if self.min_length < 0 or self.max_length < self.min_length:
+            raise ValueError("invalid length window")
+        if self.max_length > 20:
+            raise ValueError("the packed kernels cap keys at 20 characters (Section IV-A)")
+        if len(self.prefix) + self.max_length + len(self.suffix) > 55:
+            raise ValueError("salted message exceeds the single-block capacity")
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_password(
+        cls,
+        password: str,
+        charset: Charset,
+        algorithm: HashAlgorithm = HashAlgorithm.MD5,
+        prefix: bytes = b"",
+        suffix: bytes = b"",
+        **window,
+    ) -> "CrackTarget":
+        """Build a target by hashing a known password (tests/examples)."""
+        if not charset.is_valid_key(password):
+            raise ValueError("password contains characters outside the charset")
+        message = prefix + password.encode("latin-1") + suffix
+        hasher = md5_digest if algorithm is HashAlgorithm.MD5 else sha1_digest
+        window.setdefault("min_length", min(1, len(password)))
+        window.setdefault("max_length", max(8, len(password)))
+        return cls(
+            algorithm=algorithm,
+            digest=hasher(message),
+            charset=charset,
+            prefix=prefix,
+            suffix=suffix,
+            **window,
+        )
+
+    @property
+    def endian(self) -> Endian:
+        return Endian.LITTLE if self.algorithm is HashAlgorithm.MD5 else Endian.BIG
+
+    @property
+    def mapping(self) -> KeyMapping:
+        """Prefix-fastest enumeration — the reversal-compatible order."""
+        return KeyMapping(
+            self.charset, self.min_length, self.max_length, KeyOrder.PREFIX_FASTEST
+        )
+
+    @property
+    def space_size(self) -> int:
+        """Total candidates (Equation (2))."""
+        return self.mapping.size
+
+    @property
+    def uses_optimized_kernel(self) -> bool:
+        """True when the digest-reversal fast path applies."""
+        return not self.prefix
+
+    def verify(self, key: str) -> bool:
+        """Scalar test function ``C(f(i))``: does this key hash to the digest?"""
+        message = self.prefix + key.encode("latin-1") + self.suffix
+        hasher = md5_digest if self.algorithm is HashAlgorithm.MD5 else sha1_digest
+        return hasher(message) == self.digest
+
+
+def crack_interval(
+    target: CrackTarget,
+    interval: Interval,
+    batch_size: int = 1 << 14,
+    force_naive: bool = False,
+) -> list[tuple[int, str]]:
+    """Scan candidate ids ``[interval.start, interval.stop)``.
+
+    Returns ``(index, key)`` pairs for every match, in id order.  This is
+    the unit of work a dispatched node executes (Section III); the interval
+    is the entire scatter payload.
+    """
+    engine = CrackEngine(target, batch_size=batch_size, force_naive=force_naive)
+    return engine.search(interval)
+
+
+@dataclass
+class CrackStats:
+    """Counters a node reports back with its gather message."""
+
+    tested: int = 0
+    batches: int = 0
+    runs: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def mkeys_per_second(self) -> float:
+        if self.elapsed <= 0:
+            return 0.0
+        return self.tested / self.elapsed / 1e6
+
+
+class CrackEngine:
+    """Reusable scanner holding per-run reversal state.
+
+    Within an aligned run of ``N**4`` ids only message word 0 varies, so the
+    packed template and the reverted digest are computed once per run and
+    cached — the per-candidate work is exactly the optimized kernel's
+    forward steps.
+    """
+
+    def __init__(
+        self, target: CrackTarget, batch_size: int = 1 << 14, force_naive: bool = False
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.target = target
+        self.batch_size = batch_size
+        self.force_naive = force_naive
+        self.stats = CrackStats()
+        self._run_key: tuple[int, int] | None = None
+        self._template: tuple | None = None
+        self._compiled = None  # MD5ReversedTarget / SHA1EarlyTarget
+
+    # ------------------------------------------------------------------ #
+    def search(self, interval: Interval) -> list[tuple[int, str]]:
+        """Scan an interval; returns sorted ``(index, key)`` matches."""
+        mapping = self.target.mapping
+        if interval.stop > mapping.size:
+            raise IndexError(
+                f"interval {interval} outside key space of {mapping.size} candidates"
+            )
+        started = time.perf_counter()
+        found: list[tuple[int, str]] = []
+        pos = interval.start
+        while pos < interval.stop:
+            count = min(self.batch_size, interval.stop - pos)
+            for seg_start, length, chars in batch_keys(mapping, pos, count):
+                found.extend(self._scan_segment(seg_start, length, chars))
+            pos += count
+            self.stats.batches += 1
+            self.stats.tested += count
+        self.stats.elapsed += time.perf_counter() - started
+        return found
+
+    def search_all(self) -> list[tuple[int, str]]:
+        """Scan the entire key space (small spaces only, obviously)."""
+        return self.search(Interval(0, self.target.mapping.size))
+
+    # ------------------------------------------------------------------ #
+    def _scan_segment(self, seg_start: int, length: int, chars: np.ndarray) -> list:
+        target = self.target
+        blocks = pack_single_block(chars, target.endian, target.prefix, target.suffix)
+        use_fast = target.uses_optimized_kernel and not self.force_naive
+        if use_fast:
+            hits = self._scan_fast(seg_start, length, blocks)
+        else:
+            hits = self._scan_naive(blocks)
+        out = []
+        for lane in hits:
+            index = seg_start + int(lane)
+            key = chars[int(lane)].tobytes().decode("latin-1")
+            out.append((index, key))
+        return out
+
+    def _scan_naive(self, blocks: np.ndarray) -> np.ndarray:
+        """Full-hash compare (the Cryptohaze-style baseline kernel)."""
+        if self.target.algorithm is HashAlgorithm.MD5:
+            got = md5_batch(blocks)
+            want = np.array(md5_digest_to_state(self.target.digest), dtype=np.uint32)
+        else:
+            got = sha1_batch(blocks)
+            want = np.array(sha1_digest_to_state(self.target.digest), dtype=np.uint32)
+        return np.flatnonzero((got == want[None, :]).all(axis=1))
+
+    def _scan_fast(self, seg_start: int, length: int, blocks: np.ndarray) -> np.ndarray:
+        """Reversal kernel: only word 0 varies within an aligned run.
+
+        Batches from :func:`repro.keyspace.batch_keys` never span a run
+        boundary unless the run is smaller than the batch; runs have size
+        ``N**min(4, length)`` in prefix-fastest order, so we split the
+        segment at run boundaries and reuse the compiled target within each.
+        """
+        mapping = self.target.mapping
+        n = len(self.target.charset)
+        run_size = n ** min(4, length) if length else 1
+        hits: list[np.ndarray] = []
+        offset = 0
+        batch = blocks.shape[0]
+        while offset < batch:
+            index = seg_start + offset
+            _, within = mapping.stratum(index)
+            run_id = within // run_size
+            span = min(batch - offset, run_size - (within % run_size))
+            window = blocks[offset : offset + span]
+            compiled = self._compiled_for_run(length, run_id, window[0])
+            first_words = np.ascontiguousarray(window[:, 0])
+            if self.target.algorithm is HashAlgorithm.MD5:
+                lanes = md5_search_block(first_words, compiled)
+            else:
+                lanes = sha1_search_block(first_words, compiled)
+            if lanes.size:
+                hits.append(lanes + offset)
+            offset += span
+        if not hits:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(hits)
+
+    # ------------------------------------------------------------------ #
+    def _compiled_for_run(self, length: int, run_id: int, template_row: np.ndarray):
+        """Revert the digest once per (length, run) and cache the result."""
+        key = (length, run_id)
+        if key != self._run_key:
+            template = tuple(int(w) for w in template_row)
+            if self.target.algorithm is HashAlgorithm.MD5:
+                self._compiled = MD5ReversedTarget.from_digest(self.target.digest, template)
+            else:
+                self._compiled = SHA1EarlyTarget.from_digest(self.target.digest, template)
+            self._run_key = key
+            self.stats.runs += 1
+        return self._compiled
+
+
+def crack_interval_multi(
+    targets: list[CrackTarget],
+    interval: Interval,
+    batch_size: int = 1 << 14,
+) -> list[tuple[int, str, int]]:
+    """Scan one interval against many MD5 digests in shared forward passes.
+
+    The auditing-session optimization (see
+    :func:`repro.hashes.reversal.md5_search_block_multi`): the hash work is
+    paid once per candidate regardless of how many digests are being
+    audited.  All targets must describe the *same* search space — same
+    charset, length window, suffix salt, no prefix salt, MD5 — because the
+    candidates and fixed message words are shared.
+
+    Returns sorted ``(index, key, target_index)`` triples.
+    """
+    if not targets:
+        return []
+    head = targets[0]
+    for t in targets[1:]:
+        same_space = (
+            t.algorithm is head.algorithm
+            and t.charset == head.charset
+            and (t.min_length, t.max_length) == (head.min_length, head.max_length)
+            and t.suffix == head.suffix
+            and t.prefix == head.prefix
+        )
+        if not same_space:
+            raise ValueError("multi-target crack requires identical search spaces")
+    if head.algorithm is not HashAlgorithm.MD5 or head.prefix:
+        raise ValueError(
+            "the shared-scan fast path supports unsalted-prefix MD5 targets; "
+            "audit other targets individually"
+        )
+    mapping = head.mapping
+    if interval.stop > mapping.size:
+        raise IndexError(f"interval {interval} outside key space of {mapping.size}")
+    n = len(head.charset)
+    found: list[tuple[int, str, int]] = []
+    run_key: tuple[int, int] | None = None
+    compiled: list[MD5ReversedTarget] = []
+    pos = interval.start
+    while pos < interval.stop:
+        count = min(batch_size, interval.stop - pos)
+        for seg_start, length, chars in batch_keys(mapping, pos, count):
+            blocks = pack_single_block(chars, head.endian, suffix=head.suffix)
+            run_size = n ** min(4, length) if length else 1
+            offset = 0
+            batch = blocks.shape[0]
+            while offset < batch:
+                index = seg_start + offset
+                _, within = mapping.stratum(index)
+                run_id = within // run_size
+                span = min(batch - offset, run_size - (within % run_size))
+                if (length, run_id) != run_key:
+                    template = tuple(int(w) for w in blocks[offset])
+                    compiled = [
+                        MD5ReversedTarget.from_digest(t.digest, template) for t in targets
+                    ]
+                    run_key = (length, run_id)
+                window = np.ascontiguousarray(blocks[offset : offset + span, 0])
+                for lane, t_idx in md5_search_block_multi(window, compiled):
+                    key = chars[offset + lane].tobytes().decode("latin-1")
+                    found.append((seg_start + offset + lane, key, t_idx))
+                offset += span
+        pos += count
+    found.sort()
+    return found

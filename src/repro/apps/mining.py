@@ -1,0 +1,141 @@
+"""Bitcoin-style proof-of-work mining (Section I's second motivating case).
+
+"In the Bitcoin network transactions' consistency is based on blocks ...
+an exhaustive search is performed to find a 32-bit value (nonce) that is
+used as input to a hashing function based on the SHA256 algorithm,
+producing a hash with a certain number of leading zero bits."
+
+A :class:`MiningJob` fixes an 80-byte block header with a free 32-bit nonce
+field; :func:`mine_interval` scans a nonce interval with the vectorized
+double-SHA256 engine.  The same exhaustive-search pattern applies verbatim:
+``f(i)`` is the identity on nonces, ``C`` tests the leading-zero-bit count,
+and intervals of nonces are the dispatch payload — which is exactly how a
+mining pool shares work ("communities of users join and collaborate,
+dividing the search space").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hashes.padding import Endian, pad_message
+from repro.hashes.sha256 import SHA256_INIT, sha256_compress, sha256d_digest
+from repro.hashes.vec_sha256 import sha256_compress_batch
+from repro.keyspace import Interval
+
+#: Byte offset of the nonce within a standard 80-byte block header.
+NONCE_OFFSET = 76
+HEADER_BYTES = 80
+
+
+def leading_zero_bits(digest: bytes) -> int:
+    """Number of leading zero bits of a digest (big-endian bit order)."""
+    bits = 0
+    for byte in digest:
+        if byte == 0:
+            bits += 8
+            continue
+        return bits + (8 - byte.bit_length())
+    return bits
+
+
+@dataclass(frozen=True)
+class MiningJob:
+    """An 80-byte header whose last 4 bytes are the nonce to search.
+
+    ``difficulty_bits`` is the required number of leading zero bits of the
+    double-SHA256 of the header ("which is provided by the network and
+    increases in time").
+    """
+
+    header: bytes
+    difficulty_bits: int
+
+    def __post_init__(self) -> None:
+        if len(self.header) != HEADER_BYTES:
+            raise ValueError(f"header must be {HEADER_BYTES} bytes")
+        if not 0 <= self.difficulty_bits <= 256:
+            raise ValueError("difficulty_bits must be in [0, 256]")
+
+    def with_nonce(self, nonce: int) -> bytes:
+        """The header with a concrete nonce spliced in (little-endian)."""
+        if not 0 <= nonce < 2**32:
+            raise ValueError("nonce must be a 32-bit value")
+        return (
+            self.header[:NONCE_OFFSET]
+            + int(nonce).to_bytes(4, "little")
+            + self.header[NONCE_OFFSET + 4 :]
+        )
+
+    def test(self, nonce: int) -> bool:
+        """Scalar test function ``C``: does this nonce meet the difficulty?"""
+        return leading_zero_bits(sha256d_digest(self.with_nonce(nonce))) >= self.difficulty_bits
+
+    @property
+    def space(self) -> Interval:
+        """The full 32-bit nonce space."""
+        return Interval(0, 2**32)
+
+
+def mine_interval(job: MiningJob, interval: Interval, batch_size: int = 1 << 14) -> list[int]:
+    """Scan a nonce interval; returns every nonce meeting the difficulty.
+
+    The header's first 64-byte block is nonce-independent, so its
+    compression state is computed once and shared by every lane — the
+    paper's cached-intermediate-state trick for long inputs ("the
+    intermediate result of the hashing algorithm may be saved and reused").
+    """
+    if interval.stop > 2**32:
+        raise ValueError("nonce interval exceeds the 32-bit space")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    # Pad an 80-byte probe message: block 0 is the first 64 header bytes,
+    # block 1 holds bytes 64..79 (including the nonce at 76..79) + padding.
+    probe_blocks = pad_message(job.with_nonce(0), Endian.BIG)
+    assert len(probe_blocks) == 2
+    midstate = sha256_compress(SHA256_INIT, probe_blocks[0])
+    tail_template = np.array(probe_blocks[1], dtype=np.uint32)
+    # The nonce occupies header bytes 76..79 = tail block bytes 12..15 =
+    # big-endian word 3 of the tail block, byte-swapped (header is LE).
+    found: list[int] = []
+    pos = interval.start
+    while pos < interval.stop:
+        count = min(batch_size, interval.stop - pos)
+        nonces = (pos + np.arange(count, dtype=np.uint64)).astype(np.uint32)
+        blocks = np.tile(tail_template, (count, 1))
+        blocks[:, 3] = nonces.byteswap()  # little-endian bytes in a BE word
+        state = tuple(np.full(count, np.uint32(x), dtype=np.uint32) for x in midstate)
+        first = np.stack(sha256_compress_batch(blocks, state=state), axis=1)
+        second = _second_round(first)
+        hits = _difficulty_mask(second, job.difficulty_bits)
+        for lane in np.flatnonzero(hits):
+            nonce = pos + int(lane)
+            if job.test(nonce):  # exact scalar confirmation
+                found.append(nonce)
+        pos += count
+    return found
+
+
+def _second_round(digest_words: np.ndarray) -> np.ndarray:
+    """Double-SHA256: hash the 32-byte first-round digests, lane-wise."""
+    batch = digest_words.shape[0]
+    blocks = np.zeros((batch, 16), dtype=np.uint32)
+    blocks[:, :8] = digest_words
+    blocks[:, 8] = np.uint32(0x80000000)  # padding bit
+    blocks[:, 15] = np.uint32(256)  # bit length
+    return np.stack(sha256_compress_batch(blocks), axis=1)
+
+
+def _difficulty_mask(digest_words: np.ndarray, bits: int) -> np.ndarray:
+    """Lane mask of digests with at least *bits* leading zero bits."""
+    if bits == 0:
+        return np.ones(digest_words.shape[0], dtype=bool)
+    full_words, rem = divmod(bits, 32)
+    mask = np.ones(digest_words.shape[0], dtype=bool)
+    for w in range(full_words):
+        mask &= digest_words[:, w] == 0
+    if rem and full_words < 8:
+        mask &= (digest_words[:, full_words] >> np.uint32(32 - rem)) == 0
+    return mask

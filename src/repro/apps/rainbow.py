@@ -1,0 +1,301 @@
+"""Rainbow tables — the time-memory tradeoff the paper's Section I surveys.
+
+The paper lists four hash-lookup strategies: brute force, dictionaries,
+lookup tables and rainbow tables, and observes that "the last two methods
+are completely useless when the key is concatenated with a random string in
+a technique called salting".  This module implements both table methods so
+that claim can be *demonstrated* rather than asserted:
+
+* :class:`LookupTable` — the naive full key→digest map (exact, but memory
+  grows with the space);
+* :class:`RainbowTable` — Oechslin-style chains: each chain alternates the
+  hash with a position-dependent *reduction* function mapping digests back
+  into the key space; only (start, end) pairs are stored, compressing the
+  information about solutions "in less space ... but a certain amount of
+  computation is needed to lookup a key".
+
+Both the offline chain generation and the online lookup are vectorized
+with the same NumPy SIMT engines the cracking kernels use: all chains (or
+all candidate chain positions) advance in lockstep, one batched hash per
+step — rainbow tables were in fact an early GPU workload for exactly this
+reason.
+
+Both are precomputation attacks: they are built for one exact message
+layout.  A single salt byte changes every digest and voids the entire
+precomputation — while the brute-force engines of
+:mod:`repro.apps.cracking` just put the salt in the template and carry on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hashes.md5 import md5_digest
+from repro.hashes.padding import Endian, pack_single_block
+from repro.hashes.sha1 import sha1_digest
+from repro.hashes.vec_md5 import md5_batch
+from repro.hashes.vec_sha1 import sha1_batch
+from repro.keyspace import Charset, KeyMapping, KeyOrder
+from repro.keyspace.vectorized import batch_keys
+from repro.kernels.variants import HashAlgorithm
+
+_MASK64 = (1 << 64) - 1
+
+#: Golden-ratio multiplier decorrelating the per-position reductions.
+_POSITION_SALT = 0x9E3779B97F4A7C15
+
+
+def _hasher(algorithm: HashAlgorithm):
+    return md5_digest if algorithm is HashAlgorithm.MD5 else sha1_digest
+
+
+@dataclass
+class LookupTable:
+    """The paper's "lookup table": a precomputed digest -> key map.
+
+    "Such method becomes quickly unmanageable for the amount of memory
+    required" — :attr:`memory_bytes` makes that concrete.  Building hashes
+    the whole space through the vectorized engine.
+    """
+
+    charset: Charset
+    key_length: int
+    algorithm: HashAlgorithm = HashAlgorithm.MD5
+    batch_size: int = 1 << 14
+    _table: dict = field(default_factory=dict, repr=False)
+
+    def build(self) -> "LookupTable":
+        """Hash the entire fixed-length key space into the map (batched)."""
+        mapping = KeyMapping(self.charset, self.key_length, self.key_length)
+        endian = Endian.LITTLE if self.algorithm is HashAlgorithm.MD5 else Endian.BIG
+        hash_batch = md5_batch if self.algorithm is HashAlgorithm.MD5 else sha1_batch
+        word_order = "<u4" if endian is Endian.LITTLE else ">u4"
+        pos = 0
+        while pos < mapping.size:
+            count = min(self.batch_size, mapping.size - pos)
+            for _, _, chars in batch_keys(mapping, pos, count):
+                digests = hash_batch(pack_single_block(chars, endian))
+                raw = digests.astype(word_order).tobytes()
+                width = digests.shape[1] * 4
+                for i in range(chars.shape[0]):
+                    self._table[raw[i * width : (i + 1) * width]] = (
+                        chars[i].tobytes().decode("latin-1")
+                    )
+            pos += count
+        return self
+
+    def lookup(self, digest: bytes) -> str | None:
+        """O(1) exact lookup."""
+        return self._table.get(digest)
+
+    @property
+    def entries(self) -> int:
+        return len(self._table)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Payload bytes (digest + key per entry), ignoring dict overhead."""
+        digest_len = 16 if self.algorithm is HashAlgorithm.MD5 else 20
+        return self.entries * (digest_len + self.key_length)
+
+
+class RainbowTable:
+    """Oechslin rainbow chains over a fixed-length key space."""
+
+    def __init__(
+        self,
+        charset: Charset,
+        key_length: int,
+        chain_length: int = 100,
+        n_chains: int = 1000,
+        algorithm: HashAlgorithm = HashAlgorithm.MD5,
+        seed: int = 1,
+    ) -> None:
+        if chain_length < 1 or n_chains < 1:
+            raise ValueError("chain_length and n_chains must be positive")
+        if key_length < 1:
+            raise ValueError("key_length must be positive")
+        self.charset = charset
+        self.key_length = key_length
+        self.chain_length = chain_length
+        self.n_chains = n_chains
+        self.algorithm = algorithm
+        self.seed = seed
+        self.mapping = KeyMapping(charset, key_length, key_length, KeyOrder.SUFFIX_FASTEST)
+        self._hash = _hasher(algorithm)
+        self._endian = Endian.LITTLE if algorithm is HashAlgorithm.MD5 else Endian.BIG
+        self._hash_batch = md5_batch if algorithm is HashAlgorithm.MD5 else sha1_batch
+        #: end key -> start key; chain merges overwrite (lost coverage, as
+        #: in real rainbow tables).
+        self._table: dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # Reduction functions (scalar reference + vectorized batch form)
+    # ------------------------------------------------------------------ #
+    def reduce(self, digest: bytes, position: int) -> str:
+        """Position-dependent reduction: digest -> key.
+
+        Making the reduction differ per chain position is the rainbow
+        innovation: merging chains must collide at the *same* position, so
+        merges are far rarer than in classic Hellman tables.  Arithmetic is
+        modulo 2^64 so the scalar and vectorized paths agree exactly.
+        """
+        value = (int.from_bytes(digest[:8], "little") + position * _POSITION_SALT) & _MASK64
+        return self.mapping.key_at(value % self.mapping.size)
+
+    def _reduce_batch(self, digests: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        """Vector reduction: ``(B, words)`` digests -> ``(B, L)`` key bytes."""
+        if self._endian is Endian.LITTLE:
+            w0 = digests[:, 0].astype(np.uint64)
+            w1 = digests[:, 1].astype(np.uint64)
+        else:
+            # Big-endian serialization: reading digest[:8] little-endian
+            # means byte-reversing each 32-bit word before combining.
+            w0 = digests[:, 0].astype(np.uint32).byteswap().astype(np.uint64)
+            w1 = digests[:, 1].astype(np.uint32).byteswap().astype(np.uint64)
+        value = w0 | (w1 << np.uint64(32))
+        value = value + positions.astype(np.uint64) * np.uint64(_POSITION_SALT)
+        within = value % np.uint64(self.mapping.size)
+        return self._digits_to_chars(within)
+
+    def _digits_to_chars(self, within: np.ndarray) -> np.ndarray:
+        """Within-stratum indices -> key byte matrix (suffix-fastest)."""
+        n = np.uint64(len(self.charset))
+        out = np.empty((within.shape[0], self.key_length), dtype=np.uint64)
+        value = within.copy()
+        for pos in range(self.key_length - 1, -1, -1):
+            out[:, pos] = value % n
+            value //= n
+        return self.charset.byte_table[out.astype(np.int64)]
+
+    def _step_batch(self, chars: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        """One chain step for every lane: hash then per-lane reduction."""
+        digests = self._hash_batch(pack_single_block(chars, self._endian))
+        return self._reduce_batch(digests, positions)
+
+    def _step(self, key: str, position: int) -> str:
+        """Scalar reference step (tests pin it against the batch form)."""
+        return self.reduce(self._hash(key.encode("latin-1")), position)
+
+    # ------------------------------------------------------------------ #
+    def build(self) -> "RainbowTable":
+        """Generate all chains in lockstep (the expensive offline phase)."""
+        starts = np.array(
+            [
+                (self.seed + i * 0x5DEECE66D) % self.mapping.size
+                for i in range(self.n_chains)
+            ],
+            dtype=object,
+        )
+        chars = self._digits_to_chars(
+            np.array([int(s) for s in starts], dtype=np.uint64)
+        )
+        start_keys = [row.tobytes().decode("latin-1") for row in chars]
+        for position in range(self.chain_length):
+            positions = np.full(chars.shape[0], position, dtype=np.uint64)
+            chars = self._step_batch(chars, positions)
+        for row, start in zip(chars, start_keys):
+            self._table[row.tobytes().decode("latin-1")] = start
+        return self
+
+    # ------------------------------------------------------------------ #
+    def lookup(self, digest: bytes) -> str | None:
+        """Online phase: locate the chain, replay it, verify the preimage.
+
+        All ``chain_length`` possible positions of the digest are walked
+        *simultaneously*: lane ``p`` assumes the digest sits at position
+        ``p`` and fast-forwards to the chain end; finished lanes are frozen
+        while the rest advance.  End-point hits are replayed from their
+        stored start and verified, so a non-``None`` result is always a
+        true preimage.
+        """
+        length = self.chain_length
+        # Lane p starts with reduce(digest, p) and then applies steps at
+        # positions p+1 .. length-1.
+        lanes = self._reduce_batch(
+            np.tile(self._digest_words(digest), (length, 1)),
+            np.arange(length, dtype=np.uint64),
+        )
+        next_position = np.arange(1, length + 1, dtype=np.uint64)
+        for _ in range(length - 1):
+            active = next_position < length
+            if not active.any():
+                break
+            stepped = self._step_batch(lanes[active], next_position[active])
+            lanes[active] = stepped
+            next_position[active] += 1
+        # Most recent positions first: shorter suffixes are checked first,
+        # matching the classic lookup order.  All end-point hits (including
+        # false alarms from end collisions) are replayed as one batch.
+        hits: list[tuple[int, str]] = []
+        for p in range(length - 1, -1, -1):
+            start = self._table.get(lanes[p].tobytes().decode("latin-1"))
+            if start is not None:
+                hits.append((p, start))
+        if not hits:
+            return None
+        candidates = self._replay_batch(hits)
+        for candidate in candidates:
+            if self._hash(candidate.encode("latin-1")) == digest:
+                return candidate
+        return None
+
+    def _digest_words(self, digest: bytes) -> np.ndarray:
+        order = "<u4" if self._endian is Endian.LITTLE else ">u4"
+        return np.frombuffer(digest, dtype=order).astype(np.uint32)
+
+    def _replay(self, start: str, position: int) -> str:
+        """Walk a chain from its start to the key at *position* (scalar)."""
+        key = start
+        for p in range(position):
+            key = self._step(key, p)
+        return key
+
+    def _replay_batch(self, hits: list[tuple[int, str]]) -> list[str]:
+        """Replay many chains at once; returns candidates in *hits* order.
+
+        Lane ``i`` walks from its start to position ``hits[i][0]``; lanes
+        freeze as they arrive while deeper ones continue.
+        """
+        targets = np.array([p for p, _ in hits], dtype=np.uint64)
+        lanes = np.stack(
+            [
+                np.frombuffer(start.encode("latin-1"), dtype=np.uint8)
+                for _, start in hits
+            ]
+        )
+        max_target = int(targets.max())
+        for position in range(max_target):
+            active = targets > position
+            if not active.any():
+                break
+            positions = np.full(int(active.sum()), position, dtype=np.uint64)
+            lanes[active] = self._step_batch(lanes[active], positions)
+        return [row.tobytes().decode("latin-1") for row in lanes]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def stored_chains(self) -> int:
+        """Distinct end points actually stored (merges collapse chains)."""
+        return len(self._table)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Payload bytes: two keys per chain — the time-memory tradeoff."""
+        return self.stored_chains * 2 * self.key_length
+
+    def coverage_sample(self, sample: int = 200) -> float:
+        """Measured fraction of the key space this table can invert."""
+        if sample <= 0:
+            raise ValueError("sample must be positive")
+        stride = max(1, self.mapping.size // sample)
+        hits = 0
+        total = 0
+        for index in range(0, self.mapping.size, stride):
+            key = self.mapping.key_at(index)
+            total += 1
+            if self.lookup(self._hash(key.encode("latin-1"))) is not None:
+                hits += 1
+        return hits / total

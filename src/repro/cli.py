@@ -1,0 +1,299 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``crack``     brute-force a hex digest on local CPU cores
+``estimate``  time-to-exhaust a search space on the paper's GPU network
+``mine``      scan a nonce interval for a proof-of-work winner
+``tables``    reprint the paper's tables from the reproduction models
+``devices``   list the modelled GPU catalog with per-kernel throughput
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.keyspace import (
+    ALNUM_LOWER,
+    ALNUM_MIXED,
+    ALPHA_LOWER,
+    ALPHA_MIXED,
+    ASCII_PRINTABLE,
+    Charset,
+    DIGITS,
+    HEX_LOWER,
+    Interval,
+)
+from repro.kernels.variants import HashAlgorithm
+
+CHARSETS: dict[str, Charset] = {
+    "lower": ALPHA_LOWER,
+    "alpha": ALPHA_MIXED,
+    "digits": DIGITS,
+    "alnum-lower": ALNUM_LOWER,
+    "alnum": ALNUM_MIXED,
+    "hex": HEX_LOWER,
+    "printable": ASCII_PRINTABLE,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Exhaustive key search (IPPS 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    crack = sub.add_parser("crack", help="brute-force a hex digest on CPU cores")
+    crack.add_argument("digest", help="target digest, hex (32 chars MD5/NTLM, 40 SHA1)")
+    crack.add_argument("--algorithm", choices=["md5", "sha1", "ntlm"], default="md5")
+    crack.add_argument("--charset", choices=sorted(CHARSETS), default="lower")
+    crack.add_argument("--min-length", type=int, default=1)
+    crack.add_argument("--max-length", type=int, default=4)
+    crack.add_argument("--suffix", default="", help="salt appended to each key")
+    crack.add_argument("--prefix", default="", help="salt prepended to each key")
+    crack.add_argument("--workers", type=int, default=1)
+    crack.add_argument("--all", action="store_true", help="find every preimage, not just the first")
+
+    estimate = sub.add_parser("estimate", help="time to exhaust a space on the paper network")
+    estimate.add_argument("--charset", choices=sorted(CHARSETS), default="alnum")
+    estimate.add_argument("--min-length", type=int, default=1)
+    estimate.add_argument("--max-length", type=int, default=8)
+    estimate.add_argument("--algorithm", choices=["md5", "sha1"], default="md5")
+
+    mine = sub.add_parser("mine", help="scan nonces for a proof-of-work winner")
+    mine.add_argument("--difficulty", type=int, default=16, help="required leading zero bits")
+    mine.add_argument("--scan", type=int, default=1 << 20, help="nonces to scan")
+    mine.add_argument("--seed", type=int, default=0, help="header seed")
+
+    mask = sub.add_parser("mask", help="crack a digest over a hashcat-style mask")
+    mask.add_argument("digest", help="target digest, hex")
+    mask.add_argument("mask", help="mask, e.g. '?u?l?l?d?d'")
+    mask.add_argument("--algorithm", choices=["md5", "sha1"], default="md5")
+    mask.add_argument("--suffix", default="", help="salt appended to each key")
+    mask.add_argument("--prefix", default="", help="salt prepended to each key")
+
+    sub.add_parser("tables", help="reprint the paper's tables from the models")
+    sub.add_parser("devices", help="list the GPU catalog with modelled throughput")
+    sub.add_parser("report", help="regenerate the full paper-vs-measured report")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return {
+        "crack": _cmd_crack,
+        "estimate": _cmd_estimate,
+        "mine": _cmd_mine,
+        "mask": _cmd_mask,
+        "tables": _cmd_tables,
+        "devices": _cmd_devices,
+        "report": _cmd_report,
+    }[args.command](args)
+
+
+# ---------------------------------------------------------------------- #
+
+
+def _cmd_crack(args) -> int:
+    from repro.apps.cracking import CrackTarget
+    from repro.core.session import CrackingSession
+
+    try:
+        digest = bytes.fromhex(args.digest)
+    except ValueError:
+        print("error: digest must be hexadecimal", file=sys.stderr)
+        return 2
+    if args.algorithm == "ntlm":
+        return _crack_ntlm(args, digest)
+    algorithm = HashAlgorithm(args.algorithm)
+    try:
+        target = CrackTarget(
+            algorithm=algorithm,
+            digest=digest,
+            charset=CHARSETS[args.charset],
+            min_length=args.min_length,
+            max_length=args.max_length,
+            prefix=args.prefix.encode(),
+            suffix=args.suffix.encode(),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"searching {target.space_size:,} candidates "
+          f"({args.charset}, {args.min_length}-{args.max_length} chars)")
+    result = CrackingSession(target).run_local(
+        workers=args.workers, stop_on_first=not args.all
+    )
+    print(f"tested {result.candidates_tested:,} in {result.elapsed:.2f}s "
+          f"({result.mkeys_per_second:.2f} Mkeys/s, {result.workers} workers)")
+    if result.found:
+        for index, key in result.found:
+            print(f"FOUND: {key!r} (id {index})")
+        return 0
+    print("no preimage in the window")
+    return 1
+
+
+def _crack_ntlm(args, digest: bytes) -> int:
+    from repro.apps.ntlm import NTLMCrackStats, NTLMTarget, crack_ntlm
+
+    if args.prefix or args.suffix:
+        print("error: NTLM hashes are unsalted by definition", file=sys.stderr)
+        return 2
+    try:
+        target = NTLMTarget(
+            digest=digest,
+            charset=CHARSETS[args.charset],
+            min_length=args.min_length,
+            max_length=args.max_length,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"searching {target.space_size:,} candidates (NTLM, {args.charset})")
+    stats = NTLMCrackStats()
+    matches = crack_ntlm(target, stats=stats)
+    print(f"tested {stats.tested:,} in {stats.elapsed:.2f}s "
+          f"({stats.mkeys_per_second:.2f} Mkeys/s)")
+    for index, key in matches:
+        print(f"FOUND: {key!r} (id {index})")
+    if not matches:
+        print("no preimage in the window")
+        return 1
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    from repro.cluster.topology import build_paper_network
+    from repro.keyspace import space_size
+
+    algorithm = HashAlgorithm(args.algorithm)
+    network = build_paper_network(algorithm)
+    charset = CHARSETS[args.charset]
+    size = space_size(len(charset), args.min_length, args.max_length)
+    rate = network.aggregate_throughput
+    seconds = size / rate
+    print(f"space   : {size:,} keys ({args.charset}, "
+          f"{args.min_length}-{args.max_length} chars)")
+    print(f"network : {rate / 1e6:,.0f} Mkeys/s ({args.algorithm}, paper cluster)")
+    for label, value in [
+        ("seconds", seconds),
+        ("hours", seconds / 3600),
+        ("days", seconds / 86400),
+        ("years", seconds / (365.25 * 86400)),
+    ]:
+        print(f"{label:8s}: {value:,.2f}")
+    from repro.core.planner import PasswordPolicy, assess, minimum_length_for
+
+    policy = PasswordPolicy(charset, args.min_length, args.max_length)
+    result = assess(policy, network)
+    print(f"verdict : {result.verdict} (expected crack in "
+          f"{result.seconds_expected / 3600:,.1f} h)")
+    decade = minimum_length_for(charset, network, 10 * 365.25 * 86400)
+    print(f"policy  : uniform length >= {decade} chars of this charset "
+          f"resists this cluster for a decade")
+    return 0
+
+
+def _cmd_mine(args) -> int:
+    import numpy as np
+
+    from repro.apps.mining import MiningJob, mine_interval, leading_zero_bits
+    from repro.hashes.sha256 import sha256d_digest
+
+    rng = np.random.default_rng(args.seed)
+    header = rng.integers(0, 256, size=80, dtype=np.uint8).tobytes()
+    job = MiningJob(header=header, difficulty_bits=args.difficulty)
+    print(f"difficulty {args.difficulty} bits; scanning {args.scan:,} nonces")
+    winners = mine_interval(job, Interval(0, args.scan))
+    for nonce in winners:
+        digest = sha256d_digest(job.with_nonce(nonce))
+        print(f"WINNER: nonce={nonce:#010x} zeros={leading_zero_bits(digest)} "
+              f"hash={digest.hex()}")
+    if not winners:
+        print("no winner in this interval")
+        return 1
+    return 0
+
+
+def _cmd_mask(args) -> int:
+    from repro.apps.maskcrack import MaskCrackStats, MaskTarget, crack_mask
+    from repro.keyspace.masks import MaskSpace
+
+    try:
+        digest = bytes.fromhex(args.digest)
+    except ValueError:
+        print("error: digest must be hexadecimal", file=sys.stderr)
+        return 2
+    try:
+        space = MaskSpace.from_mask(args.mask)
+        target = MaskTarget(
+            algorithm=HashAlgorithm(args.algorithm),
+            digest=digest,
+            space=space,
+            prefix=args.prefix.encode(),
+            suffix=args.suffix.encode(),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"searching {space.describe()}")
+    stats = MaskCrackStats()
+    matches = crack_mask(target, stats=stats)
+    print(f"tested {stats.tested:,} in {stats.elapsed:.2f}s "
+          f"({stats.mkeys_per_second:.2f} Mkeys/s)")
+    for index, key in matches:
+        print(f"FOUND: {key!r} (id {index})")
+    if not matches:
+        print("no preimage matches the mask")
+        return 1
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import generate_report
+
+    print(generate_report())
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    from repro.analysis.paper_data import PAPER_TABLE_VIII
+    from repro.analysis.tables import Comparison, render_comparison
+    from repro.gpusim.device import PAPER_DEVICES
+    from repro.gpusim.throughput import device_report
+
+    for algo, label in ((HashAlgorithm.MD5, "MD5"), (HashAlgorithm.SHA1, "SHA1")):
+        theo, ours = {}, {}
+        for name, dev in PAPER_DEVICES.items():
+            report = device_report(dev, algo)
+            theo[name] = report.theoretical_mkeys
+            ours[name] = report.achieved_mkeys
+        for row, data in ((f"{label} (theoretical)", theo), (f"{label} (our approach)", ours)):
+            comparisons = [
+                Comparison(dev, PAPER_TABLE_VIII[row][dev], data[dev])
+                for dev in PAPER_DEVICES
+            ]
+            print(render_comparison(f"Table VIII - {row} (Mkeys/s)", comparisons))
+            print()
+    return 0
+
+
+def _cmd_devices(args) -> int:
+    from repro.gpusim.device import DEVICES
+    from repro.gpusim.throughput import device_report
+
+    print(f"{'device':10s} {'cc':>4s} {'MPs':>4s} {'cores':>6s} {'MHz':>6s} "
+          f"{'MD5 Mk/s':>9s} {'SHA1 Mk/s':>10s}")
+    for name, dev in DEVICES.items():
+        md5 = device_report(dev, HashAlgorithm.MD5).achieved_mkeys
+        sha1 = device_report(dev, HashAlgorithm.SHA1).achieved_mkeys
+        print(f"{name:10s} {str(dev.compute_capability):>4s} {dev.multiprocessors:4d} "
+              f"{dev.cores:6d} {dev.clock_mhz:6.0f} {md5:9.1f} {sha1:10.1f}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,72 @@
+"""Cluster substrate: the hierarchical, heterogeneous dispatch network.
+
+The paper's evaluation runs on four PCs in a tree (A dispatches to B and C;
+C dispatches to D) holding five GPUs of wildly different throughput.  This
+package provides:
+
+* :mod:`repro.cluster.events` — a minimal discrete-event simulation engine;
+* :mod:`repro.cluster.node` — devices, nodes, links and their aggregates;
+* :mod:`repro.cluster.topology` — tree construction, the paper's network,
+  and a networkx view for analysis;
+* :mod:`repro.cluster.balance` — the tuning + balancing rule of Section III
+  (``N_j = N_max * X_j / X_max``);
+* :mod:`repro.cluster.simulate` — the DES of a full cracking run, producing
+  the whole-network throughput and efficiency of Table IX;
+* :mod:`repro.cluster.fault` — node-failure injection and repartitioning
+  (the paper's minimum fault-tolerance model and its future-work concern);
+* :mod:`repro.cluster.local` — a *real* parallel backend executing the same
+  dispatch protocol across CPU processes with the vectorized kernels.
+"""
+
+from repro.cluster.events import Simulator
+from repro.cluster.node import ClusterNode, GPUWorker, LinkSpec
+from repro.cluster.topology import build_paper_network, to_networkx, tree_nodes, tree_devices
+from repro.cluster.balance import (
+    TunedWorker,
+    tune_node,
+    balanced_assignments,
+    minimum_dispatch_size,
+)
+from repro.cluster.simulate import ClusterRunResult, simulate_run
+from repro.cluster.fault import FaultPlan, FaultToleranceReport, run_with_faults
+from repro.cluster.local import LocalCluster, LocalCrackOutcome
+from repro.cluster.dispatch import AdaptiveDispatcher, RoundRecord, WorkerEstimate
+from repro.cluster.protocol import (
+    GatherMessage,
+    HeartbeatMessage,
+    ScatterMessage,
+    decode_any,
+)
+from repro.cluster.runtime import DistributedMaster, RuntimeResult, WorkerConfig
+
+__all__ = [
+    "DistributedMaster",
+    "RuntimeResult",
+    "WorkerConfig",
+    "AdaptiveDispatcher",
+    "RoundRecord",
+    "WorkerEstimate",
+    "GatherMessage",
+    "HeartbeatMessage",
+    "ScatterMessage",
+    "decode_any",
+    "Simulator",
+    "ClusterNode",
+    "GPUWorker",
+    "LinkSpec",
+    "build_paper_network",
+    "to_networkx",
+    "tree_nodes",
+    "tree_devices",
+    "TunedWorker",
+    "tune_node",
+    "balanced_assignments",
+    "minimum_dispatch_size",
+    "ClusterRunResult",
+    "simulate_run",
+    "FaultPlan",
+    "FaultToleranceReport",
+    "run_with_faults",
+    "LocalCluster",
+    "LocalCrackOutcome",
+]

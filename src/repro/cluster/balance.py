@@ -1,0 +1,103 @@
+"""The tuning step and the balancing rule (Section III).
+
+For each node ``j`` the tuning step estimates the minimum number of
+candidates ``n_j`` needed for a target efficiency and the peak throughput
+``X_j``; then the dispatcher balances work so every node finishes together:
+
+.. code-block:: text
+
+    X_max = max_j X_j
+    N_max = max_j (n_j * X_max / X_j)
+    N_j   = N_max * (X_j / X_max)
+
+A dispatcher subtree acts as a single worker with ``X = sum(X_j)`` and
+``n = sum(N_j)`` — which is what makes the scheme compose hierarchically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cluster.node import ClusterNode, GPUWorker
+from repro.gpusim.launch import min_batch_for_efficiency
+from repro.keyspace import Interval, partition_weighted
+
+
+@dataclass(frozen=True)
+class TunedWorker:
+    """Tuning-step output for one dispatch unit (device or subtree)."""
+
+    name: str
+    throughput: float  #: X_j, keys/second
+    min_candidates: int  #: n_j for the target efficiency
+
+
+def tune_device(worker: GPUWorker, target_efficiency: float) -> TunedWorker:
+    """Tuning step for one device: probe its efficiency curve."""
+    n_min = min_batch_for_efficiency(worker.launch, target_efficiency)
+    return TunedWorker(worker.name, worker.throughput, n_min)
+
+
+def tune_node(node: ClusterNode, target_efficiency: float = 0.95) -> TunedWorker:
+    """Tuning step for a whole subtree (recursive; Section III).
+
+    The subtree's minimum dispatch size is the sum of the balanced minima of
+    its units: ``N_node = sum_j N_j`` with ``N_j = N_max * X_j / X_max``.
+    """
+    units = [tune_device(w, target_efficiency) for w in node.devices]
+    units += [tune_node(c, target_efficiency) for c in node.children]
+    x_total = sum(u.throughput for u in units)
+    n_node = _balanced_total(units)
+    return TunedWorker(node.name, x_total, n_node)
+
+
+def minimum_dispatch_size(node: ClusterNode, target_efficiency: float = 0.95) -> int:
+    """Smallest interval the root should dispatch at once."""
+    return tune_node(node, target_efficiency).min_candidates
+
+
+def _balanced_total(units: list[TunedWorker]) -> int:
+    """``sum_j N_j`` after balancing the units against the fastest one."""
+    if not units:
+        return 0
+    x_max = max(u.throughput for u in units)
+    n_max = max(
+        math.ceil(u.min_candidates * x_max / u.throughput) for u in units
+    )
+    return sum(math.ceil(n_max * u.throughput / x_max) for u in units)
+
+
+def balanced_assignments(
+    interval: Interval, units: list[TunedWorker]
+) -> list[tuple[TunedWorker, Interval]]:
+    """Partition an interval across units proportionally to throughput.
+
+    This is the dispatcher's inner loop: "the ratio between the number of
+    identifiers to be provided to different nodes should be equal to the
+    ratio of the computing power of the nodes" (Section IV).
+    """
+    if not units:
+        raise ValueError("no units to balance across")
+    weights = [u.throughput for u in units]
+    parts = partition_weighted(interval, weights)
+    return list(zip(units, parts))
+
+
+def expected_finish_times(
+    assignments: list[tuple[TunedWorker, Interval]]
+) -> dict[str, float]:
+    """Per-unit compute time for an assignment (ideal, overhead-free)."""
+    return {u.name: iv.size / u.throughput for u, iv in assignments}
+
+
+def imbalance(assignments: list[tuple[TunedWorker, Interval]]) -> float:
+    """Relative spread of finish times: 0 means perfectly balanced.
+
+    The paper's rule drives this to ~0, which is what keeps no node "left
+    idle while waiting for others".
+    """
+    times = list(expected_finish_times(assignments).values())
+    if not times or max(times) == 0:
+        return 0.0
+    return (max(times) - min(times)) / max(times)

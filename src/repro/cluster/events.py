@@ -1,0 +1,62 @@
+"""A minimal discrete-event simulation engine.
+
+Just enough machinery for the dispatch protocol: a clock, a priority queue
+of ``(time, sequence, callback)`` events, and deterministic FIFO ordering
+for simultaneous events.  Callbacks schedule further events; the run ends
+when the queue drains (or a horizon is hit).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+
+class Simulator:
+    """Event queue + clock."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run *callback* at ``now + delay`` (ties break in FIFO order)."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._queue, (self.now + delay, self._seq, callback))
+        self._seq += 1
+
+    def at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run *callback* at an absolute time (must not be in the past)."""
+        self.schedule(time - self.now, callback)
+
+    def run(self, until: float | None = None, max_events: int = 10_000_000) -> float:
+        """Drain the queue; returns the final clock value.
+
+        ``until`` stops the clock at a horizon without executing later
+        events; ``max_events`` guards against runaway callback loops.
+        """
+        while self._queue:
+            time, _, callback = self._queue[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            self.now = time
+            callback()
+            self._processed += 1
+            if self._processed > max_events:
+                raise RuntimeError("event budget exhausted — callback loop?")
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        """Events still queued."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Events executed so far."""
+        return self._processed

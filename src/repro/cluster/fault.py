@@ -1,0 +1,195 @@
+"""Fault tolerance: node failures and search-space repartitioning.
+
+Section III sketches a "minimum fault tolerance model": monitor node
+activity and recompute the partitioning each time nodes drop, noting the
+caveat that a dead *dispatcher* silences its whole subtree.  This module
+implements that model at round granularity:
+
+* each round, the master deals the next chunk to the currently-alive
+  devices using the balancing rule;
+* a device (or a dispatcher node, killing its subtree) that fails during a
+  round never returns its result; after a detection timeout its interval is
+  *requeued* and the next round is partitioned over the survivors;
+* optional recoveries bring subtrees back, triggering rebalancing again
+  ("the pattern can be extended to a dynamic network configured at
+  runtime").
+
+The invariant proved by the tests: the union of completed intervals tiles
+the search space exactly — no candidate is lost or double-counted as nodes
+come and go.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.node import ClusterNode
+from repro.keyspace import Interval, partition_weighted
+from repro.keyspace.intervals import is_exact_partition, merge_intervals
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """When nodes fail and recover, in round indices (0-based).
+
+    Keys are *node* names: failing a dispatcher silences every device in
+    its subtree, exactly the paper's concern — unless
+    ``reparent_orphans`` is set, which implements the paper's future-work
+    proposal ("a smart way to reconfigure the cluster topology when a
+    subset of dispatching nodes becomes inactive"): after the detection
+    timeout plus a reconfiguration delay, the dead dispatcher's *live*
+    children re-attach to its parent and keep contributing.
+    """
+
+    failures: dict = field(default_factory=dict)  #: node -> round it dies
+    recoveries: dict = field(default_factory=dict)  #: node -> round it returns
+    #: Seconds the master waits before declaring a silent node dead.
+    detection_timeout: float = 1.0
+    #: Re-attach a dead dispatcher's children to its parent (future work).
+    reparent_orphans: bool = False
+    #: Seconds to renegotiate the topology after each reparenting.
+    reconfiguration_time: float = 0.5
+
+
+@dataclass
+class FaultToleranceReport:
+    """Outcome of a run under fault injection."""
+
+    total_candidates: int
+    rounds: int
+    wall_time: float
+    requeued_candidates: int
+    completed: dict  #: device name -> list[Interval]
+    failure_events: list  #: (round, node) pairs as detected
+
+    @property
+    def throughput(self) -> float:
+        if self.wall_time <= 0:
+            return 0.0
+        return self.total_candidates / self.wall_time
+
+    @property
+    def covered_exactly(self) -> bool:
+        """True when completed intervals tile the space with no gap/overlap."""
+        everything = [iv for parts in self.completed.values() for iv in parts]
+        return is_exact_partition(
+            Interval(0, self.total_candidates), merge_intervals(everything)
+        )
+
+
+def _alive_devices(root: ClusterNode, dead_nodes: set, reparent: bool = False) -> list:
+    """Devices reachable through live dispatchers.
+
+    Without *reparent*, a dead node silences its whole subtree (the paper's
+    stated weakness).  With it, only the dead node's own devices are lost:
+    its children are treated as re-attached to the surviving ancestor, so
+    the walk continues through them.  The root itself cannot be reparented.
+    """
+    out = []
+
+    def walk(node: ClusterNode, is_root: bool = False) -> None:
+        if node.name in dead_nodes:
+            if not reparent or is_root:
+                return  # the whole subtree is silenced
+            for child in node.children:
+                walk(child)  # orphans re-attach to the grandparent
+            return
+        out.extend(node.devices)
+        for child in node.children:
+            walk(child)
+
+    walk(root, is_root=True)
+    return out
+
+
+def run_with_faults(
+    root: ClusterNode,
+    total_candidates: int,
+    round_size: int,
+    plan: FaultPlan | None = None,
+    max_rounds: int = 10_000,
+) -> FaultToleranceReport:
+    """Round-based run with fault injection and repartitioning."""
+    if total_candidates <= 0 or round_size <= 0:
+        raise ValueError("candidates and round_size must be positive")
+    plan = plan or FaultPlan()
+    unknown = (set(plan.failures) | set(plan.recoveries)) - {
+        n.name for n in root.subtree_nodes()
+    }
+    if unknown:
+        raise ValueError(f"fault plan names unknown nodes: {sorted(unknown)}")
+
+    pending: list[Interval] = [Interval(0, total_candidates)]
+    completed: dict[str, list[Interval]] = {
+        d.name: [] for d in root.subtree_devices()
+    }
+    dead: set = set()
+    failure_events: list[tuple[int, str]] = []
+    wall_time = 0.0
+    rounds = 0
+    requeued = 0
+
+    while pending:
+        if rounds >= max_rounds:
+            raise RuntimeError("fault-tolerance run did not converge")
+        # Apply scheduled recoveries before dealing the round.
+        for name, back_at in plan.recoveries.items():
+            if back_at <= rounds and name in dead:
+                dead.discard(name)
+        failing_now = {name for name, at in plan.failures.items() if at == rounds}
+        devices = _alive_devices(root, dead, plan.reparent_orphans)
+        if not devices:
+            raise RuntimeError("no devices alive — the search cannot proceed")
+        # Deal the next chunk over live devices, balanced by throughput.
+        chunk, rest = _take(pending, round_size)
+        assignments = partition_weighted(chunk, [d.throughput for d in devices])
+        pending = rest
+        # Devices under a node failing *this* round lose their interval.
+        dead_after = dead | failing_now
+        lost_devices = {
+            d.name
+            for d in root.subtree_devices()
+            if d not in _alive_devices(root, dead_after, plan.reparent_orphans)
+        }
+        round_times = []
+        for device, part in zip(devices, assignments):
+            if not part:
+                continue
+            if device.name in lost_devices:
+                pending.insert(0, part)
+                requeued += part.size
+            else:
+                completed[device.name].append(part)
+                round_times.append(device.compute_time(part.size))
+        wall_time += max(round_times, default=0.0)
+        if failing_now:
+            wall_time += plan.detection_timeout
+            if plan.reparent_orphans:
+                wall_time += plan.reconfiguration_time
+            for name in sorted(failing_now):
+                failure_events.append((rounds, name))
+            dead |= failing_now
+        rounds += 1
+
+    for name in completed:
+        completed[name] = merge_intervals(completed[name])
+    return FaultToleranceReport(
+        total_candidates=total_candidates,
+        rounds=rounds,
+        wall_time=wall_time,
+        requeued_candidates=requeued,
+        completed=completed,
+        failure_events=failure_events,
+    )
+
+
+def _take(pending: list[Interval], size: int) -> tuple[Interval, list[Interval]]:
+    """Pop up to *size* contiguous candidates from the work queue.
+
+    The queue holds disjoint intervals; we always serve the front one, so a
+    requeued interval is re-dealt before fresh work (no starvation).
+    """
+    head = pending[0]
+    taken, rest_of_head = head.take(size)
+    rest = ([rest_of_head] if rest_of_head else []) + pending[1:]
+    return taken, rest

@@ -1,0 +1,129 @@
+"""Cluster entities: devices, links, nodes.
+
+A :class:`GPUWorker` wraps one device's *achieved* and *theoretical*
+throughput (from :mod:`repro.gpusim`) plus its launch-overhead model; a
+:class:`ClusterNode` is a PC holding devices and possibly dispatching to
+child nodes over a :class:`LinkSpec`.  The hierarchical aggregation rule of
+Section III — "they can be considered as computing nodes with a throughput
+that is the sum of the throughputs of the child nodes" — lives here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.launch import LaunchModel
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A network link: fixed latency plus byte-rate transfer time."""
+
+    latency: float = 0.5e-3  #: seconds, one way
+    bandwidth: float = 12.5e6  #: bytes/second (100 Mbit Ethernet)
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.bandwidth <= 0:
+            raise ValueError("invalid link parameters")
+
+    def transfer_time(self, nbytes: int) -> float:
+        """One-way time to move *nbytes* over the link."""
+        return self.latency + nbytes / self.bandwidth
+
+
+#: Scatter payload: an id interval (two 128-bit ids), the digest, the space
+#: description — comfortably under the paper's "less than 1 Kbyte".
+SCATTER_BYTES = 256
+#: Gather payload: match list (usually empty) + the node's counters.
+GATHER_BYTES = 64
+
+
+@dataclass
+class GPUWorker:
+    """One compute device with its measured performance profile."""
+
+    name: str
+    throughput: float  #: achieved keys/second (the dispatch weight X_j)
+    theoretical: float = 0.0  #: peak keys/second (Table IX denominator)
+    device: DeviceSpec | None = None
+    launch: LaunchModel | None = None
+
+    def __post_init__(self) -> None:
+        if self.throughput <= 0:
+            raise ValueError("worker throughput must be positive")
+        if self.theoretical == 0.0:
+            self.theoretical = self.throughput
+        if self.launch is None:
+            self.launch = LaunchModel(peak_rate=self.throughput)
+
+    def compute_time(self, candidates: int) -> float:
+        """Wall-clock seconds to test an interval on this device."""
+        return self.launch.time_for(candidates)
+
+
+@dataclass
+class ClusterNode:
+    """A PC in the network: local devices plus optional dispatch children."""
+
+    name: str
+    devices: list[GPUWorker] = field(default_factory=list)
+    children: list["ClusterNode"] = field(default_factory=list)
+    #: Link connecting this node to its parent (unused on the root).
+    uplink: LinkSpec = field(default_factory=LinkSpec)
+
+    def __post_init__(self) -> None:
+        if not self.devices and not self.children:
+            raise ValueError(f"node {self.name!r} has neither devices nor children")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def local_throughput(self) -> float:
+        """Achieved keys/second of this node's own devices."""
+        return sum(w.throughput for w in self.devices)
+
+    @property
+    def aggregate_throughput(self) -> float:
+        """Achieved keys/second of the whole subtree (Section III)."""
+        return self.local_throughput + sum(c.aggregate_throughput for c in self.children)
+
+    @property
+    def aggregate_theoretical(self) -> float:
+        """Peak keys/second of the whole subtree (Table IX denominator)."""
+        return sum(w.theoretical for w in self.devices) + sum(
+            c.aggregate_theoretical for c in self.children
+        )
+
+    def subtree_devices(self) -> list[GPUWorker]:
+        """All devices in the subtree, depth-first."""
+        out = list(self.devices)
+        for child in self.children:
+            out.extend(child.subtree_devices())
+        return out
+
+    def subtree_nodes(self) -> list["ClusterNode"]:
+        """All nodes in the subtree, preorder."""
+        out = [self]
+        for child in self.children:
+            out.extend(child.subtree_nodes())
+        return out
+
+    def find(self, name: str) -> "ClusterNode":
+        """Locate a node by name anywhere in the subtree."""
+        for node in self.subtree_nodes():
+            if node.name == name:
+                return node
+        raise KeyError(f"no node named {name!r}")
+
+    def validate_tree(self) -> None:
+        """Reject duplicate node/device names (dispatch needs unique ids)."""
+        names = [n.name for n in self.subtree_nodes()]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate node names in tree")
+        dev_names = [d.name for d in self.subtree_devices()]
+        if len(set(dev_names)) != len(dev_names):
+            raise ValueError("duplicate device names in tree")

@@ -1,0 +1,209 @@
+"""Wire protocol of the dispatch network.
+
+Section II's claim — "our approach requires a minimal amount of memory
+(less than 1 Kbyte) and does not require any initialization phase and
+separate generation of passwords" — is a statement about what travels
+between master and workers: an id interval plus the tiny problem
+description, and back a match list plus counters.  This module defines
+those messages with an explicit binary encoding so the claim is enforced
+by construction (every encoder asserts its output fits the budget) and the
+simulator's byte counts are grounded in real payloads.
+
+Encoding: a 4-byte magic/type header, then fixed-width fields; ids are
+128-bit unsigned (sufficient for any charset up to length 20), strings are
+length-prefixed latin-1.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.keyspace import Interval
+
+#: The §II budget every message must respect.
+MESSAGE_BUDGET = 1024
+
+_MAGIC_SCATTER = b"XKS\x01"
+_MAGIC_GATHER = b"XKS\x02"
+_MAGIC_HEARTBEAT = b"XKS\x03"
+
+_ID_BYTES = 16  # 128-bit candidate ids
+
+#: Algorithm tags on the wire (1 byte).
+_ALGO_CODES = {"md5": 1, "sha1": 2, "ntlm": 3}
+_ALGO_NAMES = {code: name for name, code in _ALGO_CODES.items()}
+
+
+def _pack_id(value: int) -> bytes:
+    if not 0 <= value < 2 ** (8 * _ID_BYTES):
+        raise ValueError("candidate id exceeds the 128-bit wire format")
+    return value.to_bytes(_ID_BYTES, "big")
+
+
+def _unpack_id(data: bytes) -> int:
+    return int.from_bytes(data, "big")
+
+
+@dataclass(frozen=True)
+class ScatterMessage:
+    """Master -> worker: one work assignment.
+
+    Carries the interval, the target digest, and the space description —
+    everything a node needs to *generate* its own candidates (no password
+    lists ever travel, which is the point).
+    """
+
+    interval: Interval
+    digest: bytes  #: 16 (MD5/NTLM) or 20 (SHA1) bytes
+    charset: str  #: the alphabet, in digit order
+    min_length: int
+    max_length: int
+    prefix: bytes = b""
+    suffix: bytes = b""
+    #: Hash algorithm tag — explicit on the wire, because digest length is
+    #: ambiguous (MD5 and NTLM are both 16 bytes).
+    algorithm: str = "md5"
+
+    def encode(self) -> bytes:
+        try:
+            algo_code = _ALGO_CODES[self.algorithm]
+        except KeyError:
+            raise ValueError(f"unknown algorithm tag {self.algorithm!r}") from None
+        charset_b = self.charset.encode("latin-1")
+        out = b"".join(
+            [
+                _MAGIC_SCATTER,
+                struct.pack("!B", algo_code),
+                _pack_id(self.interval.start),
+                _pack_id(self.interval.stop),
+                struct.pack("!BB", self.min_length, self.max_length),
+                struct.pack("!B", len(self.digest)),
+                self.digest,
+                struct.pack("!B", len(charset_b)),
+                charset_b,
+                struct.pack("!B", len(self.prefix)),
+                self.prefix,
+                struct.pack("!B", len(self.suffix)),
+                self.suffix,
+            ]
+        )
+        if len(out) > MESSAGE_BUDGET:
+            raise ValueError(f"scatter message of {len(out)} bytes breaks the <1KB budget")
+        return out
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ScatterMessage":
+        if data[:4] != _MAGIC_SCATTER:
+            raise ValueError("not a scatter message")
+        pos = 4
+        (algo_code,) = struct.unpack_from("!B", data, pos); pos += 1
+        try:
+            algorithm = _ALGO_NAMES[algo_code]
+        except KeyError:
+            raise ValueError(f"unknown algorithm code {algo_code}") from None
+        start = _unpack_id(data[pos : pos + _ID_BYTES]); pos += _ID_BYTES
+        stop = _unpack_id(data[pos : pos + _ID_BYTES]); pos += _ID_BYTES
+        min_length, max_length = struct.unpack_from("!BB", data, pos); pos += 2
+        (dlen,) = struct.unpack_from("!B", data, pos); pos += 1
+        digest = data[pos : pos + dlen]; pos += dlen
+        (clen,) = struct.unpack_from("!B", data, pos); pos += 1
+        charset = data[pos : pos + clen].decode("latin-1"); pos += clen
+        (plen,) = struct.unpack_from("!B", data, pos); pos += 1
+        prefix = data[pos : pos + plen]; pos += plen
+        (slen,) = struct.unpack_from("!B", data, pos); pos += 1
+        suffix = data[pos : pos + slen]; pos += slen
+        return cls(
+            Interval(start, stop), digest, charset, min_length, max_length,
+            prefix, suffix, algorithm,
+        )
+
+
+@dataclass(frozen=True)
+class GatherMessage:
+    """Worker -> master: results of one assignment.
+
+    Matches are (id, key) pairs; an exhaustive search rarely has more than
+    one, and the encoder enforces the budget regardless.
+    """
+
+    interval: Interval
+    tested: int
+    elapsed_us: int
+    matches: tuple = field(default_factory=tuple)  #: ((id, key), ...)
+
+    def encode(self) -> bytes:
+        parts = [
+            _MAGIC_GATHER,
+            _pack_id(self.interval.start),
+            _pack_id(self.interval.stop),
+            _pack_id(self.tested),
+            struct.pack("!Q", self.elapsed_us),
+            struct.pack("!B", len(self.matches)),
+        ]
+        for index, key in self.matches:
+            key_b = key.encode("latin-1")
+            parts.append(_pack_id(index))
+            parts.append(struct.pack("!B", len(key_b)))
+            parts.append(key_b)
+        out = b"".join(parts)
+        if len(out) > MESSAGE_BUDGET:
+            raise ValueError(f"gather message of {len(out)} bytes breaks the <1KB budget")
+        return out
+
+    @classmethod
+    def decode(cls, data: bytes) -> "GatherMessage":
+        if data[:4] != _MAGIC_GATHER:
+            raise ValueError("not a gather message")
+        pos = 4
+        start = _unpack_id(data[pos : pos + _ID_BYTES]); pos += _ID_BYTES
+        stop = _unpack_id(data[pos : pos + _ID_BYTES]); pos += _ID_BYTES
+        tested = _unpack_id(data[pos : pos + _ID_BYTES]); pos += _ID_BYTES
+        (elapsed_us,) = struct.unpack_from("!Q", data, pos); pos += 8
+        (n,) = struct.unpack_from("!B", data, pos); pos += 1
+        matches = []
+        for _ in range(n):
+            index = _unpack_id(data[pos : pos + _ID_BYTES]); pos += _ID_BYTES
+            (klen,) = struct.unpack_from("!B", data, pos); pos += 1
+            matches.append((index, data[pos : pos + klen].decode("latin-1"))); pos += klen
+        return cls(Interval(start, stop), tested, elapsed_us, tuple(matches))
+
+
+@dataclass(frozen=True)
+class HeartbeatMessage:
+    """Worker -> master liveness beacon (the fault-detection input)."""
+
+    node: str
+    busy: bool
+    rate_keys_per_s: int
+
+    def encode(self) -> bytes:
+        node_b = self.node.encode("latin-1")
+        out = (
+            _MAGIC_HEARTBEAT
+            + struct.pack("!B?Q", len(node_b), self.busy, self.rate_keys_per_s)
+            + node_b
+        )
+        if len(out) > MESSAGE_BUDGET:
+            raise ValueError("heartbeat breaks the <1KB budget")
+        return out
+
+    @classmethod
+    def decode(cls, data: bytes) -> "HeartbeatMessage":
+        if data[:4] != _MAGIC_HEARTBEAT:
+            raise ValueError("not a heartbeat message")
+        nlen, busy, rate = struct.unpack_from("!B?Q", data, 4)
+        node = data[14 : 14 + nlen].decode("latin-1")
+        return cls(node, busy, rate)
+
+
+def decode_any(data: bytes):
+    """Dispatch on the magic header."""
+    magic = data[:4]
+    if magic == _MAGIC_SCATTER:
+        return ScatterMessage.decode(data)
+    if magic == _MAGIC_GATHER:
+        return GatherMessage.decode(data)
+    if magic == _MAGIC_HEARTBEAT:
+        return HeartbeatMessage.decode(data)
+    raise ValueError(f"unknown message magic {magic!r}")

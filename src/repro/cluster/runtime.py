@@ -1,0 +1,256 @@
+"""An in-process distributed runtime: the full protocol, running for real.
+
+Everything the paper's system does on a LAN, executed here over thread
+queues standing in for sockets:
+
+* the master serializes :class:`~repro.cluster.protocol.ScatterMessage`
+  bytes to worker inboxes and decodes
+  :class:`~repro.cluster.protocol.GatherMessage` bytes coming back — the
+  exact payloads whose size Section II bounds;
+* chunk sizes follow each worker's *measured* throughput (the adaptive
+  balancing of Section III), starting from equal priors;
+* a worker that stops answering is declared dead after a timeout and its
+  outstanding interval is requeued over the survivors (the minimum fault
+  tolerance model);
+* a :class:`~repro.core.progress.ProgressLog` tracks exactly-once coverage
+  and makes the run resumable.
+
+Workers execute the real vectorized crack kernels, so a run of this
+runtime genuinely cracks hashes while exercising every protocol path.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.apps.cracking import CrackEngine, CrackTarget
+from repro.cluster.protocol import GatherMessage, ScatterMessage
+from repro.core.progress import ProgressLog
+from repro.keyspace import Charset, Interval
+
+
+@dataclass
+class WorkerConfig:
+    """One worker's identity and (test-oriented) behaviour knobs."""
+
+    name: str
+    batch_size: int = 1 << 12
+    #: Die silently after completing this many chunks (fault injection).
+    fail_after_chunks: int | None = None
+    #: Artificial per-chunk delay in seconds (heterogeneity injection).
+    slowdown: float = 0.0
+
+
+class _Worker(threading.Thread):
+    """A worker node: decode scatter, crack, encode gather."""
+
+    def __init__(self, config: WorkerConfig, master_outbox: queue.Queue) -> None:
+        super().__init__(name=f"worker-{config.name}", daemon=True)
+        self.config = config
+        self.inbox: queue.Queue = queue.Queue()
+        self.master_outbox = master_outbox
+        self._chunks_done = 0
+
+    def run(self) -> None:
+        while True:
+            raw = self.inbox.get()
+            if raw is None:  # shutdown
+                return
+            msg = ScatterMessage.decode(raw)
+            if (
+                self.config.fail_after_chunks is not None
+                and self._chunks_done >= self.config.fail_after_chunks
+            ):
+                continue  # silently drop work: a crashed node
+            started = time.perf_counter()
+            if msg.algorithm == "ntlm":
+                from repro.apps.ntlm import NTLMTarget, crack_ntlm
+
+                ntlm = NTLMTarget(
+                    digest=msg.digest,
+                    charset=Charset(msg.charset),
+                    min_length=msg.min_length,
+                    max_length=msg.max_length,
+                )
+                matches = crack_ntlm(ntlm, msg.interval, batch_size=self.config.batch_size)
+            else:
+                target = CrackTarget(
+                    algorithm=HashAlgorithm(msg.algorithm),
+                    digest=msg.digest,
+                    charset=Charset(msg.charset),
+                    min_length=msg.min_length,
+                    max_length=msg.max_length,
+                    prefix=msg.prefix,
+                    suffix=msg.suffix,
+                )
+                engine = CrackEngine(target, batch_size=self.config.batch_size)
+                matches = engine.search(msg.interval)
+            if self.config.slowdown:
+                time.sleep(self.config.slowdown)
+            elapsed = time.perf_counter() - started
+            reply = GatherMessage(
+                interval=msg.interval,
+                tested=msg.interval.size,
+                elapsed_us=max(1, int(elapsed * 1e6)),
+                matches=tuple(matches[:8]),  # wire budget: cap the list
+            )
+            self.master_outbox.put((self.config.name, reply.encode()))
+            self._chunks_done += 1
+
+
+from repro.kernels.variants import HashAlgorithm  # noqa: E402
+
+
+@dataclass
+class RuntimeResult:
+    """Outcome of a distributed run."""
+
+    found: list = field(default_factory=list)
+    progress: ProgressLog | None = None
+    chunks: int = 0
+    requeued: int = 0
+    dead_workers: list = field(default_factory=list)
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+    @property
+    def keys(self) -> list:
+        return [key for _, key in self.found]
+
+
+class DistributedMaster:
+    """Drives a crack target (MD5/SHA1/NTLM) over protocol-speaking workers."""
+
+    def __init__(
+        self,
+        target,
+        workers: list[WorkerConfig],
+        chunk_size: int = 5000,
+        reply_timeout: float = 30.0,
+    ) -> None:
+        if not workers:
+            raise ValueError("need at least one worker")
+        if len({w.name for w in workers}) != len(workers):
+            raise ValueError("duplicate worker names")
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self.target = target
+        self.worker_configs = list(workers)
+        self.chunk_size = chunk_size
+        self.reply_timeout = reply_timeout
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        interval: Interval | None = None,
+        stop_on_first: bool = False,
+        progress: ProgressLog | None = None,
+    ) -> RuntimeResult:
+        """Execute the search; returns the gathered matches and accounting.
+
+        ``progress`` may carry a previous session's checkpoint: completed
+        intervals are never re-dispatched.
+        """
+        target = self.target
+        interval = interval if interval is not None else Interval(0, target.space_size)
+        log = progress if progress is not None else ProgressLog(total=interval.stop)
+        result = RuntimeResult(progress=log)
+
+        replies: queue.Queue = queue.Queue()
+        threads = {cfg.name: _Worker(cfg, replies) for cfg in self.worker_configs}
+        for t in threads.values():
+            t.start()
+        alive = set(threads)
+        outstanding: dict[str, Interval] = {}
+        pending_gaps = [
+            gap
+            for gap in log.remaining()
+            if gap.overlaps(interval)
+        ]
+        queue_intervals: list[Interval] = [
+            Interval(max(gap.start, interval.start), min(gap.stop, interval.stop))
+            for gap in pending_gaps
+        ]
+        queue_intervals = [iv for iv in queue_intervals if iv]
+
+        def next_chunk() -> Interval | None:
+            while queue_intervals:
+                head = queue_intervals[0]
+                chunk, rest = head.take(self.chunk_size)
+                if rest:
+                    queue_intervals[0] = rest
+                else:
+                    queue_intervals.pop(0)
+                if chunk:
+                    return chunk
+            return None
+
+        def dispatch(worker: str) -> bool:
+            chunk = next_chunk()
+            if chunk is None:
+                return False
+            msg = ScatterMessage(
+                interval=chunk,
+                digest=target.digest,
+                charset=target.charset.symbols,
+                min_length=target.min_length,
+                max_length=target.max_length,
+                prefix=getattr(target, "prefix", b""),
+                suffix=getattr(target, "suffix", b""),
+                algorithm=(
+                    target.algorithm.value
+                    if hasattr(target, "algorithm")
+                    else "ntlm"
+                ),
+            )
+            raw = msg.encode()
+            result.bytes_sent += len(raw)
+            outstanding[worker] = chunk
+            threads[worker].inbox.put(raw)
+            return True
+
+        # Prime every worker with one chunk.
+        for name in list(alive):
+            if not dispatch(name):
+                break
+        stopping = False
+        try:
+            while outstanding:
+                try:
+                    name, raw = replies.get(timeout=self.reply_timeout)
+                except queue.Empty:
+                    # Every outstanding worker missed the deadline: declare
+                    # them dead and requeue their intervals (Section III's
+                    # monitoring + repartitioning).
+                    for dead, chunk in list(outstanding.items()):
+                        alive.discard(dead)
+                        result.dead_workers.append(dead)
+                        result.requeued += chunk.size
+                        queue_intervals.insert(0, chunk)
+                        del outstanding[dead]
+                    if not alive:
+                        raise RuntimeError("all workers died before completion")
+                    for name in list(alive):
+                        if name not in outstanding and not dispatch(name):
+                            break
+                    continue
+                reply = GatherMessage.decode(raw)
+                result.bytes_received += len(raw)
+                expected = outstanding.pop(name, None)
+                if expected != reply.interval:  # pragma: no cover - defensive
+                    raise RuntimeError("protocol violation: interval mismatch")
+                log.mark_done(reply.interval, reply.matches)
+                result.found.extend(reply.matches)
+                result.chunks += 1
+                if stop_on_first and result.found:
+                    stopping = True
+                if not stopping:
+                    dispatch(name)
+        finally:
+            for t in threads.values():
+                t.inbox.put(None)
+        result.found.sort()
+        return result

@@ -1,0 +1,190 @@
+"""Discrete-event simulation of a whole-network cracking run (Table IX).
+
+The master walks the dispatch protocol of Section III over the tree:
+
+1. partition the round's interval among local devices and child subtrees
+   proportionally to achieved throughput (the balancing rule);
+2. scatter: sends serialize on the dispatcher's uplink, each costing
+   ``K_scatter`` (latency + payload/bandwidth);
+3. children recursively run the same protocol; devices compute for
+   ``K_search`` given by their launch model;
+4. gather: each unit's result travels back; the master applies the merge
+   test ``K_C_M`` once all results arrived.
+
+The run reports the metrics of Table IX: whole-network throughput, and
+efficiency relative to the sum of the devices' *theoretical* throughputs
+(which is how the paper computes its 0.852 / 0.898).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.balance import minimum_dispatch_size
+from repro.cluster.events import Simulator
+from repro.cluster.node import GATHER_BYTES, SCATTER_BYTES, ClusterNode, GPUWorker
+from repro.keyspace import Interval, partition_weighted
+
+#: Host-side cost of handing an interval to a local device (driver call).
+LOCAL_DISPATCH_COST = 50e-6
+
+
+@dataclass
+class DeviceRunStats:
+    """Per-device accounting over a simulated run."""
+
+    candidates: int = 0
+    busy_time: float = 0.0
+    intervals: list[Interval] = field(default_factory=list)
+
+
+@dataclass
+class ClusterRunResult:
+    """Outcome of a simulated network run."""
+
+    total_candidates: int
+    elapsed: float
+    rounds: int
+    device_stats: dict[str, DeviceRunStats]
+    aggregate_achieved: float  #: sum of devices' achieved keys/s
+    aggregate_theoretical: float  #: sum of devices' peak keys/s
+    found: list[tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        """Whole-network keys/second."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.total_candidates / self.elapsed
+
+    @property
+    def mkeys_per_second(self) -> float:
+        return self.throughput / 1e6
+
+    @property
+    def dispatch_efficiency(self) -> float:
+        """Throughput over the sum of achieved device rates: how much the
+        dispatch protocol itself loses (1.0 = perfect parallelism)."""
+        return self.throughput / self.aggregate_achieved
+
+    @property
+    def network_efficiency(self) -> float:
+        """The Table IX 'efficiency' column: throughput over the sum of
+        theoretical device rates."""
+        return self.throughput / self.aggregate_theoretical
+
+    def utilization(self, device: str) -> float:
+        """Busy fraction of one device."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.device_stats[device].busy_time / self.elapsed
+
+
+def simulate_run(
+    root: ClusterNode,
+    total_candidates: int,
+    round_size: int | None = None,
+    target_efficiency: float = 0.95,
+    merge_cost: float = 100e-6,
+    solution_ids: tuple = (),
+    round_seconds: float = 1.0,
+) -> ClusterRunResult:
+    """Simulate cracking *total_candidates* keys on the network.
+
+    ``round_size`` defaults to the larger of the tuning step's minimum
+    dispatch size and ``round_seconds`` of aggregate work — Section III
+    allows ``N_node`` to be "arbitrarily increased to minimize the overhead
+    caused by the dispatch and merge steps".  ``solution_ids`` plants
+    candidate ids whose discovery is attributed to whichever device scans
+    them.
+    """
+    if total_candidates <= 0:
+        raise ValueError("total_candidates must be positive")
+    root.validate_tree()
+    if round_size is None:
+        round_size = max(
+            minimum_dispatch_size(root, target_efficiency),
+            int(root.aggregate_throughput * round_seconds),
+            1,
+        )
+    round_size = min(round_size, total_candidates)
+
+    sim = Simulator()
+    stats: dict[str, DeviceRunStats] = {
+        d.name: DeviceRunStats() for d in root.subtree_devices()
+    }
+    found: list[tuple[str, int]] = []
+    state = {"rounds": 0}
+
+    def dispatch(node: ClusterNode, interval: Interval, done) -> None:
+        """Run the Section III protocol for one node, then call done()."""
+        units: list[tuple[object, float]] = [(d, d.throughput) for d in node.devices]
+        units += [(c, c.aggregate_throughput) for c in node.children]
+        parts = partition_weighted(interval, [w for _, w in units])
+        outstanding = {"n": 0}
+
+        def unit_done() -> None:
+            outstanding["n"] -= 1
+            if outstanding["n"] == 0:
+                # All results gathered: apply the merge test K_C_M.
+                sim.schedule(merge_cost, done)
+
+        send_offset = 0.0
+        for (unit, _), part in zip(units, parts):
+            if not part:
+                continue
+            outstanding["n"] += 1
+            if isinstance(unit, GPUWorker):
+                begin = send_offset + LOCAL_DISPATCH_COST
+                send_offset = begin
+
+                def start_device(worker=unit, piece=part):
+                    compute = worker.compute_time(piece.size)
+                    entry = stats[worker.name]
+                    entry.candidates += piece.size
+                    entry.busy_time += compute
+                    entry.intervals.append(piece)
+                    for sol in solution_ids:
+                        if sol in piece:
+                            found.append((worker.name, sol))
+                    sim.schedule(compute, unit_done)
+
+                sim.schedule(begin, start_device)
+            else:
+                child: ClusterNode = unit
+                scatter = child.uplink.transfer_time(SCATTER_BYTES)
+                send_offset += scatter  # sends serialize on the master
+
+                def start_child(c=child, piece=part, arrive=send_offset):
+                    def child_done():
+                        gather = c.uplink.transfer_time(GATHER_BYTES)
+                        sim.schedule(gather, unit_done)
+
+                    dispatch(c, piece, child_done)
+
+                sim.schedule(send_offset, start_child)
+        if outstanding["n"] == 0:  # degenerate: empty interval
+            sim.schedule(0.0, done)
+
+    def run_round(start: int) -> None:
+        if start >= total_candidates:
+            return
+        state["rounds"] += 1
+        n = min(round_size, total_candidates - start)
+        dispatch(
+            root,
+            Interval(start, start + n),
+            lambda: run_round(start + n),
+        )
+
+    run_round(0)
+    elapsed = sim.run()
+    return ClusterRunResult(
+        total_candidates=total_candidates,
+        elapsed=elapsed,
+        rounds=state["rounds"],
+        device_stats=stats,
+        aggregate_achieved=root.aggregate_throughput,
+        aggregate_theoretical=root.aggregate_theoretical,
+        found=sorted(found, key=lambda pair: pair[1]),
+    )

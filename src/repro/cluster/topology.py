@@ -1,0 +1,113 @@
+"""Network topologies, including the paper's evaluation cluster.
+
+Section VI-A: "The system is heterogeneous and the performance power of the
+network tree is deliberately unbalanced to demonstrate the system
+flexibility":
+
+* Node A (one GT 540M) dispatches to nodes B and C;
+* Node B holds a GTX 660 and a GTX 550 Ti;
+* Node C (one 8600M GT) dispatches to node D;
+* Node D holds an 8800 GTS 512.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.cluster.node import ClusterNode, GPUWorker, LinkSpec
+from repro.gpusim.device import PAPER_DEVICES
+from repro.gpusim.launch import LaunchModel
+from repro.gpusim.throughput import device_report
+from repro.kernels.variants import HashAlgorithm, KernelVariant
+
+
+def paper_worker(device_name: str, algorithm: HashAlgorithm, **launch_overrides) -> GPUWorker:
+    """A worker for one of the Table VII GPUs, profiled by the simulator."""
+    device = PAPER_DEVICES[device_name]
+    variant = (
+        KernelVariant.BYTE_PERM if algorithm is HashAlgorithm.MD5 else KernelVariant.OPTIMIZED
+    )
+    report = device_report(device, algorithm, variant)
+    rate = report.achieved_mkeys * 1e6
+    return GPUWorker(
+        name=device_name,
+        throughput=rate,
+        theoretical=report.theoretical_mkeys * 1e6,
+        device=device,
+        launch=LaunchModel(peak_rate=rate, **launch_overrides),
+    )
+
+
+def build_paper_network(
+    algorithm: HashAlgorithm = HashAlgorithm.MD5,
+    link: LinkSpec | None = None,
+) -> ClusterNode:
+    """The A/B/C/D tree of Section VI-A, profiled for *algorithm*."""
+    link = link or LinkSpec()
+    node_b = ClusterNode(
+        name="B",
+        devices=[paper_worker("660", algorithm), paper_worker("550Ti", algorithm)],
+        uplink=link,
+    )
+    node_d = ClusterNode(
+        name="D", devices=[paper_worker("8800", algorithm)], uplink=link
+    )
+    node_c = ClusterNode(
+        name="C",
+        devices=[paper_worker("8600M", algorithm)],
+        children=[node_d],
+        uplink=link,
+    )
+    root = ClusterNode(
+        name="A",
+        devices=[paper_worker("540M", algorithm)],
+        children=[node_b, node_c],
+    )
+    root.validate_tree()
+    return root
+
+
+def to_networkx(root: ClusterNode) -> nx.DiGraph:
+    """Export the dispatch tree as a directed graph for analysis.
+
+    Node attributes carry the achieved/theoretical aggregates; edges point
+    from dispatcher to child.  Devices appear as leaf nodes prefixed with
+    ``dev:`` so graph algorithms see the full fan-out.
+    """
+    graph = nx.DiGraph()
+
+    def add(node: ClusterNode) -> None:
+        graph.add_node(
+            node.name,
+            kind="node",
+            local_throughput=node.local_throughput,
+            aggregate_throughput=node.aggregate_throughput,
+            aggregate_theoretical=node.aggregate_theoretical,
+        )
+        for dev in node.devices:
+            dev_id = f"dev:{dev.name}"
+            graph.add_node(dev_id, kind="device", throughput=dev.throughput)
+            graph.add_edge(node.name, dev_id)
+        for child in node.children:
+            add(child)
+            graph.add_edge(node.name, child.name, latency=child.uplink.latency)
+
+    add(root)
+    if not nx.is_arborescence(graph):
+        raise ValueError("dispatch topology must be a tree")
+    return graph
+
+
+def tree_nodes(root: ClusterNode) -> list[str]:
+    """Preorder node names (dispatchers only)."""
+    return [n.name for n in root.subtree_nodes()]
+
+
+def tree_devices(root: ClusterNode) -> list[str]:
+    """Depth-first device names."""
+    return [d.name for d in root.subtree_devices()]
+
+
+def flat_network(workers: list[GPUWorker], name: str = "master") -> ClusterNode:
+    """A single-level master with all devices attached (for comparisons)."""
+    return ClusterNode(name=name, devices=list(workers))

@@ -1,0 +1,50 @@
+"""The paper's primary contribution: the exhaustive-search pattern.
+
+* :mod:`repro.core.search` — the formal pattern of Section III-A: a
+  bijection ``f``, a cheap incremental ``next``, a test ``C``, an optional
+  merge, and a sequential reference driver that measures the
+  ``K_next << K_f`` efficiency claim;
+* :mod:`repro.core.costs` — the cost model: ``K_search`` closed forms and
+  the ``K_D`` dispatch bounds;
+* :mod:`repro.core.session` — the user-facing API tying a crack target to
+  a backend (local CPU pool, simulated GPU cluster, or the sequential
+  reference);
+* :mod:`repro.core.results` — result/estimate types.
+"""
+
+from repro.core.search import ExhaustiveSearch, SearchProblem, SearchOutcome, keyspace_problem
+from repro.core.costs import (
+    CostModel,
+    DispatchCosts,
+    dispatch_bounds,
+    process_efficiency,
+    sequential_search_cost,
+)
+from repro.core.session import CrackingSession, SessionEstimate, SessionResult
+from repro.core.planner import (
+    Assessment,
+    PasswordPolicy,
+    assess,
+    minimum_length_for,
+    scaling_outlook,
+)
+
+__all__ = [
+    "ExhaustiveSearch",
+    "SearchProblem",
+    "SearchOutcome",
+    "keyspace_problem",
+    "CostModel",
+    "DispatchCosts",
+    "dispatch_bounds",
+    "process_efficiency",
+    "sequential_search_cost",
+    "CrackingSession",
+    "SessionEstimate",
+    "SessionResult",
+    "Assessment",
+    "PasswordPolicy",
+    "assess",
+    "minimum_length_for",
+    "scaling_outlook",
+]

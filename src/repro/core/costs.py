@@ -1,0 +1,101 @@
+"""The cost model of Section III-A.
+
+Closed forms for the sequential search cost, the process-efficiency claim,
+and the two-sided bound on the dispatch cost ``K_D``:
+
+.. code-block:: text
+
+    K_search = K_f(i0) + sum K_next + sum K_C          (with next)
+    K_search = sum (K_f + K_C)                          (without next)
+
+    max_j(Ks_j + Ksearch_j + Kg_j) + K_CM
+        <= K_D <=
+    sum_j Ks_j + max_j Ksearch_j + sum_j Kg_j + K_CM
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-candidate costs of the three primitive operations (seconds)."""
+
+    k_f: float  #: generate a candidate from its identifier
+    k_next: float  #: derive a candidate from its predecessor
+    k_c: float  #: evaluate the test function
+
+    def __post_init__(self) -> None:
+        if min(self.k_f, self.k_next, self.k_c) < 0:
+            raise ValueError("costs must be non-negative")
+
+
+def sequential_search_cost(n: int, model: CostModel, use_next: bool = True) -> float:
+    """``K_search`` over *n* candidates on a single process."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if n == 0:
+        return 0.0
+    if use_next:
+        return model.k_f + (n - 1) * model.k_next + n * model.k_c
+    return n * (model.k_f + model.k_c)
+
+
+def process_efficiency(n: int, model: CostModel, use_next: bool = True) -> float:
+    """Testing time over total time — the paper's per-process efficiency.
+
+    With ``K_next < K_f`` this "will increase for larger n": the single
+    expensive conversion amortizes away.
+    """
+    total = sequential_search_cost(n, model, use_next)
+    if total == 0.0:
+        return 1.0
+    return n * model.k_c / total
+
+
+@dataclass(frozen=True)
+class DispatchCosts:
+    """Per-node scatter/search/gather costs plus the master's merge cost."""
+
+    scatter: Sequence[float]
+    search: Sequence[float]
+    gather: Sequence[float]
+    merge: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (len(self.scatter) == len(self.search) == len(self.gather)):
+            raise ValueError("per-node cost sequences must align")
+        if not self.scatter:
+            raise ValueError("need at least one node")
+
+
+def dispatch_bounds(costs: DispatchCosts) -> tuple[float, float]:
+    """The two-sided ``K_D`` bound of Section III-A.
+
+    Lower bound: everything overlaps perfectly except the critical node.
+    Upper bound: scatters and gathers fully serialize on the master.
+    """
+    lower = (
+        max(s + w + g for s, w, g in zip(costs.scatter, costs.search, costs.gather))
+        + costs.merge
+    )
+    upper = (
+        sum(costs.scatter)
+        + max(costs.search)
+        + sum(costs.gather)
+        + costs.merge
+    )
+    return lower, upper
+
+
+def fixed_costs_negligible(costs: DispatchCosts, tolerance: float = 0.01) -> bool:
+    """Is ``K_D`` dominated by the slowest search (the large-interval regime)?
+
+    "For large intervals, K_D will depend almost exclusively on
+    max_j(K_search_j)" — true when the serialized fixed costs are within
+    *tolerance* of the critical search time.
+    """
+    overhead = sum(costs.scatter) + sum(costs.gather) + costs.merge
+    return overhead <= tolerance * max(costs.search)

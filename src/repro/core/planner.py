@@ -1,0 +1,127 @@
+"""Security-assessment planning: the paper's motivating question, answered.
+
+"Studying the amount of time and resources needed by a brute-force attack
+to retrieve a password is a key step in understanding the actual level of
+security provided by a cryptographic hash function." (Section I)
+
+:class:`PasswordPolicy` describes what users are allowed to pick;
+:func:`assess` confronts it with an attacker (any dispatch network, e.g.
+the paper's cluster or a scaled-up pool) and reports full-scan and expected
+crack times; :func:`minimum_length_for` inverts the question — how long
+must passwords be to survive a given attacker for a given time?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.node import ClusterNode
+from repro.keyspace import Charset, space_size
+
+#: Attacker-time judgement thresholds (seconds), used by the verdict.
+INSTANT = 60.0
+HOURS = 24 * 3600.0
+YEARS = 365.25 * 86_400.0
+
+
+@dataclass(frozen=True)
+class PasswordPolicy:
+    """What the credential policy permits."""
+
+    charset: Charset
+    min_length: int
+    max_length: int
+
+    def __post_init__(self) -> None:
+        if self.min_length < 0 or self.max_length < self.min_length:
+            raise ValueError("invalid length window")
+
+    @property
+    def space(self) -> int:
+        """Candidate count (Equation (2))."""
+        return space_size(len(self.charset), self.min_length, self.max_length)
+
+
+@dataclass(frozen=True)
+class Assessment:
+    """Outcome of confronting a policy with an attacker."""
+
+    policy: PasswordPolicy
+    attacker_keys_per_second: float
+    seconds_full_scan: float
+    seconds_expected: float
+
+    @property
+    def verdict(self) -> str:
+        """Coarse judgement of the policy against this attacker."""
+        t = self.seconds_expected
+        if t < INSTANT:
+            return "broken"  # cracked before the coffee is ready
+        if t < HOURS:
+            return "weak"  # falls within a working day
+        if t < YEARS:
+            return "marginal"  # a motivated attacker gets there
+        return "resistant"
+
+    @property
+    def years_expected(self) -> float:
+        return self.seconds_expected / YEARS
+
+
+def assess(policy: PasswordPolicy, attacker: ClusterNode | float) -> Assessment:
+    """Confront a policy with an attacker.
+
+    ``attacker`` is either a dispatch network (its aggregate achieved
+    throughput is used — e.g. :func:`repro.cluster.build_paper_network`)
+    or a raw keys/second figure for hypothetical hardware.
+    """
+    rate = (
+        attacker.aggregate_throughput
+        if isinstance(attacker, ClusterNode)
+        else float(attacker)
+    )
+    if rate <= 0:
+        raise ValueError("attacker rate must be positive")
+    full = policy.space / rate
+    return Assessment(
+        policy=policy,
+        attacker_keys_per_second=rate,
+        seconds_full_scan=full,
+        seconds_expected=full / 2.0,
+    )
+
+
+def minimum_length_for(
+    charset: Charset,
+    attacker: ClusterNode | float,
+    resist_seconds: float,
+    max_considered: int = 64,
+) -> int:
+    """Smallest uniform length whose expected crack time exceeds the budget.
+
+    The policy question in reverse: given this attacker, how long must
+    passwords be?  (Uniform-length policies: ``min_length == max_length``.)
+    """
+    if resist_seconds <= 0:
+        raise ValueError("resist_seconds must be positive")
+    for length in range(1, max_considered + 1):
+        policy = PasswordPolicy(charset, length, length)
+        if assess(policy, attacker).seconds_expected > resist_seconds:
+            return length
+    raise ValueError("no length up to max_considered resists this attacker")
+
+
+def scaling_outlook(
+    policy: PasswordPolicy, attacker: ClusterNode | float, doublings: int = 10
+) -> list[tuple[int, float]]:
+    """Expected crack time as the attacker doubles, Moore's-law style.
+
+    Returns ``(doubling index, years_expected)`` pairs — the longevity view
+    an auditing report should include (the paper's cluster was consumer
+    hardware; pools "even thousands of people" large already existed).
+    """
+    base = assess(policy, attacker)
+    out = []
+    for k in range(doublings + 1):
+        out.append((k, base.years_expected / (2**k)))
+    return out

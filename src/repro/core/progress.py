@@ -1,0 +1,114 @@
+"""Search progress tracking and resumable checkpoints.
+
+The dispatch protocol "collect[s] periodically a fairly small amount of
+data from each device" (Section III); real auditing runs last hours to
+days, so that trickle of gather messages must make the search *resumable*.
+:class:`ProgressLog` is that ledger: which id intervals are done, what was
+found, and what remains — serializable to JSON so a run can stop at any
+point and continue on another machine.
+
+Invariant (property-tested): the completed set and the remaining set tile
+``[0, total)`` exactly at all times, no matter the order intervals finish.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.keyspace import Interval
+from repro.keyspace.intervals import is_exact_partition, merge_intervals
+
+
+@dataclass
+class ProgressLog:
+    """Ledger of a long-running exhaustive search over ``[0, total)``."""
+
+    total: int
+    completed: list = field(default_factory=list)  #: merged, sorted intervals
+    found: list = field(default_factory=list)  #: (index, key) pairs
+
+    def __post_init__(self) -> None:
+        if self.total < 0:
+            raise ValueError("total must be non-negative")
+        self.completed = merge_intervals(self.completed)
+
+    # ------------------------------------------------------------------ #
+    def mark_done(self, interval: Interval, matches=()) -> None:
+        """Record a finished interval and any matches it produced.
+
+        Re-marking already-completed ids is rejected — double work means a
+        dispatch bug (the same candidate billed twice).
+        """
+        if interval.stop > self.total:
+            raise ValueError(f"{interval} exceeds the space of {self.total}")
+        for done in self.completed:
+            if done.overlaps(interval):
+                raise ValueError(f"{interval} overlaps already-completed {done}")
+        self.completed = merge_intervals(self.completed + [interval])
+        self.found.extend(matches)
+        self.found.sort()
+
+    def remaining(self) -> list[Interval]:
+        """The gaps still to be searched, sorted."""
+        out: list[Interval] = []
+        cursor = 0
+        for done in self.completed:
+            if done.start > cursor:
+                out.append(Interval(cursor, done.start))
+            cursor = done.stop
+        if cursor < self.total:
+            out.append(Interval(cursor, self.total))
+        return out
+
+    def next_chunk(self, size: int) -> Interval | None:
+        """The next dispatchable interval of at most *size* ids."""
+        if size <= 0:
+            raise ValueError("size must be positive")
+        gaps = self.remaining()
+        if not gaps:
+            return None
+        head, _ = gaps[0].take(size)
+        return head
+
+    # ------------------------------------------------------------------ #
+    @property
+    def done_count(self) -> int:
+        return sum(iv.size for iv in self.completed)
+
+    @property
+    def fraction_done(self) -> float:
+        if self.total == 0:
+            return 1.0
+        return self.done_count / self.total
+
+    @property
+    def is_complete(self) -> bool:
+        return self.done_count == self.total
+
+    def check_invariant(self) -> bool:
+        """Completed + remaining must tile the space exactly."""
+        return is_exact_partition(
+            Interval(0, self.total), self.completed + self.remaining()
+        )
+
+    # ------------------------------------------------------------------ #
+    def to_json(self) -> str:
+        """Serialize (ids are exact ints; JSON handles bignums natively)."""
+        return json.dumps(
+            {
+                "total": self.total,
+                "completed": [[iv.start, iv.stop] for iv in self.completed],
+                "found": [[index, key] for index, key in self.found],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ProgressLog":
+        """Rebuild a ledger from :meth:`to_json` output."""
+        data = json.loads(text)
+        return cls(
+            total=data["total"],
+            completed=[Interval(a, b) for a, b in data["completed"]],
+            found=[(index, key) for index, key in data["found"]],
+        )

@@ -1,0 +1,57 @@
+"""Result and estimate types for cracking sessions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SessionResult:
+    """Outcome of an executed cracking session."""
+
+    found: list = field(default_factory=list)  #: sorted (index, key) pairs
+    candidates_tested: int = 0
+    elapsed: float = 0.0
+    backend: str = "sequential"
+    workers: int = 1
+
+    @property
+    def passwords(self) -> list:
+        return [key for _, key in self.found]
+
+    @property
+    def cracked(self) -> bool:
+        return bool(self.found)
+
+    @property
+    def mkeys_per_second(self) -> float:
+        if self.elapsed <= 0:
+            return 0.0
+        return self.candidates_tested / self.elapsed / 1e6
+
+
+@dataclass(frozen=True)
+class SessionEstimate:
+    """Predicted cost of exhausting a search space on a network.
+
+    The security-assessment use of the paper ("studying the amount of time
+    and resources needed by a brute-force attack ... is a key step in
+    understanding the actual level of security").
+    """
+
+    space_size: int
+    network_mkeys: float
+    seconds_full_scan: float
+    seconds_expected: float  #: half the space, the mean for a unique key
+
+    @property
+    def hours_full_scan(self) -> float:
+        return self.seconds_full_scan / 3600.0
+
+    @property
+    def days_full_scan(self) -> float:
+        return self.seconds_full_scan / 86_400.0
+
+    @property
+    def years_full_scan(self) -> float:
+        return self.seconds_full_scan / (365.25 * 86_400.0)

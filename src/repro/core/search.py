@@ -1,0 +1,153 @@
+"""The exhaustive-search pattern (Section III-A), as an executable contract.
+
+An exhaustive search exists whenever there are:
+
+* a bijection ``f`` from the naturals into the (finite or countable)
+  solution set ``S``;
+* a test function ``C : S -> {0, 1}``.
+
+Optionally, an operator ``next`` with ``next(i, f(i)) = f(i + 1)`` that is
+much cheaper than re-deriving ``f(i + 1)`` from scratch, and a merge
+function for problems where a local ``1`` is only a *candidate* answer
+(e.g. distributed minimization).
+
+:class:`ExhaustiveSearch` is the sequential reference driver: it walks an
+interval using ``f`` once and ``next`` thereafter, counts how often each
+operator ran (making the ``K_next << K_f`` efficiency claim measurable) and
+collects accepted solutions.  The distributed drivers in
+:mod:`repro.cluster` ship intervals of the same problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generic, TypeVar
+
+from repro.keyspace import Interval, KeyMapping
+
+S = TypeVar("S")
+
+
+@dataclass(frozen=True)
+class SearchProblem(Generic[S]):
+    """The (f, C, next, merge) quadruple of Section III-A."""
+
+    f: Callable[[int], S]
+    test: Callable[[S], bool]
+    size: int  #: |S| (use a window of a countable space)
+    next_op: Callable[[int, S], S] | None = None
+    #: Merge for problems where node-local acceptance is only tentative;
+    #: receives all accepted candidates and returns the survivors.
+    merge: Callable[[list[S]], list[S]] | None = None
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("size must be non-negative")
+
+    def candidate(self, index: int) -> S:
+        if not 0 <= index < self.size:
+            raise IndexError(index)
+        return self.f(index)
+
+
+@dataclass
+class SearchOutcome(Generic[S]):
+    """What a search run reports back (the gather payload)."""
+
+    accepted: list = field(default_factory=list)  #: (index, solution) pairs
+    tested: int = 0
+    f_calls: int = 0
+    next_calls: int = 0
+
+    @property
+    def conversion_fraction(self) -> float:
+        """Fraction of candidates derived by the expensive ``f``.
+
+        The pattern's efficiency claim: this tends to zero as intervals
+        grow, because ``next`` supplies all but the first candidate.
+        """
+        if self.tested == 0:
+            return 0.0
+        return self.f_calls / self.tested
+
+
+class ExhaustiveSearch(Generic[S]):
+    """Sequential reference driver for a :class:`SearchProblem`."""
+
+    def __init__(self, problem: SearchProblem[S]) -> None:
+        self.problem = problem
+
+    def run(
+        self,
+        interval: Interval | None = None,
+        stop_after: int | None = None,
+    ) -> SearchOutcome[S]:
+        """Test every candidate in *interval* (default: the whole space).
+
+        ``stop_after`` implements the paper's stop condition ("a
+        satisfactory number of solutions has been found"): the scan ends
+        early once that many candidates are accepted.
+        """
+        problem = self.problem
+        interval = interval if interval is not None else Interval(0, problem.size)
+        if interval.stop > problem.size:
+            raise IndexError(f"interval {interval} outside space of {problem.size}")
+        outcome: SearchOutcome[S] = SearchOutcome()
+        if not interval:
+            return outcome
+        index = interval.start
+        solution = problem.f(index)
+        outcome.f_calls += 1
+        while True:
+            outcome.tested += 1
+            if problem.test(solution):
+                outcome.accepted.append((index, solution))
+                if stop_after is not None and len(outcome.accepted) >= stop_after:
+                    break
+            index += 1
+            if index >= interval.stop:
+                break
+            if problem.next_op is not None:
+                solution = problem.next_op(index - 1, solution)
+                outcome.next_calls += 1
+            else:
+                solution = problem.f(index)
+                outcome.f_calls += 1
+        if problem.merge is not None:
+            merged = problem.merge([s for _, s in outcome.accepted])
+            outcome.accepted = [(i, s) for i, s in outcome.accepted if s in merged]
+        return outcome
+
+    def run_partitioned(self, parts: list[Interval]) -> SearchOutcome[S]:
+        """Run several intervals and merge — the master's gather step.
+
+        The parts need not tile the space; this is the sequential stand-in
+        for the scatter/search/gather/merge pipeline.
+        """
+        total: SearchOutcome[S] = SearchOutcome()
+        for part in parts:
+            # Bypass per-part merge; merge once at the end, like the master.
+            sub = ExhaustiveSearch(
+                SearchProblem(self.problem.f, self.problem.test, self.problem.size, self.problem.next_op)
+            ).run(part)
+            total.accepted.extend(sub.accepted)
+            total.tested += sub.tested
+            total.f_calls += sub.f_calls
+            total.next_calls += sub.next_calls
+        total.accepted.sort(key=lambda pair: pair[0])
+        if self.problem.merge is not None:
+            merged = self.problem.merge([s for _, s in total.accepted])
+            total.accepted = [(i, s) for i, s in total.accepted if s in merged]
+        return total
+
+
+def keyspace_problem(
+    mapping: KeyMapping, test: Callable[[str], bool]
+) -> SearchProblem[str]:
+    """Bind the pattern to a key space: ``f`` is Figure 1, ``next`` Figure 2."""
+    return SearchProblem(
+        f=mapping.key_at,
+        test=test,
+        size=mapping.size,
+        next_op=lambda _i, key: mapping.next_of(key),
+    )

@@ -1,0 +1,114 @@
+"""High-level cracking sessions: one target, pluggable backends.
+
+:class:`CrackingSession` is the front door of the library::
+
+    from repro import CrackingSession, CrackTarget, ALPHA_LOWER
+
+    target = CrackTarget.from_password("dog", ALPHA_LOWER, max_length=4)
+    result = CrackingSession(target).run_local(workers=4)
+    assert "dog" in result.passwords
+
+Backends:
+
+* :meth:`run_sequential` — the reference driver of the pattern (f/next/C);
+* :meth:`run_local` — the real multiprocessing pool with the vectorized
+  reversal kernels;
+* :meth:`estimate_on` — predicted wall time on a (simulated) GPU network,
+  the auditing-policy question the paper's introduction poses;
+* :meth:`simulate_on` — a discrete-event run on a GPU network that also
+  locates which device would find the key.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.apps.cracking import CrackTarget
+from repro.cluster.local import LocalCluster
+from repro.cluster.node import ClusterNode
+from repro.cluster.simulate import ClusterRunResult, simulate_run
+from repro.core.results import SessionEstimate, SessionResult
+from repro.core.search import ExhaustiveSearch, keyspace_problem
+from repro.keyspace import Interval
+
+
+class CrackingSession:
+    """Orchestrates one crack target across the available backends."""
+
+    def __init__(self, target: CrackTarget) -> None:
+        self.target = target
+
+    # ------------------------------------------------------------------ #
+    def run_sequential(
+        self, interval: Interval | None = None, stop_after: int | None = None
+    ) -> SessionResult:
+        """Scalar reference run (Figure 1 ``f`` + Figure 2 ``next`` + C).
+
+        Orders of magnitude slower than the vectorized backends — use for
+        tiny spaces and as the correctness oracle.
+        """
+        problem = keyspace_problem(self.target.mapping, self.target.verify)
+        started = time.perf_counter()
+        outcome = ExhaustiveSearch(problem).run(interval, stop_after=stop_after)
+        return SessionResult(
+            found=outcome.accepted,
+            candidates_tested=outcome.tested,
+            elapsed=time.perf_counter() - started,
+            backend="sequential",
+        )
+
+    def run_local(
+        self,
+        workers: int | None = None,
+        interval: Interval | None = None,
+        stop_on_first: bool = False,
+        batch_size: int = 1 << 14,
+    ) -> SessionResult:
+        """Real parallel crack on CPU cores (vectorized kernels)."""
+        cluster = LocalCluster(workers=workers, batch_size=batch_size)
+        outcome = cluster.crack(self.target, interval, stop_on_first=stop_on_first)
+        return SessionResult(
+            found=outcome.found,
+            candidates_tested=outcome.candidates_tested,
+            elapsed=outcome.elapsed,
+            backend="local",
+            workers=cluster.workers,
+        )
+
+    # ------------------------------------------------------------------ #
+    def estimate_on(self, network: ClusterNode) -> SessionEstimate:
+        """Predicted cost of exhausting the target's space on a network."""
+        size = self.target.space_size
+        rate = network.aggregate_throughput
+        return SessionEstimate(
+            space_size=size,
+            network_mkeys=rate / 1e6,
+            seconds_full_scan=size / rate,
+            seconds_expected=size / rate / 2.0,
+        )
+
+    def simulate_on(
+        self,
+        network: ClusterNode,
+        planted_password: str | None = None,
+        scale: int | None = None,
+        **simulate_kwargs,
+    ) -> ClusterRunResult:
+        """Discrete-event run of this target's space on a GPU network.
+
+        ``planted_password`` marks a key whose id is tracked through the
+        dispatch so the result reports which device finds it.  ``scale``
+        truncates gigantic spaces to their first *scale* candidates so the
+        simulation stays fast while preserving the dispatch dynamics.
+        """
+        total = self.target.space_size
+        solution_ids = ()
+        if planted_password is not None:
+            index = self.target.mapping.index_of(planted_password)
+            solution_ids = (index,)
+        if scale is not None:
+            total = min(total, scale)
+            solution_ids = tuple(i for i in solution_ids if i < total)
+        return simulate_run(
+            network, total, solution_ids=solution_ids, **simulate_kwargs
+        )

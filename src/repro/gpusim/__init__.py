@@ -1,0 +1,91 @@
+"""CUDA GPU simulator substrate.
+
+The paper's testbed is five NVIDIA GPUs spanning compute capabilities 1.1,
+2.1 and 3.0.  No GPU is available to this reproduction, so this package
+models the documented microarchitecture instead:
+
+* :mod:`repro.gpusim.arch` — the multiprocessor architecture per compute
+  capability (paper Table I) and per-class instruction throughput (Table
+  II), plus the execution-port structure Section V-A infers from ad-hoc
+  microbenchmarks;
+* :mod:`repro.gpusim.device` — the GPU catalog (Table VII) plus a CC 3.5
+  device for the funnel-shift extension;
+* :mod:`repro.gpusim.throughput` — the paper's analytical peak-throughput
+  formulas (Section VI-B) and the port-bound *simulated* throughput used
+  for the "our approach" rows;
+* :mod:`repro.gpusim.scheduler` — a cycle-level warp-scheduler simulator
+  (warps, dependency latency, dual issue, per-class ports) that validates
+  the analytic bounds from first principles;
+* :mod:`repro.gpusim.launch` — kernel-launch overhead, the driver-watchdog
+  grid splitting, and the efficiency-vs-batch-size curve behind the
+  pattern's per-node tuning step;
+* :mod:`repro.gpusim.tools` — throughput models of the BarsWF and
+  Cryptohaze Multiforcer baselines, calibrated from the paper's published
+  measurements.
+"""
+
+from repro.gpusim.arch import (
+    ComputeCapability,
+    MultiprocessorArch,
+    ARCHITECTURES,
+    INSTRUCTION_THROUGHPUT,
+    family_of_cc,
+)
+from repro.gpusim.device import DeviceSpec, DEVICES, get_device, PAPER_DEVICES
+from repro.gpusim.throughput import (
+    theoretical_throughput,
+    simulated_throughput,
+    ThroughputReport,
+    device_report,
+)
+from repro.gpusim.scheduler import (
+    MultiprocessorSim,
+    SimResult,
+    simulate_kernel_cycles,
+)
+from repro.gpusim.launch import (
+    LaunchModel,
+    efficiency_at,
+    min_batch_for_efficiency,
+    split_for_watchdog,
+)
+from repro.gpusim.tools import ToolProfile, TOOL_PROFILES, tool_throughput
+from repro.gpusim.occupancy import (
+    OccupancyLimits,
+    grid_efficiency,
+    resident_warps,
+    wave_capacity,
+)
+from repro.gpusim.mining import mining_achieved_mhash, mining_theoretical_mhash
+
+__all__ = [
+    "OccupancyLimits",
+    "grid_efficiency",
+    "resident_warps",
+    "wave_capacity",
+    "mining_achieved_mhash",
+    "mining_theoretical_mhash",
+    "ComputeCapability",
+    "MultiprocessorArch",
+    "ARCHITECTURES",
+    "INSTRUCTION_THROUGHPUT",
+    "family_of_cc",
+    "DeviceSpec",
+    "DEVICES",
+    "PAPER_DEVICES",
+    "get_device",
+    "theoretical_throughput",
+    "simulated_throughput",
+    "ThroughputReport",
+    "device_report",
+    "MultiprocessorSim",
+    "SimResult",
+    "simulate_kernel_cycles",
+    "LaunchModel",
+    "efficiency_at",
+    "min_batch_for_efficiency",
+    "split_for_watchdog",
+    "ToolProfile",
+    "TOOL_PROFILES",
+    "tool_throughput",
+]

@@ -1,0 +1,241 @@
+"""Multiprocessor architectures per compute capability (Tables I and II).
+
+The paper reduces NVIDIA's eight compute capabilities to four multiprocessor
+families, because only the arithmetic pipelines matter for this workload
+("memory accesses are very infrequent").  Table I gives the multiprocessor
+layout, Table II the per-class instruction throughput, and Section V-A's
+ad-hoc microbenchmarks reveal which *core groups* execute which classes:
+
+* CC 1.x executes everything on the single 8-core group; integer additions
+  can additionally go to the special-function units (+2/cycle) when
+  instruction-level parallelism allows dual routing;
+* CC 2.x executes everything on the same cores; the lower-throughput
+  shift/MAD instructions run on a single 16-core group;
+* CC 3.0 runs ADD/logical on 5 of the 6 32-core groups and shift/MAD on
+  the remaining one;
+* CC 3.5 adds the funnel shift, executed on the shift/MAD group at double
+  rate ("the overall throughput is quadrupled with respect to compute
+  capability 3.0" for a full rotation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.kernels.isa import InstructionClass, InstructionMix
+
+
+@dataclass(frozen=True)
+class ComputeCapability:
+    """A compute-capability identifier, e.g. ``1.1`` or ``3.0``."""
+
+    major: int
+    minor: int
+
+    @classmethod
+    def parse(cls, text: str) -> "ComputeCapability":
+        major, minor = text.split(".")
+        return cls(int(major), int(minor))
+
+    def __str__(self) -> str:
+        return f"{self.major}.{self.minor}"
+
+    @property
+    def family(self) -> str:
+        """The paper's architecture family this capability belongs to."""
+        return family_of_cc(self)
+
+
+def family_of_cc(cc: "ComputeCapability | str") -> str:
+    """Map a compute capability to one of the families ``1.x``, ``2.x``,
+    ``3.0``, ``3.5``.
+
+    CC 2.0 and 2.1 share the family for compilation purposes (same lowering,
+    Table IV groups them as "2.*"), but have distinct
+    :class:`MultiprocessorArch` entries because their group counts differ.
+    """
+    if isinstance(cc, str):
+        cc = ComputeCapability.parse(cc)
+    if cc.major == 1:
+        return "1.x"
+    if cc.major == 2:
+        return "2.x"
+    if (cc.major, cc.minor) == (3, 0):
+        return "3.0"
+    if cc.major == 3 and cc.minor >= 5:
+        return "3.5"
+    raise ValueError(f"compute capability {cc} not modelled (paper covers 1.x-3.5)")
+
+
+@dataclass(frozen=True)
+class MultiprocessorArch:
+    """One row of Table I, enriched with the port structure of Section V-A.
+
+    Throughputs are in *operations per clock cycle per multiprocessor*
+    (Table II): one warp instruction equals 32 operations spread over
+    ``32 / throughput`` cycles.
+    """
+
+    name: str  #: compute capability spelled as in Table I ("1.*", "2.0", ...)
+    family: str  #: compilation family ("1.x", "2.x", "3.0", "3.5")
+    cores_per_mp: int
+    core_groups: int
+    group_size: int
+    issue_time: int  #: clock cycles a warp instruction occupies its group
+    warp_schedulers: int
+    dual_issue: bool
+    #: Table II: peak ops/cycle/MP per instruction class.
+    throughput: Mapping[InstructionClass, float] = field(default_factory=dict)
+    #: Ops/cycle/MP reachable by the schedulers without any instruction-level
+    #: parallelism (single issue); dual issue can lift this to the port peak.
+    single_issue_ops: float = 0.0
+    #: Extra ADD throughput on the special-function units (CC 1.x only),
+    #: reachable only when ILP allows co-issue.
+    sfu_add_bonus: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cores_per_mp != self.core_groups * self.group_size:
+            raise ValueError("cores_per_mp must equal core_groups * group_size")
+
+    def peak_ops(self, cls: InstructionClass) -> float:
+        """Table II peak throughput for an instruction class (ops/cycle/MP)."""
+        try:
+            return self.throughput[cls]
+        except KeyError:
+            raise ValueError(f"{self.name}: no throughput for {cls}") from None
+
+    def add_lop_peak(self) -> float:
+        """Peak ops/cycle of the wide (addition/logical) pipeline."""
+        return min(
+            self.peak_ops(InstructionClass.IADD), self.peak_ops(InstructionClass.LOP)
+        )
+
+    def shift_mad_peak(self) -> float:
+        """Peak ops/cycle of the shift/MAD pipeline."""
+        return min(
+            self.peak_ops(InstructionClass.SHIFT), self.peak_ops(InstructionClass.IMAD)
+        )
+
+    def shift_mad_demand(self, mix: InstructionMix) -> float:
+        """Cycles/candidate spent on the shift/MAD port at peak rate."""
+        cycles = 0.0
+        for cls in (
+            InstructionClass.SHIFT,
+            InstructionClass.IMAD,
+            InstructionClass.PRMT,
+            InstructionClass.FUNNEL,
+        ):
+            n = mix[cls]
+            if n:
+                cycles += n / self.peak_ops(cls)
+        return cycles
+
+
+def _throughput(iadd, lop, shift, imad, prmt=None, funnel=None):
+    table = {
+        InstructionClass.IADD: float(iadd),
+        InstructionClass.LOP: float(lop),
+        InstructionClass.SHIFT: float(shift),
+        InstructionClass.IMAD: float(imad),
+    }
+    table[InstructionClass.PRMT] = float(prmt if prmt is not None else shift)
+    table[InstructionClass.FUNNEL] = float(funnel if funnel is not None else shift)
+    return table
+
+
+#: Table I + Table II, keyed by the paper's column labels.
+ARCHITECTURES: dict[str, MultiprocessorArch] = {
+    "1.*": MultiprocessorArch(
+        name="1.*",
+        family="1.x",
+        cores_per_mp=8,
+        core_groups=1,
+        group_size=8,
+        issue_time=4,
+        warp_schedulers=1,
+        dual_issue=False,
+        throughput=_throughput(iadd=10, lop=8, shift=8, imad=8),
+        # One scheduler issuing a warp every 4 cycles: 8 ops/cycle.
+        single_issue_ops=8.0,
+        sfu_add_bonus=2.0,
+    ),
+    "2.0": MultiprocessorArch(
+        name="2.0",
+        family="2.x",
+        cores_per_mp=32,
+        core_groups=2,
+        group_size=16,
+        issue_time=2,
+        warp_schedulers=2,
+        dual_issue=False,
+        throughput=_throughput(iadd=32, lop=32, shift=16, imad=16),
+        # Two single-issue schedulers: 2 warps in flight over 2-cycle groups.
+        single_issue_ops=32.0,
+    ),
+    "2.1": MultiprocessorArch(
+        name="2.1",
+        family="2.x",
+        cores_per_mp=48,
+        core_groups=3,
+        group_size=16,
+        issue_time=2,
+        warp_schedulers=2,
+        dual_issue=True,
+        throughput=_throughput(iadd=48, lop=48, shift=16, imad=16),
+        # Without dual issue the third core group is unreachable: 32 ops/cycle
+        # ("we leave a group of cores unused most of the time", Section V-B).
+        single_issue_ops=32.0,
+    ),
+    "3.0": MultiprocessorArch(
+        name="3.0",
+        family="3.0",
+        cores_per_mp=192,
+        core_groups=6,
+        group_size=32,
+        issue_time=1,
+        warp_schedulers=4,
+        dual_issue=True,
+        throughput=_throughput(iadd=160, lop=160, shift=32, imad=32),
+        # Four single-issue schedulers on 1-cycle groups: 128 ops/cycle, so
+        # two of the six groups idle without ILP.
+        single_issue_ops=128.0,
+    ),
+    "3.5": MultiprocessorArch(
+        name="3.5",
+        family="3.5",
+        cores_per_mp=192,
+        core_groups=6,
+        group_size=32,
+        issue_time=1,
+        warp_schedulers=4,
+        dual_issue=True,
+        # Funnel shift: one instruction for a full rotation at double the
+        # shift rate (paper, Section V-B / PTX ISA 3.2).
+        throughput=_throughput(iadd=160, lop=160, shift=32, imad=32, funnel=64),
+        single_issue_ops=128.0,
+    ),
+}
+
+
+def arch_for_cc(cc: ComputeCapability | str) -> MultiprocessorArch:
+    """The multiprocessor architecture of a specific compute capability."""
+    if isinstance(cc, str):
+        cc = ComputeCapability.parse(cc)
+    if cc.major == 1:
+        return ARCHITECTURES["1.*"]
+    key = str(cc)
+    if key in ARCHITECTURES:
+        return ARCHITECTURES[key]
+    if cc.major == 3 and cc.minor >= 5:
+        return ARCHITECTURES["3.5"]
+    raise ValueError(f"compute capability {cc} not modelled")
+
+
+#: Table II verbatim, for the bench that reprints it.
+INSTRUCTION_THROUGHPUT: dict[str, dict[str, int]] = {
+    "32-bit integer ADD": {"1.*": 10, "2.0": 32, "2.1": 48, "3.0": 160},
+    "32-bit bitwise AND/OR/XOR": {"1.*": 8, "2.0": 32, "2.1": 48, "3.0": 160},
+    "32-bit integer shift": {"1.*": 8, "2.0": 16, "2.1": 16, "3.0": 32},
+    "32-bit integer MAD": {"1.*": 8, "2.0": 16, "2.1": 16, "3.0": 32},
+}

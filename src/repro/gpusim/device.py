@@ -1,0 +1,88 @@
+"""GPU device catalog (paper Table VII plus extensions).
+
+The paper's testbed spans three architecture generations; the catalog also
+includes a compute-capability 3.5 part (GTX Titan class) to exercise the
+funnel-shift path the paper describes but could not measure ("we were unable
+to get access to such type of device in time for this writing").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.arch import ComputeCapability, MultiprocessorArch, arch_for_cc
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One GPU: Table VII row."""
+
+    name: str
+    multiprocessors: int
+    cores: int
+    clock_mhz: float
+    compute_capability: ComputeCapability
+
+    def __post_init__(self) -> None:
+        if self.multiprocessors <= 0 or self.cores <= 0 or self.clock_mhz <= 0:
+            raise ValueError("device parameters must be positive")
+        expected = self.arch.cores_per_mp * self.multiprocessors
+        if self.cores != expected:
+            raise ValueError(
+                f"{self.name}: {self.cores} cores inconsistent with "
+                f"{self.multiprocessors} MPs of {self.arch.cores_per_mp} cores"
+            )
+
+    @property
+    def arch(self) -> MultiprocessorArch:
+        """The multiprocessor architecture of this device's capability."""
+        return arch_for_cc(self.compute_capability)
+
+    @property
+    def family(self) -> str:
+        """Compilation family (which kernel build this device runs)."""
+        return self.arch.family
+
+    @property
+    def clock_hz(self) -> float:
+        return self.clock_mhz * 1e6
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DeviceSpec({self.name!r}, {self.multiprocessors} MP, "
+            f"{self.cores} cores, {self.clock_mhz:g} MHz, cc {self.compute_capability})"
+        )
+
+
+def _dev(name, mp, cores, clock, cc):
+    return DeviceSpec(name, mp, cores, clock, ComputeCapability.parse(cc))
+
+
+#: Table VII verbatim: the five GPUs of the paper's evaluation network.
+PAPER_DEVICES: dict[str, DeviceSpec] = {
+    "8600M": _dev("8600M", 4, 32, 950, "1.1"),
+    "8800": _dev("8800", 16, 128, 1625, "1.1"),
+    "540M": _dev("540M", 2, 96, 1344, "2.1"),
+    "550Ti": _dev("550Ti", 4, 192, 1800, "2.1"),
+    "660": _dev("660", 5, 960, 1033, "3.0"),
+}
+
+#: Extended catalog: paper devices plus representative parts of the other
+#: families the model covers.
+DEVICES: dict[str, DeviceSpec] = {
+    **PAPER_DEVICES,
+    # Fermi CC 2.0 reference part (GTX 480 class).
+    "480": _dev("480", 15, 480, 1401, "2.0"),
+    # Kepler CC 3.5 with funnel shift (GTX Titan class).
+    "TitanCC35": _dev("TitanCC35", 14, 2688, 876, "3.5"),
+}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device by catalog name."""
+    try:
+        return DEVICES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown device {name!r}; catalog has {sorted(DEVICES)}"
+        ) from None

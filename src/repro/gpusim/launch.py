@@ -1,0 +1,138 @@
+"""Kernel launch economics: overhead, watchdog splitting, tuning curves.
+
+Section III's dispatch model needs, per node, the *minimum number of
+candidates* ``n_j`` that reaches a target efficiency — because every
+dispatched interval pays fixed costs (kernel launch, result readback) before
+the device streams at its peak rate ``X_j``.  Section IV-A adds the
+operating-system watchdog: a single kernel may not run longer than a few
+seconds, so large intervals are spread over multiple grids, each paying the
+launch overhead again.
+
+The model:  processing ``n`` candidates costs
+
+.. code-block:: text
+
+    T(n) = ceil(n / per_grid) * launch_overhead + n / peak_rate + fixed_overhead
+
+where ``per_grid = watchdog_limit * peak_rate`` caps one kernel's duration.
+Efficiency is ``(n / peak_rate) / T(n)`` — the fraction of wall time the
+device spends hashing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.gpusim.device import DeviceSpec
+
+
+@dataclass(frozen=True)
+class LaunchModel:
+    """Fixed-cost model of dispatching work to one GPU."""
+
+    #: Device peak throughput for the kernel at hand, keys per second.
+    peak_rate: float
+    #: Seconds per kernel launch (driver call + grid ramp-up/tail).
+    launch_overhead: float = 200e-6
+    #: Maximum seconds a single kernel may run before the OS watchdog.
+    watchdog_limit: float = 2.0
+    #: Per-interval fixed cost (result readback, host bookkeeping).
+    fixed_overhead: float = 500e-6
+
+    def __post_init__(self) -> None:
+        if self.peak_rate <= 0:
+            raise ValueError("peak_rate must be positive")
+        if min(self.launch_overhead, self.watchdog_limit, self.fixed_overhead) < 0:
+            raise ValueError("overheads must be non-negative")
+
+    @property
+    def candidates_per_grid(self) -> int:
+        """Largest batch one kernel may process under the watchdog."""
+        return max(1, int(self.peak_rate * self.watchdog_limit))
+
+    def grids_for(self, candidates: int) -> int:
+        """Number of kernel launches an interval requires (Section IV-A)."""
+        if candidates <= 0:
+            return 0
+        return math.ceil(candidates / self.candidates_per_grid)
+
+    def time_for(self, candidates: int) -> float:
+        """Wall-clock seconds to test *candidates* keys."""
+        if candidates <= 0:
+            return 0.0
+        return (
+            self.grids_for(candidates) * self.launch_overhead
+            + candidates / self.peak_rate
+            + self.fixed_overhead
+        )
+
+    def throughput_at(self, candidates: int) -> float:
+        """Achieved keys/second for an interval of the given size."""
+        if candidates <= 0:
+            return 0.0
+        return candidates / self.time_for(candidates)
+
+
+def efficiency_at(model: LaunchModel, candidates: int) -> float:
+    """Fraction of peak throughput achieved on an interval of this size."""
+    if candidates <= 0:
+        return 0.0
+    return model.throughput_at(candidates) / model.peak_rate
+
+
+def min_batch_for_efficiency(model: LaunchModel, target: float) -> int:
+    """The paper's tuning step: smallest ``n_j`` reaching *target* efficiency.
+
+    Solves ``efficiency_at(n) >= target`` by exponential probing plus
+    bisection; efficiency is monotone non-decreasing in ``n`` up to the
+    watchdog plateau, and the watchdog makes it asymptotically flat at
+    slightly below 1, so targets too close to 1 are rejected.
+    """
+    if not 0.0 < target < 1.0:
+        raise ValueError("target efficiency must be in (0, 1)")
+    asymptote = 1.0 / (1.0 + model.launch_overhead / model.watchdog_limit)
+    if target >= asymptote:
+        raise ValueError(
+            f"target {target} unreachable: watchdog caps efficiency at ~{asymptote:.6f}"
+        )
+    lo, hi = 1, 1
+    while efficiency_at(model, hi) < target:
+        hi *= 2
+        if hi > 2**63:  # pragma: no cover - guarded by the asymptote check
+            raise RuntimeError("efficiency target unreachable")
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if efficiency_at(model, mid) >= target:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def split_for_watchdog(model: LaunchModel, candidates: int) -> list[int]:
+    """Split an interval into per-grid batch sizes obeying the watchdog."""
+    if candidates < 0:
+        raise ValueError("candidates must be non-negative")
+    per_grid = model.candidates_per_grid
+    out: list[int] = []
+    remaining = candidates
+    while remaining > 0:
+        batch = min(per_grid, remaining)
+        out.append(batch)
+        remaining -= batch
+    return out
+
+
+def tuning_curve(model: LaunchModel, sizes: list[int]) -> list[tuple[int, float]]:
+    """(interval size, efficiency) samples — the offline model of Section III
+
+    ("an approximated model could be built offline by performing a sequence
+    of tests with increasing search size on each node").
+    """
+    return [(n, efficiency_at(model, n)) for n in sizes]
+
+
+def launch_model_for(device: DeviceSpec, peak_mkeys: float, **overrides) -> LaunchModel:
+    """Build a launch model for a device given its kernel peak in Mkeys/s."""
+    return LaunchModel(peak_rate=peak_mkeys * 1e6, **overrides)

@@ -1,0 +1,127 @@
+"""Occupancy and grid-tail effects.
+
+Section V: "A GPU kernel grid should have a sufficiently large number of
+threads to be efficient, since all multiprocessors should be used at the
+same time and hazards caused by instruction dependencies should be hidden
+by other active warps scheduled on the same multiprocessor."
+
+This module quantifies that sentence: how many warps a multiprocessor can
+hold (per family), how a grid of candidates fills the device in *waves*,
+and the efficiency lost to the final partial wave — the device-level
+component of the ``n_j`` tuning step (the launch-overhead component lives
+in :mod:`repro.gpusim.launch`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.gpusim.device import DeviceSpec
+
+#: Warp size on every modelled architecture.
+WARP_SIZE = 32
+
+
+@dataclass(frozen=True)
+class OccupancyLimits:
+    """Per-family residency limits (from the CUDA programming guide)."""
+
+    max_warps_per_mp: int
+    max_blocks_per_mp: int
+    max_threads_per_block: int
+
+
+#: Documented limits per compute-capability family.
+OCCUPANCY_LIMITS: dict[str, OccupancyLimits] = {
+    "1.x": OccupancyLimits(max_warps_per_mp=24, max_blocks_per_mp=8, max_threads_per_block=512),
+    "2.x": OccupancyLimits(max_warps_per_mp=48, max_blocks_per_mp=8, max_threads_per_block=1024),
+    "3.0": OccupancyLimits(max_warps_per_mp=64, max_blocks_per_mp=16, max_threads_per_block=1024),
+    "3.5": OccupancyLimits(max_warps_per_mp=64, max_blocks_per_mp=16, max_threads_per_block=1024),
+}
+
+
+def limits_for(device: DeviceSpec) -> OccupancyLimits:
+    """Residency limits of a device's family."""
+    return OCCUPANCY_LIMITS[device.family]
+
+
+def resident_warps(device: DeviceSpec, block_size: int) -> int:
+    """Warps one multiprocessor actually holds for a given block size.
+
+    The cracking kernels use a handful of registers and no shared memory,
+    so occupancy is limited only by the block-count and warp-count caps.
+    """
+    limits = limits_for(device)
+    if not 0 < block_size <= limits.max_threads_per_block:
+        raise ValueError(
+            f"block size {block_size} outside (0, {limits.max_threads_per_block}]"
+        )
+    if block_size % WARP_SIZE:
+        raise ValueError("block size must be a multiple of the warp size")
+    warps_per_block = block_size // WARP_SIZE
+    blocks = min(limits.max_blocks_per_mp, limits.max_warps_per_mp // warps_per_block)
+    if blocks == 0:
+        return warps_per_block  # a single oversized block still runs
+    return blocks * warps_per_block
+
+
+def wave_capacity(device: DeviceSpec, block_size: int = 256, per_thread: int = 1) -> int:
+    """Candidates one full device *wave* processes.
+
+    ``per_thread`` is the number of candidates each thread tests by
+    iterating the ``next`` operator (Section IV-A: "assign a larger number
+    of strings per thread").
+    """
+    if per_thread < 1:
+        raise ValueError("per_thread must be positive")
+    return device.multiprocessors * resident_warps(device, block_size) * WARP_SIZE * per_thread
+
+
+def grid_efficiency(
+    device: DeviceSpec, candidates: int, block_size: int = 256, per_thread: int = 1
+) -> float:
+    """Utilization of a grid covering *candidates* keys.
+
+    The last wave is partially filled; its idle lanes cost real time.  A
+    grid of many waves amortizes the tail — the device-side reason the
+    tuning step demands a minimum interval size ``n_j``.
+    """
+    if candidates < 0:
+        raise ValueError("candidates must be non-negative")
+    if candidates == 0:
+        return 0.0
+    wave = wave_capacity(device, block_size, per_thread)
+    waves = math.ceil(candidates / wave)
+    return candidates / (waves * wave)
+
+
+def min_candidates_for_tail_efficiency(
+    device: DeviceSpec, target: float, block_size: int = 256, per_thread: int = 1
+) -> int:
+    """Smallest multiple-of-wave grid whose tail loss stays under target.
+
+    With ``k`` full waves plus a worst-case tail, efficiency is at least
+    ``k / (k + 1)``; solving for the target gives the wave count.
+    """
+    if not 0.0 < target < 1.0:
+        raise ValueError("target must be in (0, 1)")
+    wave = wave_capacity(device, block_size, per_thread)
+    k = math.ceil(target / (1.0 - target))
+    return k * wave
+
+
+def per_thread_for_duration(
+    device: DeviceSpec, kernel_mkeys: float, duration_s: float, block_size: int = 256
+) -> int:
+    """Candidates per thread so one grid runs for ~duration_s seconds.
+
+    The watchdog workaround of Section IV-A from the other direction:
+    choose the per-thread iteration count such that a single kernel call
+    stays within (or fills) a time budget.
+    """
+    if kernel_mkeys <= 0 or duration_s <= 0:
+        raise ValueError("rate and duration must be positive")
+    threads = device.multiprocessors * resident_warps(device, block_size) * WARP_SIZE
+    total = kernel_mkeys * 1e6 * duration_s
+    return max(1, int(total / threads))

@@ -1,0 +1,316 @@
+"""Cycle-level multiprocessor simulator.
+
+The closed-form port model of :mod:`repro.gpusim.throughput` captures the
+*asymptotic* behaviour; this module validates it from first principles with
+a small warp-scheduler simulation, the software stand-in for the paper's
+profiler runs and ad-hoc microbenchmark kernels (Section V-A: "we had to
+write some ad-hoc kernels repeating many times a certain set of
+instructions").
+
+Model
+-----
+* A multiprocessor has **execution ports** (the core groups of Table I plus
+  the CC 1.x special-function units): each port serves a set of instruction
+  classes at a fixed rate of ``capacity`` operations (thread lanes) per
+  cycle; issuing a 32-lane warp instruction occupies the port for
+  ``32 / capacity`` cycles.
+* **Warp schedulers** each own a subset of the resident warps (round-robin,
+  like the hardware).  A scheduler issues one warp instruction every
+  ``32 / (single_issue_ops / schedulers)`` cycles; if the architecture is
+  dual-issue and the warp's *next* instruction belongs to a different
+  dependency chain, it is co-issued at no scheduler cost (this is how the
+  kernel's instruction-level parallelism — the ``interleave`` knob —
+  converts into extra throughput).
+* Each instruction **depends** on the previous instruction of its chain and
+  becomes eligible ``dep_latency`` cycles after that instruction issues;
+  with enough resident warps the latency is hidden, exactly as on hardware.
+
+The instruction stream fed to every warp is generated from a kernel's
+:class:`~repro.kernels.isa.InstructionMix` by proportional interleaving, so
+the class mixture is representative at every prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.gpusim.arch import MultiprocessorArch
+from repro.gpusim.device import DeviceSpec
+from repro.kernels.isa import InstructionClass, InstructionMix
+
+#: All classes, for ports that execute everything.
+_ALL = frozenset(InstructionClass)
+_ADDLOP = frozenset({InstructionClass.IADD, InstructionClass.LOP})
+_SHM = frozenset(
+    {InstructionClass.SHIFT, InstructionClass.IMAD, InstructionClass.PRMT, InstructionClass.FUNNEL}
+)
+
+
+@dataclass
+class Port:
+    """One execution resource: a core group (or the SFU bank)."""
+
+    name: str
+    classes: frozenset
+    capacity: float  #: lanes per cycle
+    next_free: float = 0.0
+
+    def can_issue(self, cls: InstructionClass, now: float) -> bool:
+        return cls in self.classes and self.next_free <= now
+
+    def issue(self, now: float) -> None:
+        self.next_free = now + 32.0 / self.capacity
+
+
+def ports_for_arch(arch: MultiprocessorArch) -> list[Port]:
+    """Build the execution-port set of one multiprocessor.
+
+    Encodes Section V-A's findings about which core groups execute which
+    instruction classes on each family.
+    """
+    if arch.family == "1.x":
+        ports = [Port("cores", _ALL, 8.0)]
+        if arch.sfu_add_bonus:
+            # SFU bank: extra ADD throughput, reachable only by co-issue.
+            ports.append(Port("sfu", frozenset({InstructionClass.IADD}), arch.sfu_add_bonus))
+        return ports
+    if arch.family == "2.x":
+        # One group runs everything (including shift/MAD); the other group(s)
+        # run only additions/logicals.
+        ports = [Port("g0", _ALL, 16.0)]
+        ports += [Port(f"g{i}", _ADDLOP, 16.0) for i in range(1, arch.core_groups)]
+        return ports
+    # Kepler: shift/MAD (and PRMT/funnel) on one 32-core group, ADD/LOP on
+    # the other five.
+    shm_capacity = arch.peak_ops(InstructionClass.FUNNEL) if arch.family == "3.5" else 32.0
+    ports = [Port("shm", _SHM, shm_capacity)]
+    ports += [Port(f"g{i}", _ADDLOP, 32.0) for i in range(1, arch.core_groups)]
+    return ports
+
+
+def instruction_stream(mix: InstructionMix, interleave: int = 1) -> list[tuple[InstructionClass, int]]:
+    """A representative ``(class, chain)`` stream for one candidate test.
+
+    Classes are spread by largest-remainder proportional interleaving so
+    every prefix of the stream has roughly the kernel's class mixture;
+    ``interleave`` tags consecutive instructions with alternating chain ids,
+    modelling a kernel that computes that many hashes concurrently per
+    thread ("interleaving the production of the hash of two strings at a
+    time", Section V-B).
+    """
+    if interleave < 1:
+        raise ValueError("interleave must be >= 1")
+    total = mix.total
+    if total == 0:
+        return []
+    # Largest-remainder schedule: emit the class whose deficit is largest.
+    emitted = {cls: 0 for cls in mix.counts}
+    stream: list[InstructionClass] = []
+    for i in range(total):
+        best, best_deficit = None, float("-inf")
+        for cls, n in mix.counts.items():
+            deficit = n * (i + 1) / total - emitted[cls]
+            if deficit > best_deficit and emitted[cls] < n:
+                best, best_deficit = cls, deficit
+        stream.append(best)
+        emitted[best] += 1
+    return [(cls, i % interleave) for i, cls in enumerate(stream)]
+
+
+@dataclass
+class _Warp:
+    pc: int = 0
+    #: earliest cycle at which the next instruction of each chain may issue.
+    chain_ready: dict = field(default_factory=dict)
+
+    def eligible(self, stream, now: float) -> bool:
+        if self.pc >= len(stream):
+            return False
+        _, chain = stream[self.pc]
+        return self.chain_ready.get(chain, 0.0) <= now
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of draining a batch of warps through one multiprocessor."""
+
+    cycles: float
+    instructions: int
+    warps: int
+    stream_length: int
+    dual_issues: int
+
+    @property
+    def hashes(self) -> int:
+        """Candidate tests completed (32 lanes per warp, 1 per stream pass)."""
+        return self.warps * 32
+
+    @property
+    def ops_per_cycle(self) -> float:
+        """Achieved lanes per cycle (compare with Table II peaks)."""
+        return self.instructions * 32.0 / self.cycles
+
+    @property
+    def cycles_per_hash(self) -> float:
+        return self.cycles / self.hashes
+
+    @property
+    def dual_issue_fraction(self) -> float:
+        return self.dual_issues / self.instructions if self.instructions else 0.0
+
+    def mkeys_per_second(self, device: DeviceSpec) -> float:
+        """Scale the per-MP result to a whole device."""
+        return device.multiprocessors * device.clock_hz / self.cycles_per_hash / 1e6
+
+
+class MultiprocessorSim:
+    """Drain warps through the port/scheduler model, cycle by cycle."""
+
+    def __init__(
+        self,
+        arch: MultiprocessorArch,
+        warps: int = 48,
+        dep_latency: float = 18.0,
+    ) -> None:
+        if warps < 1:
+            raise ValueError("need at least one resident warp")
+        self.arch = arch
+        self.warps = warps
+        self.dep_latency = float(dep_latency)
+
+    def run(self, mix: InstructionMix, interleave: int = 1, max_cycles: float = 5e6) -> SimResult:
+        """Simulate all resident warps executing one candidate test each."""
+        stream = instruction_stream(mix, interleave)
+        if not stream:
+            return SimResult(0.0, 0, self.warps, 0, 0)
+        arch = self.arch
+        ports = ports_for_arch(arch)
+        n_sched = arch.warp_schedulers
+        # Scheduler issue cadence: a scheduler's share of the single-issue
+        # lane rate, expressed as cycles between warp-instruction issues.
+        issue_interval = 32.0 / (arch.single_issue_ops / n_sched)
+        sched_next = [0.0] * n_sched
+        warps = [_Warp() for _ in range(self.warps)]
+        owners: list[list[int]] = [
+            [w for w in range(self.warps) if w % n_sched == s] for s in range(n_sched)
+        ]
+        rr = [0] * n_sched  # round-robin cursor per scheduler
+        issued = 0
+        dual = 0
+        now = 0.0
+        remaining = self.warps
+        while remaining > 0 and now < max_cycles:
+            progressed = False
+            for s in range(n_sched):
+                if sched_next[s] > now:
+                    continue
+                my = owners[s]
+                if not my:
+                    continue
+                # Round-robin scan for an eligible warp whose next
+                # instruction can actually be issued (the hardware scheduler
+                # skips warps whose target pipeline is saturated).  Among
+                # issueable warps, prefer one headed for the narrowest port:
+                # keeping the scarce shift/MAD pipe saturated is what the
+                # scoreboard achieves on silicon.
+                warp = None
+                fallback = None
+                fallback_k = 0
+                for k in range(len(my)):
+                    cand = my[(rr[s] + k) % len(my)]
+                    w = warps[cand]
+                    if not w.eligible(stream, now):
+                        continue
+                    cls = stream[w.pc][0]
+                    capable = [p for p in ports if p.can_issue(cls, now)]
+                    if not capable:
+                        continue
+                    if cls in _SHM or len(ports) == 1:
+                        warp = w
+                        rr[s] = (rr[s] + k + 1) % len(my)
+                        break
+                    if fallback is None:
+                        fallback, fallback_k = w, k
+                if warp is None:
+                    if fallback is None:
+                        continue
+                    warp = fallback
+                    rr[s] = (rr[s] + fallback_k + 1) % len(my)
+                if self._issue_one(warp, stream, ports, now):
+                    issued += 1
+                    progressed = True
+                    sched_next[s] = now + issue_interval
+                    # Dual issue: co-issue the next instruction when it is
+                    # from a different chain (independent) and a port is free.
+                    if (
+                        arch.dual_issue
+                        and warp.pc < len(stream)
+                        and stream[warp.pc][1] != stream[warp.pc - 1][1]
+                        and warp.eligible(stream, now)
+                        and self._issue_one(warp, stream, ports, now)
+                    ):
+                        issued += 1
+                        dual += 1
+                    if warp.pc >= len(stream):
+                        remaining -= 1
+            now += 1.0
+            if not progressed:
+                # Jump to the next interesting time to keep the loop tight.
+                horizon = [p.next_free for p in ports if p.next_free > now - 1.0]
+                horizon += [t for t in sched_next if t > now - 1.0]
+                for w in warps:
+                    horizon += [t for t in w.chain_ready.values() if t > now - 1.0]
+                if horizon:
+                    now = max(now, min(horizon))
+        # Completion time includes draining the last port occupancy.
+        finish = max([now] + [p.next_free for p in ports])
+        return SimResult(finish, issued, self.warps, len(stream), dual)
+
+    def _issue_one(self, warp: _Warp, stream, ports: Sequence[Port], now: float) -> bool:
+        cls, chain = stream[warp.pc]
+        # Prefer the fastest free capable port; among equals, the most
+        # specialized one — so additions do not steal the shared group from
+        # shift/MAD work (whose only home it is), and the slow SFU bank is
+        # used only as overflow for additions.
+        best = None
+        for port in ports:
+            if port.can_issue(cls, now):
+                key = (-port.capacity, len(port.classes))
+                if best is None or key < best[0]:
+                    best = (key, port)
+        if best is None:
+            return False
+        best[1].issue(now)
+        warp.pc += 1
+        warp.chain_ready[chain] = now + self.dep_latency
+        return True
+
+
+#: Realistic per-family occupancy defaults: (resident warps per MP,
+#: arithmetic pipeline latency in cycles).  G80-class parts cap at 24 warps
+#: per multiprocessor; Fermi at 48; Kepler at 64 with a shorter pipeline.
+OCCUPANCY_DEFAULTS: dict[str, tuple[int, float]] = {
+    "1.x": (24, 20.0),
+    "2.x": (48, 18.0),
+    "3.0": (64, 11.0),
+    "3.5": (64, 11.0),
+}
+
+
+def simulate_kernel_cycles(
+    device: DeviceSpec,
+    mix: InstructionMix,
+    interleave: int = 1,
+    warps: int | None = None,
+) -> SimResult:
+    """Convenience wrapper: simulate one MP of *device* running *mix*.
+
+    ``warps`` defaults to the family's full occupancy (the kernels use a
+    handful of registers, so occupancy is never register-limited here).
+    """
+    default_warps, latency = OCCUPANCY_DEFAULTS[device.family]
+    sim = MultiprocessorSim(
+        device.arch, warps=warps if warps is not None else default_warps, dep_latency=latency
+    )
+    return sim.run(mix, interleave=interleave)

@@ -1,0 +1,88 @@
+"""Hash-function substrate: MD5, SHA1, SHA256 built from scratch.
+
+Every algorithm exists in two forms:
+
+* a **scalar reference** (``md5``, ``sha1``, ``sha256``) written against a
+  pluggable 32-bit operations object (:class:`repro.hashes.common.IntOps`),
+  so the kernel-accounting tracer of :mod:`repro.kernels` can count the exact
+  arithmetic executed by the *same* code the tests validate against
+  ``hashlib``;
+* a **vectorized engine** (``vec_md5``, ``vec_sha1``, ``vec_sha256``)
+  operating on NumPy ``uint32`` arrays, one candidate per lane — the CPU
+  stand-in for the paper's CUDA kernels, including the single-block
+  fast path, the BarsWF digest-reversal trick (Section V), and lane-wise
+  early-exit filtering.
+"""
+
+from repro.hashes.common import IntOps, MASK32, rotl32, rotr32
+from repro.hashes.padding import (
+    Endian,
+    pack_single_block,
+    pad_message,
+    single_block_capacity,
+)
+from repro.hashes.md4 import MD4_INIT, md4_compress, md4_digest, md4_hex
+from repro.hashes.vec_md4 import md4_batch, md4_batch_hex
+from repro.hashes.midstate import MidstateTarget, crack_midstate
+from repro.hashes.md5 import (
+    MD5_INIT,
+    md5_compress,
+    md5_digest,
+    md5_hex,
+    md5_state_to_digest,
+)
+from repro.hashes.sha1 import SHA1_INIT, sha1_compress, sha1_digest, sha1_hex
+from repro.hashes.sha256 import SHA256_INIT, sha256_compress, sha256_digest, sha256_hex
+from repro.hashes.vec_md5 import md5_batch, md5_batch_hex
+from repro.hashes.vec_sha1 import sha1_batch, sha1_batch_hex
+from repro.hashes.vec_sha256 import sha256_batch, sha256_batch_hex
+from repro.hashes.reversal import (
+    MD5ReversedTarget,
+    SHA1EarlyTarget,
+    md5_reverse_tail,
+    md5_search_block,
+    sha1_search_block,
+)
+
+__all__ = [
+    "MD4_INIT",
+    "md4_compress",
+    "md4_digest",
+    "md4_hex",
+    "md4_batch",
+    "md4_batch_hex",
+    "MidstateTarget",
+    "crack_midstate",
+    "IntOps",
+    "MASK32",
+    "rotl32",
+    "rotr32",
+    "Endian",
+    "pad_message",
+    "pack_single_block",
+    "single_block_capacity",
+    "MD5_INIT",
+    "md5_compress",
+    "md5_digest",
+    "md5_hex",
+    "md5_state_to_digest",
+    "SHA1_INIT",
+    "sha1_compress",
+    "sha1_digest",
+    "sha1_hex",
+    "SHA256_INIT",
+    "sha256_compress",
+    "sha256_digest",
+    "sha256_hex",
+    "md5_batch",
+    "md5_batch_hex",
+    "sha1_batch",
+    "sha1_batch_hex",
+    "sha256_batch",
+    "sha256_batch_hex",
+    "MD5ReversedTarget",
+    "SHA1EarlyTarget",
+    "md5_reverse_tail",
+    "md5_search_block",
+    "sha1_search_block",
+]

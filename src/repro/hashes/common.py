@@ -1,0 +1,130 @@
+"""Shared 32-bit arithmetic for the hash substrate.
+
+The compress functions are written against an *operations object* rather
+than raw Python operators.  The default :class:`IntOps` computes on plain
+integers (masked to 32 bits, as hardware registers wrap for free); the
+instruction tracer of :mod:`repro.kernels.trace` substitutes an object that
+counts every ADD / logical / shift it performs — the software analogue of
+running ``cuobjdump -sass`` over the compiled kernel (Section V-B of the
+paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: 32-bit register mask.
+MASK32 = 0xFFFFFFFF
+
+
+def rotl32(x: int, n: int) -> int:
+    """Rotate a 32-bit integer left by ``n`` bits (plain-int helper)."""
+    n &= 31
+    return ((x << n) | (x >> (32 - n))) & MASK32
+
+
+def rotr32(x: int, n: int) -> int:
+    """Rotate a 32-bit integer right by ``n`` bits (plain-int helper)."""
+    n &= 31
+    return ((x >> n) | (x << (32 - n))) & MASK32
+
+
+class IntOps:
+    """Plain 32-bit integer semantics.
+
+    Each method corresponds to one of the instruction classes the paper
+    accounts for (Tables II-VI):
+
+    * :meth:`add` — 32-bit integer ADD;
+    * :meth:`band` / :meth:`bor` / :meth:`bxor` — 32-bit bitwise logical;
+    * :meth:`bnot` — 32-bit NOT (merged with other instructions by the real
+      compiler; traced separately so Table III can be reproduced);
+    * :meth:`rotl` — the *bit rotate* idiom ``(x << n) + (x >> (32 - n))``,
+      which the CUDA compiler lowers differently per compute capability.
+
+    The masking performed here models register wrap-around and is free on
+    hardware, hence never counted by the tracer.
+    """
+
+    @staticmethod
+    def const(value: int):
+        """Materialize a compile-time constant (free; hook for tracers)."""
+        return value & MASK32
+
+    @staticmethod
+    def add(a, b):
+        return (a + b) & MASK32
+
+    @staticmethod
+    def band(a, b):
+        return a & b
+
+    @staticmethod
+    def bor(a, b):
+        return a | b
+
+    @staticmethod
+    def bxor(a, b):
+        return a ^ b
+
+    @staticmethod
+    def bnot(a):
+        return a ^ MASK32
+
+    @staticmethod
+    def shl(a, n: int):
+        return (a << n) & MASK32
+
+    @staticmethod
+    def shr(a, n: int):
+        return a >> n
+
+    @classmethod
+    def rotl(cls, x, n: int):
+        """Left rotation via the two-shift-plus-add source idiom."""
+        n &= 31
+        if n == 0:
+            return x
+        return cls.add(cls.shl(x, n), cls.shr(x, 32 - n))
+
+
+def words_from_bytes_le(data: bytes) -> list[int]:
+    """Split bytes into little-endian 32-bit words (MD5 convention)."""
+    if len(data) % 4:
+        raise ValueError("byte length must be a multiple of 4")
+    return [int.from_bytes(data[i : i + 4], "little") for i in range(0, len(data), 4)]
+
+
+def words_from_bytes_be(data: bytes) -> list[int]:
+    """Split bytes into big-endian 32-bit words (SHA convention)."""
+    if len(data) % 4:
+        raise ValueError("byte length must be a multiple of 4")
+    return [int.from_bytes(data[i : i + 4], "big") for i in range(0, len(data), 4)]
+
+
+def bytes_from_words_le(words) -> bytes:
+    """Concatenate 32-bit words little-endian."""
+    return b"".join(int(w).to_bytes(4, "little") for w in words)
+
+
+def bytes_from_words_be(words) -> bytes:
+    """Concatenate 32-bit words big-endian."""
+    return b"".join(int(w).to_bytes(4, "big") for w in words)
+
+
+# ---------------------------------------------------------------------- #
+# NumPy lane-parallel helpers (the "warp" primitives)
+# ---------------------------------------------------------------------- #
+
+
+def np_rotl32(x: np.ndarray, n: int) -> np.ndarray:
+    """Lane-wise left rotation on a ``uint32`` array."""
+    n &= 31
+    if n == 0:
+        return x
+    return (x << np.uint32(n)) | (x >> np.uint32(32 - n))
+
+
+def np_rotr32(x: np.ndarray, n: int) -> np.ndarray:
+    """Lane-wise right rotation on a ``uint32`` array."""
+    return np_rotl32(x, 32 - (n & 31))

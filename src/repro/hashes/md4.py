@@ -1,0 +1,101 @@
+"""MD4 message digest (RFC 1320), implemented from scratch.
+
+MD4 is the core of Windows NTLM password hashes — the second-largest
+auditing workload of the paper's era (BarsWF and Cryptohaze both shipped
+NTLM kernels).  The structure is MD5's ancestor: 48 steps in three rounds,
+little-endian words, the same Merkle-Damgard padding, which is why the
+whole accounting/vectorization pipeline carries over unchanged.
+
+Round structure (48 steps of 16 each):
+
+* round 1: ``F(x,y,z) = (x & y) | (~x & z)``, message order ``i``, add 0;
+* round 2: ``G(x,y,z) = (x & y) | (x & z) | (y & z)``, order
+  ``(i % 4) * 4 + i // 4``, add ``0x5A827999``;
+* round 3: ``H(x,y,z) = x ^ y ^ z``, order bit-reversed, add ``0x6ED9EBA1``.
+"""
+
+from __future__ import annotations
+
+from repro.hashes.common import IntOps, bytes_from_words_le
+from repro.hashes.padding import Endian, pad_message
+
+#: Initial register state (same as MD5's).
+MD4_INIT = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476)
+
+#: Per-round additive constants (round 1 adds nothing).
+MD4_K = (0x00000000, 0x5A827999, 0x6ED9EBA1)
+
+#: Per-step left-rotation amounts.
+MD4_SHIFTS = (
+    3, 7, 11, 19, 3, 7, 11, 19, 3, 7, 11, 19, 3, 7, 11, 19,
+    3, 5, 9, 13, 3, 5, 9, 13, 3, 5, 9, 13, 3, 5, 9, 13,
+    3, 9, 11, 15, 3, 9, 11, 15, 3, 9, 11, 15, 3, 9, 11, 15,
+)
+
+#: Message-word order for rounds 2 and 3.
+_ROUND2_ORDER = (0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15)
+_ROUND3_ORDER = (0, 8, 4, 12, 2, 10, 6, 14, 1, 9, 5, 13, 3, 11, 7, 15)
+
+
+def md4_message_index(step: int) -> int:
+    """Message-word index consumed at a given step (0-47)."""
+    if not 0 <= step < 48:
+        raise ValueError("step must be in [0, 48)")
+    if step < 16:
+        return step
+    if step < 32:
+        return _ROUND2_ORDER[step - 16]
+    return _ROUND3_ORDER[step - 32]
+
+
+def md4_round_function(step: int, x, y, z, ops=IntOps):
+    """The nonlinear function of a step (F, G or H)."""
+    if step < 16:
+        return ops.bor(ops.band(x, y), ops.band(ops.bnot(x), z))
+    if step < 32:
+        return ops.bor(ops.bor(ops.band(x, y), ops.band(x, z)), ops.band(y, z))
+    return ops.bxor(ops.bxor(x, y), z)
+
+
+def md4_step(step: int, state, block, ops=IntOps):
+    """Apply one MD4 step to ``state = (a, b, c, d)``; returns the new state.
+
+    MD4 rotates the *whole* sum (there is no post-rotation addition as in
+    MD5), and the registers cycle ``(a, b, c, d) -> (d, a', b, c)``.
+    """
+    a, b, c, d = state
+    f = md4_round_function(step, b, c, d, ops)
+    t = ops.add(ops.add(a, f), block[md4_message_index(step)])
+    k = MD4_K[step // 16]
+    if k:
+        t = ops.add(t, ops.const(k))
+    new_a = ops.rotl(t, MD4_SHIFTS[step])
+    return (d, new_a, b, c)
+
+
+def md4_compress(state, block, ops=IntOps):
+    """One MD4 compression: fold a 16-word block into the register state."""
+    s = tuple(state)
+    for step in range(48):
+        s = md4_step(step, s, block, ops)
+    return tuple(ops.add(x, y) for x, y in zip(state, s))
+
+
+def md4_digest(data: bytes) -> bytes:
+    """The 16-byte MD4 digest of *data* (scalar reference path)."""
+    state = MD4_INIT
+    for block in pad_message(data, Endian.LITTLE):
+        state = md4_compress(state, block)
+    return bytes_from_words_le(state)
+
+
+def md4_hex(data: bytes) -> str:
+    """Hexadecimal MD4 digest."""
+    return md4_digest(data).hex()
+
+
+def md4_digest_to_state(digest: bytes) -> tuple[int, int, int, int]:
+    """Parse a 16-byte digest back into the four register values."""
+    if len(digest) != 16:
+        raise ValueError("MD4 digest must be 16 bytes")
+    return tuple(int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4))

@@ -1,0 +1,145 @@
+"""Digest reversal for MD4 (the NTLM fast path).
+
+The meet-in-the-middle structure of Section V transfers to MD4 verbatim:
+message word 0 is consumed at steps 0, 16 and 32 — never in the final 15
+steps — so a batch whose candidates differ only in word 0 can revert the
+target digest once (steps 47..33) and run only 33 forward steps per
+candidate, with the early exit three steps earlier still.
+
+For NTLM the varying unit is *two* password characters (UTF-16LE doubles
+every byte), so aligned runs of ``N**2`` candidates share all fixed words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.hashes.common import MASK32, rotr32
+from repro.hashes.md4 import (
+    MD4_INIT,
+    MD4_K,
+    MD4_SHIFTS,
+    md4_digest_to_state,
+    md4_message_index,
+    md4_round_function,
+)
+from repro.hashes.vec_md4 import md4_batch, md4_step_np
+
+#: Forward steps of the optimized MD4 kernel before the early test.
+MD4_EARLY_STEPS = 30
+#: Forward steps with reversal but no early exit.
+MD4_REVERSED_STEPS = 33
+
+
+def md4_unstep(step: int, state_after: tuple, word: int) -> tuple:
+    """Invert one MD4 step: recover the register state before the step."""
+    a1, b1, c1, d1 = state_after
+    b, c, d = c1, d1, a1
+    t = rotr32(b1, MD4_SHIFTS[step])
+    f = md4_round_function(step, b, c, d)
+    a = (t - f - word - MD4_K[step // 16]) & MASK32
+    return (a, b, c, d)
+
+
+def md4_reverse_tail(digest: bytes, template: Sequence[int], steps: int = 15) -> tuple:
+    """Revert the last *steps* MD4 steps from a target digest.
+
+    With the default 15 steps, returns the register state after step 32,
+    which any true preimage must reach; word 0 is never consulted.
+    """
+    if not 1 <= steps <= 15:
+        raise ValueError("only the last 15 steps are independent of word 0")
+    final = md4_digest_to_state(digest)
+    state = tuple((f - i) & MASK32 for f, i in zip(final, MD4_INIT))
+    for step in range(47, 47 - steps, -1):
+        g = md4_message_index(step)
+        assert g != 0, "reversal must not consume the varying word"
+        state = md4_unstep(step, state, int(template[g]))
+    return state
+
+
+@dataclass(frozen=True)
+class MD4ReversedTarget:
+    """Compiled MD4 search target: fixed words + reverted register state."""
+
+    template: tuple
+    reversed_state: tuple
+    digest: bytes
+
+    @classmethod
+    def from_digest(cls, digest: bytes, template: Sequence[int]) -> "MD4ReversedTarget":
+        if len(template) != 16:
+            raise ValueError("template must hold 16 message words")
+        return cls(
+            tuple(int(w) & MASK32 for w in template),
+            md4_reverse_tail(digest, template),
+            bytes(digest),
+        )
+
+
+def md4_search_block(first_words: np.ndarray, target: MD4ReversedTarget) -> np.ndarray:
+    """Scan candidates differing only in message word 0 (optimized kernel).
+
+    Runs :data:`MD4_EARLY_STEPS` (30) of the 48 steps, filters on the
+    earliest-finalized register of the reverted state, and fully verifies
+    the (2^-32-probable) survivors.
+    """
+    first_words = _check_first_words(first_words)
+    scalars = [np.uint32(w) for w in target.template]
+
+    def words(i: int):
+        return first_words if i == 0 else scalars[i]
+
+    state = tuple(
+        np.full(first_words.shape[0], np.uint32(x), dtype=np.uint32) for x in MD4_INIT
+    )
+    for step in range(MD4_EARLY_STEPS):
+        state = md4_step_np(step, state, words)
+    # The reverted state's ``a`` register was produced by forward step 29
+    # (it then shifts through b, c, d during steps 30-32), so after 30
+    # steps ``state.b`` must equal it for any true preimage.
+    mask = state[1] == np.uint32(target.reversed_state[0])
+    survivors = np.flatnonzero(mask)
+    if survivors.size == 0:
+        return survivors
+    blocks = np.tile(np.array(target.template, dtype=np.uint32), (survivors.size, 1))
+    blocks[:, 0] = first_words[survivors]
+    got = md4_batch(blocks)
+    want = np.array(md4_digest_to_state(target.digest), dtype=np.uint32)
+    keep = (got == want[None, :]).all(axis=1)
+    return survivors[keep]
+
+
+def md4_early_filter(blocks: np.ndarray, step29_targets: np.ndarray) -> np.ndarray:
+    """Batch-wide early filter across *multiple* runs at once.
+
+    NTLM's runs are only ``N**2`` candidates, too small to amortize NumPy
+    call overhead one run at a time; instead the whole batch (any mix of
+    runs) executes the 30 forward steps together, and each lane compares
+    against *its own* run's reverted register (``step29_targets``, one
+    uint32 per lane).  Returns the lane indices passing the filter; callers
+    fully verify survivors.
+    """
+    if blocks.ndim != 2 or blocks.shape[1] != 16:
+        raise ValueError("blocks must have shape (batch, 16)")
+    if step29_targets.shape != (blocks.shape[0],):
+        raise ValueError("one step-29 target per lane required")
+    cols = [np.ascontiguousarray(blocks[:, i]) for i in range(16)]
+    state = tuple(
+        np.full(blocks.shape[0], np.uint32(x), dtype=np.uint32) for x in MD4_INIT
+    )
+    for step in range(MD4_EARLY_STEPS):
+        state = md4_step_np(step, state, lambda i: cols[i])
+    return np.flatnonzero(state[1] == step29_targets)
+
+
+def _check_first_words(first_words: np.ndarray) -> np.ndarray:
+    arr = np.asarray(first_words)
+    if arr.ndim != 1:
+        raise ValueError("first_words must be a 1-D array")
+    if arr.dtype != np.uint32:
+        raise TypeError("first_words must be uint32")
+    return arr

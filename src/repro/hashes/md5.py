@@ -1,0 +1,110 @@
+"""MD5 message digest (RFC 1321), implemented from scratch.
+
+The compress function is written against an operations object (default
+:class:`repro.hashes.common.IntOps`) so that the instruction tracer of
+:mod:`repro.kernels.trace` can account for every ADD / logical / NOT / shift
+the algorithm executes — reproducing the methodology behind Tables III-VI of
+the paper from the very code that the golden tests check against
+``hashlib.md5``.
+
+Round structure (64 steps of 16 each):
+
+* round 1: ``F(b,c,d) = (b & c) | (~b & d)``, message order ``i``;
+* round 2: ``G(b,c,d) = (b & d) | (c & ~d)``, order ``(5 i + 1) mod 16``;
+* round 3: ``H(b,c,d) = b ^ c ^ d``, order ``(3 i + 5) mod 16``;
+* round 4: ``I(b,c,d) = c ^ (b | ~d)``, order ``(7 i) mod 16``.
+
+The property the reversal optimization exploits (Section V): message word 0
+is consumed at steps 0 and 48 only — the final 15 steps never touch it.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hashes.common import IntOps, bytes_from_words_le
+from repro.hashes.padding import Endian, pad_message
+
+#: Initial register state (A, B, C, D) of RFC 1321.
+MD5_INIT = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476)
+
+#: Sine-derived additive constants: ``T[i] = floor(2**32 * |sin(i + 1)|)``.
+MD5_T = tuple(int(abs(math.sin(i + 1)) * 2**32) & 0xFFFFFFFF for i in range(64))
+
+#: Per-step left-rotation amounts.
+MD5_SHIFTS = (
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+)
+
+
+def md5_message_index(step: int) -> int:
+    """Message-word index ``g(i)`` consumed at a given step (0-63)."""
+    if not 0 <= step < 64:
+        raise ValueError("step must be in [0, 64)")
+    if step < 16:
+        return step
+    if step < 32:
+        return (5 * step + 1) % 16
+    if step < 48:
+        return (3 * step + 5) % 16
+    return (7 * step) % 16
+
+
+def md5_round_function(step: int, b, c, d, ops=IntOps):
+    """The nonlinear function of a step (F, G, H or I)."""
+    if step < 16:
+        return ops.bor(ops.band(b, c), ops.band(ops.bnot(b), d))
+    if step < 32:
+        return ops.bor(ops.band(b, d), ops.band(c, ops.bnot(d)))
+    if step < 48:
+        return ops.bxor(ops.bxor(b, c), d)
+    return ops.bxor(c, ops.bor(b, ops.bnot(d)))
+
+
+def md5_step(step: int, state, block, ops=IntOps):
+    """Apply one MD5 step to ``state = (a, b, c, d)``; returns the new state."""
+    a, b, c, d = state
+    f = md5_round_function(step, b, c, d, ops)
+    t = ops.add(ops.add(ops.add(a, f), block[md5_message_index(step)]), ops.const(MD5_T[step]))
+    new_b = ops.add(b, ops.rotl(t, MD5_SHIFTS[step]))
+    return (d, new_b, b, c)
+
+
+def md5_compress(state, block, ops=IntOps):
+    """One MD5 compression: fold a 16-word block into the register state.
+
+    ``state`` and ``block`` may hold plain ints or traced values; the final
+    feed-forward additions are included (they are part of every block).
+    """
+    s = tuple(state)
+    for step in range(64):
+        s = md5_step(step, s, block, ops)
+    return tuple(ops.add(x, y) for x, y in zip(state, s))
+
+
+def md5_digest(data: bytes) -> bytes:
+    """The 16-byte MD5 digest of *data* (scalar reference path)."""
+    state = MD5_INIT
+    for block in pad_message(data, Endian.LITTLE):
+        state = md5_compress(state, block)
+    return md5_state_to_digest(state)
+
+
+def md5_hex(data: bytes) -> str:
+    """Hexadecimal MD5 digest, as printed by ``md5sum``."""
+    return md5_digest(data).hex()
+
+
+def md5_state_to_digest(state) -> bytes:
+    """Serialize a final register state to the little-endian digest bytes."""
+    return bytes_from_words_le(state)
+
+
+def md5_digest_to_state(digest: bytes) -> tuple[int, int, int, int]:
+    """Parse a 16-byte digest back into the four register values."""
+    if len(digest) != 16:
+        raise ValueError("MD5 digest must be 16 bytes")
+    return tuple(int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4))

@@ -1,0 +1,178 @@
+"""Cached-midstate hashing for long salted messages (Section IV).
+
+"For longer strings, the intermediate result of the hashing algorithm may
+be saved and reused for a large number of instances sharing the first bytes
+of the string; thus, for each key we can process only the last block of 64
+bytes."
+
+The scenario: a long *prefix salt* (site token, application pepper, ...)
+followed by a short varying key.  The prefix's whole 64-byte blocks are
+compressed **once** into a midstate shared by every candidate; per key, the
+engine packs only the final block (prefix remainder + key + padding) and
+runs a single compression from the midstate.  This restores
+length-independence for messages far beyond the 55-byte single-block cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hashes.md5 import MD5_INIT, md5_compress, md5_digest, md5_digest_to_state
+from repro.hashes.padding import Endian, pad_message
+from repro.hashes.sha1 import SHA1_INIT, sha1_compress, sha1_digest, sha1_digest_to_state
+from repro.hashes.vec_md5 import md5_compress_batch
+from repro.hashes.vec_sha1 import sha1_compress_batch
+from repro.keyspace import Charset, Interval, KeyMapping, KeyOrder
+from repro.keyspace.vectorized import batch_keys
+from repro.kernels.variants import HashAlgorithm
+
+BLOCK = 64
+
+
+@dataclass(frozen=True)
+class MidstateTarget:
+    """Digest of ``prefix + key`` where the prefix may span many blocks."""
+
+    algorithm: HashAlgorithm
+    digest: bytes
+    charset: Charset
+    prefix: bytes
+    min_length: int = 1
+    max_length: int = 8
+
+    def __post_init__(self) -> None:
+        expected = {HashAlgorithm.MD5: 16, HashAlgorithm.SHA1: 20}[self.algorithm]
+        if len(self.digest) != expected:
+            raise ValueError(f"digest must be {expected} bytes")
+        if self.min_length < 0 or self.max_length < self.min_length:
+            raise ValueError("invalid length window")
+        # The varying tail (prefix remainder + key + 9 padding bytes) must
+        # fit the final block for the single-compression fast path.
+        if len(self.prefix) % BLOCK + self.max_length > BLOCK - 9:
+            raise ValueError(
+                "prefix remainder + key must leave 9 bytes of padding room "
+                "in the final block"
+            )
+
+    @classmethod
+    def from_password(
+        cls,
+        password: str,
+        charset: Charset,
+        prefix: bytes,
+        algorithm: HashAlgorithm = HashAlgorithm.MD5,
+        **window,
+    ) -> "MidstateTarget":
+        hasher = md5_digest if algorithm is HashAlgorithm.MD5 else sha1_digest
+        window.setdefault("min_length", 1)
+        window.setdefault("max_length", max(4, len(password)))
+        return cls(
+            algorithm=algorithm,
+            digest=hasher(prefix + password.encode("latin-1")),
+            charset=charset,
+            prefix=prefix,
+            **window,
+        )
+
+    @property
+    def endian(self) -> Endian:
+        return Endian.LITTLE if self.algorithm is HashAlgorithm.MD5 else Endian.BIG
+
+    @property
+    def mapping(self) -> KeyMapping:
+        return KeyMapping(self.charset, self.min_length, self.max_length, KeyOrder.PREFIX_FASTEST)
+
+    @property
+    def space_size(self) -> int:
+        return self.mapping.size
+
+    def verify(self, key: str) -> bool:
+        hasher = md5_digest if self.algorithm is HashAlgorithm.MD5 else sha1_digest
+        return hasher(self.prefix + key.encode("latin-1")) == self.digest
+
+    # ------------------------------------------------------------------ #
+    def midstate(self) -> tuple:
+        """Register state after compressing the prefix's whole blocks.
+
+        Computed once per target — the amortized ``K_f``-style fixed cost.
+        """
+        whole = len(self.prefix) // BLOCK
+        compress = md5_compress if self.algorithm is HashAlgorithm.MD5 else sha1_compress
+        init = MD5_INIT if self.algorithm is HashAlgorithm.MD5 else SHA1_INIT
+        state = init
+        data = self.prefix[: whole * BLOCK]
+        for off in range(0, len(data), BLOCK):
+            chunk = data[off : off + BLOCK]
+            words = [
+                int.from_bytes(chunk[i : i + 4], self.endian.value)
+                for i in range(0, BLOCK, 4)
+            ]
+            state = compress(state, words)
+        return state
+
+
+def pack_final_blocks(target: MidstateTarget, chars: np.ndarray) -> np.ndarray:
+    """Final 64-byte blocks for a batch of keys after the cached midstate.
+
+    The block holds the prefix remainder, the key, the ``0x80`` padding
+    byte and the *total* message bit length — which is what distinguishes
+    it from a fresh single-block packing.
+    """
+    remainder = target.prefix[len(target.prefix) // BLOCK * BLOCK :]
+    batch, key_len = chars.shape
+    total_len = len(target.prefix) + key_len
+    buf = np.zeros((batch, BLOCK), dtype=np.uint8)
+    if remainder:
+        buf[:, : len(remainder)] = np.frombuffer(remainder, dtype=np.uint8)
+    buf[:, len(remainder) : len(remainder) + key_len] = chars
+    buf[:, len(remainder) + key_len] = 0x80
+    buf[:, 56:64] = np.frombuffer(
+        (total_len * 8).to_bytes(8, target.endian.value), dtype=np.uint8
+    )
+    dtype = "<u4" if target.endian is Endian.LITTLE else ">u4"
+    return buf.view(dtype).reshape(batch, 16).astype(np.uint32, copy=False)
+
+
+def crack_midstate(
+    target: MidstateTarget,
+    interval: Interval | None = None,
+    batch_size: int = 1 << 14,
+) -> list[tuple[int, str]]:
+    """Scan an interval paying one compression per candidate.
+
+    Regardless of how long the salt prefix is, each key costs a single
+    block compression from the cached midstate — the Section IV claim that
+    dispatchers "can select intervals of keys just considering the size of
+    each interval ... disregarding the keys lengths".
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    mapping = target.mapping
+    interval = interval if interval is not None else Interval(0, mapping.size)
+    if interval.stop > mapping.size:
+        raise IndexError(f"interval {interval} outside space of {mapping.size}")
+    mid = target.midstate()
+    if target.algorithm is HashAlgorithm.MD5:
+        compress = md5_compress_batch
+        want = np.array(md5_digest_to_state(target.digest), dtype=np.uint32)
+    else:
+        compress = sha1_compress_batch
+        want = np.array(sha1_digest_to_state(target.digest), dtype=np.uint32)
+    found: list[tuple[int, str]] = []
+    pos = interval.start
+    while pos < interval.stop:
+        count = min(batch_size, interval.stop - pos)
+        for seg_start, _length, chars in batch_keys(mapping, pos, count):
+            blocks = pack_final_blocks(target, chars)
+            state = tuple(
+                np.full(blocks.shape[0], np.uint32(x), dtype=np.uint32) for x in mid
+            )
+            got = np.stack(compress(blocks, state=state), axis=1)
+            for lane in np.flatnonzero((got == want[None, :]).all(axis=1)):
+                found.append(
+                    (seg_start + int(lane), chars[int(lane)].tobytes().decode("latin-1"))
+                )
+        pos += count
+    return found

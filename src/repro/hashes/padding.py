@@ -1,0 +1,128 @@
+"""Merkle-Damgard padding and message packing.
+
+MD5, SHA1 and SHA256 all consume 64-byte blocks of sixteen 32-bit words and
+pad a message with a ``0x80`` byte, zeros, and the 64-bit message bit length;
+they differ only in word endianness (MD5 is little-endian, the SHAs are
+big-endian) and in where the length is stored within the final 8 bytes.
+
+Two paths are provided:
+
+* :func:`pad_message` — the general scalar path: any length, multi-block.
+* :func:`pack_single_block` — the kernel fast path of the paper
+  (Section IV-A): candidates of at most 55 bytes (optionally wrapped in a
+  constant prefix/suffix such as a salt) are packed into a *single* block,
+  an entire batch at a time, with pure array operations.  "For relatively
+  small strings, that is less than 57 characters, the execution time ... is
+  essentially independent of the string length."
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class Endian(enum.Enum):
+    """Word endianness of the hash algorithm's message schedule."""
+
+    LITTLE = "little"  #: MD5
+    BIG = "big"  #: SHA1 / SHA256
+
+
+#: Maximum message bytes that fit a single padded 64-byte block.
+SINGLE_BLOCK_CAPACITY = 55
+
+
+def single_block_capacity() -> int:
+    """Bytes available in a single padded block (64 - 1 - 8 = 55)."""
+    return SINGLE_BLOCK_CAPACITY
+
+
+def pad_message(data: bytes, endian: Endian) -> list[list[int]]:
+    """Pad *data* and split it into 16-word blocks (scalar reference path).
+
+    Returns a list of blocks, each a list of sixteen Python ints.  Handles
+    arbitrary lengths including the boundary cases (55, 56, 63, 64 bytes)
+    where the length field spills into an extra block.
+    """
+    bit_len = len(data) * 8
+    padded = bytearray(data)
+    padded.append(0x80)
+    while len(padded) % 64 != 56:
+        padded.append(0x00)
+    padded += bit_len.to_bytes(8, endian.value)
+    blocks: list[list[int]] = []
+    for off in range(0, len(padded), 64):
+        chunk = padded[off : off + 64]
+        blocks.append(
+            [
+                int.from_bytes(chunk[i : i + 4], endian.value)
+                for i in range(0, 64, 4)
+            ]
+        )
+    return blocks
+
+
+def pack_single_block(
+    chars: np.ndarray,
+    endian: Endian,
+    prefix: bytes = b"",
+    suffix: bytes = b"",
+) -> np.ndarray:
+    """Pack a batch of fixed-length candidates into single padded blocks.
+
+    Parameters
+    ----------
+    chars:
+        ``(batch, key_length)`` uint8 matrix of candidate bytes (from
+        :func:`repro.keyspace.batch_keys`).
+    endian:
+        Word endianness of the target hash.
+    prefix, suffix:
+        Constant bytes placed around every candidate — this is how *salting*
+        enters the kernel: the salt is known, so it changes each key's
+        digest without enlarging the search space (paper, Section I).
+
+    Returns
+    -------
+    ``(batch, 16)`` native ``uint32`` array, one padded message block per
+    lane, ready for the vectorized compress functions.
+    """
+    if chars.ndim != 2:
+        raise ValueError("chars must be a (batch, length) matrix")
+    if chars.dtype != np.uint8:
+        raise TypeError("chars must be uint8")
+    batch, key_len = chars.shape
+    total = len(prefix) + key_len + len(suffix)
+    if total > SINGLE_BLOCK_CAPACITY:
+        raise ValueError(
+            f"message of {total} bytes exceeds single-block capacity "
+            f"({SINGLE_BLOCK_CAPACITY}); use the scalar multi-block path"
+        )
+    buf = np.zeros((batch, 64), dtype=np.uint8)
+    pos = 0
+    if prefix:
+        buf[:, : len(prefix)] = np.frombuffer(prefix, dtype=np.uint8)
+        pos = len(prefix)
+    buf[:, pos : pos + key_len] = chars
+    pos += key_len
+    if suffix:
+        buf[:, pos : pos + len(suffix)] = np.frombuffer(suffix, dtype=np.uint8)
+        pos += len(suffix)
+    buf[:, pos] = 0x80
+    bit_len = total * 8
+    buf[:, 56:64] = np.frombuffer(bit_len.to_bytes(8, endian.value), dtype=np.uint8)
+    dtype = "<u4" if endian is Endian.LITTLE else ">u4"
+    words = buf.view(dtype).reshape(batch, 16)
+    return words.astype(np.uint32, copy=False)
+
+
+def pack_scalar_block(message: bytes, endian: Endian) -> np.ndarray:
+    """Pack one short message into a single block (batch of one).
+
+    Convenience wrapper used by targets and tests; rejects messages longer
+    than the single-block capacity.
+    """
+    arr = np.frombuffer(message, dtype=np.uint8).reshape(1, -1)
+    return pack_single_block(arr, endian)

@@ -1,0 +1,336 @@
+"""Digest reversal and early-exit search kernels (Section V of the paper).
+
+The optimization originally introduced by the BarsWF cracker, worth ~1.25x:
+a candidate MD5 lookup can proceed *from the string forward* or *from the
+target hash backward*.  Message word 0 (the first 4 characters of the packed
+key) is consumed at steps 0, 19, 41 and 48 — never in the last 15 steps — so
+if a thread iterates mutating only word 0 (the prefix-fastest enumeration,
+mapping (4)):
+
+1. **Reverse once**: starting from the target digest, invert steps 63..49.
+   This needs only the *fixed* message words and yields the register state
+   the true key must exhibit after step 48.
+2. **Forward 49 steps per candidate** instead of 64, and compare with the
+   reverted state.
+3. **Early exit, three more steps**: the component ``a`` of the reverted
+   state was produced by step 45, so candidates can be rejected right after
+   step 45; only the (2^-32-probable) survivors run the remaining steps and
+   a full digest verification.
+
+SHA1 admits the weaker form: the final digest directly reveals the step
+outputs ``a76..a80`` (because the last four steps merely shift registers),
+so candidates are filtered right after step 75 — a four-step saving — and
+survivors are fully verified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.hashes.common import MASK32, rotr32
+from repro.hashes.md5 import (
+    MD5_INIT,
+    MD5_SHIFTS,
+    MD5_T,
+    md5_digest_to_state,
+    md5_message_index,
+    md5_round_function,
+)
+from repro.hashes.sha1 import SHA1_INIT, sha1_digest_to_state
+from repro.hashes.vec_md5 import md5_batch, md5_step_np
+from repro.hashes.vec_sha1 import (
+    sha1_batch,
+    sha1_schedule_word,
+    sha1_step_np,
+)
+
+#: Forward steps executed by the optimized MD5 kernel before the early test.
+MD5_EARLY_STEPS = 46
+#: Forward steps executed with reversal but without the early-exit trick.
+MD5_REVERSED_STEPS = 49
+#: Forward steps executed by the optimized SHA1 kernel before the early test.
+SHA1_EARLY_STEPS = 76
+
+
+def md5_unstep(step: int, state_after: tuple, word: int) -> tuple:
+    """Invert one MD5 step: recover the register state *before* the step.
+
+    ``word`` is the message word ``M[g(step)]`` the step consumed; only the
+    fixed words are ever needed because reversal stops at step 49.
+    """
+    a1, b1, c1, d1 = state_after
+    b, c, d = c1, d1, a1
+    t = rotr32((b1 - b) & MASK32, MD5_SHIFTS[step])
+    f = md5_round_function(step, b, c, d)
+    a = (t - f - word - MD5_T[step]) & MASK32
+    return (a, b, c, d)
+
+
+def md5_reverse_tail(digest: bytes, template: Sequence[int], steps: int = 15) -> tuple:
+    """Revert the last *steps* MD5 steps starting from a target digest.
+
+    Returns the register state before step ``64 - steps``; with the default
+    15 steps, that is the state after step 48 that every true preimage must
+    reach.  ``template`` provides the fixed message words (word 0 is never
+    consulted when ``steps <= 15``).
+    """
+    if not 1 <= steps <= 15:
+        raise ValueError("only the last 15 steps are independent of word 0")
+    final = md5_digest_to_state(digest)
+    state = tuple((f - i) & MASK32 for f, i in zip(final, MD5_INIT))
+    for step in range(63, 63 - steps, -1):
+        g = md5_message_index(step)
+        assert g != 0, "reversal must not consume the varying word"
+        state = md5_unstep(step, state, int(template[g]))
+    return state
+
+
+@dataclass(frozen=True)
+class MD5ReversedTarget:
+    """A compiled MD5 search target: fixed words + reverted register state.
+
+    This is the (well under 1 Kbyte) payload the paper passes through GPU
+    constant memory: the target digest, the common message substring, and
+    the state obtained by reverting the hash 15 steps.
+    """
+
+    #: The full 16-word template block; word 0 is the per-candidate slot.
+    template: tuple
+    #: Register state after step 48 that the true preimage must produce.
+    reversed_state: tuple
+    #: Original digest (survivors get a full verification against it).
+    digest: bytes
+
+    @classmethod
+    def from_digest(cls, digest: bytes, template: Sequence[int]) -> "MD5ReversedTarget":
+        """Build a target from a digest and the batch's fixed message words."""
+        if len(template) != 16:
+            raise ValueError("template must hold 16 message words")
+        reversed_state = md5_reverse_tail(digest, template)
+        return cls(tuple(int(w) & MASK32 for w in template), reversed_state, bytes(digest))
+
+
+def md5_search_block(first_words: np.ndarray, target: MD5ReversedTarget) -> np.ndarray:
+    """Scan candidates differing only in message word 0 (optimized kernel).
+
+    Parameters
+    ----------
+    first_words:
+        ``(batch,)`` uint32 array: candidate values for message word 0.
+    target:
+        Compiled target from :meth:`MD5ReversedTarget.from_digest`.
+
+    Returns
+    -------
+    Sorted ``int64`` array of lane indices whose full MD5 digest equals the
+    target digest.  The hot path runs :data:`MD5_EARLY_STEPS` (46) of the 64
+    steps; only lanes passing the step-45 register test are fully verified.
+    """
+    first_words = _check_first_words(first_words)
+    words = _md5_word_source(first_words, target.template)
+    state = tuple(
+        np.full(first_words.shape[0], np.uint32(x), dtype=np.uint32) for x in MD5_INIT
+    )
+    for step in range(MD5_EARLY_STEPS):
+        state = md5_step_np(step, state, words)
+    # state.b now holds the output of step 45, which must equal component
+    # ``a`` of the reverted state for any true preimage.
+    mask = state[1] == np.uint32(target.reversed_state[0])
+    survivors = np.flatnonzero(mask)
+    if survivors.size == 0:
+        return survivors
+    return survivors[_md5_verify(first_words[survivors], target)]
+
+
+def md5_search_block_multi(
+    first_words: np.ndarray, targets: Sequence[MD5ReversedTarget]
+) -> list[tuple[int, int]]:
+    """Scan one candidate batch against *many* digests in one forward pass.
+
+    The auditing-session optimization: the 46 forward steps depend only on
+    the candidates (all targets share the template words), while each
+    target contributes just one reverted-register comparison.  Testing
+    ``T`` digests therefore costs one hash pass plus ``T`` lane-wise
+    compares instead of ``T`` hash passes.
+
+    Returns sorted ``(lane, target_index)`` pairs of exact matches.  All
+    targets must share the same fixed message words (same key length and
+    salt) — enforced by comparing their templates.
+    """
+    if not targets:
+        return []
+    first_words = _check_first_words(first_words)
+    template = targets[0].template
+    for t in targets[1:]:
+        if t.template[1:] != template[1:]:
+            raise ValueError("multi-target search requires identical fixed words")
+    words = _md5_word_source(first_words, template)
+    state = tuple(
+        np.full(first_words.shape[0], np.uint32(x), dtype=np.uint32) for x in MD5_INIT
+    )
+    for step in range(MD5_EARLY_STEPS):
+        state = md5_step_np(step, state, words)
+    step45_out = state[1]
+    matches: list[tuple[int, int]] = []
+    for t_idx, target in enumerate(targets):
+        survivors = np.flatnonzero(step45_out == np.uint32(target.reversed_state[0]))
+        if survivors.size == 0:
+            continue
+        keep = _md5_verify(first_words[survivors], target)
+        matches.extend((int(lane), t_idx) for lane in survivors[keep])
+    matches.sort()
+    return matches
+
+
+def md5_search_block_no_early_exit(
+    first_words: np.ndarray, target: MD5ReversedTarget
+) -> np.ndarray:
+    """Reversed kernel without the early-exit trick (49 forward steps).
+
+    Kept as the ablation baseline for the three-step saving: compares the
+    whole reverted state after step 48.
+    """
+    first_words = _check_first_words(first_words)
+    words = _md5_word_source(first_words, target.template)
+    state = tuple(
+        np.full(first_words.shape[0], np.uint32(x), dtype=np.uint32) for x in MD5_INIT
+    )
+    for step in range(MD5_REVERSED_STEPS):
+        state = md5_step_np(step, state, words)
+    mask = np.ones(first_words.shape[0], dtype=bool)
+    for got, want in zip(state, target.reversed_state):
+        mask &= got == np.uint32(want)
+    survivors = np.flatnonzero(mask)
+    if survivors.size == 0:
+        return survivors
+    return survivors[_md5_verify(first_words[survivors], target)]
+
+
+def md5_search_block_naive(first_words: np.ndarray, template: Sequence[int], digest: bytes) -> np.ndarray:
+    """Unoptimized kernel: full 64-step hash of every candidate, then compare.
+
+    The baseline the ~1.25x speedup is measured against (what Cryptohaze
+    Multiforcer does, per the paper's comparison).
+    """
+    first_words = _check_first_words(first_words)
+    blocks = _expand_blocks(first_words, template)
+    got = md5_batch(blocks)
+    want = np.array(md5_digest_to_state(digest), dtype=np.uint32)
+    return np.flatnonzero((got == want[None, :]).all(axis=1))
+
+
+# ---------------------------------------------------------------------- #
+# SHA1
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SHA1EarlyTarget:
+    """A compiled SHA1 search target: fixed words + late step outputs.
+
+    The digest equals ``init + (a80, a79, rotl30(a78), rotl30(a77),
+    rotl30(a76))``, so the outputs of steps 75..79 are known in advance and
+    the kernel can reject candidates right after step 75.
+    """
+
+    template: tuple
+    #: Known step outputs ``(a76, a77, a78, a79, a80)``.
+    step_outputs: tuple
+    digest: bytes
+
+    @classmethod
+    def from_digest(cls, digest: bytes, template: Sequence[int]) -> "SHA1EarlyTarget":
+        """Build a target from a digest and the batch's fixed message words."""
+        if len(template) != 16:
+            raise ValueError("template must hold 16 message words")
+        a80, b, c, d, e = (
+            (f - i) & MASK32 for f, i in zip(sha1_digest_to_state(digest), SHA1_INIT)
+        )
+        a79 = b
+        a78 = rotr32(c, 30)
+        a77 = rotr32(d, 30)
+        a76 = rotr32(e, 30)
+        return cls(
+            tuple(int(w) & MASK32 for w in template),
+            (a76, a77, a78, a79, a80),
+            bytes(digest),
+        )
+
+
+def sha1_search_block(first_words: np.ndarray, target: SHA1EarlyTarget) -> np.ndarray:
+    """Scan candidates differing only in message word 0 (optimized kernel).
+
+    Runs :data:`SHA1_EARLY_STEPS` (76) of the 80 steps, filters on the known
+    output of step 75, and fully verifies survivors.
+    """
+    first_words = _check_first_words(first_words)
+    window: list = [first_words.copy()] + [np.uint32(w) for w in target.template[1:]]
+    state = tuple(
+        np.full(first_words.shape[0], np.uint32(x), dtype=np.uint32) for x in SHA1_INIT
+    )
+    for step in range(SHA1_EARLY_STEPS):
+        w_t = window[step] if step < 16 else sha1_schedule_word(window, step)
+        state = sha1_step_np(step, state, w_t)
+    # state.a is the output of step 75, known from the digest.
+    mask = state[0] == np.uint32(target.step_outputs[0])
+    survivors = np.flatnonzero(mask)
+    if survivors.size == 0:
+        return survivors
+    blocks = _expand_blocks(first_words[survivors], target.template)
+    got = sha1_batch(blocks)
+    want = np.array(sha1_digest_to_state(target.digest), dtype=np.uint32)
+    keep = (got == want[None, :]).all(axis=1)
+    return survivors[keep]
+
+
+def sha1_search_block_naive(
+    first_words: np.ndarray, template: Sequence[int], digest: bytes
+) -> np.ndarray:
+    """Unoptimized SHA1 kernel: full 80-step hash then digest compare."""
+    first_words = _check_first_words(first_words)
+    blocks = _expand_blocks(first_words, template)
+    got = sha1_batch(blocks)
+    want = np.array(sha1_digest_to_state(digest), dtype=np.uint32)
+    return np.flatnonzero((got == want[None, :]).all(axis=1))
+
+
+# ---------------------------------------------------------------------- #
+# Internals
+# ---------------------------------------------------------------------- #
+
+
+def _md5_word_source(first_words: np.ndarray, template: Sequence[int]):
+    """Word accessor: array for word 0, scalar constants otherwise."""
+    scalars = [np.uint32(w) for w in template]
+
+    def words(i: int):
+        return first_words if i == 0 else scalars[i]
+
+    return words
+
+
+def _expand_blocks(first_words: np.ndarray, template: Sequence[int]) -> np.ndarray:
+    """Materialize full (batch, 16) blocks from word-0 values + template."""
+    blocks = np.tile(np.array(template, dtype=np.uint32), (first_words.shape[0], 1))
+    blocks[:, 0] = first_words
+    return blocks
+
+
+def _md5_verify(first_words: np.ndarray, target: MD5ReversedTarget) -> np.ndarray:
+    """Full 64-step verification of early-test survivors; returns a bool mask."""
+    blocks = _expand_blocks(first_words, target.template)
+    got = md5_batch(blocks)
+    want = np.array(md5_digest_to_state(target.digest), dtype=np.uint32)
+    return (got == want[None, :]).all(axis=1)
+
+
+def _check_first_words(first_words: np.ndarray) -> np.ndarray:
+    arr = np.asarray(first_words)
+    if arr.ndim != 1:
+        raise ValueError("first_words must be a 1-D array")
+    if arr.dtype != np.uint32:
+        raise TypeError("first_words must be uint32")
+    return arr

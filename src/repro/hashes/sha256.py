@@ -1,0 +1,95 @@
+"""SHA-256 (FIPS 180-4), implemented from scratch.
+
+Used by the Bitcoin-style mining application (Section I of the paper
+motivates exhaustive search with Bitcoin block generation: find a 32-bit
+nonce such that ``SHA256(SHA256(header))`` has a required number of leading
+zero bits).  The structure mirrors :mod:`repro.hashes.sha1`; the sigma
+functions use right-rotations, which the operations object exposes through
+:func:`rotr`.
+"""
+
+from __future__ import annotations
+
+from repro.hashes.common import IntOps, bytes_from_words_be
+from repro.hashes.padding import Endian, pad_message
+
+#: Initial register state: first 32 bits of the fractional parts of the
+#: square roots of the first 8 primes.
+SHA256_INIT = (
+    0x6A09E667, 0xBB67AE85, 0x3C6EF372, 0xA54FF53A,
+    0x510E527F, 0x9B05688C, 0x1F83D9AB, 0x5BE0CD19,
+)
+
+#: Round constants: cube-root fractions of the first 64 primes.
+SHA256_K = (
+    0x428A2F98, 0x71374491, 0xB5C0FBCF, 0xE9B5DBA5, 0x3956C25B, 0x59F111F1,
+    0x923F82A4, 0xAB1C5ED5, 0xD807AA98, 0x12835B01, 0x243185BE, 0x550C7DC3,
+    0x72BE5D74, 0x80DEB1FE, 0x9BDC06A7, 0xC19BF174, 0xE49B69C1, 0xEFBE4786,
+    0x0FC19DC6, 0x240CA1CC, 0x2DE92C6F, 0x4A7484AA, 0x5CB0A9DC, 0x76F988DA,
+    0x983E5152, 0xA831C66D, 0xB00327C8, 0xBF597FC7, 0xC6E00BF3, 0xD5A79147,
+    0x06CA6351, 0x14292967, 0x27B70A85, 0x2E1B2138, 0x4D2C6DFC, 0x53380D13,
+    0x650A7354, 0x766A0ABB, 0x81C2C92E, 0x92722C85, 0xA2BFE8A1, 0xA81A664B,
+    0xC24B8B70, 0xC76C51A3, 0xD192E819, 0xD6990624, 0xF40E3585, 0x106AA070,
+    0x19A4C116, 0x1E376C08, 0x2748774C, 0x34B0BCB5, 0x391C0CB3, 0x4ED8AA4A,
+    0x5B9CCA4F, 0x682E6FF3, 0x748F82EE, 0x78A5636F, 0x84C87814, 0x8CC70208,
+    0x90BEFFFA, 0xA4506CEB, 0xBEF9A3F7, 0xC67178F2,
+)
+
+
+def _rotr(ops, x, n: int):
+    """Right rotation in terms of the ops object (rotl by the complement)."""
+    return ops.rotl(x, (32 - n) & 31)
+
+
+def sha256_expand_schedule(block, ops=IntOps):
+    """Expand a 16-word block into the 64-word schedule ``W``."""
+    w = list(block)
+    for t in range(16, 64):
+        x = w[t - 15]
+        s0 = ops.bxor(ops.bxor(_rotr(ops, x, 7), _rotr(ops, x, 18)), ops.shr(x, 3))
+        y = w[t - 2]
+        s1 = ops.bxor(ops.bxor(_rotr(ops, y, 17), _rotr(ops, y, 19)), ops.shr(y, 10))
+        w.append(ops.add(ops.add(w[t - 16], s0), ops.add(w[t - 7], s1)))
+    return w
+
+
+def sha256_step(step: int, state, w, ops=IntOps):
+    """Apply one SHA256 step to ``state = (a..h)``."""
+    a, b, c, d, e, f, g, h = state
+    big_s1 = ops.bxor(ops.bxor(_rotr(ops, e, 6), _rotr(ops, e, 11)), _rotr(ops, e, 25))
+    ch = ops.bxor(ops.band(e, f), ops.band(ops.bnot(e), g))
+    temp1 = ops.add(ops.add(ops.add(h, big_s1), ops.add(ch, ops.const(SHA256_K[step]))), w[step])
+    big_s0 = ops.bxor(ops.bxor(_rotr(ops, a, 2), _rotr(ops, a, 13)), _rotr(ops, a, 22))
+    maj = ops.bxor(ops.bxor(ops.band(a, b), ops.band(a, c)), ops.band(b, c))
+    temp2 = ops.add(big_s0, maj)
+    return (
+        ops.add(temp1, temp2), a, b, c,
+        ops.add(d, temp1), e, f, g,
+    )
+
+
+def sha256_compress(state, block, ops=IntOps):
+    """One SHA256 compression: fold a 16-word block into the register state."""
+    w = sha256_expand_schedule(block, ops)
+    s = tuple(state)
+    for step in range(64):
+        s = sha256_step(step, s, w, ops)
+    return tuple(ops.add(x, y) for x, y in zip(state, s))
+
+
+def sha256_digest(data: bytes) -> bytes:
+    """The 32-byte SHA256 digest of *data* (scalar reference path)."""
+    state = SHA256_INIT
+    for block in pad_message(data, Endian.BIG):
+        state = sha256_compress(state, block)
+    return bytes_from_words_be(state)
+
+
+def sha256_hex(data: bytes) -> str:
+    """Hexadecimal SHA256 digest, as printed by ``sha256sum``."""
+    return sha256_digest(data).hex()
+
+
+def sha256d_digest(data: bytes) -> bytes:
+    """Double SHA256 — the Bitcoin proof-of-work hash."""
+    return sha256_digest(sha256_digest(data))

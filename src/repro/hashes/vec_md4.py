@@ -1,0 +1,56 @@
+"""Vectorized MD4: one candidate per NumPy lane (the NTLM engine core)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashes.common import np_rotl32
+from repro.hashes.md4 import MD4_INIT, MD4_K, MD4_SHIFTS, md4_message_index
+
+_INIT = tuple(np.uint32(x) for x in MD4_INIT)
+_K = tuple(np.uint32(k) for k in MD4_K)
+
+
+def md4_round_function_np(step: int, x: np.ndarray, y: np.ndarray, z: np.ndarray) -> np.ndarray:
+    """Lane-wise nonlinear function of a step (F, G or H)."""
+    if step < 16:
+        return (x & y) | (~x & z)
+    if step < 32:
+        return (x & y) | (x & z) | (y & z)
+    return x ^ y ^ z
+
+
+def md4_step_np(step: int, state, words) -> tuple:
+    """One MD4 step over a whole batch; ``words`` yields per-step operands."""
+    a, b, c, d = state
+    f = md4_round_function_np(step, b, c, d)
+    t = a + f + words(md4_message_index(step))
+    k = _K[step // 16]
+    if k:
+        t = t + k
+    return (d, np_rotl32(t, MD4_SHIFTS[step]), b, c)
+
+
+def md4_compress_batch(blocks: np.ndarray, state: tuple | None = None) -> tuple:
+    """Compress ``(batch, 16)`` blocks; returns the four register arrays."""
+    if blocks.ndim != 2 or blocks.shape[1] != 16:
+        raise ValueError("blocks must have shape (batch, 16)")
+    if blocks.dtype != np.uint32:
+        raise TypeError("blocks must be uint32")
+    cols = [np.ascontiguousarray(blocks[:, i]) for i in range(16)]
+    if state is None:
+        state = tuple(np.full(blocks.shape[0], x, dtype=np.uint32) for x in _INIT)
+    s = state
+    for step in range(48):
+        s = md4_step_np(step, s, lambda i: cols[i])
+    return tuple((x + y).astype(np.uint32, copy=False) for x, y in zip(state, s))
+
+
+def md4_batch(blocks: np.ndarray) -> np.ndarray:
+    """MD4 digests of a batch of single-block messages: ``(batch, 4)``."""
+    return np.stack(md4_compress_batch(blocks), axis=1)
+
+
+def md4_batch_hex(blocks: np.ndarray) -> list[str]:
+    """Hex digests for a batch (test/debug convenience)."""
+    return [row.astype("<u4").tobytes().hex() for row in md4_batch(blocks)]

@@ -1,0 +1,89 @@
+"""Vectorized MD5: one candidate per NumPy lane.
+
+This is the CPU stand-in for the paper's CUDA MD5 kernel: a batch of padded
+single-block messages (``(batch, 16)`` uint32) is compressed with pure array
+arithmetic — every instruction the scalar reference executes per key is
+executed here once per *batch*, which is exactly the SIMT execution model
+(Section V: "the application at hand is clearly limited by the throughput of
+arithmetic instructions").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashes.common import np_rotl32
+from repro.hashes.md5 import MD5_INIT, MD5_SHIFTS, MD5_T, md5_message_index
+
+#: Pre-materialized uint32 step constants.
+_T = tuple(np.uint32(t) for t in MD5_T)
+_INIT = tuple(np.uint32(x) for x in MD5_INIT)
+_FULL = np.uint32(0xFFFFFFFF)
+
+
+def md5_round_function_np(step: int, b: np.ndarray, c: np.ndarray, d: np.ndarray) -> np.ndarray:
+    """Lane-wise nonlinear function of a step (F, G, H or I)."""
+    if step < 16:
+        return (b & c) | (~b & d)
+    if step < 32:
+        return (b & d) | (c & ~d)
+    if step < 48:
+        return b ^ c ^ d
+    return c ^ (b | ~d)
+
+
+def md5_step_np(step: int, state, words) -> tuple:
+    """One MD5 step over a whole batch; ``words`` yields per-step operands."""
+    a, b, c, d = state
+    f = md5_round_function_np(step, b, c, d)
+    t = a + f + words(md5_message_index(step)) + _T[step]
+    return (d, b + np_rotl32(t, MD5_SHIFTS[step]), b, c)
+
+
+def md5_compress_batch(blocks: np.ndarray, state: tuple | None = None) -> tuple:
+    """Compress ``(batch, 16)`` blocks; returns the four register arrays.
+
+    ``state`` chains multi-block messages whose earlier blocks are shared
+    by the whole batch — the paper's long-key optimization ("the
+    intermediate result of the hashing algorithm may be saved and reused
+    ... for each key we can process only the last block of 64 bytes").
+    """
+    _check_blocks(blocks)
+    cols = [np.ascontiguousarray(blocks[:, i]) for i in range(16)]
+    if state is None:
+        state = tuple(np.full(blocks.shape[0], x, dtype=np.uint32) for x in _INIT)
+    s = state
+    for step in range(64):
+        s = md5_step_np(step, s, lambda i: cols[i])
+    return tuple((x + y).astype(np.uint32, copy=False) for x, y in zip(state, s))
+
+
+def md5_batch(blocks: np.ndarray) -> np.ndarray:
+    """MD5 digests of a batch of single-block messages.
+
+    Parameters
+    ----------
+    blocks:
+        ``(batch, 16)`` uint32 array of padded message blocks
+        (see :func:`repro.hashes.padding.pack_single_block`).
+
+    Returns
+    -------
+    ``(batch, 4)`` uint32 array of digest words (little-endian serialization
+    yields the standard digest bytes).
+    """
+    a, b, c, d = md5_compress_batch(blocks)
+    return np.stack([a, b, c, d], axis=1)
+
+
+def md5_batch_hex(blocks: np.ndarray) -> list[str]:
+    """Hex digests for a batch (test/debug convenience)."""
+    words = md5_batch(blocks)
+    return [row.astype("<u4").tobytes().hex() for row in words]
+
+
+def _check_blocks(blocks: np.ndarray) -> None:
+    if blocks.ndim != 2 or blocks.shape[1] != 16:
+        raise ValueError("blocks must have shape (batch, 16)")
+    if blocks.dtype != np.uint32:
+        raise TypeError("blocks must be uint32")

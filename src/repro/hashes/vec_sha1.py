@@ -1,0 +1,85 @@
+"""Vectorized SHA1: one candidate per NumPy lane.
+
+Uses a rolling 16-word message-schedule window so a batch of ``B``
+candidates needs only ``16 B`` words of schedule storage — the same
+register-budget discipline the paper applies on the GPU ("our approach
+requires a minimal amount of memory, less than 1 Kbyte").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashes.common import np_rotl32
+from repro.hashes.sha1 import SHA1_INIT, SHA1_K
+
+_K = tuple(np.uint32(k) for k in SHA1_K)
+_INIT = tuple(np.uint32(x) for x in SHA1_INIT)
+
+
+def sha1_round_function_np(step: int, b: np.ndarray, c: np.ndarray, d: np.ndarray) -> np.ndarray:
+    """Lane-wise nonlinear function of a step (Ch, Parity, Maj, Parity)."""
+    if step < 20:
+        return (b & c) | (~b & d)
+    if step < 40:
+        return b ^ c ^ d
+    if step < 60:
+        return (b & c) | (b & d) | (c & d)
+    return b ^ c ^ d
+
+
+def sha1_schedule_word(window: list, t: int) -> np.ndarray:
+    """Next schedule word from a rolling 16-entry window (t >= 16)."""
+    w = np_rotl32(
+        window[(t - 3) % 16] ^ window[(t - 8) % 16] ^ window[(t - 14) % 16] ^ window[t % 16],
+        1,
+    )
+    window[t % 16] = w
+    return w
+
+
+def sha1_step_np(step: int, state, w_t: np.ndarray) -> tuple:
+    """One SHA1 step over a whole batch."""
+    a, b, c, d, e = state
+    f = sha1_round_function_np(step, b, c, d)
+    temp = np_rotl32(a, 5) + f + e + _K[step // 20] + w_t
+    return (temp, a, np_rotl32(b, 30), c, d)
+
+
+def sha1_compress_batch(blocks: np.ndarray, state: tuple | None = None) -> tuple:
+    """Compress ``(batch, 16)`` blocks; returns the five register arrays.
+
+    ``state`` chains multi-block messages whose earlier blocks are shared
+    by the whole batch (the cached-midstate long-key path).
+    """
+    _check_blocks(blocks)
+    window = [np.ascontiguousarray(blocks[:, i]) for i in range(16)]
+    if state is None:
+        state = tuple(np.full(blocks.shape[0], x, dtype=np.uint32) for x in _INIT)
+    s = state
+    for step in range(80):
+        w_t = window[step] if step < 16 else sha1_schedule_word(window, step)
+        s = sha1_step_np(step, s, w_t)
+    return tuple((x + y).astype(np.uint32, copy=False) for x, y in zip(state, s))
+
+
+def sha1_batch(blocks: np.ndarray) -> np.ndarray:
+    """SHA1 digests of a batch of single-block messages.
+
+    Returns a ``(batch, 5)`` uint32 array of digest words (big-endian
+    serialization yields the standard digest bytes).
+    """
+    return np.stack(sha1_compress_batch(blocks), axis=1)
+
+
+def sha1_batch_hex(blocks: np.ndarray) -> list[str]:
+    """Hex digests for a batch (test/debug convenience)."""
+    words = sha1_batch(blocks)
+    return [row.astype(">u4").tobytes().hex() for row in words]
+
+
+def _check_blocks(blocks: np.ndarray) -> None:
+    if blocks.ndim != 2 or blocks.shape[1] != 16:
+        raise ValueError("blocks must have shape (batch, 16)")
+    if blocks.dtype != np.uint32:
+        raise TypeError("blocks must be uint32")

@@ -1,0 +1,76 @@
+"""Vectorized SHA256: one candidate per NumPy lane.
+
+Powers the Bitcoin-style nonce-mining application: a batch of candidate
+nonces is substituted into word position of the header block and double-
+hashed lane-parallel.  Shares the rolling-window schedule discipline of
+:mod:`repro.hashes.vec_sha1`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashes.common import np_rotr32
+from repro.hashes.sha256 import SHA256_INIT, SHA256_K
+
+_K = tuple(np.uint32(k) for k in SHA256_K)
+_INIT = tuple(np.uint32(x) for x in SHA256_INIT)
+
+
+def sha256_schedule_word(window: list, t: int) -> np.ndarray:
+    """Next schedule word from a rolling 16-entry window (t >= 16)."""
+    x = window[(t - 15) % 16]
+    s0 = np_rotr32(x, 7) ^ np_rotr32(x, 18) ^ (x >> np.uint32(3))
+    y = window[(t - 2) % 16]
+    s1 = np_rotr32(y, 17) ^ np_rotr32(y, 19) ^ (y >> np.uint32(10))
+    w = window[t % 16] + s0 + window[(t - 7) % 16] + s1
+    window[t % 16] = w
+    return w
+
+
+def sha256_step_np(step: int, state, w_t: np.ndarray) -> tuple:
+    """One SHA256 step over a whole batch."""
+    a, b, c, d, e, f, g, h = state
+    s1 = np_rotr32(e, 6) ^ np_rotr32(e, 11) ^ np_rotr32(e, 25)
+    ch = (e & f) | (~e & g)
+    temp1 = h + s1 + ch + _K[step] + w_t
+    s0 = np_rotr32(a, 2) ^ np_rotr32(a, 13) ^ np_rotr32(a, 22)
+    maj = (a & b) ^ (a & c) ^ (b & c)
+    temp2 = s0 + maj
+    return (temp1 + temp2, a, b, c, d + temp1, e, f, g)
+
+
+def sha256_compress_batch(blocks: np.ndarray, state: tuple | None = None) -> tuple:
+    """Compress ``(batch, 16)`` blocks; returns the eight register arrays.
+
+    ``state`` allows chaining multi-block messages whose earlier blocks are
+    shared by the whole batch (the paper's trick for long keys: "the
+    intermediate result of the hashing algorithm may be saved and reused").
+    """
+    _check_blocks(blocks)
+    window = [np.ascontiguousarray(blocks[:, i]) for i in range(16)]
+    if state is None:
+        state = tuple(np.full(blocks.shape[0], x, dtype=np.uint32) for x in _INIT)
+    s = state
+    for step in range(64):
+        w_t = window[step] if step < 16 else sha256_schedule_word(window, step)
+        s = sha256_step_np(step, s, w_t)
+    return tuple((x + y).astype(np.uint32, copy=False) for x, y in zip(state, s))
+
+
+def sha256_batch(blocks: np.ndarray) -> np.ndarray:
+    """SHA256 digests of a batch of single-block messages: ``(batch, 8)``."""
+    return np.stack(sha256_compress_batch(blocks), axis=1)
+
+
+def sha256_batch_hex(blocks: np.ndarray) -> list[str]:
+    """Hex digests for a batch (test/debug convenience)."""
+    words = sha256_batch(blocks)
+    return [row.astype(">u4").tobytes().hex() for row in words]
+
+
+def _check_blocks(blocks: np.ndarray) -> None:
+    if blocks.ndim != 2 or blocks.shape[1] != 16:
+        raise ValueError("blocks must have shape (batch, 16)")
+    if blocks.dtype != np.uint32:
+        raise TypeError("blocks must be uint32")

@@ -1,0 +1,52 @@
+"""Kernel instruction accounting (Section V, Tables III-VI).
+
+The paper identifies the cracking kernel as *arithmetic-throughput bound* and
+builds its performance model from the number of instructions per hash in
+each class (additions, logical operations, shifts, multiply-adds).  This
+package reproduces that accounting pipeline in software:
+
+1. :mod:`repro.kernels.isa` — the instruction classes and the
+   :class:`~repro.kernels.isa.InstructionMix` container;
+2. :mod:`repro.kernels.trace` — an instrumented 32-bit operations object
+   that executes the *actual* compress functions of :mod:`repro.hashes`
+   while counting every source-level operation (the analogue of counting
+   "all the operations that cannot be evaluated at compile time", Table III);
+3. :mod:`repro.kernels.compiler` — the lowering model that translates the
+   traced source mix into per-compute-capability machine instructions (the
+   analogue of inspecting ``cuobjdump -sass`` output, Tables IV-VI): rotate
+   idioms become SHL+SHR+ADD on CC 1.*, SHL+IMAD.HI on CC 2.*/3.0, PRMT for
+   16-bit rotations with ``__byte_perm`` on CC 3.0, and a single funnel
+   shift on CC 3.5;
+4. :mod:`repro.kernels.variants` — the kernel zoo: naive, reversed,
+   early-exit, and byte-perm variants for MD5 and SHA1, each yielding the
+   instruction mix per *candidate test* that the GPU simulator schedules.
+"""
+
+from repro.kernels.isa import InstructionClass, InstructionMix, SourceMix
+from repro.kernels.trace import TracedOps, trace_md5_compress, trace_sha1_compress, trace_sha256_compress
+from repro.kernels.compiler import CompilerModel, RotateLowering, lower_mix
+from repro.kernels.variants import (
+    KernelSpec,
+    KernelVariant,
+    HashAlgorithm,
+    kernel_catalog,
+    get_kernel,
+)
+
+__all__ = [
+    "InstructionClass",
+    "InstructionMix",
+    "SourceMix",
+    "TracedOps",
+    "trace_md5_compress",
+    "trace_sha1_compress",
+    "trace_sha256_compress",
+    "CompilerModel",
+    "RotateLowering",
+    "lower_mix",
+    "KernelSpec",
+    "KernelVariant",
+    "HashAlgorithm",
+    "kernel_catalog",
+    "get_kernel",
+]

@@ -1,0 +1,102 @@
+"""The compiler lowering model: source operations -> machine instructions.
+
+Reproduces what the paper observed in ``cuobjdump -sass`` output per target
+architecture (Section V-B):
+
+* **CC 1.x** — a rotate ``(x << n) + (x >> (32 - n))`` compiles to
+  ``SHL + SHR + ADD``;
+* **CC 2.x / 3.0** — the same idiom compiles to ``SHL`` followed by
+  ``IMAD.HI`` (or equivalently ``SHR + ISCADD``); the multiply-add
+  *implicitly performs the addition*, so one ADD per rotate disappears;
+* **CC 3.0 with ``__byte_perm``** — a rotation by exactly 16 bits becomes a
+  single ``PRMT`` instruction;
+* **CC 3.5** — every rotation becomes one *funnel shift* (``SHF``), at
+  double speed ("the overall throughput is quadrupled with respect to
+  compute capability 3.0");
+* on every architecture the unary ``NOT`` operations are merged with
+  neighbouring logical instructions and vanish from the final code.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.kernels.isa import InstructionClass, InstructionMix, SourceMix, SourceOp
+
+
+class RotateLowering(enum.Enum):
+    """How a target architecture compiles the 32-bit rotate idiom."""
+
+    SHIFTS_ADD = "shl+shr+add"  #: CC 1.x
+    SHIFT_MAD = "shl+imad.hi"  #: CC 2.x and 3.0
+    SHIFT_MAD_PRMT16 = "shl+imad.hi / prmt for 16-bit"  #: CC 3.0 with __byte_perm
+    FUNNEL = "shf"  #: CC 3.5
+
+
+@dataclass(frozen=True)
+class CompilerModel:
+    """Lowering rules of one target architecture family."""
+
+    name: str
+    rotate: RotateLowering
+    #: NOT operations are merged into adjacent logicals (true on all targets
+    #: the paper examined; kept as a knob for what-if analyses).
+    merges_not: bool = True
+
+    def lower(self, source: SourceMix) -> InstructionMix:
+        """Translate a traced source mix into a machine instruction mix."""
+        counts: Counter = Counter()
+        counts[InstructionClass.IADD] = source[SourceOp.ADD]
+        counts[InstructionClass.LOP] = source[SourceOp.LOGICAL]
+        if not self.merges_not:
+            counts[InstructionClass.LOP] += source[SourceOp.NOT]
+        counts[InstructionClass.SHIFT] = source[SourceOp.SHIFT]
+        for amount, n in source.rotate_amounts.items():
+            self._lower_rotates(counts, amount, n)
+        return InstructionMix(counts)
+
+    def _lower_rotates(self, counts: Counter, amount: int, n: int) -> None:
+        if self.rotate is RotateLowering.SHIFTS_ADD:
+            counts[InstructionClass.SHIFT] += 2 * n
+            counts[InstructionClass.IADD] += n
+        elif self.rotate is RotateLowering.SHIFT_MAD:
+            counts[InstructionClass.SHIFT] += n
+            counts[InstructionClass.IMAD] += n
+        elif self.rotate is RotateLowering.SHIFT_MAD_PRMT16:
+            if amount == 16:
+                counts[InstructionClass.PRMT] += n
+            else:
+                counts[InstructionClass.SHIFT] += n
+                counts[InstructionClass.IMAD] += n
+        elif self.rotate is RotateLowering.FUNNEL:
+            counts[InstructionClass.FUNNEL] += n
+        else:  # pragma: no cover - exhaustive enum
+            raise AssertionError(self.rotate)
+
+
+#: The compiler models of the paper's target families.
+CC_1X = CompilerModel("1.x", RotateLowering.SHIFTS_ADD)
+CC_2X = CompilerModel("2.x", RotateLowering.SHIFT_MAD)
+CC_30 = CompilerModel("3.0", RotateLowering.SHIFT_MAD_PRMT16)
+CC_35 = CompilerModel("3.5", RotateLowering.FUNNEL)
+
+COMPILER_MODELS: dict[str, CompilerModel] = {
+    "1.x": CC_1X,
+    "2.x": CC_2X,
+    "3.0": CC_30,
+    "3.5": CC_35,
+}
+
+
+def lower_mix(source: SourceMix, family: str) -> InstructionMix:
+    """Lower a traced source mix for a compute-capability family name."""
+    try:
+        model = COMPILER_MODELS[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown compute-capability family {family!r}; "
+            f"expected one of {sorted(COMPILER_MODELS)}"
+        ) from None
+    return model.lower(source)

@@ -1,0 +1,190 @@
+"""Instruction classes and mixes.
+
+The paper groups machine instructions into three throughput classes on every
+compute capability (Section V-A):
+
+* **addition** instructions (``IADD``);
+* **logical** instructions (``AND/OR/XOR``, and ``NOT`` before it is merged);
+* **shift/MAD** instructions (``SHR/SHL``, ``IMAD/ISCADD``), plus the Kepler
+  byte-permute (``PRMT``) and the 3.5 funnel shift which share their port.
+
+A :class:`SourceMix` counts *source-level* operations (Table III); an
+:class:`InstructionMix` counts *machine* instructions after lowering
+(Tables IV-VI).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+
+class InstructionClass(enum.Enum):
+    """Machine-instruction classes tracked by the performance model."""
+
+    IADD = "IADD"  #: 32-bit integer addition / subtraction
+    LOP = "LOP"  #: 32-bit bitwise AND/OR/XOR
+    SHIFT = "SHIFT"  #: 32-bit shift (SHR/SHL)
+    IMAD = "IMAD"  #: integer multiply-add / scaled add (IMAD, ISCADD)
+    PRMT = "PRMT"  #: byte permute (``__byte_perm``), CC >= 2.0
+    FUNNEL = "FUNNEL"  #: funnel shift (SHF), CC >= 3.5
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Classes executed by the "shift/MAD" core group (the third throughput
+#: class of Section V-B).
+SHIFT_MAD_CLASSES = frozenset(
+    {InstructionClass.SHIFT, InstructionClass.IMAD, InstructionClass.PRMT, InstructionClass.FUNNEL}
+)
+
+
+class SourceOp(enum.Enum):
+    """Source-level operations counted by the tracer (Table III rows)."""
+
+    ADD = "ADD"  #: ``a + b``
+    LOGICAL = "LOGICAL"  #: ``a & b``, ``a | b``, ``a ^ b``
+    NOT = "NOT"  #: ``~a`` (merged by the compiler into adjacent logicals)
+    SHIFT = "SHIFT"  #: ``a << n``, ``a >> n`` outside a rotate idiom
+    ROTATE = "ROTATE"  #: the ``(x << n) + (x >> (32 - n))`` idiom, as a unit
+
+
+@dataclass
+class SourceMix:
+    """Counts of source-level operations executed by a compress function.
+
+    ``rotate_amounts`` retains the rotation distances because lowering is
+    distance-sensitive: a 16-bit rotation can become a single ``PRMT`` on
+    CC 3.0 (Section V-B), and the funnel shift subsumes every distance on
+    CC 3.5.
+    """
+
+    counts: Counter = field(default_factory=Counter)
+    rotate_amounts: Counter = field(default_factory=Counter)
+
+    def bump(self, op: SourceOp, n: int = 1) -> None:
+        """Record *n* executions of a source operation."""
+        self.counts[op] += n
+
+    def bump_rotate(self, amount: int) -> None:
+        """Record one rotate idiom by *amount* bits."""
+        self.counts[SourceOp.ROTATE] += 1
+        self.rotate_amounts[amount & 31] += 1
+
+    def __getitem__(self, op: SourceOp) -> int:
+        return self.counts[op]
+
+    @property
+    def total(self) -> int:
+        """Total source operations (rotates count once)."""
+        return sum(self.counts.values())
+
+    def as_table3_row(self) -> dict[str, int]:
+        """Counts in the layout of the paper's Table III.
+
+        The paper counts each rotate idiom as its constituent two shifts and
+        one addition ("we are simply counting all the operations that cannot
+        be evaluated at compile time in the CUDA source code").
+        """
+        rotates = self[SourceOp.ROTATE]
+        return {
+            "32-bit integer ADD": self[SourceOp.ADD] + rotates,
+            "32-bit bitwise AND/OR/XOR": self[SourceOp.LOGICAL],
+            "32-bit NOT": self[SourceOp.NOT],
+            "32-bit integer shift": self[SourceOp.SHIFT] + 2 * rotates,
+        }
+
+    def copy(self) -> "SourceMix":
+        out = SourceMix()
+        out.counts = Counter(self.counts)
+        out.rotate_amounts = Counter(self.rotate_amounts)
+        return out
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """An immutable bag of machine instructions (per candidate test)."""
+
+    counts: Mapping[InstructionClass, int]
+
+    def __post_init__(self) -> None:
+        clean = {
+            cls: int(n)
+            for cls, n in self.counts.items()
+            if n
+        }
+        if any(n < 0 for n in clean.values()):
+            raise ValueError("instruction counts must be non-negative")
+        object.__setattr__(self, "counts", clean)
+
+    def __getitem__(self, cls: InstructionClass) -> int:
+        return self.counts.get(cls, 0)
+
+    def __add__(self, other: "InstructionMix") -> "InstructionMix":
+        merged = Counter(self.counts)
+        merged.update(other.counts)
+        return InstructionMix(merged)
+
+    def scaled(self, factor: float) -> "InstructionMix":
+        """Mix scaled by a per-candidate amortization factor (rounded)."""
+        return InstructionMix({cls: round(n * factor) for cls, n in self.counts.items()})
+
+    @property
+    def total(self) -> int:
+        """Total machine instructions."""
+        return sum(self.counts.values())
+
+    @property
+    def additions(self) -> int:
+        """The paper's ``N_ADD``."""
+        return self[InstructionClass.IADD]
+
+    @property
+    def logicals(self) -> int:
+        """The paper's ``N_LOP``."""
+        return self[InstructionClass.LOP]
+
+    @property
+    def shift_mad(self) -> int:
+        """The paper's ``N_SHM`` — everything on the shift/MAD port."""
+        return sum(self[cls] for cls in SHIFT_MAD_CLASSES)
+
+    @property
+    def add_lop(self) -> int:
+        """Additions plus logicals — the wide-port load."""
+        return self.additions + self.logicals
+
+    @property
+    def ratio_addlop_to_shiftmad(self) -> float:
+        """The paper's ``R`` (2.93 for optimized MD5, ~1.53 for SHA1)."""
+        shm = self.shift_mad
+        if shm == 0:
+            return float("inf")
+        return self.add_lop / shm
+
+    def as_table_row(self) -> dict[str, int]:
+        """Counts in the layout of the paper's Tables IV-VI."""
+        return {
+            "IADD": self[InstructionClass.IADD],
+            "AND/OR/XOR": self[InstructionClass.LOP],
+            "SHR/SHL": self[InstructionClass.SHIFT],
+            "IMAD/ISCADD": self[InstructionClass.IMAD],
+            "PRMT (byte_perm)": self[InstructionClass.PRMT],
+            "SHF (funnel shift)": self[InstructionClass.FUNNEL],
+        }
+
+    @classmethod
+    def of(cls, **kwargs: int) -> "InstructionMix":
+        """Build a mix from keyword class names: ``InstructionMix.of(IADD=3)``."""
+        return cls({InstructionClass[name]: n for name, n in kwargs.items()})
+
+
+def merge_mixes(mixes: Iterable[InstructionMix]) -> InstructionMix:
+    """Sum several mixes into one."""
+    total: Counter = Counter()
+    for mix in mixes:
+        total.update(mix.counts)
+    return InstructionMix(total)

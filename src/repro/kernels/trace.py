@@ -1,0 +1,168 @@
+"""Instrumented execution of the compress functions.
+
+:class:`TracedOps` implements the same interface as
+:class:`repro.hashes.common.IntOps` but records every source-level operation
+it performs in a :class:`~repro.kernels.isa.SourceMix`.  Because the hash
+implementations route all arithmetic through the operations object, running
+``md5_compress(state, block, ops=TracedOps(mix))`` executes the *identical*
+algorithm the golden tests validate against ``hashlib`` — the trace is a
+measurement, not a hand count.  This reproduces the paper's Table III
+methodology ("we are simply counting all the operations that cannot be
+evaluated at compile time in the CUDA source code").
+
+Rotations are recorded as single :data:`~repro.kernels.isa.SourceOp.ROTATE`
+units with their distances, because the compiler model lowers them
+differently per compute capability and rotation amount.
+"""
+
+from __future__ import annotations
+
+from repro.hashes.common import IntOps
+from repro.hashes.md5 import MD5_INIT, md5_compress, md5_step
+from repro.hashes.sha1 import SHA1_INIT, sha1_compress, sha1_expand_schedule, sha1_step
+from repro.hashes.sha256 import SHA256_INIT, sha256_compress
+from repro.kernels.isa import SourceMix, SourceOp
+
+
+class TracedOps(IntOps):
+    """32-bit operations that count themselves into a :class:`SourceMix`."""
+
+    def __init__(self, mix: SourceMix | None = None) -> None:
+        self.mix = mix if mix is not None else SourceMix()
+
+    # Every override performs the plain-int computation *and* the accounting.
+    def const(self, value: int):
+        return IntOps.const(value)
+
+    def add(self, a, b):
+        self.mix.bump(SourceOp.ADD)
+        return IntOps.add(a, b)
+
+    def band(self, a, b):
+        self.mix.bump(SourceOp.LOGICAL)
+        return IntOps.band(a, b)
+
+    def bor(self, a, b):
+        self.mix.bump(SourceOp.LOGICAL)
+        return IntOps.bor(a, b)
+
+    def bxor(self, a, b):
+        self.mix.bump(SourceOp.LOGICAL)
+        return IntOps.bxor(a, b)
+
+    def bnot(self, a):
+        self.mix.bump(SourceOp.NOT)
+        return IntOps.bnot(a)
+
+    def shl(self, a, n: int):
+        self.mix.bump(SourceOp.SHIFT)
+        return IntOps.shl(a, n)
+
+    def shr(self, a, n: int):
+        self.mix.bump(SourceOp.SHIFT)
+        return IntOps.shr(a, n)
+
+    def rotl(self, x, n: int):
+        n &= 31
+        if n == 0:
+            return x
+        self.mix.bump_rotate(n)
+        # Perform the actual rotation without double counting its internals.
+        return IntOps.add(IntOps.shl(x, n), IntOps.shr(x, 32 - n))
+
+
+#: A representative all-fits-one-block message (content is irrelevant to the
+#: instruction trace: the operation sequence of a compress is data-independent
+#: by construction — this *is* why the kernels are SIMT-friendly).
+_PROBE_BLOCK = tuple(range(16))
+
+
+def trace_md5_compress() -> SourceMix:
+    """Source-operation mix of one full MD5 compression (64 steps + feedforward)."""
+    ops = TracedOps()
+    md5_compress(MD5_INIT, _PROBE_BLOCK, ops=ops)
+    return ops.mix
+
+
+def trace_md5_steps(n_steps: int, include_feedforward: bool = False) -> SourceMix:
+    """Source mix of the first *n_steps* MD5 steps (the optimized kernels).
+
+    ``n_steps=49`` is the reversed kernel's forward phase; ``n_steps=46``
+    adds the three-step early exit.
+    """
+    if not 0 <= n_steps <= 64:
+        raise ValueError("MD5 has 64 steps")
+    ops = TracedOps()
+    state = MD5_INIT
+    for step in range(n_steps):
+        state = md5_step(step, state, _PROBE_BLOCK, ops=ops)
+    if include_feedforward:
+        for x, y in zip(state, MD5_INIT):
+            ops.add(x, y)
+    return ops.mix
+
+
+def trace_md5_reversal(steps: int = 15) -> SourceMix:
+    """Source mix of reverting the last *steps* MD5 steps (done once per
+    target, amortized to ~zero over the interval)."""
+    from repro.hashes.md5 import md5_message_index, md5_round_function, MD5_SHIFTS, MD5_T
+
+    ops = TracedOps()
+    state = (1, 2, 3, 4)
+    for step in range(63, 63 - steps, -1):
+        # Mirror md5_unstep's arithmetic through the traced ops.
+        a1, b1, c1, d1 = state
+        b, c, d = c1, d1, a1
+        diff = ops.add(b1, -b & 0xFFFFFFFF)
+        t = ops.rotl(diff, 32 - MD5_SHIFTS[step])
+        f = md5_round_function(step, b, c, d, ops)
+        a = ops.add(ops.add(t, -f & 0xFFFFFFFF), -(
+            (_PROBE_BLOCK[md5_message_index(step)] + MD5_T[step]) & 0xFFFFFFFF
+        ) & 0xFFFFFFFF)
+        state = (a, b, c, d)
+    return ops.mix
+
+
+def trace_sha1_compress() -> SourceMix:
+    """Source mix of one full SHA1 compression (schedule + 80 steps + feedforward)."""
+    ops = TracedOps()
+    sha1_compress(SHA1_INIT, _PROBE_BLOCK, ops=ops)
+    return ops.mix
+
+
+def trace_sha1_steps(n_steps: int, include_feedforward: bool = False) -> SourceMix:
+    """Source mix of the schedule expansion plus the first *n_steps* SHA1 steps.
+
+    The schedule words beyond ``n_steps`` are not expanded (the kernel never
+    reads them), matching the rolling-window implementation.
+    """
+    if not 0 <= n_steps <= 80:
+        raise ValueError("SHA1 has 80 steps")
+    ops = TracedOps()
+    # Expand only the schedule prefix the kernel consumes.
+    w = list(_PROBE_BLOCK)
+    for t in range(16, n_steps):
+        w.append(
+            ops.rotl(ops.bxor(ops.bxor(w[t - 3], w[t - 8]), ops.bxor(w[t - 14], w[t - 16])), 1)
+        )
+    state = SHA1_INIT
+    for step in range(n_steps):
+        state = sha1_step(step, state, w, ops=ops)
+    if include_feedforward:
+        for x, y in zip(state, SHA1_INIT):
+            ops.add(x, y)
+    return ops.mix
+
+
+def trace_sha256_compress() -> SourceMix:
+    """Source mix of one full SHA256 compression."""
+    ops = TracedOps()
+    sha256_compress(SHA256_INIT, _PROBE_BLOCK, ops=ops)
+    return ops.mix
+
+
+def trace_sha1_schedule() -> SourceMix:
+    """Source mix of the 80-word schedule expansion alone."""
+    ops = TracedOps()
+    sha1_expand_schedule(_PROBE_BLOCK, ops=ops)
+    return ops.mix

@@ -1,0 +1,85 @@
+"""Key-space enumeration substrate.
+
+This package implements Section IV of the paper: the bijection ``f(id)``
+between natural numbers and strings over a charset (Figure 1), the cheap
+incremental ``next`` operator (Figure 2), the closed-form search-space size
+formulas (Equations (2) and (3)), interval partitioning of the id space, and
+NumPy-vectorized batch candidate generation used by the SIMT hash engine.
+
+Two enumeration orders are provided:
+
+* :data:`KeyOrder.SUFFIX_FASTEST` — the paper's mapping (1), produced by the
+  pseudocode in Figure 1: consecutive ids differ in the *last* character
+  (``[..., aa, ab, ac, ba, ...]``).
+* :data:`KeyOrder.PREFIX_FASTEST` — the paper's mapping (4): consecutive ids
+  differ in the *first* character (``[..., aa, ba, ca, ab, ...]``).  This is
+  the order required by the digest-reversal kernel optimization (Section V),
+  because a thread iterating over consecutive ids then mutates only the first
+  32-bit word of the packed message.
+"""
+
+from repro.keyspace.charset import (
+    Charset,
+    ALPHA_LOWER,
+    ALPHA_UPPER,
+    ALPHA_MIXED,
+    DIGITS,
+    ALNUM_LOWER,
+    ALNUM_MIXED,
+    HEX_LOWER,
+    ASCII_PRINTABLE,
+)
+from repro.keyspace.sizes import (
+    space_size,
+    count_of_length,
+    length_offset,
+    length_of_index,
+    max_index_for_uint64,
+)
+from repro.keyspace.mapping import (
+    KeyOrder,
+    KeyMapping,
+    index_to_key,
+    key_to_index,
+    next_key,
+)
+from repro.keyspace.intervals import (
+    Interval,
+    partition_evenly,
+    partition_weighted,
+    split_interval,
+)
+from repro.keyspace.vectorized import (
+    batch_keys,
+    batch_digits,
+    iter_batches,
+)
+
+__all__ = [
+    "Charset",
+    "ALPHA_LOWER",
+    "ALPHA_UPPER",
+    "ALPHA_MIXED",
+    "DIGITS",
+    "ALNUM_LOWER",
+    "ALNUM_MIXED",
+    "HEX_LOWER",
+    "ASCII_PRINTABLE",
+    "space_size",
+    "count_of_length",
+    "length_offset",
+    "length_of_index",
+    "max_index_for_uint64",
+    "KeyOrder",
+    "KeyMapping",
+    "index_to_key",
+    "key_to_index",
+    "next_key",
+    "Interval",
+    "partition_evenly",
+    "partition_weighted",
+    "split_interval",
+    "batch_keys",
+    "batch_digits",
+    "iter_batches",
+]

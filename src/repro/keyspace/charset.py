@@ -1,0 +1,136 @@
+"""Character sets ("charsets") used to enumerate candidate keys.
+
+A :class:`Charset` is the alphabet of the base-``N`` numeral system used by
+the bijection ``f(id)`` of the paper (Section IV): a string is interpreted as
+an arbitrarily long number represented with ``N`` symbols.  The class offers
+both character-level views (for the scalar reference paths) and NumPy
+byte-level views (for the vectorized SIMT hash engine).
+"""
+
+from __future__ import annotations
+
+import string
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Charset:
+    """An ordered alphabet of distinct single-byte characters.
+
+    Parameters
+    ----------
+    symbols:
+        The alphabet, in digit order: ``symbols[0]`` is the digit of value
+        zero.  All characters must be distinct and encodable in latin-1
+        (the kernels pack characters into bytes, 4 per 32-bit word).
+    name:
+        Optional human-readable identifier used in reports.
+    """
+
+    symbols: str
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.symbols:
+            raise ValueError("charset must contain at least one symbol")
+        if len(set(self.symbols)) != len(self.symbols):
+            raise ValueError("charset symbols must be distinct")
+        try:
+            self.symbols.encode("latin-1")
+        except UnicodeEncodeError as exc:  # pragma: no cover - message only
+            raise ValueError("charset symbols must be single-byte") from exc
+
+    # ------------------------------------------------------------------ #
+    # Basic protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.symbols)
+
+    def __contains__(self, ch: str) -> bool:
+        return ch in self.symbols
+
+    def __getitem__(self, digit: int) -> str:
+        return self.symbols[digit]
+
+    def __iter__(self):
+        return iter(self.symbols)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or self.symbols[:12] + ("…" if len(self.symbols) > 12 else "")
+        return f"Charset({label!r}, N={len(self.symbols)})"
+
+    # ------------------------------------------------------------------ #
+    # Digit conversions
+    # ------------------------------------------------------------------ #
+    def digit_of(self, ch: str) -> int:
+        """Return the numeric value of a character, raising on foreign input."""
+        idx = self.symbols.find(ch)
+        if idx < 0:
+            raise ValueError(f"character {ch!r} not in charset")
+        return idx
+
+    def digits_of(self, key: str) -> list[int]:
+        """Convert a whole key to its digit sequence (most significant first)."""
+        return [self.digit_of(c) for c in key]
+
+    def key_of(self, digits) -> str:
+        """Convert a digit sequence back to a string key."""
+        return "".join(self.symbols[d] for d in digits)
+
+    def is_valid_key(self, key: str) -> bool:
+        """True when every character of *key* belongs to the charset."""
+        return all(c in self.symbols for c in key)
+
+    # ------------------------------------------------------------------ #
+    # NumPy views for the vectorized engine
+    # ------------------------------------------------------------------ #
+    @property
+    def byte_table(self) -> np.ndarray:
+        """``uint8`` array mapping digit value -> character byte."""
+        return np.frombuffer(self.symbols.encode("latin-1"), dtype=np.uint8).copy()
+
+    @property
+    def inverse_byte_table(self) -> np.ndarray:
+        """``int16`` array of length 256 mapping byte -> digit value (-1 if absent)."""
+        table = np.full(256, -1, dtype=np.int16)
+        table[self.byte_table] = np.arange(len(self.symbols), dtype=np.int16)
+        return table
+
+
+# ---------------------------------------------------------------------- #
+# Standard charsets used throughout the paper's evaluation
+# ---------------------------------------------------------------------- #
+
+#: Lower-case letters ``a``-``z`` (N = 26).
+ALPHA_LOWER = Charset(string.ascii_lowercase, name="alpha-lower")
+
+#: Upper-case letters ``A``-``Z`` (N = 26).
+ALPHA_UPPER = Charset(string.ascii_uppercase, name="alpha-upper")
+
+#: Mixed-case letters (N = 52) — the paper's "8 alphabetic characters, both
+#: lower and upper case" example in the introduction.
+ALPHA_MIXED = Charset(string.ascii_lowercase + string.ascii_uppercase, name="alpha-mixed")
+
+#: Decimal digits ``0``-``9`` (N = 10).
+DIGITS = Charset(string.digits, name="digits")
+
+#: Lower-case alphanumerics (N = 36).
+ALNUM_LOWER = Charset(string.ascii_lowercase + string.digits, name="alnum-lower")
+
+#: Mixed-case alphanumerics (N = 62) — the search space of the paper's
+#: evaluation ("up to 8 alphanumeric characters, both lower and upper cases").
+ALNUM_MIXED = Charset(
+    string.ascii_lowercase + string.ascii_uppercase + string.digits,
+    name="alnum-mixed",
+)
+
+#: Lower-case hexadecimal digits (N = 16).
+HEX_LOWER = Charset(string.hexdigits[:16], name="hex-lower")
+
+#: All printable ASCII except whitespace beyond the space character (N = 95).
+ASCII_PRINTABLE = Charset(
+    "".join(chr(c) for c in range(0x20, 0x7F)),
+    name="ascii-printable",
+)

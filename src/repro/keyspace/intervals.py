@@ -1,0 +1,148 @@
+"""Intervals of candidate-solution identifiers and their partitioning.
+
+Section III of the paper dispatches *intervals* of ids: the scatter payload
+for a node is just ``(start, stop)`` plus the tiny space description, which
+is why ``K_scatter`` is a fixed cost that becomes negligible for large
+problems.  These helpers tile an id space exactly — no candidate is tested
+twice and none is skipped — and support the weighted split used by the
+balancing rule ``N_j = N_max * (X_j / X_max)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A half-open range ``[start, stop)`` of candidate ids (exact ints)."""
+
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("interval start must be non-negative")
+        if self.stop < self.start:
+            raise ValueError("interval stop must be >= start")
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def __bool__(self) -> bool:
+        return self.stop > self.start
+
+    def __contains__(self, index: int) -> bool:
+        return self.start <= index < self.stop
+
+    def __iter__(self):
+        return iter(range(self.start, self.stop))
+
+    @property
+    def size(self) -> int:
+        """Number of ids in the interval."""
+        return self.stop - self.start
+
+    def take(self, count: int) -> tuple["Interval", "Interval"]:
+        """Split off the first *count* ids: ``(head, rest)``."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        cut = min(self.start + count, self.stop)
+        return Interval(self.start, cut), Interval(cut, self.stop)
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when the two intervals share at least one id."""
+        return self.start < other.stop and other.start < self.stop
+
+
+def split_interval(interval: Interval, chunk: int) -> list[Interval]:
+    """Split into consecutive chunks of at most *chunk* ids each."""
+    if chunk <= 0:
+        raise ValueError("chunk must be positive")
+    out: list[Interval] = []
+    pos = interval.start
+    while pos < interval.stop:
+        nxt = min(pos + chunk, interval.stop)
+        out.append(Interval(pos, nxt))
+        pos = nxt
+    return out
+
+
+def partition_evenly(interval: Interval, parts: int) -> list[Interval]:
+    """Partition into *parts* contiguous intervals of near-equal size.
+
+    The first ``size % parts`` intervals are one id longer, so the partition
+    tiles the input exactly.
+    """
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    size = interval.size
+    base, extra = divmod(size, parts)
+    out: list[Interval] = []
+    pos = interval.start
+    for j in range(parts):
+        span = base + (1 if j < extra else 0)
+        out.append(Interval(pos, pos + span))
+        pos += span
+    assert pos == interval.stop
+    return out
+
+
+def partition_weighted(interval: Interval, weights: Sequence[float]) -> list[Interval]:
+    """Partition proportionally to *weights* (the paper's balancing rule).
+
+    Weight ``w_j`` is the relative throughput ``X_j / X_max`` of node ``j``;
+    the resulting interval sizes satisfy ``N_j ~= N_total * w_j / sum(w)``
+    while tiling the input exactly (largest-remainder rounding).  Zero-weight
+    nodes receive empty intervals.
+    """
+    if not weights:
+        raise ValueError("weights must be non-empty")
+    if any(w < 0 for w in weights):
+        raise ValueError("weights must be non-negative")
+    total_w = float(sum(weights))
+    size = interval.size
+    if total_w == 0.0:
+        # Degenerate: nobody can work; give everything to the first slot so
+        # the partition still tiles (callers treat this as an error upstream).
+        sizes = [size] + [0] * (len(weights) - 1)
+    else:
+        raw = [size * (w / total_w) for w in weights]
+        sizes = [int(r) for r in raw]
+        remainders = sorted(
+            range(len(weights)), key=lambda j: raw[j] - sizes[j], reverse=True
+        )
+        shortfall = size - sum(sizes)
+        for j in remainders[:shortfall]:
+            sizes[j] += 1
+    out: list[Interval] = []
+    pos = interval.start
+    for span in sizes:
+        out.append(Interval(pos, pos + span))
+        pos += span
+    assert pos == interval.stop
+    return out
+
+
+def merge_intervals(intervals: Iterable[Interval]) -> list[Interval]:
+    """Coalesce overlapping/adjacent intervals into a minimal sorted list."""
+    items = sorted(intervals, key=lambda iv: iv.start)
+    out: list[Interval] = []
+    for iv in items:
+        if not iv:
+            continue
+        if out and iv.start <= out[-1].stop:
+            out[-1] = Interval(out[-1].start, max(out[-1].stop, iv.stop))
+        else:
+            out.append(iv)
+    return out
+
+
+def is_exact_partition(whole: Interval, parts: Iterable[Interval]) -> bool:
+    """True when *parts* tile *whole* exactly (no gap, no overlap)."""
+    merged = merge_intervals(parts)
+    total = sum(iv.size for iv in parts)
+    if not whole:
+        return total == 0
+    return merged == [whole] and total == whole.size

@@ -1,0 +1,200 @@
+"""The bijection ``f(id)`` and the incremental ``next`` operator.
+
+Implements the pseudocode of Figures 1 and 2 of the paper and their
+suffix/prefix variants.  The mapping is the *bijective base-N numeration*:
+with charset ``{a, b, c}``,
+
+* mapping (1), :data:`KeyOrder.SUFFIX_FASTEST`::
+
+      [0, 1, 2, 3, 4, 5, 6, 7, ...] -> [eps, a, b, c, aa, ab, ac, ba, ...]
+
+* mapping (4), :data:`KeyOrder.PREFIX_FASTEST`::
+
+      [0, 1, 2, 3, 4, 5, 6, 7, ...] -> [eps, a, b, c, aa, ba, ca, ab, ...]
+
+Both are bijections from the natural numbers onto the set of all finite
+strings over the charset; they enumerate keys shortest-first and differ only
+in which end of the string carries the fastest-varying digit.  The digest
+reversal optimization of Section V requires :data:`KeyOrder.PREFIX_FASTEST`,
+because a GPU thread walking consecutive ids must mutate only the first
+32-bit word of the packed candidate.
+
+The ``next`` operator (Figure 2) advances a key to its successor with a
+ripple-carry update touching, in the common case, a single character — much
+cheaper than re-deriving the key from its id (``K_next << K_f``), which is
+precisely why each thread tests a *run* of consecutive candidates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.keyspace.charset import Charset
+from repro.keyspace.sizes import length_of_index, length_offset, space_size
+
+
+class KeyOrder(enum.Enum):
+    """Which end of the key carries the fastest-varying digit."""
+
+    #: Paper mapping (1) / Figure 1 as printed: the last character varies
+    #: fastest (``aa, ab, ac, ba, ...``).
+    SUFFIX_FASTEST = "suffix"
+
+    #: Paper mapping (4): the first character varies fastest
+    #: (``aa, ba, ca, ab, ...``); required by the reversal kernel.
+    PREFIX_FASTEST = "prefix"
+
+
+def index_to_key(index: int, charset: Charset, order: KeyOrder = KeyOrder.SUFFIX_FASTEST) -> str:
+    """The paper's ``f(id)`` (Figure 1): map a natural number to a key.
+
+    ``index == 0`` maps to the empty string; indices are exact Python
+    integers, so arbitrarily large key spaces are supported.
+    """
+    if index < 0:
+        raise ValueError("index must be non-negative")
+    n = len(charset)
+    out: list[str] = []
+    while index > 0:
+        index -= 1
+        out.append(charset[index % n])
+        index //= n
+    # Digits were produced least-significant first.  For the suffix-fastest
+    # order the least significant digit is the *last* character; for the
+    # prefix-fastest order it is the *first*.
+    if order is KeyOrder.SUFFIX_FASTEST:
+        out.reverse()
+    return "".join(out)
+
+
+def key_to_index(key: str, charset: Charset, order: KeyOrder = KeyOrder.SUFFIX_FASTEST) -> int:
+    """Inverse of :func:`index_to_key`: recover the id of a key."""
+    n = len(charset)
+    index = 0
+    chars = key if order is KeyOrder.SUFFIX_FASTEST else reversed(key)
+    for ch in chars:
+        index = index * n + charset.digit_of(ch) + 1
+    return index
+
+
+def next_key(key: str, charset: Charset, order: KeyOrder = KeyOrder.SUFFIX_FASTEST) -> str:
+    """The paper's ``next`` operator (Figure 2): the successor of *key*.
+
+    Performs a ripple-carry increment starting from the fastest-varying end.
+    When every position wraps around, the key grows by one character of the
+    zero digit (e.g. ``cc -> aaa`` over ``{a, b, c}``), exactly matching
+    ``index_to_key(key_to_index(key) + 1)``.
+    """
+    n = len(charset)
+    chars = list(key)
+    positions = (
+        range(len(chars) - 1, -1, -1)
+        if order is KeyOrder.SUFFIX_FASTEST
+        else range(len(chars))
+    )
+    # Ripple-carry on characters directly: in the common case exactly one
+    # character is inspected and replaced — this is what makes K_next small.
+    for pos in positions:
+        digit = charset.digit_of(chars[pos])
+        if digit + 1 < n:
+            chars[pos] = charset[digit + 1]
+            return "".join(chars)
+        chars[pos] = charset[0]
+    # Full wrap-around: the successor is one character longer, all zero digits.
+    return charset[0] * (len(key) + 1)
+
+
+@dataclass(frozen=True)
+class KeyMapping:
+    """A charset bound to an enumeration order and a length window.
+
+    This is the object the rest of the system works with: it restricts the
+    global bijection to keys whose length lies in ``[min_length,
+    max_length]`` and renumbers them from zero, which is what the dispatcher
+    actually partitions (Section III-A: the scatter payload is just an
+    interval of these indices plus this small description).
+    """
+
+    charset: Charset
+    min_length: int = 0
+    max_length: int = 20
+    order: KeyOrder = KeyOrder.SUFFIX_FASTEST
+
+    def __post_init__(self) -> None:
+        if self.min_length < 0:
+            raise ValueError("min_length must be non-negative")
+        if self.max_length < self.min_length:
+            raise ValueError("max_length must be >= min_length")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        """Total number of keys in the window (Equations (2)/(3))."""
+        return space_size(len(self.charset), self.min_length, self.max_length)
+
+    def key_at(self, index: int) -> str:
+        """Key at a window-relative index in ``[0, size)``."""
+        self._check_index(index)
+        length, within = length_of_index(len(self.charset), self.min_length, index)
+        return self._key_of_stratum(length, within)
+
+    def index_of(self, key: str) -> int:
+        """Window-relative index of *key*; raises if outside the window."""
+        if not self.min_length <= len(key) <= self.max_length:
+            raise ValueError(
+                f"key length {len(key)} outside window "
+                f"[{self.min_length}, {self.max_length}]"
+            )
+        n = len(self.charset)
+        within = 0
+        chars = key if self.order is KeyOrder.SUFFIX_FASTEST else reversed(key)
+        for ch in chars:
+            within = within * n + self.charset.digit_of(ch)
+        return length_offset(n, self.min_length, len(key)) + within
+
+    def next_of(self, key: str) -> str | None:
+        """Successor of *key* within the window, or ``None`` at the end."""
+        nxt = next_key(key, self.charset, self.order)
+        if len(nxt) > self.max_length:
+            return None
+        return nxt
+
+    def stratum(self, index: int) -> tuple[int, int]:
+        """Return ``(length, index_within_stratum)`` for a window index."""
+        self._check_index(index)
+        return length_of_index(len(self.charset), self.min_length, index)
+
+    def iter_keys(self, start: int = 0, stop: int | None = None):
+        """Iterate keys for indices ``[start, stop)`` using ``next``.
+
+        This is the scalar reference of the paper's per-thread loop: one
+        ``f(id)`` conversion at the start, then the cheap ``next`` operator —
+        the pattern whose efficiency grows with the run length (Section III).
+        """
+        stop = self.size if stop is None else min(stop, self.size)
+        if start >= stop:
+            return
+        key = self.key_at(start)
+        yield key
+        for _ in range(stop - start - 1):
+            key = self.next_of(key)
+            if key is None:  # pragma: no cover - guarded by stop clamp
+                return
+            yield key
+
+    # ------------------------------------------------------------------ #
+    def _key_of_stratum(self, length: int, within: int) -> str:
+        """Key of a given exact length from its stratum-relative index."""
+        n = len(self.charset)
+        digits = [0] * length
+        for pos in range(length - 1, -1, -1):
+            digits[pos] = within % n
+            within //= n
+        if self.order is KeyOrder.PREFIX_FASTEST:
+            digits.reverse()
+        return self.charset.key_of(digits)
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.size:
+            raise IndexError(f"index {index} outside [0, {self.size})")

@@ -1,0 +1,96 @@
+"""Closed-form search-space size algebra (Equations (2) and (3) of the paper).
+
+Given a charset of ``N`` symbols, the number of distinct keys whose length
+lies in ``[k0, k]`` is
+
+.. math::
+
+    S_{k_0}^{k} = \\sum_{i=k_0}^{k} N^i = \\frac{N^{k+1} - N^{k_0}}{N - 1}
+    \\qquad (N > 1)
+
+and simply ``k - k0 + 1`` when ``N == 1`` (Equation (3)).  These functions
+operate on exact Python integers because realistic key spaces overflow 64-bit
+arithmetic (e.g. 62 alphanumerics at length 12 already exceeds ``2**64``).
+"""
+
+from __future__ import annotations
+
+
+def count_of_length(n_symbols: int, length: int) -> int:
+    """Number of distinct keys of exactly *length* characters: ``N ** length``."""
+    _check_n(n_symbols)
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    return n_symbols**length
+
+
+def space_size(n_symbols: int, min_length: int, max_length: int) -> int:
+    """Size of the search space for lengths in ``[min_length, max_length]``.
+
+    Implements Equation (2) of the paper (and Equation (3) for the degenerate
+    single-symbol alphabet).  The empty string counts as the unique key of
+    length zero, exactly as in the paper's mapping (1).
+
+    >>> space_size(3, 0, 2)   # eps, a, b, c, aa .. cc
+    13
+    >>> space_size(62, 1, 8)  # the paper's evaluation space (about 2.2e14)
+    221919451578090
+    """
+    _check_n(n_symbols)
+    if min_length < 0:
+        raise ValueError("min_length must be non-negative")
+    if max_length < min_length:
+        raise ValueError("max_length must be >= min_length")
+    if n_symbols == 1:
+        return max_length - min_length + 1
+    return (n_symbols ** (max_length + 1) - n_symbols**min_length) // (n_symbols - 1)
+
+
+def length_offset(n_symbols: int, min_length: int, length: int) -> int:
+    """Index of the first key of exactly *length* characters.
+
+    Keys are enumerated shortest-first, so the stratum of length ``L`` starts
+    at ``S_{min_length}^{L-1}`` (zero when ``L == min_length``).
+    """
+    if length == min_length:
+        return 0
+    return space_size(n_symbols, min_length, length - 1)
+
+
+def length_of_index(n_symbols: int, min_length: int, index: int) -> tuple[int, int]:
+    """Return ``(length, index_within_stratum)`` for a global key index.
+
+    The inverse of :func:`length_offset`: finds which length stratum a global
+    id falls into and the residual offset inside that stratum.
+    """
+    _check_n(n_symbols)
+    if index < 0:
+        raise ValueError("index must be non-negative")
+    length = min_length
+    remaining = index
+    while True:
+        stratum = count_of_length(n_symbols, length)
+        if remaining < stratum:
+            return length, remaining
+        remaining -= stratum
+        length += 1
+
+
+def max_index_for_uint64(n_symbols: int) -> int:
+    """Largest key length whose *stratum* (``N**L``) still fits in ``uint64``.
+
+    The vectorized generator uses 64-bit arithmetic within a length stratum
+    and falls back to exact Python integers beyond this limit.
+    """
+    _check_n(n_symbols)
+    if n_symbols == 1:
+        return 63  # arbitrary but harmless: every stratum has size 1
+    length = 0
+    while n_symbols ** (length + 1) <= 2**63:
+        length += 1
+    return length
+
+
+def _check_n(n_symbols: int) -> None:
+    if n_symbols < 1:
+        raise ValueError("charset must have at least one symbol")

@@ -1,0 +1,105 @@
+"""Tests for the analysis helpers (reference data + table rendering)."""
+
+import pytest
+
+from repro.analysis.paper_data import (
+    PAPER_CLAIMS,
+    PAPER_TABLE_I,
+    PAPER_TABLE_II,
+    PAPER_TABLE_VII,
+    PAPER_TABLE_VIII,
+    PAPER_TABLE_IX,
+)
+from repro.analysis.tables import (
+    Comparison,
+    compare_rows,
+    max_abs_delta,
+    render_comparison,
+    render_table,
+)
+
+
+class TestPaperDataConsistency:
+    """Internal consistency of the transcribed reference tables."""
+
+    def test_table1_cores_equal_groups_times_size(self):
+        for row in PAPER_TABLE_I.values():
+            assert row["Cores per MP"] == row["Groups of cores per MP"] * row["Group size"]
+
+    def test_table2_add_at_least_lop(self):
+        for cc in ("1.*", "2.0", "2.1", "3.0"):
+            assert (
+                PAPER_TABLE_II["32-bit integer ADD"][cc]
+                >= PAPER_TABLE_II["32-bit bitwise AND/OR/XOR"][cc]
+            )
+
+    def test_table7_matches_table1_core_counts(self):
+        cc_to_cores = {"1.1": 8, "2.1": 48, "3.0": 192}
+        for row in PAPER_TABLE_VII.values():
+            per_mp = cc_to_cores[row["Compute capability"]]
+            assert row["Cores"] == per_mp * row["Multiprocessors"]
+
+    def test_table9_is_the_sum_of_table8(self):
+        # The paper's network rows equal the sums of its device rows.
+        for algo in ("MD5", "SHA1"):
+            theo = sum(PAPER_TABLE_VIII[f"{algo} (theoretical)"].values())
+            assert PAPER_TABLE_IX[algo]["theoretical"] == pytest.approx(theo, rel=0.001)
+            ours = sum(PAPER_TABLE_VIII[f"{algo} (our approach)"].values())
+            assert PAPER_TABLE_IX[algo]["our approach"] == pytest.approx(ours, rel=0.001)
+
+    def test_table9_efficiency_is_the_ratio(self):
+        for algo in ("MD5", "SHA1"):
+            row = PAPER_TABLE_IX[algo]
+            assert row["efficiency"] == pytest.approx(
+                row["our approach"] / row["theoretical"], abs=0.001
+            )
+
+    def test_claims_sane(self):
+        assert PAPER_CLAIMS["md5_R_ratio"] == pytest.approx(2.93, abs=0.01)
+        assert 0 < PAPER_CLAIMS["kepler_efficiency"] <= 1
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table("T", ["a", "b"], [[1, 2.5], [30, None]], row_labels=["x", "y"])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "b" in lines[2]
+        assert "x" in lines[4] and "2.5" in lines[4]
+        assert "-" in lines[5]  # None renders as a dash
+
+    def test_empty_rows(self):
+        text = render_table("T", ["col"], [])
+        assert "col" in text
+
+    def test_float_formatting(self):
+        text = render_table("T", ["v"], [[1234.5678], [0.123456]])
+        assert "1234.6" in text
+        assert "0.1235" in text
+
+
+class TestComparison:
+    def test_delta_pct(self):
+        assert Comparison("x", 100.0, 110.0).delta_pct == pytest.approx(10.0)
+        assert Comparison("x", 100.0, None).delta_pct is None
+        assert Comparison("x", None, 5.0).delta_pct is None
+        assert Comparison("x", 0, 5.0).delta_pct is None
+
+    def test_compare_rows_preserves_order(self):
+        comparisons = compare_rows({"a": 1.0, "b": 2.0}, {"b": 2.2, "a": 1.1})
+        assert [c.label for c in comparisons] == ["a", "b"]
+        assert comparisons[1].ours == 2.2
+
+    def test_max_abs_delta(self):
+        comparisons = [
+            Comparison("a", 100, 90),
+            Comparison("b", 100, 120),
+            Comparison("c", None, 5),
+        ]
+        assert max_abs_delta(comparisons) == pytest.approx(20.0)
+        assert max_abs_delta([]) == 0.0
+
+    def test_render_comparison(self):
+        text = render_comparison("T", [Comparison("row", 100.0, 95.0)])
+        assert "-5.0%" in text
+        assert "row" in text

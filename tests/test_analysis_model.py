@@ -1,0 +1,77 @@
+"""Tests for the offline performance-model fit."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.model import FittedNodeModel, fit_node_model, tuning_samples_from_model
+from repro.gpusim.launch import LaunchModel, efficiency_at
+
+
+def true_model(rate=500e6, overhead=2e-3):
+    return LaunchModel(
+        peak_rate=rate, launch_overhead=0.0, watchdog_limit=1e9, fixed_overhead=overhead
+    )
+
+
+SIZES = [10**k for k in range(3, 10)]
+
+
+class TestFit:
+    def test_recovers_noiseless_parameters(self):
+        model = true_model()
+        fitted = fit_node_model(tuning_samples_from_model(model, SIZES))
+        assert fitted.peak_rate == pytest.approx(500e6, rel=0.01)
+        assert fitted.overhead == pytest.approx(2e-3, rel=0.05)
+        assert fitted.residual_rms < 1e-6
+
+    def test_robust_to_measurement_noise(self):
+        model = true_model()
+        samples = tuning_samples_from_model(model, SIZES, noise=0.03, seed=4)
+        fitted = fit_node_model(samples)
+        assert fitted.peak_rate == pytest.approx(500e6, rel=0.10)
+        assert fitted.residual_rms < 0.1
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rate=st.floats(1e6, 5e9),
+        overhead=st.floats(1e-4, 1e-1),
+    )
+    def test_property_roundtrip(self, rate, overhead):
+        model = true_model(rate, overhead)
+        fitted = fit_node_model(tuning_samples_from_model(model, SIZES))
+        assert fitted.peak_rate == pytest.approx(rate, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            fit_node_model([(10, 1.0), (20, 2.0)])
+        with pytest.raises(ValueError, match="positive"):
+            fit_node_model([(10, 1.0), (20, 2.0), (30, -1.0)])
+        with pytest.raises(ValueError, match="distinct"):
+            fit_node_model([(10, 1.0), (10, 1.1), (10, 0.9)])
+
+
+class TestFittedModelUse:
+    def test_min_batch_matches_true_tuning(self):
+        # The paper's point: the offline model replaces the online step.
+        model = true_model()
+        fitted = fit_node_model(tuning_samples_from_model(model, SIZES))
+        from repro.gpusim.launch import min_batch_for_efficiency
+
+        true_n = min_batch_for_efficiency(model, 0.95)
+        fitted_n = fitted.min_batch(0.95)
+        assert fitted_n == pytest.approx(true_n, rel=0.05)
+        assert efficiency_at(fitted.launch_model(), fitted_n) >= 0.95
+
+    def test_predicted_throughput_curve(self):
+        fitted = FittedNodeModel(peak_rate=1e8, overhead=1e-3, residual_rms=0.0)
+        assert fitted.predicted_throughput(0) == 0.0
+        assert fitted.predicted_throughput(10**12) == pytest.approx(1e8, rel=0.01)
+        small = fitted.predicted_throughput(1000)
+        assert small < 1e7  # overhead-dominated regime
+
+    def test_launch_model_export(self):
+        fitted = FittedNodeModel(peak_rate=2e8, overhead=5e-4, residual_rms=0.0)
+        launch = fitted.launch_model(watchdog_limit=3.0)
+        assert launch.peak_rate == 2e8
+        assert launch.fixed_overhead == 5e-4
+        assert launch.watchdog_limit == 3.0

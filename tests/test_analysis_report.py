@@ -1,0 +1,56 @@
+"""Tests for the programmatic paper-vs-measured report."""
+
+import pytest
+
+from repro.analysis.report import (
+    generate_report,
+    kernel_tables_section,
+    table3_section,
+    table8_section,
+    table9_section,
+)
+
+
+class TestSections:
+    def test_table3_exact_structural_rows(self):
+        text, worst = table3_section()
+        assert "32-bit integer shift" in text
+        assert "+0.0%" in text  # shifts and logicals match exactly
+
+    def test_kernel_tables_worst_delta_bounded(self):
+        text, worst = kernel_tables_section()
+        assert "Table VI (3.0)" in text
+        assert worst < 10.0
+
+    def test_table8_worst_delta_bounded(self):
+        text, worst = table8_section()
+        assert "MD5 (our approach)" in text
+        assert "SHA1 (Cryptohaze)" in text
+        assert "BarsWF" in text
+        assert worst < 20.0
+
+    def test_table9_md5_tight(self):
+        text, worst = table9_section(work=10**10)
+        assert "Table IX - MD5" in text
+        assert "Table IX - SHA1" in text
+
+
+class TestFullReport:
+    def test_contains_every_table(self):
+        report = generate_report()
+        for marker in (
+            "Table III",
+            "Table IV (1.x)",
+            "Table V (2.x)",
+            "Table VI (3.0)",
+            "Table VIII - MD5 (theoretical)",
+            "Table IX - SHA1",
+            "worst |delta|",
+        ):
+            assert marker in report, marker
+
+    def test_headline_numbers_present(self):
+        report = generate_report()
+        # The reproduced Kepler theoretical and the network efficiency.
+        assert "1857" in report
+        assert "0.84" in report or "0.85" in report

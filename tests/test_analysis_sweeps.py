@@ -1,0 +1,62 @@
+"""Tests for the sweep series and the ASCII renderer."""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    Series,
+    ascii_plot,
+    efficiency_vs_interval,
+    speedup_series,
+    throughput_vs_nodes,
+)
+from repro.gpusim.launch import LaunchModel
+
+
+class TestSeries:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="align"):
+            Series("s", (1, 2), (1.0,))
+        with pytest.raises(ValueError, match="non-empty"):
+            Series("s", (), ())
+
+
+class TestAsciiPlot:
+    def test_renders_extremes_and_label(self):
+        s = Series("demo", (1, 10, 100), (0.0, 0.5, 1.0))
+        text = ascii_plot(s)
+        assert "demo" in text
+        assert "*" in text
+        assert text.count("*") == 3
+        lines = text.splitlines()
+        assert "*" in lines[1]  # the max sits on the top row
+        assert "*" in lines[-3]  # the min sits on the bottom row
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        s = Series("flat", (1, 2, 3), (5.0, 5.0, 5.0))
+        assert ascii_plot(s).count("*") == 3
+
+    def test_size_validation(self):
+        s = Series("s", (1,), (1.0,))
+        with pytest.raises(ValueError):
+            ascii_plot(s, width=4)
+
+    def test_single_point(self):
+        assert "*" in ascii_plot(Series("one", (5,), (2.0,)))
+
+
+class TestSweeps:
+    def test_efficiency_curve_monotone(self):
+        series = efficiency_vs_interval(LaunchModel(peak_rate=1e9))
+        assert list(series.ys) == sorted(series.ys)
+        assert series.ys[-1] > 0.99
+
+    def test_throughput_scales_linearly(self):
+        series = throughput_vs_nodes(counts=(1, 2, 4))
+        speedups = speedup_series(series)
+        assert speedups.ys[0] == pytest.approx(1.0)
+        assert speedups.ys[1] == pytest.approx(2.0, rel=0.05)
+        assert speedups.ys[2] == pytest.approx(4.0, rel=0.05)
+
+    def test_speedup_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            speedup_series(Series("z", (1, 2), (0.0, 1.0)))

@@ -1,0 +1,144 @@
+"""Tests for auditing sessions and dictionary/hybrid attacks."""
+
+import hashlib
+
+import pytest
+
+from repro.apps.audit import AuditEntry, AuditSession
+from repro.apps.cracking import CrackTarget
+from repro.apps.dictionary import (
+    DictionaryAttack,
+    HybridAttack,
+    MANGLE_RULES,
+    mangle_word,
+)
+from repro.keyspace import ALPHA_LOWER, Charset, Interval
+from repro.kernels.variants import HashAlgorithm
+
+ABC = Charset("abc", name="abc")
+
+
+def md5_of(text: str, prefix: bytes = b"", suffix: bytes = b"") -> bytes:
+    return hashlib.md5(prefix + text.encode() + suffix).digest()
+
+
+class TestAuditSession:
+    def entries(self):
+        return [
+            AuditEntry("alice", md5_of("ab")),  # weak: cracked
+            AuditEntry("bob", md5_of("cab", suffix=b"$1"), suffix=b"$1"),  # salted, weak
+            AuditEntry("carol", md5_of("longpassword")),  # outside the window
+        ]
+
+    def test_full_audit(self):
+        session = AuditSession(self.entries(), ABC, max_length=3)
+        report = session.run()
+        assert report.accounts_total == 3
+        assert report.cracked == 2
+        assert report.password_of("alice") == "ab"
+        assert report.password_of("bob") == "cab"
+        assert report.password_of("carol") is None
+        assert report.survival_rate == pytest.approx(1 / 3)
+        assert report.candidates_tested > 0
+
+    def test_budget_limits_testing(self):
+        session = AuditSession(self.entries(), ABC, max_length=3)
+        report = session.run(budget=3)  # only the 3 single-char candidates
+        assert report.cracked == 0
+        assert report.candidates_tested == 9  # 3 per account
+
+    def test_duplicate_accounts_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            AuditSession([AuditEntry("a", md5_of("x")), AuditEntry("a", md5_of("y"))], ABC)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            AuditSession([], ABC)
+
+    def test_per_account_salt_respected(self):
+        # Same password, different salts: both crack, digests differ.
+        entries = [
+            AuditEntry("u1", md5_of("ab", prefix=b"s1:"), prefix=b"s1:"),
+            AuditEntry("u2", md5_of("ab", prefix=b"s2:"), prefix=b"s2:"),
+        ]
+        assert entries[0].digest != entries[1].digest
+        report = AuditSession(entries, ABC, max_length=2).run()
+        assert report.cracked == 2
+
+
+class TestMangleRules:
+    def test_each_rule(self):
+        assert mangle_word("pass", "identity") == "pass"
+        assert mangle_word("pass", "capitalize") == "Pass"
+        assert mangle_word("pass", "upper") == "PASS"
+        assert mangle_word("pass", "reverse") == "ssap"
+        assert mangle_word("paste", "leet") == "p4573"
+        assert mangle_word("pass", "append_digit", 7) == "pass7"
+        assert mangle_word("pass", "prepend_digit", 7) == "7pass"
+
+    def test_unknown_rule(self):
+        with pytest.raises(ValueError, match="unknown mangling rule"):
+            mangle_word("x", "zalgo")
+
+
+class TestDictionaryAttack:
+    def test_search_finds_word(self):
+        attack = DictionaryAttack(("password", "dragon", "letmein"))
+        target = CrackTarget(HashAlgorithm.MD5, md5_of("dragon"), ALPHA_LOWER)
+        assert attack.search(target) == [(1, "dragon")]
+
+    def test_bijection_bounds(self):
+        attack = DictionaryAttack(("a", "b"))
+        assert attack.candidate(1) == "b"
+        with pytest.raises(IndexError):
+            attack.candidate(2)
+
+    def test_interval_restriction(self):
+        attack = DictionaryAttack(("x", "y", "z"))
+        target = CrackTarget(HashAlgorithm.MD5, md5_of("z"), ALPHA_LOWER)
+        assert attack.search(target, Interval(0, 2)) == []
+        assert attack.search(target, Interval(2, 3)) == [(2, "z")]
+
+    def test_empty_dictionary_rejected(self):
+        with pytest.raises(ValueError):
+            DictionaryAttack(())
+
+
+class TestHybridAttack:
+    def test_size_is_product(self):
+        attack = HybridAttack(("a", "b"), rules=("identity", "upper"), digits=(0, 1))
+        assert attack.size == 8
+
+    def test_candidate_unpacks_mixed_radix(self):
+        attack = HybridAttack(("w",), rules=("append_digit",), digits=(3, 7))
+        assert attack.candidate(0) == "w3"
+        assert attack.candidate(1) == "w7"
+
+    def test_bijection_covers_all_mangles(self):
+        attack = HybridAttack(("pass",), digits=(9,))
+        produced = {attack.candidate(i) for i in range(attack.size)}
+        assert "pass" in produced
+        assert "PASS" in produced
+        assert "9pass" in produced and "pass9" in produced
+        assert len(MANGLE_RULES) >= 7
+
+    def test_search_finds_mangled_password(self):
+        # The stored password is a mangled dictionary word: "Dragon7".
+        digest = md5_of("Dragon7")
+        target = CrackTarget(HashAlgorithm.MD5, digest, ALPHA_LOWER)
+        attack = HybridAttack(("dragon", "letmein"))
+        hits = attack.search(target)
+        assert [w for _, w in hits] == []  # capitalize+append is 2 rules deep
+        # A single-rule mangle is found:
+        target2 = CrackTarget(HashAlgorithm.MD5, md5_of("dragon7"), ALPHA_LOWER)
+        hits2 = attack.search(target2)
+        assert "dragon7" in [w for _, w in hits2]
+
+    def test_out_of_bounds(self):
+        attack = HybridAttack(("w",))
+        with pytest.raises(IndexError):
+            attack.candidate(attack.size)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HybridAttack((), rules=("identity",))

@@ -1,0 +1,160 @@
+"""End-to-end tests: the cracking engine must really crack hashes."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.cracking import CrackEngine, CrackTarget, crack_interval
+from repro.keyspace import ALPHA_LOWER, Charset, DIGITS, Interval
+from repro.kernels.variants import HashAlgorithm
+
+ABC = Charset("abc", name="abc")
+
+
+class TestCrackTarget:
+    def test_from_password_roundtrip(self):
+        target = CrackTarget.from_password("dog", ALPHA_LOWER)
+        assert target.digest == hashlib.md5(b"dog").digest()
+        assert target.verify("dog")
+        assert not target.verify("cat")
+
+    def test_digest_length_validated(self):
+        with pytest.raises(ValueError, match="16 bytes"):
+            CrackTarget(HashAlgorithm.MD5, b"short", ALPHA_LOWER)
+        with pytest.raises(ValueError, match="20 bytes"):
+            CrackTarget(HashAlgorithm.SHA1, b"x" * 16, ALPHA_LOWER)
+
+    def test_window_validated(self):
+        digest = hashlib.md5(b"x").digest()
+        with pytest.raises(ValueError, match="invalid length window"):
+            CrackTarget(HashAlgorithm.MD5, digest, ALPHA_LOWER, 5, 3)
+        with pytest.raises(ValueError, match="20 characters"):
+            CrackTarget(HashAlgorithm.MD5, digest, ALPHA_LOWER, 1, 25)
+
+    def test_single_block_capacity_validated(self):
+        digest = hashlib.md5(b"x").digest()
+        with pytest.raises(ValueError, match="single-block"):
+            CrackTarget(HashAlgorithm.MD5, digest, ALPHA_LOWER, 1, 20, prefix=b"s" * 40)
+
+    def test_password_outside_charset_rejected(self):
+        with pytest.raises(ValueError, match="outside the charset"):
+            CrackTarget.from_password("DOG", ALPHA_LOWER)
+
+    def test_space_size(self):
+        target = CrackTarget.from_password("ab", ABC, min_length=1, max_length=3)
+        assert target.space_size == 3 + 9 + 27
+
+    def test_optimized_kernel_gate(self):
+        digest = hashlib.md5(b"x").digest()
+        assert CrackTarget(HashAlgorithm.MD5, digest, ABC).uses_optimized_kernel
+        salted = CrackTarget(HashAlgorithm.MD5, digest, ABC, prefix=b"s")
+        assert not salted.uses_optimized_kernel
+
+
+class TestCrackMD5:
+    @pytest.mark.parametrize("password", ["a", "cc", "cab", "abca", "cabba"])
+    def test_finds_planted_password_md5(self, password):
+        target = CrackTarget.from_password(password, ABC, min_length=1, max_length=5)
+        engine = CrackEngine(target, batch_size=257)  # odd size exercises run splits
+        matches = engine.search_all()
+        assert (target.mapping.index_of(password), password) in matches
+        assert all(target.verify(key) for _, key in matches)
+
+    def test_interval_restricts_search(self):
+        target = CrackTarget.from_password("cab", ABC, min_length=3, max_length=3)
+        index = target.mapping.index_of("cab")
+        before = crack_interval(target, Interval(0, index))
+        assert before == []
+        hit = crack_interval(target, Interval(index, index + 1))
+        assert hit == [(index, "cab")]
+
+    def test_suffix_salted_crack(self):
+        target = CrackTarget.from_password(
+            "dog", ALPHA_LOWER, suffix=b"::pepper", min_length=3, max_length=3
+        )
+        assert target.uses_optimized_kernel  # suffix salting keeps word 0 free
+        index = target.mapping.index_of("dog")
+        found = crack_interval(target, Interval(max(0, index - 50), index + 50))
+        assert (index, "dog") in found
+
+    def test_prefix_salted_crack_uses_generic_path(self):
+        target = CrackTarget.from_password(
+            "dog", ALPHA_LOWER, prefix=b"NaCl$", min_length=3, max_length=3
+        )
+        assert not target.uses_optimized_kernel
+        index = target.mapping.index_of("dog")
+        found = crack_interval(target, Interval(max(0, index - 50), index + 50))
+        assert (index, "dog") in found
+
+    def test_fast_and_naive_paths_agree(self):
+        target = CrackTarget.from_password("bba", ABC, min_length=1, max_length=4)
+        fast = CrackEngine(target, batch_size=64).search_all()
+        naive = CrackEngine(target, batch_size=64, force_naive=True).search_all()
+        assert fast == naive
+
+    def test_no_match_returns_empty(self):
+        # digest of a key outside the window
+        target = CrackTarget.from_password("aaaaaa", ABC, min_length=1, max_length=2)
+        assert CrackEngine(target).search_all() == []
+
+    def test_interval_out_of_range(self):
+        target = CrackTarget.from_password("a", ABC, min_length=1, max_length=2)
+        with pytest.raises(IndexError):
+            crack_interval(target, Interval(0, target.space_size + 1))
+
+    def test_stats_accumulate(self):
+        target = CrackTarget.from_password("ab", ABC, min_length=1, max_length=3)
+        engine = CrackEngine(target, batch_size=10)
+        engine.search_all()
+        assert engine.stats.tested == target.space_size
+        assert engine.stats.batches == -(-target.space_size // 10)
+        assert engine.stats.runs >= 3  # at least one template per length
+        assert engine.stats.elapsed > 0
+        assert engine.stats.mkeys_per_second > 0
+
+    def test_batch_size_validated(self):
+        target = CrackTarget.from_password("a", ABC)
+        with pytest.raises(ValueError):
+            CrackEngine(target, batch_size=0)
+
+
+class TestCrackSHA1:
+    @pytest.mark.parametrize("password", ["b", "ca", "abc", "bbbb"])
+    def test_finds_planted_password_sha1(self, password):
+        target = CrackTarget.from_password(
+            password, ABC, algorithm=HashAlgorithm.SHA1, min_length=1, max_length=4
+        )
+        matches = CrackEngine(target, batch_size=100).search_all()
+        assert (target.mapping.index_of(password), password) in matches
+
+    def test_sha1_salted(self):
+        target = CrackTarget.from_password(
+            "42", DIGITS, algorithm=HashAlgorithm.SHA1, suffix=b"!", min_length=2, max_length=2
+        )
+        found = CrackEngine(target).search_all()
+        assert found == [(target.mapping.index_of("42"), "42")]
+
+    def test_sha1_fast_and_naive_agree(self):
+        target = CrackTarget.from_password(
+            "cb", ABC, algorithm=HashAlgorithm.SHA1, min_length=1, max_length=3
+        )
+        fast = CrackEngine(target, batch_size=7).search_all()
+        naive = CrackEngine(target, batch_size=7, force_naive=True).search_all()
+        assert fast == naive
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_property_any_planted_key_is_found(data):
+    length = data.draw(st.integers(1, 4))
+    password = "".join(data.draw(st.sampled_from("abc")) for _ in range(length))
+    algorithm = data.draw(st.sampled_from(list(HashAlgorithm)))
+    target = CrackTarget.from_password(
+        password, ABC, algorithm=algorithm, min_length=1, max_length=4
+    )
+    batch = data.draw(st.integers(1, 300))
+    matches = CrackEngine(target, batch_size=batch).search_all()
+    keys = [k for _, k in matches]
+    assert password in keys
+    assert all(target.verify(k) for k in keys)

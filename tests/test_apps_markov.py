@@ -1,0 +1,121 @@
+"""Tests for the Markov-guided candidate ordering."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.apps.cracking import CrackTarget
+from repro.apps.markov import MarkovAttack, MarkovModel
+from repro.keyspace import ALPHA_LOWER, Charset, KeyMapping
+
+ABC = Charset("abc", name="abc")
+
+CORPUS = ["cab", "cabbage", "abba", "baba", "cb", "ca", "cacao"]
+
+
+def trained(charset=ABC, corpus=CORPUS, smoothing=0.1):
+    model = MarkovModel(charset, smoothing=smoothing)
+    model.train(corpus)
+    return model
+
+
+class TestMarkovModel:
+    def test_training_skips_foreign_words(self):
+        model = MarkovModel(ABC)
+        used = model.train(["abc", "xyz", "", "ba"])
+        assert used == 2
+
+    def test_smoothing_required(self):
+        with pytest.raises(ValueError, match="smoothing"):
+            MarkovModel(ABC, smoothing=0.0)
+
+    def test_transition_distribution_normalizes(self):
+        model = trained()
+        for state in ["^", "a", "b", "c"]:
+            chars = list(ABC) + ["$"]
+            total = sum(math.exp(model.log_prob_transition(state, c)) for c in chars)
+            assert total == pytest.approx(1.0)
+
+    def test_trained_bigrams_more_likely(self):
+        model = trained()
+        # 'c' -> 'a' is frequent in the corpus; 'a' -> 'a' never occurs.
+        assert model.log_prob_transition("c", "a") > model.log_prob_transition("a", "a")
+
+    def test_word_log_prob_decomposes(self):
+        model = trained()
+        lp = (
+            model.log_prob_transition("^", "c")
+            + model.log_prob_transition("c", "a")
+            + model.log_prob_transition("a", "$")
+        )
+        assert model.log_prob("ca") == pytest.approx(lp)
+
+
+class TestGuidedEnumeration:
+    def test_order_is_non_increasing(self):
+        model = trained()
+        probs = [lp for _, lp in itertools.islice(model.iter_candidates(1, 4), 200)]
+        assert all(a >= b - 1e-12 for a, b in zip(probs, probs[1:]))
+
+    def test_yields_log_prob_of_word(self):
+        model = trained()
+        for word, lp in itertools.islice(model.iter_candidates(1, 3), 50):
+            assert lp == pytest.approx(model.log_prob(word))
+
+    def test_enumeration_is_exhaustive_and_unique(self):
+        # The reordered f is still a bijection onto the window.
+        model = trained()
+        mapping = KeyMapping(ABC, 1, 3)
+        words = [w for w, _ in model.iter_candidates(1, 3)]
+        assert len(words) == mapping.size
+        assert len(set(words)) == mapping.size
+        assert set(words) == {mapping.key_at(i) for i in range(mapping.size)}
+
+    def test_corpus_like_words_rank_early(self):
+        model = trained()
+        first = [w for w, _ in itertools.islice(model.iter_candidates(2, 4), 12)]
+        # The most common corpus transitions dominate the head of the order.
+        assert any(w.startswith("ca") or w.startswith("ba") for w in first[:4])
+
+    def test_invalid_window(self):
+        model = trained()
+        with pytest.raises(ValueError):
+            next(model.iter_candidates(3, 2))
+
+
+class TestMarkovAttack:
+    def test_guided_search_beats_lexicographic_rank(self):
+        corpus = ["password", "passport", "passion", "pass"]
+        model = MarkovModel(ALPHA_LOWER, smoothing=0.01)
+        model.train(corpus)
+        target = CrackTarget.from_password("passa", ALPHA_LOWER, min_length=5, max_length=5)
+        attack = MarkovAttack(model, min_length=5, max_length=5)
+        findings = attack.search(target, budget=4000)
+        assert findings, "guided search must find the corpus-like password"
+        guided_rank = findings[0].rank
+        lex_rank = target.mapping.index_of("passa")
+        assert guided_rank < 4000
+        assert lex_rank > 100_000  # brute force would grind for a while
+        assert guided_rank < lex_rank
+
+    def test_rank_of(self):
+        model = trained()
+        attack = MarkovAttack(model, 1, 3)
+        rank = attack.rank_of("ca")
+        assert rank is not None and rank < 10
+        assert attack.rank_of("ca", limit=1) is None or rank == 0
+
+    def test_budget_zero(self):
+        model = trained()
+        target = CrackTarget.from_password("ab", ABC, min_length=1, max_length=3)
+        assert MarkovAttack(model, 1, 3).search(target, 0) == []
+        with pytest.raises(ValueError):
+            MarkovAttack(model, 1, 3).search(target, -1)
+
+    def test_finding_is_verified(self):
+        model = trained()
+        target = CrackTarget.from_password("cab", ABC, min_length=1, max_length=3)
+        findings = MarkovAttack(model, 1, 3).search(target, budget=40)
+        assert [f.password for f in findings] == ["cab"]
+        assert findings[0].log_prob == pytest.approx(model.log_prob("cab"))

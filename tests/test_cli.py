@@ -1,0 +1,155 @@
+"""Tests for the command-line interface."""
+
+import hashlib
+
+import pytest
+
+from repro.cli import CHARSETS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_charset_choices_cover_catalog(self):
+        assert "alnum" in CHARSETS and "lower" in CHARSETS
+        for charset in CHARSETS.values():
+            assert len(charset) > 0
+
+
+class TestCrackCommand:
+    def test_cracks_known_digest(self, capsys):
+        digest = hashlib.md5(b"cab").hexdigest()
+        code = main(["crack", digest, "--charset", "lower", "--max-length", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "FOUND: 'cab'" in out
+
+    def test_salted_crack(self, capsys):
+        digest = hashlib.md5(b"ab!x").hexdigest()
+        code = main(
+            ["crack", digest, "--charset", "lower", "--max-length", "2", "--suffix", "!x"]
+        )
+        assert code == 0
+        assert "'ab'" in capsys.readouterr().out
+
+    def test_sha1(self, capsys):
+        digest = hashlib.sha1(b"7").hexdigest()
+        code = main(["crack", digest, "--algorithm", "sha1", "--charset", "digits",
+                     "--max-length", "1"])
+        assert code == 0
+        assert "'7'" in capsys.readouterr().out
+
+    def test_miss_returns_1(self, capsys):
+        digest = hashlib.md5(b"not-findable-here").hexdigest()
+        code = main(["crack", digest, "--charset", "digits", "--max-length", "2"])
+        assert code == 1
+        assert "no preimage" in capsys.readouterr().out
+
+    def test_bad_hex_returns_2(self, capsys):
+        assert main(["crack", "zz-not-hex"]) == 2
+        assert "hexadecimal" in capsys.readouterr().err
+
+    def test_bad_digest_length_returns_2(self, capsys):
+        assert main(["crack", "abcd"]) == 2
+        assert "16 bytes" in capsys.readouterr().err
+
+    def test_all_flag_finds_every_preimage(self, capsys):
+        digest = hashlib.md5(b"9").hexdigest()
+        code = main(["crack", digest, "--charset", "digits", "--max-length", "2", "--all"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("FOUND") == 1
+        assert "tested 110" in out  # the whole 10 + 100 space
+
+
+class TestEstimateCommand:
+    def test_prints_time_scales(self, capsys):
+        code = main(["estimate", "--charset", "alnum", "--max-length", "8"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "221,919,451,578,090" in out
+        assert "hours" in out and "years" in out
+
+
+class TestMineCommand:
+    def test_finds_winner_at_low_difficulty(self, capsys):
+        code = main(["mine", "--difficulty", "8", "--scan", "4096", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "WINNER" in out
+
+    def test_no_winner_returns_1(self, capsys):
+        code = main(["mine", "--difficulty", "200", "--scan", "256"])
+        assert code == 1
+        assert "no winner" in capsys.readouterr().out
+
+
+class TestInfoCommands:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table VIII" in out
+        assert "660" in out
+
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "8800" in out and "TitanCC35" in out
+
+
+class TestMaskCommand:
+    def test_cracks_mask_shaped_password(self, capsys):
+        digest = hashlib.md5(b"Xy4").hexdigest()
+        code = main(["mask", digest, "?u?l?d"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "FOUND: 'Xy4'" in out
+        assert "6,760 keys" in out
+
+    def test_salted_mask(self, capsys):
+        digest = hashlib.md5(b"A1$x").hexdigest()
+        code = main(["mask", digest, "?u?d", "--suffix", "$x"])
+        assert code == 0
+        assert "'A1'" in capsys.readouterr().out
+
+    def test_miss_returns_1(self, capsys):
+        digest = hashlib.md5(b"outside").hexdigest()
+        assert main(["mask", digest, "?d?d"]) == 1
+
+    def test_bad_mask_returns_2(self, capsys):
+        digest = hashlib.md5(b"x").hexdigest()
+        assert main(["mask", digest, "?z"]) == 2
+        assert "unknown mask token" in capsys.readouterr().err
+
+    def test_bad_hex_returns_2(self, capsys):
+        assert main(["mask", "nothex", "?d"]) == 2
+
+
+class TestReportCommand:
+    def test_report_prints_tables(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "Table VIII" in out and "Table IX" in out
+
+
+class TestNTLMCrackCommand:
+    def test_cracks_known_ntlm_hash(self, capsys):
+        # NTLM("password") — the most famous hash in Windows auditing.
+        # Use a short one for test speed:
+        from repro.apps.ntlm import ntlm_hex
+
+        code = main(["crack", ntlm_hex("dog"), "--algorithm", "ntlm",
+                     "--charset", "lower", "--max-length", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "FOUND: 'dog'" in out
+        assert "NTLM" in out
+
+    def test_salt_flags_rejected(self, capsys):
+        from repro.apps.ntlm import ntlm_hex
+
+        code = main(["crack", ntlm_hex("x"), "--algorithm", "ntlm", "--suffix", "s"])
+        assert code == 2
+        assert "unsalted by definition" in capsys.readouterr().err

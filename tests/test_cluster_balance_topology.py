@@ -1,0 +1,119 @@
+"""Tests for the tuning/balancing rule and the paper topology."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import (
+    ClusterNode,
+    GPUWorker,
+    balanced_assignments,
+    build_paper_network,
+    minimum_dispatch_size,
+    to_networkx,
+    tree_devices,
+    tree_nodes,
+    tune_node,
+)
+from repro.cluster.balance import TunedWorker, expected_finish_times, imbalance, tune_device
+from repro.keyspace import Interval
+from repro.kernels.variants import HashAlgorithm
+
+
+class TestPaperTopology:
+    def test_structure(self):
+        net = build_paper_network()
+        assert tree_nodes(net) == ["A", "B", "C", "D"]
+        assert set(tree_devices(net)) == {"540M", "660", "550Ti", "8600M", "8800"}
+        # A dispatches to B and C; C dispatches to D (Section VI-A).
+        assert [c.name for c in net.children] == ["B", "C"]
+        assert [c.name for c in net.find("C").children] == ["D"]
+
+    def test_aggregate_matches_sum_of_devices(self):
+        net = build_paper_network(HashAlgorithm.MD5)
+        per_device = sum(d.throughput for d in net.subtree_devices())
+        assert net.aggregate_throughput == pytest.approx(per_device)
+        # Table IX's theoretical sum is ~3824 Mkeys/s; ours lands nearby.
+        assert net.aggregate_theoretical / 1e6 == pytest.approx(3824.1, rel=0.02)
+
+    def test_networkx_export(self):
+        graph = to_networkx(build_paper_network())
+        assert nx.is_arborescence(graph)
+        # 4 dispatch nodes + 5 device leaves.
+        assert graph.number_of_nodes() == 9
+        assert graph.nodes["A"]["kind"] == "node"
+        assert graph.nodes["dev:660"]["kind"] == "device"
+        # The deliberately unbalanced tree: B holds most of the power.
+        assert (
+            graph.nodes["B"]["aggregate_throughput"]
+            > graph.nodes["C"]["aggregate_throughput"]
+        )
+
+
+class TestTuning:
+    def test_tune_device_meets_target(self):
+        w = GPUWorker("g", throughput=100e6)
+        tuned = tune_device(w, 0.9)
+        from repro.gpusim.launch import efficiency_at
+
+        assert efficiency_at(w.launch, tuned.min_candidates) >= 0.9
+
+    def test_tune_node_aggregates(self):
+        net = build_paper_network()
+        tuned = tune_node(net, 0.95)
+        assert tuned.throughput == pytest.approx(net.aggregate_throughput)
+        # N_node = sum of balanced N_j >= any single device's minimum.
+        fastest = max(net.subtree_devices(), key=lambda d: d.throughput)
+        assert tuned.min_candidates > tune_device(fastest, 0.95).min_candidates
+
+    def test_minimum_dispatch_size_positive(self):
+        assert minimum_dispatch_size(build_paper_network(), 0.9) > 0
+
+
+class TestBalancing:
+    def units(self):
+        return [
+            TunedWorker("fast", 1841e6, 1000),
+            TunedWorker("mid", 654e6, 1000),
+            TunedWorker("slow", 71e6, 1000),
+        ]
+
+    def test_assignments_proportional(self):
+        interval = Interval(0, 10_000_000)
+        assignments = balanced_assignments(interval, self.units())
+        sizes = {u.name: iv.size for u, iv in assignments}
+        assert sizes["fast"] > sizes["mid"] > sizes["slow"]
+        ratio = sizes["fast"] / sizes["slow"]
+        assert ratio == pytest.approx(1841 / 71, rel=0.01)
+
+    def test_finish_times_equalized(self):
+        assignments = balanced_assignments(Interval(0, 50_000_000), self.units())
+        assert imbalance(assignments) < 0.001
+
+    def test_finish_times_dict(self):
+        assignments = balanced_assignments(Interval(0, 2566 * 1000), self.units())
+        times = expected_finish_times(assignments)
+        assert set(times) == {"fast", "mid", "slow"}
+
+    def test_empty_units_rejected(self):
+        with pytest.raises(ValueError):
+            balanced_assignments(Interval(0, 10), [])
+
+    @given(
+        sizes=st.integers(10_000, 10**9),
+        xs=st.lists(st.floats(1e3, 1e9), min_size=1, max_size=6),
+    )
+    @settings(max_examples=30)
+    def test_property_assignments_tile_and_balance(self, sizes, xs):
+        units = [TunedWorker(f"u{i}", x, 100) for i, x in enumerate(xs)]
+        interval = Interval(0, sizes)
+        assignments = balanced_assignments(interval, units)
+        assert sum(iv.size for _, iv in assignments) == interval.size
+        # Paper invariant: N_j / N_total ~= X_j / X_total.
+        x_total = sum(xs)
+        for unit, iv in assignments:
+            expected = interval.size * unit.throughput / x_total
+            assert abs(iv.size - expected) <= len(units)
+
+    def test_imbalance_zero_for_empty(self):
+        assert imbalance([]) == 0.0

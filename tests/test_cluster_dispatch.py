@@ -1,0 +1,110 @@
+"""Tests for adaptive dispatching (the dynamic-network extension)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.dispatch import AdaptiveDispatcher
+from repro.keyspace import Interval
+
+
+TRUE_RATES = {"fast": 1800e6, "mid": 650e6, "slow": 70e6}
+
+
+def dispatcher(estimates=None, alpha=0.5):
+    return AdaptiveDispatcher(estimates or {k: 500e6 for k in TRUE_RATES}, alpha=alpha)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveDispatcher({})
+        with pytest.raises(ValueError):
+            AdaptiveDispatcher({"a": 0.0})
+        with pytest.raises(ValueError):
+            AdaptiveDispatcher({"a": 1.0}, alpha=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveDispatcher({"a": 1.0}, alpha=1.5)
+
+
+class TestPlanning:
+    def test_plan_follows_current_estimates(self):
+        d = AdaptiveDispatcher({"a": 3e6, "b": 1e6})
+        plan = d.plan_round(Interval(0, 4_000_000))
+        assert plan["a"].size == pytest.approx(3_000_000, abs=2)
+        assert plan["b"].size == pytest.approx(1_000_000, abs=2)
+
+    def test_plan_tiles_interval(self):
+        d = dispatcher()
+        plan = d.plan_round(Interval(7, 1_000_007))
+        assert sum(p.size for p in plan.values()) == 1_000_000
+
+    def test_report_moves_estimate(self):
+        d = AdaptiveDispatcher({"a": 1e6}, alpha=0.5)
+        d.report("a", candidates=2_000_000, elapsed=1.0)  # observed 2e6
+        assert d.estimates["a"].rate == pytest.approx(1.5e6)
+        d.report("a", candidates=0, elapsed=1.0)  # empty share: ignored
+        assert d.estimates["a"].rounds_seen == 1
+
+
+class TestConvergence:
+    def test_wrong_estimates_converge(self):
+        # Start believing everyone is equal; reality is 25x skewed.
+        d = dispatcher()
+        history = d.run_simulated(
+            total_candidates=50 * 10**9,
+            round_size=10**9,
+            true_rate=lambda name, _r: TRUE_RATES[name],
+        )
+        assert history[0].imbalance > 0.5  # badly unbalanced at first
+        assert history[-1].imbalance < 0.01  # essentially equalized
+        assert d.estimate_error(TRUE_RATES) < 0.01
+
+    def test_imbalance_decays_geometrically(self):
+        d = dispatcher(alpha=1.0)  # trust the last observation fully
+        history = d.run_simulated(10 * 10**9, 10**9, lambda n, _r: TRUE_RATES[n])
+        # With alpha=1 and stationary rates, one round suffices (up to the
+        # +-1-candidate rounding of the integer partition).
+        assert history[1].imbalance < 1e-6
+
+    def test_adapts_to_mid_run_throttling(self):
+        # 'fast' loses half its speed at round 10 (thermal throttling).
+        def rate(name, round_index):
+            if name == "fast" and round_index >= 10:
+                return TRUE_RATES["fast"] / 2
+            return TRUE_RATES[name]
+
+        d = dispatcher()
+        history = d.run_simulated(40 * 10**9, 10**9, rate)
+        spike = history[10].imbalance  # the throttle hits
+        settled = history[-1].imbalance
+        assert spike > 0.1
+        assert settled < 0.02
+
+    def test_assignments_track_the_new_regime(self):
+        def rate(name, round_index):
+            return 100e6 if round_index >= 5 else TRUE_RATES[name]
+
+        d = dispatcher()
+        d.run_simulated(20 * 10**9, 10**9, rate)
+        last = d.history[-1].assignments
+        sizes = list(last.values())
+        # All workers equal now: shares within a few percent of each other.
+        assert max(sizes) / min(sizes) < 1.05
+
+    def test_invalid_run_args(self):
+        d = dispatcher()
+        with pytest.raises(ValueError):
+            d.run_simulated(0, 10, lambda n, r: 1.0)
+        with pytest.raises(ValueError):
+            d.run_simulated(10, 0, lambda n, r: 1.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        skew=st.floats(1.0, 50.0),
+        alpha=st.floats(0.2, 1.0),
+    )
+    def test_property_converges_for_any_skew(self, skew, alpha):
+        rates = {"a": 1e8, "b": 1e8 * skew}
+        d = AdaptiveDispatcher({"a": 1e8, "b": 1e8}, alpha=alpha)
+        history = d.run_simulated(30 * 10**8, 10**8, lambda n, _r: rates[n])
+        assert history[-1].imbalance < 0.05

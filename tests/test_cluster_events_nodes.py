@@ -1,0 +1,137 @@
+"""Tests for the DES engine and cluster entity types."""
+
+import pytest
+
+from repro.cluster import ClusterNode, GPUWorker, LinkSpec, Simulator
+from repro.cluster.node import GATHER_BYTES, SCATTER_BYTES
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(3.0, lambda: log.append("c"))
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(2.0, lambda: log.append("b"))
+        assert sim.run() == 3.0
+        assert log == ["a", "b", "c"]
+
+    def test_fifo_for_simultaneous_events(self):
+        sim = Simulator()
+        log = []
+        for tag in "abc":
+            sim.schedule(1.0, lambda t=tag: log.append(t))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_callbacks_can_schedule(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append(sim.now)
+            sim.schedule(2.0, lambda: log.append(sim.now))
+
+        sim.schedule(1.0, first)
+        assert sim.run() == 3.0
+        assert log == [1.0, 3.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_until_horizon(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(5.0, lambda: log.append(5))
+        assert sim.run(until=2.0) == 2.0
+        assert log == [1]
+        assert sim.pending == 1
+
+    def test_event_budget(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(0.0, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(RuntimeError, match="budget"):
+            sim.run(max_events=100)
+
+    def test_at_absolute_time(self):
+        sim = Simulator()
+        hits = []
+        sim.at(4.0, lambda: hits.append(sim.now))
+        sim.run()
+        assert hits == [4.0]
+
+
+class TestLinkSpec:
+    def test_transfer_time(self):
+        link = LinkSpec(latency=1e-3, bandwidth=1e6)
+        assert link.transfer_time(1000) == pytest.approx(1e-3 + 1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkSpec(latency=-1)
+        with pytest.raises(ValueError):
+            LinkSpec(bandwidth=0)
+
+    def test_payloads_are_small(self):
+        # Section II: "our approach requires a minimal amount of memory
+        # (less than 1 Kbyte)" — the wire payloads respect that.
+        assert SCATTER_BYTES < 1024
+        assert GATHER_BYTES < 1024
+
+
+class TestGPUWorker:
+    def test_defaults(self):
+        w = GPUWorker("x", throughput=1e6)
+        assert w.theoretical == 1e6
+        assert w.launch.peak_rate == 1e6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GPUWorker("x", throughput=0)
+
+    def test_compute_time_uses_launch_model(self):
+        w = GPUWorker("x", throughput=1e6)
+        assert w.compute_time(1_000_000) > 1.0  # 1 s of hashing + overheads
+
+
+class TestClusterNode:
+    def build(self):
+        fast = GPUWorker("fast", 4e6)
+        slow = GPUWorker("slow", 1e6)
+        leaf = ClusterNode("leaf", devices=[slow])
+        return ClusterNode("root", devices=[fast], children=[leaf]), fast, slow
+
+    def test_aggregates(self):
+        root, fast, slow = self.build()
+        assert root.local_throughput == 4e6
+        assert root.aggregate_throughput == 5e6
+        assert root.aggregate_theoretical == 5e6
+
+    def test_subtree_walks(self):
+        root, *_ = self.build()
+        assert [n.name for n in root.subtree_nodes()] == ["root", "leaf"]
+        assert [d.name for d in root.subtree_devices()] == ["fast", "slow"]
+
+    def test_find(self):
+        root, *_ = self.build()
+        assert root.find("leaf").name == "leaf"
+        with pytest.raises(KeyError):
+            root.find("nope")
+
+    def test_empty_node_rejected(self):
+        with pytest.raises(ValueError, match="neither devices nor children"):
+            ClusterNode("empty")
+
+    def test_validate_tree_duplicates(self):
+        dup1 = ClusterNode("n", devices=[GPUWorker("a", 1e6)])
+        dup2 = ClusterNode("n", devices=[GPUWorker("b", 1e6)])
+        root = ClusterNode("root", devices=[GPUWorker("c", 1e6)], children=[dup1, dup2])
+        with pytest.raises(ValueError, match="duplicate node names"):
+            root.validate_tree()

@@ -1,0 +1,183 @@
+"""Tests for fault-tolerant dispatching and the real multiprocessing backend."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.cracking import CrackTarget
+from repro.cluster import (
+    ClusterNode,
+    FaultPlan,
+    GPUWorker,
+    LocalCluster,
+    run_with_faults,
+)
+from repro.keyspace import Charset, Interval
+
+ABC = Charset("abc", name="abc")
+
+
+def tree():
+    d = ClusterNode("D", devices=[GPUWorker("gpu-d", 4e6)])
+    c = ClusterNode("C", devices=[GPUWorker("gpu-c", 1e6)], children=[d])
+    b = ClusterNode("B", devices=[GPUWorker("gpu-b1", 8e6), GPUWorker("gpu-b2", 3e6)])
+    return ClusterNode("A", devices=[GPUWorker("gpu-a", 2e6)], children=[b, c])
+
+
+class TestFaultFreeRun:
+    def test_covers_exactly(self):
+        report = run_with_faults(tree(), 10_000_000, round_size=1_000_000)
+        assert report.covered_exactly
+        assert report.requeued_candidates == 0
+        assert report.failure_events == []
+        assert report.rounds == 10
+
+    def test_throughput_near_aggregate(self):
+        report = run_with_faults(tree(), 50_000_000, round_size=10_000_000)
+        assert report.throughput == pytest.approx(18e6, rel=0.1)
+
+
+class TestFailures:
+    def test_leaf_node_failure_requeues_and_completes(self):
+        plan = FaultPlan(failures={"D": 2})
+        report = run_with_faults(tree(), 10_000_000, round_size=1_000_000, plan=plan)
+        assert report.covered_exactly
+        assert report.requeued_candidates > 0
+        assert (2, "D") in report.failure_events
+        # gpu-d did some work before dying, none after.
+        d_work = sum(iv.size for iv in report.completed["gpu-d"])
+        assert 0 < d_work < 10_000_000
+
+    def test_dispatcher_failure_silences_subtree(self):
+        # Killing C also silences D (the paper's stated weakness).
+        plan = FaultPlan(failures={"C": 1})
+        report = run_with_faults(tree(), 10_000_000, round_size=1_000_000, plan=plan)
+        assert report.covered_exactly
+        # After round 1 neither gpu-c nor gpu-d completes anything.
+        for dev in ("gpu-c", "gpu-d"):
+            assert all(iv.stop <= 3_000_000 for iv in report.completed[dev])
+
+    def test_failure_slows_the_run(self):
+        clean = run_with_faults(tree(), 20_000_000, round_size=2_000_000)
+        faulty = run_with_faults(
+            tree(), 20_000_000, round_size=2_000_000, plan=FaultPlan(failures={"B": 0})
+        )
+        assert faulty.wall_time > clean.wall_time
+        assert faulty.covered_exactly
+
+    def test_recovery_rejoins(self):
+        plan = FaultPlan(failures={"B": 1}, recoveries={"B": 4})
+        report = run_with_faults(tree(), 30_000_000, round_size=2_000_000, plan=plan)
+        assert report.covered_exactly
+        b_intervals = report.completed["gpu-b1"]
+        assert b_intervals  # worked before failure and after recovery
+
+    def test_all_dead_raises(self):
+        plan = FaultPlan(failures={"A": 0})
+        with pytest.raises(RuntimeError, match="no devices alive"):
+            run_with_faults(tree(), 1_000_000, round_size=100_000, plan=plan)
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ValueError, match="unknown nodes"):
+            run_with_faults(tree(), 100, 10, plan=FaultPlan(failures={"Z": 0}))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            run_with_faults(tree(), 0, 10)
+        with pytest.raises(ValueError):
+            run_with_faults(tree(), 10, 0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        fail_round=st.integers(0, 5),
+        node=st.sampled_from(["B", "C", "D"]),
+        total=st.integers(1_000_000, 20_000_000),
+    )
+    def test_property_coverage_under_any_single_failure(self, fail_round, node, total):
+        plan = FaultPlan(failures={node: fail_round})
+        report = run_with_faults(tree(), total, round_size=1_000_000, plan=plan)
+        assert report.covered_exactly
+
+
+class TestLocalCluster:
+    def test_serial_crack_finds_password(self):
+        target = CrackTarget.from_password("cab", ABC, min_length=1, max_length=4)
+        outcome = LocalCluster(workers=1, batch_size=512).crack(target)
+        assert "cab" in outcome.keys
+        assert outcome.candidates_tested == target.space_size
+        assert outcome.elapsed > 0
+        assert outcome.mkeys_per_second > 0
+
+    def test_parallel_crack_finds_password(self):
+        target = CrackTarget.from_password("bcab", ABC, min_length=1, max_length=4)
+        outcome = LocalCluster(workers=2, batch_size=512).crack(target, chunk_size=17)
+        assert "bcab" in outcome.keys
+        assert outcome.candidates_tested == target.space_size
+
+    def test_stop_on_first_prunes_dispatch(self):
+        target = CrackTarget.from_password("a", ABC, min_length=1, max_length=4)
+        outcome = LocalCluster(workers=1, batch_size=64).crack(
+            target, chunk_size=8, stop_on_first=True
+        )
+        assert "a" in outcome.keys
+        assert outcome.candidates_tested < target.space_size
+
+    def test_interval_restriction(self):
+        target = CrackTarget.from_password("cc", ABC, min_length=1, max_length=3)
+        index = target.mapping.index_of("cc")
+        outcome = LocalCluster(workers=1).crack(target, Interval(0, index))
+        assert outcome.keys == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LocalCluster(workers=0)
+        with pytest.raises(ValueError):
+            LocalCluster(batch_size=0)
+
+    def test_results_sorted_by_index(self):
+        target = CrackTarget.from_password("ab", ABC, min_length=1, max_length=3)
+        outcome = LocalCluster(workers=2).crack(target, chunk_size=5)
+        indices = [i for i, _ in outcome.found]
+        assert indices == sorted(indices)
+
+
+class TestTopologyReconfiguration:
+    """The paper's future-work item: re-parent a dead dispatcher's children."""
+
+    def test_reparenting_keeps_the_orphaned_subtree_working(self):
+        # Without reparenting, killing C silences D; with it, D survives.
+        plan_off = FaultPlan(failures={"C": 1})
+        plan_on = FaultPlan(failures={"C": 1}, reparent_orphans=True)
+        off = run_with_faults(tree(), 20_000_000, round_size=1_000_000, plan=plan_off)
+        on = run_with_faults(tree(), 20_000_000, round_size=1_000_000, plan=plan_on)
+        assert off.covered_exactly and on.covered_exactly
+        d_work_off = sum(iv.size for iv in off.completed["gpu-d"] if iv.start >= 2_000_000)
+        d_work_on = sum(iv.size for iv in on.completed["gpu-d"] if iv.start >= 2_000_000)
+        assert d_work_off == 0  # D silenced with its dispatcher
+        assert d_work_on > 0  # D re-attached to A and kept working
+
+    def test_reparenting_recovers_more_throughput(self):
+        plan_off = FaultPlan(failures={"C": 0})
+        plan_on = FaultPlan(failures={"C": 0}, reparent_orphans=True)
+        off = run_with_faults(tree(), 30_000_000, round_size=1_000_000, plan=plan_off)
+        on = run_with_faults(tree(), 30_000_000, round_size=1_000_000, plan=plan_on)
+        # gpu-d is 4 Mk/s of the tree's 18: keeping it matters.
+        assert on.wall_time < off.wall_time
+
+    def test_dead_nodes_own_devices_still_lost(self):
+        plan = FaultPlan(failures={"C": 0}, reparent_orphans=True)
+        report = run_with_faults(tree(), 10_000_000, round_size=1_000_000, plan=plan)
+        assert report.covered_exactly
+        # C's own GPU contributes nothing after the failure round.
+        assert all(iv.stop <= 1_000_000 for iv in report.completed["gpu-c"])
+
+    def test_root_cannot_be_reparented(self):
+        plan = FaultPlan(failures={"A": 0}, reparent_orphans=True)
+        with pytest.raises(RuntimeError, match="no devices alive"):
+            run_with_faults(tree(), 1_000_000, round_size=100_000, plan=plan)
+
+    def test_reconfiguration_time_charged(self):
+        fast = FaultPlan(failures={"C": 0}, reparent_orphans=True, reconfiguration_time=0.0)
+        slow = FaultPlan(failures={"C": 0}, reparent_orphans=True, reconfiguration_time=5.0)
+        t_fast = run_with_faults(tree(), 10_000_000, 1_000_000, plan=fast).wall_time
+        t_slow = run_with_faults(tree(), 10_000_000, 1_000_000, plan=slow).wall_time
+        assert t_slow == pytest.approx(t_fast + 5.0)

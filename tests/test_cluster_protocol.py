@@ -1,0 +1,120 @@
+"""Tests for the wire protocol and the <1 Kbyte budget (Section II)."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.protocol import (
+    GatherMessage,
+    HeartbeatMessage,
+    MESSAGE_BUDGET,
+    ScatterMessage,
+    decode_any,
+)
+from repro.keyspace import ALNUM_MIXED, ASCII_PRINTABLE, Interval
+
+
+def scatter(**kw):
+    defaults = dict(
+        interval=Interval(10**20, 10**20 + 10**9),
+        digest=hashlib.md5(b"t").digest(),
+        charset=ALNUM_MIXED.symbols,
+        min_length=1,
+        max_length=8,
+    )
+    defaults.update(kw)
+    return ScatterMessage(**defaults)
+
+
+class TestScatterMessage:
+    def test_roundtrip(self):
+        msg = scatter(prefix=b"s:", suffix=b"::pepper")
+        clone = ScatterMessage.decode(msg.encode())
+        assert clone == msg
+
+    def test_budget_holds_for_worst_realistic_case(self):
+        # Largest charset, longest salts we support, SHA1 digest, huge ids.
+        msg = scatter(
+            interval=Interval(0, 2**127),
+            digest=hashlib.sha1(b"x").digest(),
+            charset=ASCII_PRINTABLE.symbols,
+            prefix=b"p" * 20,
+            suffix=b"s" * 20,
+        )
+        encoded = msg.encode()
+        assert len(encoded) < MESSAGE_BUDGET
+        assert len(encoded) < 256  # in fact far below the claim
+
+    def test_id_overflow_rejected(self):
+        with pytest.raises(ValueError, match="128-bit"):
+            scatter(interval=Interval(0, 2**130)).encode()
+
+    def test_wrong_magic_rejected(self):
+        with pytest.raises(ValueError, match="not a scatter"):
+            ScatterMessage.decode(b"XXXX" + b"\x00" * 60)
+
+    @given(
+        start=st.integers(0, 2**100),
+        size=st.integers(0, 2**40),
+        min_len=st.integers(0, 20),
+        span=st.integers(0, 10),
+    )
+    @settings(max_examples=40)
+    def test_property_roundtrip(self, start, size, min_len, span):
+        msg = scatter(
+            interval=Interval(start, start + size),
+            min_length=min_len,
+            max_length=min_len + span,
+        )
+        assert ScatterMessage.decode(msg.encode()) == msg
+
+
+class TestGatherMessage:
+    def test_roundtrip_with_matches(self):
+        msg = GatherMessage(
+            interval=Interval(100, 200),
+            tested=100,
+            elapsed_us=123_456,
+            matches=((150, "S3cret9"), (199, "zzz")),
+        )
+        assert GatherMessage.decode(msg.encode()) == msg
+
+    def test_empty_matches(self):
+        msg = GatherMessage(Interval(0, 10), 10, 1)
+        clone = GatherMessage.decode(msg.encode())
+        assert clone.matches == ()
+
+    def test_budget(self):
+        msg = GatherMessage(
+            Interval(0, 2**100), 2**100, 2**63 - 1, tuple((i, "k" * 20) for i in range(8))
+        )
+        assert len(msg.encode()) < MESSAGE_BUDGET
+
+    def test_pathological_match_count_rejected(self):
+        many = tuple((i, "k" * 20) for i in range(40))
+        with pytest.raises(ValueError, match="budget"):
+            GatherMessage(Interval(0, 10), 10, 1, many).encode()
+
+
+class TestHeartbeat:
+    def test_roundtrip(self):
+        msg = HeartbeatMessage("node-C", True, 71_000_000)
+        assert HeartbeatMessage.decode(msg.encode()) == msg
+
+    def test_budget(self):
+        assert len(HeartbeatMessage("x" * 200, False, 0).encode()) < MESSAGE_BUDGET
+
+
+class TestDecodeAny:
+    def test_dispatch(self):
+        s = scatter()
+        g = GatherMessage(Interval(0, 1), 1, 1)
+        h = HeartbeatMessage("n", False, 1)
+        assert decode_any(s.encode()) == s
+        assert decode_any(g.encode()) == g
+        assert decode_any(h.encode()) == h
+
+    def test_unknown_magic(self):
+        with pytest.raises(ValueError, match="unknown message magic"):
+            decode_any(b"????rest")

@@ -1,0 +1,145 @@
+"""Tests for the threaded distributed runtime (protocol + workers)."""
+
+import pytest
+
+from repro.apps.cracking import CrackTarget
+from repro.cluster.runtime import DistributedMaster, WorkerConfig
+from repro.core.progress import ProgressLog
+from repro.keyspace import Charset, Interval
+
+ABC = Charset("abc", name="abc")
+
+
+def target_for(password="cab", **kw):
+    kw.setdefault("min_length", 1)
+    kw.setdefault("max_length", 4)
+    return CrackTarget.from_password(password, ABC, **kw)
+
+
+class TestConstruction:
+    def test_validation(self):
+        t = target_for()
+        with pytest.raises(ValueError, match="at least one"):
+            DistributedMaster(t, [])
+        with pytest.raises(ValueError, match="duplicate"):
+            DistributedMaster(t, [WorkerConfig("w"), WorkerConfig("w")])
+        with pytest.raises(ValueError, match="chunk_size"):
+            DistributedMaster(t, [WorkerConfig("w")], chunk_size=0)
+
+
+class TestHappyPath:
+    def test_single_worker_cracks(self):
+        t = target_for("bca")
+        master = DistributedMaster(t, [WorkerConfig("w0")], chunk_size=13)
+        result = master.run()
+        assert "bca" in result.keys
+        assert result.progress.is_complete
+        assert result.progress.check_invariant()
+        assert result.dead_workers == []
+
+    def test_three_heterogeneous_workers(self):
+        t = target_for("ccba")
+        workers = [
+            WorkerConfig("fast", batch_size=1 << 12),
+            WorkerConfig("mid", batch_size=256),
+            WorkerConfig("slow", batch_size=64, slowdown=0.002),
+        ]
+        result = DistributedMaster(t, workers, chunk_size=7).run()
+        assert "ccba" in result.keys
+        assert result.progress.is_complete
+        # Every candidate dispatched exactly once despite the heterogeneity.
+        assert result.progress.done_count == t.space_size
+
+    def test_matches_equal_local_engine(self):
+        from repro.apps.cracking import crack_interval
+
+        t = target_for("ab")
+        result = DistributedMaster(t, [WorkerConfig("a"), WorkerConfig("b")], chunk_size=11).run()
+        expected = crack_interval(t, Interval(0, t.space_size))
+        assert result.found == expected
+
+    def test_stop_on_first(self):
+        t = target_for("a")  # very early id
+        result = DistributedMaster(t, [WorkerConfig("w")], chunk_size=5).run(stop_on_first=True)
+        assert "a" in result.keys
+        assert not result.progress.is_complete  # dispatch stopped early
+
+    def test_wire_accounting(self):
+        t = target_for("ab")
+        result = DistributedMaster(t, [WorkerConfig("w")], chunk_size=50).run()
+        assert result.chunks == -(-t.space_size // 50)
+        assert result.bytes_sent > 0
+        assert result.bytes_received > 0
+        # Mean message sizes respect the Section II budget by a wide margin.
+        assert result.bytes_sent / result.chunks < 1024
+        assert result.bytes_received / result.chunks < 1024
+
+
+class TestFaultTolerance:
+    def test_worker_death_requeues_and_completes(self):
+        t = target_for("cccc")  # late id: the dead worker's loss matters
+        # The mortal worker answers exactly one chunk; with far more chunks
+        # than workers it is guaranteed to receive (and silently drop) a
+        # second one, so the death is always observed.
+        workers = [
+            WorkerConfig("mortal", fail_after_chunks=1),
+            WorkerConfig("survivor"),
+        ]
+        master = DistributedMaster(t, workers, chunk_size=11, reply_timeout=0.8)
+        result = master.run()
+        assert "cccc" in result.keys
+        assert result.progress.is_complete
+        assert "mortal" in result.dead_workers
+        assert result.requeued > 0
+
+    def test_all_workers_dead_raises(self):
+        t = target_for()
+        workers = [WorkerConfig("m1", fail_after_chunks=0)]
+        master = DistributedMaster(t, workers, chunk_size=29, reply_timeout=0.3)
+        with pytest.raises(RuntimeError, match="all workers died"):
+            master.run()
+
+
+class TestResume:
+    def test_checkpoint_resume_skips_done_work(self):
+        t = target_for("ccb")
+        # Session 1: crack the first 60% with one worker, checkpoint.
+        log = ProgressLog(total=t.space_size)
+        cut = int(t.space_size * 0.6)
+        m1 = DistributedMaster(t, [WorkerConfig("w")], chunk_size=17)
+        r1 = m1.run(interval=Interval(0, cut), progress=log)
+        snapshot = ProgressLog.from_json(log.to_json())
+        assert not snapshot.is_complete
+        # Session 2: resume over the whole space; only the gap is dispatched.
+        m2 = DistributedMaster(t, [WorkerConfig("w2")], chunk_size=17)
+        r2 = m2.run(progress=snapshot)
+        assert snapshot.is_complete
+        total_chunks_dispatched = r1.chunks + r2.chunks
+        assert total_chunks_dispatched == pytest.approx(-(-t.space_size // 17), abs=2)
+        assert "ccb" in (r1.keys + r2.keys)
+
+
+class TestDistributedNTLM:
+    def test_ntlm_target_over_the_wire(self):
+        from repro.apps.ntlm import NTLMTarget
+
+        target = NTLMTarget.from_password("cba", ABC, max_length=4)
+        result = DistributedMaster(
+            target, [WorkerConfig("w1"), WorkerConfig("w2")], chunk_size=31
+        ).run()
+        assert "cba" in result.keys
+        assert result.progress.is_complete
+
+    def test_algorithm_tag_disambiguates_md5_vs_ntlm(self):
+        # Same digest length, different algorithms: both must crack their
+        # own planted key through the runtime.
+        from repro.apps.cracking import CrackTarget
+        from repro.apps.ntlm import NTLMTarget
+
+        md5_t = CrackTarget.from_password("ab", ABC, min_length=1, max_length=2)
+        ntlm_t = NTLMTarget.from_password("ab", ABC, max_length=2)
+        assert len(md5_t.digest) == len(ntlm_t.digest) == 16
+        assert md5_t.digest != ntlm_t.digest
+        r1 = DistributedMaster(md5_t, [WorkerConfig("a")], chunk_size=7).run()
+        r2 = DistributedMaster(ntlm_t, [WorkerConfig("b")], chunk_size=7).run()
+        assert "ab" in r1.keys and "ab" in r2.keys

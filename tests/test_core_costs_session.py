@@ -1,0 +1,142 @@
+"""Tests for the cost model and the high-level session API."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.costs import (
+    CostModel,
+    DispatchCosts,
+    dispatch_bounds,
+    fixed_costs_negligible,
+    process_efficiency,
+    sequential_search_cost,
+)
+from repro.core.session import CrackingSession
+from repro.apps.cracking import CrackTarget
+from repro.cluster.topology import build_paper_network
+from repro.keyspace import ALNUM_MIXED, Charset
+
+ABC = Charset("abc", name="abc")
+
+
+class TestCostModel:
+    def test_search_cost_with_next(self):
+        m = CostModel(k_f=10.0, k_next=1.0, k_c=2.0)
+        # K_f + (n-1) K_next + n K_c
+        assert sequential_search_cost(5, m) == 10 + 4 + 10
+
+    def test_search_cost_without_next(self):
+        m = CostModel(k_f=10.0, k_next=1.0, k_c=2.0)
+        assert sequential_search_cost(5, m, use_next=False) == 5 * 12
+
+    def test_zero_candidates(self):
+        m = CostModel(1, 1, 1)
+        assert sequential_search_cost(0, m) == 0.0
+        assert process_efficiency(0, m) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(-1, 0, 0)
+        with pytest.raises(ValueError):
+            sequential_search_cost(-1, CostModel(1, 1, 1))
+
+    @given(n=st.integers(1, 10**6))
+    @settings(max_examples=30)
+    def test_efficiency_increases_with_n_when_next_cheaper(self, n):
+        # "If K_next < K_f then the process' efficiency ... will increase
+        # for larger n."
+        m = CostModel(k_f=100.0, k_next=0.5, k_c=2.0)
+        assert process_efficiency(n + 1, m) >= process_efficiency(n, m)
+
+    def test_efficiency_limit(self):
+        m = CostModel(k_f=100.0, k_next=0.5, k_c=2.0)
+        assert process_efficiency(10**9, m) == pytest.approx(2.0 / 2.5, rel=1e-3)
+
+
+class TestDispatchBounds:
+    def test_bounds_order(self):
+        costs = DispatchCosts(
+            scatter=[0.1, 0.2, 0.3], search=[5.0, 7.0, 6.0], gather=[0.1, 0.1, 0.1], merge=0.5
+        )
+        lower, upper = dispatch_bounds(costs)
+        assert lower <= upper
+        assert lower == pytest.approx(7.0 + 0.2 + 0.1 + 0.5)
+        assert upper == pytest.approx(0.6 + 7.0 + 0.3 + 0.5)
+
+    def test_single_node_bounds_coincide(self):
+        costs = DispatchCosts(scatter=[0.1], search=[3.0], gather=[0.2], merge=0.0)
+        lower, upper = dispatch_bounds(costs)
+        assert lower == upper == pytest.approx(3.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DispatchCosts(scatter=[1], search=[1, 2], gather=[1])
+        with pytest.raises(ValueError):
+            DispatchCosts(scatter=[], search=[], gather=[])
+
+    def test_fixed_costs_negligible_regime(self):
+        small = DispatchCosts(scatter=[1e-3] * 3, search=[10.0] * 3, gather=[1e-3] * 3)
+        big = DispatchCosts(scatter=[1.0] * 3, search=[10.0] * 3, gather=[1.0] * 3)
+        assert fixed_costs_negligible(small)
+        assert not fixed_costs_negligible(big)
+
+    @given(
+        scatter=st.lists(st.floats(0, 1), min_size=1, max_size=6),
+        search=st.lists(st.floats(0, 100), min_size=6, max_size=6),
+        gather=st.lists(st.floats(0, 1), min_size=6, max_size=6),
+    )
+    @settings(max_examples=30)
+    def test_property_lower_never_exceeds_upper(self, scatter, search, gather):
+        n = len(scatter)
+        costs = DispatchCosts(scatter=scatter, search=search[:n], gather=gather[:n])
+        lower, upper = dispatch_bounds(costs)
+        assert lower <= upper + 1e-12
+
+
+class TestCrackingSession:
+    def target(self, password="cab"):
+        return CrackTarget.from_password(password, ABC, min_length=1, max_length=3)
+
+    def test_sequential_backend(self):
+        result = CrackingSession(self.target()).run_sequential()
+        assert result.passwords == ["cab"]
+        assert result.backend == "sequential"
+        assert result.candidates_tested == self.target().space_size
+
+    def test_sequential_stop_after(self):
+        result = CrackingSession(self.target("a")).run_sequential(stop_after=1)
+        assert result.cracked
+        assert result.candidates_tested < self.target().space_size
+
+    def test_local_backend_agrees_with_sequential(self):
+        session = CrackingSession(self.target())
+        seq = session.run_sequential()
+        loc = session.run_local(workers=1, batch_size=64)
+        assert seq.found == loc.found
+        assert loc.backend == "local"
+
+    def test_estimate_on_paper_network(self):
+        session = CrackingSession(
+            CrackTarget.from_password("dog", ALNUM_MIXED, min_length=1, max_length=8)
+        )
+        estimate = session.estimate_on(build_paper_network())
+        # ~2.2e14 candidates at ~3.25 Gkeys/s: about 19 hours.
+        assert estimate.space_size == 221_919_451_578_090
+        assert 15 < estimate.hours_full_scan < 24
+        assert estimate.seconds_expected == pytest.approx(estimate.seconds_full_scan / 2)
+        assert estimate.years_full_scan < 0.01
+
+    def test_simulate_on_reports_finding_device(self):
+        target = self.target("cab")
+        result = CrackingSession(target).simulate_on(
+            build_paper_network(), planted_password="cab", round_size=13
+        )
+        assert len(result.found) == 1
+        device, index = result.found[0]
+        assert index == target.mapping.index_of("cab")
+        assert device in {"540M", "660", "550Ti", "8600M", "8800"}
+
+    def test_simulate_on_scale_truncates(self):
+        target = CrackTarget.from_password("dog", ALNUM_MIXED, max_length=8)
+        result = CrackingSession(target).simulate_on(build_paper_network(), scale=10**7)
+        assert result.total_candidates == 10**7

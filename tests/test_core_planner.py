@@ -1,0 +1,84 @@
+"""Tests for the security-assessment planner."""
+
+import pytest
+
+from repro.cluster import build_paper_network
+from repro.core.planner import (
+    Assessment,
+    PasswordPolicy,
+    assess,
+    minimum_length_for,
+    scaling_outlook,
+)
+from repro.keyspace import ALNUM_MIXED, ALPHA_LOWER, DIGITS
+
+
+class TestPolicy:
+    def test_space(self):
+        policy = PasswordPolicy(ALNUM_MIXED, 1, 8)
+        assert policy.space == 221_919_451_578_090
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PasswordPolicy(DIGITS, 5, 3)
+
+
+class TestAssess:
+    def test_paper_cluster_vs_8_char_alnum(self):
+        # The paper's own scenario: ~19 hours full scan on its cluster.
+        policy = PasswordPolicy(ALNUM_MIXED, 1, 8)
+        result = assess(policy, build_paper_network())
+        assert 15 * 3600 < result.seconds_full_scan < 24 * 3600
+        assert result.verdict == "weak"
+
+    def test_raw_rate_attacker(self):
+        policy = PasswordPolicy(DIGITS, 4, 4)  # a PIN
+        result = assess(policy, 1e6)
+        assert result.seconds_full_scan == pytest.approx(0.01)
+        assert result.verdict == "broken"
+
+    def test_verdict_bands(self):
+        mk = lambda seconds: Assessment(
+            PasswordPolicy(DIGITS, 1, 1), 1.0, seconds * 2, seconds
+        )
+        assert mk(1).verdict == "broken"
+        assert mk(3600).verdict == "weak"
+        assert mk(30 * 86400).verdict == "marginal"
+        assert mk(100 * 365.25 * 86400).verdict == "resistant"
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            assess(PasswordPolicy(DIGITS, 1, 1), 0.0)
+
+
+class TestMinimumLength:
+    def test_against_the_paper_cluster(self):
+        net = build_paper_network()
+        # Lower-case-only passwords need to be longer than mixed alnum.
+        need_lower = minimum_length_for(ALPHA_LOWER, net, resist_seconds=10 * 365.25 * 86400)
+        need_alnum = minimum_length_for(ALNUM_MIXED, net, resist_seconds=10 * 365.25 * 86400)
+        assert need_lower > need_alnum
+        # And the returned length is minimal.
+        shorter = PasswordPolicy(ALNUM_MIXED, need_alnum - 1, need_alnum - 1)
+        assert assess(shorter, net).seconds_expected <= 10 * 365.25 * 86400
+
+    def test_known_value_sanity(self):
+        # At 3.25 Gkeys/s, ten years of resistance needs 12+ mixed alnum
+        # chars (62**12 / 2 / 3.25e9 s ~ 15.7 kyears; 62**10 ~ 4 years).
+        need = minimum_length_for(ALNUM_MIXED, 3.25e9, 10 * 365.25 * 86400)
+        assert need == 11
+
+    def test_unreachable(self):
+        with pytest.raises(ValueError, match="no length"):
+            minimum_length_for(DIGITS, 1e30, 1e9, max_considered=5)
+        with pytest.raises(ValueError):
+            minimum_length_for(DIGITS, 1e6, 0)
+
+
+class TestScalingOutlook:
+    def test_halves_per_doubling(self):
+        policy = PasswordPolicy(ALNUM_MIXED, 10, 10)
+        outlook = scaling_outlook(policy, 1e9, doublings=4)
+        assert len(outlook) == 5
+        for (k0, y0), (k1, y1) in zip(outlook, outlook[1:]):
+            assert y1 == pytest.approx(y0 / 2)

@@ -1,0 +1,122 @@
+"""Tests for resumable search checkpoints."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.cracking import CrackTarget, crack_interval
+from repro.core.progress import ProgressLog
+from repro.keyspace import Charset, Interval
+
+ABC = Charset("abc", name="abc")
+
+
+class TestProgressLog:
+    def test_fresh_log(self):
+        log = ProgressLog(total=100)
+        assert log.fraction_done == 0.0
+        assert not log.is_complete
+        assert log.remaining() == [Interval(0, 100)]
+        assert log.check_invariant()
+
+    def test_mark_done_and_gaps(self):
+        log = ProgressLog(total=100)
+        log.mark_done(Interval(10, 30))
+        log.mark_done(Interval(50, 60))
+        assert log.remaining() == [Interval(0, 10), Interval(30, 50), Interval(60, 100)]
+        assert log.done_count == 30
+        assert log.check_invariant()
+
+    def test_adjacent_intervals_merge(self):
+        log = ProgressLog(total=100)
+        log.mark_done(Interval(0, 50))
+        log.mark_done(Interval(50, 100))
+        assert log.completed == [Interval(0, 100)]
+        assert log.is_complete
+
+    def test_double_work_rejected(self):
+        log = ProgressLog(total=100)
+        log.mark_done(Interval(10, 30))
+        with pytest.raises(ValueError, match="overlaps"):
+            log.mark_done(Interval(29, 40))
+
+    def test_out_of_space_rejected(self):
+        log = ProgressLog(total=100)
+        with pytest.raises(ValueError, match="exceeds"):
+            log.mark_done(Interval(90, 101))
+
+    def test_next_chunk_serves_gaps_in_order(self):
+        log = ProgressLog(total=100)
+        log.mark_done(Interval(0, 20))
+        assert log.next_chunk(15) == Interval(20, 35)
+        log.mark_done(Interval(20, 35))
+        assert log.next_chunk(1000) == Interval(35, 100)
+        with pytest.raises(ValueError):
+            log.next_chunk(0)
+
+    def test_next_chunk_none_when_complete(self):
+        log = ProgressLog(total=10)
+        log.mark_done(Interval(0, 10))
+        assert log.next_chunk(5) is None
+
+    def test_matches_accumulate_sorted(self):
+        log = ProgressLog(total=100)
+        log.mark_done(Interval(50, 60), matches=[(55, "bb")])
+        log.mark_done(Interval(0, 10), matches=[(3, "aa")])
+        assert log.found == [(3, "aa"), (55, "bb")]
+
+    def test_zero_total(self):
+        log = ProgressLog(total=0)
+        assert log.is_complete
+        assert log.fraction_done == 1.0
+
+    @settings(max_examples=40)
+    @given(
+        total=st.integers(1, 500),
+        cuts=st.lists(st.tuples(st.integers(0, 499), st.integers(1, 60)), max_size=12),
+    )
+    def test_property_invariant_under_any_completion_order(self, total, cuts):
+        log = ProgressLog(total=total)
+        for start, size in cuts:
+            interval = Interval(min(start, total), min(start + size, total))
+            if not interval:
+                continue
+            try:
+                log.mark_done(interval)
+            except ValueError:
+                continue  # overlapped earlier work: correctly rejected
+            assert log.check_invariant()
+        assert log.done_count + sum(iv.size for iv in log.remaining()) == total
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        log = ProgressLog(total=62**12)  # bignum-friendly
+        log.mark_done(Interval(0, 62**10), matches=[(42, "key")])
+        clone = ProgressLog.from_json(log.to_json())
+        assert clone.total == log.total
+        assert clone.completed == log.completed
+        assert clone.found == [(42, "key")]
+        assert clone.check_invariant()
+
+
+class TestResumableCrack:
+    def test_stop_and_resume_equals_one_shot(self):
+        target = CrackTarget.from_password("cba", ABC, min_length=1, max_length=4)
+        space = target.space_size
+
+        # Session 1: crack 40%, checkpoint, "crash".
+        log = ProgressLog(total=space)
+        while log.fraction_done < 0.4:
+            chunk = log.next_chunk(1000)
+            log.mark_done(chunk, crack_interval(target, chunk))
+        snapshot = log.to_json()
+
+        # Session 2: resume from JSON, finish the rest.
+        resumed = ProgressLog.from_json(snapshot)
+        while not resumed.is_complete:
+            chunk = resumed.next_chunk(1000)
+            resumed.mark_done(chunk, crack_interval(target, chunk))
+
+        one_shot = crack_interval(target, Interval(0, space))
+        assert resumed.found == one_shot
+        assert ("cba" in [k for _, k in resumed.found])

@@ -1,0 +1,129 @@
+"""Tests for the formal exhaustive-search pattern (Section III-A)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.search import ExhaustiveSearch, SearchProblem, keyspace_problem
+from repro.keyspace import Charset, Interval, KeyMapping
+
+ABC = Charset("abc", name="abc")
+
+
+def squares_problem(size=100):
+    """Toy problem: find perfect squares by enumeration."""
+    return SearchProblem(
+        f=lambda i: i,
+        test=lambda x: int(x**0.5) ** 2 == x,
+        size=size,
+        next_op=lambda i, x: x + 1,
+    )
+
+
+class TestSearchProblem:
+    def test_candidate_bounds(self):
+        p = squares_problem(10)
+        assert p.candidate(3) == 3
+        with pytest.raises(IndexError):
+            p.candidate(10)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            SearchProblem(f=int, test=bool, size=-1)
+
+
+class TestExhaustiveSearch:
+    def test_finds_all_solutions(self):
+        outcome = ExhaustiveSearch(squares_problem(26)).run()
+        assert [i for i, _ in outcome.accepted] == [0, 1, 4, 9, 16, 25]
+        assert outcome.tested == 26
+
+    def test_interval_restriction(self):
+        outcome = ExhaustiveSearch(squares_problem(100)).run(Interval(10, 20))
+        assert [i for i, _ in outcome.accepted] == [16]
+        assert outcome.tested == 10
+
+    def test_stop_after(self):
+        outcome = ExhaustiveSearch(squares_problem(100)).run(stop_after=3)
+        assert len(outcome.accepted) == 3
+        assert outcome.tested == 5  # stops right at candidate 4
+
+    def test_next_operator_amortizes_f(self):
+        # One f call, the rest via next — the pattern's efficiency claim.
+        outcome = ExhaustiveSearch(squares_problem(50)).run()
+        assert outcome.f_calls == 1
+        assert outcome.next_calls == 49
+        assert outcome.conversion_fraction == pytest.approx(1 / 50)
+
+    def test_without_next_every_candidate_pays_f(self):
+        problem = SearchProblem(f=lambda i: i, test=lambda x: x == 7, size=20)
+        outcome = ExhaustiveSearch(problem).run()
+        assert outcome.f_calls == 20
+        assert outcome.next_calls == 0
+
+    def test_empty_interval(self):
+        outcome = ExhaustiveSearch(squares_problem(10)).run(Interval(5, 5))
+        assert outcome.tested == 0
+        assert outcome.conversion_fraction == 0.0
+
+    def test_out_of_space_interval(self):
+        with pytest.raises(IndexError):
+            ExhaustiveSearch(squares_problem(10)).run(Interval(0, 11))
+
+    def test_merge_filters_tentative_accepts(self):
+        # Minimization: every local improvement is a tentative accept; the
+        # merge keeps only the global minimum (the paper's example).
+        problem = SearchProblem(
+            f=lambda i: (i * 7) % 13,
+            test=lambda x: True,
+            size=13,
+            merge=lambda xs: [min(xs)] if xs else [],
+        )
+        outcome = ExhaustiveSearch(problem).run()
+        assert [s for _, s in outcome.accepted] == [0]
+
+    def test_run_partitioned_equals_run_whole(self):
+        search = ExhaustiveSearch(squares_problem(100))
+        whole = search.run()
+        parts = search.run_partitioned(
+            [Interval(0, 30), Interval(30, 77), Interval(77, 100)]
+        )
+        assert parts.accepted == whole.accepted
+        assert parts.tested == whole.tested
+        # Partitioning costs one extra f conversion per part.
+        assert parts.f_calls == 3
+
+    def test_run_partitioned_with_merge(self):
+        problem = SearchProblem(
+            f=lambda i: 100 - i,
+            test=lambda x: x % 10 == 0,
+            size=100,
+            merge=lambda xs: [min(xs)] if xs else [],
+        )
+        outcome = ExhaustiveSearch(problem).run_partitioned(
+            [Interval(0, 50), Interval(50, 100)]
+        )
+        assert [s for _, s in outcome.accepted] == [10]
+
+
+class TestKeyspaceProblem:
+    def test_binds_f_and_next_to_mapping(self):
+        mapping = KeyMapping(ABC, 1, 3)
+        problem = keyspace_problem(mapping, lambda key: key == "bc")
+        outcome = ExhaustiveSearch(problem).run()
+        assert outcome.accepted == [(mapping.index_of("bc"), "bc")]
+        assert outcome.f_calls == 1
+        assert outcome.next_calls == mapping.size - 1
+
+    @settings(max_examples=10, deadline=None)
+    @given(start=st.integers(0, 30), span=st.integers(0, 30))
+    def test_property_interval_scan_matches_bruteforce(self, start, span):
+        mapping = KeyMapping(ABC, 0, 4)
+        stop = min(start + span, mapping.size)
+        problem = keyspace_problem(mapping, lambda key: key.startswith("ab"))
+        outcome = ExhaustiveSearch(problem).run(Interval(start, stop))
+        expected = [
+            (i, mapping.key_at(i))
+            for i in range(start, stop)
+            if mapping.key_at(i).startswith("ab")
+        ]
+        assert outcome.accepted == expected

@@ -1,0 +1,82 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples are the library's living documentation; each one carries its
+own assertions (planted passwords found, coverage exact, ...), so simply
+executing them is a meaningful integration test.  Heavier scripts are
+marked slow; run them with ``pytest -m slow`` or no marker filter.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    """Execute an example in-process and return its stdout."""
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestFastExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "cracked       : ['dog']" in out
+
+    def test_salted_audit(self, capsys):
+        out = run_example("salted_audit.py", capsys)
+        assert "CRACKED alice" in out
+        assert "'dragon7'" in out
+
+    def test_bitcoin_mining(self, capsys):
+        out = run_example("bitcoin_mining.py", capsys)
+        assert "block solved" in out or "no winner" in out
+
+    def test_fault_tolerant_cluster(self, capsys):
+        out = run_example("fault_tolerant_cluster.py", capsys)
+        assert "coverage exact : True" in out
+
+    def test_kernel_tuning(self, capsys):
+        out = run_example("kernel_tuning.py", capsys)
+        assert "bottleneck" in out
+        assert "funnel" in out.lower()
+
+    def test_distributed_runtime(self, capsys):
+        out = run_example("distributed_runtime.py", capsys)
+        assert "['rust']" in out
+        assert "coverage exact: True" in out
+
+
+@pytest.mark.slow
+class TestSlowExamples:
+    def test_gpu_cluster_simulation(self, capsys):
+        out = run_example("gpu_cluster_simulation.py", capsys)
+        assert "network throughput" in out
+        assert "paper: 3258.4" in out
+
+    def test_markov_guided_attack(self, capsys):
+        out = run_example("markov_guided_attack.py", capsys)
+        assert "cracked 'passio'" in out
+
+    def test_rainbow_vs_salting(self, capsys):
+        out = run_example("rainbow_vs_salting.py", capsys)
+        assert "rainbow table -> 'wolf'" in out
+        assert "rainbow table -> None" in out
+
+
+def test_every_example_is_covered():
+    """No example script may be missing from this smoke suite."""
+    here = Path(__file__).read_text()
+    for script in EXAMPLES.glob("*.py"):
+        assert script.name in here, f"example {script.name} lacks a smoke test"
+
+
+class TestNTLMExample:
+    def test_ntlm_windows_audit(self, capsys):
+        out = run_example("ntlm_windows_audit.py", capsys)
+        assert "duplicate password detected" in out
+        assert "CRACKED svc_backup" in out and "'dog1'" in out
+        assert "held    administrator" in out

@@ -1,0 +1,141 @@
+"""Tests for architecture tables (Tables I, II) and the device catalog (VII)."""
+
+import pytest
+
+from repro.gpusim import (
+    ARCHITECTURES,
+    ComputeCapability,
+    DEVICES,
+    INSTRUCTION_THROUGHPUT,
+    PAPER_DEVICES,
+    family_of_cc,
+    get_device,
+)
+from repro.gpusim.arch import arch_for_cc
+from repro.gpusim.device import DeviceSpec
+from repro.kernels.isa import InstructionClass, InstructionMix
+
+
+class TestComputeCapability:
+    def test_parse_and_str(self):
+        cc = ComputeCapability.parse("2.1")
+        assert (cc.major, cc.minor) == (2, 1)
+        assert str(cc) == "2.1"
+
+    def test_family_mapping(self):
+        assert family_of_cc("1.1") == "1.x"
+        assert family_of_cc("1.3") == "1.x"
+        assert family_of_cc("2.0") == "2.x"
+        assert family_of_cc("2.1") == "2.x"
+        assert family_of_cc("3.0") == "3.0"
+        assert family_of_cc("3.5") == "3.5"
+        assert family_of_cc("3.7") == "3.5"
+
+    def test_unmodelled_capability(self):
+        with pytest.raises(ValueError, match="not modelled"):
+            family_of_cc("5.0")
+
+
+class TestTableI:
+    """The multiprocessor architecture table, verbatim."""
+
+    @pytest.mark.parametrize(
+        "name,cores,groups,size,issue,scheds,dual",
+        [
+            ("1.*", 8, 1, 8, 4, 1, False),
+            ("2.0", 32, 2, 16, 2, 2, False),
+            ("2.1", 48, 3, 16, 2, 2, True),
+            ("3.0", 192, 6, 32, 1, 4, True),
+        ],
+    )
+    def test_rows(self, name, cores, groups, size, issue, scheds, dual):
+        arch = ARCHITECTURES[name]
+        assert arch.cores_per_mp == cores
+        assert arch.core_groups == groups
+        assert arch.group_size == size
+        assert arch.issue_time == issue
+        assert arch.warp_schedulers == scheds
+        assert arch.dual_issue == dual
+
+    def test_consistency_invariant(self):
+        for arch in ARCHITECTURES.values():
+            assert arch.cores_per_mp == arch.core_groups * arch.group_size
+
+
+class TestTableII:
+    """Instruction throughput per class, verbatim."""
+
+    @pytest.mark.parametrize(
+        "cls,expected",
+        [
+            (InstructionClass.IADD, {"1.*": 10, "2.0": 32, "2.1": 48, "3.0": 160}),
+            (InstructionClass.LOP, {"1.*": 8, "2.0": 32, "2.1": 48, "3.0": 160}),
+            (InstructionClass.SHIFT, {"1.*": 8, "2.0": 16, "2.1": 16, "3.0": 32}),
+            (InstructionClass.IMAD, {"1.*": 8, "2.0": 16, "2.1": 16, "3.0": 32}),
+        ],
+    )
+    def test_rows(self, cls, expected):
+        for name, value in expected.items():
+            assert ARCHITECTURES[name].peak_ops(cls) == value
+
+    def test_reference_dict_matches_arch_objects(self):
+        names = {"32-bit integer ADD": InstructionClass.IADD,
+                 "32-bit bitwise AND/OR/XOR": InstructionClass.LOP,
+                 "32-bit integer shift": InstructionClass.SHIFT,
+                 "32-bit integer MAD": InstructionClass.IMAD}
+        for row, cls in names.items():
+            for arch_name, value in INSTRUCTION_THROUGHPUT[row].items():
+                assert ARCHITECTURES[arch_name].peak_ops(cls) == value
+
+    def test_funnel_shift_doubles_on_35(self):
+        # Section V-B: funnel shift at double speed => 4x rotate throughput.
+        assert ARCHITECTURES["3.5"].peak_ops(InstructionClass.FUNNEL) == 64
+        assert ARCHITECTURES["3.0"].peak_ops(InstructionClass.SHIFT) == 32
+
+    def test_shift_mad_demand(self):
+        arch = ARCHITECTURES["3.0"]
+        mix = InstructionMix.of(SHIFT=43, IMAD=43, PRMT=3)
+        assert arch.shift_mad_demand(mix) == pytest.approx(89 / 32)
+
+
+class TestDeviceCatalog:
+    """Table VII, verbatim."""
+
+    @pytest.mark.parametrize(
+        "name,mp,cores,clock,cc",
+        [
+            ("8600M", 4, 32, 950, "1.1"),
+            ("8800", 16, 128, 1625, "1.1"),
+            ("540M", 2, 96, 1344, "2.1"),
+            ("550Ti", 4, 192, 1800, "2.1"),
+            ("660", 5, 960, 1033, "3.0"),
+        ],
+    )
+    def test_paper_rows(self, name, mp, cores, clock, cc):
+        dev = PAPER_DEVICES[name]
+        assert dev.multiprocessors == mp
+        assert dev.cores == cores
+        assert dev.clock_mhz == clock
+        assert str(dev.compute_capability) == cc
+
+    def test_cores_consistency_enforced(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            DeviceSpec("bad", 4, 33, 950, ComputeCapability.parse("1.1"))
+
+    def test_positive_parameters_enforced(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("bad", 0, 0, 950, ComputeCapability.parse("1.1"))
+
+    def test_get_device(self):
+        assert get_device("660").family == "3.0"
+        with pytest.raises(ValueError, match="unknown device"):
+            get_device("9999GTX")
+
+    def test_extended_catalog_has_35_part(self):
+        assert DEVICES["TitanCC35"].family == "3.5"
+
+    def test_arch_for_cc_aliases(self):
+        assert arch_for_cc("1.3") is ARCHITECTURES["1.*"]
+        assert arch_for_cc("3.7") is ARCHITECTURES["3.5"]
+        with pytest.raises(ValueError):
+            arch_for_cc("2.5")

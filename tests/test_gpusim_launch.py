@@ -1,0 +1,125 @@
+"""Tests for the launch-overhead / watchdog / tuning-curve model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpusim import LaunchModel, efficiency_at, min_batch_for_efficiency, split_for_watchdog
+from repro.gpusim.launch import launch_model_for, tuning_curve
+from repro.gpusim.device import PAPER_DEVICES
+
+
+def model(**kw):
+    defaults = dict(peak_rate=1e9, launch_overhead=200e-6, watchdog_limit=2.0, fixed_overhead=500e-6)
+    defaults.update(kw)
+    return LaunchModel(**defaults)
+
+
+class TestLaunchModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            model(peak_rate=0)
+        with pytest.raises(ValueError):
+            model(launch_overhead=-1)
+
+    def test_candidates_per_grid(self):
+        m = model(peak_rate=1e9, watchdog_limit=2.0)
+        assert m.candidates_per_grid == 2_000_000_000
+
+    def test_grids_for(self):
+        m = model(peak_rate=1e6, watchdog_limit=1.0)  # 1M per grid
+        assert m.grids_for(0) == 0
+        assert m.grids_for(1) == 1
+        assert m.grids_for(1_000_000) == 1
+        assert m.grids_for(1_000_001) == 2
+        assert m.grids_for(10_000_000) == 10
+
+    def test_time_decomposition(self):
+        m = model(peak_rate=1e6, watchdog_limit=1.0, launch_overhead=1e-3, fixed_overhead=2e-3)
+        # 2.5M candidates: 3 grids, 2.5 s of hashing.
+        assert m.time_for(2_500_000) == pytest.approx(3e-3 + 2.5 + 2e-3)
+
+    def test_throughput_approaches_peak(self):
+        m = model()
+        assert m.throughput_at(10**12) == pytest.approx(m.peak_rate, rel=0.01)
+
+    def test_zero_candidates(self):
+        m = model()
+        assert m.time_for(0) == 0.0
+        assert m.throughput_at(0) == 0.0
+        assert efficiency_at(m, 0) == 0.0
+
+
+class TestEfficiencyAndTuning:
+    @given(n=st.integers(1, 10**12))
+    @settings(max_examples=50)
+    def test_efficiency_bounded(self, n):
+        m = model()
+        assert 0.0 < efficiency_at(m, n) < 1.0
+
+    def test_efficiency_mostly_increasing(self):
+        m = model()
+        samples = [efficiency_at(m, 10**k) for k in range(0, 12)]
+        assert samples == sorted(samples)
+
+    def test_min_batch_for_efficiency_is_minimal(self):
+        m = model(peak_rate=1e8)
+        n = min_batch_for_efficiency(m, 0.9)
+        assert efficiency_at(m, n) >= 0.9
+        assert efficiency_at(m, n - 1) < 0.9
+
+    @given(target=st.floats(0.05, 0.99))
+    @settings(max_examples=30)
+    def test_min_batch_meets_target(self, target):
+        m = model(peak_rate=1e8)
+        n = min_batch_for_efficiency(m, target)
+        assert efficiency_at(m, n) >= target
+
+    def test_unreachable_target_rejected(self):
+        m = model(launch_overhead=0.5, watchdog_limit=1.0)  # asymptote 2/3
+        with pytest.raises(ValueError, match="unreachable"):
+            min_batch_for_efficiency(m, 0.9)
+
+    def test_target_range_validated(self):
+        with pytest.raises(ValueError):
+            min_batch_for_efficiency(model(), 0.0)
+        with pytest.raises(ValueError):
+            min_batch_for_efficiency(model(), 1.0)
+
+    def test_tuning_curve_shape(self):
+        m = model()
+        curve = tuning_curve(m, [10**k for k in range(3, 10)])
+        assert len(curve) == 7
+        effs = [e for _, e in curve]
+        assert effs == sorted(effs)
+
+    def test_faster_node_needs_larger_batch(self):
+        # The paper: N_max = max_j(n_j * X_max / X_j) — faster nodes need
+        # proportionally more work for the same efficiency.
+        slow = model(peak_rate=71e6)  # 8600M-class
+        fast = model(peak_rate=1841e6)  # GTX 660-class
+        assert min_batch_for_efficiency(fast, 0.9) > min_batch_for_efficiency(slow, 0.9)
+
+
+class TestWatchdogSplit:
+    def test_split_sizes(self):
+        m = model(peak_rate=1e6, watchdog_limit=1.0)
+        assert split_for_watchdog(m, 2_500_000) == [1_000_000, 1_000_000, 500_000]
+
+    def test_split_empty(self):
+        assert split_for_watchdog(model(), 0) == []
+
+    def test_split_negative_rejected(self):
+        with pytest.raises(ValueError):
+            split_for_watchdog(model(), -1)
+
+    @given(n=st.integers(0, 10**7))
+    @settings(max_examples=30)
+    def test_split_conserves_work(self, n):
+        m = model(peak_rate=1e5, watchdog_limit=1.0)
+        parts = split_for_watchdog(m, n)
+        assert sum(parts) == n
+        assert all(0 < p <= m.candidates_per_grid for p in parts)
+
+    def test_launch_model_for_device(self):
+        m = launch_model_for(PAPER_DEVICES["660"], 1841.0)
+        assert m.peak_rate == pytest.approx(1841e6)

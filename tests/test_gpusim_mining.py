@@ -1,0 +1,68 @@
+"""Tests for the SHA256d mining throughput model."""
+
+import pytest
+
+from repro.gpusim.device import DEVICES, PAPER_DEVICES
+from repro.gpusim.mining import (
+    mining_achieved_mhash,
+    mining_mix,
+    mining_source_mix,
+    mining_theoretical_mhash,
+)
+from repro.gpusim.throughput import device_report
+from repro.kernels.isa import SourceOp
+from repro.kernels.trace import trace_sha256_compress
+from repro.kernels.variants import HashAlgorithm
+
+
+class TestMiningMix:
+    def test_double_of_single_compress(self):
+        single = trace_sha256_compress()
+        double = mining_source_mix()
+        for op in SourceOp:
+            assert double[op] == 2 * single[op]
+
+    def test_lowered_mix_has_plain_shifts(self):
+        # SHA256's sigma functions use genuine (non-rotate) shifts too.
+        mix = mining_mix("3.0")
+        assert mix.shift_mad > 0
+        assert mix.total > 2000  # two full compressions
+
+    def test_no_prmt_for_sha256(self):
+        # None of SHA256's rotation distances is 16.
+        from repro.kernels.isa import InstructionClass
+
+        assert mining_mix("3.0")[InstructionClass.PRMT] == 0
+
+
+class TestMiningThroughput:
+    def test_magnitudes_match_the_gpu_mining_era(self):
+        # Era GPUs mined tens of Mhash/s; the model must land in that
+        # decade, not Mkeys/s-of-MD5 territory.
+        for name in ("8800", "550Ti", "660"):
+            mhash = mining_theoretical_mhash(PAPER_DEVICES[name])
+            assert 10 < mhash < 150, name
+
+    def test_mining_much_slower_than_md5_cracking(self):
+        # Two SHA256 compressions >> one 46-step MD5: > 20x per candidate.
+        dev = PAPER_DEVICES["660"]
+        md5 = device_report(dev, HashAlgorithm.MD5).achieved_mkeys
+        mining = mining_achieved_mhash(dev)
+        assert md5 / mining > 20
+
+    def test_achieved_below_theoretical(self):
+        for dev in PAPER_DEVICES.values():
+            assert mining_achieved_mhash(dev) <= mining_theoretical_mhash(dev) * 1.0001
+
+    def test_funnel_shift_is_a_big_deal_for_sha256(self):
+        # SHA256 is rotation-heavy; CC 3.5's funnel shift pays off more
+        # than core count alone explains.
+        titan = DEVICES["TitanCC35"]
+        kepler = DEVICES["660"]
+        per_core_titan = mining_theoretical_mhash(titan) / titan.cores / titan.clock_mhz
+        per_core_660 = mining_theoretical_mhash(kepler) / kepler.cores / kepler.clock_mhz
+        assert per_core_titan > per_core_660 * 1.5
+
+    def test_ilp_parameter_monotone(self):
+        dev = PAPER_DEVICES["550Ti"]
+        assert mining_achieved_mhash(dev, 0.5) >= mining_achieved_mhash(dev, 0.0)

@@ -1,0 +1,104 @@
+"""Tests for the occupancy / grid-tail model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpusim.device import PAPER_DEVICES
+from repro.gpusim.occupancy import (
+    OCCUPANCY_LIMITS,
+    WARP_SIZE,
+    grid_efficiency,
+    limits_for,
+    min_candidates_for_tail_efficiency,
+    per_thread_for_duration,
+    resident_warps,
+    wave_capacity,
+)
+
+
+class TestResidentWarps:
+    def test_full_occupancy_at_256_threads(self):
+        # 256-thread blocks: 8 warps each; every family fills its cap.
+        assert resident_warps(PAPER_DEVICES["8800"], 256) == 24
+        assert resident_warps(PAPER_DEVICES["550Ti"], 256) == 48
+        assert resident_warps(PAPER_DEVICES["660"], 256) == 64
+
+    def test_small_blocks_limited_by_block_count(self):
+        # 32-thread blocks: 1 warp each, capped at max blocks per MP.
+        assert resident_warps(PAPER_DEVICES["8800"], 32) == 8
+        assert resident_warps(PAPER_DEVICES["660"], 32) == 16
+
+    def test_block_size_validation(self):
+        dev = PAPER_DEVICES["660"]
+        with pytest.raises(ValueError):
+            resident_warps(dev, 0)
+        with pytest.raises(ValueError):
+            resident_warps(dev, 48)  # not a warp multiple
+        with pytest.raises(ValueError):
+            resident_warps(dev, 2048)
+
+    def test_limits_catalog(self):
+        for family, limits in OCCUPANCY_LIMITS.items():
+            assert limits.max_warps_per_mp * WARP_SIZE >= limits.max_threads_per_block
+
+    def test_limits_for_device(self):
+        assert limits_for(PAPER_DEVICES["540M"]).max_warps_per_mp == 48
+
+
+class TestWaves:
+    def test_wave_capacity(self):
+        dev = PAPER_DEVICES["660"]  # 5 MPs x 64 warps x 32 lanes
+        assert wave_capacity(dev, 256) == 5 * 64 * 32
+        assert wave_capacity(dev, 256, per_thread=100) == 5 * 64 * 32 * 100
+
+    def test_per_thread_validation(self):
+        with pytest.raises(ValueError):
+            wave_capacity(PAPER_DEVICES["660"], 256, per_thread=0)
+
+    def test_grid_efficiency_full_wave(self):
+        dev = PAPER_DEVICES["660"]
+        wave = wave_capacity(dev, 256)
+        assert grid_efficiency(dev, wave) == 1.0
+        assert grid_efficiency(dev, 3 * wave) == 1.0
+
+    def test_grid_efficiency_tail_hurts(self):
+        dev = PAPER_DEVICES["660"]
+        wave = wave_capacity(dev, 256)
+        assert grid_efficiency(dev, wave + 1) == pytest.approx((wave + 1) / (2 * wave))
+        assert grid_efficiency(dev, 1) == pytest.approx(1 / wave)
+
+    def test_zero_and_negative(self):
+        dev = PAPER_DEVICES["660"]
+        assert grid_efficiency(dev, 0) == 0.0
+        with pytest.raises(ValueError):
+            grid_efficiency(dev, -1)
+
+    @given(candidates=st.integers(1, 10**9))
+    @settings(max_examples=40)
+    def test_property_efficiency_bounded(self, candidates):
+        dev = PAPER_DEVICES["550Ti"]
+        eff = grid_efficiency(dev, candidates)
+        assert 0.0 < eff <= 1.0
+
+
+class TestTuningHelpers:
+    def test_min_candidates_meets_target(self):
+        dev = PAPER_DEVICES["660"]
+        n = min_candidates_for_tail_efficiency(dev, 0.95)
+        # Worst case: n full waves plus a 1-candidate tail.
+        assert grid_efficiency(dev, n + 1) >= 0.95
+        with pytest.raises(ValueError):
+            min_candidates_for_tail_efficiency(dev, 1.0)
+
+    def test_faster_devices_need_bigger_grids(self):
+        n660 = min_candidates_for_tail_efficiency(PAPER_DEVICES["660"], 0.95)
+        n540 = min_candidates_for_tail_efficiency(PAPER_DEVICES["540M"], 0.95)
+        assert n660 > n540
+
+    def test_per_thread_for_duration(self):
+        dev = PAPER_DEVICES["660"]
+        per_thread = per_thread_for_duration(dev, kernel_mkeys=1841.0, duration_s=1.0)
+        threads = dev.multiprocessors * resident_warps(dev, 256) * WARP_SIZE
+        assert per_thread * threads == pytest.approx(1841e6, rel=0.01)
+        with pytest.raises(ValueError):
+            per_thread_for_duration(dev, 0, 1.0)

@@ -1,0 +1,144 @@
+"""Tests for the cycle-level warp-scheduler simulator."""
+
+import pytest
+
+from repro.gpusim import MultiprocessorSim, PAPER_DEVICES, simulate_kernel_cycles
+from repro.gpusim.arch import ARCHITECTURES
+from repro.gpusim.scheduler import instruction_stream, ports_for_arch
+from repro.gpusim.throughput import cycles_per_hash_simulated
+from repro.kernels import InstructionClass, InstructionMix
+from repro.kernels.variants import HashAlgorithm, KernelVariant, get_kernel
+
+
+class TestInstructionStream:
+    def test_length_and_composition(self):
+        mix = InstructionMix.of(IADD=6, LOP=3, SHIFT=1)
+        stream = instruction_stream(mix)
+        assert len(stream) == 10
+        counts = {}
+        for cls, _ in stream:
+            counts[cls] = counts.get(cls, 0) + 1
+        assert counts[InstructionClass.IADD] == 6
+        assert counts[InstructionClass.LOP] == 3
+
+    def test_proportional_prefixes(self):
+        # Every prefix should be roughly representative.
+        mix = InstructionMix.of(IADD=60, LOP=30, SHIFT=10)
+        stream = instruction_stream(mix)
+        half = stream[:50]
+        iadds = sum(1 for cls, _ in half if cls is InstructionClass.IADD)
+        assert 25 <= iadds <= 35
+
+    def test_interleave_chains_alternate(self):
+        mix = InstructionMix.of(IADD=8)
+        stream = instruction_stream(mix, interleave=2)
+        chains = [chain for _, chain in stream]
+        assert chains == [0, 1] * 4
+
+    def test_empty_mix(self):
+        assert instruction_stream(InstructionMix({})) == []
+
+    def test_invalid_interleave(self):
+        with pytest.raises(ValueError):
+            instruction_stream(InstructionMix.of(IADD=1), interleave=0)
+
+
+class TestPorts:
+    def test_1x_ports(self):
+        ports = ports_for_arch(ARCHITECTURES["1.*"])
+        assert [p.name for p in ports] == ["cores", "sfu"]
+        assert ports[0].capacity == 8.0
+        assert ports[1].classes == frozenset({InstructionClass.IADD})
+
+    def test_21_has_one_full_and_two_addlop_groups(self):
+        ports = ports_for_arch(ARCHITECTURES["2.1"])
+        assert len(ports) == 3
+        full = [p for p in ports if InstructionClass.SHIFT in p.classes]
+        assert len(full) == 1
+
+    def test_30_shift_mad_isolated(self):
+        ports = ports_for_arch(ARCHITECTURES["3.0"])
+        shm = [p for p in ports if InstructionClass.SHIFT in p.classes]
+        assert len(shm) == 1
+        assert InstructionClass.IADD not in shm[0].classes
+        assert len(ports) == 6
+
+    def test_35_funnel_capacity_doubled(self):
+        ports = ports_for_arch(ARCHITECTURES["3.5"])
+        shm = [p for p in ports if InstructionClass.FUNNEL in p.classes][0]
+        assert shm.capacity == 64.0
+
+    def test_port_issue_occupancy(self):
+        ports = ports_for_arch(ARCHITECTURES["2.1"])
+        p = ports[0]
+        assert p.can_issue(InstructionClass.SHIFT, 0.0)
+        p.issue(0.0)
+        assert not p.can_issue(InstructionClass.SHIFT, 1.0)
+        assert p.can_issue(InstructionClass.SHIFT, 2.0)  # 32/16 = 2 cycles
+
+
+class TestSimulatorAgainstClosedForm:
+    """The cycle simulator must land near the analytic port model."""
+
+    @pytest.mark.parametrize("device_name", ["8600M", "8800", "540M", "550Ti", "660"])
+    def test_md5_single_issue_agreement(self, device_name):
+        dev = PAPER_DEVICES[device_name]
+        mix = get_kernel(HashAlgorithm.MD5, KernelVariant.BYTE_PERM).mix_for(dev.family)
+        sim = simulate_kernel_cycles(dev, mix, interleave=1)
+        closed_cycles = cycles_per_hash_simulated(dev.arch, mix, ilp_fraction=0.0)
+        # The event-level sim may be conservative (port convoying) but never
+        # optimistic beyond rounding.
+        assert sim.cycles_per_hash == pytest.approx(closed_cycles, rel=0.25)
+        assert sim.cycles_per_hash > closed_cycles * 0.95
+
+    def test_interleave_speeds_up_dual_issue_archs(self):
+        dev = PAPER_DEVICES["550Ti"]
+        mix = get_kernel(HashAlgorithm.MD5).mix_for(dev.family)
+        r1 = simulate_kernel_cycles(dev, mix, interleave=1)
+        r2 = simulate_kernel_cycles(dev, mix, interleave=2)
+        assert r2.mkeys_per_second(dev) > r1.mkeys_per_second(dev) * 1.15
+        assert r2.dual_issue_fraction > 0.2
+
+    def test_interleave_useless_without_dual_issue(self):
+        dev = PAPER_DEVICES["8800"]
+        mix = get_kernel(HashAlgorithm.MD5).mix_for(dev.family)
+        r1 = simulate_kernel_cycles(dev, mix, interleave=1)
+        r2 = simulate_kernel_cycles(dev, mix, interleave=2)
+        assert r2.cycles == pytest.approx(r1.cycles, rel=0.02)
+
+    def test_1x_ops_per_cycle_is_issue_bound(self):
+        dev = PAPER_DEVICES["8800"]
+        mix = get_kernel(HashAlgorithm.MD5).mix_for(dev.family)
+        r = simulate_kernel_cycles(dev, mix)
+        assert r.ops_per_cycle == pytest.approx(8.0, rel=0.02)
+
+    def test_more_warps_hide_latency_better(self):
+        dev = PAPER_DEVICES["660"]
+        mix = get_kernel(HashAlgorithm.MD5).mix_for(dev.family)
+        few = simulate_kernel_cycles(dev, mix, warps=8)
+        many = simulate_kernel_cycles(dev, mix, warps=64)
+        assert many.cycles_per_hash < few.cycles_per_hash
+
+
+class TestSimMechanics:
+    def test_empty_mix_finishes_immediately(self):
+        sim = MultiprocessorSim(ARCHITECTURES["2.1"])
+        result = sim.run(InstructionMix({}))
+        assert result.cycles == 0.0
+        assert result.instructions == 0
+        assert result.dual_issue_fraction == 0.0
+
+    def test_warp_validation(self):
+        with pytest.raises(ValueError):
+            MultiprocessorSim(ARCHITECTURES["2.1"], warps=0)
+
+    def test_all_instructions_issued(self):
+        sim = MultiprocessorSim(ARCHITECTURES["2.1"], warps=4)
+        mix = InstructionMix.of(IADD=20, SHIFT=5)
+        result = sim.run(mix)
+        assert result.instructions == 4 * 25
+
+    def test_hashes_counts_lanes(self):
+        sim = MultiprocessorSim(ARCHITECTURES["3.0"], warps=4)
+        result = sim.run(InstructionMix.of(IADD=10))
+        assert result.hashes == 128

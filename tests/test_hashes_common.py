@@ -1,0 +1,104 @@
+"""Property tests for the shared 32-bit arithmetic helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hashes.common import (
+    IntOps,
+    MASK32,
+    bytes_from_words_be,
+    bytes_from_words_le,
+    np_rotl32,
+    np_rotr32,
+    rotl32,
+    rotr32,
+    words_from_bytes_be,
+    words_from_bytes_le,
+)
+
+u32 = st.integers(0, MASK32)
+rot = st.integers(0, 64)
+
+
+class TestScalarRotations:
+    @given(x=u32, n=rot)
+    def test_rotl_rotr_inverse(self, x, n):
+        assert rotr32(rotl32(x, n), n) == x
+
+    @given(x=u32, n=rot)
+    def test_rotl_is_rotr_complement(self, x, n):
+        assert rotl32(x, n) == rotr32(x, 32 - (n & 31))
+
+    @given(x=u32)
+    def test_rotate_by_zero_and_32(self, x):
+        assert rotl32(x, 0) == x
+        assert rotl32(x, 32) == x
+
+    @given(x=u32, n=rot, m=rot)
+    def test_rotation_composes_additively(self, x, n, m):
+        assert rotl32(rotl32(x, n), m) == rotl32(x, (n + m) & 31)
+
+    @given(x=u32, n=rot)
+    def test_bit_population_preserved(self, x, n):
+        assert bin(rotl32(x, n)).count("1") == bin(x).count("1")
+
+
+class TestIntOps:
+    @given(a=u32, b=u32)
+    def test_add_wraps(self, a, b):
+        assert IntOps.add(a, b) == (a + b) % 2**32
+
+    @given(a=u32)
+    def test_bnot_is_involution(self, a):
+        assert IntOps.bnot(IntOps.bnot(a)) == a
+
+    @given(a=u32, n=st.integers(0, 31))
+    def test_shl_shr(self, a, n):
+        assert IntOps.shl(a, n) == (a << n) & MASK32
+        assert IntOps.shr(a, n) == a >> n
+
+    @given(x=u32, n=rot)
+    def test_rotl_matches_helper(self, x, n):
+        assert IntOps.rotl(x, n) == rotl32(x, n)
+
+    def test_const_masks(self):
+        assert IntOps.const(2**33 + 5) == 5
+
+
+class TestNumpyRotations:
+    @given(n=rot, seed=st.integers(0, 2**31))
+    @settings(max_examples=30)
+    def test_lanes_match_scalar(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.integers(0, 2**32, size=16, dtype=np.uint32)
+        left = np_rotl32(x, n)
+        right = np_rotr32(x, n)
+        for lane in range(16):
+            assert int(left[lane]) == rotl32(int(x[lane]), n)
+            assert int(right[lane]) == rotr32(int(x[lane]), n)
+
+    def test_zero_rotation_is_identity_object(self):
+        x = np.arange(4, dtype=np.uint32)
+        assert np_rotl32(x, 0) is x
+        assert np_rotl32(x, 32) is x
+
+
+class TestWordConversions:
+    @given(words=st.lists(u32, min_size=0, max_size=8))
+    def test_le_roundtrip(self, words):
+        assert words_from_bytes_le(bytes_from_words_le(words)) == words
+
+    @given(words=st.lists(u32, min_size=0, max_size=8))
+    def test_be_roundtrip(self, words):
+        assert words_from_bytes_be(bytes_from_words_be(words)) == words
+
+    def test_endianness_differs(self):
+        data = bytes(range(8))
+        assert words_from_bytes_le(data) != words_from_bytes_be(data)
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            words_from_bytes_le(b"abc")
+        with pytest.raises(ValueError):
+            words_from_bytes_be(b"abcde")

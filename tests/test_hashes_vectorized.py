@@ -1,0 +1,134 @@
+"""The vectorized engines must agree with hashlib on every lane."""
+
+import hashlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hashes import (
+    Endian,
+    md5_batch,
+    md5_batch_hex,
+    pack_single_block,
+    sha1_batch,
+    sha1_batch_hex,
+    sha256_batch,
+    sha256_batch_hex,
+)
+from repro.hashes.vec_sha256 import sha256_compress_batch
+from repro.keyspace import ALNUM_MIXED, KeyMapping, batch_keys
+
+
+def random_batch(rng, batch, length):
+    return rng.integers(ord("!"), ord("~"), size=(batch, length), dtype=np.uint8)
+
+
+class TestMD5Batch:
+    def test_lanes_match_hashlib(self):
+        rng = np.random.default_rng(1)
+        chars = random_batch(rng, 64, 9)
+        hexes = md5_batch_hex(pack_single_block(chars, Endian.LITTLE))
+        for row, hexdigest in zip(chars, hexes):
+            assert hexdigest == hashlib.md5(row.tobytes()).hexdigest()
+
+    def test_output_shape_and_dtype(self):
+        blocks = pack_single_block(np.zeros((5, 3), dtype=np.uint8), Endian.LITTLE)
+        out = md5_batch(blocks)
+        assert out.shape == (5, 4)
+        assert out.dtype == np.uint32
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            md5_batch(np.zeros((5, 8), dtype=np.uint32))
+        with pytest.raises(TypeError):
+            md5_batch(np.zeros((5, 16), dtype=np.int64))
+
+    def test_empty_batch(self):
+        assert md5_batch(np.zeros((0, 16), dtype=np.uint32)).shape == (0, 4)
+
+    @given(length=st.integers(0, 55), seed=st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_every_single_block_length(self, length, seed):
+        rng = np.random.default_rng(seed)
+        chars = random_batch(rng, 4, length)
+        hexes = md5_batch_hex(pack_single_block(chars, Endian.LITTLE))
+        for row, hexdigest in zip(chars, hexes):
+            assert hexdigest == hashlib.md5(row.tobytes()).hexdigest()
+
+
+class TestSHA1Batch:
+    def test_lanes_match_hashlib(self):
+        rng = np.random.default_rng(2)
+        chars = random_batch(rng, 64, 11)
+        hexes = sha1_batch_hex(pack_single_block(chars, Endian.BIG))
+        for row, hexdigest in zip(chars, hexes):
+            assert hexdigest == hashlib.sha1(row.tobytes()).hexdigest()
+
+    def test_output_shape(self):
+        blocks = pack_single_block(np.zeros((7, 3), dtype=np.uint8), Endian.BIG)
+        assert sha1_batch(blocks).shape == (7, 5)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            sha1_batch(np.zeros((5, 15), dtype=np.uint32))
+        with pytest.raises(TypeError):
+            sha1_batch(np.zeros((5, 16), dtype=np.float64))
+
+    @given(length=st.integers(0, 55), seed=st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_every_single_block_length(self, length, seed):
+        rng = np.random.default_rng(seed)
+        chars = random_batch(rng, 4, length)
+        hexes = sha1_batch_hex(pack_single_block(chars, Endian.BIG))
+        for row, hexdigest in zip(chars, hexes):
+            assert hexdigest == hashlib.sha1(row.tobytes()).hexdigest()
+
+
+class TestSHA256Batch:
+    def test_lanes_match_hashlib(self):
+        rng = np.random.default_rng(3)
+        chars = random_batch(rng, 64, 13)
+        hexes = sha256_batch_hex(pack_single_block(chars, Endian.BIG))
+        for row, hexdigest in zip(chars, hexes):
+            assert hexdigest == hashlib.sha256(row.tobytes()).hexdigest()
+
+    def test_output_shape(self):
+        blocks = pack_single_block(np.zeros((7, 3), dtype=np.uint8), Endian.BIG)
+        assert sha256_batch(blocks).shape == (7, 8)
+
+    def test_chained_state_for_shared_prefix(self):
+        # The paper's long-key trick: cache the intermediate state of shared
+        # leading blocks, then process only the final block per key.
+        prefix = b"P" * 64  # exactly one block, shared by all candidates
+        tails = [b"tail-one", b"tail-two"]
+        # Shared-state path:
+        from repro.hashes.padding import pad_message
+        from repro.hashes.sha256 import SHA256_INIT, sha256_compress
+
+        mid = sha256_compress(SHA256_INIT, pad_message(prefix + tails[0], Endian.BIG)[0])
+        chars = np.stack([np.frombuffer(t, dtype=np.uint8) for t in tails])
+        batch_mid = tuple(np.full(2, np.uint32(x), dtype=np.uint32) for x in mid)
+        # Build final blocks: message is prefix+tail, so the final block is
+        # the padded tail with total bit length 72 * 8.
+        final_blocks = np.stack(
+            [
+                np.array(pad_message(prefix + t, Endian.BIG)[1], dtype=np.uint32)
+                for t in tails
+            ]
+        )
+        out = np.stack(sha256_compress_batch(final_blocks, state=batch_mid), axis=1)
+        for row, tail in zip(out, tails):
+            expected = hashlib.sha256(prefix + tail).hexdigest()
+            assert row.astype(">u4").tobytes().hex() == expected
+
+
+class TestEndToEndWithKeyspace:
+    def test_generated_candidates_hash_correctly(self):
+        mapping = KeyMapping(ALNUM_MIXED, 5, 5)
+        segments = batch_keys(mapping, 10_000, 32)
+        (_, _, chars), = segments
+        hexes = md5_batch_hex(pack_single_block(chars, Endian.LITTLE))
+        for i, hexdigest in enumerate(hexes):
+            key = mapping.key_at(10_000 + i)
+            assert hexdigest == hashlib.md5(key.encode()).hexdigest()

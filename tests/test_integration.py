@@ -1,0 +1,137 @@
+"""Cross-module integration tests: the whole system, end to end."""
+
+import hashlib
+
+import pytest
+
+from repro import (
+    ALNUM_MIXED,
+    Charset,
+    CrackTarget,
+    CrackingSession,
+    HashAlgorithm,
+    Interval,
+    build_paper_network,
+)
+from repro.cluster import FaultPlan, run_with_faults, simulate_run
+from repro.core.costs import CostModel, DispatchCosts, dispatch_bounds
+from repro.gpusim.launch import LaunchModel, efficiency_at, min_batch_for_efficiency
+
+ABC = Charset("abc", name="abc")
+
+
+class TestBackendAgreement:
+    """Every backend must report exactly the same cracks."""
+
+    @pytest.mark.parametrize("algorithm", list(HashAlgorithm))
+    def test_sequential_local_and_naive_agree(self, algorithm):
+        target = CrackTarget.from_password(
+            "bac", ABC, algorithm=algorithm, min_length=1, max_length=4
+        )
+        session = CrackingSession(target)
+        seq = session.run_sequential()
+        loc = session.run_local(workers=1, batch_size=53)
+        from repro.apps.cracking import CrackEngine
+
+        naive = CrackEngine(target, batch_size=53, force_naive=True).search_all()
+        assert seq.found == loc.found == naive
+        assert seq.candidates_tested == loc.candidates_tested == target.space_size
+
+
+class TestTuningFeedsDispatch:
+    """The launch model's n_j drives the cluster's round sizing."""
+
+    def test_min_batch_reaches_target_on_network(self):
+        net = build_paper_network(HashAlgorithm.MD5)
+        for device in net.subtree_devices():
+            n = min_batch_for_efficiency(device.launch, 0.95)
+            assert efficiency_at(device.launch, n) >= 0.95
+        result = simulate_run(net, 5 * 10**9)
+        assert result.dispatch_efficiency > 0.95
+
+
+class TestCostModelMatchesSimulation:
+    """The K_D bounds of Section III must bracket the DES measurement."""
+
+    def test_bounds_bracket_simulated_round(self):
+        from repro.cluster import ClusterNode, GPUWorker, LinkSpec
+        from repro.cluster.node import GATHER_BYTES, SCATTER_BYTES
+
+        link = LinkSpec(latency=1e-3, bandwidth=1e7)
+        children = [
+            ClusterNode(f"n{i}", devices=[GPUWorker(f"g{i}", rate)], uplink=link)
+            for i, rate in enumerate([4e6, 2e6, 1e6])
+        ]
+        root = ClusterNode("root", devices=[GPUWorker("g-root", 1e6)], children=children)
+        total = 8_000_000
+        result = simulate_run(root, total, round_size=total, merge_cost=1e-4)
+
+        shares = [w.throughput / root.aggregate_throughput * total for w in root.subtree_devices()]
+        searches = [
+            dev.compute_time(int(share))
+            for dev, share in zip(root.subtree_devices(), shares)
+        ]
+        scatter = [link.transfer_time(SCATTER_BYTES)] * 4
+        gather = [link.transfer_time(GATHER_BYTES)] * 4
+        lower, upper = dispatch_bounds(
+            DispatchCosts(scatter=scatter, search=searches, gather=gather, merge=1e-4)
+        )
+        # The DES serializes sends but overlaps searches: inside the bounds.
+        assert lower * 0.99 <= result.elapsed <= upper * 1.01
+
+
+class TestSessionOnPaperNetworkFindsPlantedKey:
+    def test_simulated_cluster_locates_key_device_consistently(self):
+        target = CrackTarget.from_password("Zz9", ALNUM_MIXED, min_length=1, max_length=3)
+        session = CrackingSession(target)
+        run1 = session.simulate_on(build_paper_network(), planted_password="Zz9", round_size=10**4)
+        run2 = session.simulate_on(build_paper_network(), planted_password="Zz9", round_size=10**4)
+        assert run1.found == run2.found  # deterministic dispatch
+        (device, index), = run1.found
+        # The device that scanned it really owns that id in its intervals.
+        assert any(index in iv for iv in run1.device_stats[device].intervals)
+
+    def test_local_backend_agrees_with_planted_id(self):
+        target = CrackTarget.from_password("Zz9", ALNUM_MIXED, min_length=1, max_length=3)
+        result = CrackingSession(target).run_local(workers=1)
+        assert result.passwords == ["Zz9"]
+
+
+class TestFaultToleranceEndToEnd:
+    def test_key_is_still_found_when_its_device_dies(self):
+        # Kill node B (the strongest) after round 1; the requeued intervals
+        # still cover the planted key's id exactly once.
+        net = build_paper_network(HashAlgorithm.MD5)
+        plan = FaultPlan(failures={"B": 1})
+        report = run_with_faults(net, 10**9, round_size=10**8, plan=plan)
+        assert report.covered_exactly
+        key_id = 123_456_789
+        owners = [
+            name
+            for name, intervals in report.completed.items()
+            if any(key_id in iv for iv in intervals)
+        ]
+        assert len(owners) == 1  # exactly one device tested the key
+
+
+class TestEfficiencyStoryHangsTogether:
+    """Section III's cost story, from per-candidate costs up to the network."""
+
+    def test_from_k_next_to_network_efficiency(self):
+        from repro.core.costs import process_efficiency
+
+        model = CostModel(k_f=1e-6, k_next=1e-8, k_c=5e-8)
+        # Per-thread: long runs push efficiency to k_c / (k_c + k_next).
+        assert process_efficiency(10**6, model) == pytest.approx(
+            5e-8 / 6e-8, rel=1e-3
+        )
+        # Per-device: the launch model says how many candidates one
+        # dispatch must carry.
+        launch = LaunchModel(peak_rate=1841e6)
+        n = min_batch_for_efficiency(launch, 0.99)
+        assert efficiency_at(launch, n) >= 0.99
+        # Per-network: with rounds at least that large, dispatch efficiency
+        # stays in the same regime.
+        net = build_paper_network(HashAlgorithm.MD5)
+        result = simulate_run(net, 20 * n, round_size=4 * n)
+        assert result.dispatch_efficiency > 0.97

@@ -1,0 +1,95 @@
+"""Tests for instruction classes and mixes."""
+
+import pytest
+
+from repro.kernels import InstructionClass, InstructionMix
+from repro.kernels.isa import SHIFT_MAD_CLASSES, SourceMix, SourceOp, merge_mixes
+
+
+class TestInstructionMix:
+    def test_of_constructor_and_getitem(self):
+        mix = InstructionMix.of(IADD=3, LOP=2)
+        assert mix[InstructionClass.IADD] == 3
+        assert mix[InstructionClass.LOP] == 2
+        assert mix[InstructionClass.SHIFT] == 0
+
+    def test_zero_entries_dropped(self):
+        mix = InstructionMix.of(IADD=1, SHIFT=0)
+        assert InstructionClass.SHIFT not in mix.counts
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            InstructionMix.of(IADD=-1)
+
+    def test_addition(self):
+        a = InstructionMix.of(IADD=1, LOP=2)
+        b = InstructionMix.of(IADD=3, SHIFT=4)
+        merged = a + b
+        assert merged[InstructionClass.IADD] == 4
+        assert merged[InstructionClass.LOP] == 2
+        assert merged[InstructionClass.SHIFT] == 4
+
+    def test_scaled(self):
+        mix = InstructionMix.of(IADD=10, SHIFT=5).scaled(0.5)
+        assert mix[InstructionClass.IADD] == 5
+        assert mix[InstructionClass.SHIFT] in (2, 3)  # banker's rounding
+
+    def test_totals_and_ports(self):
+        mix = InstructionMix.of(IADD=150, LOP=120, SHIFT=43, IMAD=43, PRMT=3)
+        assert mix.total == 359
+        assert mix.additions == 150
+        assert mix.logicals == 120
+        assert mix.shift_mad == 89
+        assert mix.add_lop == 270
+
+    def test_paper_ratio_R(self):
+        # Section V-B: "the ratio between addition/logical operations and
+        # shift/MAD operations is R = 270/92 = 2.93" for Table V counts.
+        mix = InstructionMix.of(IADD=150, LOP=120, SHIFT=46, IMAD=46)
+        assert mix.ratio_addlop_to_shiftmad == pytest.approx(270 / 92, abs=0.01)
+
+    def test_ratio_infinite_without_shifts(self):
+        assert InstructionMix.of(IADD=1).ratio_addlop_to_shiftmad == float("inf")
+
+    def test_shift_mad_classes(self):
+        assert InstructionClass.FUNNEL in SHIFT_MAD_CLASSES
+        assert InstructionClass.IADD not in SHIFT_MAD_CLASSES
+
+    def test_as_table_row_layout(self):
+        row = InstructionMix.of(IADD=1, PRMT=2).as_table_row()
+        assert row["IADD"] == 1
+        assert row["PRMT (byte_perm)"] == 2
+        assert row["IMAD/ISCADD"] == 0
+
+    def test_merge_mixes(self):
+        merged = merge_mixes([InstructionMix.of(IADD=1), InstructionMix.of(IADD=2, LOP=1)])
+        assert merged[InstructionClass.IADD] == 3
+        assert merged[InstructionClass.LOP] == 1
+
+
+class TestSourceMix:
+    def test_bump_and_total(self):
+        mix = SourceMix()
+        mix.bump(SourceOp.ADD, 3)
+        mix.bump_rotate(7)
+        assert mix[SourceOp.ADD] == 3
+        assert mix[SourceOp.ROTATE] == 1
+        assert mix.total == 4
+        assert mix.rotate_amounts[7] == 1
+
+    def test_table3_row_expands_rotates(self):
+        mix = SourceMix()
+        mix.bump(SourceOp.ADD, 4)
+        mix.bump(SourceOp.SHIFT, 1)
+        mix.bump_rotate(5)
+        row = mix.as_table3_row()
+        assert row["32-bit integer ADD"] == 5  # 4 + 1 rotate-internal add
+        assert row["32-bit integer shift"] == 3  # 1 + 2 rotate-internal shifts
+
+    def test_copy_is_independent(self):
+        mix = SourceMix()
+        mix.bump(SourceOp.ADD)
+        clone = mix.copy()
+        clone.bump(SourceOp.ADD)
+        assert mix[SourceOp.ADD] == 1
+        assert clone[SourceOp.ADD] == 2

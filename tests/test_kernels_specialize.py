@@ -1,0 +1,166 @@
+"""Tests for the symbolic constant-folding specializer."""
+
+import pytest
+
+from repro.hashes.padding import Endian
+from repro.kernels.isa import SourceOp
+from repro.kernels.specialize import (
+    CONST,
+    VAR,
+    ZERO,
+    SymbolicOps,
+    schedule_taint,
+    specialized_md5_mix,
+    specialized_sha1_mix,
+    word_tags_for_length,
+)
+from repro.kernels.trace import trace_md5_steps, trace_sha1_steps
+
+
+class TestSymbolicOps:
+    def test_const_folding(self):
+        ops = SymbolicOps()
+        assert ops.add(CONST, CONST) is CONST
+        assert ops.band(CONST, ZERO) is CONST or ops.band(CONST, ZERO) is ZERO
+        assert ops.mix.total == 0  # nothing costs at compile time
+
+    def test_zero_identities_are_free(self):
+        ops = SymbolicOps()
+        assert ops.add(VAR, ZERO) is VAR
+        assert ops.bxor(VAR, ZERO) is VAR
+        assert ops.bor(ZERO, VAR) is VAR
+        assert ops.mix.total == 0
+
+    def test_and_with_zero_absorbs_free(self):
+        ops = SymbolicOps()
+        assert ops.band(VAR, ZERO) is ZERO
+        assert ops.mix.total == 0
+
+    def test_var_operations_cost(self):
+        ops = SymbolicOps()
+        ops.add(VAR, CONST)
+        ops.band(VAR, VAR)
+        ops.bnot(VAR)
+        ops.rotl(VAR, 7)
+        ops.shl(VAR, 3)
+        assert ops.mix[SourceOp.ADD] == 1
+        assert ops.mix[SourceOp.LOGICAL] == 1
+        assert ops.mix[SourceOp.NOT] == 1
+        assert ops.mix[SourceOp.ROTATE] == 1
+        assert ops.mix[SourceOp.SHIFT] == 1
+
+    def test_rotate_of_constant_free(self):
+        ops = SymbolicOps()
+        assert ops.rotl(CONST, 5) is CONST
+        assert ops.rotl(ZERO, 5) is ZERO
+        assert ops.rotl(VAR, 0) is VAR  # zero rotation is the identity
+        assert ops.mix.total == 0
+
+    def test_const_lifts_ints(self):
+        ops = SymbolicOps()
+        assert ops.const(0) is ZERO
+        assert ops.const(0x80) is CONST
+        assert ops.add(VAR, 0) is VAR  # int zero lifted and folded
+        assert ops.mix.total == 0
+
+
+class TestWordTags:
+    def test_length_4_md5(self):
+        tags = word_tags_for_length(4, Endian.LITTLE)
+        assert tags[0] is VAR  # the 4 key bytes
+        assert tags[1] is CONST  # 0x80 padding byte
+        assert all(t is ZERO for t in tags[2:14])
+        assert tags[14] is CONST  # bit length (LE placement)
+        assert tags[15] is ZERO
+
+    def test_length_4_sha1_big_endian_length_position(self):
+        tags = word_tags_for_length(4, Endian.BIG)
+        assert tags[0] is VAR
+        assert tags[14] is ZERO
+        assert tags[15] is CONST  # bit length in the last word for BE
+
+    def test_length_6_has_two_var_words(self):
+        tags = word_tags_for_length(6, Endian.LITTLE)
+        assert tags[0] is VAR and tags[1] is VAR
+        assert tags[2] is ZERO
+
+    def test_length_0(self):
+        tags = word_tags_for_length(0, Endian.LITTLE)
+        assert tags[0] is CONST  # just the padding byte
+        assert VAR not in tags
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            word_tags_for_length(56, Endian.LITTLE)
+        with pytest.raises(ValueError):
+            word_tags_for_length(-1, Endian.BIG)
+
+
+class TestSpecializedMixes:
+    def test_specialized_never_exceeds_unspecialized(self):
+        for steps in (46, 64):
+            assert specialized_md5_mix(steps).total <= trace_md5_steps(steps).total
+        for steps in (76, 80):
+            assert specialized_sha1_mix(steps).total <= trace_sha1_steps(steps).total
+
+    def test_md5_rotation_count_is_step_count(self):
+        # One rotate per executed step survives specialization.
+        assert specialized_md5_mix(46)[SourceOp.ROTATE] == 46
+        assert specialized_md5_mix(64)[SourceOp.ROTATE] == 64
+
+    def test_md5_46_matches_paper_shape(self):
+        mix = specialized_md5_mix(46)
+        # Paper Table V (2.x): IADD 150, LOP 120 after lowering; source
+        # counts land within a few instructions.
+        assert 140 <= mix[SourceOp.ADD] <= 155
+        assert 115 <= mix[SourceOp.LOGICAL] <= 125
+
+    def test_sha1_schedule_folding_saves_rotates(self):
+        spec = specialized_sha1_mix(80)
+        full = trace_sha1_steps(80)
+        assert spec[SourceOp.ROTATE] < full[SourceOp.ROTATE]
+        assert spec[SourceOp.LOGICAL] < full[SourceOp.LOGICAL]
+
+    def test_step_bounds(self):
+        with pytest.raises(ValueError):
+            specialized_md5_mix(65)
+        with pytest.raises(ValueError):
+            specialized_sha1_mix(81)
+
+    def test_longer_keys_cost_almost_nothing_extra(self):
+        # With single_var_word the inner loop varies only word 0; other key
+        # words are loop constants.  Length 8 turns one zero word into a
+        # constant word (the padding byte moves), costing 2 extra adds in
+        # 46 steps — "execution time is essentially independent of the
+        # string length" (Section IV).
+        short = specialized_md5_mix(46, key_length=4)
+        long_ = specialized_md5_mix(46, key_length=8)
+        assert long_.total - short.total <= 3
+        assert long_[SourceOp.ROTATE] == short[SourceOp.ROTATE]
+
+    def test_multi_var_words_cost_more(self):
+        single = specialized_md5_mix(64, key_length=8, single_var_word=True)
+        multi = specialized_md5_mix(64, key_length=8, single_var_word=False)
+        assert multi.total >= single.total
+
+
+class TestScheduleTaint:
+    def test_w16_is_first_tainted_expansion(self):
+        taint = schedule_taint()
+        assert taint[0] is True
+        assert not any(taint[1:16])
+        assert taint[16] is True  # W16 = rotl1(W13 ^ W8 ^ W2 ^ W0)
+        assert taint[17] is False
+        assert taint[18] is False
+        assert taint[19] is True  # depends on W16
+
+    def test_taint_saturates(self):
+        taint = schedule_taint()
+        # By the last rounds everything depends on the candidate word.
+        assert all(taint[64:])
+
+    def test_custom_var_words(self):
+        taint = schedule_taint(var_words=frozenset({15}))
+        assert taint[15] is True
+        assert taint[16] is False  # W16 does not read W15
+        assert taint[18] is True  # W18 = f(W15, ...)

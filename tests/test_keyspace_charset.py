@@ -1,0 +1,88 @@
+"""Unit tests for repro.keyspace.charset."""
+
+import numpy as np
+import pytest
+
+from repro.keyspace import (
+    ALNUM_MIXED,
+    ALPHA_LOWER,
+    ALPHA_MIXED,
+    ASCII_PRINTABLE,
+    Charset,
+    DIGITS,
+    HEX_LOWER,
+)
+
+
+class TestCharsetConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one symbol"):
+            Charset("")
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="distinct"):
+            Charset("abca")
+
+    def test_rejects_multibyte(self):
+        with pytest.raises(ValueError, match="single-byte"):
+            Charset("ab☃")
+
+    def test_len_matches_symbols(self):
+        assert len(Charset("abc")) == 3
+        assert len(ALNUM_MIXED) == 62
+        assert len(ALPHA_MIXED) == 52
+        assert len(ASCII_PRINTABLE) == 95
+
+    def test_name_not_part_of_equality(self):
+        assert Charset("abc", name="x") == Charset("abc", name="y")
+
+
+class TestCharsetProtocol:
+    def test_contains(self):
+        assert "a" in ALPHA_LOWER
+        assert "A" not in ALPHA_LOWER
+
+    def test_getitem_is_digit_order(self):
+        assert DIGITS[0] == "0"
+        assert DIGITS[9] == "9"
+        assert ALNUM_MIXED[0] == "a"
+
+    def test_iter_order(self):
+        assert "".join(HEX_LOWER) == "0123456789abcdef"
+
+    def test_digit_of_roundtrip(self):
+        for i, ch in enumerate(ALNUM_MIXED):
+            assert ALNUM_MIXED.digit_of(ch) == i
+
+    def test_digit_of_foreign_raises(self):
+        with pytest.raises(ValueError, match="not in charset"):
+            ALPHA_LOWER.digit_of("!")
+
+    def test_digits_of_and_key_of_invert(self):
+        key = "hello42"
+        cs = ALNUM_MIXED
+        assert cs.key_of(cs.digits_of(key)) == key
+
+    def test_is_valid_key(self):
+        assert ALPHA_LOWER.is_valid_key("abc")
+        assert not ALPHA_LOWER.is_valid_key("aBc")
+        assert ALPHA_LOWER.is_valid_key("")  # vacuous
+
+
+class TestByteTables:
+    def test_byte_table_matches_symbols(self):
+        table = ALNUM_MIXED.byte_table
+        assert table.dtype == np.uint8
+        assert table.tobytes().decode("latin-1") == ALNUM_MIXED.symbols
+
+    def test_inverse_byte_table(self):
+        cs = HEX_LOWER
+        inv = cs.inverse_byte_table
+        for i, ch in enumerate(cs):
+            assert inv[ord(ch)] == i
+        assert inv[ord("z")] == -1
+
+    def test_tables_compose_to_identity(self):
+        cs = ASCII_PRINTABLE
+        digits = np.arange(len(cs))
+        assert np.array_equal(cs.inverse_byte_table[cs.byte_table[digits]], digits)

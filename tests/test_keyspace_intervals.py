@@ -1,0 +1,132 @@
+"""Tests for interval tiling — the dispatch payload of Section III."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.keyspace import Interval, partition_evenly, partition_weighted, split_interval
+from repro.keyspace.intervals import is_exact_partition, merge_intervals
+
+
+class TestInterval:
+    def test_basic_protocol(self):
+        iv = Interval(3, 10)
+        assert len(iv) == 7
+        assert iv.size == 7
+        assert bool(iv)
+        assert 3 in iv and 9 in iv and 10 not in iv
+        assert list(iv) == list(range(3, 10))
+
+    def test_empty(self):
+        iv = Interval(5, 5)
+        assert not iv
+        assert len(iv) == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Interval(-1, 3)
+        with pytest.raises(ValueError):
+            Interval(5, 4)
+
+    def test_take(self):
+        head, rest = Interval(0, 10).take(4)
+        assert (head, rest) == (Interval(0, 4), Interval(4, 10))
+        head, rest = Interval(0, 10).take(100)
+        assert (head, rest) == (Interval(0, 10), Interval(10, 10))
+        with pytest.raises(ValueError):
+            Interval(0, 10).take(-1)
+
+    def test_overlaps(self):
+        assert Interval(0, 5).overlaps(Interval(4, 6))
+        assert not Interval(0, 5).overlaps(Interval(5, 6))
+
+    def test_supports_huge_ints(self):
+        iv = Interval(0, 62**20)
+        assert iv.size == 62**20
+
+
+class TestSplitInterval:
+    def test_exact_chunks(self):
+        parts = split_interval(Interval(0, 9), 3)
+        assert parts == [Interval(0, 3), Interval(3, 6), Interval(6, 9)]
+
+    def test_ragged_tail(self):
+        parts = split_interval(Interval(2, 9), 3)
+        assert parts == [Interval(2, 5), Interval(5, 8), Interval(8, 9)]
+
+    def test_invalid_chunk(self):
+        with pytest.raises(ValueError):
+            split_interval(Interval(0, 5), 0)
+
+    @given(start=st.integers(0, 50), size=st.integers(0, 200), chunk=st.integers(1, 40))
+    def test_split_is_exact_partition(self, start, size, chunk):
+        whole = Interval(start, start + size)
+        assert is_exact_partition(whole, split_interval(whole, chunk))
+
+
+class TestPartitionEvenly:
+    @given(start=st.integers(0, 100), size=st.integers(0, 500), parts=st.integers(1, 17))
+    def test_tiles_exactly(self, start, size, parts):
+        whole = Interval(start, start + size)
+        pieces = partition_evenly(whole, parts)
+        assert len(pieces) == parts
+        assert is_exact_partition(whole, pieces)
+        sizes = [p.size for p in pieces]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            partition_evenly(Interval(0, 5), 0)
+
+
+class TestPartitionWeighted:
+    def test_proportional_to_throughput(self):
+        # The paper's rule: N_j = N_max * X_j / X_max.
+        whole = Interval(0, 1000)
+        pieces = partition_weighted(whole, [1851, 654, 71])  # GTX660, 550Ti, 8600M
+        sizes = [p.size for p in pieces]
+        assert sum(sizes) == 1000
+        assert sizes[0] > sizes[1] > sizes[2]
+        assert sizes[0] == pytest.approx(1000 * 1851 / 2576, abs=1)
+
+    @given(
+        start=st.integers(0, 10),
+        size=st.integers(0, 10_000),
+        weights=st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=8),
+    )
+    def test_tiles_exactly(self, start, size, weights):
+        whole = Interval(start, start + size)
+        assert is_exact_partition(whole, partition_weighted(whole, weights))
+
+    def test_zero_weights_degenerate(self):
+        pieces = partition_weighted(Interval(0, 10), [0.0, 0.0])
+        assert [p.size for p in pieces] == [10, 0]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            partition_weighted(Interval(0, 5), [])
+        with pytest.raises(ValueError):
+            partition_weighted(Interval(0, 5), [1.0, -1.0])
+
+    @given(size=st.integers(1, 10_000))
+    def test_rounding_error_bounded_by_one(self, size):
+        whole = Interval(0, size)
+        weights = [5.0, 3.0, 2.0]
+        pieces = partition_weighted(whole, weights)
+        for piece, w in zip(pieces, weights):
+            assert abs(piece.size - size * w / 10.0) <= 1.0
+
+
+class TestMergeIntervals:
+    def test_merges_adjacent_and_overlapping(self):
+        merged = merge_intervals([Interval(0, 3), Interval(3, 5), Interval(4, 9), Interval(12, 13)])
+        assert merged == [Interval(0, 9), Interval(12, 13)]
+
+    def test_drops_empty(self):
+        assert merge_intervals([Interval(2, 2), Interval(5, 5)]) == []
+
+    def test_exact_partition_detects_gap_and_overlap(self):
+        whole = Interval(0, 10)
+        assert is_exact_partition(whole, [Interval(0, 4), Interval(4, 10)])
+        assert not is_exact_partition(whole, [Interval(0, 4), Interval(5, 10)])
+        assert not is_exact_partition(whole, [Interval(0, 6), Interval(4, 10)])
+        assert is_exact_partition(Interval(3, 3), [])

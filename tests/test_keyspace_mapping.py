@@ -1,0 +1,169 @@
+"""Tests for the f(id)/next bijections (Figures 1-2, mappings (1) and (4))."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.keyspace import (
+    ALNUM_MIXED,
+    ALPHA_LOWER,
+    Charset,
+    KeyMapping,
+    KeyOrder,
+    index_to_key,
+    key_to_index,
+    next_key,
+)
+
+ABC = Charset("abc", name="abc")
+
+
+class TestPaperMappings:
+    """The two enumerations printed in the paper, verbatim."""
+
+    def test_mapping_1_suffix_fastest(self):
+        # [0..8] -> [eps, a, b, c, aa, ab, ac, ba, bb] (paper equation (1))
+        expected = ["", "a", "b", "c", "aa", "ab", "ac", "ba", "bb"]
+        got = [index_to_key(i, ABC, KeyOrder.SUFFIX_FASTEST) for i in range(9)]
+        assert got == expected
+
+    def test_mapping_4_prefix_fastest(self):
+        # [0..8] -> [eps, a, b, c, aa, ba, ca, ab, bb] (paper equation (4))
+        expected = ["", "a", "b", "c", "aa", "ba", "ca", "ab", "bb"]
+        got = [index_to_key(i, ABC, KeyOrder.PREFIX_FASTEST) for i in range(9)]
+        assert got == expected
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            index_to_key(-1, ABC)
+
+
+charsets = st.sampled_from([ABC, ALPHA_LOWER, ALNUM_MIXED, Charset("01")])
+orders = st.sampled_from([KeyOrder.SUFFIX_FASTEST, KeyOrder.PREFIX_FASTEST])
+
+
+class TestBijection:
+    @given(charset=charsets, order=orders, index=st.integers(0, 10**12))
+    def test_roundtrip_index_key_index(self, charset, order, index):
+        key = index_to_key(index, charset, order)
+        assert key_to_index(key, charset, order) == index
+
+    @given(charset=charsets, order=orders, start=st.integers(0, 10**9))
+    def test_injective_on_a_window(self, charset, order, start):
+        keys = {index_to_key(start + i, charset, order) for i in range(50)}
+        assert len(keys) == 50
+
+    @given(charset=charsets, order=orders, index=st.integers(0, 10**15))
+    def test_enumeration_is_shortest_first(self, charset, order, index):
+        assert len(index_to_key(index, charset, order)) <= len(
+            index_to_key(index + 1, charset, order)
+        )
+
+    def test_huge_index_exact_arithmetic(self):
+        # Way beyond uint64: must still round-trip exactly.
+        index = 62**25 + 12345678901234567890
+        key = index_to_key(index, ALNUM_MIXED)
+        assert key_to_index(key, ALNUM_MIXED) == index
+
+
+class TestNextOperator:
+    """Figure 2: next(f(i)) == f(i+1), the cheap incremental step."""
+
+    @given(charset=charsets, order=orders, index=st.integers(0, 10**12))
+    def test_next_equals_f_of_succ(self, charset, order, index):
+        key = index_to_key(index, charset, order)
+        assert next_key(key, charset, order) == index_to_key(index + 1, charset, order)
+
+    def test_full_wraparound_grows_length(self):
+        assert next_key("cc", ABC, KeyOrder.SUFFIX_FASTEST) == "aaa"
+        assert next_key("cc", ABC, KeyOrder.PREFIX_FASTEST) == "aaa"
+
+    def test_common_case_touches_one_char(self):
+        # Suffix order mutates the tail, prefix order mutates the head.
+        assert next_key("aaaa", ABC, KeyOrder.SUFFIX_FASTEST) == "aaab"
+        assert next_key("aaaa", ABC, KeyOrder.PREFIX_FASTEST) == "baaa"
+
+    def test_prefix_fastest_keeps_suffix_fixed_for_n4_run(self):
+        # The reversal kernel's soundness condition: within a run of N**4
+        # consecutive ids (aligned, same length), only the first 4 characters
+        # change under mapping (4).
+        charset = ABC
+        n = len(charset)
+        mapping = KeyMapping(charset, min_length=6, max_length=6, order=KeyOrder.PREFIX_FASTEST)
+        run = n**4
+        first = mapping.key_at(0)
+        for i in range(1, run):
+            key = mapping.key_at(i)
+            assert key[4:] == first[4:]
+        # The next run differs in the suffix.
+        assert mapping.key_at(run)[4:] != first[4:]
+
+
+class TestKeyMappingWindow:
+    def test_size_matches_formula(self):
+        m = KeyMapping(ALPHA_LOWER, 1, 4)
+        assert m.size == 26 + 26**2 + 26**3 + 26**4
+
+    def test_window_reindexes_from_zero(self):
+        m = KeyMapping(ABC, min_length=2, max_length=3)
+        assert m.key_at(0) == "aa"
+        assert m.key_at(8) == "cc"
+        assert m.key_at(9) == "aaa"
+
+    def test_window_equals_global_when_min_zero(self):
+        m = KeyMapping(ABC, 0, 5)
+        for i in [0, 1, 5, 17, 100, 300]:
+            assert m.key_at(i) == index_to_key(i, ABC)
+
+    @given(
+        order=orders,
+        min_length=st.integers(0, 3),
+        span=st.integers(0, 2),
+        data=st.data(),
+    )
+    def test_key_at_and_index_of_invert(self, order, min_length, span, data):
+        m = KeyMapping(ABC, min_length, min_length + span, order)
+        index = data.draw(st.integers(0, m.size - 1))
+        assert m.index_of(m.key_at(index)) == index
+
+    def test_index_of_rejects_out_of_window(self):
+        m = KeyMapping(ABC, 2, 3)
+        with pytest.raises(ValueError, match="outside window"):
+            m.index_of("a")
+        with pytest.raises(ValueError, match="outside window"):
+            m.index_of("aaaa")
+
+    def test_key_at_bounds(self):
+        m = KeyMapping(ABC, 1, 2)
+        with pytest.raises(IndexError):
+            m.key_at(m.size)
+        with pytest.raises(IndexError):
+            m.key_at(-1)
+
+    def test_next_of_none_at_end(self):
+        m = KeyMapping(ABC, 1, 2)
+        assert m.next_of("cc") is None
+        assert m.next_of("c") == "aa"
+
+    @settings(max_examples=25)
+    @given(order=orders, start=st.integers(0, 30))
+    def test_iter_keys_matches_key_at(self, order, start):
+        m = KeyMapping(ABC, min_length=1, max_length=4, order=order)
+        stop = min(start + 20, m.size)
+        assert list(m.iter_keys(start, stop)) == [m.key_at(i) for i in range(start, stop)]
+
+    def test_iter_keys_empty_range(self):
+        m = KeyMapping(ABC, 1, 2)
+        assert list(m.iter_keys(5, 5)) == []
+
+    def test_stratum(self):
+        m = KeyMapping(ABC, 1, 3)
+        assert m.stratum(0) == (1, 0)
+        assert m.stratum(3) == (2, 0)
+        assert m.stratum(11) == (2, 8)
+        assert m.stratum(12) == (3, 0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            KeyMapping(ABC, -1, 2)
+        with pytest.raises(ValueError):
+            KeyMapping(ABC, 3, 2)

@@ -1,0 +1,171 @@
+"""Tests for mask key spaces and mask cracking."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.maskcrack import MaskCrackStats, MaskTarget, crack_mask
+from repro.keyspace import Interval
+from repro.keyspace.masks import MASK_TOKENS, MaskSpace, parse_mask
+from repro.kernels.variants import HashAlgorithm
+
+
+class TestParseMask:
+    def test_tokens(self):
+        charsets = parse_mask("?u?l?d?s?a")
+        assert [len(cs) for cs in charsets] == [26, 26, 10, 33, 95]
+
+    def test_literals(self):
+        charsets = parse_mask("a?d-")
+        assert charsets[0].symbols == "a"
+        assert charsets[1] is MASK_TOKENS["d"]
+        assert charsets[2].symbols == "-"
+
+    def test_escaped_question_mark(self):
+        charsets = parse_mask("???d")
+        assert charsets[0].symbols == "?"
+        assert len(charsets[1]) == 10
+
+    def test_errors(self):
+        with pytest.raises(ValueError, match="dangling"):
+            parse_mask("?l?")
+        with pytest.raises(ValueError, match="unknown mask token"):
+            parse_mask("?z")
+        with pytest.raises(ValueError, match="empty"):
+            parse_mask("")
+
+
+class TestMaskSpace:
+    def test_size_is_product(self):
+        space = MaskSpace.from_mask("?u?l?d")
+        assert space.size == 26 * 26 * 10
+        assert space.length == 3
+
+    def test_literal_positions_are_fixed(self):
+        space = MaskSpace.from_mask("A?d!")
+        assert space.size == 10
+        assert space.key_at(0) == "A0!"
+        assert space.key_at(9) == "A9!"
+
+    @given(index=st.integers(0, 26 * 26 * 10 - 1))
+    @settings(max_examples=50)
+    def test_bijection_roundtrip(self, index):
+        space = MaskSpace.from_mask("?u?l?d")
+        assert space.index_of(space.key_at(index)) == index
+
+    def test_prefix_fastest_order(self):
+        space = MaskSpace.from_mask("?l?d")
+        assert space.key_at(0) == "a0"
+        assert space.key_at(1) == "b0"  # position 0 varies fastest
+        assert space.key_at(26) == "a1"
+
+    def test_next_key_equals_key_at_successor(self):
+        space = MaskSpace.from_mask("?d?l")
+        for i in range(space.size - 1):
+            assert space.next_key(space.key_at(i)) == space.key_at(i + 1)
+        assert space.next_key(space.key_at(space.size - 1)) is None
+
+    def test_index_of_validates(self):
+        space = MaskSpace.from_mask("?u?d")
+        with pytest.raises(ValueError, match="length"):
+            space.index_of("A")
+        with pytest.raises(ValueError, match="not in charset"):
+            space.index_of("aa")
+
+    def test_key_at_bounds(self):
+        space = MaskSpace.from_mask("?d")
+        with pytest.raises(IndexError):
+            space.key_at(10)
+
+    def test_batch_matches_scalar(self):
+        space = MaskSpace.from_mask("?u?l?d")
+        chars = space.batch_keys(100, 50)
+        for i in range(50):
+            assert chars[i].tobytes().decode() == space.key_at(100 + i)
+
+    def test_batch_bounds(self):
+        space = MaskSpace.from_mask("?d?d")
+        with pytest.raises(IndexError):
+            space.batch_keys(95, 10)
+        with pytest.raises(ValueError):
+            space.batch_keys(0, -1)
+
+    def test_huge_mask_fallback_path(self):
+        space = MaskSpace.from_mask("?a" * 11)  # 95**11 > 2**63
+        assert space.size > 2**63
+        start = space.size - 5
+        chars = space.batch_keys(start, 3)
+        for i in range(3):
+            assert chars[i].tobytes().decode("latin-1") == space.key_at(start + i)
+
+    def test_iter_keys(self):
+        space = MaskSpace.from_mask("?d?d")
+        keys = list(space.iter_keys(Interval(5, 9)))
+        assert keys == [space.key_at(i) for i in range(5, 9)]
+
+    def test_describe(self):
+        text = MaskSpace.from_mask("?u?l?d").describe()
+        assert "6,760 keys" in text
+
+
+class TestMaskCracking:
+    def test_cracks_policy_shaped_password(self):
+        target = MaskTarget.from_password("Xy4", "?u?l?d")
+        stats = MaskCrackStats()
+        matches = crack_mask(target, stats=stats)
+        assert matches == [(target.space.index_of("Xy4"), "Xy4")]
+        assert stats.tested == target.space.size
+        assert stats.mkeys_per_second > 0
+
+    def test_password_violating_mask_rejected(self):
+        with pytest.raises(ValueError):
+            MaskTarget.from_password("xy4", "?u?l?d")  # x not upper-case
+
+    def test_salted_mask_crack(self):
+        target = MaskTarget.from_password("Ab1", "?u?l?d", prefix=b"s:", suffix=b"!")
+        matches = crack_mask(target, batch_size=97)
+        assert [k for _, k in matches] == ["Ab1"]
+        assert target.verify("Ab1")
+
+    def test_sha1_mask_crack(self):
+        target = MaskTarget.from_password("Q7", "?u?d", algorithm=HashAlgorithm.SHA1)
+        matches = crack_mask(target)
+        assert [k for _, k in matches] == ["Q7"]
+
+    def test_interval_restriction(self):
+        target = MaskTarget.from_password("Zz9", "?u?l?d")
+        index = target.space.index_of("Zz9")
+        assert crack_mask(target, Interval(0, index)) == []
+        assert crack_mask(target, Interval(index, index + 1)) == [(index, "Zz9")]
+
+    def test_digest_validation(self):
+        space = MaskSpace.from_mask("?d")
+        with pytest.raises(ValueError, match="16 bytes"):
+            MaskTarget(HashAlgorithm.MD5, b"short", space)
+
+    def test_capacity_validation(self):
+        space = MaskSpace.from_mask("?l" * 30)
+        with pytest.raises(ValueError, match="single-block"):
+            MaskTarget(HashAlgorithm.MD5, hashlib.md5(b"x").digest(), space, prefix=b"p" * 30)
+
+    def test_no_match(self):
+        space = MaskSpace.from_mask("?d?d")
+        target = MaskTarget(HashAlgorithm.MD5, hashlib.md5(b"nope").digest(), space)
+        assert crack_mask(target) == []
+
+    def test_invalid_batch(self):
+        target = MaskTarget.from_password("A1", "?u?d")
+        with pytest.raises(ValueError):
+            crack_mask(target, batch_size=0)
+        with pytest.raises(IndexError):
+            crack_mask(target, Interval(0, target.space.size + 1))
+
+    def test_mask_shrinks_the_space(self):
+        # The policy argument: the mask space is a tiny slice of the
+        # uniform space of the same length.
+        from repro.keyspace import space_size
+
+        mask = MaskSpace.from_mask("?u?l?l?l?d?d")
+        uniform = space_size(62, 6, 6)
+        assert mask.size / uniform < 0.001

@@ -1,0 +1,100 @@
+"""Unit and property tests for the Equation (2)/(3) size algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.keyspace import (
+    count_of_length,
+    length_of_index,
+    length_offset,
+    max_index_for_uint64,
+    space_size,
+)
+
+
+class TestClosedForms:
+    def test_paper_intro_example_8_alpha(self):
+        # "the number of strings containing at most 8 alphabetic characters
+        # (both lower and upper case) is ~54,508 billions"
+        assert space_size(52, 1, 8) == pytest.approx(54_508e9, rel=1e-3)
+
+    def test_paper_intro_example_10_alpha(self):
+        # "... with 10 characters it becomes ~147,389,520 billions"
+        assert space_size(52, 1, 10) == pytest.approx(147_389_520e9, rel=1e-3)
+
+    def test_small_space_by_enumeration(self):
+        # eps, a, b, c, aa..cc, aaa..ccc = 1 + 3 + 9 + 27
+        assert space_size(3, 0, 3) == 40
+
+    def test_single_length_window(self):
+        assert space_size(26, 5, 5) == 26**5
+
+    def test_degenerate_unary_alphabet_equation3(self):
+        assert space_size(1, 2, 7) == 6
+        assert space_size(1, 0, 0) == 1
+
+    def test_count_of_length(self):
+        assert count_of_length(62, 0) == 1
+        assert count_of_length(62, 3) == 62**3
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            space_size(0, 0, 1)
+        with pytest.raises(ValueError):
+            space_size(3, -1, 1)
+        with pytest.raises(ValueError):
+            space_size(3, 2, 1)
+        with pytest.raises(ValueError):
+            count_of_length(3, -1)
+
+
+@given(n=st.integers(2, 100), k0=st.integers(0, 12), span=st.integers(0, 12))
+def test_closed_form_equals_direct_sum(n, k0, span):
+    k = k0 + span
+    assert space_size(n, k0, k) == sum(n**i for i in range(k0, k + 1))
+
+
+@given(n=st.integers(1, 64), k0=st.integers(0, 8), span=st.integers(0, 6))
+def test_space_size_additive_over_strata(n, k0, span):
+    k = k0 + span
+    total = space_size(n, k0, k)
+    assert total == sum(count_of_length(n, i) for i in range(k0, k + 1))
+
+
+class TestLengthOffsets:
+    def test_offset_of_first_length_is_zero(self):
+        assert length_offset(3, 0, 0) == 0
+        assert length_offset(3, 2, 2) == 0
+
+    def test_offsets_are_cumulative(self):
+        # With charset size 3 and min length 0: strata sizes 1, 3, 9, 27 ...
+        assert length_offset(3, 0, 1) == 1
+        assert length_offset(3, 0, 2) == 4
+        assert length_offset(3, 0, 3) == 13
+
+    @given(
+        n=st.integers(2, 40),
+        min_length=st.integers(0, 4),
+        index=st.integers(0, 10**9),
+    )
+    def test_length_of_index_inverts_offset(self, n, min_length, index):
+        length, within = length_of_index(n, min_length, index)
+        assert length >= min_length
+        assert 0 <= within < count_of_length(n, length)
+        assert length_offset(n, min_length, length) + within == index
+
+    def test_length_of_index_rejects_negative(self):
+        with pytest.raises(ValueError):
+            length_of_index(3, 0, -1)
+
+
+class TestUint64Limit:
+    def test_limit_is_tight(self):
+        for n in (2, 26, 62, 95):
+            limit = max_index_for_uint64(n)
+            assert n**limit <= 2**63
+            assert n ** (limit + 1) > 2**63
+
+    def test_known_values(self):
+        assert max_index_for_uint64(62) == 10
+        assert max_index_for_uint64(2) == 63

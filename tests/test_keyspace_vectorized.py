@@ -1,0 +1,121 @@
+"""Tests for the vectorized batch generator against the scalar reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.keyspace import (
+    ALNUM_MIXED,
+    Charset,
+    Interval,
+    KeyMapping,
+    KeyOrder,
+    batch_digits,
+    batch_keys,
+    iter_batches,
+)
+from repro.keyspace.vectorized import decode_keys
+
+ABC = Charset("abc", name="abc")
+
+
+def scalar_keys(mapping: KeyMapping, start: int, count: int) -> list[str]:
+    return [mapping.key_at(start + i) for i in range(count)]
+
+
+class TestBatchKeys:
+    @given(
+        order=st.sampled_from(list(KeyOrder)),
+        start=st.integers(0, 100),
+        count=st.integers(0, 120),
+    )
+    @settings(max_examples=40)
+    def test_matches_scalar_reference(self, order, start, count):
+        mapping = KeyMapping(ABC, min_length=0, max_length=6, order=order)
+        segments = batch_keys(mapping, start, count)
+        decoded = [k for _, _, chars in segments for k in decode_keys(chars)]
+        assert decoded == scalar_keys(mapping, start, count)
+
+    def test_segments_split_at_stratum_boundaries(self):
+        mapping = KeyMapping(ABC, min_length=1, max_length=3)
+        # ids 0..2 are length 1, 3..11 length 2, 12.. length 3
+        segments = batch_keys(mapping, 1, 15)
+        spans = [(seg_start, length, chars.shape[0]) for seg_start, length, chars in segments]
+        assert spans == [(1, 1, 2), (3, 2, 9), (12, 3, 4)]
+
+    def test_fixed_length_single_segment(self):
+        mapping = KeyMapping(ALNUM_MIXED, 4, 4)
+        segments = batch_keys(mapping, 100, 50)
+        assert len(segments) == 1
+        _, length, chars = segments[0]
+        assert length == 4
+        assert chars.shape == (50, 4)
+        assert chars.dtype == np.uint8
+
+    def test_out_of_range_rejected(self):
+        mapping = KeyMapping(ABC, 1, 2)
+        with pytest.raises(IndexError):
+            batch_keys(mapping, 0, mapping.size + 1)
+        with pytest.raises(ValueError):
+            batch_keys(mapping, 0, -1)
+
+    def test_empty_count(self):
+        mapping = KeyMapping(ABC, 1, 2)
+        assert batch_keys(mapping, 3, 0) == []
+
+    def test_length_zero_stratum(self):
+        mapping = KeyMapping(ABC, 0, 1)
+        segments = batch_keys(mapping, 0, 2)
+        assert segments[0][1] == 0
+        assert segments[0][2].shape == (1, 0)
+
+    def test_big_int_fallback_matches_scalar(self):
+        # length 12 over 62 symbols: stratum size 62**12 > 2**63 -> slow path.
+        mapping = KeyMapping(ALNUM_MIXED, 12, 12)
+        start = 62**11 + 987654321  # somewhere deep inside the stratum
+        segments = batch_keys(mapping, start, 8)
+        decoded = [k for _, _, chars in segments for k in decode_keys(chars)]
+        assert decoded == scalar_keys(mapping, start, 8)
+
+    def test_unary_charset(self):
+        mapping = KeyMapping(Charset("x"), 1, 5)
+        segments = batch_keys(mapping, 0, 5)
+        decoded = [k for _, _, chars in segments for k in decode_keys(chars)]
+        assert decoded == ["x", "xx", "xxx", "xxxx", "xxxxx"]
+
+
+class TestBatchDigits:
+    @given(order=st.sampled_from(list(KeyOrder)), start=st.integers(0, 50))
+    @settings(max_examples=20)
+    def test_digits_are_charset_values(self, order, start):
+        mapping = KeyMapping(ABC, 0, 5, order)
+        for _, _, digits in batch_digits(mapping, start, 30):
+            if digits.size:
+                assert digits.min() >= 0
+                assert digits.max() < len(ABC)
+
+
+class TestIterBatches:
+    def test_covers_interval_exactly(self):
+        mapping = KeyMapping(ABC, 1, 4)
+        interval = Interval(2, 100)
+        seen: list[str] = []
+        for _, _, chars in iter_batches(mapping, interval, batch_size=7):
+            seen.extend(decode_keys(chars))
+        assert seen == scalar_keys(mapping, 2, 98)
+
+    def test_batches_respect_max_size(self):
+        mapping = KeyMapping(ALNUM_MIXED, 3, 3)
+        for _, _, chars in iter_batches(mapping, Interval(0, 1000), batch_size=64):
+            assert chars.shape[0] <= 64
+
+    def test_invalid_batch_size(self):
+        mapping = KeyMapping(ABC, 1, 2)
+        with pytest.raises(ValueError):
+            list(iter_batches(mapping, Interval(0, 5), 0))
+
+
+class TestDecodeKeys:
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValueError):
+            decode_keys(np.zeros(5, dtype=np.uint8))

@@ -1,0 +1,155 @@
+"""Tests for the multi-target (auditing) shared-scan optimization."""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.apps.audit import AuditEntry, AuditSession
+from repro.apps.cracking import CrackTarget, crack_interval_multi
+from repro.hashes import Endian, MD5ReversedTarget
+from repro.hashes.padding import pad_message
+from repro.hashes.reversal import md5_search_block, md5_search_block_multi
+from repro.keyspace import ALPHA_LOWER, Charset, Interval
+from repro.kernels.variants import HashAlgorithm
+
+ABC = Charset("abc", name="abc")
+
+
+def compiled(message: bytes, digest_of: bytes) -> MD5ReversedTarget:
+    template = pad_message(message, Endian.LITTLE)[0]
+    return MD5ReversedTarget.from_digest(hashlib.md5(digest_of).digest(), template)
+
+
+class TestMD5SearchBlockMulti:
+    def test_agrees_with_single_target_search(self):
+        # Messages differing only in their first 4 bytes: the fixed words
+        # (4+) are shared, exactly the multi-target precondition.
+        messages = [b"one!-shared", b"two!-shared", b"xyz!-shared"]
+        template = pad_message(messages[0], Endian.LITTLE)[0]
+        targets = [
+            MD5ReversedTarget.from_digest(hashlib.md5(m).digest(), template)
+            for m in messages
+        ]
+        rng = np.random.default_rng(5)
+        words = rng.integers(0, 2**32, size=2048, dtype=np.uint32)
+        # Plant the true word-0 of each message (all share bytes 4+).
+        for k, m in enumerate(messages):
+            words[100 + k] = pad_message(m, Endian.LITTLE)[0][0]
+        multi = md5_search_block_multi(words, targets)
+        expected = []
+        for t_idx, target in enumerate(targets):
+            for lane in md5_search_block(words, target):
+                expected.append((int(lane), t_idx))
+        assert multi == sorted(expected)
+        assert {(100, 0), (101, 1), (102, 2)} <= set(multi)
+
+    def test_empty_targets(self):
+        assert md5_search_block_multi(np.zeros(4, dtype=np.uint32), []) == []
+
+    def test_mismatched_templates_rejected(self):
+        a = compiled(b"same-len1", b"x")
+        b = compiled(b"different", b"y")
+        with pytest.raises(ValueError, match="identical fixed words"):
+            md5_search_block_multi(np.zeros(4, dtype=np.uint32), [a, b])
+
+    def test_no_matches(self):
+        target = compiled(b"haystack", b"needle-elsewhere")
+        words = np.arange(512, dtype=np.uint32)
+        assert md5_search_block_multi(words, [target]) == []
+
+
+class TestCrackIntervalMulti:
+    def targets(self, passwords, **kw):
+        return [
+            CrackTarget.from_password(p, ABC, min_length=1, max_length=4, **kw)
+            for p in passwords
+        ]
+
+    def test_finds_all_planted_passwords(self):
+        passwords = ["ab", "cab", "bbbb"]
+        targets = self.targets(passwords)
+        space = targets[0].space_size
+        triples = crack_interval_multi(targets, Interval(0, space), batch_size=97)
+        found = {(key, t_idx) for _, key, t_idx in triples}
+        assert found == {("ab", 0), ("cab", 1), ("bbbb", 2)}
+
+    def test_agrees_with_individual_scans(self):
+        from repro.apps.cracking import crack_interval
+
+        targets = self.targets(["ba", "acca"])
+        space = targets[0].space_size
+        triples = crack_interval_multi(targets, Interval(0, space))
+        for t_idx, target in enumerate(targets):
+            single = crack_interval(target, Interval(0, space))
+            assert [(i, k) for i, k, x in triples if x == t_idx] == single
+
+    def test_shared_suffix_salt(self):
+        targets = self.targets(["ab", "cc"], suffix=b"$salt")
+        space = targets[0].space_size
+        triples = crack_interval_multi(targets, Interval(0, space))
+        assert {(k, x) for _, k, x in triples} == {("ab", 0), ("cc", 1)}
+
+    def test_mixed_spaces_rejected(self):
+        a = CrackTarget.from_password("ab", ABC, min_length=1, max_length=4)
+        b = CrackTarget.from_password("ab", ABC, min_length=1, max_length=3)
+        with pytest.raises(ValueError, match="identical search spaces"):
+            crack_interval_multi([a, b], Interval(0, 10))
+
+    def test_prefix_salt_rejected(self):
+        targets = self.targets(["ab", "cc"], prefix=b"s:")
+        with pytest.raises(ValueError, match="fast path"):
+            crack_interval_multi(targets, Interval(0, 10))
+
+    def test_sha1_rejected(self):
+        targets = [
+            CrackTarget.from_password("ab", ABC, algorithm=HashAlgorithm.SHA1, min_length=1, max_length=3)
+        ] * 2
+        with pytest.raises(ValueError, match="MD5"):
+            crack_interval_multi(targets, Interval(0, 10))
+
+    def test_empty(self):
+        assert crack_interval_multi([], Interval(0, 10)) == []
+
+    def test_out_of_range(self):
+        targets = self.targets(["ab"])
+        with pytest.raises(IndexError):
+            crack_interval_multi(targets, Interval(0, targets[0].space_size + 1))
+
+
+class TestAuditRunShared:
+    def test_shared_equals_individual(self):
+        entries = [
+            AuditEntry("u1", hashlib.md5(b"ab").digest()),
+            AuditEntry("u2", hashlib.md5(b"cba").digest()),
+            AuditEntry("u3", hashlib.md5(b"far-too-long").digest()),
+        ]
+        session = AuditSession(entries, ABC, max_length=3)
+        shared = session.run_shared()
+        individual = session.run()
+        assert {(f.account, f.password) for f in shared.findings} == {
+            (f.account, f.password) for f in individual.findings
+        }
+        # The shared scan pays the candidate stream once, not per account.
+        assert shared.candidates_tested < individual.candidates_tested
+
+    def test_salted_entries_fall_back_to_individual(self):
+        entries = [
+            AuditEntry("plain", hashlib.md5(b"ab").digest()),
+            AuditEntry("salted", hashlib.md5(b"cc-s").digest(), suffix=b"-s"),
+        ]
+        report = AuditSession(entries, ABC, max_length=2).run_shared()
+        assert report.password_of("plain") == "ab"
+        assert report.password_of("salted") == "cc"
+
+    def test_budget_respected(self):
+        entries = [AuditEntry("u", hashlib.md5(b"ccc").digest())]
+        report = AuditSession(entries, ABC, max_length=3).run_shared(budget=5)
+        assert report.cracked == 0
+        assert report.candidates_tested == 5
+
+    def test_sha1_session_rejected(self):
+        entries = [AuditEntry("u", hashlib.sha1(b"ab").digest())]
+        session = AuditSession(entries, ABC, algorithm=HashAlgorithm.SHA1)
+        with pytest.raises(ValueError, match="MD5"):
+            session.run_shared()

@@ -1,0 +1,67 @@
+"""Slow stress tests: realistic-scale runs of the real engines.
+
+Marked ``slow``; excluded from the quick loop with ``-m 'not slow'``.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.apps.cracking import CrackEngine, CrackTarget
+from repro.apps.ntlm import NTLMTarget, crack_ntlm
+from repro.cluster import build_paper_network, simulate_run
+from repro.keyspace import ALNUM_LOWER, ALNUM_MIXED, Interval
+from repro.kernels.variants import HashAlgorithm
+
+pytestmark = pytest.mark.slow
+
+
+class TestRealisticCracks:
+    def test_md5_four_char_alnum_full_space(self):
+        # 36^4 = 1.68M candidates through the reversal engine.
+        target = CrackTarget.from_password(
+            "zq7x", ALNUM_LOWER, min_length=4, max_length=4
+        )
+        engine = CrackEngine(target, batch_size=1 << 15)
+        matches = engine.search_all()
+        assert [k for _, k in matches] == ["zq7x"]
+        assert engine.stats.tested == 36**4
+        assert engine.stats.mkeys_per_second > 0.5
+
+    def test_sha1_late_key_in_window(self):
+        target = CrackTarget.from_password(
+            "99zZ", ALNUM_MIXED, algorithm=HashAlgorithm.SHA1, min_length=4, max_length=4
+        )
+        index = target.mapping.index_of("99zZ")
+        window = Interval(max(0, index - 200_000), min(target.space_size, index + 200_000))
+        matches = CrackEngine(target, batch_size=1 << 14).search(window)
+        assert (index, "99zZ") in matches
+
+    def test_ntlm_five_char_window(self):
+        target = NTLMTarget.from_password("qwert", ALNUM_LOWER, min_length=5, max_length=5)
+        index = target.mapping.index_of("qwert")
+        window = Interval(max(0, index - 300_000), index + 300_000)
+        matches = crack_ntlm(target, window, batch_size=1 << 15)
+        assert (index, "qwert") in matches
+
+    def test_no_false_positives_over_a_million_keys(self):
+        # Scan a million candidates against a digest with no preimage in
+        # range; the early-exit filter must reject every one of them.
+        target = CrackTarget(
+            algorithm=HashAlgorithm.MD5,
+            digest=hashlib.md5(b"definitely-not-in-the-window").digest(),
+            charset=ALNUM_MIXED,
+            min_length=8,
+            max_length=8,
+        )
+        assert CrackEngine(target, batch_size=1 << 15).search(Interval(0, 1_000_000)) == []
+
+
+class TestClusterAtScale:
+    def test_paper_network_on_a_trillion_keys(self):
+        net = build_paper_network(HashAlgorithm.MD5)
+        result = simulate_run(net, 10**12)
+        assert result.dispatch_efficiency > 0.99
+        assert result.network_efficiency == pytest.approx(0.85, abs=0.02)
+        # ~5 minutes of simulated wall time at 3.25 Gkeys/s.
+        assert 250 < result.elapsed < 350
