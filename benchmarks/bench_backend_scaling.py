@@ -1,0 +1,121 @@
+"""BENCH — backend scaling: serial vs thread vs process keys/sec.
+
+Measures the crack engine's throughput on an MD5 mask-style search (fixed
+charset and length window) across execution backends and batch sizes — the
+per-node tuning step the paper's balancing rule ``N_j = N_max * (X_j /
+X_max)`` depends on, run on the hardware we actually have.  Also verifies
+that every backend returns bit-identical crack results.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_backend_scaling.py [--quick]
+
+or imported by :mod:`benchmarks.run_all`, which folds the results into
+``BENCH_cracking.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import time
+
+from repro.apps.cracking import CrackTarget
+from repro.core.backend import BACKENDS, resolve_backend
+from repro.keyspace import ALPHA_LOWER, Interval, split_interval
+
+#: Planted password: forces a full scan to its id, deep in the space.
+_PASSWORD = "zzyzx"
+
+
+def _target() -> CrackTarget:
+    return CrackTarget.from_password(
+        _PASSWORD, ALPHA_LOWER, min_length=1, max_length=5
+    )
+
+
+def bench_backend(
+    backend_name: str,
+    workers: int,
+    batch_size: int,
+    space: int,
+    repeats: int = 1,
+) -> dict:
+    """Time one backend configuration over the first *space* candidates."""
+    target = _target()
+    interval = Interval(0, min(space, target.space_size))
+    chunk = max(1, interval.size // max(1, workers * 4))
+    backend = resolve_backend(backend_name, workers=workers)
+    best = None
+    found = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        outcome = backend.run(
+            target, split_interval(interval, chunk), batch_size=batch_size
+        )
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+        found = outcome.found
+    return {
+        "backend": backend_name,
+        "workers": backend.workers,
+        "batch_size": batch_size,
+        "tested": interval.size,
+        "elapsed": best,
+        "keys_per_second": interval.size / best if best else 0.0,
+        "found": found,
+    }
+
+
+def run(quick: bool = False, workers: int | None = None) -> dict:
+    """Full sweep; returns the ``BENCH_cracking.json`` payload fragment."""
+    cpus = os.cpu_count() or 1
+    if workers is None:
+        workers = max(1, cpus - 1) if cpus > 1 else 1
+    space = 200_000 if quick else 2_000_000
+    batch_sizes = [1 << 12, 1 << 14] if quick else [1 << 12, 1 << 14, 1 << 16]
+    results = []
+    reference = None
+    for batch_size in batch_sizes:
+        for name in sorted(BACKENDS):
+            entry = bench_backend(name, workers, batch_size, space)
+            found = entry.pop("found")
+            if reference is None:
+                reference = found
+            entry["results_identical"] = found == reference
+            results.append(entry)
+    serial = max(
+        (r["keys_per_second"] for r in results if r["backend"] == "serial"),
+        default=0.0,
+    )
+    process = max(
+        (r["keys_per_second"] for r in results if r["backend"] == "process"),
+        default=0.0,
+    )
+    return {
+        "name": "backend_scaling",
+        "password": _PASSWORD,
+        "space": space,
+        "host_cpus": cpus,
+        "workers": workers,
+        "results": results,
+        "speedup_process_vs_serial": process / serial if serial else 0.0,
+        "all_results_identical": all(r["results_identical"] for r in results),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small space, fewer sweeps")
+    parser.add_argument("--workers", type=int, default=None)
+    args = parser.parse_args(argv)
+    payload = run(quick=args.quick, workers=args.workers)
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,127 @@
+"""Benchmark runner: emits the repo's perf trajectory, ``BENCH_cracking.json``.
+
+Runs the backend-scaling sweep (and any future engine benchmarks) and
+writes a single schema-stable JSON document so successive PRs can be
+compared::
+
+    PYTHONPATH=src python benchmarks/run_all.py [--quick] [--output PATH]
+
+Schema (``bench-cracking/v1``)::
+
+    {
+      "schema": "bench-cracking/v1",
+      "generated_at": <unix seconds>,
+      "host": {"cpus": N, "platform": "..."},
+      "benchmarks": [<bench payloads, each with "name" and "results">],
+      "summary": {
+        "best_keys_per_second": ...,
+        "speedup_process_vs_serial": ...,
+        "all_results_identical": true
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_backend_scaling
+
+SCHEMA = "bench-cracking/v1"
+
+
+def run_all(quick: bool = False, workers: int | None = None) -> dict:
+    benchmarks = [bench_backend_scaling.run(quick=quick, workers=workers)]
+    best = max(
+        (r["keys_per_second"] for b in benchmarks for r in b["results"]),
+        default=0.0,
+    )
+    return {
+        "schema": SCHEMA,
+        "generated_at": int(time.time()),
+        "host": {"cpus": os.cpu_count() or 1, "platform": platform.platform()},
+        "benchmarks": benchmarks,
+        "summary": {
+            "best_keys_per_second": best,
+            "speedup_process_vs_serial": benchmarks[0]["speedup_process_vs_serial"],
+            "all_results_identical": all(
+                b.get("all_results_identical", True) for b in benchmarks
+            ),
+        },
+    }
+
+
+def validate(document: dict) -> list[str]:
+    """Schema check used by CI's bench smoke; returns a list of problems."""
+    problems = []
+    if document.get("schema") != SCHEMA:
+        problems.append(f"schema must be {SCHEMA!r}")
+    if not isinstance(document.get("generated_at"), int):
+        problems.append("generated_at must be an int (unix seconds)")
+    host = document.get("host")
+    if not isinstance(host, dict) or not isinstance(host.get("cpus"), int):
+        problems.append("host.cpus must be an int")
+    benches = document.get("benchmarks")
+    if not isinstance(benches, list) or not benches:
+        problems.append("benchmarks must be a non-empty list")
+    else:
+        for bench in benches:
+            if not isinstance(bench.get("name"), str):
+                problems.append("every benchmark needs a name")
+            results = bench.get("results")
+            if not isinstance(results, list) or not results:
+                problems.append("every benchmark needs non-empty results")
+                continue
+            for row in results:
+                for key in ("backend", "workers", "batch_size", "keys_per_second"):
+                    if key not in row:
+                        problems.append(f"result row missing {key!r}")
+    summary = document.get("summary")
+    if not isinstance(summary, dict) or "speedup_process_vs_serial" not in summary:
+        problems.append("summary.speedup_process_vs_serial is required")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke: ~10 seconds")
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--output", default="BENCH_cracking.json")
+    parser.add_argument(
+        "--validate", metavar="PATH", default=None,
+        help="validate an existing document instead of benchmarking",
+    )
+    args = parser.parse_args(argv)
+    if args.validate:
+        with open(args.validate) as handle:
+            problems = validate(json.load(handle))
+        for problem in problems:
+            print(f"SCHEMA ERROR: {problem}", file=sys.stderr)
+        print(f"{args.validate}: {'INVALID' if problems else 'ok'}")
+        return 1 if problems else 0
+    document = run_all(quick=args.quick, workers=args.workers)
+    problems = validate(document)
+    if problems:  # never emit a document CI would reject
+        for problem in problems:
+            print(f"SCHEMA ERROR: {problem}", file=sys.stderr)
+        return 1
+    with open(args.output, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    summary = document["summary"]
+    print(f"wrote {args.output}")
+    print(f"best throughput : {summary['best_keys_per_second'] / 1e6:.2f} Mkeys/s")
+    print(f"process/serial  : {summary['speedup_process_vs_serial']:.2f}x "
+          f"on {document['host']['cpus']} cpus")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,10 +36,10 @@ from repro.hashes.reversal import (
     sha1_search_block_naive,
 )
 from repro.hashes.sha1 import sha1_digest, sha1_digest_to_state
-from repro.hashes.vec_md5 import md5_batch
-from repro.hashes.vec_sha1 import sha1_batch
+from repro.hashes.vec_md5 import MD5Scratch, md5_batch, md5_compress_batch_into
+from repro.hashes.vec_sha1 import SHA1Scratch, sha1_batch, sha1_compress_batch_into
 from repro.keyspace import Charset, Interval, KeyMapping, KeyOrder
-from repro.keyspace.vectorized import batch_keys
+from repro.keyspace.vectorized import BlockWorkspace, PackedSegment, batch_keys
 from repro.kernels.variants import HashAlgorithm
 
 
@@ -168,6 +168,12 @@ class CrackEngine:
     packed template and the reverted digest are computed once per run and
     cached — the per-candidate work is exactly the optimized kernel's
     forward steps.
+
+    All per-batch storage (packed blocks, hash temporaries, compare masks)
+    is preallocated at ``batch_size`` capacity and reused for the life of
+    the engine; the final partial batch of an interval scans through
+    *views* of the same buffers, so steady-state scanning is
+    allocation-free.
     """
 
     def __init__(
@@ -182,6 +188,19 @@ class CrackEngine:
         self._run_key: tuple[int, int] | None = None
         self._template: tuple | None = None
         self._compiled = None  # MD5ReversedTarget / SHA1EarlyTarget
+        self._workspace = BlockWorkspace(batch_size, max_length=target.max_length)
+        if target.algorithm is HashAlgorithm.MD5:
+            self._scratch = MD5Scratch(batch_size)
+            self._compress = md5_compress_batch_into
+            want = md5_digest_to_state(target.digest)
+        else:
+            self._scratch = SHA1Scratch(batch_size)
+            self._compress = sha1_compress_batch_into
+            want = sha1_digest_to_state(target.digest)
+        self._want = tuple(np.uint32(w) for w in want)
+        self._match = np.empty(batch_size, dtype=bool)
+        self._match_tmp = np.empty(batch_size, dtype=bool)
+        self._first_words = np.empty(batch_size, dtype=np.uint32)
 
     # ------------------------------------------------------------------ #
     def search(self, interval: Interval) -> list[tuple[int, str]]:
@@ -193,11 +212,14 @@ class CrackEngine:
             )
         started = time.perf_counter()
         found: list[tuple[int, str]] = []
+        endian_value = self.target.endian.value
         pos = interval.start
         while pos < interval.stop:
             count = min(self.batch_size, interval.stop - pos)
-            for seg_start, length, chars in batch_keys(mapping, pos, count):
-                found.extend(self._scan_segment(seg_start, length, chars))
+            for segment in self._workspace.fill(
+                mapping, pos, count, endian_value, self.target.prefix, self.target.suffix
+            ):
+                found.extend(self._scan_segment(segment))
             pos += count
             self.stats.batches += 1
             self.stats.tested += count
@@ -209,53 +231,51 @@ class CrackEngine:
         return self.search(Interval(0, self.target.mapping.size))
 
     # ------------------------------------------------------------------ #
-    def _scan_segment(self, seg_start: int, length: int, chars: np.ndarray) -> list:
-        target = self.target
-        blocks = pack_single_block(chars, target.endian, target.prefix, target.suffix)
-        use_fast = target.uses_optimized_kernel and not self.force_naive
+    def _scan_segment(self, segment: PackedSegment) -> list:
+        use_fast = self.target.uses_optimized_kernel and not self.force_naive
         if use_fast:
-            hits = self._scan_fast(seg_start, length, blocks)
+            hits = self._scan_fast(segment)
         else:
-            hits = self._scan_naive(blocks)
-        out = []
-        for lane in hits:
-            index = seg_start + int(lane)
-            key = chars[int(lane)].tobytes().decode("latin-1")
-            out.append((index, key))
-        return out
+            hits = self._scan_naive(segment.blocks)
+        return [(segment.start + int(lane), segment.key_at(int(lane))) for lane in hits]
 
     def _scan_naive(self, blocks: np.ndarray) -> np.ndarray:
         """Full-hash compare (the Cryptohaze-style baseline kernel)."""
-        if self.target.algorithm is HashAlgorithm.MD5:
-            got = md5_batch(blocks)
-            want = np.array(md5_digest_to_state(self.target.digest), dtype=np.uint32)
-        else:
-            got = sha1_batch(blocks)
-            want = np.array(sha1_digest_to_state(self.target.digest), dtype=np.uint32)
-        return np.flatnonzero((got == want[None, :]).all(axis=1))
+        regs = self._compress(blocks, self._scratch)
+        batch = blocks.shape[0]
+        match = self._match[:batch]
+        tmp = self._match_tmp[:batch]
+        np.equal(regs[0], self._want[0], out=match)
+        for reg, want in zip(regs[1:], self._want[1:]):
+            np.equal(reg, want, out=tmp)
+            np.logical_and(match, tmp, out=match)
+        return np.flatnonzero(match)
 
-    def _scan_fast(self, seg_start: int, length: int, blocks: np.ndarray) -> np.ndarray:
+    def _scan_fast(self, segment: PackedSegment) -> np.ndarray:
         """Reversal kernel: only word 0 varies within an aligned run.
 
-        Batches from :func:`repro.keyspace.batch_keys` never span a run
-        boundary unless the run is smaller than the batch; runs have size
+        Segments from :meth:`BlockWorkspace.fill` never span a run boundary
+        unless the run is smaller than the batch; runs have size
         ``N**min(4, length)`` in prefix-fastest order, so we split the
         segment at run boundaries and reuse the compiled target within each.
         """
         mapping = self.target.mapping
         n = len(self.target.charset)
+        length = segment.length
+        blocks = segment.blocks
         run_size = n ** min(4, length) if length else 1
         hits: list[np.ndarray] = []
         offset = 0
         batch = blocks.shape[0]
         while offset < batch:
-            index = seg_start + offset
+            index = segment.start + offset
             _, within = mapping.stratum(index)
             run_id = within // run_size
             span = min(batch - offset, run_size - (within % run_size))
             window = blocks[offset : offset + span]
             compiled = self._compiled_for_run(length, run_id, window[0])
-            first_words = np.ascontiguousarray(window[:, 0])
+            first_words = self._first_words[offset : offset + span]
+            np.copyto(first_words, window[:, 0])
             if self.target.algorithm is HashAlgorithm.MD5:
                 lanes = md5_search_block(first_words, compiled)
             else:

@@ -54,6 +54,18 @@ def build_parser() -> argparse.ArgumentParser:
     crack.add_argument("--suffix", default="", help="salt appended to each key")
     crack.add_argument("--prefix", default="", help="salt prepended to each key")
     crack.add_argument("--workers", type=int, default=1)
+    crack.add_argument(
+        "--backend",
+        choices=["auto", "serial", "thread", "process"],
+        default="auto",
+        help="execution backend (auto: process pool when --workers > 1)",
+    )
+    crack.add_argument("--batch-size", type=int, default=1 << 14)
+    crack.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="size chunks by each worker's measured throughput (tuning step)",
+    )
     crack.add_argument("--all", action="store_true", help="find every preimage, not just the first")
 
     estimate = sub.add_parser("estimate", help="time to exhaust a space on the paper network")
@@ -123,11 +135,20 @@ def _cmd_crack(args) -> int:
         return 2
     print(f"searching {target.space_size:,} candidates "
           f"({args.charset}, {args.min_length}-{args.max_length} chars)")
-    result = CrackingSession(target).run_local(
-        workers=args.workers, stop_on_first=not args.all
-    )
+    try:
+        result = CrackingSession(target).run_local(
+            workers=args.workers,
+            stop_on_first=not args.all,
+            batch_size=args.batch_size,
+            backend=args.backend,
+            adaptive=args.adaptive,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(f"tested {result.candidates_tested:,} in {result.elapsed:.2f}s "
-          f"({result.mkeys_per_second:.2f} Mkeys/s, {result.workers} workers)")
+          f"({result.mkeys_per_second:.2f} Mkeys/s, {result.workers} workers, "
+          f"{result.backend} backend)")
     if result.found:
         for index, key in result.found:
             print(f"FOUND: {key!r} (id {index})")

@@ -68,6 +68,39 @@ def _balanced_total(units: list[TunedWorker]) -> int:
     return sum(math.ceil(n_max * u.throughput / x_max) for u in units)
 
 
+def tuned_from_measured(
+    measured: dict[str, float], min_candidates: int = 1
+) -> list[TunedWorker]:
+    """Tuning-step output from *measured* per-worker throughput.
+
+    ``measured`` maps worker labels to keys/second, as produced by the
+    execution backends' per-worker accounting
+    (:meth:`repro.core.backend.BackendOutcome.measured_throughput`) or by
+    a :class:`~repro.cluster.runtime.DistributedMaster` run — the real
+    ``X_j`` of the balancing rule rather than a modelled one.  Workers
+    with no measured throughput are dropped.
+    """
+    return [
+        TunedWorker(name, rate, min_candidates)
+        for name, rate in sorted(measured.items())
+        if rate > 0
+    ]
+
+
+def adaptive_chunk_size(base: int, throughput: float, fastest: float) -> int:
+    """Scale one worker's chunk by ``N_j = N_max * (X_j / X_max)``.
+
+    ``base`` is the chunk granted to the fastest worker; a slower worker
+    receives proportionally less so everyone finishes together.  Always at
+    least one candidate.
+    """
+    if base <= 0:
+        raise ValueError("base chunk must be positive")
+    if fastest <= 0 or throughput <= 0:
+        return base
+    return max(1, math.ceil(base * min(1.0, throughput / fastest)))
+
+
 def balanced_assignments(
     interval: Interval, units: list[TunedWorker]
 ) -> list[tuple[TunedWorker, Interval]]:

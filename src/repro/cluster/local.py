@@ -1,29 +1,32 @@
-"""A real parallel backend: the dispatch protocol on CPU processes.
+"""A real parallel backend: the dispatch protocol on CPU workers.
 
 This is the "closest hardware we actually have" counterpart of the GPU
-cluster: a master process scatters id intervals to a pool of worker
-processes, each running the vectorized search kernels of
-:mod:`repro.apps.cracking` on its own core, and gathers the (index, key)
-matches.  The protocol is the same Section III pattern the simulator
-models — small scatter payloads, independent interval searches, a trivial
-merge — so the examples can demonstrate real speedups and real cracks.
+cluster: a master scatters id intervals to a pool of workers — threads or
+processes, selected through :mod:`repro.core.backend` — each running the
+vectorized search kernels of :mod:`repro.apps.cracking` on its own core,
+and gathers the (index, key) matches.  The protocol is the same
+Section III pattern the simulator models — small scatter payloads,
+independent interval searches, a trivial merge — so the examples can
+demonstrate real speedups and real cracks.
+
+With ``adaptive=True`` the master first probes each worker's real
+throughput ``X_j`` (the paper's tuning step) and sizes subsequent chunks
+by the balancing rule ``N_j = N_max * (X_j / X_max)`` via
+:mod:`repro.cluster.balance`.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
-import os
 import time
 from dataclasses import dataclass, field
 
-from repro.apps.cracking import CrackTarget, crack_interval
+from repro.apps.cracking import CrackTarget
+from repro.core.backend import (
+    ExecutionBackend,
+    default_worker_count,
+    resolve_backend,
+)
 from repro.keyspace import Interval, split_interval
-
-
-def _worker_search(args: tuple) -> tuple[Interval, list]:
-    """Module-level worker body (must be picklable for multiprocessing)."""
-    target, interval, batch_size = args
-    return interval, crack_interval(target, interval, batch_size=batch_size)
 
 
 @dataclass
@@ -35,6 +38,9 @@ class LocalCrackOutcome:
     chunks_dispatched: int = 0
     elapsed: float = 0.0
     workers: int = 1
+    backend: str = "serial"
+    #: Per-worker measured throughput (keys/s) — the real ``X_j``.
+    worker_throughput: dict = field(default_factory=dict)
 
     @property
     def keys(self) -> list:
@@ -50,21 +56,31 @@ class LocalCrackOutcome:
 class LocalCluster:
     """Master + worker-pool executor for crack targets.
 
-    ``workers=1`` runs inline (deterministic, no processes — useful under
-    test runners); more workers use a ``multiprocessing`` pool.  Chunks are
-    served from a shared queue, so heterogeneous core speeds self-balance
-    the way the paper's dynamic dispatching does.
+    ``workers=1`` runs inline (deterministic, no pools — useful under test
+    runners); more workers use the configured execution backend
+    (``"process"`` by default via ``"auto"``, or ``"thread"``/``"serial"``
+    explicitly).  Chunks are served from a shared queue, so heterogeneous
+    core speeds self-balance the way the paper's dynamic dispatching does.
     """
 
-    def __init__(self, workers: int | None = None, batch_size: int = 1 << 14) -> None:
-        if workers is None:
-            workers = max(1, (os.cpu_count() or 2) - 1)
+    def __init__(
+        self,
+        workers: int | None = None,
+        batch_size: int = 1 << 14,
+        backend: str | ExecutionBackend = "auto",
+    ) -> None:
+        if isinstance(backend, ExecutionBackend):
+            workers = backend.workers
+        elif workers is None:
+            workers = default_worker_count()
         if workers < 1:
             raise ValueError("need at least one worker")
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         self.workers = workers
         self.batch_size = batch_size
+        self.backend = resolve_backend(backend, workers=workers)
+        self.workers = self.backend.workers
 
     # ------------------------------------------------------------------ #
     def crack(
@@ -73,38 +89,71 @@ class LocalCluster:
         interval: Interval | None = None,
         chunk_size: int | None = None,
         stop_on_first: bool = False,
+        adaptive: bool = False,
     ) -> LocalCrackOutcome:
         """Search an interval (default: the whole space) in parallel.
 
         ``stop_on_first`` stops dispatching new chunks once a match has
         been gathered (in-flight chunks still complete), the paper's "stop
         condition ... a satisfactory number of solutions has been found".
+        ``adaptive`` runs the measured tuning step first and sizes chunks
+        by each worker's real throughput.
         """
         interval = interval if interval is not None else Interval(0, target.space_size)
         if chunk_size is None:
             # A few chunks per worker keeps the pool busy and the tail short.
             chunk_size = max(1, interval.size // (self.workers * 4) or 1)
-        chunks = split_interval(interval, chunk_size)
         started = time.perf_counter()
-        outcome = LocalCrackOutcome(workers=self.workers)
-        if self.workers == 1:
-            for chunk in chunks:
-                matches = crack_interval(target, chunk, batch_size=self.batch_size)
-                outcome.found.extend(matches)
-                outcome.candidates_tested += chunk.size
-                outcome.chunks_dispatched += 1
-                if stop_on_first and outcome.found:
-                    break
-        else:
-            jobs = ((target, chunk, self.batch_size) for chunk in chunks)
-            with mp.Pool(processes=self.workers) as pool:
-                for scanned, matches in pool.imap_unordered(_worker_search, jobs):
-                    outcome.found.extend(matches)
-                    outcome.candidates_tested += scanned.size
-                    outcome.chunks_dispatched += 1
-                    if stop_on_first and outcome.found:
-                        pool.terminate()
-                        break
+        outcome = LocalCrackOutcome(workers=self.workers, backend=self.backend.name)
+        if adaptive and interval.size > 4 * chunk_size:
+            interval = self._tuned_probe(target, interval, chunk_size, outcome)
+            chunk_size = self._adaptive_chunk(chunk_size, outcome.worker_throughput)
+        chunks = split_interval(interval, chunk_size)
+        result = self.backend.run(
+            target, chunks, batch_size=self.batch_size, stop_on_first=stop_on_first
+        )
+        outcome.found.extend(result.found)
         outcome.found.sort()
+        outcome.candidates_tested += result.tested
+        outcome.chunks_dispatched += result.chunks
+        for name, rate in result.measured_throughput().items():
+            outcome.worker_throughput[name] = rate
         outcome.elapsed = time.perf_counter() - started
         return outcome
+
+    # ------------------------------------------------------------------ #
+    def _tuned_probe(
+        self,
+        target: CrackTarget,
+        interval: Interval,
+        chunk_size: int,
+        outcome: LocalCrackOutcome,
+    ) -> Interval:
+        """Measure per-worker ``X_j`` on a leading slice of the interval.
+
+        The probe's candidates count toward the search (its matches and
+        counters are merged), so no work is wasted — this is the paper's
+        tuning step folded into the first dispatch round.
+        """
+        probe_size = min(interval.size, chunk_size * self.workers)
+        probe = Interval(interval.start, interval.start + probe_size)
+        probe_chunk = max(1, probe_size // max(1, self.workers * 2))
+        result = self.backend.run(
+            target, split_interval(probe, probe_chunk), batch_size=self.batch_size
+        )
+        outcome.found.extend(result.found)
+        outcome.candidates_tested += result.tested
+        outcome.chunks_dispatched += result.chunks
+        outcome.worker_throughput.update(result.measured_throughput())
+        return Interval(probe.stop, interval.stop)
+
+    @staticmethod
+    def _adaptive_chunk(base: int, measured: dict) -> int:
+        """Mean of the balanced per-worker chunks, ``N_j = N_max X_j/X_max``."""
+        from repro.cluster.balance import adaptive_chunk_size
+
+        if not measured:
+            return base
+        fastest = max(measured.values())
+        sizes = [adaptive_chunk_size(base, x, fastest) for x in measured.values()]
+        return max(1, sum(sizes) // len(sizes))

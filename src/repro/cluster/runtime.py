@@ -26,10 +26,11 @@ import threading
 import time
 from dataclasses import dataclass, field
 
-from repro.apps.cracking import CrackEngine, CrackTarget
+from repro.apps.cracking import CrackTarget
 from repro.cluster.protocol import GatherMessage, ScatterMessage
+from repro.core.backend import resolve_backend
 from repro.core.progress import ProgressLog
-from repro.keyspace import Charset, Interval
+from repro.keyspace import Charset, Interval, split_interval
 
 
 @dataclass
@@ -42,6 +43,11 @@ class WorkerConfig:
     fail_after_chunks: int | None = None
     #: Artificial per-chunk delay in seconds (heterogeneity injection).
     slowdown: float = 0.0
+    #: Execution backend this node runs its interval searches on —
+    #: ``"serial"`` (default), ``"thread"`` or ``"process"``; a node with
+    #: ``pool_workers > 1`` behaves like the paper's multi-GPU node.
+    backend: str = "serial"
+    pool_workers: int = 1
 
 
 class _Worker(threading.Thread):
@@ -53,6 +59,7 @@ class _Worker(threading.Thread):
         self.inbox: queue.Queue = queue.Queue()
         self.master_outbox = master_outbox
         self._chunks_done = 0
+        self._backend = resolve_backend(config.backend, workers=config.pool_workers)
 
     def run(self) -> None:
         while True:
@@ -86,8 +93,17 @@ class _Worker(threading.Thread):
                     prefix=msg.prefix,
                     suffix=msg.suffix,
                 )
-                engine = CrackEngine(target, batch_size=self.config.batch_size)
-                matches = engine.search(msg.interval)
+                if self._backend.workers > 1:
+                    # A multi-unit node spreads its interval over its own
+                    # pool, like the paper's dispatcher inside a node.
+                    sub = max(1, msg.interval.size // (self._backend.workers * 2))
+                    chunks = split_interval(msg.interval, sub)
+                else:
+                    chunks = [msg.interval]
+                outcome = self._backend.run(
+                    target, chunks, batch_size=self.config.batch_size
+                )
+                matches = outcome.found
             if self.config.slowdown:
                 time.sleep(self.config.slowdown)
             elapsed = time.perf_counter() - started
@@ -115,6 +131,9 @@ class RuntimeResult:
     dead_workers: list = field(default_factory=list)
     bytes_sent: int = 0
     bytes_received: int = 0
+    #: Measured per-worker throughput (keys/s) from the gather messages —
+    #: the real ``X_j`` the balancing rule consumes.
+    worker_throughput: dict = field(default_factory=dict)
 
     @property
     def keys(self) -> list:
@@ -130,6 +149,7 @@ class DistributedMaster:
         workers: list[WorkerConfig],
         chunk_size: int = 5000,
         reply_timeout: float = 30.0,
+        adaptive: bool = False,
     ) -> None:
         if not workers:
             raise ValueError("need at least one worker")
@@ -141,6 +161,9 @@ class DistributedMaster:
         self.worker_configs = list(workers)
         self.chunk_size = chunk_size
         self.reply_timeout = reply_timeout
+        #: Size chunks by each worker's *measured* throughput (Section III's
+        #: adaptive balancing): ``N_j = N_max * (X_j / X_max)``.
+        self.adaptive = adaptive
 
     # ------------------------------------------------------------------ #
     def run(
@@ -176,10 +199,24 @@ class DistributedMaster:
         ]
         queue_intervals = [iv for iv in queue_intervals if iv]
 
-        def next_chunk() -> Interval | None:
+        tested_by: dict[str, int] = {}
+        elapsed_by: dict[str, float] = {}
+
+        def chunk_size_for(worker: str) -> int:
+            """Per-worker chunk: measured ``N_j = N_max * X_j / X_max``."""
+            if not self.adaptive:
+                return self.chunk_size
+            rates = result.worker_throughput
+            if not rates or worker not in rates:
+                return self.chunk_size
+            from repro.cluster.balance import adaptive_chunk_size
+
+            return adaptive_chunk_size(self.chunk_size, rates[worker], max(rates.values()))
+
+        def next_chunk(size: int) -> Interval | None:
             while queue_intervals:
                 head = queue_intervals[0]
-                chunk, rest = head.take(self.chunk_size)
+                chunk, rest = head.take(size)
                 if rest:
                     queue_intervals[0] = rest
                 else:
@@ -189,7 +226,7 @@ class DistributedMaster:
             return None
 
         def dispatch(worker: str) -> bool:
-            chunk = next_chunk()
+            chunk = next_chunk(chunk_size_for(worker))
             if chunk is None:
                 return False
             msg = ScatterMessage(
@@ -245,6 +282,10 @@ class DistributedMaster:
                 log.mark_done(reply.interval, reply.matches)
                 result.found.extend(reply.matches)
                 result.chunks += 1
+                tested_by[name] = tested_by.get(name, 0) + reply.tested
+                elapsed_by[name] = elapsed_by.get(name, 0.0) + reply.elapsed_us / 1e6
+                if elapsed_by[name] > 0:
+                    result.worker_throughput[name] = tested_by[name] / elapsed_by[name]
                 if stop_on_first and result.found:
                     stopping = True
                 if not stopping:

@@ -6,6 +6,9 @@
   ``K_next << K_f`` efficiency claim;
 * :mod:`repro.core.costs` — the cost model: ``K_search`` closed forms and
   the ``K_D`` dispatch bounds;
+* :mod:`repro.core.backend` — pluggable execution backends (serial /
+  thread pool / process pool) with picklable work units and per-worker
+  measured throughput;
 * :mod:`repro.core.session` — the user-facing API tying a crack target to
   a backend (local CPU pool, simulated GPU cluster, or the sequential
   reference);
@@ -13,6 +16,17 @@
 """
 
 from repro.core.search import ExhaustiveSearch, SearchProblem, SearchOutcome, keyspace_problem
+from repro.core.backend import (
+    BackendOutcome,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    WorkUnit,
+    execute_work_unit,
+    measure_backend_throughput,
+    resolve_backend,
+)
 from repro.core.costs import (
     CostModel,
     DispatchCosts,
@@ -30,6 +44,15 @@ from repro.core.planner import (
 )
 
 __all__ = [
+    "BackendOutcome",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "WorkUnit",
+    "execute_work_unit",
+    "measure_backend_throughput",
+    "resolve_backend",
     "ExhaustiveSearch",
     "SearchProblem",
     "SearchOutcome",

@@ -1,0 +1,347 @@
+"""Pluggable execution backends: how one host runs its interval searches.
+
+The paper's node-level story (Sections III and V) is that a node saturates
+its arithmetic throughput once the dispatch overhead ``K_D`` is amortized —
+but that presumes the node actually *uses* all of its execution units.  On
+a multi-core CPU host the unit of parallelism is a process, exactly the way
+hashcat-style distributed crackers run one worker process per device.  This
+module is that seam:
+
+* :class:`SerialBackend` — inline execution on the calling thread; the
+  deterministic reference and the right choice under test runners.
+* :class:`ThreadBackend` — a ``ThreadPoolExecutor``; cheap to spin up and
+  useful when NumPy releases the GIL, but shares one interpreter.
+* :class:`ProcessBackend` — a ``ProcessPoolExecutor``; one Python per
+  core, the CPU analogue of the paper's multi-GPU node.
+
+Work travels as picklable :class:`WorkUnit` values (target + interval +
+batch size) and comes back as :class:`WorkUnitResult` with per-unit
+counters, which the backend merges into a :class:`BackendOutcome` carrying
+per-worker measured throughput — the real ``X_j`` the balancing rule
+``N_j = N_max * (X_j / X_max)`` of :mod:`repro.cluster.balance` needs.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.apps.cracking import CrackEngine, CrackTarget
+from repro.core.search import SearchOutcome
+from repro.keyspace import Interval
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One scatter payload: everything a worker needs, and nothing more.
+
+    Frozen and picklable — this crosses the process boundary.
+    """
+
+    target: CrackTarget
+    interval: Interval
+    batch_size: int = 1 << 14
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+
+
+@dataclass
+class WorkUnitResult:
+    """The gather payload for one executed :class:`WorkUnit`."""
+
+    interval: Interval
+    matches: list  #: (index, key) pairs, sorted by index
+    tested: int
+    batches: int
+    elapsed: float  #: seconds of search time inside the worker
+    worker: str  #: executing worker's label (pid / thread name)
+
+    @property
+    def keys_per_second(self) -> float:
+        if self.elapsed <= 0:
+            return 0.0
+        return self.tested / self.elapsed
+
+
+#: Engines are cached per worker (thread-local, so thread-pool workers
+#: never share one) so a worker that receives many chunks of the same
+#: target reuses its preallocated workspace/scratch buffers — the
+#: allocation-free steady state survives chunk boundaries.
+_ENGINE_CACHE = threading.local()
+
+
+def _cached_engine(target: CrackTarget, batch_size: int) -> CrackEngine:
+    key = (target, batch_size)
+    if getattr(_ENGINE_CACHE, "key", None) != key:
+        # One live target per worker keeps memory flat.
+        _ENGINE_CACHE.key = key
+        _ENGINE_CACHE.engine = CrackEngine(target, batch_size=batch_size)
+    return _ENGINE_CACHE.engine
+
+
+def _worker_label() -> str:
+    thread = threading.current_thread()
+    if thread is threading.main_thread():
+        return f"pid-{os.getpid()}"
+    return f"pid-{os.getpid()}/{thread.name}"
+
+
+def execute_work_unit(unit: WorkUnit) -> WorkUnitResult:
+    """Run one work unit in the calling worker (module-level: picklable)."""
+    engine = _cached_engine(unit.target, unit.batch_size)
+    tested0 = engine.stats.tested
+    batches0 = engine.stats.batches
+    elapsed0 = engine.stats.elapsed
+    matches = engine.search(unit.interval)
+    return WorkUnitResult(
+        interval=unit.interval,
+        matches=matches,
+        tested=engine.stats.tested - tested0,
+        batches=engine.stats.batches - batches0,
+        elapsed=engine.stats.elapsed - elapsed0,
+        worker=_worker_label(),
+    )
+
+
+@dataclass
+class WorkerThroughput:
+    """Per-worker accounting merged from its gather messages."""
+
+    tested: int = 0
+    elapsed: float = 0.0
+    chunks: int = 0
+
+    @property
+    def keys_per_second(self) -> float:
+        if self.elapsed <= 0:
+            return 0.0
+        return self.tested / self.elapsed
+
+
+@dataclass
+class BackendOutcome:
+    """Merged result of a backend run (the master's gather + merge step)."""
+
+    backend: str
+    workers: int
+    found: list = field(default_factory=list)  #: sorted (index, key) pairs
+    tested: int = 0
+    batches: int = 0
+    chunks: int = 0
+    elapsed: float = 0.0  #: wall-clock of the whole run
+    worker_elapsed: float = 0.0  #: summed in-worker search time
+    per_worker: dict = field(default_factory=dict)  #: label -> WorkerThroughput
+
+    def absorb(self, result: WorkUnitResult) -> None:
+        """Merge one gather message into the outcome."""
+        self.found.extend(result.matches)
+        self.tested += result.tested
+        self.batches += result.batches
+        self.chunks += 1
+        self.worker_elapsed += result.elapsed
+        stats = self.per_worker.setdefault(result.worker, WorkerThroughput())
+        stats.tested += result.tested
+        stats.elapsed += result.elapsed
+        stats.chunks += 1
+
+    @property
+    def keys(self) -> list:
+        return [key for _, key in self.found]
+
+    @property
+    def mkeys_per_second(self) -> float:
+        if self.elapsed <= 0:
+            return 0.0
+        return self.tested / self.elapsed / 1e6
+
+    def measured_throughput(self) -> dict[str, float]:
+        """Per-worker measured ``X_j`` in keys/second (balance.py input)."""
+        return {
+            name: stats.keys_per_second
+            for name, stats in sorted(self.per_worker.items())
+            if stats.keys_per_second > 0
+        }
+
+    def to_search_outcome(self) -> SearchOutcome:
+        """View as the pattern's :class:`SearchOutcome` (gather contract)."""
+        outcome: SearchOutcome = SearchOutcome(
+            accepted=list(self.found), tested=self.tested
+        )
+        outcome.f_calls = self.chunks  # one f per dispatched interval
+        outcome.next_calls = max(0, self.tested - self.chunks)
+        return outcome
+
+
+class ExecutionBackend:
+    """Common driver: dispatch work units, gather, merge.
+
+    Subclasses provide :meth:`_execute`, mapping an iterable of units to an
+    iterable of results in completion order.
+    """
+
+    name = "serial"
+    workers = 1
+
+    def run(
+        self,
+        target: CrackTarget,
+        intervals: Sequence[Interval],
+        batch_size: int = 1 << 14,
+        stop_on_first: bool = False,
+    ) -> BackendOutcome:
+        """Search the given intervals; returns the merged outcome.
+
+        ``stop_on_first`` stops *dispatching* once a match has been
+        gathered; in-flight units still complete and are merged (the
+        paper's stop condition semantics).
+        """
+        units = [WorkUnit(target, iv, batch_size) for iv in intervals]
+        outcome = BackendOutcome(backend=self.name, workers=self.workers)
+        started = time.perf_counter()
+        for result in self._execute(units, lambda: stop_on_first and bool(outcome.found)):
+            outcome.absorb(result)
+        outcome.found.sort()
+        outcome.elapsed = time.perf_counter() - started
+        return outcome
+
+    def _execute(self, units, should_stop) -> Iterable[WorkUnitResult]:
+        raise NotImplementedError
+
+
+class SerialBackend(ExecutionBackend):
+    """Inline execution — deterministic, no pools, the reference backend."""
+
+    name = "serial"
+    workers = 1
+
+    def _execute(self, units, should_stop):
+        for unit in units:
+            if should_stop():
+                return
+            yield execute_work_unit(unit)
+
+
+class _PoolBackend(ExecutionBackend):
+    """Shared scatter/gather loop over a ``concurrent.futures`` executor."""
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is None:
+            workers = default_worker_count()
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.workers = workers
+
+    def _make_executor(self) -> Executor:
+        raise NotImplementedError
+
+    def _execute(self, units, should_stop):
+        with self._make_executor() as pool:
+            pending = {pool.submit(execute_work_unit, unit) for unit in units}
+            try:
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        yield future.result()
+                    if should_stop():
+                        for future in pending:
+                            future.cancel()
+                        # In-flight units still complete; merge them too.
+                        for future in wait(pending).done:
+                            if not future.cancelled():
+                                yield future.result()
+                        return
+            finally:
+                for future in pending:
+                    future.cancel()
+
+
+class ThreadBackend(_PoolBackend):
+    """Thread-pool execution: one interpreter, NumPy sections overlap."""
+
+    name = "thread"
+
+    def _make_executor(self) -> Executor:
+        return ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="crack-worker"
+        )
+
+
+class ProcessBackend(_PoolBackend):
+    """Process-pool execution: one Python per core, the multi-GPU analogue."""
+
+    name = "process"
+
+    def _make_executor(self) -> Executor:
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+
+#: Registry used by config/CLI resolution.
+BACKENDS = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+
+def default_worker_count() -> int:
+    """Leave one core for the master, like the paper's dispatcher node."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def resolve_backend(
+    spec: str | ExecutionBackend | None, workers: int | None = None
+) -> ExecutionBackend:
+    """Turn a config/CLI value into a backend instance.
+
+    ``spec`` may be an instance (returned as-is), a registry name
+    (``"serial"``/``"thread"``/``"process"``), ``"auto"`` or ``None``
+    (process pool when more than one worker is requested, serial
+    otherwise).
+    """
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if spec is None or spec == "auto":
+        workers = workers if workers is not None else default_worker_count()
+        return ProcessBackend(workers) if workers > 1 else SerialBackend()
+    try:
+        cls = BACKENDS[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {spec!r}; choose from {sorted(BACKENDS)} or 'auto'"
+        ) from None
+    if cls is SerialBackend:
+        return SerialBackend()
+    return cls(workers)
+
+
+def measure_backend_throughput(
+    backend: ExecutionBackend,
+    target: CrackTarget,
+    probe: Interval,
+    batch_size: int = 1 << 14,
+    chunks_per_worker: int = 2,
+) -> dict[str, float]:
+    """Tuning step on real hardware: probe per-worker throughput ``X_j``.
+
+    Splits *probe* into a couple of chunks per worker, runs them through
+    the backend, and returns the measured keys/second per worker — the
+    inputs :func:`repro.cluster.balance.tuned_from_measured` consumes.
+    """
+    parts = max(1, backend.workers * chunks_per_worker)
+    chunk = max(1, probe.size // parts)
+    from repro.keyspace import split_interval
+
+    outcome = backend.run(target, split_interval(probe, chunk), batch_size=batch_size)
+    return outcome.measured_throughput()

@@ -63,15 +63,25 @@ class CrackingSession:
         interval: Interval | None = None,
         stop_on_first: bool = False,
         batch_size: int = 1 << 14,
+        backend: str = "auto",
+        adaptive: bool = False,
     ) -> SessionResult:
-        """Real parallel crack on CPU cores (vectorized kernels)."""
-        cluster = LocalCluster(workers=workers, batch_size=batch_size)
-        outcome = cluster.crack(self.target, interval, stop_on_first=stop_on_first)
+        """Real parallel crack on CPU cores (vectorized kernels).
+
+        ``backend`` selects the execution backend (``"serial"``,
+        ``"thread"``, ``"process"``, or ``"auto"``: process pool when more
+        than one worker); ``adaptive`` sizes chunks by each worker's
+        measured throughput.
+        """
+        cluster = LocalCluster(workers=workers, batch_size=batch_size, backend=backend)
+        outcome = cluster.crack(
+            self.target, interval, stop_on_first=stop_on_first, adaptive=adaptive
+        )
         return SessionResult(
             found=outcome.found,
             candidates_tested=outcome.candidates_tested,
             elapsed=outcome.elapsed,
-            backend="local",
+            backend=outcome.backend,
             workers=cluster.workers,
         )
 

@@ -128,3 +128,74 @@ def np_rotl32(x: np.ndarray, n: int) -> np.ndarray:
 def np_rotr32(x: np.ndarray, n: int) -> np.ndarray:
     """Lane-wise right rotation on a ``uint32`` array."""
     return np_rotl32(x, 32 - (n & 31))
+
+
+def np_rotl32_into(x: np.ndarray, n: int, tmp: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Lane-wise left rotation written into preallocated storage.
+
+    ``out`` may alias ``x``; ``tmp`` must alias neither.  This is the
+    ``out=``-discipline counterpart of :func:`np_rotl32` used by the
+    allocation-free compress variants.
+    """
+    n &= 31
+    if n == 0:
+        if out is not x:
+            np.copyto(out, x)
+        return out
+    np.left_shift(x, np.uint32(n), out=tmp)
+    np.right_shift(x, np.uint32(32 - n), out=out)
+    np.bitwise_or(out, tmp, out=out)
+    return out
+
+
+def np_rotr32_into(x: np.ndarray, n: int, tmp: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Lane-wise right rotation written into preallocated storage."""
+    return np_rotl32_into(x, 32 - (n & 31), tmp, out)
+
+
+class CompressScratch:
+    """Preallocated uint32 temporaries for the allocation-free hot path.
+
+    One scratch serves any batch up to ``capacity`` lanes; the per-batch
+    arrays handed out by :meth:`registers` / :meth:`temps` /
+    :meth:`schedule` are *views* into the same storage, so repeated calls
+    to a ``*_compress_batch_into`` function allocate nothing at steady
+    state — every one of the 48/64/80 steps runs through ``np.add`` /
+    ``np.bitwise_*`` / shifts with ``out=``.
+
+    The returned register arrays are overwritten by the next compress call
+    on the same scratch: callers must consume (or copy) them first.
+    """
+
+    def __init__(
+        self, capacity: int, n_registers: int, n_temps: int, n_schedule: int = 16
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._registers = [np.empty(capacity, dtype=np.uint32) for _ in range(n_registers)]
+        self._carry = [np.empty(capacity, dtype=np.uint32) for _ in range(n_registers)]
+        self._temps = [np.empty(capacity, dtype=np.uint32) for _ in range(n_temps)]
+        self._schedule = np.empty((n_schedule, capacity), dtype=np.uint32)
+
+    def _check(self, batch: int) -> None:
+        if batch > self.capacity:
+            raise ValueError(f"batch of {batch} exceeds scratch capacity {self.capacity}")
+
+    def registers(self, batch: int) -> list:
+        self._check(batch)
+        return [r[:batch] for r in self._registers]
+
+    def carry(self, batch: int) -> list:
+        """Snapshot storage for a caller-provided chaining state."""
+        self._check(batch)
+        return [c[:batch] for c in self._carry]
+
+    def temps(self, batch: int) -> list:
+        self._check(batch)
+        return [t[:batch] for t in self._temps]
+
+    def schedule(self, batch: int) -> np.ndarray:
+        """``(n_schedule, batch)`` message-word storage (contiguous rows)."""
+        self._check(batch)
+        return self._schedule[:, :batch]

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.hashes.common import np_rotl32
+from repro.hashes.common import CompressScratch, np_rotl32
 from repro.hashes.md4 import MD4_INIT, MD4_K, MD4_SHIFTS, md4_message_index
 
 _INIT = tuple(np.uint32(x) for x in MD4_INIT)
@@ -44,6 +44,72 @@ def md4_compress_batch(blocks: np.ndarray, state: tuple | None = None) -> tuple:
     for step in range(48):
         s = md4_step_np(step, s, lambda i: cols[i])
     return tuple((x + y).astype(np.uint32, copy=False) for x, y in zip(state, s))
+
+
+class MD4Scratch(CompressScratch):
+    """Preallocated temporaries for :func:`md4_compress_batch_into`."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity, n_registers=4, n_temps=2, n_schedule=16)
+
+
+def md4_compress_batch_into(
+    blocks: np.ndarray, scratch: MD4Scratch, state: tuple | None = None
+) -> tuple:
+    """Allocation-free :func:`md4_compress_batch` (``out=`` discipline).
+
+    The returned register views are invalidated by the next call on the
+    same scratch.
+    """
+    if blocks.ndim != 2 or blocks.shape[1] != 16:
+        raise ValueError("blocks must have shape (batch, 16)")
+    if blocks.dtype != np.uint32:
+        raise TypeError("blocks must be uint32")
+    batch = blocks.shape[0]
+    a, b, c, d = scratch.registers(batch)
+    f, tmp = scratch.temps(batch)
+    cols = scratch.schedule(batch)
+    for i in range(16):
+        np.copyto(cols[i], blocks[:, i])
+    if state is None:
+        carry = _INIT
+        for reg, init in zip((a, b, c, d), _INIT):
+            reg.fill(init)
+    else:
+        carry = scratch.carry(batch)
+        for snap, given in zip(carry, state):
+            np.copyto(snap, given)
+        for reg, snap in zip((a, b, c, d), carry):
+            np.copyto(reg, snap)
+    for step in range(48):
+        if step < 16:  # F = (b & c) | (~b & d)
+            np.bitwise_and(b, c, out=f)
+            np.bitwise_not(b, out=tmp)
+            np.bitwise_and(tmp, d, out=tmp)
+            np.bitwise_or(f, tmp, out=f)
+        elif step < 32:  # G = majority(b, c, d)
+            np.bitwise_and(b, c, out=f)
+            np.bitwise_and(b, d, out=tmp)
+            np.bitwise_or(f, tmp, out=f)
+            np.bitwise_and(c, d, out=tmp)
+            np.bitwise_or(f, tmp, out=f)
+        else:  # H = b ^ c ^ d
+            np.bitwise_xor(b, c, out=f)
+            np.bitwise_xor(f, d, out=f)
+        # t = a + f + X[k] (+ K); a's storage becomes the new b.
+        np.add(a, f, out=a)
+        np.add(a, cols[md4_message_index(step)], out=a)
+        k = _K[step // 16]
+        if k:
+            np.add(a, k, out=a)
+        shift = np.uint32(MD4_SHIFTS[step])
+        np.left_shift(a, shift, out=tmp)
+        np.right_shift(a, np.uint32(32) - shift, out=a)
+        np.bitwise_or(a, tmp, out=a)
+        a, b, c, d = d, a, b, c
+    for reg, init in zip((a, b, c, d), carry):
+        np.add(reg, init, out=reg)
+    return (a, b, c, d)
 
 
 def md4_batch(blocks: np.ndarray) -> np.ndarray:

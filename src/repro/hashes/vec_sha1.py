@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.hashes.common import np_rotl32
+from repro.hashes.common import CompressScratch, np_rotl32, np_rotl32_into
 from repro.hashes.sha1 import SHA1_INIT, SHA1_K
 
 _K = tuple(np.uint32(k) for k in SHA1_K)
@@ -61,6 +61,76 @@ def sha1_compress_batch(blocks: np.ndarray, state: tuple | None = None) -> tuple
         w_t = window[step] if step < 16 else sha1_schedule_word(window, step)
         s = sha1_step_np(step, s, w_t)
     return tuple((x + y).astype(np.uint32, copy=False) for x, y in zip(state, s))
+
+
+class SHA1Scratch(CompressScratch):
+    """Preallocated temporaries for :func:`sha1_compress_batch_into`."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity, n_registers=5, n_temps=3, n_schedule=16)
+
+
+def sha1_compress_batch_into(
+    blocks: np.ndarray, scratch: SHA1Scratch, state: tuple | None = None
+) -> tuple:
+    """Allocation-free :func:`sha1_compress_batch` (``out=`` discipline).
+
+    The rolling 16-word schedule window lives in the scratch, so repeated
+    calls allocate nothing.  The returned register views are invalidated
+    by the next call on the same scratch.
+    """
+    _check_blocks(blocks)
+    batch = blocks.shape[0]
+    a, b, c, d, e = scratch.registers(batch)
+    f, tmp, tmp2 = scratch.temps(batch)
+    window = scratch.schedule(batch)
+    for i in range(16):
+        np.copyto(window[i], blocks[:, i])
+    if state is None:
+        carry = _INIT
+        for reg, init in zip((a, b, c, d, e), _INIT):
+            reg.fill(init)
+    else:
+        carry = scratch.carry(batch)
+        for snap, given in zip(carry, state):
+            np.copyto(snap, given)
+        for reg, snap in zip((a, b, c, d, e), carry):
+            np.copyto(reg, snap)
+    for step in range(80):
+        if step < 16:
+            w_t = window[step]
+        else:
+            # w[t] = rotl1(w[t-3] ^ w[t-8] ^ w[t-14] ^ w[t]), in place.
+            w_t = window[step % 16]
+            np.bitwise_xor(w_t, window[(step - 3) % 16], out=w_t)
+            np.bitwise_xor(w_t, window[(step - 8) % 16], out=w_t)
+            np.bitwise_xor(w_t, window[(step - 14) % 16], out=w_t)
+            np_rotl32_into(w_t, 1, tmp, w_t)
+        if step < 20:  # Ch
+            np.bitwise_and(b, c, out=f)
+            np.bitwise_not(b, out=tmp)
+            np.bitwise_and(tmp, d, out=tmp)
+            np.bitwise_or(f, tmp, out=f)
+        elif 40 <= step < 60:  # Maj
+            np.bitwise_and(b, c, out=f)
+            np.bitwise_and(b, d, out=tmp)
+            np.bitwise_or(f, tmp, out=f)
+            np.bitwise_and(c, d, out=tmp)
+            np.bitwise_or(f, tmp, out=f)
+        else:  # Parity
+            np.bitwise_xor(b, c, out=f)
+            np.bitwise_xor(f, d, out=f)
+        # temp = rotl5(a) + f + e + K + w_t; e's storage becomes the new a.
+        np.add(e, f, out=e)
+        np.add(e, _K[step // 20], out=e)
+        np.add(e, w_t, out=e)
+        np_rotl32_into(a, 5, tmp, tmp2)
+        np.add(e, tmp2, out=e)
+        np_rotl32_into(b, 30, tmp, b)
+        a, b, c, d, e = e, a, b, c, d
+    for reg, init in zip((a, b, c, d, e), carry):
+        np.add(reg, init, out=reg)
+    return (a, b, c, d, e)
 
 
 def sha1_batch(blocks: np.ndarray) -> np.ndarray:

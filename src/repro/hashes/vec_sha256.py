@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.hashes.common import np_rotr32
+from repro.hashes.common import CompressScratch, np_rotr32, np_rotr32_into
 from repro.hashes.sha256 import SHA256_INIT, SHA256_K
 
 _K = tuple(np.uint32(k) for k in SHA256_K)
@@ -56,6 +56,89 @@ def sha256_compress_batch(blocks: np.ndarray, state: tuple | None = None) -> tup
         w_t = window[step] if step < 16 else sha256_schedule_word(window, step)
         s = sha256_step_np(step, s, w_t)
     return tuple((x + y).astype(np.uint32, copy=False) for x, y in zip(state, s))
+
+
+class SHA256Scratch(CompressScratch):
+    """Preallocated temporaries for :func:`sha256_compress_batch_into`."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity, n_registers=8, n_temps=4, n_schedule=16)
+
+
+def _xor_rotr_into(x: np.ndarray, rotations: tuple, shift: int | None,
+                   acc: np.ndarray, tmp: np.ndarray, tmp2: np.ndarray) -> np.ndarray:
+    """``acc = rotr(x, r0) ^ rotr(x, r1) [^ rotr(x, r2) | ^ (x >> shift)]``."""
+    np_rotr32_into(x, rotations[0], tmp, acc)
+    for r in rotations[1:]:
+        np_rotr32_into(x, r, tmp, tmp2)
+        np.bitwise_xor(acc, tmp2, out=acc)
+    if shift is not None:
+        np.right_shift(x, np.uint32(shift), out=tmp2)
+        np.bitwise_xor(acc, tmp2, out=acc)
+    return acc
+
+
+def sha256_compress_batch_into(
+    blocks: np.ndarray, scratch: SHA256Scratch, state: tuple | None = None
+) -> tuple:
+    """Allocation-free :func:`sha256_compress_batch` (``out=`` discipline).
+
+    The rolling schedule window and every sigma/majority temporary live in
+    the scratch.  The returned register views are invalidated by the next
+    call on the same scratch.
+    """
+    _check_blocks(blocks)
+    batch = blocks.shape[0]
+    a, b, c, d, e, f, g, h = scratch.registers(batch)
+    t1, t2, tmp, tmp2 = scratch.temps(batch)
+    window = scratch.schedule(batch)
+    for i in range(16):
+        np.copyto(window[i], blocks[:, i])
+    if state is None:
+        carry = _INIT
+        for reg, init in zip((a, b, c, d, e, f, g, h), _INIT):
+            reg.fill(init)
+    else:
+        carry = scratch.carry(batch)
+        for snap, given in zip(carry, state):
+            np.copyto(snap, given)
+        for reg, snap in zip((a, b, c, d, e, f, g, h), carry):
+            np.copyto(reg, snap)
+    for step in range(64):
+        if step < 16:
+            w_t = window[step]
+        else:
+            # w[t] += sigma0(w[t-15]) + w[t-7] + sigma1(w[t-2]), in place.
+            w_t = window[step % 16]
+            _xor_rotr_into(window[(step - 15) % 16], (7, 18), 3, t1, tmp, tmp2)
+            np.add(w_t, t1, out=w_t)
+            np.add(w_t, window[(step - 7) % 16], out=w_t)
+            _xor_rotr_into(window[(step - 2) % 16], (17, 19), 10, t1, tmp, tmp2)
+            np.add(w_t, t1, out=w_t)
+        # temp1 = h + Sigma1(e) + Ch(e,f,g) + K + w; h's storage is freed.
+        _xor_rotr_into(e, (6, 11, 25), None, t1, tmp, tmp2)
+        np.add(h, t1, out=h)
+        np.bitwise_and(e, f, out=tmp)
+        np.bitwise_not(e, out=tmp2)
+        np.bitwise_and(tmp2, g, out=tmp2)
+        np.bitwise_or(tmp, tmp2, out=tmp)
+        np.add(h, tmp, out=h)
+        np.add(h, _K[step], out=h)
+        np.add(h, w_t, out=h)
+        # temp2 = Sigma0(a) + Maj(a,b,c)
+        _xor_rotr_into(a, (2, 13, 22), None, t1, tmp, tmp2)
+        np.bitwise_and(a, b, out=tmp)
+        np.bitwise_and(a, c, out=tmp2)
+        np.bitwise_xor(tmp, tmp2, out=tmp)
+        np.bitwise_and(b, c, out=tmp2)
+        np.bitwise_xor(tmp, tmp2, out=tmp)
+        np.add(t1, tmp, out=t1)
+        np.add(d, h, out=d)      # new e = d + temp1
+        np.add(h, t1, out=h)     # new a = temp1 + temp2
+        a, b, c, d, e, f, g, h = h, a, b, c, d, e, f, g
+    for reg, init in zip((a, b, c, d, e, f, g, h), carry):
+        np.add(reg, init, out=reg)
+    return (a, b, c, d, e, f, g, h)
 
 
 def sha256_batch(blocks: np.ndarray) -> np.ndarray:

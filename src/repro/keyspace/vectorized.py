@@ -15,6 +15,7 @@ segments.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterator
 
 import numpy as np
@@ -95,6 +96,160 @@ def decode_keys(chars: np.ndarray) -> list[str]:
     if chars.ndim != 2:
         raise ValueError("expected a (batch, length) matrix")
     return [row.tobytes().decode("latin-1") for row in chars]
+
+
+# ---------------------------------------------------------------------- #
+# Allocation-free packing: ids -> padded message blocks, no intermediates
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class PackedSegment:
+    """One length stratum's slice of a packed batch.
+
+    ``blocks`` and ``chars`` are *views* into the owning
+    :class:`BlockWorkspace`; they are overwritten by the workspace's next
+    :meth:`~BlockWorkspace.fill` call and must be consumed before then.
+    """
+
+    start: int  #: absolute candidate id of row 0
+    length: int  #: key length of every row
+    blocks: np.ndarray  #: ``(rows, 16)`` native uint32 padded message blocks
+    chars: np.ndarray  #: ``(rows, length)`` uint8 key bytes (for decoding hits)
+
+    def key_at(self, lane: int) -> str:
+        """Decode the candidate in row *lane* back to its string."""
+        return self.chars[lane].tobytes().decode("latin-1")
+
+
+class BlockWorkspace:
+    """Preallocated buffers turning candidate ids into padded blocks.
+
+    The hot-path counterpart of :func:`batch_keys` +
+    :func:`repro.hashes.padding.pack_single_block`: message words are
+    synthesized *directly from indices* into caller-owned storage — digits
+    via ``np.floor_divide``/``np.remainder`` with ``out=``, charset bytes
+    via ``np.take(..., out=...)`` straight into the 64-byte rows, and the
+    final uint32 words via a single byteswapping ``np.copyto``.  No
+    intermediate key-bytes array is materialized and, at steady state,
+    repeated :meth:`fill` calls allocate nothing.
+
+    A workspace of ``capacity`` rows serves any batch up to that size; a
+    final partial batch simply returns shorter views of the same buffers
+    (no reallocation at interval tails).
+    """
+
+    #: ``'little'``-endian word order (MD5/MD4) vs ``'big'`` (SHA family).
+    _VIEW = {"little": "<u4", "big": ">u4"}
+
+    def __init__(self, capacity: int, max_length: int = 20) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if max_length < 0:
+            raise ValueError("max_length must be non-negative")
+        self.capacity = capacity
+        self._bytes = np.zeros((capacity, 64), dtype=np.uint8)
+        self._words = np.empty((capacity, 16), dtype=np.uint32)
+        self._digits = np.empty((capacity, max(1, max_length)), dtype=np.int64)
+        self._values = np.empty(capacity, dtype=np.int64)
+        self._iota = np.arange(capacity, dtype=np.int64)
+        self._powers: dict[tuple[int, int], np.ndarray] = {}
+
+    # ------------------------------------------------------------------ #
+    def fill(
+        self,
+        mapping: KeyMapping,
+        start: int,
+        count: int,
+        endian_value: str,
+        prefix: bytes = b"",
+        suffix: bytes = b"",
+    ) -> list[PackedSegment]:
+        """Pack candidates ``[start, start + count)`` into the workspace.
+
+        ``endian_value`` is ``"little"`` or ``"big"`` (pass
+        ``target.endian.value``).  Returns one :class:`PackedSegment` per
+        length stratum touched; their rows tile the requested range in
+        order.  Raises if *count* exceeds the workspace capacity.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count > self.capacity:
+            raise ValueError(f"batch of {count} exceeds workspace capacity {self.capacity}")
+        if start < 0 or start + count > mapping.size:
+            raise IndexError(
+                f"range [{start}, {start + count}) outside key space of size {mapping.size}"
+            )
+        view_dtype = self._VIEW[endian_value]
+        n = len(mapping.charset)
+        table = mapping.charset.byte_table
+        p0 = len(prefix)
+        rows = self._bytes[:count]
+        rows.fill(0)
+        segments: list[PackedSegment] = []
+        offset = 0
+        pos = start
+        remaining = count
+        while remaining > 0:
+            length, within = length_of_index(n, mapping.min_length, pos)
+            stratum_size = count_of_length(n, length)
+            seg = min(remaining, stratum_size - within)
+            seg_rows = self._bytes[offset : offset + seg]
+            chars = seg_rows[:, p0 : p0 + length]
+            if length:
+                self._fill_chars(n, length, within, seg, mapping.order, table, chars)
+            total = p0 + length + len(suffix)
+            if prefix:
+                seg_rows[:, :p0] = np.frombuffer(prefix, dtype=np.uint8)
+            if suffix:
+                seg_rows[:, p0 + length : total] = np.frombuffer(suffix, dtype=np.uint8)
+            seg_rows[:, total] = 0x80
+            seg_rows[:, 56:64] = np.frombuffer(
+                (total * 8).to_bytes(8, endian_value), dtype=np.uint8
+            )
+            words = self._words[offset : offset + seg]
+            np.copyto(words, seg_rows.view(view_dtype))
+            segments.append(PackedSegment(pos, length, words, chars))
+            offset += seg
+            pos += seg
+            remaining -= seg
+        return segments
+
+    # ------------------------------------------------------------------ #
+    def _fill_chars(
+        self,
+        n: int,
+        length: int,
+        within: int,
+        count: int,
+        order: KeyOrder,
+        table: np.ndarray,
+        chars: np.ndarray,
+    ) -> None:
+        """Write the key bytes of *count* consecutive ids into *chars*."""
+        if length > self._digits.shape[1]:
+            # Rare: a longer stratum than planned; grow once, keep steady state.
+            self._digits = np.empty((self.capacity, length), dtype=np.int64)
+        if n == 1:
+            chars[...] = table[0]
+            return
+        if n**length <= 2**63:
+            values = self._values[:count]
+            digits = self._digits[:count, :length]
+            np.add(self._iota[:count], within, out=values)
+            powers = self._powers.get((n, length))
+            if powers is None:
+                powers = n ** np.arange(length, dtype=np.int64)
+                self._powers[(n, length)] = powers
+            np.floor_divide(values[:, None], powers[None, :], out=digits)
+            np.remainder(digits, n, out=digits)
+        else:
+            # Exact-integer fallback for gigantic strata (allocates; cold path).
+            digits = _stratum_digits(n, length, within, count, KeyOrder.PREFIX_FASTEST)
+        if order is KeyOrder.PREFIX_FASTEST:
+            np.take(table, digits, out=chars)
+        else:
+            np.take(table, digits, out=chars[:, ::-1])
 
 
 # ---------------------------------------------------------------------- #

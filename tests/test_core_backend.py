@@ -1,0 +1,194 @@
+"""Backend equivalence: every execution backend is the same search.
+
+The contract: for a fixed target and interval, Serial/Thread/Process must
+produce identical accepted ``(index, key)`` sets, identical tested counts,
+and identical :class:`ProgressLog` coverage — the backend seam changes how
+fast a host scans, never what it finds.
+"""
+
+import pytest
+
+from repro.apps.cracking import CrackTarget, crack_interval
+from repro.core.backend import (
+    BACKENDS,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    WorkUnit,
+    execute_work_unit,
+    measure_backend_throughput,
+    resolve_backend,
+)
+from repro.core.progress import ProgressLog
+from repro.cluster.local import LocalCluster
+from repro.cluster.runtime import DistributedMaster, WorkerConfig
+from repro.keyspace import Charset, Interval, split_interval
+
+ABC = Charset("abc", name="abc")
+
+
+def target_for(password="cab", **kw):
+    kw.setdefault("min_length", 1)
+    kw.setdefault("max_length", 4)
+    return CrackTarget.from_password(password, ABC, **kw)
+
+
+def make_backend(name):
+    return resolve_backend(name, workers=2)
+
+
+class TestWorkUnits:
+    def test_unit_is_picklable(self):
+        import pickle
+
+        unit = WorkUnit(target_for(), Interval(3, 50), batch_size=16)
+        clone = pickle.loads(pickle.dumps(unit))
+        assert clone.interval == unit.interval
+        assert clone.target.digest == unit.target.digest
+
+    def test_execute_reports_counters(self):
+        result = execute_work_unit(WorkUnit(target_for("ab"), Interval(0, 100), 32))
+        assert result.tested == 100
+        assert result.batches == 4  # 3 full batches of 32 + one partial
+        assert result.worker
+        assert result.keys_per_second > 0
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            WorkUnit(target_for(), Interval(0, 10), batch_size=0)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("name", sorted(BACKENDS))
+    def test_full_space_matches_reference(self, name):
+        target = target_for("bca")
+        interval = Interval(0, target.space_size)
+        expected = crack_interval(target, interval)
+        outcome = make_backend(name).run(
+            target, split_interval(interval, 17), batch_size=64
+        )
+        assert outcome.found == expected
+        assert outcome.tested == interval.size
+        assert outcome.backend == name
+
+    def test_identical_across_backends_with_salt(self):
+        # Salted target exercises the generic (non-reversal) kernel too.
+        target = target_for("cc", suffix=b"-salt")
+        interval = Interval(0, target.space_size)
+        chunks = split_interval(interval, 23)
+        outcomes = [
+            make_backend(name).run(target, chunks, batch_size=32)
+            for name in sorted(BACKENDS)
+        ]
+        reference = outcomes[0]
+        assert reference.keys  # really cracked it
+        for outcome in outcomes[1:]:
+            assert outcome.found == reference.found
+            assert outcome.tested == reference.tested
+
+    @pytest.mark.parametrize("name", sorted(BACKENDS))
+    def test_progress_log_coverage_identical(self, name):
+        target = target_for("abba")
+        interval = Interval(0, target.space_size)
+        chunks = split_interval(interval, 29)
+        outcome = make_backend(name).run(target, chunks, batch_size=64)
+        log = ProgressLog(total=interval.stop)
+        # Chunks complete in nondeterministic order; coverage must not care.
+        for chunk in chunks:
+            hits = [(i, k) for i, k in outcome.found if i in chunk]
+            log.mark_done(chunk, hits)
+        assert log.is_complete
+        assert log.check_invariant()
+        assert log.found == outcome.found
+
+    def test_local_cluster_same_answer_any_backend(self):
+        target = target_for("cbb")
+        results = {}
+        for name in sorted(BACKENDS):
+            outcome = LocalCluster(workers=2, batch_size=64, backend=name).crack(
+                target, chunk_size=19
+            )
+            results[name] = outcome.found
+            assert outcome.backend == name
+        assert len({tuple(v) for v in results.values()}) == 1
+
+    def test_local_cluster_adaptive_still_exact(self):
+        target = target_for("ccca")
+        outcome = LocalCluster(workers=2, batch_size=64, backend="thread").crack(
+            target, chunk_size=13, adaptive=True
+        )
+        assert "ccca" in outcome.keys
+        assert outcome.candidates_tested == target.space_size
+        assert outcome.worker_throughput  # the tuning step measured X_j
+
+
+class TestThroughputMeasurement:
+    def test_measured_throughput_feeds_balance(self):
+        from repro.cluster.balance import adaptive_chunk_size, tuned_from_measured
+
+        target = target_for()
+        measured = measure_backend_throughput(
+            SerialBackend(), target, Interval(0, 60), batch_size=16
+        )
+        assert measured
+        units = tuned_from_measured(measured, min_candidates=8)
+        assert all(u.throughput > 0 for u in units)
+        fastest = max(u.throughput for u in units)
+        for unit in units:
+            size = adaptive_chunk_size(1000, unit.throughput, fastest)
+            assert 1 <= size <= 1000
+
+    def test_adaptive_chunk_size_rule(self):
+        from repro.cluster.balance import adaptive_chunk_size
+
+        assert adaptive_chunk_size(1000, 50.0, 100.0) == 500
+        assert adaptive_chunk_size(1000, 100.0, 100.0) == 1000
+        assert adaptive_chunk_size(1000, 0.0, 100.0) == 1000  # unmeasured: full
+        assert adaptive_chunk_size(10, 1.0, 1e9) == 1  # never zero
+        with pytest.raises(ValueError):
+            adaptive_chunk_size(0, 1.0, 1.0)
+
+
+class TestRuntimeBackends:
+    def test_worker_on_thread_backend_matches_serial(self):
+        target = target_for("ccba")
+        serial = DistributedMaster(
+            target, [WorkerConfig("s")], chunk_size=31
+        ).run()
+        pooled = DistributedMaster(
+            target,
+            [WorkerConfig("t", backend="thread", pool_workers=2)],
+            chunk_size=31,
+        ).run()
+        assert pooled.found == serial.found
+        assert pooled.progress.is_complete
+
+    def test_worker_death_requeues_onto_backend_workers(self):
+        # One worker dies after 2 chunks; a thread-pool worker absorbs the
+        # requeued intervals and coverage stays exactly-once.
+        target = target_for("bcab")
+        workers = [
+            WorkerConfig("mortal", fail_after_chunks=2),
+            WorkerConfig("pool", backend="thread", pool_workers=2),
+        ]
+        master = DistributedMaster(target, workers, chunk_size=17, reply_timeout=0.35)
+        result = master.run()
+        assert "bcab" in result.keys
+        assert result.progress.is_complete
+        assert result.progress.check_invariant()
+        assert "mortal" in result.dead_workers
+        assert result.requeued > 0
+        assert result.found == crack_interval(target, Interval(0, target.space_size))
+
+    def test_adaptive_master_measures_and_completes(self):
+        target = target_for("ccc")
+        workers = [
+            WorkerConfig("fast"),
+            WorkerConfig("slow", slowdown=0.004),
+        ]
+        result = DistributedMaster(
+            target, workers, chunk_size=25, adaptive=True
+        ).run()
+        assert result.progress.is_complete
+        assert set(result.worker_throughput) <= {"fast", "slow"}
+        assert result.worker_throughput["fast"] > 0

@@ -113,7 +113,7 @@ class TestCrackingSession:
         seq = session.run_sequential()
         loc = session.run_local(workers=1, batch_size=64)
         assert seq.found == loc.found
-        assert loc.backend == "local"
+        assert loc.backend == "serial"  # one worker resolves to the inline backend
 
     def test_estimate_on_paper_network(self):
         session = CrackingSession(

@@ -1,0 +1,212 @@
+"""Allocation-free compress kernels: correctness and allocation bounds.
+
+The ``*_compress_batch_into`` variants must be bit-identical to ``hashlib``
+on arbitrary multi-block messages (chained through ``state=``), and repeated
+calls must not allocate — they work entirely inside a preallocated
+:class:`CompressScratch`.
+"""
+
+import hashlib
+import random
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.apps.cracking import CrackEngine, CrackTarget
+from repro.hashes.common import CompressScratch, np_rotl32, np_rotl32_into
+from repro.hashes.padding import Endian, pad_message
+from repro.hashes.vec_md4 import MD4Scratch, md4_batch, md4_compress_batch_into
+from repro.hashes.vec_md5 import MD5Scratch, md5_compress_batch_into
+from repro.hashes.vec_sha1 import SHA1Scratch, sha1_compress_batch_into
+from repro.hashes.vec_sha256 import SHA256Scratch, sha256_compress_batch_into
+from repro.keyspace import Charset, Interval
+from repro.keyspace.vectorized import BlockWorkspace
+
+KERNELS = {
+    "md5": (MD5Scratch, md5_compress_batch_into, Endian.LITTLE, hashlib.md5),
+    "sha1": (SHA1Scratch, sha1_compress_batch_into, Endian.BIG, hashlib.sha1),
+    "sha256": (SHA256Scratch, sha256_compress_batch_into, Endian.BIG, hashlib.sha256),
+}
+
+
+def _batched_blocks(messages, endian):
+    """Stack per-message block lists into per-block-index (batch, 16) arrays."""
+    padded = [pad_message(m, endian) for m in messages]
+    n_blocks = len(padded[0])
+    assert all(len(p) == n_blocks for p in padded)
+    return [
+        np.array([p[i] for p in padded], dtype=np.uint32) for i in range(n_blocks)
+    ]
+
+
+def _digests(registers, endian):
+    order = "little" if endian is Endian.LITTLE else "big"
+    batch = registers[0].shape[0]
+    return [
+        b"".join(int(reg[lane]).to_bytes(4, order) for reg in registers)
+        for lane in range(batch)
+    ]
+
+
+class TestMatchesHashlib:
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    @pytest.mark.parametrize("length", [0, 1, 55, 56, 63, 64, 65, 119, 120, 200])
+    def test_multi_block_chaining(self, name, length):
+        scratch_cls, compress, endian, reference = KERNELS[name]
+        rng = random.Random(hash((name, length)) & 0xFFFF)
+        messages = [bytes(rng.randrange(256) for _ in range(length)) for _ in range(7)]
+        scratch = scratch_cls(capacity=8)
+        state = None
+        for blocks in _batched_blocks(messages, endian):
+            # state aliases the scratch's own registers from the previous
+            # call — the kernel must snapshot before overwriting.
+            state = compress(blocks, scratch, state=state)
+        expected = [reference(m).digest() for m in messages]
+        assert _digests(state, endian) == expected
+
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_random_lengths_property(self, name):
+        scratch_cls, compress, endian, reference = KERNELS[name]
+        rng = random.Random(20140519)
+        scratch = scratch_cls(capacity=4)
+        for _ in range(25):
+            length = rng.randrange(0, 300)
+            messages = [
+                bytes(rng.randrange(256) for _ in range(length)) for _ in range(4)
+            ]
+            state = None
+            for blocks in _batched_blocks(messages, endian):
+                state = compress(blocks, scratch, state=state)
+            assert _digests(state, endian) == [reference(m).digest() for m in messages]
+
+    def test_md4_matches_reference_batch(self):
+        rng = random.Random(4)
+        scratch = MD4Scratch(capacity=6)
+        messages = [bytes(rng.randrange(256) for _ in range(13)) for _ in range(6)]
+        blocks = _batched_blocks(messages, Endian.LITTLE)
+        assert len(blocks) == 1
+        regs = md4_compress_batch_into(blocks[0], scratch)
+        expected = md4_batch(blocks[0])
+        got = np.stack(regs, axis=1)
+        assert np.array_equal(got, expected)
+
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_partial_batch_view(self, name):
+        # A batch smaller than capacity runs through views of the same
+        # scratch and must not disturb correctness.
+        scratch_cls, compress, endian, reference = KERNELS[name]
+        scratch = scratch_cls(capacity=32)
+        messages = [b"abc", b"", b"partial!"]
+        blocks = _batched_blocks([b"abc"], endian)[0]
+        for msg in messages:
+            state = None
+            for blk in _batched_blocks([msg], endian):
+                state = compress(blk, scratch, state=state)
+            assert _digests(state, endian) == [reference(msg).digest()]
+        with pytest.raises(ValueError):
+            compress(np.zeros((64, 16), dtype=np.uint32), scratch)
+
+
+class TestAllocationFree:
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_repeated_calls_do_not_grow(self, name):
+        scratch_cls, compress, _endian, _ref = KERNELS[name]
+        batch = 256
+        scratch = scratch_cls(capacity=batch)
+        blocks = np.arange(batch * 16, dtype=np.uint32).reshape(batch, 16)
+        for _ in range(3):  # warm caches (ufunc loops, views) before tracing
+            compress(blocks, scratch)
+        tracemalloc.start()
+        try:
+            compress(blocks, scratch)
+            baseline, _ = tracemalloc.get_traced_memory()
+            for _ in range(50):
+                compress(blocks, scratch)
+            current, _ = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        # 50 batches of 256 lanes would be ~3 MB of fresh uint32 arrays if
+        # the kernel allocated; views + return tuples stay under a few KB.
+        assert current - baseline < 16_384
+
+    def test_workspace_fill_does_not_grow(self):
+        charset = Charset("abcdef", name="abcdef")
+        target = CrackTarget.from_password("fed", charset, min_length=1, max_length=4)
+        workspace = BlockWorkspace(512, max_length=target.max_length)
+        mapping = target.mapping
+
+        def sweep():
+            pos = 0
+            while pos < mapping.size:
+                count = min(512, mapping.size - pos)
+                segments = workspace.fill(mapping, pos, count, target.endian.value,
+                                          target.prefix, target.suffix)
+                for segment in segments:
+                    assert segment.blocks.shape[1] == 16
+                pos += count
+
+        sweep()
+        tracemalloc.start()
+        try:
+            sweep()
+            baseline, _ = tracemalloc.get_traced_memory()
+            for _ in range(10):
+                sweep()
+            current, _ = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert current - baseline < 65_536
+
+    def test_rotl_into_aliasing_contract(self):
+        x = np.arange(8, dtype=np.uint32) * 0x01020304
+        tmp = np.empty_like(x)
+        expected = np_rotl32(x, 7)
+        out = np_rotl32_into(x, 7, tmp, x)  # out aliases x: allowed
+        assert out is x
+        assert np.array_equal(x, expected)
+
+    def test_scratch_rejects_oversized_batch(self):
+        scratch = CompressScratch(capacity=8, n_registers=4, n_temps=2)
+        with pytest.raises(ValueError, match="capacity"):
+            scratch.registers(9)
+
+
+class TestEnginePartialBatch:
+    def test_partial_final_batch_counted_once(self):
+        charset = Charset("abcd", name="abcd")
+        probe = CrackTarget.from_password("a", charset, min_length=1, max_length=4)
+        password = probe.mapping.key_at(140)  # lands inside the partial tail
+        target = CrackTarget.from_password(password, charset, min_length=1, max_length=4)
+        password_id = target.mapping.index_of(password)
+        assert password_id == 140
+        engine = CrackEngine(target, batch_size=64)
+        workspace = engine._workspace
+        # 64 + 64 + 22: final partial batch must run exactly once, through
+        # views of the same preallocated workspace.
+        interval = Interval(0, 150)
+        found = engine.search(interval)
+        assert found == [(password_id, password)]
+        assert engine.stats.batches == 3
+        assert engine.stats.tested == 150
+        assert engine._workspace is workspace  # no reallocation mid-search
+
+    def test_partial_batch_matches_full_batch_results(self):
+        charset = Charset("abcd", name="abcd")
+        target = CrackTarget.from_password("dcba", charset, min_length=1, max_length=4)
+        space = Interval(0, target.space_size)
+        aligned = CrackEngine(target, batch_size=target.space_size).search(space)
+        ragged = CrackEngine(target, batch_size=37).search(space)
+        assert aligned == ragged
+        assert "dcba" in {k for _, k in ragged}
+
+    def test_naive_kernel_partial_batch(self):
+        charset = Charset("xyz", name="xyz")
+        target = CrackTarget.from_password(
+            "zyx", charset, min_length=1, max_length=3, suffix=b"+salt"
+        )
+        engine = CrackEngine(target, batch_size=17)
+        found = engine.search(Interval(0, target.space_size))
+        assert "zyx" in {k for _, k in found}
+        expected_batches = -(-target.space_size // 17)
+        assert engine.stats.batches == expected_batches
