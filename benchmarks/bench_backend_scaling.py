@@ -25,6 +25,8 @@ import time
 from repro.apps.cracking import CrackTarget
 from repro.core.backend import BACKENDS, resolve_backend
 from repro.keyspace import ALPHA_LOWER, Interval, split_interval
+from repro.obs import Recorder
+from repro.obs.schema import MetricNames
 
 #: Planted password: forces a full scan to its id, deep in the space.
 _PASSWORD = "zzyzx"
@@ -50,14 +52,18 @@ def bench_backend(
     backend = resolve_backend(backend_name, workers=workers)
     best = None
     found = None
+    metrics = None
     for _ in range(repeats):
+        recorder = Recorder()
         started = time.perf_counter()
         outcome = backend.run(
-            target, split_interval(interval, chunk), batch_size=batch_size
+            target, split_interval(interval, chunk), batch_size=batch_size,
+            recorder=recorder,
         )
         elapsed = time.perf_counter() - started
         if best is None or elapsed < best:
             best = elapsed
+            metrics = recorder.export()
         found = outcome.found
     return {
         "backend": backend_name,
@@ -66,8 +72,29 @@ def bench_backend(
         "tested": interval.size,
         "elapsed": best,
         "keys_per_second": interval.size / best if best else 0.0,
+        "phases": _phase_totals(metrics),
+        "metrics": metrics,
         "found": found,
     }
+
+
+def _phase_totals(metrics: dict) -> dict:
+    """Scatter/search/gather seconds from the recorded span aggregates.
+
+    The per-phase breakdown successive PRs compare — ``K_scatter``,
+    ``K_search`` (summed in-worker time), ``K_gather`` of the cost model.
+    """
+    wanted = {
+        MetricNames.PHASE_SCATTER: "scatter",
+        MetricNames.PHASE_SEARCH: "search",
+        MetricNames.PHASE_GATHER: "gather",
+    }
+    totals = {label: 0.0 for label in wanted.values()}
+    for row in (metrics or {}).get("spans", []):
+        label = wanted.get(row["name"])
+        if label is not None:
+            totals[label] += row["total"]
+    return totals
 
 
 def run(quick: bool = False, workers: int | None = None) -> dict:

@@ -6,10 +6,10 @@ compared::
 
     PYTHONPATH=src python benchmarks/run_all.py [--quick] [--output PATH]
 
-Schema (``bench-cracking/v1``)::
+Schema (``bench-cracking/v2``)::
 
     {
-      "schema": "bench-cracking/v1",
+      "schema": "bench-cracking/v2",
       "generated_at": <unix seconds>,
       "host": {"cpus": N, "platform": "..."},
       "benchmarks": [<bench payloads, each with "name" and "results">],
@@ -19,6 +19,12 @@ Schema (``bench-cracking/v1``)::
         "all_results_identical": true
       }
     }
+
+v2 over v1: every result row embeds a ``repro-metrics/v1`` export under
+``"metrics"`` (validated here via :func:`repro.obs.validate_metrics`) and
+a ``"phases"`` scatter/search/gather seconds breakdown derived from it —
+the paper's ``K_scatter``/``K_search``/``K_gather`` split per
+configuration.
 """
 
 from __future__ import annotations
@@ -34,7 +40,9 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 import bench_backend_scaling
 
-SCHEMA = "bench-cracking/v1"
+from repro.obs import validate_metrics
+
+SCHEMA = "bench-cracking/v2"
 
 
 def run_all(quick: bool = False, workers: int | None = None) -> dict:
@@ -83,6 +91,20 @@ def validate(document: dict) -> list[str]:
                 for key in ("backend", "workers", "batch_size", "keys_per_second"):
                     if key not in row:
                         problems.append(f"result row missing {key!r}")
+                phases = row.get("phases")
+                if not isinstance(phases, dict) or not {
+                    "scatter", "search", "gather"
+                } <= set(phases):
+                    problems.append(
+                        "result row needs phases.{scatter,search,gather}"
+                    )
+                metrics = row.get("metrics")
+                if not isinstance(metrics, dict):
+                    problems.append("result row needs an embedded metrics export")
+                else:
+                    problems.extend(
+                        f"metrics: {p}" for p in validate_metrics(metrics)
+                    )
     summary = document.get("summary")
     if not isinstance(summary, dict) or "speedup_process_vs_serial" not in summary:
         problems.append("summary.speedup_process_vs_serial is required")

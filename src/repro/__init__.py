@@ -13,8 +13,11 @@ Quickstart::
     from repro import ALPHA_LOWER, CrackTarget, CrackingSession
 
     target = CrackTarget.from_password("dog", ALPHA_LOWER, max_length=4)
-    result = CrackingSession(target).run_local()
+    result = CrackingSession(target).run()
     print(result.passwords)   # ['dog']
+
+Pass ``recorder=repro.obs.Recorder()`` to ``run`` to capture per-phase
+timings and per-worker throughput (see :mod:`repro.obs`).
 """
 
 from repro.keyspace import (
@@ -32,8 +35,10 @@ from repro.kernels.variants import HashAlgorithm, KernelVariant
 from repro.apps.cracking import CrackEngine, CrackTarget, crack_interval
 from repro.apps.mining import MiningJob, mine_interval
 from repro.apps.audit import AuditEntry, AuditSession
+from repro.core.results import RunResult, SessionResult
 from repro.core.session import CrackingSession
 from repro.core.search import ExhaustiveSearch, SearchProblem, keyspace_problem
+from repro.obs import Recorder, render_summary, validate_metrics
 from repro.cluster.topology import build_paper_network
 from repro.cluster.local import LocalCluster
 from repro.cluster.simulate import simulate_run
@@ -60,6 +65,11 @@ __all__ = [
     "AuditEntry",
     "AuditSession",
     "CrackingSession",
+    "SessionResult",
+    "RunResult",
+    "Recorder",
+    "render_summary",
+    "validate_metrics",
     "ExhaustiveSearch",
     "SearchProblem",
     "keyspace_problem",

@@ -177,13 +177,22 @@ class CrackEngine:
     """
 
     def __init__(
-        self, target: CrackTarget, batch_size: int = 1 << 14, force_naive: bool = False
+        self,
+        target: CrackTarget,
+        batch_size: int = 1 << 14,
+        force_naive: bool = False,
+        recorder=None,
     ) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         self.target = target
         self.batch_size = batch_size
         self.force_naive = force_naive
+        #: Optional :class:`repro.obs.Recorder`; counters are emitted once
+        #: per :meth:`search` call (never inside the batch loop), so the
+        #: steady-state scan stays allocation-free whether or not a
+        #: recorder is attached — and costs nothing at all without one.
+        self.recorder = recorder
         self.stats = CrackStats()
         self._run_key: tuple[int, int] | None = None
         self._template: tuple | None = None
@@ -223,7 +232,18 @@ class CrackEngine:
             pos += count
             self.stats.batches += 1
             self.stats.tested += count
-        self.stats.elapsed += time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        self.stats.elapsed += elapsed
+        if self.recorder is not None:
+            from repro.obs.schema import MetricNames
+
+            self.recorder.span_record(MetricNames.ENGINE_SEARCH, elapsed)
+            self.recorder.counter(MetricNames.ENGINE_TESTED, interval.size)
+            self.recorder.counter(
+                MetricNames.ENGINE_BATCHES, -(-interval.size // self.batch_size)
+            )
+            if found:
+                self.recorder.counter(MetricNames.ENGINE_HITS, len(found))
         return found
 
     def search_all(self) -> list[tuple[int, str]]:

@@ -67,6 +67,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="size chunks by each worker's measured throughput (tuning step)",
     )
     crack.add_argument("--all", action="store_true", help="find every preimage, not just the first")
+    crack.add_argument(
+        "--metrics",
+        choices=["json", "summary", "off"],
+        default="off",
+        help="emit run metrics (repro.obs): 'json' prints the versioned "
+        "payload, 'summary' a human-readable phase/throughput table",
+    )
+    crack.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="also write the metrics JSON payload to PATH",
+    )
 
     estimate = sub.add_parser("estimate", help="time to exhaust a space on the paper network")
     estimate.add_argument("--charset", choices=sorted(CHARSETS), default="alnum")
@@ -135,26 +148,60 @@ def _cmd_crack(args) -> int:
         return 2
     print(f"searching {target.space_size:,} candidates "
           f"({args.charset}, {args.min_length}-{args.max_length} chars)")
+    recorder = _make_recorder(args)
     try:
-        result = CrackingSession(target).run_local(
+        result = CrackingSession(target).run(
+            args.backend,
             workers=args.workers,
             stop_on_first=not args.all,
             batch_size=args.batch_size,
-            backend=args.backend,
             adaptive=args.adaptive,
+            recorder=recorder,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(f"tested {result.candidates_tested:,} in {result.elapsed:.2f}s "
+    print(f"tested {result.tested:,} in {result.elapsed:.2f}s "
           f"({result.mkeys_per_second:.2f} Mkeys/s, {result.workers} workers, "
           f"{result.backend} backend)")
+    _emit_metrics(args, result.metrics)
     if result.found:
         for index, key in result.found:
             print(f"FOUND: {key!r} (id {index})")
         return 0
     print("no preimage in the window")
     return 1
+
+
+def _make_recorder(args):
+    """One recorder when any metrics output is requested, else None."""
+    if getattr(args, "metrics", "off") == "off" and not getattr(args, "metrics_out", None):
+        return None
+    from repro.obs import Recorder
+
+    return Recorder()
+
+
+def _emit_metrics(args, payload) -> None:
+    """Print / write the recorded metrics per the --metrics flags."""
+    if payload is None:
+        return
+    import json
+
+    from repro.obs import render_summary, validate_metrics
+
+    problems = validate_metrics(payload)
+    for problem in problems:  # pragma: no cover - defensive
+        print(f"metrics schema error: {problem}", file=sys.stderr)
+    if args.metrics == "json":
+        print(json.dumps(payload, indent=2))
+    elif args.metrics == "summary":
+        print(render_summary(payload))
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"metrics written to {args.metrics_out}")
 
 
 def _crack_ntlm(args, digest: bytes) -> int:
@@ -178,6 +225,15 @@ def _crack_ntlm(args, digest: bytes) -> int:
     matches = crack_ntlm(target, stats=stats)
     print(f"tested {stats.tested:,} in {stats.elapsed:.2f}s "
           f"({stats.mkeys_per_second:.2f} Mkeys/s)")
+    recorder = _make_recorder(args)
+    if recorder is not None:
+        from repro.obs.schema import MetricNames
+
+        recorder.counter(MetricNames.ENGINE_TESTED, stats.tested, backend="ntlm")
+        recorder.span_record(MetricNames.PHASE_SEARCH, stats.elapsed, backend="ntlm")
+        if matches:
+            recorder.counter(MetricNames.ENGINE_HITS, len(matches), backend="ntlm")
+        _emit_metrics(args, recorder.export())
     for index, key in matches:
         print(f"FOUND: {key!r} (id {index})")
     if not matches:

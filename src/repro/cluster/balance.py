@@ -17,6 +17,7 @@ A dispatcher subtree acts as a single worker with ``X = sum(X_j)`` and
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 
 from repro.cluster.node import ClusterNode, GPUWorker
@@ -85,6 +86,60 @@ def tuned_from_measured(
         for name, rate in sorted(measured.items())
         if rate > 0
     ]
+
+
+#: Smallest fraction of the fastest worker's throughput a measured ``X_j``
+#: may contribute to the balancing rule.  A worker whose probe chunk was
+#: too small (or raced a page cache, or reported before its clock ticked)
+#: can legitimately measure ~0 keys/s; feeding that into the rule would
+#: starve it with near-zero chunks forever.  The floor keeps every worker
+#: in the rotation so the next measurement can correct the estimate.
+THROUGHPUT_FLOOR_RATIO = 0.01
+
+
+def clamp_measured_throughput(
+    measured: dict[str, float],
+    floor_ratio: float = THROUGHPUT_FLOOR_RATIO,
+    recorder=None,
+) -> dict[str, float]:
+    """Clamp zero/near-zero measured ``X_j`` to a floor, with a warning.
+
+    ``measured`` maps worker labels to keys/second *including* workers
+    whose measurement came back as zero (see
+    :meth:`repro.core.backend.BackendOutcome.raw_throughput`).  Any rate
+    below ``floor_ratio * X_max`` is raised to that floor; each clamp
+    emits a :class:`RuntimeWarning` and, when a recorder is given, a
+    ``throughput.floor_clamped`` event — the adaptive dispatcher must
+    never silently size a worker's chunk from a bogus measurement.
+    """
+    if not measured:
+        return {}
+    fastest = max(measured.values())
+    if fastest <= 0:
+        return {}
+    floor = fastest * floor_ratio
+    clamped: dict[str, float] = {}
+    for name, rate in sorted(measured.items()):
+        if rate < floor:
+            warnings.warn(
+                f"worker {name!r} measured {rate:.1f} keys/s; clamping to "
+                f"{floor:.1f} ({floor_ratio:.0%} of the fastest) for the "
+                "balancing rule",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            if recorder is not None:
+                from repro.obs.schema import MetricNames
+
+                recorder.event(
+                    MetricNames.EVENT_THROUGHPUT_FLOOR,
+                    worker=name,
+                    measured=rate,
+                    floor=floor,
+                )
+            rate = floor
+        clamped[name] = rate
+    return clamped
 
 
 def adaptive_chunk_size(base: int, throughput: float, fastest: float) -> int:

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from repro.cluster.node import ClusterNode
 from repro.keyspace import Interval, partition_weighted
 from repro.keyspace.intervals import is_exact_partition, merge_intervals
+from repro.obs.schema import MetricNames
 
 
 @dataclass(frozen=True)
@@ -108,8 +109,18 @@ def run_with_faults(
     round_size: int,
     plan: FaultPlan | None = None,
     max_rounds: int = 10_000,
+    recorder=None,
 ) -> FaultToleranceReport:
-    """Round-based run with fault injection and repartitioning."""
+    """Round-based run with fault injection and repartitioning.
+
+    ``recorder`` (a :class:`repro.obs.Recorder`) captures the fault
+    timeline: one ``worker.dead`` event per detected failure, one
+    ``chunk.requeued`` event plus ``cluster.chunks_failed`` /
+    ``cluster.requeued_candidates`` counters per interval a dying node
+    lost mid-round.
+    """
+    if recorder is None:
+        from repro.obs.recorder import NULL_RECORDER as recorder  # noqa: N813
     if total_candidates <= 0 or round_size <= 0:
         raise ValueError("candidates and round_size must be positive")
     plan = plan or FaultPlan()
@@ -158,6 +169,15 @@ def run_with_faults(
             if device.name in lost_devices:
                 pending.insert(0, part)
                 requeued += part.size
+                recorder.counter(MetricNames.CLUSTER_CHUNKS_FAILED)
+                recorder.counter(MetricNames.CLUSTER_REQUEUED, part.size)
+                recorder.event(
+                    MetricNames.EVENT_CHUNK_REQUEUED,
+                    worker=device.name,
+                    round=rounds,
+                    start=part.start,
+                    stop=part.stop,
+                )
             else:
                 completed[device.name].append(part)
                 round_times.append(device.compute_time(part.size))
@@ -168,6 +188,7 @@ def run_with_faults(
                 wall_time += plan.reconfiguration_time
             for name in sorted(failing_now):
                 failure_events.append((rounds, name))
+                recorder.event(MetricNames.EVENT_WORKER_DEAD, worker=name, round=rounds)
             dead |= failing_now
         rounds += 1
 

@@ -12,7 +12,12 @@ demonstrate real speedups and real cracks.
 With ``adaptive=True`` the master first probes each worker's real
 throughput ``X_j`` (the paper's tuning step) and sizes subsequent chunks
 by the balancing rule ``N_j = N_max * (X_j / X_max)`` via
-:mod:`repro.cluster.balance`.
+:mod:`repro.cluster.balance`.  A worker whose probe measures ~0 keys/s is
+clamped to a throughput floor (with a warning) rather than starved.
+
+Pass a :class:`repro.obs.Recorder` to :meth:`LocalCluster.crack` to
+capture the probe/scatter/search/gather phase timings, per-worker ``X_j``
+gauges, and the rebalance decision (before/after chunk sizes).
 """
 
 from __future__ import annotations
@@ -26,31 +31,29 @@ from repro.core.backend import (
     default_worker_count,
     resolve_backend,
 )
+from repro.core.results import ResultMixin
 from repro.keyspace import Interval, split_interval
+from repro.obs.schema import MetricNames
 
 
 @dataclass
-class LocalCrackOutcome:
-    """Result of a local parallel crack."""
+class LocalCrackOutcome(ResultMixin):
+    """Result of a local parallel crack (unified ``RunResult`` surface)."""
 
     found: list = field(default_factory=list)  #: sorted (index, key) pairs
-    candidates_tested: int = 0
+    tested: int = 0
     chunks_dispatched: int = 0
     elapsed: float = 0.0
     workers: int = 1
     backend: str = "serial"
     #: Per-worker measured throughput (keys/s) — the real ``X_j``.
     worker_throughput: dict = field(default_factory=dict)
+    metrics: dict | None = None  #: repro-metrics/v1 payload when recorded
 
     @property
-    def keys(self) -> list:
-        return [key for _, key in self.found]
-
-    @property
-    def mkeys_per_second(self) -> float:
-        if self.elapsed <= 0:
-            return 0.0
-        return self.candidates_tested / self.elapsed / 1e6
+    def candidates_tested(self) -> int:
+        """Back-compat alias of :attr:`tested` (pre-unification name)."""
+        return self.tested
 
 
 class LocalCluster:
@@ -90,6 +93,7 @@ class LocalCluster:
         chunk_size: int | None = None,
         stop_on_first: bool = False,
         adaptive: bool = False,
+        recorder=None,
     ) -> LocalCrackOutcome:
         """Search an interval (default: the whole space) in parallel.
 
@@ -97,7 +101,8 @@ class LocalCluster:
         been gathered (in-flight chunks still complete), the paper's "stop
         condition ... a satisfactory number of solutions has been found".
         ``adaptive`` runs the measured tuning step first and sizes chunks
-        by each worker's real throughput.
+        by each worker's real throughput.  ``recorder`` captures phase
+        timings and rebalance decisions (see :mod:`repro.obs`).
         """
         interval = interval if interval is not None else Interval(0, target.space_size)
         if chunk_size is None:
@@ -106,19 +111,34 @@ class LocalCluster:
         started = time.perf_counter()
         outcome = LocalCrackOutcome(workers=self.workers, backend=self.backend.name)
         if adaptive and interval.size > 4 * chunk_size:
-            interval = self._tuned_probe(target, interval, chunk_size, outcome)
-            chunk_size = self._adaptive_chunk(chunk_size, outcome.worker_throughput)
+            interval = self._tuned_probe(target, interval, chunk_size, outcome, recorder)
+            tuned = self._adaptive_chunk(chunk_size, outcome.worker_throughput)
+            if recorder is not None:
+                recorder.event(
+                    MetricNames.EVENT_REBALANCE,
+                    before=chunk_size,
+                    after=tuned,
+                    workers=len(outcome.worker_throughput),
+                )
+            chunk_size = tuned
         chunks = split_interval(interval, chunk_size)
         result = self.backend.run(
-            target, chunks, batch_size=self.batch_size, stop_on_first=stop_on_first
+            target,
+            chunks,
+            batch_size=self.batch_size,
+            stop_on_first=stop_on_first,
+            recorder=recorder,
         )
         outcome.found.extend(result.found)
         outcome.found.sort()
-        outcome.candidates_tested += result.tested
+        outcome.tested += result.tested
         outcome.chunks_dispatched += result.chunks
         for name, rate in result.measured_throughput().items():
             outcome.worker_throughput[name] = rate
         outcome.elapsed = time.perf_counter() - started
+        if recorder is not None:
+            recorder.counter(MetricNames.CLUSTER_CHUNKS, outcome.chunks_dispatched)
+            outcome.metrics = recorder.export()
         return outcome
 
     # ------------------------------------------------------------------ #
@@ -128,23 +148,40 @@ class LocalCluster:
         interval: Interval,
         chunk_size: int,
         outcome: LocalCrackOutcome,
+        recorder=None,
     ) -> Interval:
         """Measure per-worker ``X_j`` on a leading slice of the interval.
 
         The probe's candidates count toward the search (its matches and
         counters are merged), so no work is wasted — this is the paper's
-        tuning step folded into the first dispatch round.
+        tuning step folded into the first dispatch round.  Workers that
+        measure ~0 keys/s are clamped to the throughput floor with a
+        warning instead of being silently dropped from the balancing rule.
         """
+        from repro.cluster.balance import clamp_measured_throughput
+
         probe_size = min(interval.size, chunk_size * self.workers)
         probe = Interval(interval.start, interval.start + probe_size)
         probe_chunk = max(1, probe_size // max(1, self.workers * 2))
+        probe_started = time.perf_counter()
         result = self.backend.run(
-            target, split_interval(probe, probe_chunk), batch_size=self.batch_size
+            target,
+            split_interval(probe, probe_chunk),
+            batch_size=self.batch_size,
+            recorder=recorder,
         )
+        if recorder is not None:
+            recorder.span_record(
+                MetricNames.PHASE_PROBE,
+                time.perf_counter() - probe_started,
+                backend=self.backend.name,
+            )
         outcome.found.extend(result.found)
-        outcome.candidates_tested += result.tested
+        outcome.tested += result.tested
         outcome.chunks_dispatched += result.chunks
-        outcome.worker_throughput.update(result.measured_throughput())
+        outcome.worker_throughput.update(
+            clamp_measured_throughput(result.raw_throughput(), recorder=recorder)
+        )
         return Interval(probe.stop, interval.stop)
 
     @staticmethod

@@ -30,7 +30,9 @@ from repro.apps.cracking import CrackTarget
 from repro.cluster.protocol import GatherMessage, ScatterMessage
 from repro.core.backend import resolve_backend
 from repro.core.progress import ProgressLog
+from repro.core.results import ResultMixin
 from repro.keyspace import Charset, Interval, split_interval
+from repro.obs.schema import MetricNames
 
 
 @dataclass
@@ -121,8 +123,8 @@ from repro.kernels.variants import HashAlgorithm  # noqa: E402
 
 
 @dataclass
-class RuntimeResult:
-    """Outcome of a distributed run."""
+class RuntimeResult(ResultMixin):
+    """Outcome of a distributed run (unified ``RunResult`` surface)."""
 
     found: list = field(default_factory=list)
     progress: ProgressLog | None = None
@@ -134,10 +136,10 @@ class RuntimeResult:
     #: Measured per-worker throughput (keys/s) from the gather messages —
     #: the real ``X_j`` the balancing rule consumes.
     worker_throughput: dict = field(default_factory=dict)
-
-    @property
-    def keys(self) -> list:
-        return [key for _, key in self.found]
+    tested: int = 0  #: candidates confirmed scanned via gather messages
+    elapsed: float = 0.0  #: master wall-clock for the whole run
+    backend: str = "distributed"
+    metrics: dict | None = None  #: repro-metrics/v1 payload when recorded
 
 
 class DistributedMaster:
@@ -171,16 +173,22 @@ class DistributedMaster:
         interval: Interval | None = None,
         stop_on_first: bool = False,
         progress: ProgressLog | None = None,
+        recorder=None,
     ) -> RuntimeResult:
         """Execute the search; returns the gathered matches and accounting.
 
         ``progress`` may carry a previous session's checkpoint: completed
-        intervals are never re-dispatched.
+        intervals are never re-dispatched.  ``recorder`` (a
+        :class:`repro.obs.Recorder`) captures the per-node chunk timeline,
+        adaptive rebalance decisions, and fault events (worker deaths and
+        requeues); the export lands on ``result.metrics``.
         """
         target = self.target
         interval = interval if interval is not None else Interval(0, target.space_size)
         log = progress if progress is not None else ProgressLog(total=interval.stop)
         result = RuntimeResult(progress=log)
+        run_started = time.perf_counter()
+        last_chunk_sizes: dict[str, int] = {}
 
         replies: queue.Queue = queue.Queue()
         threads = {cfg.name: _Worker(cfg, replies) for cfg in self.worker_configs}
@@ -209,9 +217,25 @@ class DistributedMaster:
             rates = result.worker_throughput
             if not rates or worker not in rates:
                 return self.chunk_size
-            from repro.cluster.balance import adaptive_chunk_size
+            from repro.cluster.balance import (
+                THROUGHPUT_FLOOR_RATIO,
+                adaptive_chunk_size,
+            )
 
-            return adaptive_chunk_size(self.chunk_size, rates[worker], max(rates.values()))
+            fastest = max(rates.values())
+            # Floor a near-zero measurement so a mismeasured worker keeps
+            # receiving non-degenerate chunks (its next gather corrects X_j).
+            rate = max(rates[worker], fastest * THROUGHPUT_FLOOR_RATIO)
+            size = adaptive_chunk_size(self.chunk_size, rate, fastest)
+            if recorder is not None and last_chunk_sizes.get(worker) != size:
+                recorder.event(
+                    MetricNames.EVENT_REBALANCE,
+                    worker=worker,
+                    before=last_chunk_sizes.get(worker, self.chunk_size),
+                    after=size,
+                )
+                last_chunk_sizes[worker] = size
+            return size
 
         def next_chunk(size: int) -> Interval | None:
             while queue_intervals:
@@ -268,6 +292,18 @@ class DistributedMaster:
                         result.requeued += chunk.size
                         queue_intervals.insert(0, chunk)
                         del outstanding[dead]
+                        if recorder is not None:
+                            recorder.counter(MetricNames.CLUSTER_CHUNKS_FAILED)
+                            recorder.counter(MetricNames.CLUSTER_REQUEUED, chunk.size)
+                            recorder.event(
+                                MetricNames.EVENT_WORKER_DEAD, worker=dead
+                            )
+                            recorder.event(
+                                MetricNames.EVENT_CHUNK_REQUEUED,
+                                worker=dead,
+                                start=chunk.start,
+                                stop=chunk.stop,
+                            )
                     if not alive:
                         raise RuntimeError("all workers died before completion")
                     for name in list(alive):
@@ -282,10 +318,26 @@ class DistributedMaster:
                 log.mark_done(reply.interval, reply.matches)
                 result.found.extend(reply.matches)
                 result.chunks += 1
+                result.tested += reply.tested
                 tested_by[name] = tested_by.get(name, 0) + reply.tested
                 elapsed_by[name] = elapsed_by.get(name, 0.0) + reply.elapsed_us / 1e6
                 if elapsed_by[name] > 0:
                     result.worker_throughput[name] = tested_by[name] / elapsed_by[name]
+                if recorder is not None:
+                    recorder.counter(MetricNames.CLUSTER_CHUNKS, worker=name)
+                    recorder.span_record(
+                        MetricNames.PHASE_SEARCH,
+                        reply.elapsed_us / 1e6,
+                        backend="distributed",
+                        worker=name,
+                    )
+                    recorder.event(
+                        MetricNames.EVENT_CHUNK_DONE,
+                        worker=name,
+                        start=reply.interval.start,
+                        stop=reply.interval.stop,
+                        elapsed_us=reply.elapsed_us,
+                    )
                 if stop_on_first and result.found:
                     stopping = True
                 if not stopping:
@@ -294,4 +346,14 @@ class DistributedMaster:
             for t in threads.values():
                 t.inbox.put(None)
         result.found.sort()
+        result.elapsed = time.perf_counter() - run_started
+        if recorder is not None:
+            for name, rate in sorted(result.worker_throughput.items()):
+                recorder.gauge(
+                    MetricNames.WORKER_KEYS_PER_SECOND,
+                    rate,
+                    backend="distributed",
+                    worker=name,
+                )
+            result.metrics = recorder.export()
         return result

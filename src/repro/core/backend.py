@@ -37,8 +37,10 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.apps.cracking import CrackEngine, CrackTarget
+from repro.core.results import ResultMixin
 from repro.core.search import SearchOutcome
 from repro.keyspace import Interval
+from repro.obs.schema import MetricNames
 
 
 @dataclass(frozen=True)
@@ -131,8 +133,12 @@ class WorkerThroughput:
 
 
 @dataclass
-class BackendOutcome:
-    """Merged result of a backend run (the master's gather + merge step)."""
+class BackendOutcome(ResultMixin):
+    """Merged result of a backend run (the master's gather + merge step).
+
+    Conforms to the unified :class:`~repro.core.results.RunResult` surface
+    (``found``/``tested``/``elapsed``/``backend``/``metrics``).
+    """
 
     backend: str
     workers: int
@@ -143,6 +149,7 @@ class BackendOutcome:
     elapsed: float = 0.0  #: wall-clock of the whole run
     worker_elapsed: float = 0.0  #: summed in-worker search time
     per_worker: dict = field(default_factory=dict)  #: label -> WorkerThroughput
+    metrics: dict | None = None  #: repro-metrics/v1 payload when recorded
 
     def absorb(self, result: WorkUnitResult) -> None:
         """Merge one gather message into the outcome."""
@@ -156,22 +163,23 @@ class BackendOutcome:
         stats.elapsed += result.elapsed
         stats.chunks += 1
 
-    @property
-    def keys(self) -> list:
-        return [key for _, key in self.found]
-
-    @property
-    def mkeys_per_second(self) -> float:
-        if self.elapsed <= 0:
-            return 0.0
-        return self.tested / self.elapsed / 1e6
-
     def measured_throughput(self) -> dict[str, float]:
         """Per-worker measured ``X_j`` in keys/second (balance.py input)."""
         return {
             name: stats.keys_per_second
             for name, stats in sorted(self.per_worker.items())
             if stats.keys_per_second > 0
+        }
+
+    def raw_throughput(self) -> dict[str, float]:
+        """Like :meth:`measured_throughput` but *keeps* zero-rate workers.
+
+        The adaptive balancer clamps these to a floor instead of silently
+        dropping them (see :func:`repro.cluster.balance.clamp_measured_throughput`).
+        """
+        return {
+            name: stats.keys_per_second
+            for name, stats in sorted(self.per_worker.items())
         }
 
     def to_search_outcome(self) -> SearchOutcome:
@@ -200,23 +208,71 @@ class ExecutionBackend:
         intervals: Sequence[Interval],
         batch_size: int = 1 << 14,
         stop_on_first: bool = False,
+        recorder=None,
     ) -> BackendOutcome:
         """Search the given intervals; returns the merged outcome.
 
         ``stop_on_first`` stops *dispatching* once a match has been
         gathered; in-flight units still complete and are merged (the
         paper's stop condition semantics).
+
+        ``recorder`` (a :class:`repro.obs.Recorder`) captures the paper's
+        cost-model phases — ``K_scatter`` (unit construction + pool
+        submission), ``K_search`` (in-worker scan time, one span per
+        gathered chunk, labelled by worker), ``K_gather`` (merge time on
+        the master) — plus per-worker ``X_j`` gauges.  With ``None``
+        (the default) the run is completely uninstrumented.
         """
+        prep_started = time.perf_counter()
         units = [WorkUnit(target, iv, batch_size) for iv in intervals]
+        scatter_prep = time.perf_counter() - prep_started
         outcome = BackendOutcome(backend=self.name, workers=self.workers)
+        gather_time = 0.0
         started = time.perf_counter()
-        for result in self._execute(units, lambda: stop_on_first and bool(outcome.found)):
+        for result in self._execute(
+            units, lambda: stop_on_first and bool(outcome.found), recorder
+        ):
+            merge_started = time.perf_counter()
             outcome.absorb(result)
+            gather_time += time.perf_counter() - merge_started
+            if recorder is not None:
+                recorder.span_record(
+                    MetricNames.PHASE_SEARCH,
+                    result.elapsed,
+                    backend=self.name,
+                    worker=result.worker,
+                )
         outcome.found.sort()
         outcome.elapsed = time.perf_counter() - started
+        if recorder is not None:
+            self._record_run(outcome, recorder, scatter_prep, gather_time, stop_on_first)
         return outcome
 
-    def _execute(self, units, should_stop) -> Iterable[WorkUnitResult]:
+    def _record_run(
+        self, outcome: BackendOutcome, recorder, scatter_prep, gather_time, stop_on_first
+    ) -> None:
+        recorder.span_record(
+            MetricNames.PHASE_SCATTER, scatter_prep, backend=self.name
+        )
+        recorder.span_record(MetricNames.PHASE_GATHER, gather_time, backend=self.name)
+        recorder.counter(MetricNames.BACKEND_CHUNKS, outcome.chunks, backend=self.name)
+        recorder.counter(MetricNames.BACKEND_TESTED, outcome.tested, backend=self.name)
+        recorder.counter(MetricNames.BACKEND_BATCHES, outcome.batches, backend=self.name)
+        if stop_on_first and outcome.found:
+            recorder.counter(MetricNames.BACKEND_EARLY_EXIT, 1, backend=self.name)
+        # Summed idle seconds across the pool: wall time the workers were
+        # *not* searching (queue wait + scheduling overhead).
+        idle = max(0.0, outcome.elapsed * self.workers - outcome.worker_elapsed)
+        recorder.gauge(MetricNames.BACKEND_QUEUE_WAIT, idle, backend=self.name)
+        for name, rate in outcome.measured_throughput().items():
+            recorder.gauge(
+                MetricNames.WORKER_KEYS_PER_SECOND,
+                rate,
+                backend=self.name,
+                worker=name,
+            )
+
+    def _execute(self, units, should_stop, recorder=None) -> Iterable[WorkUnitResult]:
         raise NotImplementedError
 
 
@@ -226,7 +282,7 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
     workers = 1
 
-    def _execute(self, units, should_stop):
+    def _execute(self, units, should_stop, recorder=None):
         for unit in units:
             if should_stop():
                 return
@@ -246,9 +302,16 @@ class _PoolBackend(ExecutionBackend):
     def _make_executor(self) -> Executor:
         raise NotImplementedError
 
-    def _execute(self, units, should_stop):
+    def _execute(self, units, should_stop, recorder=None):
         with self._make_executor() as pool:
+            submit_started = time.perf_counter()
             pending = {pool.submit(execute_work_unit, unit) for unit in units}
+            if recorder is not None:
+                recorder.span_record(
+                    MetricNames.PHASE_SCATTER,
+                    time.perf_counter() - submit_started,
+                    backend=self.name,
+                )
             try:
                 while pending:
                     done, pending = wait(pending, return_when=FIRST_COMPLETED)
@@ -332,6 +395,7 @@ def measure_backend_throughput(
     probe: Interval,
     batch_size: int = 1 << 14,
     chunks_per_worker: int = 2,
+    recorder=None,
 ) -> dict[str, float]:
     """Tuning step on real hardware: probe per-worker throughput ``X_j``.
 
@@ -343,5 +407,7 @@ def measure_backend_throughput(
     chunk = max(1, probe.size // parts)
     from repro.keyspace import split_interval
 
-    outcome = backend.run(target, split_interval(probe, chunk), batch_size=batch_size)
+    outcome = backend.run(
+        target, split_interval(probe, chunk), batch_size=batch_size, recorder=recorder
+    )
     return outcome.measured_throughput()

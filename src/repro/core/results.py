@@ -1,23 +1,54 @@
-"""Result and estimate types for cracking sessions."""
+"""Result and estimate types for cracking sessions.
+
+All executed-run results in the library share one read surface, the
+:class:`RunResult` protocol:
+
+* ``found``   — sorted ``(index, key)`` match pairs;
+* ``tested``  — candidates scanned;
+* ``elapsed`` — wall-clock seconds;
+* ``backend`` — which execution seam produced the run;
+* ``metrics`` — an optional ``repro-metrics/v1`` payload (see
+  :mod:`repro.obs`).
+
+:class:`ResultMixin` derives the convenience views (``passwords``,
+``cracked``, ``mkeys_per_second``) from those five fields, so
+:class:`SessionResult`, :class:`~repro.cluster.runtime.RuntimeResult`,
+:class:`~repro.core.search.SearchOutcome`, and the backend/cluster
+outcome types all behave interchangeably.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
 
 
-@dataclass
-class SessionResult:
-    """Outcome of an executed cracking session."""
+@runtime_checkable
+class RunResult(Protocol):
+    """The unified field set every executed-run result exposes."""
 
-    found: list = field(default_factory=list)  #: sorted (index, key) pairs
-    candidates_tested: int = 0
-    elapsed: float = 0.0
-    backend: str = "sequential"
-    workers: int = 1
+    found: list
+    tested: int
+    elapsed: float
+    backend: str
+    metrics: dict | None
+
+
+class ResultMixin:
+    """Convenience views shared by every result type.
+
+    Expects the host class to provide the :class:`RunResult` fields.
+    """
+
+    @property
+    def keys(self) -> list:
+        """The matched keys, in id order."""
+        return [key for _, key in self.found]
 
     @property
     def passwords(self) -> list:
-        return [key for _, key in self.found]
+        """Alias of :attr:`keys` — the cracking-session vocabulary."""
+        return self.keys
 
     @property
     def cracked(self) -> bool:
@@ -27,7 +58,24 @@ class SessionResult:
     def mkeys_per_second(self) -> float:
         if self.elapsed <= 0:
             return 0.0
-        return self.candidates_tested / self.elapsed / 1e6
+        return self.tested / self.elapsed / 1e6
+
+
+@dataclass
+class SessionResult(ResultMixin):
+    """Outcome of an executed cracking session."""
+
+    found: list = field(default_factory=list)  #: sorted (index, key) pairs
+    tested: int = 0
+    elapsed: float = 0.0
+    backend: str = "sequential"
+    workers: int = 1
+    metrics: dict | None = None  #: repro-metrics/v1 payload when recorded
+
+    @property
+    def candidates_tested(self) -> int:
+        """Back-compat alias of :attr:`tested` (pre-unification name)."""
+        return self.tested
 
 
 @dataclass(frozen=True)

@@ -20,9 +20,11 @@ collects accepted solutions.  The distributed drivers in
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Generic, TypeVar
 
+from repro.core.results import ResultMixin
 from repro.keyspace import Interval, KeyMapping
 
 S = TypeVar("S")
@@ -51,13 +53,26 @@ class SearchProblem(Generic[S]):
 
 
 @dataclass
-class SearchOutcome(Generic[S]):
-    """What a search run reports back (the gather payload)."""
+class SearchOutcome(ResultMixin, Generic[S]):
+    """What a search run reports back (the gather payload).
+
+    Exposes the unified :class:`~repro.core.results.RunResult` surface:
+    ``found`` (alias of :attr:`accepted`), ``tested``, ``elapsed``,
+    ``backend``, ``metrics``.
+    """
 
     accepted: list = field(default_factory=list)  #: (index, solution) pairs
     tested: int = 0
     f_calls: int = 0
     next_calls: int = 0
+    elapsed: float = 0.0
+    backend: str = "sequential"
+    metrics: dict | None = None
+
+    @property
+    def found(self) -> list:
+        """Unified-protocol alias of :attr:`accepted`."""
+        return self.accepted
 
     @property
     def conversion_fraction(self) -> float:
@@ -95,6 +110,7 @@ class ExhaustiveSearch(Generic[S]):
         outcome: SearchOutcome[S] = SearchOutcome()
         if not interval:
             return outcome
+        started = time.perf_counter()
         index = interval.start
         solution = problem.f(index)
         outcome.f_calls += 1
@@ -116,6 +132,7 @@ class ExhaustiveSearch(Generic[S]):
         if problem.merge is not None:
             merged = problem.merge([s for _, s in outcome.accepted])
             outcome.accepted = [(i, s) for i, s in outcome.accepted if s in merged]
+        outcome.elapsed = time.perf_counter() - started
         return outcome
 
     def run_partitioned(self, parts: list[Interval]) -> SearchOutcome[S]:
@@ -134,6 +151,7 @@ class ExhaustiveSearch(Generic[S]):
             total.tested += sub.tested
             total.f_calls += sub.f_calls
             total.next_calls += sub.next_calls
+            total.elapsed += sub.elapsed
         total.accepted.sort(key=lambda pair: pair[0])
         if self.problem.merge is not None:
             merged = self.problem.merge([s for _, s in total.accepted])

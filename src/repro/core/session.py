@@ -1,18 +1,32 @@
-"""High-level cracking sessions: one target, pluggable backends.
+"""High-level cracking sessions: one target, one ``run()`` entry point.
 
 :class:`CrackingSession` is the front door of the library::
 
     from repro import CrackingSession, CrackTarget, ALPHA_LOWER
 
     target = CrackTarget.from_password("dog", ALPHA_LOWER, max_length=4)
-    result = CrackingSession(target).run_local(workers=4)
+    result = CrackingSession(target).run(backend="process", workers=4)
     assert "dog" in result.passwords
 
-Backends:
+``run(backend=...)`` is the canonical API: one dispatcher over every
+execution seam, returning one result type
+(:class:`~repro.core.results.SessionResult`, the unified
+``found``/``tested``/``elapsed``/``backend``/``metrics`` surface).
 
-* :meth:`run_sequential` — the reference driver of the pattern (f/next/C);
-* :meth:`run_local` — the real multiprocessing pool with the vectorized
-  reversal kernels;
+* ``backend="sequential"`` — the scalar reference driver of the pattern
+  (f/next/C); the correctness oracle;
+* ``backend="serial"|"thread"|"process"|"auto"`` — the real vectorized
+  kernels on the :mod:`repro.core.backend` executors (``"auto"``: process
+  pool when more than one worker);
+* pass ``recorder=`` (a :class:`repro.obs.Recorder`) to capture phase
+  timings and per-worker throughput; the export lands on
+  ``result.metrics``.
+
+The pre-redesign entry points — :meth:`run_sequential` and
+:meth:`run_local` — survive as thin delegating aliases that emit
+:class:`DeprecationWarning`.  The modelled-network questions keep their
+own methods:
+
 * :meth:`estimate_on` — predicted wall time on a (simulated) GPU network,
   the auditing-policy question the paper's introduction poses;
 * :meth:`simulate_on` — a discrete-event run on a GPU network that also
@@ -21,7 +35,7 @@ Backends:
 
 from __future__ import annotations
 
-import time
+import warnings
 
 from repro.apps.cracking import CrackTarget
 from repro.cluster.local import LocalCluster
@@ -39,23 +53,96 @@ class CrackingSession:
         self.target = target
 
     # ------------------------------------------------------------------ #
+    def run(
+        self,
+        backend: str = "auto",
+        *,
+        workers: int | None = None,
+        interval: Interval | None = None,
+        stop_on_first: bool = False,
+        stop_after: int | None = None,
+        batch_size: int = 1 << 14,
+        adaptive: bool = False,
+        recorder=None,
+    ) -> SessionResult:
+        """Execute the search on the selected backend; the canonical API.
+
+        ``backend`` is ``"sequential"`` for the scalar reference driver,
+        or an execution-backend spec (``"serial"``/``"thread"``/
+        ``"process"``/``"auto"``) resolved through
+        :func:`repro.core.backend.resolve_backend`.  ``stop_on_first``
+        stops dispatching once a match is gathered; ``stop_after`` (the
+        sequential driver's stop condition) ends the scan after that many
+        matches.  ``adaptive`` runs the measured tuning step and sizes
+        chunks by each worker's real ``X_j``.  ``recorder`` captures
+        metrics; its export is attached as ``result.metrics``.
+        """
+        if backend == "sequential":
+            return self._run_sequential(
+                interval=interval,
+                stop_after=1 if stop_on_first and stop_after is None else stop_after,
+                recorder=recorder,
+            )
+        cluster = LocalCluster(workers=workers, batch_size=batch_size, backend=backend)
+        outcome = cluster.crack(
+            self.target,
+            interval,
+            stop_on_first=stop_on_first,
+            adaptive=adaptive,
+            recorder=recorder,
+        )
+        return SessionResult(
+            found=outcome.found,
+            tested=outcome.tested,
+            elapsed=outcome.elapsed,
+            backend=outcome.backend,
+            workers=cluster.workers,
+            metrics=outcome.metrics,
+        )
+
+    def _run_sequential(
+        self,
+        interval: Interval | None = None,
+        stop_after: int | None = None,
+        recorder=None,
+    ) -> SessionResult:
+        problem = keyspace_problem(self.target.mapping, self.target.verify)
+        outcome = ExhaustiveSearch(problem).run(interval, stop_after=stop_after)
+        metrics = None
+        if recorder is not None:
+            from repro.obs.schema import MetricNames
+
+            recorder.span_record(
+                MetricNames.PHASE_SEARCH, outcome.elapsed, backend="sequential"
+            )
+            recorder.counter(
+                MetricNames.ENGINE_TESTED, outcome.tested, backend="sequential"
+            )
+            if outcome.accepted:
+                recorder.counter(
+                    MetricNames.ENGINE_HITS, len(outcome.accepted), backend="sequential"
+                )
+            metrics = recorder.export()
+        return SessionResult(
+            found=outcome.accepted,
+            tested=outcome.tested,
+            elapsed=outcome.elapsed,
+            backend="sequential",
+            metrics=metrics,
+        )
+
+    # -- deprecated pre-redesign entry points -------------------------- #
     def run_sequential(
         self, interval: Interval | None = None, stop_after: int | None = None
     ) -> SessionResult:
-        """Scalar reference run (Figure 1 ``f`` + Figure 2 ``next`` + C).
-
-        Orders of magnitude slower than the vectorized backends — use for
-        tiny spaces and as the correctness oracle.
-        """
-        problem = keyspace_problem(self.target.mapping, self.target.verify)
-        started = time.perf_counter()
-        outcome = ExhaustiveSearch(problem).run(interval, stop_after=stop_after)
-        return SessionResult(
-            found=outcome.accepted,
-            candidates_tested=outcome.tested,
-            elapsed=time.perf_counter() - started,
-            backend="sequential",
+        """Deprecated alias of ``run(backend="sequential", ...)``."""
+        warnings.warn(
+            "CrackingSession.run_sequential() is deprecated; use "
+            "CrackingSession.run(backend='sequential')",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        return self._run_sequential(interval=interval, stop_after=stop_after)
 
     def run_local(
         self,
@@ -66,23 +153,20 @@ class CrackingSession:
         backend: str = "auto",
         adaptive: bool = False,
     ) -> SessionResult:
-        """Real parallel crack on CPU cores (vectorized kernels).
-
-        ``backend`` selects the execution backend (``"serial"``,
-        ``"thread"``, ``"process"``, or ``"auto"``: process pool when more
-        than one worker); ``adaptive`` sizes chunks by each worker's
-        measured throughput.
-        """
-        cluster = LocalCluster(workers=workers, batch_size=batch_size, backend=backend)
-        outcome = cluster.crack(
-            self.target, interval, stop_on_first=stop_on_first, adaptive=adaptive
+        """Deprecated alias of ``run(backend=..., workers=..., ...)``."""
+        warnings.warn(
+            "CrackingSession.run_local() is deprecated; use "
+            "CrackingSession.run(backend=..., workers=...)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        return SessionResult(
-            found=outcome.found,
-            candidates_tested=outcome.candidates_tested,
-            elapsed=outcome.elapsed,
-            backend=outcome.backend,
-            workers=cluster.workers,
+        return self.run(
+            backend,
+            workers=workers,
+            interval=interval,
+            stop_on_first=stop_on_first,
+            batch_size=batch_size,
+            adaptive=adaptive,
         )
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,46 @@
+"""Structured observability: tracing + metrics for the whole stack.
+
+The paper's balancing rule ``N_j = N_max * (X_j / X_max)`` and its cost
+model (``K_scatter``, ``K_search``, ``K_gather``) are only actionable if
+per-worker throughput and per-phase timings are *measured*.  This package
+is that measurement plane:
+
+* :class:`~repro.obs.recorder.Recorder` — a thread-safe in-process sink
+  for span timers, counters, gauges, and timestamped events;
+* :data:`~repro.obs.recorder.NULL_RECORDER` — a no-op sink so hot paths
+  can record unconditionally without branching on ``None``;
+* :mod:`repro.obs.schema` — the versioned export schema
+  (``repro-metrics/v1``), canonical metric names, and a validator;
+* :func:`~repro.obs.recorder.render_summary` — the human-readable view
+  the CLI prints under ``--metrics summary``.
+
+Every layer threads one recorder through: :class:`repro.apps.cracking.
+CrackEngine` reports batch counters, the :mod:`repro.core.backend`
+executors report the scatter/search/gather phases and per-worker ``X_j``,
+and the cluster drivers report chunk timelines, rebalance decisions, and
+fault events.  Recording is strictly opt-in — with no recorder attached
+the instrumented code paths are unchanged, preserving the hot path's
+allocation-free property.
+"""
+
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    render_summary,
+)
+from repro.obs.schema import (
+    METRICS_SCHEMA,
+    MetricNames,
+    validate_metrics,
+)
+
+__all__ = [
+    "Recorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "render_summary",
+    "METRICS_SCHEMA",
+    "MetricNames",
+    "validate_metrics",
+]

@@ -1,0 +1,217 @@
+"""The thread-safe in-process metrics recorder.
+
+One :class:`Recorder` instance travels down a call stack (session ->
+cluster -> backend -> engine) and absorbs everything the layers emit:
+
+* ``counter(name, value, **labels)`` — monotonic totals (keys tested,
+  chunks dispatched, candidates requeued);
+* ``gauge(name, value, **labels)`` — last-write-wins readings (per-worker
+  ``X_j`` in keys/second);
+* ``span(name, **labels)`` — a context manager timing a phase; repeated
+  spans aggregate into count/total/min/max per ``(name, labels)``;
+* ``span_record(name, seconds, **labels)`` — fold an externally measured
+  duration into the same aggregate (used when the duration was measured
+  inside a worker process and shipped back in the gather payload);
+* ``event(name, **fields)`` — a timestamped timeline entry (rebalance
+  decisions, worker deaths, requeues).
+
+All mutation happens under one lock; the recorder is shared freely across
+the thread backends.  It does *not* cross process boundaries — process
+workers report durations through their gather messages and the master
+folds them in with :meth:`Recorder.span_record`.
+
+:data:`NULL_RECORDER` is the no-op twin: every method exists and does
+nothing, so call sites that want unconditional recording can hold it
+instead of branching on ``None``.  The instrumented hot paths use the
+``recorder=None`` convention instead, guaranteeing zero work when
+observability is off.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+
+def _series_key(name: str, labels: dict) -> tuple:
+    return (name, tuple(sorted(labels.items())))
+
+
+class Recorder:
+    """Thread-safe sink for counters, gauges, spans, and events."""
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._counters: dict[tuple, float] = {}
+        self._gauges: dict[tuple, float] = {}
+        self._spans: dict[tuple, list] = {}  # key -> [count, total, min, max]
+        self._events: list[dict] = []
+        self._epoch = clock()
+
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str, value: float = 1, **labels: str) -> None:
+        """Add *value* to a monotonic counter."""
+        key = _series_key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + value
+
+    def gauge(self, name: str, value: float, **labels: str) -> None:
+        """Set a last-write-wins reading."""
+        with self._lock:
+            self._gauges[_series_key(name, labels)] = float(value)
+
+    def span_record(self, name: str, seconds: float, **labels: str) -> None:
+        """Fold one measured duration into the span aggregate."""
+        key = _series_key(name, labels)
+        with self._lock:
+            agg = self._spans.get(key)
+            if agg is None:
+                self._spans[key] = [1, seconds, seconds, seconds]
+            else:
+                agg[0] += 1
+                agg[1] += seconds
+                agg[2] = min(agg[2], seconds)
+                agg[3] = max(agg[3], seconds)
+
+    @contextmanager
+    def span(self, name: str, **labels: str):
+        """Time a phase: ``with recorder.span("phase.gather"): ...``."""
+        started = self._clock()
+        try:
+            yield self
+        finally:
+            self.span_record(name, self._clock() - started, **labels)
+
+    def event(self, name: str, **fields) -> None:
+        """Append a timestamped timeline entry (seconds since recorder start)."""
+        entry = {
+            "name": name,
+            "time": self._clock() - self._epoch,
+            "fields": dict(fields),
+        }
+        with self._lock:
+            self._events.append(entry)
+
+    # ------------------------------------------------------------------ #
+    def counter_value(self, name: str, **labels: str) -> float:
+        """Current value of one counter series (0 when never touched)."""
+        with self._lock:
+            return self._counters.get(_series_key(name, labels), 0)
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter across all label sets."""
+        with self._lock:
+            return sum(v for (n, _), v in self._counters.items() if n == name)
+
+    def gauges_named(self, name: str) -> dict[str, float]:
+        """All gauge series of one name, keyed by their label string."""
+        with self._lock:
+            return {
+                ",".join(f"{k}={v}" for k, v in labels): value
+                for (n, labels), value in sorted(self._gauges.items())
+                if n == name
+            }
+
+    def events_named(self, name: str) -> list[dict]:
+        """All timeline entries of one name, in emission order."""
+        with self._lock:
+            return [dict(e) for e in self._events if e["name"] == name]
+
+    # ------------------------------------------------------------------ #
+    def export(self) -> dict:
+        """Snapshot everything as a ``repro-metrics/v1`` document."""
+        from repro.obs.schema import METRICS_SCHEMA
+
+        with self._lock:
+            return {
+                "schema": METRICS_SCHEMA,
+                "counters": [
+                    {"name": name, "labels": dict(labels), "value": value}
+                    for (name, labels), value in sorted(self._counters.items())
+                ],
+                "gauges": [
+                    {"name": name, "labels": dict(labels), "value": value}
+                    for (name, labels), value in sorted(self._gauges.items())
+                ],
+                "spans": [
+                    {
+                        "name": name,
+                        "labels": dict(labels),
+                        "count": agg[0],
+                        "total": agg[1],
+                        "min": agg[2],
+                        "max": agg[3],
+                    }
+                    for (name, labels), agg in sorted(self._spans.items())
+                ],
+                "events": [dict(e) for e in self._events],
+            }
+
+
+class NullRecorder(Recorder):
+    """A recorder that records nothing — safe to call from anywhere."""
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str, value: float = 1, **labels: str) -> None:
+        pass
+
+    def gauge(self, name: str, value: float, **labels: str) -> None:
+        pass
+
+    def span_record(self, name: str, seconds: float, **labels: str) -> None:
+        pass
+
+    def event(self, name: str, **fields) -> None:
+        pass
+
+
+#: Shared no-op sink for call sites that record unconditionally.
+NULL_RECORDER = NullRecorder()
+
+
+def _fmt_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+
+def render_summary(document: dict) -> str:
+    """Human-readable one-screen view of an exported metrics payload.
+
+    This is what ``repro crack --metrics summary`` prints: phase totals
+    first (the paper's ``K_scatter``/``K_search``/``K_gather``), then
+    per-worker throughput, counters, and the event timeline tail.
+    """
+    lines = [f"metrics ({document.get('schema', '?')})"]
+    spans = document.get("spans", [])
+    if spans:
+        lines.append("  phases:")
+        for row in spans:
+            label = row["name"] + _fmt_labels(row.get("labels", {}))
+            lines.append(
+                f"    {label:40s} n={row['count']:<6d} total={row['total']:.4f}s "
+                f"min={row['min']:.4f}s max={row['max']:.4f}s"
+            )
+    gauges = document.get("gauges", [])
+    if gauges:
+        lines.append("  gauges:")
+        for row in gauges:
+            label = row["name"] + _fmt_labels(row.get("labels", {}))
+            lines.append(f"    {label:40s} {row['value']:,.1f}")
+    counters = document.get("counters", [])
+    if counters:
+        lines.append("  counters:")
+        for row in counters:
+            label = row["name"] + _fmt_labels(row.get("labels", {}))
+            lines.append(f"    {label:40s} {row['value']:,.0f}")
+    events = document.get("events", [])
+    if events:
+        lines.append(f"  events ({len(events)} total, last 10):")
+        for event in events[-10:]:
+            fields = ", ".join(f"{k}={v}" for k, v in sorted(event["fields"].items()))
+            lines.append(f"    t={event['time']:.4f}s {event['name']} {fields}")
+    return "\n".join(lines)

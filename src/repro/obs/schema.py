@@ -1,0 +1,123 @@
+"""The versioned metrics export schema and the canonical metric names.
+
+One document shape, one version string, one validator — every producer
+(:class:`~repro.obs.recorder.Recorder`), every consumer (the CLI's
+``--metrics json``, the benchmark harness, CI's schema gate), and the
+docs all reference this module rather than re-describing the payload.
+
+Schema (``repro-metrics/v1``)::
+
+    {
+      "schema": "repro-metrics/v1",
+      "counters": [{"name": str, "labels": {str: str}, "value": int|float}],
+      "gauges":   [{"name": str, "labels": {str: str}, "value": float}],
+      "spans":    [{"name": str, "labels": {str: str},
+                    "count": int, "total": float, "min": float, "max": float}],
+      "events":   [{"name": str, "time": float, "fields": {...}}]
+    }
+
+``spans`` are pre-aggregated per ``(name, labels)``: the recorder keeps
+count/total/min/max instead of raw samples so a million-batch run exports
+a bounded document.  ``events`` are the unaggregated timeline (rebalance
+decisions, worker deaths, chunk requeues) and carry arbitrary JSON-safe
+fields.
+"""
+
+from __future__ import annotations
+
+METRICS_SCHEMA = "repro-metrics/v1"
+
+
+class MetricNames:
+    """Canonical metric names, grouped by the layer that emits them.
+
+    The phase spans map onto the paper's cost model: ``K_scatter`` is the
+    master serializing work out, ``K_search`` the in-worker scan time,
+    ``K_gather`` the master merging results back in.
+    """
+
+    # -- paper cost-model phases (spans) -------------------------------- #
+    PHASE_SCATTER = "phase.scatter"
+    PHASE_SEARCH = "phase.search"
+    PHASE_GATHER = "phase.gather"
+    PHASE_PROBE = "phase.probe"  #: the adaptive tuning step's measurement scan
+
+    # -- CrackEngine batch loop (counters / spans) ---------------------- #
+    ENGINE_TESTED = "engine.tested"
+    ENGINE_BATCHES = "engine.batches"
+    ENGINE_HITS = "engine.hits"
+    ENGINE_SEARCH = "engine.search"  #: span per engine.search() call
+
+    # -- execution backends (counters / gauges) ------------------------- #
+    BACKEND_CHUNKS = "backend.chunks"
+    BACKEND_TESTED = "backend.tested"
+    BACKEND_BATCHES = "backend.batches"
+    BACKEND_EARLY_EXIT = "backend.early_exit"  #: stop_on_first fired
+    BACKEND_QUEUE_WAIT = "backend.queue_wait"  #: summed worker idle seconds
+    WORKER_KEYS_PER_SECOND = "worker.keys_per_second"  #: X_j, labelled worker=
+
+    # -- cluster drivers (counters / events) ---------------------------- #
+    CLUSTER_CHUNKS = "cluster.chunks"
+    CLUSTER_CHUNKS_FAILED = "cluster.chunks_failed"
+    CLUSTER_REQUEUED = "cluster.requeued_candidates"
+    EVENT_CHUNK_DONE = "chunk.done"
+    EVENT_CHUNK_REQUEUED = "chunk.requeued"
+    EVENT_WORKER_DEAD = "worker.dead"
+    EVENT_REBALANCE = "rebalance"
+    EVENT_THROUGHPUT_FLOOR = "throughput.floor_clamped"
+
+
+def _check_series(rows: object, kind: str, required: tuple, problems: list) -> None:
+    if not isinstance(rows, list):
+        problems.append(f"{kind} must be a list")
+        return
+    for row in rows:
+        if not isinstance(row, dict):
+            problems.append(f"{kind} entries must be objects")
+            continue
+        if not isinstance(row.get("name"), str) or not row.get("name"):
+            problems.append(f"{kind} entry missing a non-empty name")
+        labels = row.get("labels", {})
+        if not isinstance(labels, dict) or not all(
+            isinstance(k, str) and isinstance(v, str) for k, v in labels.items()
+        ):
+            problems.append(f"{kind} labels must map str -> str")
+        for field in required:
+            if not isinstance(row.get(field), (int, float)):
+                problems.append(
+                    f"{kind} entry {row.get('name')!r} missing numeric {field!r}"
+                )
+
+
+def validate_metrics(document: object) -> list[str]:
+    """Validate an exported metrics payload; returns a list of problems.
+
+    Empty list means the document conforms to ``repro-metrics/v1``.  Used
+    by the CLI before writing ``--metrics-out``, by the benchmark
+    harness, and by CI's bench smoke job.
+    """
+    problems: list[str] = []
+    if not isinstance(document, dict):
+        return ["metrics payload must be an object"]
+    if document.get("schema") != METRICS_SCHEMA:
+        problems.append(f"schema must be {METRICS_SCHEMA!r}")
+    _check_series(document.get("counters"), "counters", ("value",), problems)
+    _check_series(document.get("gauges"), "gauges", ("value",), problems)
+    _check_series(
+        document.get("spans"), "spans", ("count", "total", "min", "max"), problems
+    )
+    events = document.get("events")
+    if not isinstance(events, list):
+        problems.append("events must be a list")
+    else:
+        for event in events:
+            if not isinstance(event, dict):
+                problems.append("events entries must be objects")
+                continue
+            if not isinstance(event.get("name"), str) or not event.get("name"):
+                problems.append("event missing a non-empty name")
+            if not isinstance(event.get("time"), (int, float)):
+                problems.append(f"event {event.get('name')!r} missing numeric time")
+            if not isinstance(event.get("fields"), dict):
+                problems.append(f"event {event.get('name')!r} missing fields object")
+    return problems

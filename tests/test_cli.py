@@ -153,3 +153,57 @@ class TestNTLMCrackCommand:
         code = main(["crack", ntlm_hex("x"), "--algorithm", "ntlm", "--suffix", "s"])
         assert code == 2
         assert "unsalted by definition" in capsys.readouterr().err
+
+
+class TestMetricsFlags:
+    DIGEST = hashlib.md5(b"cab").hexdigest()
+
+    def crack_args(self, *extra):
+        return ["crack", self.DIGEST, "--charset", "lower", "--max-length", "3",
+                "--backend", "serial", *extra]
+
+    def test_metrics_off_is_default_and_silent(self, capsys):
+        assert main(self.crack_args()) == 0
+        assert "metrics" not in capsys.readouterr().out
+
+    def test_metrics_summary_renders_phases(self, capsys):
+        assert main(self.crack_args("--metrics", "summary")) == 0
+        out = capsys.readouterr().out
+        assert "metrics (repro-metrics/v1)" in out
+        assert "phase.search" in out
+        assert "worker.keys_per_second" in out
+        assert "FOUND: 'cab'" in out
+
+    def test_metrics_json_is_schema_valid(self, capsys):
+        import json as json_module
+
+        from repro.obs import validate_metrics
+
+        assert main(self.crack_args("--metrics", "json")) == 0
+        out = capsys.readouterr().out
+        start, stop = out.index("{"), out.rindex("}") + 1
+        document = json_module.loads(out[start:stop])
+        assert validate_metrics(document) == []
+        assert document["schema"] == "repro-metrics/v1"
+
+    def test_metrics_out_writes_file(self, capsys, tmp_path):
+        import json as json_module
+
+        from repro.obs import validate_metrics
+
+        path = tmp_path / "metrics.json"
+        assert main(self.crack_args("--metrics-out", str(path))) == 0
+        assert f"metrics written to {path}" in capsys.readouterr().out
+        document = json_module.loads(path.read_text())
+        assert validate_metrics(document) == []
+
+    def test_ntlm_path_records_metrics(self, capsys):
+        from repro.apps.ntlm import ntlm_hex
+
+        code = main(["crack", ntlm_hex("dog"), "--algorithm", "ntlm",
+                     "--charset", "lower", "--max-length", "3",
+                     "--metrics", "summary"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "metrics (repro-metrics/v1)" in out
+        assert "backend=ntlm" in out

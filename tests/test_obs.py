@@ -1,0 +1,165 @@
+"""Tests for the observability layer: recorder, schema, summary, clamping."""
+
+import json
+import threading
+
+import pytest
+
+from repro.cluster.balance import THROUGHPUT_FLOOR_RATIO, clamp_measured_throughput
+from repro.obs import (
+    NULL_RECORDER,
+    MetricNames,
+    NullRecorder,
+    Recorder,
+    render_summary,
+    validate_metrics,
+)
+
+
+class TestRecorderPrimitives:
+    def test_counter_accumulates_per_label_set(self):
+        rec = Recorder()
+        rec.counter("keys", 5, worker="a")
+        rec.counter("keys", 7, worker="a")
+        rec.counter("keys", 1, worker="b")
+        assert rec.counter_value("keys", worker="a") == 12
+        assert rec.counter_value("keys", worker="b") == 1
+        assert rec.counter_total("keys") == 13
+        assert rec.counter_value("keys", worker="never") == 0
+
+    def test_gauge_last_write_wins(self):
+        rec = Recorder()
+        rec.gauge("x", 1.0, worker="a")
+        rec.gauge("x", 9.0, worker="a")
+        assert rec.gauges_named("x") == {"worker=a": 9.0}
+
+    def test_span_context_manager_times(self):
+        ticks = iter([0.0, 0.0, 2.5])  # epoch, start, stop
+        rec = Recorder(clock=lambda: next(ticks))
+        with rec.span("phase", backend="serial"):
+            pass
+        (row,) = rec.export()["spans"]
+        assert row["name"] == "phase"
+        assert row["count"] == 1
+        assert row["total"] == pytest.approx(2.5)
+
+    def test_span_record_folds_count_total_min_max(self):
+        rec = Recorder()
+        for seconds in (3.0, 1.0, 2.0):
+            rec.span_record("phase", seconds)
+        (row,) = rec.export()["spans"]
+        assert (row["count"], row["total"]) == (3, 6.0)
+        assert (row["min"], row["max"]) == (1.0, 3.0)
+
+    def test_events_keep_order_and_fields(self):
+        rec = Recorder()
+        rec.event("rebalance", before=10, after=7)
+        rec.event("worker.dead", worker="w1")
+        assert [e["name"] for e in rec.export()["events"]] == [
+            "rebalance", "worker.dead",
+        ]
+        (dead,) = rec.events_named("worker.dead")
+        assert dead["fields"] == {"worker": "w1"}
+        assert dead["time"] >= 0.0
+
+    def test_thread_safety_under_contention(self):
+        rec = Recorder()
+
+        def hammer():
+            for _ in range(1000):
+                rec.counter("n")
+                rec.span_record("s", 0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert rec.counter_value("n") == 8000
+        (span,) = rec.export()["spans"]
+        assert span["count"] == 8000
+
+
+class TestExportSchema:
+    def test_export_validates_and_is_json_safe(self):
+        rec = Recorder()
+        rec.counter(MetricNames.ENGINE_TESTED, 42, backend="serial")
+        rec.gauge(MetricNames.WORKER_KEYS_PER_SECOND, 1e6, worker="w0")
+        rec.span_record(MetricNames.PHASE_SEARCH, 0.5, backend="serial")
+        rec.event(MetricNames.EVENT_REBALANCE, before=8, after=4)
+        document = rec.export()
+        assert document["schema"] == "repro-metrics/v1"
+        assert validate_metrics(document) == []
+        assert json.loads(json.dumps(document)) == document
+
+    def test_validator_rejects_malformed_documents(self):
+        assert validate_metrics(None)
+        assert validate_metrics({}) != []
+        bad_schema = Recorder().export() | {"schema": "nope/v9"}
+        assert any("schema" in p for p in validate_metrics(bad_schema))
+        doc = Recorder().export()
+        doc["counters"] = [{"name": "", "labels": {}, "value": 1}]
+        assert any("name" in p for p in validate_metrics(doc))
+        doc = Recorder().export()
+        doc["spans"] = [{"name": "s", "labels": {}, "count": 1, "total": "x",
+                         "min": 0, "max": 0}]
+        assert any("total" in p for p in validate_metrics(doc))
+        doc = Recorder().export()
+        doc["events"] = [{"name": "e", "fields": {}}]  # missing time
+        assert any("time" in p for p in validate_metrics(doc))
+
+    def test_null_recorder_records_nothing(self):
+        rec = NullRecorder()
+        rec.counter("n", 5)
+        rec.gauge("g", 1.0)
+        rec.span_record("s", 1.0)
+        rec.event("e")
+        with rec.span("s2"):
+            pass
+        document = rec.export()
+        assert validate_metrics(document) == []
+        assert document["counters"] == []
+        assert document["spans"] == []
+        assert document["events"] == []
+        assert isinstance(NULL_RECORDER, NullRecorder)
+
+
+class TestRenderSummary:
+    def test_summary_shows_all_sections(self):
+        rec = Recorder()
+        rec.span_record(MetricNames.PHASE_SEARCH, 1.25, backend="serial")
+        rec.gauge(MetricNames.WORKER_KEYS_PER_SECOND, 2e6, worker="w0")
+        rec.counter(MetricNames.BACKEND_TESTED, 1000, backend="serial")
+        rec.event(MetricNames.EVENT_WORKER_DEAD, worker="w1")
+        text = render_summary(rec.export())
+        assert "repro-metrics/v1" in text
+        assert "phase.search{backend=serial}" in text
+        assert "worker.keys_per_second" in text
+        assert "backend.tested" in text
+        assert "worker.dead worker=w1" in text
+
+    def test_summary_of_empty_export_is_just_header(self):
+        assert render_summary(Recorder().export()).splitlines() == [
+            "metrics (repro-metrics/v1)"
+        ]
+
+
+class TestThroughputFloorClamp:
+    def test_zero_rate_worker_is_clamped_with_warning(self):
+        rec = Recorder()
+        with pytest.warns(RuntimeWarning, match="clamp"):
+            clamped = clamp_measured_throughput(
+                {"fast": 1e6, "stalled": 0.0}, recorder=rec
+            )
+        assert clamped["fast"] == 1e6
+        assert clamped["stalled"] == pytest.approx(1e6 * THROUGHPUT_FLOOR_RATIO)
+        (event,) = rec.events_named(MetricNames.EVENT_THROUGHPUT_FLOOR)
+        assert event["fields"]["worker"] == "stalled"
+
+    def test_healthy_rates_pass_through_silently(self):
+        measured = {"a": 1e6, "b": 5e5}
+        assert clamp_measured_throughput(measured) == measured
+
+    def test_degenerate_inputs(self):
+        assert clamp_measured_throughput({}) == {}
+        assert clamp_measured_throughput({"a": 0.0, "b": 0.0}) == {}

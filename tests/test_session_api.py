@@ -1,0 +1,160 @@
+"""Tests for the unified run()/result API and end-to-end metrics capture."""
+
+import pytest
+
+from repro import (
+    ALPHA_LOWER,
+    CrackTarget,
+    CrackingSession,
+    Recorder,
+    RunResult,
+    SessionResult,
+    validate_metrics,
+)
+from repro.cluster.fault import FaultPlan, run_with_faults
+from repro.cluster.node import ClusterNode, GPUWorker
+from repro.core.search import ExhaustiveSearch, keyspace_problem
+from repro.keyspace import Charset
+from repro.obs.schema import MetricNames
+
+ABC = Charset("abc", name="abc")
+
+
+def session() -> CrackingSession:
+    target = CrackTarget.from_password("cab", ABC, min_length=1, max_length=4)
+    return CrackingSession(target)
+
+
+class TestRunDispatcher:
+    @pytest.mark.parametrize("backend", ["sequential", "serial", "thread"])
+    def test_every_backend_finds_the_same_password(self, backend):
+        result = session().run(backend, workers=2)
+        assert result.passwords == ["cab"]
+        assert result.backend == backend
+        assert result.tested == session().target.space_size
+        assert result.elapsed > 0
+
+    @pytest.mark.slow
+    def test_process_backend_through_run(self):
+        result = session().run("process", workers=2, stop_on_first=True)
+        assert result.passwords == ["cab"]
+        assert result.backend == "process"
+
+    def test_stop_on_first_maps_to_sequential_stop_after(self):
+        result = session().run("sequential", stop_on_first=True)
+        assert result.passwords == ["cab"]
+        assert result.tested < session().target.space_size
+
+    def test_run_without_recorder_has_no_metrics(self):
+        assert session().run("serial").metrics is None
+
+    def test_deprecated_aliases_still_work_and_warn(self):
+        with pytest.warns(DeprecationWarning, match="run_sequential"):
+            sequential = session().run_sequential()
+        with pytest.warns(DeprecationWarning, match="run_local"):
+            local = session().run_local(backend="serial")
+        assert sequential.passwords == local.passwords == ["cab"]
+
+
+class TestUnifiedResultSurface:
+    def test_session_result_satisfies_run_result_protocol(self):
+        result = session().run("serial")
+        assert isinstance(result, SessionResult)
+        assert isinstance(result, RunResult)
+        assert result.candidates_tested == result.tested  # back-compat alias
+
+    def test_search_outcome_has_unified_fields(self):
+        target = session().target
+        problem = keyspace_problem(target.mapping, target.verify)
+        outcome = ExhaustiveSearch(problem).run()
+        assert isinstance(outcome, RunResult)
+        assert outcome.found == outcome.accepted
+        assert outcome.backend == "sequential"
+        assert outcome.elapsed > 0
+        assert outcome.metrics is None
+
+    def test_mkeys_property_consistent_across_types(self):
+        result = session().run("serial")
+        assert result.mkeys_per_second == pytest.approx(
+            result.tested / result.elapsed / 1e6
+        )
+
+
+class TestEndToEndMetrics:
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_phases_and_worker_rates_recorded(self, backend):
+        recorder = Recorder()
+        result = session().run(backend, workers=2, recorder=recorder)
+        assert result.passwords == ["cab"]
+        document = result.metrics
+        assert validate_metrics(document) == []
+        span_names = {s["name"] for s in document["spans"]}
+        assert {MetricNames.PHASE_SCATTER, MetricNames.PHASE_SEARCH,
+                MetricNames.PHASE_GATHER} <= span_names
+        rates = recorder.gauges_named(MetricNames.WORKER_KEYS_PER_SECOND)
+        assert rates and all(rate > 0 for rate in rates.values())
+        assert recorder.counter_total(MetricNames.BACKEND_TESTED) == result.tested
+
+    @pytest.mark.slow
+    def test_process_backend_ships_worker_timings_home(self):
+        recorder = Recorder()
+        result = session().run("process", workers=2, recorder=recorder)
+        assert result.passwords == ["cab"]
+        searches = [s for s in result.metrics["spans"]
+                    if s["name"] == MetricNames.PHASE_SEARCH]
+        assert searches and all(s["total"] > 0 for s in searches)
+
+    def test_adaptive_run_records_probe_and_rebalance(self):
+        recorder = Recorder()
+        result = session().run("thread", workers=2, adaptive=True,
+                               recorder=recorder)
+        assert result.passwords == ["cab"]
+        (event,) = recorder.events_named(MetricNames.EVENT_REBALANCE)
+        assert event["fields"]["before"] > 0
+        assert event["fields"]["after"] > 0
+        probe = [s for s in result.metrics["spans"]
+                 if s["name"] == MetricNames.PHASE_PROBE]
+        assert len(probe) == 1
+
+    def test_sequential_metrics_use_engine_names(self):
+        recorder = Recorder()
+        result = session().run("sequential", recorder=recorder)
+        assert recorder.counter_total(MetricNames.ENGINE_TESTED) == result.tested
+        assert recorder.counter_total(MetricNames.ENGINE_HITS) == 1
+
+
+class TestFaultMetrics:
+    """Satellite: a worker dying mid-interval must show up in the metrics."""
+
+    @staticmethod
+    def tree() -> ClusterNode:
+        b = ClusterNode("B", devices=[GPUWorker("gpu-b", 4e6)])
+        return ClusterNode("A", devices=[GPUWorker("gpu-a", 8e6)], children=[b])
+
+    def test_mid_run_failure_recorded_and_result_still_exact(self):
+        recorder = Recorder()
+        plan = FaultPlan(failures={"B": 2})
+        report = run_with_faults(
+            self.tree(), 10_000_000, round_size=1_000_000, plan=plan,
+            recorder=recorder,
+        )
+        assert report.covered_exactly  # correctness survives the failure
+        assert report.requeued_candidates > 0
+        assert recorder.counter_total(MetricNames.CLUSTER_CHUNKS_FAILED) >= 1
+        assert (recorder.counter_total(MetricNames.CLUSTER_REQUEUED)
+                == report.requeued_candidates)
+        (dead,) = recorder.events_named(MetricNames.EVENT_WORKER_DEAD)
+        assert dead["fields"] == {"worker": "B", "round": 2}
+        requeues = recorder.events_named(MetricNames.EVENT_CHUNK_REQUEUED)
+        assert requeues
+        assert sum(e["fields"]["stop"] - e["fields"]["start"]
+                   for e in requeues) == report.requeued_candidates
+        assert validate_metrics(recorder.export()) == []
+
+    def test_fault_free_run_records_nothing(self):
+        recorder = Recorder()
+        report = run_with_faults(
+            self.tree(), 4_000_000, round_size=1_000_000, recorder=recorder
+        )
+        assert report.covered_exactly
+        assert recorder.export()["events"] == []
