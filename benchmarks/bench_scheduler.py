@@ -1,0 +1,168 @@
+"""BENCH — multi-job scheduler throughput vs running the jobs sequentially.
+
+The fair-share scheduler time-slices many persisted jobs over one backend
+pool; this benchmark measures what that multiplexing costs.  N identical
+full-scan jobs (no match in the space, so every candidate is tested) run
+twice: back-to-back through the bare backend, and as concurrent
+:mod:`repro.service` jobs under deficit-round-robin with checkpointing.
+The ratio of aggregate keys/sec is the scheduling + checkpoint overhead —
+it should stay close to 1.0.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_scheduler.py [--quick]
+
+or imported by :mod:`benchmarks.run_all`, which folds the results into
+``BENCH_cracking.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import tempfile
+import time
+
+from repro.apps.cracking import CrackTarget
+from repro.core.backend import resolve_backend
+from repro.core.progress import ProgressLog, pending_chunks
+from repro.keyspace import ALPHA_LOWER
+from repro.obs import Recorder
+from repro.obs.schema import MetricNames
+from repro.service import JobSpec, JobStore, Scheduler
+
+_BATCH = 1 << 14
+_CHUNK = 1 << 14
+#: Slice budget per priority point: 8 chunks per round.  Fairness is
+#: granular at the quantum; durable-write overhead shrinks with it — this
+#: is the tradeoff a deployment tunes, and the bench uses a middle value.
+_QUANTUM = _CHUNK * 8
+#: Length window: a full lowercase scan of 1..4 chars per job (475k keys).
+_MAX_LENGTH = 4
+
+
+def _spec(index: int) -> JobSpec:
+    return JobSpec(
+        digest=hashlib.md5(f"*no match {index}*".encode()).digest(),
+        charset=ALPHA_LOWER.symbols,
+        min_length=1,
+        max_length=_MAX_LENGTH,
+        batch_size=_BATCH,
+        chunk_size=_CHUNK,
+        stop_on_first=False,
+        backend="serial",
+    )
+
+
+def _target(index: int) -> CrackTarget:
+    return _spec(index).to_target()
+
+
+def _phase_totals(exports) -> dict:
+    wanted = {
+        MetricNames.PHASE_SCATTER: "scatter",
+        MetricNames.PHASE_SEARCH: "search",
+        MetricNames.PHASE_GATHER: "gather",
+    }
+    totals = {label: 0.0 for label in wanted.values()}
+    for export in exports:
+        for row in (export or {}).get("spans", []):
+            label = wanted.get(row["name"])
+            if label is not None:
+                totals[label] += row["total"]
+    return totals
+
+
+def bench_sequential(jobs: int) -> dict:
+    """Baseline: the same scans, one after another on the bare backend."""
+    backend = resolve_backend("serial")
+    recorder = Recorder()
+    total = 0
+    started = time.perf_counter()
+    for index in range(jobs):
+        target = _target(index)
+        log = ProgressLog(total=target.space_size)
+        outcome = backend.run(
+            target,
+            pending_chunks(log, _CHUNK),
+            batch_size=_BATCH,
+            recorder=recorder,
+        )
+        total += outcome.tested
+    elapsed = time.perf_counter() - started
+    metrics = recorder.export()
+    return {
+        "backend": "serial",
+        "mode": "sequential",
+        "workers": 1,
+        "batch_size": _BATCH,
+        "tested": total,
+        "elapsed": elapsed,
+        "keys_per_second": total / elapsed if elapsed else 0.0,
+        "phases": _phase_totals([metrics]),
+        "metrics": metrics,
+    }
+
+
+def bench_scheduler(jobs: int) -> dict:
+    """The same scans as concurrent fair-shared checkpointed jobs."""
+    with tempfile.TemporaryDirectory(prefix="bench-scheduler-") as root:
+        store = JobStore(root)
+        recorder = Recorder()
+        sched = Scheduler(store, backend="serial", quantum=_QUANTUM, recorder=recorder)
+        ids = [sched.submit(_spec(index)).id for index in range(jobs)]
+        started = time.perf_counter()
+        sched.run_until_idle()
+        elapsed = time.perf_counter() - started
+        total = sum(sched.served(job_id) for job_id in ids)
+        complete = all(store.load_progress(job_id).is_complete for job_id in ids)
+        job_exports = [store.load_metrics(job_id) for job_id in ids]
+    return {
+        "backend": "serial",
+        "mode": "scheduler",
+        "workers": 1,
+        "batch_size": _BATCH,
+        "tested": total,
+        "elapsed": elapsed,
+        "keys_per_second": total / elapsed if elapsed else 0.0,
+        "phases": _phase_totals(job_exports),
+        "metrics": recorder.export(),  # the cross-job decision timeline
+        "coverage_complete": complete,
+    }
+
+
+def run(quick: bool = False, workers: int | None = None) -> dict:
+    """Returns the ``BENCH_cracking.json`` payload fragment."""
+    jobs = 3 if quick else 6
+    sequential = bench_sequential(jobs)
+    scheduled = bench_scheduler(jobs)
+    ratio = (
+        scheduled["keys_per_second"] / sequential["keys_per_second"]
+        if sequential["keys_per_second"]
+        else 0.0
+    )
+    return {
+        "name": "scheduler_multi_job",
+        "jobs": jobs,
+        "space_per_job": _target(0).space_size,
+        "results": [sequential, scheduled],
+        "scheduler_vs_sequential": ratio,
+        "all_results_identical": (
+            scheduled["coverage_complete"]
+            and scheduled["tested"] == sequential["tested"]
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="fewer concurrent jobs")
+    args = parser.parse_args(argv)
+    payload = run(quick=args.quick)
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,6 +39,7 @@ import time
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 import bench_backend_scaling
+import bench_scheduler
 
 from repro.obs import validate_metrics
 
@@ -46,7 +47,10 @@ SCHEMA = "bench-cracking/v2"
 
 
 def run_all(quick: bool = False, workers: int | None = None) -> dict:
-    benchmarks = [bench_backend_scaling.run(quick=quick, workers=workers)]
+    benchmarks = [
+        bench_backend_scaling.run(quick=quick, workers=workers),
+        bench_scheduler.run(quick=quick, workers=workers),
+    ]
     best = max(
         (r["keys_per_second"] for b in benchmarks for r in b["results"]),
         default=0.0,
@@ -59,6 +63,7 @@ def run_all(quick: bool = False, workers: int | None = None) -> dict:
         "summary": {
             "best_keys_per_second": best,
             "speedup_process_vs_serial": benchmarks[0]["speedup_process_vs_serial"],
+            "scheduler_vs_sequential": benchmarks[1]["scheduler_vs_sequential"],
             "all_results_identical": all(
                 b.get("all_results_identical", True) for b in benchmarks
             ),

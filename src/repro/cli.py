@@ -7,6 +7,8 @@ Commands
 ``mine``      scan a nonce interval for a proof-of-work winner
 ``tables``    reprint the paper's tables from the reproduction models
 ``devices``   list the modelled GPU catalog with per-kernel throughput
+``serve``     run the persistent job-service daemon over a store directory
+``jobs``      submit/status/pause/resume/cancel/tail jobs in a store
 """
 
 from __future__ import annotations
@@ -80,6 +82,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the metrics JSON payload to PATH",
     )
+    crack.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="persist repro-job/v1 checkpoints under DIR: the run survives "
+        "SIGINT/SIGTERM/kill and rerunning the same command resumes it",
+    )
+    crack.add_argument(
+        "--job-id",
+        default=None,
+        help="job id inside --checkpoint-dir (default: derived from the digest)",
+    )
+    crack.add_argument(
+        "--chunk-size",
+        type=int,
+        default=1 << 12,
+        help="checkpointed dispatch granularity in candidates (chunk boundary "
+        "= preemption + checkpoint boundary)",
+    )
 
     estimate = sub.add_parser("estimate", help="time to exhaust a space on the paper network")
     estimate.add_argument("--charset", choices=sorted(CHARSETS), default="alnum")
@@ -99,6 +120,95 @@ def build_parser() -> argparse.ArgumentParser:
     mask.add_argument("--suffix", default="", help="salt appended to each key")
     mask.add_argument("--prefix", default="", help="salt prepended to each key")
 
+    serve = sub.add_parser("serve", help="run the job-service daemon over a store")
+    serve.add_argument("store", help="job store directory (created if missing)")
+    serve.add_argument(
+        "--backend",
+        choices=["auto", "serial", "thread", "process"],
+        default="serial",
+        help="shared execution pool every job's chunks run on",
+    )
+    serve.add_argument("--workers", type=int, default=None)
+    serve.add_argument(
+        "--quantum",
+        type=int,
+        default=None,
+        help="candidates per priority point per scheduling round "
+        "(default: twice each job's chunk size)",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=4,
+        help="gathered chunks between durable checkpoint writes",
+    )
+    serve.add_argument(
+        "--poll", type=float, default=0.25, help="idle sleep between store polls, seconds"
+    )
+    serve.add_argument(
+        "--once",
+        action="store_true",
+        help="exit when no runnable jobs remain instead of idling for new ones",
+    )
+    serve.add_argument(
+        "--max-rounds", type=int, default=None, help="hard bound on scheduling rounds"
+    )
+    serve.add_argument(
+        "--metrics",
+        choices=["json", "summary", "off"],
+        default="off",
+        help="emit the scheduler-level decision/checkpoint/preemption timeline",
+    )
+    serve.add_argument("--metrics-out", metavar="PATH", default=None)
+
+    jobs = sub.add_parser("jobs", help="submit/inspect/control jobs in a store")
+    jsub = jobs.add_subparsers(dest="jobs_command", required=True)
+    submit = jsub.add_parser("submit", help="queue a new crack job")
+    submit.add_argument("store", help="job store directory (created if missing)")
+    submit.add_argument("digest", help="target digest, hex (32 chars MD5, 40 SHA1)")
+    submit.add_argument("--algorithm", choices=["md5", "sha1"], default="md5")
+    submit.add_argument("--charset", choices=sorted(CHARSETS), default="lower")
+    submit.add_argument("--min-length", type=int, default=1)
+    submit.add_argument("--max-length", type=int, default=4)
+    submit.add_argument("--prefix", default="", help="salt prepended to each key")
+    submit.add_argument("--suffix", default="", help="salt appended to each key")
+    submit.add_argument("--batch-size", type=int, default=1 << 14)
+    submit.add_argument("--chunk-size", type=int, default=1 << 12)
+    submit.add_argument(
+        "--all", action="store_true", help="find every preimage, not just the first"
+    )
+    submit.add_argument(
+        "--backend", choices=["auto", "serial", "thread", "process"], default="serial"
+    )
+    submit.add_argument("--workers", type=int, default=1)
+    submit.add_argument("--priority", type=int, default=1, help="fair-share weight (>= 1)")
+    submit.add_argument("--job-id", default=None, help="explicit id (default: derived)")
+
+    status = jsub.add_parser("status", help="per-job progress from the persisted store")
+    status.add_argument("store")
+    status.add_argument("id", nargs="?", default=None, help="one job (default: all)")
+    status.add_argument(
+        "--metrics",
+        choices=["json", "summary", "off"],
+        default="off",
+        help="also show the job's persisted metrics.json (single-job form only)",
+    )
+    status.add_argument("--metrics-out", metavar="PATH", default=None)
+
+    for name, text in (
+        ("pause", "park a job (checkpointed, resumable)"),
+        ("resume", "requeue a paused/cancelled/failed job from its checkpoint"),
+        ("cancel", "stop a job (resumable with 'jobs resume')"),
+    ):
+        control = jsub.add_parser(name, help=text)
+        control.add_argument("store")
+        control.add_argument("id")
+
+    tail = jsub.add_parser("tail", help="last lines of a job's event timeline")
+    tail.add_argument("store")
+    tail.add_argument("id")
+    tail.add_argument("-n", "--lines", type=int, default=10)
+
     sub.add_parser("tables", help="reprint the paper's tables from the models")
     sub.add_parser("devices", help="list the GPU catalog with modelled throughput")
     sub.add_parser("report", help="regenerate the full paper-vs-measured report")
@@ -112,6 +222,8 @@ def main(argv: list[str] | None = None) -> int:
         "estimate": _cmd_estimate,
         "mine": _cmd_mine,
         "mask": _cmd_mask,
+        "serve": _cmd_serve,
+        "jobs": _cmd_jobs,
         "tables": _cmd_tables,
         "devices": _cmd_devices,
         "report": _cmd_report,
@@ -131,6 +243,12 @@ def _cmd_crack(args) -> int:
         print("error: digest must be hexadecimal", file=sys.stderr)
         return 2
     if args.algorithm == "ntlm":
+        if args.checkpoint_dir:
+            print(
+                "error: --checkpoint-dir supports md5/sha1 targets only",
+                file=sys.stderr,
+            )
+            return 2
         return _crack_ntlm(args, digest)
     algorithm = HashAlgorithm(args.algorithm)
     try:
@@ -146,6 +264,14 @@ def _cmd_crack(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.checkpoint_dir:
+        if args.adaptive:
+            print(
+                "error: --adaptive and --checkpoint-dir are mutually exclusive",
+                file=sys.stderr,
+            )
+            return 2
+        return _crack_checkpointed(args, target)
     print(f"searching {target.space_size:,} candidates "
           f"({args.charset}, {args.min_length}-{args.max_length} chars)")
     recorder = _make_recorder(args)
@@ -239,6 +365,254 @@ def _crack_ntlm(args, digest: bytes) -> int:
     if not matches:
         print("no preimage in the window")
         return 1
+    return 0
+
+
+def _crack_checkpointed(args, target) -> int:
+    """Resumable crack: durable ``repro-job/v1`` checkpoints + signal drain.
+
+    SIGINT/SIGTERM stop the scan cooperatively at the next chunk boundary
+    and a final checkpoint is written before exit (exit code 130);
+    rerunning the identical command resumes from it.  ``kill -9`` loses at
+    most the chunks gathered since the last periodic checkpoint.
+    """
+    import signal
+    import threading
+
+    from repro.core.progress import CorruptCheckpointError
+    from repro.core.session import CrackingSession
+    from repro.service import JobSpec, JobStore
+
+    spec = JobSpec(
+        digest=target.digest,
+        charset=target.charset.symbols,
+        algorithm=args.algorithm,
+        min_length=args.min_length,
+        max_length=args.max_length,
+        prefix=target.prefix,
+        suffix=target.suffix,
+        batch_size=args.batch_size,
+        chunk_size=args.chunk_size,
+        stop_on_first=not args.all,
+        backend=args.backend,
+        workers=args.workers,
+    )
+    store = JobStore(args.checkpoint_dir)
+    job_id = args.job_id or f"crack-{target.digest.hex()[:12]}"
+    try:
+        record = store.load(job_id)
+        if record.spec != spec:
+            print(
+                f"error: job {job_id!r} exists with different parameters; "
+                "rerun the original command or pass a fresh --job-id",
+                file=sys.stderr,
+            )
+            return 2
+        log = store.load_progress(job_id)
+        print(f"resuming job {job_id}: {log.done_count:,}/{log.total:,} already tested")
+    except KeyError:
+        record = store.submit(spec, job_id=job_id)
+        log = store.load_progress(job_id)
+        print(f"job {job_id}: checkpointing under {store.job_dir(job_id)}")
+    except (CorruptCheckpointError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if log.is_complete or (spec.stop_on_first and log.found):
+        print("job already complete; nothing to resume")
+        for index, key in log.found:
+            print(f"FOUND: {key!r} (id {index})")
+        return 0 if log.found else 1
+
+    stop = threading.Event()
+
+    def _drain_handler(signum, frame):  # pragma: no cover - signal path
+        stop.set()
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _drain_handler)
+        except ValueError:  # not the main thread
+            break
+    recorder = _make_recorder(args)
+    if record.state != "running":
+        store.set_state(job_id, "running")
+    try:
+        result = CrackingSession(target).run(
+            args.backend,
+            workers=args.workers,
+            stop_on_first=spec.stop_on_first,
+            batch_size=spec.batch_size,
+            recorder=recorder,
+            progress=log,
+            checkpoint=store.checkpoint_writer(job_id),
+            chunk_size=spec.chunk_size,
+            preempt=stop.is_set,
+        )
+    except ValueError as exc:
+        store.set_state(job_id, "failed", str(exc))
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+    if result.metrics is not None:
+        store.save_metrics(job_id, result.metrics)
+    print(f"tested {result.tested:,} this run in {result.elapsed:.2f}s "
+          f"({result.backend} backend); ledger {log.done_count:,}/{log.total:,}")
+    _emit_metrics(args, result.metrics)
+    if stop.is_set():
+        store.set_state(job_id, "queued", "interrupted; checkpoint written")
+        store.append_event(job_id, f"interrupted after {result.tested} this run")
+        print("interrupted: checkpoint written; rerun the same command to resume")
+        return 130
+    if log.found:
+        store.set_state(job_id, "done", f"{len(log.found)} found")
+        for index, key in log.found:
+            print(f"FOUND: {key!r} (id {index})")
+        return 0
+    store.set_state(job_id, "done", "0 found")
+    print("no preimage in the window")
+    return 1
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import JobStore, serve
+
+    recorder = _make_recorder(args)
+    summary = serve(
+        JobStore(args.store),
+        backend=args.backend,
+        workers=args.workers,
+        quantum=args.quantum,
+        checkpoint_every=args.checkpoint_every,
+        poll_interval=args.poll,
+        once=args.once,
+        max_rounds=args.max_rounds,
+        recorder=recorder,
+    )
+    outcome = "drained" if summary.drained else "idle"
+    print(f"serve: {summary.rounds} rounds, exited {outcome}")
+    for state in sorted(summary.states):
+        print(f"  {state:9s} {summary.states[state]}")
+    _emit_metrics(args, summary.metrics)
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    return {
+        "submit": _jobs_submit,
+        "status": _jobs_status,
+        "pause": _jobs_control,
+        "resume": _jobs_control,
+        "cancel": _jobs_control,
+        "tail": _jobs_tail,
+    }[args.jobs_command](args)
+
+
+def _jobs_submit(args) -> int:
+    from repro.service import JobSpec, JobStore
+
+    try:
+        digest = bytes.fromhex(args.digest)
+    except ValueError:
+        print("error: digest must be hexadecimal", file=sys.stderr)
+        return 2
+    try:
+        spec = JobSpec(
+            digest=digest,
+            charset=CHARSETS[args.charset].symbols,
+            algorithm=args.algorithm,
+            min_length=args.min_length,
+            max_length=args.max_length,
+            prefix=args.prefix.encode(),
+            suffix=args.suffix.encode(),
+            batch_size=args.batch_size,
+            chunk_size=args.chunk_size,
+            stop_on_first=not args.all,
+            backend=args.backend,
+            workers=args.workers,
+        )
+        record = JobStore(args.store).submit(
+            spec, priority=args.priority, job_id=args.job_id
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"submitted {record.id} (priority {record.priority}, "
+          f"{spec.space_size:,} candidates)")
+    return 0
+
+
+def _jobs_status(args) -> int:
+    from repro.core.progress import CorruptCheckpointError
+    from repro.service import JobStore
+
+    store = JobStore(args.store)
+    try:
+        records = [store.load(args.id)] if args.id else store.jobs()
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if not records:
+        print(f"no jobs in {store.root}")
+        return 1
+    exit_code = 0
+    print(f"{'id':24s} {'state':9s} {'pri':>3s} {'done':>7s} {'tested':>14s} {'found':>5s}")
+    for record in records:
+        try:
+            log = store.load_progress(record.id)
+            percent = 100.0 * log.done_count / log.total if log.total else 100.0
+            done, tested, found = f"{percent:6.1f}%", f"{log.done_count:,}", len(log.found)
+        except KeyError:
+            log, done, tested, found = None, "?", "?", "?"
+        except CorruptCheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            log, done, tested, found = None, "corrupt", "?", "?"
+            exit_code = 1
+        print(f"{record.id:24s} {record.state:9s} {record.priority:3d} "
+              f"{done:>7s} {tested:>14s} {found!s:>5s}")
+        if args.id and log is not None:
+            for index, key in log.found:
+                print(f"  FOUND: {key!r} (id {index})")
+            if record.message:
+                print(f"  note: {record.message}")
+    if args.id and (args.metrics != "off" or args.metrics_out):
+        _emit_metrics(args, store.load_metrics(args.id))
+    return exit_code
+
+
+def _jobs_control(args) -> int:
+    from repro.service import JobStore
+
+    store = JobStore(args.store)
+    transition = {
+        "pause": ("paused", "paused from the CLI"),
+        "resume": ("queued", "resumed"),
+        "cancel": ("cancelled", "cancelled from the CLI"),
+    }[args.jobs_command]
+    try:
+        record = store.set_state(args.id, *transition)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(f"{record.id}: {record.state}")
+    return 0
+
+
+def _jobs_tail(args) -> int:
+    from repro.service import JobStore
+
+    store = JobStore(args.store)
+    try:
+        store.load(args.id)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    for line in store.tail_events(args.id, count=args.lines):
+        print(line)
     return 0
 
 

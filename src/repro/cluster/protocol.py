@@ -45,6 +45,16 @@ def _unpack_id(data: bytes) -> int:
     return int.from_bytes(data, "big")
 
 
+def _take(data: bytes, pos: int, count: int, what: str) -> bytes:
+    """Slice *count* bytes or fail loudly — a short slice would otherwise
+    decode silently into a wrong value (``int.from_bytes`` and ``decode``
+    both accept any length)."""
+    if len(data) - pos < count:
+        raise ValueError(f"truncated message: {what} needs {count} bytes, "
+                         f"{len(data) - pos} left")
+    return data[pos : pos + count]
+
+
 @dataclass(frozen=True)
 class ScatterMessage:
     """Master -> worker: one work assignment.
@@ -102,17 +112,17 @@ class ScatterMessage:
             algorithm = _ALGO_NAMES[algo_code]
         except KeyError:
             raise ValueError(f"unknown algorithm code {algo_code}") from None
-        start = _unpack_id(data[pos : pos + _ID_BYTES]); pos += _ID_BYTES
-        stop = _unpack_id(data[pos : pos + _ID_BYTES]); pos += _ID_BYTES
+        start = _unpack_id(_take(data, pos, _ID_BYTES, "start id")); pos += _ID_BYTES
+        stop = _unpack_id(_take(data, pos, _ID_BYTES, "stop id")); pos += _ID_BYTES
         min_length, max_length = struct.unpack_from("!BB", data, pos); pos += 2
         (dlen,) = struct.unpack_from("!B", data, pos); pos += 1
-        digest = data[pos : pos + dlen]; pos += dlen
+        digest = _take(data, pos, dlen, "digest"); pos += dlen
         (clen,) = struct.unpack_from("!B", data, pos); pos += 1
-        charset = data[pos : pos + clen].decode("latin-1"); pos += clen
+        charset = _take(data, pos, clen, "charset").decode("latin-1"); pos += clen
         (plen,) = struct.unpack_from("!B", data, pos); pos += 1
-        prefix = data[pos : pos + plen]; pos += plen
+        prefix = _take(data, pos, plen, "prefix"); pos += plen
         (slen,) = struct.unpack_from("!B", data, pos); pos += 1
-        suffix = data[pos : pos + slen]; pos += slen
+        suffix = _take(data, pos, slen, "suffix"); pos += slen
         return cls(
             Interval(start, stop), digest, charset, min_length, max_length,
             prefix, suffix, algorithm,
@@ -156,16 +166,17 @@ class GatherMessage:
         if data[:4] != _MAGIC_GATHER:
             raise ValueError("not a gather message")
         pos = 4
-        start = _unpack_id(data[pos : pos + _ID_BYTES]); pos += _ID_BYTES
-        stop = _unpack_id(data[pos : pos + _ID_BYTES]); pos += _ID_BYTES
-        tested = _unpack_id(data[pos : pos + _ID_BYTES]); pos += _ID_BYTES
+        start = _unpack_id(_take(data, pos, _ID_BYTES, "start id")); pos += _ID_BYTES
+        stop = _unpack_id(_take(data, pos, _ID_BYTES, "stop id")); pos += _ID_BYTES
+        tested = _unpack_id(_take(data, pos, _ID_BYTES, "tested count")); pos += _ID_BYTES
         (elapsed_us,) = struct.unpack_from("!Q", data, pos); pos += 8
         (n,) = struct.unpack_from("!B", data, pos); pos += 1
         matches = []
         for _ in range(n):
-            index = _unpack_id(data[pos : pos + _ID_BYTES]); pos += _ID_BYTES
+            index = _unpack_id(_take(data, pos, _ID_BYTES, "match id")); pos += _ID_BYTES
             (klen,) = struct.unpack_from("!B", data, pos); pos += 1
-            matches.append((index, data[pos : pos + klen].decode("latin-1"))); pos += klen
+            key = _take(data, pos, klen, "match key").decode("latin-1"); pos += klen
+            matches.append((index, key))
         return cls(Interval(start, stop), tested, elapsed_us, tuple(matches))
 
 
@@ -193,17 +204,26 @@ class HeartbeatMessage:
         if data[:4] != _MAGIC_HEARTBEAT:
             raise ValueError("not a heartbeat message")
         nlen, busy, rate = struct.unpack_from("!B?Q", data, 4)
-        node = data[14 : 14 + nlen].decode("latin-1")
+        node = _take(data, 14, nlen, "node name").decode("latin-1")
         return cls(node, busy, rate)
 
 
 def decode_any(data: bytes):
-    """Dispatch on the magic header."""
+    """Dispatch on the magic header.
+
+    Any malformed payload — truncated, garbage after a valid magic —
+    raises :class:`ValueError` with a diagnostic, never a bare
+    ``struct.error``, so callers handle one exception type.
+    """
     magic = data[:4]
-    if magic == _MAGIC_SCATTER:
-        return ScatterMessage.decode(data)
-    if magic == _MAGIC_GATHER:
-        return GatherMessage.decode(data)
-    if magic == _MAGIC_HEARTBEAT:
-        return HeartbeatMessage.decode(data)
-    raise ValueError(f"unknown message magic {magic!r}")
+    decoders = {
+        _MAGIC_SCATTER: ScatterMessage.decode,
+        _MAGIC_GATHER: GatherMessage.decode,
+        _MAGIC_HEARTBEAT: HeartbeatMessage.decode,
+    }
+    if magic not in decoders:
+        raise ValueError(f"unknown message magic {magic!r}")
+    try:
+        return decoders[magic](data)
+    except struct.error as exc:
+        raise ValueError(f"truncated message: {exc}") from exc

@@ -174,15 +174,24 @@ class DistributedMaster:
         stop_on_first: bool = False,
         progress: ProgressLog | None = None,
         recorder=None,
+        checkpoint=None,
+        checkpoint_every: int = 8,
     ) -> RuntimeResult:
         """Execute the search; returns the gathered matches and accounting.
 
         ``progress`` may carry a previous session's checkpoint: completed
-        intervals are never re-dispatched.  ``recorder`` (a
-        :class:`repro.obs.Recorder`) captures the per-node chunk timeline,
-        adaptive rebalance decisions, and fault events (worker deaths and
-        requeues); the export lands on ``result.metrics``.
+        intervals are never re-dispatched.  ``checkpoint`` — a callable
+        receiving the :class:`ProgressLog` — is invoked every
+        ``checkpoint_every`` gathered chunks and once at the end, so the
+        master persists its coverage through the same durable store
+        (:class:`repro.service.JobStore`) checkpointed local runs use.
+        ``recorder`` (a :class:`repro.obs.Recorder`) captures the per-node
+        chunk timeline, adaptive rebalance decisions, and fault events
+        (worker deaths and requeues); the export lands on
+        ``result.metrics``.
         """
+        if checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive")
         target = self.target
         interval = interval if interval is not None else Interval(0, target.space_size)
         log = progress if progress is not None else ProgressLog(total=interval.stop)
@@ -319,6 +328,10 @@ class DistributedMaster:
                 result.found.extend(reply.matches)
                 result.chunks += 1
                 result.tested += reply.tested
+                if checkpoint is not None and result.chunks % checkpoint_every == 0:
+                    checkpoint(log)
+                    if recorder is not None:
+                        recorder.counter(MetricNames.SERVICE_CHECKPOINTS)
                 tested_by[name] = tested_by.get(name, 0) + reply.tested
                 elapsed_by[name] = elapsed_by.get(name, 0.0) + reply.elapsed_us / 1e6
                 if elapsed_by[name] > 0:
@@ -345,6 +358,12 @@ class DistributedMaster:
         finally:
             for t in threads.values():
                 t.inbox.put(None)
+            # Final durable write: whatever was gathered survives the run,
+            # even when the loop above raised (e.g. every worker died).
+            if checkpoint is not None:
+                checkpoint(log)
+                if recorder is not None:
+                    recorder.counter(MetricNames.SERVICE_CHECKPOINTS)
         result.found.sort()
         result.elapsed = time.perf_counter() - run_started
         if recorder is not None:

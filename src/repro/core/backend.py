@@ -149,6 +149,10 @@ class BackendOutcome(ResultMixin):
     elapsed: float = 0.0  #: wall-clock of the whole run
     worker_elapsed: float = 0.0  #: summed in-worker search time
     per_worker: dict = field(default_factory=dict)  #: label -> WorkerThroughput
+    #: Intervals that were *not* executed because the run stopped early
+    #: (``stop_on_first`` fired or a ``preempt`` callback asked the driver
+    #: to yield); a checkpointing caller re-plans exactly these.
+    unfinished: list = field(default_factory=list)
     metrics: dict | None = None  #: repro-metrics/v1 payload when recorded
 
     def absorb(self, result: WorkUnitResult) -> None:
@@ -209,12 +213,26 @@ class ExecutionBackend:
         batch_size: int = 1 << 14,
         stop_on_first: bool = False,
         recorder=None,
+        preempt=None,
+        on_result=None,
     ) -> BackendOutcome:
         """Search the given intervals; returns the merged outcome.
 
         ``stop_on_first`` stops *dispatching* once a match has been
         gathered; in-flight units still complete and are merged (the
         paper's stop condition semantics).
+
+        ``preempt`` is a zero-argument callable checked at chunk
+        boundaries: once it returns true the driver stops handing out new
+        units, lets in-flight units finish and merge, and reports the
+        never-executed intervals on ``outcome.unfinished`` — cooperative
+        preemption for fair-share scheduling and graceful drain, with
+        exactly-once coverage preserved (an interval is either fully
+        gathered or fully unfinished, never half-scanned).
+
+        ``on_result`` is called with each :class:`WorkUnitResult` as it is
+        merged, on the gathering thread — the per-chunk hook checkpointing
+        callers use to mark a :class:`~repro.core.progress.ProgressLog`.
 
         ``recorder`` (a :class:`repro.obs.Recorder`) captures the paper's
         cost-model phases — ``K_scatter`` (unit construction + pool
@@ -229,11 +247,17 @@ class ExecutionBackend:
         outcome = BackendOutcome(backend=self.name, workers=self.workers)
         gather_time = 0.0
         started = time.perf_counter()
-        for result in self._execute(
-            units, lambda: stop_on_first and bool(outcome.found), recorder
-        ):
+
+        def should_stop() -> bool:
+            if stop_on_first and outcome.found:
+                return True
+            return preempt is not None and bool(preempt())
+
+        gathered: set = set()
+        for result in self._execute(units, should_stop, recorder):
             merge_started = time.perf_counter()
             outcome.absorb(result)
+            gathered.add(result.interval)
             gather_time += time.perf_counter() - merge_started
             if recorder is not None:
                 recorder.span_record(
@@ -242,6 +266,9 @@ class ExecutionBackend:
                     backend=self.name,
                     worker=result.worker,
                 )
+            if on_result is not None:
+                on_result(result)
+        outcome.unfinished = [iv for iv in intervals if iv not in gathered]
         outcome.found.sort()
         outcome.elapsed = time.perf_counter() - started
         if recorder is not None:
@@ -303,14 +330,28 @@ class _PoolBackend(ExecutionBackend):
         raise NotImplementedError
 
     def _execute(self, units, should_stop, recorder=None):
+        # Units are handed to the pool through a bounded window (a couple
+        # per worker) rather than scattered upfront: a ``preempt`` or
+        # ``stop_on_first`` signal then takes effect at the next chunk
+        # boundary with only the in-flight window left to drain.
+        units_iter = iter(units)
+        window = self.workers * 2
         with self._make_executor() as pool:
-            submit_started = time.perf_counter()
-            pending = {pool.submit(execute_work_unit, unit) for unit in units}
+            pending: set = set()
+
+            def refill() -> float:
+                started = time.perf_counter()
+                while len(pending) < window:
+                    unit = next(units_iter, None)
+                    if unit is None:
+                        break
+                    pending.add(pool.submit(execute_work_unit, unit))
+                return time.perf_counter() - started
+
+            submit_time = refill()
             if recorder is not None:
                 recorder.span_record(
-                    MetricNames.PHASE_SCATTER,
-                    time.perf_counter() - submit_started,
-                    backend=self.name,
+                    MetricNames.PHASE_SCATTER, submit_time, backend=self.name
                 )
             try:
                 while pending:
@@ -325,6 +366,7 @@ class _PoolBackend(ExecutionBackend):
                             if not future.cancelled():
                                 yield future.result()
                         return
+                    refill()
             finally:
                 for future in pending:
                     future.cancel()

@@ -105,10 +105,72 @@ class ProgressLog:
 
     @classmethod
     def from_json(cls, text: str) -> "ProgressLog":
-        """Rebuild a ledger from :meth:`to_json` output."""
-        data = json.loads(text)
-        return cls(
-            total=data["total"],
-            completed=[Interval(a, b) for a, b in data["completed"]],
-            found=[(index, key) for index, key in data["found"]],
-        )
+        """Rebuild a ledger from :meth:`to_json` output.
+
+        A checkpoint that does not describe a legal ledger — overlapping
+        completed intervals, intervals outside ``[0, total)``, malformed
+        entries — raises :class:`CorruptCheckpointError` instead of
+        silently resuming with broken coverage (double-tested or skipped
+        candidates).
+        """
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CorruptCheckpointError(f"checkpoint is not valid JSON: {exc}") from exc
+        try:
+            total = data["total"]
+            completed = [Interval(a, b) for a, b in data["completed"]]
+            found = [(index, key) for index, key in data["found"]]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CorruptCheckpointError(
+                f"checkpoint is missing or malforms a required field: {exc}"
+            ) from exc
+        if not isinstance(total, int) or total < 0:
+            raise CorruptCheckpointError(f"checkpoint total {total!r} is not a size")
+        for prev, iv in zip(completed, completed[1:]):
+            if iv.start < prev.stop:
+                raise CorruptCheckpointError(
+                    f"checkpoint intervals {prev} and {iv} overlap or are unsorted"
+                )
+        if completed and completed[-1].stop > total:
+            raise CorruptCheckpointError(
+                f"checkpoint interval {completed[-1]} exceeds the space of {total}"
+            )
+        log = cls(total=total, completed=completed, found=found)
+        if not log.check_invariant():  # pragma: no cover - guarded above
+            raise CorruptCheckpointError("completed + remaining do not tile the space")
+        return log
+
+
+class CorruptCheckpointError(ValueError):
+    """A restored checkpoint violates the coverage invariant."""
+
+
+def pending_chunks(
+    log: ProgressLog, chunk_size: int, budget: int | None = None
+) -> list[Interval]:
+    """Plan the next dispatchable chunks without marking anything done.
+
+    Walks the remaining gaps in order and slices them into intervals of at
+    most *chunk_size* ids, stopping once *budget* ids have been planned
+    (``None`` plans the whole remainder).  This is the scheduling half of a
+    checkpointed run: the caller dispatches these chunks and calls
+    :meth:`ProgressLog.mark_done` only as each one is actually gathered.
+    """
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    if budget is not None and budget <= 0:
+        return []
+    out: list[Interval] = []
+    planned = 0
+    for gap in log.remaining():
+        while gap:
+            size = chunk_size
+            if budget is not None:
+                size = min(size, budget - planned)
+                if size <= 0:
+                    return out
+            head, gap = gap.take(size)
+            out.append(head)
+            planned += head.size
+    return out

@@ -71,6 +71,9 @@ class SessionResult(ResultMixin):
     backend: str = "sequential"
     workers: int = 1
     metrics: dict | None = None  #: repro-metrics/v1 payload when recorded
+    #: The run's coverage ledger, set by checkpointed runs
+    #: (``CrackingSession.run(progress=...)``); ``None`` otherwise.
+    progress: object | None = None
 
     @property
     def candidates_tested(self) -> int:

@@ -37,10 +37,13 @@ from __future__ import annotations
 
 import warnings
 
+import time
+
 from repro.apps.cracking import CrackTarget
 from repro.cluster.local import LocalCluster
 from repro.cluster.node import ClusterNode
 from repro.cluster.simulate import ClusterRunResult, simulate_run
+from repro.core.progress import ProgressLog, pending_chunks
 from repro.core.results import SessionEstimate, SessionResult
 from repro.core.search import ExhaustiveSearch, keyspace_problem
 from repro.keyspace import Interval
@@ -64,6 +67,11 @@ class CrackingSession:
         batch_size: int = 1 << 14,
         adaptive: bool = False,
         recorder=None,
+        progress: ProgressLog | None = None,
+        checkpoint=None,
+        checkpoint_every: int = 8,
+        chunk_size: int | None = None,
+        preempt=None,
     ) -> SessionResult:
         """Execute the search on the selected backend; the canonical API.
 
@@ -76,7 +84,37 @@ class CrackingSession:
         matches.  ``adaptive`` runs the measured tuning step and sizes
         chunks by each worker's real ``X_j``.  ``recorder`` captures
         metrics; its export is attached as ``result.metrics``.
+
+        Passing ``progress`` (a :class:`~repro.core.progress.ProgressLog`)
+        makes the run *resumable*: already-completed intervals are never
+        re-dispatched, each gathered chunk is marked done, and
+        ``checkpoint`` — a callable receiving the log — is invoked every
+        ``checkpoint_every`` gathered chunks and once at the end, so a
+        killed process restarts from its last durable checkpoint.
+        ``preempt`` (zero-arg callable) stops the run cooperatively at the
+        next chunk boundary; see :meth:`repro.core.backend.
+        ExecutionBackend.run`.  The checkpointed path requires an
+        execution backend (not ``"sequential"``).
         """
+        if progress is not None or checkpoint is not None or preempt is not None:
+            if backend == "sequential":
+                raise ValueError(
+                    "checkpointed runs need an execution backend; "
+                    "use backend='serial' for single-threaded scans"
+                )
+            return self._run_resumable(
+                backend,
+                workers=workers,
+                interval=interval,
+                stop_on_first=stop_on_first,
+                batch_size=batch_size,
+                recorder=recorder,
+                progress=progress,
+                checkpoint=checkpoint,
+                checkpoint_every=checkpoint_every,
+                chunk_size=chunk_size,
+                preempt=preempt,
+            )
         if backend == "sequential":
             return self._run_sequential(
                 interval=interval,
@@ -129,6 +167,73 @@ class CrackingSession:
             elapsed=outcome.elapsed,
             backend="sequential",
             metrics=metrics,
+        )
+
+    def _run_resumable(
+        self,
+        backend: str,
+        *,
+        workers: int | None,
+        interval: Interval | None,
+        stop_on_first: bool,
+        batch_size: int,
+        recorder,
+        progress: ProgressLog | None,
+        checkpoint,
+        checkpoint_every: int,
+        chunk_size: int | None,
+        preempt,
+    ) -> SessionResult:
+        """Chunked driver with per-chunk ProgressLog marking + checkpoints."""
+        from repro.core.backend import resolve_backend
+        from repro.obs.schema import MetricNames
+
+        if checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive")
+        executor = resolve_backend(backend, workers=workers)
+        total = interval.stop if interval is not None else self.target.space_size
+        log = progress if progress is not None else ProgressLog(total=total)
+        if log.total != total:
+            raise ValueError(
+                f"progress log covers [0, {log.total}) but the run needs [0, {total})"
+            )
+        if chunk_size is None:
+            chunk_size = max(1, min(total, batch_size * 4))
+        started = time.perf_counter()
+        chunks_since_checkpoint = 0
+
+        def gathered(result) -> None:
+            nonlocal chunks_since_checkpoint
+            log.mark_done(result.interval, result.matches)
+            chunks_since_checkpoint += 1
+            if checkpoint is not None and chunks_since_checkpoint >= checkpoint_every:
+                checkpoint(log)
+                chunks_since_checkpoint = 0
+                if recorder is not None:
+                    recorder.counter(MetricNames.SERVICE_CHECKPOINTS)
+
+        outcome = executor.run(
+            self.target,
+            pending_chunks(log, chunk_size),
+            batch_size=batch_size,
+            stop_on_first=stop_on_first,
+            recorder=recorder,
+            preempt=preempt,
+            on_result=gathered,
+        )
+        if checkpoint is not None:
+            checkpoint(log)
+            if recorder is not None:
+                recorder.counter(MetricNames.SERVICE_CHECKPOINTS)
+        metrics = recorder.export() if recorder is not None else None
+        return SessionResult(
+            found=list(log.found),
+            tested=outcome.tested,
+            elapsed=time.perf_counter() - started,
+            backend=outcome.backend,
+            workers=executor.workers,
+            metrics=metrics,
+            progress=log,
         )
 
     # -- deprecated pre-redesign entry points -------------------------- #

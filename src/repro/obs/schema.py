@@ -66,6 +66,17 @@ class MetricNames:
     EVENT_REBALANCE = "rebalance"
     EVENT_THROUGHPUT_FLOOR = "throughput.floor_clamped"
 
+    # -- persistent job service (counters / spans / events) ------------- #
+    SERVICE_SLICES = "service.slices"  #: scheduler dispatch slices, labelled job=
+    SERVICE_JOB_TESTED = "service.job_tested"  #: candidates served, labelled job=
+    SERVICE_CHECKPOINTS = "service.checkpoints"  #: durable ProgressLog writes
+    SERVICE_PREEMPTIONS = "service.preemptions"  #: slices cut at a chunk boundary
+    PHASE_SLICE = "phase.slice"  #: span per scheduler slice, labelled job=
+    EVENT_JOB_STATE = "job.state_changed"
+    EVENT_JOB_CHECKPOINT = "job.checkpoint"
+    EVENT_JOB_PREEMPTED = "job.preempted"
+    EVENT_SCHED_DECISION = "sched.decision"  #: one DRR pick (job, allowance)
+
 
 def _check_series(rows: object, kind: str, required: tuple, problems: list) -> None:
     if not isinstance(rows, list):

@@ -1,0 +1,53 @@
+"""Persistent job service: checkpointed crack jobs over one backend pool.
+
+The missing production layer around the paper's dispatch pattern — runs
+that survive process death and a front door that multiplexes many
+concurrent searches over one machine's execution backends:
+
+* :mod:`repro.service.jobstore` — durable ``repro-job/v1`` job specs and
+  atomic :class:`~repro.core.progress.ProgressLog` checkpoints
+  (write-temp + fsync + rename), with a schema validator;
+* :mod:`repro.service.scheduler` — deficit-round-robin fair sharing of a
+  shared backend pool across prioritized jobs, with cooperative
+  chunk-boundary preemption (pause/resume/cancel/drain);
+* :mod:`repro.service.daemon` — the ``repro serve`` loop: poll the store,
+  schedule, drain gracefully on SIGINT/SIGTERM.
+
+Typical embedding::
+
+    from repro.service import JobSpec, JobStore, Scheduler
+
+    store = JobStore("jobs/")
+    store.submit(JobSpec(digest=..., charset="abc..."), priority=4)
+    Scheduler(store, backend="process", workers=8).run_until_idle()
+"""
+
+from repro.service.jobstore import (
+    JOB_SCHEMA,
+    JOB_STATES,
+    RUNNABLE_STATES,
+    TERMINAL_STATES,
+    JobRecord,
+    JobSpec,
+    JobStore,
+    atomic_write_json,
+    validate_job,
+)
+from repro.service.scheduler import Scheduler, SliceResult
+from repro.service.daemon import ServeSummary, serve
+
+__all__ = [
+    "JOB_SCHEMA",
+    "JOB_STATES",
+    "RUNNABLE_STATES",
+    "TERMINAL_STATES",
+    "JobRecord",
+    "JobSpec",
+    "JobStore",
+    "atomic_write_json",
+    "validate_job",
+    "Scheduler",
+    "SliceResult",
+    "ServeSummary",
+    "serve",
+]

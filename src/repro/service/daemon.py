@@ -1,0 +1,117 @@
+"""The ``repro serve`` daemon: a front door that keeps jobs moving.
+
+One process per machine: it watches a :class:`~repro.service.jobstore.
+JobStore` directory, schedules every runnable job over one shared backend
+pool (:class:`~repro.service.scheduler.Scheduler`), and exits cleanly on
+SIGINT/SIGTERM by draining — in-flight chunks finish, every job's
+:class:`~repro.core.progress.ProgressLog` is checkpointed, running jobs
+park as ``queued`` — so the next ``repro serve`` resumes with no lost and
+no duplicated coverage.
+
+Job control happens through the same directory: ``repro jobs submit``
+drops a new job in, ``repro jobs pause/resume/cancel`` rewrite the job's
+state, and the daemon picks the changes up at the next scheduling round
+(records are reloaded every round).  No sockets, no extra daemons — the
+filesystem is the queue, which is exactly what the atomic-rename
+checkpoint discipline makes safe.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+from dataclasses import dataclass, field
+
+from repro.obs import Recorder
+from repro.service.jobstore import JobStore, RUNNABLE_STATES
+from repro.service.scheduler import Scheduler
+
+
+@dataclass
+class ServeSummary:
+    """What one daemon lifetime accomplished."""
+
+    rounds: int = 0
+    drained: bool = False
+    states: dict = field(default_factory=dict)  #: state -> count at exit
+    served: dict = field(default_factory=dict)  #: job id -> candidates run
+    metrics: dict | None = None  #: scheduler-level repro-metrics/v1 export
+
+
+def serve(
+    store: JobStore | str,
+    backend: str = "serial",
+    workers: int | None = None,
+    quantum: int | None = None,
+    checkpoint_every: int = 4,
+    poll_interval: float = 0.25,
+    once: bool = False,
+    max_rounds: int | None = None,
+    recorder: Recorder | None = None,
+    install_signal_handlers: bool = True,
+    scheduler: Scheduler | None = None,
+) -> ServeSummary:
+    """Run the scheduling loop until idle (``once``), drained, or stopped.
+
+    ``once`` exits as soon as no runnable jobs remain — the mode CI's
+    service smoke and the tests use.  Without it the daemon idles at
+    ``poll_interval`` waiting for new submissions, forever, until a
+    drain signal arrives.  ``max_rounds`` is a hard bound for tests.
+
+    SIGINT/SIGTERM trigger a graceful drain when
+    ``install_signal_handlers`` is set (previous handlers are restored on
+    exit); embedders can instead call ``scheduler.drain()`` from any
+    thread.
+    """
+    store = store if isinstance(store, JobStore) else JobStore(store)
+    sched = scheduler or Scheduler(
+        store,
+        backend=backend,
+        workers=workers,
+        quantum=quantum,
+        checkpoint_every=checkpoint_every,
+        recorder=recorder,
+    )
+    summary = ServeSummary()
+
+    previous_handlers = {}
+    if install_signal_handlers:
+        def _drain_handler(signum, frame):  # pragma: no cover - signal path
+            sched.drain()
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous_handlers[signum] = signal.signal(signum, _drain_handler)
+            except ValueError:  # not the main thread
+                break
+
+    try:
+        while not sched.draining:
+            if max_rounds is not None and summary.rounds >= max_rounds:
+                break
+            runnable = sched.runnable_jobs()
+            if not runnable:
+                if once:
+                    break
+                time.sleep(poll_interval)
+                continue
+            sched.step()
+            summary.rounds += 1
+        if sched.draining:
+            summary.drained = True
+            sched.run_until_idle(max_rounds=0)  # parks running jobs as queued
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
+
+    for record in store.jobs():
+        summary.states[record.state] = summary.states.get(record.state, 0) + 1
+        summary.served[record.id] = sched.served(record.id)
+    if recorder is not None:
+        summary.metrics = recorder.export()
+    return summary
+
+
+def runnable_count(store: JobStore) -> int:
+    """How many jobs a serve loop would currently pick up."""
+    return sum(1 for r in store.jobs() if r.state in RUNNABLE_STATES)

@@ -1,0 +1,409 @@
+"""Durable crack jobs: specs, states, and checkpoints on disk.
+
+The paper's dispatch pattern assumes a live master that either finishes a
+search or re-scatters it; a production auditing service needs runs that
+survive process death.  This module is the persistence layer for that:
+
+* :class:`JobSpec` — everything needed to reconstruct a search (target,
+  charset, length window, backend config), JSON-serializable;
+* :class:`JobRecord` — a spec plus scheduling state (priority, lifecycle
+  state, timestamps);
+* :class:`JobStore` — a directory of jobs, one subdirectory each, holding
+  ``job.json`` (the record), ``checkpoint.json`` (the serialized
+  :class:`~repro.core.progress.ProgressLog`), ``metrics.json`` (the job's
+  latest ``repro-metrics/v1`` export) and ``events.log`` (an appended
+  human-readable timeline for ``repro jobs tail``).
+
+Every document carries the versioned ``repro-job/v1`` schema tag and is
+written atomically — serialize to a temp file in the same directory,
+``fsync``, then ``os.replace`` — so a reader (or a resuming process) never
+observes a torn write.  :func:`validate_job` is the schema gate: CI runs it
+over every checkpoint the service smoke test produces, and
+:meth:`JobStore.load` runs it on every read so corruption surfaces as a
+clear error instead of a silently wrong resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.apps.cracking import CrackTarget
+from repro.core.progress import CorruptCheckpointError, ProgressLog
+from repro.kernels.variants import HashAlgorithm
+
+JOB_SCHEMA = "repro-job/v1"
+
+#: Lifecycle states and the legal transitions between them.
+JOB_STATES = ("queued", "running", "paused", "done", "cancelled", "failed")
+_TRANSITIONS = {
+    "queued": {"running", "paused", "cancelled", "done", "failed"},
+    "running": {"queued", "paused", "done", "cancelled", "failed"},
+    "paused": {"queued", "cancelled"},
+    "done": set(),
+    "cancelled": {"queued"},  # an operator may resurrect a cancelled job
+    "failed": {"queued"},  # ...or retry a failed one
+}
+
+#: States the scheduler considers for dispatch.
+RUNNABLE_STATES = ("queued", "running")
+#: States no scheduler will ever pick up again (without an explicit resume).
+TERMINAL_STATES = ("done", "cancelled", "failed")
+
+
+def atomic_write_json(path: Path, document: dict) -> None:
+    """Durably replace *path* with *document*: write-temp + fsync + rename.
+
+    ``os.replace`` is atomic on POSIX within one filesystem, so a reader
+    sees either the old complete document or the new complete document —
+    never a prefix.  The temp file lives next to the target to stay on the
+    same filesystem.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """The reconstructible description of one crack search.
+
+    Mirrors :class:`~repro.apps.cracking.CrackTarget` plus the execution
+    knobs a scheduler needs (backend config, chunk/batch sizing, stop
+    condition).  Bytes fields travel as latin-1 strings in JSON, the
+    digest as hex.
+    """
+
+    digest: bytes
+    charset: str  #: the alphabet, in digit order
+    algorithm: str = "md5"  #: "md5" | "sha1"
+    min_length: int = 1
+    max_length: int = 4
+    prefix: bytes = b""
+    suffix: bytes = b""
+    batch_size: int = 1 << 14
+    chunk_size: int = 1 << 12
+    stop_on_first: bool = True
+    backend: str = "serial"  #: execution backend the job's chunks run on
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.chunk_size <= 0 or self.batch_size <= 0:
+            raise ValueError("chunk_size and batch_size must be positive")
+        self.to_target()  # fail submission-time, not dispatch-time
+
+    def to_target(self) -> CrackTarget:
+        """Rebuild the :class:`CrackTarget` this spec describes."""
+        from repro.keyspace import Charset
+
+        return CrackTarget(
+            algorithm=HashAlgorithm(self.algorithm),
+            digest=self.digest,
+            charset=Charset(self.charset),
+            min_length=self.min_length,
+            max_length=self.max_length,
+            prefix=self.prefix,
+            suffix=self.suffix,
+        )
+
+    @property
+    def space_size(self) -> int:
+        return self.to_target().space_size
+
+    def to_dict(self) -> dict:
+        return {
+            "digest": self.digest.hex(),
+            "charset": self.charset,
+            "algorithm": self.algorithm,
+            "min_length": self.min_length,
+            "max_length": self.max_length,
+            "prefix": self.prefix.decode("latin-1"),
+            "suffix": self.suffix.decode("latin-1"),
+            "batch_size": self.batch_size,
+            "chunk_size": self.chunk_size,
+            "stop_on_first": self.stop_on_first,
+            "backend": self.backend,
+            "workers": self.workers,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        return cls(
+            digest=bytes.fromhex(data["digest"]),
+            charset=data["charset"],
+            algorithm=data.get("algorithm", "md5"),
+            min_length=data.get("min_length", 1),
+            max_length=data.get("max_length", 4),
+            prefix=data.get("prefix", "").encode("latin-1"),
+            suffix=data.get("suffix", "").encode("latin-1"),
+            batch_size=data.get("batch_size", 1 << 14),
+            chunk_size=data.get("chunk_size", 1 << 12),
+            stop_on_first=data.get("stop_on_first", True),
+            backend=data.get("backend", "serial"),
+            workers=data.get("workers", 1),
+        )
+
+
+@dataclass
+class JobRecord:
+    """One job's durable identity: spec + scheduling state."""
+
+    id: str
+    spec: JobSpec
+    priority: int = 1
+    state: str = "queued"
+    created_at: float = field(default_factory=time.time)
+    updated_at: float = field(default_factory=time.time)
+    message: str = ""  #: last state-change annotation (e.g. failure reason)
+
+    def to_document(self) -> dict:
+        return {
+            "schema": JOB_SCHEMA,
+            "kind": "job",
+            "id": self.id,
+            "spec": self.spec.to_dict(),
+            "priority": self.priority,
+            "state": self.state,
+            "created_at": self.created_at,
+            "updated_at": self.updated_at,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_document(cls, document: dict) -> "JobRecord":
+        problems = validate_job(document)
+        if problems:
+            raise ValueError(f"invalid {JOB_SCHEMA} job document: {'; '.join(problems)}")
+        return cls(
+            id=document["id"],
+            spec=JobSpec.from_dict(document["spec"]),
+            priority=document["priority"],
+            state=document["state"],
+            created_at=document["created_at"],
+            updated_at=document["updated_at"],
+            message=document.get("message", ""),
+        )
+
+
+def validate_job(document: object) -> list[str]:
+    """Validate a ``repro-job/v1`` document (job record or checkpoint).
+
+    Returns a list of problems; empty means the document conforms.  The
+    same gate guards :meth:`JobStore.load`, the CLI, and CI's service
+    smoke job — one validator, referenced everywhere, like
+    :func:`repro.obs.validate_metrics`.
+    """
+    problems: list[str] = []
+    if not isinstance(document, dict):
+        return ["job document must be an object"]
+    if document.get("schema") != JOB_SCHEMA:
+        problems.append(f"schema must be {JOB_SCHEMA!r}")
+    kind = document.get("kind")
+    if kind == "job":
+        if not isinstance(document.get("id"), str) or not document.get("id"):
+            problems.append("job needs a non-empty string id")
+        if not isinstance(document.get("priority"), int) or document.get("priority", 0) < 1:
+            problems.append("priority must be an integer >= 1")
+        if document.get("state") not in JOB_STATES:
+            problems.append(f"state must be one of {JOB_STATES}")
+        for ts in ("created_at", "updated_at"):
+            if not isinstance(document.get(ts), (int, float)):
+                problems.append(f"{ts} must be a unix timestamp")
+        spec = document.get("spec")
+        if not isinstance(spec, dict):
+            problems.append("spec must be an object")
+        else:
+            try:
+                JobSpec.from_dict(spec)
+            except (KeyError, TypeError, ValueError) as exc:
+                problems.append(f"spec does not describe a valid target: {exc}")
+    elif kind == "checkpoint":
+        if not isinstance(document.get("job"), str) or not document.get("job"):
+            problems.append("checkpoint needs the owning job id")
+        progress = document.get("progress")
+        if not isinstance(progress, dict):
+            problems.append("checkpoint needs a progress object")
+        else:
+            try:
+                ProgressLog.from_json(json.dumps(progress))
+            except CorruptCheckpointError as exc:
+                problems.append(f"progress: {exc}")
+    else:
+        problems.append("kind must be 'job' or 'checkpoint'")
+    return problems
+
+
+class JobStore:
+    """A directory of persisted jobs; every write is atomic.
+
+    Layout::
+
+        <root>/<job-id>/job.json         # JobRecord (repro-job/v1, kind=job)
+        <root>/<job-id>/checkpoint.json  # ProgressLog (kind=checkpoint)
+        <root>/<job-id>/metrics.json     # latest repro-metrics/v1 export
+        <root>/<job-id>/events.log       # appended timeline lines
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- paths --------------------------------------------------------- #
+    def job_dir(self, job_id: str) -> Path:
+        return self.root / job_id
+
+    def _job_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "job.json"
+
+    def _checkpoint_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "checkpoint.json"
+
+    def _metrics_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "metrics.json"
+
+    def _events_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "events.log"
+
+    # -- lifecycle ------------------------------------------------------ #
+    def submit(
+        self, spec: JobSpec, priority: int = 1, job_id: str | None = None
+    ) -> JobRecord:
+        """Persist a new queued job (record + a fresh empty checkpoint)."""
+        if priority < 1:
+            raise ValueError("priority must be >= 1")
+        if job_id is None:
+            job_id = self._fresh_id(spec)
+        try:
+            self.job_dir(job_id).mkdir(parents=True, exist_ok=False)
+        except FileExistsError:
+            raise ValueError(f"job {job_id!r} already exists in {self.root}") from None
+        record = JobRecord(id=job_id, spec=spec, priority=priority)
+        atomic_write_json(self._job_path(job_id), record.to_document())
+        self.save_progress(job_id, ProgressLog(total=spec.space_size))
+        self.append_event(
+            job_id,
+            f"submitted priority={priority} space={spec.space_size} "
+            f"backend={spec.backend}",
+        )
+        return record
+
+    def _fresh_id(self, spec: JobSpec) -> str:
+        stem = spec.digest.hex()[:8]
+        job_id = f"job-{stem}"
+        n = 1
+        while self.job_dir(job_id).exists():
+            n += 1
+            job_id = f"job-{stem}-{n}"
+        return job_id
+
+    def load(self, job_id: str) -> JobRecord:
+        """Read and validate one job record."""
+        path = self._job_path(job_id)
+        if not path.exists():
+            raise KeyError(f"no job {job_id!r} in {self.root}")
+        with open(path) as handle:
+            return JobRecord.from_document(json.load(handle))
+
+    def save(self, record: JobRecord) -> None:
+        record.updated_at = time.time()
+        atomic_write_json(self._job_path(record.id), record.to_document())
+
+    def jobs(self) -> list[JobRecord]:
+        """All valid job records, sorted by id."""
+        out = []
+        for path in sorted(self.root.iterdir()) if self.root.exists() else []:
+            if (path / "job.json").exists():
+                out.append(self.load(path.name))
+        return out
+
+    def set_state(self, job_id: str, state: str, message: str = "") -> JobRecord:
+        """Transition a job's lifecycle state (legal transitions only)."""
+        record = self.load(job_id)
+        if state == record.state:
+            return record
+        if state not in _TRANSITIONS[record.state]:
+            raise ValueError(
+                f"job {job_id} cannot go {record.state} -> {state}"
+            )
+        record.state = state
+        record.message = message
+        self.save(record)
+        self.append_event(job_id, f"state -> {state}" + (f" ({message})" if message else ""))
+        return record
+
+    def set_priority(self, job_id: str, priority: int) -> JobRecord:
+        if priority < 1:
+            raise ValueError("priority must be >= 1")
+        record = self.load(job_id)
+        record.priority = priority
+        self.save(record)
+        self.append_event(job_id, f"priority -> {priority}")
+        return record
+
+    # -- checkpoints ---------------------------------------------------- #
+    def save_progress(self, job_id: str, log: ProgressLog) -> None:
+        """Atomically persist one job's coverage ledger."""
+        document = {
+            "schema": JOB_SCHEMA,
+            "kind": "checkpoint",
+            "job": job_id,
+            "written_at": time.time(),
+            "progress": json.loads(log.to_json()),
+        }
+        atomic_write_json(self._checkpoint_path(job_id), document)
+
+    def load_progress(self, job_id: str) -> ProgressLog:
+        """Restore one job's ledger; corrupt checkpoints raise clearly."""
+        path = self._checkpoint_path(job_id)
+        if not path.exists():
+            raise KeyError(f"job {job_id!r} has no checkpoint in {self.root}")
+        try:
+            with open(path) as handle:
+                document = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise CorruptCheckpointError(
+                f"checkpoint for {job_id!r} is not valid JSON: {exc}"
+            ) from exc
+        problems = validate_job(document)
+        if problems:
+            raise CorruptCheckpointError(
+                f"checkpoint for {job_id!r} is invalid: {'; '.join(problems)}"
+            )
+        return ProgressLog.from_json(json.dumps(document["progress"]))
+
+    def checkpoint_writer(self, job_id: str):
+        """A ``checkpoint(log)`` callable bound to this job — the hook
+        :meth:`repro.core.session.CrackingSession.run` and
+        :meth:`repro.cluster.runtime.DistributedMaster.run` accept."""
+        return lambda log: self.save_progress(job_id, log)
+
+    # -- metrics + events ----------------------------------------------- #
+    def save_metrics(self, job_id: str, payload: dict) -> None:
+        atomic_write_json(self._metrics_path(job_id), payload)
+
+    def load_metrics(self, job_id: str) -> dict | None:
+        path = self._metrics_path(job_id)
+        if not path.exists():
+            return None
+        with open(path) as handle:
+            return json.load(handle)
+
+    def append_event(self, job_id: str, text: str) -> None:
+        with open(self._events_path(job_id), "a") as handle:
+            handle.write(f"{time.time():.3f} {text}\n")
+
+    def tail_events(self, job_id: str, count: int = 10) -> list[str]:
+        path = self._events_path(job_id)
+        if not path.exists():
+            return []
+        with open(path) as handle:
+            lines = [line.rstrip("\n") for line in handle]
+        return lines[-count:]

@@ -1,0 +1,348 @@
+"""Multi-job fair-share scheduling over one shared backend pool.
+
+One machine, many concurrent searches: the scheduler multiplexes every
+runnable job in a :class:`~repro.service.jobstore.JobStore` onto a single
+execution backend (:mod:`repro.core.backend`) using **deficit round
+robin** weighted by priority.  Each round, every runnable job's deficit
+counter grows by ``priority * quantum`` candidates; the job then receives
+a *slice* — consecutive chunks of its remaining key space totalling at
+most its deficit — and the unspent remainder carries to the next round.
+Over any window the candidates served to two jobs converge to the ratio
+of their priorities, which is the fairness target the acceptance tests
+measure.
+
+Preemption is cooperative and chunk-grained: pause/cancel/drain requests
+set a flag the backend's ``preempt`` hook checks at chunk boundaries, so
+in-flight chunks finish, the job's :class:`~repro.core.progress.
+ProgressLog` is checkpointed, and the job parks in a resumable state —
+never a half-scanned interval.
+
+Every scheduling decision, checkpoint write, and preemption is recorded
+through :class:`repro.obs.Recorder`: the scheduler-level recorder carries
+the cross-job timeline, and each job gets its own recorder whose export is
+persisted to the store (``metrics.json``) so ``repro jobs status
+--metrics`` works per job.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.core.backend import resolve_backend
+from repro.core.progress import CorruptCheckpointError, ProgressLog, pending_chunks
+from repro.obs import Recorder
+from repro.obs.schema import MetricNames
+from repro.service.jobstore import JobRecord, JobStore, RUNNABLE_STATES
+
+
+@dataclass
+class SliceResult:
+    """Accounting for one dispatched scheduler slice."""
+
+    job_id: str
+    tested: int = 0
+    chunks: int = 0
+    preempted: bool = False
+    state: str = "running"  #: job state after the slice
+    found: list = field(default_factory=list)
+
+
+class Scheduler:
+    """Deficit-round-robin dispatcher for persisted crack jobs.
+
+    Parameters
+    ----------
+    store:
+        The durable :class:`JobStore` of job records and checkpoints.
+    backend, workers:
+        The shared execution pool every job's chunks run on (resolved via
+        :func:`repro.core.backend.resolve_backend`).
+    quantum:
+        Base candidates per priority point per round; a priority-``p`` job
+        accrues ``p * quantum`` per round.  Defaults to twice the job's
+        own ``chunk_size`` so each round dispatches a couple of chunks per
+        priority point.
+    checkpoint_every:
+        Durable :class:`ProgressLog` writes happen every this many
+        gathered chunks (and always at slice end).
+    recorder:
+        Optional scheduler-level :class:`repro.obs.Recorder` for the
+        cross-job decision/checkpoint/preemption timeline.
+    """
+
+    def __init__(
+        self,
+        store: JobStore,
+        backend: str = "serial",
+        workers: int | None = None,
+        quantum: int | None = None,
+        checkpoint_every: int = 4,
+        recorder: Recorder | None = None,
+    ) -> None:
+        if quantum is not None and quantum <= 0:
+            raise ValueError("quantum must be positive")
+        if checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive")
+        self.store = store
+        self.backend = resolve_backend(backend, workers=workers)
+        self.quantum = quantum
+        self.checkpoint_every = checkpoint_every
+        self.recorder = recorder
+        self._deficit: dict[str, int] = {}
+        self._served: dict[str, int] = {}
+        self._job_recorders: dict[str, Recorder] = {}
+        self._control: dict[str, str] = {}  # job_id -> "pause" | "cancel"
+        self._drain = threading.Event()
+
+    # -- job lifecycle (thin wrappers over the store) ------------------- #
+    def submit(self, spec, priority: int = 1, job_id: str | None = None) -> JobRecord:
+        record = self.store.submit(spec, priority=priority, job_id=job_id)
+        self._record_event(MetricNames.EVENT_JOB_STATE, job=record.id, state="queued")
+        return record
+
+    def pause(self, job_id: str) -> None:
+        """Park a job at the next chunk boundary (checkpointed, resumable)."""
+        self._control[job_id] = "pause"
+        record = self.store.load(job_id)
+        if record.state == "queued":  # not mid-slice: takes effect now
+            self._apply_control(job_id)
+
+    def cancel(self, job_id: str) -> None:
+        """Stop a job at the next chunk boundary; terminal unless resumed."""
+        self._control[job_id] = "cancel"
+        record = self.store.load(job_id)
+        if record.state in ("queued", "paused"):
+            self._apply_control(job_id)
+
+    def resume(self, job_id: str) -> JobRecord:
+        """Requeue a paused/cancelled/failed job from its last checkpoint."""
+        self._control.pop(job_id, None)
+        record = self.store.set_state(job_id, "queued", "resumed")
+        self._record_event(MetricNames.EVENT_JOB_STATE, job=job_id, state="queued")
+        return record
+
+    def drain(self) -> None:
+        """Graceful stop: in-flight chunks finish, checkpoint, then park."""
+        self._drain.set()
+
+    @property
+    def draining(self) -> bool:
+        return self._drain.is_set()
+
+    def served(self, job_id: str) -> int:
+        """Candidates dispatched-and-gathered for a job by this scheduler."""
+        return self._served.get(job_id, 0)
+
+    # -- the round loop -------------------------------------------------- #
+    def runnable_jobs(self) -> list[JobRecord]:
+        return [r for r in self.store.jobs() if r.state in RUNNABLE_STATES]
+
+    def step(self) -> list[SliceResult]:
+        """One DRR round: grow every runnable job's deficit, slice each.
+
+        Returns the per-job slice accounting (empty when nothing ran).
+        Reloads records from the store first, so state changes made by
+        another process (``repro jobs pause``) take effect here.
+        """
+        results: list[SliceResult] = []
+        for record in self.runnable_jobs():
+            if self._drain.is_set():
+                break
+            results.append(self._run_slice(record))
+        # Jobs whose deficit grew but never got a slice keep nothing: the
+        # deficit only exists for jobs with pending work, so prune.
+        live = {r.id for r in self.runnable_jobs()}
+        for job_id in list(self._deficit):
+            if job_id not in live:
+                del self._deficit[job_id]
+        return results
+
+    def run_until_idle(self, max_rounds: int | None = None) -> list[JobRecord]:
+        """Round-robin until no runnable work remains (or drained).
+
+        Returns the final records of every job in the store.  ``max_rounds``
+        bounds the loop for tests and fairness measurements.
+        """
+        rounds = 0
+        while not self._drain.is_set():
+            if max_rounds is not None and rounds >= max_rounds:
+                break
+            if not self.runnable_jobs():
+                break
+            self.step()
+            rounds += 1
+        if self._drain.is_set():
+            self._finish_drain()
+        return self.store.jobs()
+
+    def _finish_drain(self) -> None:
+        """Park still-running jobs as queued so a later serve resumes them."""
+        for record in self.store.jobs():
+            if record.state == "running":
+                self.store.set_state(record.id, "queued", "drained")
+                self._record_event(
+                    MetricNames.EVENT_JOB_STATE, job=record.id, state="queued"
+                )
+
+    # -- one slice -------------------------------------------------------- #
+    def _run_slice(self, record: JobRecord) -> SliceResult:
+        job_id = record.id
+        spec = record.spec
+        out = SliceResult(job_id=job_id)
+        if job_id in self._control:  # pause/cancel landed between slices
+            out.state = self._apply_control(job_id)
+            return out
+        try:
+            log = self.store.load_progress(job_id)
+        except KeyError:
+            log = ProgressLog(total=spec.space_size)
+        except CorruptCheckpointError as exc:
+            # A torn/invalid checkpoint must fail the *job* loudly, never
+            # the daemon, and never silently resume with broken coverage.
+            self.store.set_state(job_id, "failed", f"corrupt checkpoint: {exc}")
+            self._record_event(MetricNames.EVENT_JOB_STATE, job=job_id, state="failed")
+            out.state = "failed"
+            return out
+        if self._slice_done(record, log, out):
+            return out
+
+        base = self.quantum if self.quantum is not None else spec.chunk_size * 2
+        allowance = self._deficit.get(job_id, 0) + record.priority * base
+        chunks = pending_chunks(log, spec.chunk_size, budget=allowance)
+        self._record_event(
+            MetricNames.EVENT_SCHED_DECISION,
+            job=job_id,
+            priority=record.priority,
+            allowance=allowance,
+            chunks=len(chunks),
+        )
+        if record.state != "running":
+            record = self.store.set_state(job_id, "running")
+            self._record_event(MetricNames.EVENT_JOB_STATE, job=job_id, state="running")
+
+        job_recorder = self._job_recorders.setdefault(job_id, Recorder())
+        chunks_since_checkpoint = 0
+
+        def gathered(result) -> None:
+            nonlocal chunks_since_checkpoint
+            log.mark_done(result.interval, result.matches)
+            chunks_since_checkpoint += 1
+            if chunks_since_checkpoint >= self.checkpoint_every:
+                self._checkpoint(job_id, log, job_recorder)
+                chunks_since_checkpoint = 0
+
+        def preempt() -> bool:
+            return self._drain.is_set() or job_id in self._control
+
+        target = spec.to_target()
+        slice_started = time.perf_counter()
+        try:
+            outcome = self.backend.run(
+                target,
+                chunks,
+                batch_size=spec.batch_size,
+                stop_on_first=spec.stop_on_first,
+                recorder=job_recorder,
+                preempt=preempt,
+                on_result=gathered,
+            )
+        except Exception as exc:  # noqa: BLE001 - job faults must not kill the service
+            self._checkpoint(job_id, log, job_recorder)
+            self.store.set_state(job_id, "failed", f"{type(exc).__name__}: {exc}")
+            self._record_event(
+                MetricNames.EVENT_JOB_STATE, job=job_id, state="failed"
+            )
+            out.state = "failed"
+            return out
+        elapsed = time.perf_counter() - slice_started
+
+        out.tested = outcome.tested
+        out.chunks = outcome.chunks
+        out.preempted = bool(outcome.unfinished) and not (
+            spec.stop_on_first and outcome.found
+        )
+        out.found = list(log.found)
+        self._served[job_id] = self._served.get(job_id, 0) + outcome.tested
+        leftover = max(0, allowance - outcome.tested)
+        # Standard DRR: carry the unspent allowance while the job still has
+        # backlog, reset it once the queue empties (or the job parks).
+        self._deficit[job_id] = min(leftover, record.priority * base)
+
+        self._checkpoint(job_id, log, job_recorder)
+        if self.recorder is not None:
+            self.recorder.span_record(MetricNames.PHASE_SLICE, elapsed, job=job_id)
+            self.recorder.counter(MetricNames.SERVICE_SLICES, job=job_id)
+            self.recorder.counter(
+                MetricNames.SERVICE_JOB_TESTED, outcome.tested, job=job_id
+            )
+        if out.preempted:
+            self._record_event(
+                MetricNames.EVENT_JOB_PREEMPTED,
+                job=job_id,
+                unfinished=len(outcome.unfinished),
+            )
+            if self.recorder is not None:
+                self.recorder.counter(MetricNames.SERVICE_PREEMPTIONS, job=job_id)
+
+        out.state = self._transition_after_slice(record, log)
+        self.store.save_metrics(job_id, job_recorder.export())
+        return out
+
+    def _slice_done(self, record: JobRecord, log: ProgressLog, out: SliceResult) -> bool:
+        """Handle already-satisfied jobs before dispatching anything."""
+        spec = record.spec
+        satisfied = log.is_complete or (spec.stop_on_first and log.found)
+        if satisfied:
+            self.store.set_state(record.id, "done", f"{len(log.found)} found")
+            self._record_event(MetricNames.EVENT_JOB_STATE, job=record.id, state="done")
+            self._deficit.pop(record.id, None)
+            out.state = "done"
+            out.found = list(log.found)
+            return True
+        return False
+
+    def _transition_after_slice(self, record: JobRecord, log: ProgressLog) -> str:
+        job_id = record.id
+        spec = record.spec
+        if log.is_complete or (spec.stop_on_first and log.found):
+            self.store.set_state(job_id, "done", f"{len(log.found)} found")
+            self._deficit.pop(job_id, None)
+            self._control.pop(job_id, None)
+            self._record_event(MetricNames.EVENT_JOB_STATE, job=job_id, state="done")
+            return "done"
+        if job_id in self._control:
+            return self._apply_control(job_id)
+        if self._drain.is_set():
+            self.store.set_state(job_id, "queued", "drained")
+            self._record_event(MetricNames.EVENT_JOB_STATE, job=job_id, state="queued")
+            return "queued"
+        return "running"
+
+    def _apply_control(self, job_id: str) -> str:
+        request = self._control.pop(job_id)
+        state = "paused" if request == "pause" else "cancelled"
+        record = self.store.load(job_id)
+        if record.state not in ("done", state):
+            self.store.set_state(job_id, state, f"{request} requested")
+        self._record_event(MetricNames.EVENT_JOB_STATE, job=job_id, state=state)
+        self._deficit.pop(job_id, None)
+        return state
+
+    # -- plumbing --------------------------------------------------------- #
+    def _checkpoint(self, job_id: str, log: ProgressLog, job_recorder: Recorder) -> None:
+        self.store.save_progress(job_id, log)
+        job_recorder.counter(MetricNames.SERVICE_CHECKPOINTS)
+        self._record_event(
+            MetricNames.EVENT_JOB_CHECKPOINT,
+            job=job_id,
+            done=log.done_count,
+            total=log.total,
+        )
+        if self.recorder is not None:
+            self.recorder.counter(MetricNames.SERVICE_CHECKPOINTS, job=job_id)
+
+    def _record_event(self, name: str, **fields) -> None:
+        if self.recorder is not None:
+            self.recorder.event(name, **fields)

@@ -1,0 +1,181 @@
+"""Tests for the service CLI: serve, jobs, and crack --checkpoint-dir."""
+
+import hashlib
+import json
+
+from repro.cli import main
+from repro.obs import validate_metrics
+from repro.service import JobStore, validate_job
+
+
+def digest_of(password: bytes) -> str:
+    return hashlib.md5(password).hexdigest()
+
+
+def submit_args(store, password=b"dog", *extra):
+    return ["jobs", "submit", str(store), digest_of(password),
+            "--charset", "lower", "--max-length", "3", "--chunk-size", "500", *extra]
+
+
+class TestJobsSubmit:
+    def test_submit_prints_id_and_persists(self, tmp_path, capsys):
+        assert main(submit_args(tmp_path, b"dog", "--priority", "4")) == 0
+        out = capsys.readouterr().out
+        assert "submitted job-" in out and "priority 4" in out
+        [record] = JobStore(tmp_path).jobs()
+        assert record.priority == 4
+        assert validate_job(record.to_document()) == []
+
+    def test_bad_digest_returns_2(self, tmp_path, capsys):
+        assert main(["jobs", "submit", str(tmp_path), "zz-not-hex"]) == 2
+        assert "hexadecimal" in capsys.readouterr().err
+
+    def test_duplicate_job_id_returns_2(self, tmp_path, capsys):
+        assert main(submit_args(tmp_path, b"dog", "--job-id", "x")) == 0
+        assert main(submit_args(tmp_path, b"dog", "--job-id", "x")) == 2
+        assert "already exists" in capsys.readouterr().err
+
+
+class TestServeAndStatus:
+    def test_two_priorities_visible_in_status_from_the_store(self, tmp_path, capsys):
+        # Endless jobs: fairness is visible in the persisted tested counts.
+        def endless(priority, job_id):
+            return ["jobs", "submit", str(tmp_path), digest_of(b"*none*"),
+                    "--charset", "lower", "--max-length", "5",
+                    "--chunk-size", "500", "--priority", priority,
+                    "--job-id", job_id]
+
+        assert main(endless("1", "low")) == 0
+        assert main(endless("4", "high")) == 0
+        assert main(["serve", str(tmp_path), "--max-rounds", "3",
+                     "--quantum", "1000"]) == 0
+        capsys.readouterr()
+        assert main(["jobs", "status", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        low = next(line for line in out.splitlines() if line.startswith("low"))
+        high = next(line for line in out.splitlines() if line.startswith("high"))
+        assert "3,000" in low and "12,000" in high  # 1:4, from checkpoints
+
+    def test_serve_once_completes_and_status_reports_found(self, tmp_path, capsys):
+        assert main(submit_args(tmp_path, b"cat", "--job-id", "findme")) == 0
+        assert main(["serve", str(tmp_path), "--once", "--quantum", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "exited idle" in out and "done" in out
+        assert main(["jobs", "status", str(tmp_path), "findme"]) == 0
+        out = capsys.readouterr().out
+        assert "done" in out and "FOUND: 'cat'" in out
+
+    def test_serve_metrics_json_is_schema_valid(self, tmp_path, capsys):
+        assert main(submit_args(tmp_path, b"cat")) == 0
+        capsys.readouterr()
+        assert main(["serve", str(tmp_path), "--once", "--quantum", "20000",
+                     "--metrics", "json"]) == 0
+        out = capsys.readouterr().out
+        document = json.loads(out[out.index("{"): out.rindex("}") + 1])
+        assert validate_metrics(document) == []
+
+    def test_status_empty_store(self, tmp_path, capsys):
+        assert main(["jobs", "status", str(tmp_path)]) == 1
+        assert "no jobs" in capsys.readouterr().out
+
+    def test_status_unknown_id_returns_2(self, tmp_path, capsys):
+        assert main(["jobs", "status", str(tmp_path), "ghost"]) == 2
+        assert "no job" in capsys.readouterr().err
+
+    def test_status_single_job_metrics(self, tmp_path, capsys):
+        assert main(submit_args(tmp_path, b"cat", "--job-id", "j")) == 0
+        assert main(["serve", str(tmp_path), "--once", "--quantum", "20000"]) == 0
+        capsys.readouterr()
+        assert main(["jobs", "status", str(tmp_path), "j",
+                     "--metrics", "summary"]) == 0
+        assert "metrics (repro-metrics/v1)" in capsys.readouterr().out
+
+
+class TestJobsControl:
+    def test_pause_resume_cycle(self, tmp_path, capsys):
+        assert main(submit_args(tmp_path, b"dog", "--job-id", "j")) == 0
+        assert main(["jobs", "pause", str(tmp_path), "j"]) == 0
+        assert JobStore(tmp_path).load("j").state == "paused"
+        assert main(["jobs", "resume", str(tmp_path), "j"]) == 0
+        assert JobStore(tmp_path).load("j").state == "queued"
+        assert main(["serve", str(tmp_path), "--once", "--quantum", "20000"]) == 0
+        assert JobStore(tmp_path).load("j").state == "done"
+
+    def test_cancel_excludes_from_serve(self, tmp_path, capsys):
+        assert main(submit_args(tmp_path, b"dog", "--job-id", "j")) == 0
+        assert main(["jobs", "cancel", str(tmp_path), "j"]) == 0
+        assert main(["serve", str(tmp_path), "--once"]) == 0
+        assert JobStore(tmp_path).load("j").state == "cancelled"
+
+    def test_illegal_transition_returns_2(self, tmp_path, capsys):
+        assert main(submit_args(tmp_path, b"dog", "--job-id", "j")) == 0
+        assert main(["serve", str(tmp_path), "--once", "--quantum", "20000"]) == 0
+        assert main(["jobs", "pause", str(tmp_path), "j"]) == 2  # done job
+        assert "cannot go" in capsys.readouterr().err
+
+    def test_tail_prints_timeline(self, tmp_path, capsys):
+        assert main(submit_args(tmp_path, b"dog", "--job-id", "j")) == 0
+        assert main(["serve", str(tmp_path), "--once", "--quantum", "20000"]) == 0
+        capsys.readouterr()
+        assert main(["jobs", "tail", str(tmp_path), "j"]) == 0
+        out = capsys.readouterr().out
+        assert "submitted" in out and "state -> done" in out
+
+    def test_tail_unknown_job_returns_2(self, tmp_path, capsys):
+        assert main(["jobs", "tail", str(tmp_path), "ghost"]) == 2
+
+
+class TestCrackCheckpointDir:
+    def args(self, store, password=b"fox", *extra):
+        return ["crack", digest_of(password), "--charset", "lower",
+                "--max-length", "3", "--checkpoint-dir", str(store),
+                "--chunk-size", "700", *extra]
+
+    def test_fresh_run_cracks_and_persists_done(self, tmp_path, capsys):
+        assert main(self.args(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "FOUND: 'fox'" in out and "checkpointing under" in out
+        [record] = JobStore(tmp_path).jobs()
+        assert record.state == "done"
+        checkpoint = json.loads(
+            (JobStore(tmp_path).job_dir(record.id) / "checkpoint.json").read_text()
+        )
+        assert validate_job(checkpoint) == []
+
+    def test_rerun_resumes_not_restarts(self, tmp_path, capsys):
+        assert main(self.args(tmp_path)) == 0
+        capsys.readouterr()
+        assert main(self.args(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "resuming job" in out
+        assert "already complete" in out
+        assert "FOUND: 'fox'" in out
+
+    def test_changed_parameters_rejected(self, tmp_path, capsys):
+        assert main(self.args(tmp_path)) == 0
+        assert main(self.args(tmp_path, b"fox", "--batch-size", "64")) == 2
+        assert "different parameters" in capsys.readouterr().err
+
+    def test_miss_marks_done_and_returns_1(self, tmp_path, capsys):
+        assert main(self.args(tmp_path, b"*not in space*")) == 1
+        assert "no preimage" in capsys.readouterr().out
+        [record] = JobStore(tmp_path).jobs()
+        assert record.state == "done" and "0 found" in record.message
+
+    def test_ntlm_checkpointing_rejected(self, tmp_path, capsys):
+        from repro.apps.ntlm import ntlm_hex
+
+        code = main(["crack", ntlm_hex("x"), "--algorithm", "ntlm",
+                     "--checkpoint-dir", str(tmp_path)])
+        assert code == 2
+        assert "md5/sha1" in capsys.readouterr().err
+
+    def test_adaptive_checkpointing_rejected(self, tmp_path, capsys):
+        assert main(self.args(tmp_path, b"fox", "--adaptive")) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_metrics_land_in_the_store(self, tmp_path, capsys):
+        assert main(self.args(tmp_path, b"fox", "--metrics", "json")) == 0
+        [record] = JobStore(tmp_path).jobs()
+        payload = JobStore(tmp_path).load_metrics(record.id)
+        assert payload is not None and validate_metrics(payload) == []

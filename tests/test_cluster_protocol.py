@@ -118,3 +118,66 @@ class TestDecodeAny:
     def test_unknown_magic(self):
         with pytest.raises(ValueError, match="unknown message magic"):
             decode_any(b"????rest")
+
+
+class TestMalformedBytes:
+    """decode_any must answer garbage with ValueError, never struct.error."""
+
+    def messages(self):
+        return [
+            scatter(prefix=b"s:", suffix=b"::p"),
+            GatherMessage(
+                Interval(100, 200), 100, 123, ((150, "S3cret9"), (199, "zzz"))
+            ),
+            HeartbeatMessage("node-C", True, 71_000_000),
+        ]
+
+    def test_every_truncation_raises_value_error(self):
+        for message in self.messages():
+            encoded = message.encode()
+            for cut in range(len(encoded)):
+                with pytest.raises(ValueError):
+                    decode_any(encoded[:cut])
+
+    def test_short_heartbeat_is_not_silently_misdecoded(self):
+        # A truncated node name used to decode to a *different* valid
+        # message; now it is a loud error.
+        encoded = HeartbeatMessage("node-with-a-long-name", False, 9).encode()
+        with pytest.raises(ValueError, match="node name"):
+            HeartbeatMessage.decode(encoded[:-4])
+
+    @given(noise=st.binary(min_size=0, max_size=64))
+    @settings(max_examples=60)
+    def test_garbage_after_valid_magic_never_escapes_value_error(self, noise):
+        for magic in (b"XKS\x01", b"XKS\x02", b"XKS\x03"):
+            try:
+                decode_any(magic + noise)
+            except ValueError:
+                pass  # the only acceptable failure mode
+
+    @given(data=st.binary(min_size=0, max_size=64))
+    @settings(max_examples=60)
+    def test_arbitrary_bytes_never_escape_value_error(self, data):
+        try:
+            decode_any(data)
+        except ValueError:
+            pass
+
+
+class TestHeartbeatProperties:
+    @given(
+        node=st.text(
+            alphabet=st.characters(min_codepoint=1, max_codepoint=255), max_size=100
+        ),
+        busy=st.booleans(),
+        rate=st.integers(0, 2**64 - 1),
+    )
+    @settings(max_examples=60)
+    def test_property_roundtrip(self, node, busy, rate):
+        msg = HeartbeatMessage(node, busy, rate)
+        clone = decode_any(msg.encode())
+        assert clone == msg
+
+    def test_empty_node_roundtrip(self):
+        msg = HeartbeatMessage("", False, 0)
+        assert HeartbeatMessage.decode(msg.encode()) == msg

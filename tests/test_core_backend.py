@@ -192,3 +192,75 @@ class TestRuntimeBackends:
         assert result.progress.is_complete
         assert set(result.worker_throughput) <= {"fast", "slow"}
         assert result.worker_throughput["fast"] > 0
+
+
+class TestPreemption:
+    """Cooperative chunk-boundary preemption: exactly-once, never half-done."""
+
+    @pytest.mark.parametrize("name", sorted(BACKENDS))
+    def test_gathered_and_unfinished_partition_the_chunks(self, name):
+        target = target_for("ccba")
+        chunks = split_interval(Interval(0, target.space_size), 16)
+        seen = []
+        outcome = make_backend(name).run(
+            target,
+            chunks,
+            batch_size=32,
+            preempt=lambda: len(seen) >= 3,
+            on_result=lambda r: seen.append(r.interval),
+        )
+        gathered = set(seen)
+        unfinished = set(outcome.unfinished)
+        assert gathered | unfinished == set(chunks)
+        assert not (gathered & unfinished)
+        assert unfinished  # it really stopped early
+        assert outcome.tested == sum(iv.size for iv in gathered)
+
+    @pytest.mark.parametrize("name", sorted(BACKENDS))
+    def test_replaying_unfinished_recovers_the_full_search(self, name):
+        target = target_for("abba")
+        interval = Interval(0, target.space_size)
+        chunks = split_interval(interval, 13)
+        seen = []
+        backend = make_backend(name)
+        first = backend.run(
+            target,
+            chunks,
+            batch_size=32,
+            preempt=lambda: len(seen) >= 4,
+            on_result=lambda r: seen.append(r.interval),
+        )
+        second = backend.run(target, first.unfinished, batch_size=32)
+        combined = sorted(first.found + second.found)
+        assert combined == crack_interval(target, interval)
+        assert first.tested + second.tested == interval.size
+
+    def test_on_result_streams_every_chunk_once(self):
+        target = target_for("cab")
+        chunks = split_interval(Interval(0, target.space_size), 11)
+        log = ProgressLog(total=target.space_size)
+        outcome = SerialBackend().run(
+            target,
+            chunks,
+            batch_size=32,
+            on_result=lambda r: log.mark_done(r.interval, r.matches),
+        )
+        assert log.is_complete  # mark_done would raise on any double report
+        assert log.done_count == outcome.tested
+        assert log.found == outcome.found
+
+    def test_no_preempt_means_no_unfinished(self):
+        target = target_for("ab")
+        chunks = split_interval(Interval(0, target.space_size), 7)
+        outcome = SerialBackend().run(target, chunks, batch_size=16)
+        assert outcome.unfinished == []
+
+    def test_stop_on_first_reports_undispatched_as_unfinished(self):
+        target = target_for("aab")
+        chunks = split_interval(Interval(0, target.space_size), 9)
+        outcome = SerialBackend().run(
+            target, chunks, batch_size=16, stop_on_first=True
+        )
+        assert outcome.found
+        covered = sum(iv.size for iv in outcome.unfinished) + outcome.tested
+        assert covered == target.space_size

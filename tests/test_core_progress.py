@@ -120,3 +120,93 @@ class TestResumableCrack:
         one_shot = crack_interval(target, Interval(0, space))
         assert resumed.found == one_shot
         assert ("cba" in [k for _, k in resumed.found])
+
+
+class TestCorruptCheckpoints:
+    """from_json must reject any ledger that breaks coverage, loudly."""
+
+    def valid(self):
+        return {"total": 100, "completed": [[0, 10], [20, 30]], "found": [[5, "aa"]]}
+
+    def test_valid_document_restores(self):
+        import json
+
+        log = ProgressLog.from_json(json.dumps(self.valid()))
+        assert log.done_count == 20
+        assert log.found == [(5, "aa")]
+
+    def test_not_json_at_all(self):
+        from repro.core.progress import CorruptCheckpointError
+
+        with pytest.raises(CorruptCheckpointError, match="not valid JSON"):
+            ProgressLog.from_json("{{{ torn write")
+
+    @pytest.mark.parametrize(
+        "mutation, message",
+        [
+            ({"total": None}, "not a size"),
+            ({"total": -5}, "not a size"),
+            ({"total": "100"}, "not a size"),
+            ({"completed": [[0, 10], [5, 20]]}, "overlap"),
+            ({"completed": [[20, 30], [0, 10]]}, "overlap|unsorted"),
+            ({"completed": [[0, 200]]}, "exceeds"),
+            ({"completed": [[10, 0]]}, "malforms"),
+            ({"completed": [[0]]}, "malforms"),
+            ({"found": [[1]]}, "malforms"),
+        ],
+    )
+    def test_each_corruption_is_rejected(self, mutation, message):
+        import json
+
+        from repro.core.progress import CorruptCheckpointError
+
+        with pytest.raises(CorruptCheckpointError, match=message):
+            ProgressLog.from_json(json.dumps({**self.valid(), **mutation}))
+
+    @pytest.mark.parametrize("key", ["total", "completed", "found"])
+    def test_missing_fields_rejected(self, key):
+        import json
+
+        from repro.core.progress import CorruptCheckpointError
+
+        document = self.valid()
+        del document[key]
+        with pytest.raises(CorruptCheckpointError, match="missing"):
+            ProgressLog.from_json(json.dumps(document))
+
+
+class TestPendingChunks:
+    def test_slices_gaps_in_order(self):
+        from repro.core.progress import pending_chunks
+
+        log = ProgressLog(total=100)
+        log.mark_done(Interval(20, 50))
+        chunks = pending_chunks(log, 15)
+        assert chunks == [
+            Interval(0, 15), Interval(15, 20),
+            Interval(50, 65), Interval(65, 80), Interval(80, 95), Interval(95, 100),
+        ]
+        assert sum(c.size for c in chunks) == 70
+        assert log.done_count == 30  # planning marks nothing done
+
+    def test_budget_caps_the_plan(self):
+        from repro.core.progress import pending_chunks
+
+        log = ProgressLog(total=1000)
+        chunks = pending_chunks(log, 64, budget=200)
+        assert sum(c.size for c in chunks) == 200
+        assert all(c.size <= 64 for c in chunks)
+
+    def test_zero_budget_and_complete_log(self):
+        from repro.core.progress import pending_chunks
+
+        log = ProgressLog(total=10)
+        assert pending_chunks(log, 4, budget=0) == []
+        log.mark_done(Interval(0, 10))
+        assert pending_chunks(log, 4) == []
+
+    def test_bad_chunk_size_rejected(self):
+        from repro.core.progress import pending_chunks
+
+        with pytest.raises(ValueError, match="chunk_size"):
+            pending_chunks(ProgressLog(total=10), 0)

@@ -1,0 +1,210 @@
+"""Tests for the durable job store: repro-job/v1 schema, atomic writes."""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.core.progress import CorruptCheckpointError, ProgressLog
+from repro.keyspace import Interval
+from repro.service import (
+    JOB_SCHEMA,
+    JOB_STATES,
+    JobRecord,
+    JobSpec,
+    JobStore,
+    atomic_write_json,
+    validate_job,
+)
+
+
+def spec(password=b"dog", **kw):
+    defaults = dict(
+        digest=hashlib.md5(password).digest(),
+        charset="abcdefghijklmnopqrstuvwxyz",
+        min_length=1,
+        max_length=3,
+        chunk_size=500,
+    )
+    defaults.update(kw)
+    return JobSpec(**defaults)
+
+
+class TestJobSpec:
+    def test_dict_roundtrip(self):
+        original = spec(prefix=b"s:", suffix=b"!x", backend="thread", workers=3)
+        clone = JobSpec.from_dict(original.to_dict())
+        assert clone == original
+        assert json.dumps(original.to_dict())  # JSON-serializable as-is
+
+    def test_rebuilds_target(self):
+        target = spec().to_target()
+        assert target.space_size == 26 + 26**2 + 26**3
+        assert spec().space_size == target.space_size
+
+    def test_invalid_target_rejected_at_submit_time(self):
+        with pytest.raises(ValueError):
+            spec(digest=b"short")
+        with pytest.raises(ValueError):
+            spec(charset="aa")  # duplicate symbols
+        with pytest.raises(ValueError):
+            spec(chunk_size=0)
+
+
+class TestAtomicWrite:
+    def test_replaces_and_leaves_no_temp(self, tmp_path):
+        path = tmp_path / "doc.json"
+        atomic_write_json(path, {"v": 1})
+        atomic_write_json(path, {"v": 2})
+        assert json.loads(path.read_text()) == {"v": 2}
+        assert list(tmp_path.iterdir()) == [path]
+
+
+class TestValidateJob:
+    def test_accepts_real_documents(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = store.submit(spec())
+        assert validate_job(record.to_document()) == []
+        checkpoint = json.loads((store.job_dir(record.id) / "checkpoint.json").read_text())
+        assert validate_job(checkpoint) == []
+
+    def test_rejects_non_documents(self):
+        assert validate_job(None)
+        assert validate_job({"schema": "other/v9", "kind": "job"})
+        assert validate_job({"schema": JOB_SCHEMA, "kind": "mystery"})
+
+    def test_rejects_bad_job_fields(self, tmp_path):
+        document = JobStore(tmp_path).submit(spec()).to_document()
+        for corruption in (
+            {"id": ""},
+            {"priority": 0},
+            {"state": "zombie"},
+            {"created_at": "yesterday"},
+            {"spec": {"digest": "zz"}},
+        ):
+            assert validate_job({**document, **corruption})
+
+    def test_rejects_bad_checkpoint_progress(self):
+        document = {
+            "schema": JOB_SCHEMA,
+            "kind": "checkpoint",
+            "job": "job-1",
+            "progress": {"total": 10, "completed": [[0, 5], [3, 8]], "found": []},
+        }
+        problems = validate_job(document)
+        assert problems and "overlap" in problems[0]
+
+
+class TestJobStoreLifecycle:
+    def test_submit_creates_validated_layout(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = store.submit(spec(), priority=4)
+        job_dir = store.job_dir(record.id)
+        assert (job_dir / "job.json").exists()
+        assert (job_dir / "checkpoint.json").exists()
+        loaded = store.load(record.id)
+        assert loaded.priority == 4 and loaded.state == "queued"
+        assert store.load_progress(record.id).total == spec().space_size
+
+    def test_fresh_ids_never_collide(self, tmp_path):
+        store = JobStore(tmp_path)
+        first = store.submit(spec())
+        second = store.submit(spec())
+        assert first.id != second.id
+
+    def test_duplicate_explicit_id_rejected(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.submit(spec(), job_id="mine")
+        with pytest.raises(ValueError, match="already exists"):
+            store.submit(spec(), job_id="mine")
+
+    def test_missing_job_raises_keyerror(self, tmp_path):
+        with pytest.raises(KeyError, match="no job"):
+            JobStore(tmp_path).load("nope")
+
+    def test_legal_transitions(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit(spec()).id
+        for state in ("running", "paused", "queued", "running", "done"):
+            assert store.set_state(job, state).state == state
+
+    def test_illegal_transitions_rejected(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit(spec()).id
+        store.set_state(job, "done")
+        for state in JOB_STATES:
+            if state == "done":
+                continue
+            with pytest.raises(ValueError, match="cannot go"):
+                store.set_state(job, state)
+
+    def test_cancelled_and_failed_are_resumable(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit(spec()).id
+        store.set_state(job, "cancelled")
+        assert store.set_state(job, "queued").state == "queued"
+        store.set_state(job, "failed", "worker exploded")
+        assert store.load(job).message == "worker exploded"
+        assert store.set_state(job, "queued").state == "queued"
+
+    def test_set_priority(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit(spec()).id
+        assert store.set_priority(job, 7).priority == 7
+        with pytest.raises(ValueError):
+            store.set_priority(job, 0)
+
+    def test_jobs_lists_sorted(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.submit(spec(), job_id="b")
+        store.submit(spec(), job_id="a")
+        assert [r.id for r in store.jobs()] == ["a", "b"]
+
+
+class TestCheckpoints:
+    def test_progress_roundtrip(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit(spec()).id
+        log = store.load_progress(job)
+        log.mark_done(Interval(0, 500), matches=[(42, "key")])
+        store.save_progress(job, log)
+        restored = store.load_progress(job)
+        assert restored.completed == [Interval(0, 500)]
+        assert restored.found == [(42, "key")]
+        assert restored.check_invariant()
+
+    def test_garbage_checkpoint_raises_clearly(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit(spec()).id
+        (store.job_dir(job) / "checkpoint.json").write_text(
+            json.dumps({"schema": JOB_SCHEMA, "kind": "checkpoint", "job": job,
+                        "progress": {"total": 10, "completed": [[5, 2]], "found": []}})
+        )
+        with pytest.raises(CorruptCheckpointError, match="invalid"):
+            store.load_progress(job)
+
+    def test_checkpoint_writer_is_bound(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit(spec()).id
+        log = ProgressLog(total=spec().space_size)
+        log.mark_done(Interval(0, 100))
+        store.checkpoint_writer(job)(log)
+        assert store.load_progress(job).done_count == 100
+
+
+class TestMetricsAndEvents:
+    def test_metrics_roundtrip(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit(spec()).id
+        assert store.load_metrics(job) is None
+        store.save_metrics(job, {"schema": "repro-metrics/v1"})
+        assert store.load_metrics(job)["schema"] == "repro-metrics/v1"
+
+    def test_event_timeline_tails(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit(spec()).id
+        for i in range(5):
+            store.append_event(job, f"tick {i}")
+        tail = store.tail_events(job, count=3)
+        assert len(tail) == 3
+        assert tail[-1].endswith("tick 4")

@@ -1,0 +1,170 @@
+"""Crash-recovery: a killed checkpointed run resumes with exact coverage.
+
+The acceptance bar from the issue: kill a checkpointing run after k
+chunks, resume it, and the resumed + pre-kill tested counts must not
+exceed the uninterrupted run's count by more than one chunk — no interval
+is ever re-tested beyond checkpoint-lag, and the same password is found.
+"""
+
+import hashlib
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.cracking import CrackTarget
+from repro.cli import main
+from repro.core.progress import ProgressLog
+from repro.core.session import CrackingSession
+from repro.keyspace import Charset
+
+ABC = Charset("abc", name="abc")
+
+passwords = st.text(alphabet="abc", min_size=1, max_size=4)
+
+
+class TestInProcessRecovery:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        password=passwords,
+        chunk_size=st.integers(5, 40),
+        kill_after_chunks=st.integers(0, 6),
+        checkpoint_every=st.integers(1, 3),
+    )
+    def test_kill_resume_equals_uninterrupted(
+        self, password, chunk_size, kill_after_chunks, checkpoint_every
+    ):
+        target = CrackTarget.from_password(password, ABC, min_length=1, max_length=4)
+        total = target.space_size
+        session = CrackingSession(target)
+
+        # Reference: the same chunked run, never interrupted.
+        reference = session.run(
+            "serial",
+            stop_on_first=True,
+            progress=ProgressLog(total=total),
+            chunk_size=chunk_size,
+        )
+
+        # Interrupted run: stop cooperatively after k gathered chunks, and
+        # keep only the *periodic* checkpoints — the final in-memory state
+        # dies with the "process", exactly like kill -9 between writes.
+        durable = []
+        live = ProgressLog(total=total)
+        session.run(
+            "serial",
+            stop_on_first=True,
+            progress=live,
+            checkpoint=lambda log: durable.append(log.to_json()),
+            checkpoint_every=checkpoint_every,
+            chunk_size=chunk_size,
+            preempt=lambda: live.done_count >= kill_after_chunks * chunk_size,
+        )
+        periodic = durable[:-1]  # drop the final flush a SIGKILL would lose
+        restored = (
+            ProgressLog.from_json(periodic[-1]) if periodic else ProgressLog(total=total)
+        )
+        tested_before = restored.done_count
+        assert restored.check_invariant()
+
+        # Resume from the durable state (the CLI checks "satisfied" first).
+        if restored.found:
+            tested_resumed = 0
+            final = restored
+        else:
+            resumed = session.run(
+                "serial",
+                stop_on_first=True,
+                progress=restored,
+                chunk_size=chunk_size,
+            )
+            tested_resumed = resumed.tested
+            final = resumed.progress
+
+        assert final.found == reference.progress.found
+        assert [k for _, k in final.found] == [password]
+        assert tested_before + tested_resumed <= reference.tested + chunk_size
+        assert final.check_invariant()
+
+
+class TestKillDashNine:
+    """The real thing: SIGKILL a `repro crack --checkpoint-dir` subprocess."""
+
+    PASSWORD = "aaaam"  # ~46% into the length-5 lowercase space
+    CHUNK = 20_000
+
+    def crack_args(self, store: Path) -> list[str]:
+        digest = hashlib.md5(self.PASSWORD.encode()).hexdigest()
+        return [
+            "crack", digest, "--charset", "lower",
+            "--min-length", "5", "--max-length", "5",
+            "--checkpoint-dir", str(store),
+            "--chunk-size", str(self.CHUNK), "--job-id", "killme",
+        ]
+
+    def read_checkpoint(self, store: Path) -> dict | None:
+        path = store / "killme" / "checkpoint.json"
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())  # atomic rename: never torn
+
+    @pytest.mark.slow
+    def test_sigkill_then_resume_finds_the_password(self, tmp_path, capsys):
+        target = CrackTarget.from_password(
+            self.PASSWORD, Charset("abcdefghijklmnopqrstuvwxyz"),
+            min_length=5, max_length=5,
+        )
+        space = target.space_size
+        index = target.mapping.index_of(self.PASSWORD)
+        # An uninterrupted serial run stops at the end of the chunk that
+        # contains the password: that is the budget resume must not exceed.
+        tested_uninterrupted = (index // self.CHUNK + 1) * self.CHUNK
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", *self.crack_args(tmp_path)],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                document = self.read_checkpoint(tmp_path)
+                done = (
+                    sum(b - a for a, b in document["progress"]["completed"])
+                    if document else 0
+                )
+                if done > 0:
+                    break
+                assert proc.poll() is None, "crack finished before we could kill it"
+                time.sleep(0.01)
+            else:
+                pytest.fail("no checkpoint appeared within the deadline")
+            proc.send_signal(signal.SIGKILL)
+        finally:
+            proc.wait(timeout=30)
+
+        document = self.read_checkpoint(tmp_path)
+        restored = ProgressLog.from_json(json.dumps(document["progress"]))
+        tested_before = restored.done_count
+        assert 0 < tested_before < space
+        assert restored.check_invariant()
+        assert not restored.found  # killed long before the password
+
+        # Rerun the identical command in-process: it must resume, not restart.
+        code = main(self.crack_args(tmp_path))
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "resuming job killme" in out
+        assert f"FOUND: '{self.PASSWORD}'" in out
+        tested_resumed = int(
+            re.search(r"tested ([\d,]+) this run", out).group(1).replace(",", "")
+        )
+        assert tested_before + tested_resumed <= tested_uninterrupted + self.CHUNK

@@ -1,0 +1,256 @@
+"""Tests for fair-share scheduling and the serve loop.
+
+The acceptance bar: two concurrent jobs with priorities 1 and 4 receive
+backend time within 15% of 1:4, every control action (pause/resume/
+cancel/drain) parks at a chunk boundary with a durable checkpoint, and
+per-job metrics land in the store.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.obs import Recorder, validate_metrics
+from repro.service import JobSpec, JobStore, Scheduler, serve
+
+LOWER = "abcdefghijklmnopqrstuvwxyz"
+
+
+def findable(password=b"dog", **kw):
+    defaults = dict(
+        digest=hashlib.md5(password).digest(),
+        charset=LOWER,
+        min_length=1,
+        max_length=3,
+        chunk_size=500,
+    )
+    defaults.update(kw)
+    return JobSpec(**defaults)
+
+
+def endless(**kw):
+    """A job whose space is far too large to finish during a test."""
+    defaults = dict(max_length=5, digest=hashlib.md5(b"*no such key*").digest())
+    defaults.update(kw)
+    return findable(**defaults)
+
+
+class TestFairShare:
+    def test_priorities_1_and_4_share_1_to_4(self, tmp_path):
+        store = JobStore(tmp_path)
+        sched = Scheduler(store, quantum=1000)
+        low = sched.submit(endless(), priority=1).id
+        high = sched.submit(endless(), priority=4).id
+        sched.run_until_idle(max_rounds=4)
+        served_low, served_high = sched.served(low), sched.served(high)
+        assert served_low > 0 and served_high > 0
+        ratio = served_high / served_low
+        assert abs(ratio - 4.0) <= 4.0 * 0.15  # the 15% acceptance window
+        # ...and the persisted checkpoints agree with the in-memory account.
+        assert store.load_progress(low).done_count == served_low
+        assert store.load_progress(high).done_count == served_high
+
+    def test_equal_priorities_share_equally(self, tmp_path):
+        store = JobStore(tmp_path)
+        sched = Scheduler(store, quantum=800)
+        a = sched.submit(endless()).id
+        b = sched.submit(endless()).id
+        sched.run_until_idle(max_rounds=3)
+        assert sched.served(a) == sched.served(b) > 0
+
+
+class TestLifecycle:
+    def test_job_runs_to_done_and_reports_found(self, tmp_path):
+        store = JobStore(tmp_path)
+        sched = Scheduler(store, quantum=5000)
+        job = sched.submit(findable(b"dog")).id
+        sched.run_until_idle()
+        record = store.load(job)
+        assert record.state == "done"
+        assert "1 found" in record.message
+        found = store.load_progress(job).found
+        assert [key for _, key in found] == ["dog"]
+
+    def test_exhausted_space_with_no_match_is_done(self, tmp_path):
+        store = JobStore(tmp_path)
+        sched = Scheduler(store, quantum=50_000)
+        job = sched.submit(findable(b"not in space", max_length=2)).id
+        sched.run_until_idle()
+        record = store.load(job)
+        assert record.state == "done" and "0 found" in record.message
+        assert store.load_progress(job).is_complete
+
+    def test_done_jobs_are_not_rescheduled(self, tmp_path):
+        store = JobStore(tmp_path)
+        sched = Scheduler(store, quantum=5000)
+        sched.submit(findable(b"dog"))
+        sched.run_until_idle()
+        assert sched.runnable_jobs() == []
+        assert sched.step() == []
+
+    def test_pause_while_queued_then_resume(self, tmp_path):
+        store = JobStore(tmp_path)
+        sched = Scheduler(store, quantum=2000)
+        job = sched.submit(findable(b"dog")).id
+        sched.pause(job)
+        assert store.load(job).state == "paused"
+        sched.step()
+        assert sched.served(job) == 0  # paused jobs get no backend time
+        sched.resume(job)
+        sched.run_until_idle()
+        assert store.load(job).state == "done"
+
+    def test_pause_running_job_parks_at_next_slice(self, tmp_path):
+        store = JobStore(tmp_path)
+        sched = Scheduler(store, quantum=1000)
+        job = sched.submit(endless()).id
+        sched.step()
+        assert store.load(job).state == "running"
+        served_before = sched.served(job)
+        sched.pause(job)
+        sched.step()  # control flag applies before any new dispatch
+        assert store.load(job).state == "paused"
+        assert sched.served(job) == served_before
+        # the checkpoint reflects everything served so far — resumable
+        assert store.load_progress(job).done_count == served_before
+
+    def test_cancel_and_resurrect(self, tmp_path):
+        store = JobStore(tmp_path)
+        sched = Scheduler(store, quantum=1000)
+        job = sched.submit(endless()).id
+        sched.cancel(job)
+        assert store.load(job).state == "cancelled"
+        assert sched.runnable_jobs() == []
+        sched.resume(job)
+        assert store.load(job).state == "queued"
+
+    def test_drain_parks_resumably_and_fresh_scheduler_finishes(self, tmp_path):
+        store = JobStore(tmp_path)
+        first = Scheduler(store, quantum=2000)
+        job = first.submit(findable(b"zoo")).id
+        first.step()
+        covered = store.load_progress(job).done_count
+        assert 0 < covered < findable().space_size
+        first.drain()
+        first.run_until_idle()
+        assert store.load(job).state == "queued"  # parked, not lost
+        second = Scheduler(store, quantum=20_000)
+        second.run_until_idle()
+        assert store.load(job).state == "done"
+        assert [k for _, k in store.load_progress(job).found] == ["zoo"]
+
+
+class TestFaultIsolation:
+    def test_corrupt_checkpoint_fails_the_job_not_the_daemon(self, tmp_path):
+        store = JobStore(tmp_path)
+        sched = Scheduler(store, quantum=50_000)
+        bad = sched.submit(endless()).id
+        good = sched.submit(findable(b"cat")).id
+        (store.job_dir(bad) / "checkpoint.json").write_text("{{{ not json")
+        sched.run_until_idle()
+        assert store.load(bad).state == "failed"
+        assert "corrupt checkpoint" in store.load(bad).message
+        assert store.load(good).state == "done"
+
+    def test_backend_exception_fails_the_job_with_reason(self, tmp_path):
+        store = JobStore(tmp_path)
+        sched = Scheduler(store, quantum=1000)
+        job = sched.submit(endless()).id
+
+        def explode(*a, **kw):
+            raise RuntimeError("boom")
+
+        sched.backend.run = explode
+        sched.step()
+        record = store.load(job)
+        assert record.state == "failed"
+        assert "RuntimeError: boom" in record.message
+        assert store.load_progress(job).check_invariant()  # checkpoint intact
+
+
+class TestObservability:
+    def test_per_job_metrics_persisted_and_schema_valid(self, tmp_path):
+        store = JobStore(tmp_path)
+        sched = Scheduler(store, quantum=5000)
+        job = sched.submit(findable(b"dog")).id
+        sched.run_until_idle()
+        payload = store.load_metrics(job)
+        assert payload is not None
+        assert validate_metrics(payload) == []
+        counters = {c["name"] for c in payload["counters"]}
+        assert "service.checkpoints" in counters
+
+    def test_scheduler_recorder_carries_the_decision_timeline(self, tmp_path):
+        store = JobStore(tmp_path)
+        recorder = Recorder()
+        sched = Scheduler(store, quantum=1000, recorder=recorder)
+        sched.submit(endless(), priority=2)
+        sched.run_until_idle(max_rounds=2)
+        payload = recorder.export()
+        assert validate_metrics(payload) == []
+        events = {e["name"] for e in payload["events"]}
+        assert "sched.decision" in events
+        assert "job.checkpoint" in events
+        counters = {c["name"] for c in payload["counters"]}
+        assert "service.slices" in counters
+
+
+class TestServe:
+    def test_once_runs_everything_to_done(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.submit(findable(b"dog"))
+        store.submit(findable(b"cat"), priority=3)
+        summary = serve(store, quantum=20_000, once=True, install_signal_handlers=False)
+        assert summary.states == {"done": 2}
+        assert not summary.drained
+        assert all(count > 0 for count in summary.served.values())
+
+    def test_max_rounds_bounds_the_loop(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.submit(endless())
+        summary = serve(
+            store, quantum=1000, max_rounds=2, install_signal_handlers=False
+        )
+        assert summary.rounds == 2
+        assert store.load_progress(store.jobs()[0].id).done_count > 0
+
+    def test_pre_drained_scheduler_parks_jobs(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit(endless()).id
+        store.set_state(job, "running")  # as if a slice were interrupted
+        sched = Scheduler(store, quantum=1000)
+        sched.drain()
+        summary = serve(store, scheduler=sched, install_signal_handlers=False)
+        assert summary.drained
+        assert store.load(job).state == "queued"
+
+    def test_serve_recorder_export_lands_in_summary(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.submit(findable(b"dog"))
+        recorder = Recorder()
+        summary = serve(
+            store, quantum=20_000, once=True, recorder=recorder,
+            install_signal_handlers=False,
+        )
+        assert summary.metrics is not None
+        assert validate_metrics(summary.metrics) == []
+
+
+class TestValidation:
+    def test_bad_knobs_rejected(self, tmp_path):
+        store = JobStore(tmp_path)
+        with pytest.raises(ValueError):
+            Scheduler(store, quantum=0)
+        with pytest.raises(ValueError):
+            Scheduler(store, checkpoint_every=0)
+
+    def test_checkpoint_document_is_schema_tagged(self, tmp_path):
+        store = JobStore(tmp_path)
+        sched = Scheduler(store, quantum=1000)
+        job = sched.submit(endless()).id
+        sched.step()
+        document = json.loads((store.job_dir(job) / "checkpoint.json").read_text())
+        assert document["schema"] == "repro-job/v1"
+        assert document["kind"] == "checkpoint"
+        assert document["job"] == job
