@@ -1,0 +1,175 @@
+"""BENCH — cluster transport cost: in-process queues vs real TCP sockets.
+
+The distributed runtime speaks one wire format over two substrates: the
+in-process queue transport (zero copies, no kernel) and the TCP
+transport (framing, CRC, sockets, a beacon thread per worker).  This
+benchmark runs the *same* exhaustive no-match scan over both with the
+same worker count and reports the throughput ratio — the price of real
+networking — plus a framing microbenchmark (encode + CRC + decode round
+trips per second).
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_transport.py [--quick]
+
+or imported by :mod:`benchmarks.run_all`, which folds the results into
+``BENCH_cracking.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import threading
+import time
+
+from repro.apps.cracking import CrackTarget, HashAlgorithm
+from repro.cluster.runtime import DistributedMaster, WorkerConfig
+from repro.cluster.transport import (
+    FrameDecoder,
+    TcpMasterTransport,
+    WorkerClient,
+    encode_frame,
+)
+from repro.keyspace import ALPHA_LOWER
+from repro.obs import Recorder
+from repro.obs.schema import MetricNames
+
+_BATCH = 1 << 14
+_CHUNK = 1 << 14
+_WORKERS = 2
+
+
+def _target(quick: bool) -> CrackTarget:
+    return CrackTarget(
+        algorithm=HashAlgorithm.MD5,
+        digest=hashlib.md5(b"*no match*").digest(),  # full scan: 0 found
+        charset=ALPHA_LOWER,
+        min_length=1,
+        max_length=3 if quick else 4,
+    )
+
+
+def _phase_totals(export) -> dict:
+    totals = {"scatter": 0.0, "search": 0.0, "gather": 0.0}
+    for row in (export or {}).get("spans", []):
+        if row["name"] == MetricNames.PHASE_SEARCH:
+            totals["search"] += row["total"]
+        elif row["name"] == MetricNames.PHASE_SCATTER:
+            totals["scatter"] += row["total"]
+        elif row["name"] == MetricNames.PHASE_GATHER:
+            totals["gather"] += row["total"]
+    return totals
+
+
+def _row(mode: str, result, elapsed: float) -> dict:
+    return {
+        "backend": "distributed",
+        "mode": mode,
+        "workers": _WORKERS,
+        "batch_size": _BATCH,
+        "tested": result.tested,
+        "elapsed": elapsed,
+        "keys_per_second": result.tested / elapsed if elapsed else 0.0,
+        "chunks": result.chunks,
+        "bytes_sent": result.bytes_sent,
+        "bytes_received": result.bytes_received,
+        "heartbeats": result.heartbeats,
+        "phases": _phase_totals(result.metrics),
+        "metrics": result.metrics,
+    }
+
+
+def bench_in_process(quick: bool) -> dict:
+    target = _target(quick)
+    recorder = Recorder()
+    master = DistributedMaster(
+        target,
+        [WorkerConfig(f"q{i}", batch_size=_BATCH) for i in range(_WORKERS)],
+        chunk_size=_CHUNK,
+    )
+    started = time.perf_counter()
+    result = master.run(recorder=recorder)
+    return _row("in-process", result, time.perf_counter() - started)
+
+
+def bench_tcp(quick: bool) -> dict:
+    target = _target(quick)
+    recorder = Recorder()
+    transport = TcpMasterTransport().start()
+    host, port = transport.address
+    clients = [
+        WorkerClient(f"t{i}", host, port, batch_size=_BATCH)
+        for i in range(_WORKERS)
+    ]
+    threads = [threading.Thread(target=c.run, daemon=True) for c in clients]
+    try:
+        for thread in threads:
+            thread.start()
+        transport.wait_for_workers(_WORKERS, timeout=30)
+        master = DistributedMaster(target, transport=transport, chunk_size=_CHUNK)
+        started = time.perf_counter()
+        result = master.run(recorder=recorder)
+        elapsed = time.perf_counter() - started
+    finally:
+        for client in clients:
+            client.stop()
+        transport.close()
+        for thread in threads:
+            thread.join(timeout=10)
+    return _row("tcp", result, elapsed)
+
+
+def bench_framing(quick: bool) -> dict:
+    """Encode + CRC + incremental decode, round trips per second."""
+    payload = b"x" * 64  # a typical scatter is well under the 1 KB budget
+    rounds = 20_000 if quick else 100_000
+    decoder = FrameDecoder()
+    started = time.perf_counter()
+    out = 0
+    for _ in range(rounds):
+        out += len(decoder.feed(encode_frame(payload)))
+    elapsed = time.perf_counter() - started
+    assert out == rounds
+    return {
+        "payload_bytes": len(payload),
+        "rounds": rounds,
+        "elapsed": elapsed,
+        "frames_per_second": rounds / elapsed if elapsed else 0.0,
+    }
+
+
+def run(quick: bool = False, workers: int | None = None) -> dict:
+    """Returns the ``BENCH_cracking.json`` payload fragment."""
+    in_process = bench_in_process(quick)
+    tcp = bench_tcp(quick)
+    ratio = (
+        tcp["keys_per_second"] / in_process["keys_per_second"]
+        if in_process["keys_per_second"]
+        else 0.0
+    )
+    return {
+        "name": "cluster_transport",
+        "space": _target(quick).space_size,
+        "results": [in_process, tcp],
+        "framing": bench_framing(quick),
+        "tcp_vs_in_process": ratio,
+        "all_results_identical": (
+            in_process["tested"] == tcp["tested"]
+            and in_process["tested"] == _target(quick).space_size
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="smaller keyspace")
+    args = parser.parse_args(argv)
+    payload = run(quick=args.quick)
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,6 +40,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 import bench_backend_scaling
 import bench_scheduler
+import bench_transport
 
 from repro.obs import validate_metrics
 
@@ -50,6 +51,7 @@ def run_all(quick: bool = False, workers: int | None = None) -> dict:
     benchmarks = [
         bench_backend_scaling.run(quick=quick, workers=workers),
         bench_scheduler.run(quick=quick, workers=workers),
+        bench_transport.run(quick=quick, workers=workers),
     ]
     best = max(
         (r["keys_per_second"] for b in benchmarks for r in b["results"]),
@@ -64,6 +66,7 @@ def run_all(quick: bool = False, workers: int | None = None) -> dict:
             "best_keys_per_second": best,
             "speedup_process_vs_serial": benchmarks[0]["speedup_process_vs_serial"],
             "scheduler_vs_sequential": benchmarks[1]["scheduler_vs_sequential"],
+            "tcp_vs_in_process": benchmarks[2]["tcp_vs_in_process"],
             "all_results_identical": all(
                 b.get("all_results_identical", True) for b in benchmarks
             ),

@@ -101,6 +101,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpointed dispatch granularity in candidates (chunk boundary "
         "= preemption + checkpoint boundary)",
     )
+    crack.add_argument(
+        "--cluster",
+        metavar="tcp://HOST:PORT",
+        default=None,
+        help="run as a TCP cluster master: listen on HOST:PORT and dispatch "
+        "to connected 'repro worker' nodes (port 0 = pick a free port)",
+    )
+    crack.add_argument(
+        "--cluster-workers",
+        type=int,
+        default=1,
+        help="wait for at least this many workers before dispatching",
+    )
+    crack.add_argument(
+        "--cluster-wait",
+        type=float,
+        default=30.0,
+        help="seconds to wait for --cluster-workers to connect",
+    )
+    crack.add_argument(
+        "--fallback",
+        choices=["none", "local"],
+        default="none",
+        help="when every remote worker dies: 'local' finishes the remaining "
+        "keyspace on this machine instead of failing the run",
+    )
+
+    worker = sub.add_parser(
+        "worker", help="run a TCP worker node serving a cluster master"
+    )
+    worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="master address (tcp://HOST:PORT or HOST:PORT)",
+    )
+    worker.add_argument(
+        "--name", default=None, help="worker name (default: <hostname>-<pid>)"
+    )
+    worker.add_argument(
+        "--backend", choices=["serial", "thread", "process"], default="serial"
+    )
+    worker.add_argument(
+        "--workers", type=int, default=1, help="pool size inside this node"
+    )
+    worker.add_argument("--batch-size", type=int, default=1 << 14)
+    worker.add_argument("--heartbeat-interval", type=float, default=0.2)
+    worker.add_argument(
+        "--slowdown",
+        type=float,
+        default=0.0,
+        help="artificial per-chunk delay in seconds (straggler injection)",
+    )
+    worker.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        default=None,
+        help="inject send-side faults, e.g. 'drop=0.1,corrupt=0.05,seed=7' "
+        "(knobs: drop, delay, delay-seconds, duplicate, corrupt, seed)",
+    )
+    worker.add_argument(
+        "--max-failures",
+        type=int,
+        default=8,
+        help="consecutive connection failures before the worker gives up",
+    )
 
     estimate = sub.add_parser("estimate", help="time to exhaust a space on the paper network")
     estimate.add_argument("--charset", choices=sorted(CHARSETS), default="alnum")
@@ -219,6 +285,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     return {
         "crack": _cmd_crack,
+        "worker": _cmd_worker,
         "estimate": _cmd_estimate,
         "mine": _cmd_mine,
         "mask": _cmd_mask,
@@ -242,6 +309,12 @@ def _cmd_crack(args) -> int:
     except ValueError:
         print("error: digest must be hexadecimal", file=sys.stderr)
         return 2
+    if args.cluster and args.checkpoint_dir:
+        print(
+            "error: --cluster and --checkpoint-dir are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
     if args.algorithm == "ntlm":
         if args.checkpoint_dir:
             print(
@@ -249,6 +322,23 @@ def _cmd_crack(args) -> int:
                 file=sys.stderr,
             )
             return 2
+        if args.cluster:
+            from repro.apps.ntlm import NTLMTarget
+
+            if args.prefix or args.suffix:
+                print("error: NTLM hashes are unsalted by definition", file=sys.stderr)
+                return 2
+            try:
+                ntlm = NTLMTarget(
+                    digest=digest,
+                    charset=CHARSETS[args.charset],
+                    min_length=args.min_length,
+                    max_length=args.max_length,
+                )
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            return _crack_cluster(args, ntlm)
         return _crack_ntlm(args, digest)
     algorithm = HashAlgorithm(args.algorithm)
     try:
@@ -264,6 +354,8 @@ def _cmd_crack(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.cluster:
+        return _crack_cluster(args, target)
     if args.checkpoint_dir:
         if args.adaptive:
             print(
@@ -297,6 +389,127 @@ def _cmd_crack(args) -> int:
         return 0
     print("no preimage in the window")
     return 1
+
+
+def _crack_cluster(args, target) -> int:
+    """Run the crack as a TCP cluster master (tentpole: real transport)."""
+    from repro.cluster.protocol import ControlMessage
+    from repro.cluster.runtime import AllWorkersDeadError, DistributedMaster
+    from repro.cluster.transport import TcpMasterTransport, parse_address
+
+    try:
+        host, port = parse_address(args.cluster)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    recorder = _make_recorder(args)
+    try:
+        transport = TcpMasterTransport(host=host, port=port, recorder=recorder)
+    except OSError as exc:
+        print(f"error: cannot listen on {host}:{port}: {exc}", file=sys.stderr)
+        return 2
+    transport.start()
+    bound_host, bound_port = transport.address
+    print(f"cluster master listening on {bound_host}:{bound_port}")
+    try:
+        if args.cluster_workers > 0:
+            print(
+                f"waiting up to {args.cluster_wait:.0f}s for "
+                f"{args.cluster_workers} worker(s)..."
+            )
+            if not transport.wait_for_workers(
+                args.cluster_workers, timeout=args.cluster_wait
+            ):
+                print(
+                    f"error: only {len(transport.workers())} worker(s) "
+                    "connected in time",
+                    file=sys.stderr,
+                )
+                return 1
+        print(f"searching {target.space_size:,} candidates over "
+              f"{len(transport.workers())} worker(s)")
+        master = DistributedMaster(
+            target,
+            transport=transport,
+            chunk_size=args.chunk_size,
+            adaptive=args.adaptive,
+            fallback=None if args.fallback == "none" else args.fallback,
+        )
+        try:
+            result = master.run(stop_on_first=not args.all, recorder=recorder)
+        except AllWorkersDeadError as exc:
+            done = exc.progress.done_count if exc.progress is not None else 0
+            print(
+                f"error: all workers died before completion "
+                f"({done:,} candidates covered); rerun with --fallback local "
+                "to finish on this machine",
+                file=sys.stderr,
+            )
+            if exc.partial is not None:
+                _emit_metrics(args, exc.partial.metrics)
+            return 1
+        transport.broadcast(ControlMessage("shutdown", "run complete").encode())
+    finally:
+        transport.close()
+    print(f"tested {result.tested:,} in {result.elapsed:.2f}s "
+          f"({result.mkeys_per_second:.2f} Mkeys/s, {result.chunks} chunks, "
+          f"{result.heartbeats} heartbeats, {result.requeued:,} requeued)")
+    if result.dead_workers:
+        print(f"dead workers: {', '.join(sorted(set(result.dead_workers)))}")
+    if result.fallback_used:
+        print("remote workers lost; remaining keyspace finished locally")
+    _emit_metrics(args, result.metrics)
+    if result.found:
+        for index, key in result.found:
+            print(f"FOUND: {key!r} (id {index})")
+        return 0
+    print("no preimage in the window")
+    return 1
+
+
+def _cmd_worker(args) -> int:
+    import os
+    import socket as socket_mod
+
+    from repro.cluster.chaos import ChaosConfig
+    from repro.cluster.transport import WorkerClient, parse_address
+
+    try:
+        host, port = parse_address(args.connect)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    chaos = None
+    if args.chaos:
+        try:
+            chaos = ChaosConfig.parse(args.chaos)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    name = args.name or f"{socket_mod.gethostname()}-{os.getpid()}"
+    client = WorkerClient(
+        name,
+        host,
+        port,
+        backend=args.backend,
+        pool_workers=args.workers,
+        batch_size=args.batch_size,
+        heartbeat_interval=args.heartbeat_interval,
+        max_failures=args.max_failures,
+        chaos=chaos,
+        slowdown=args.slowdown,
+    )
+    print(f"worker {name!r} serving {host}:{port}")
+    try:
+        stats = client.run()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        client.stop()
+        stats = client.stats
+    print(
+        f"worker {name!r} done: {stats.chunks} chunks, {stats.tested:,} tested, "
+        f"{stats.cancelled} cancelled, {stats.reconnects} reconnects"
+    )
+    return 0
 
 
 def _make_recorder(args):

@@ -15,7 +15,13 @@ package provides:
 * :mod:`repro.cluster.fault` — node-failure injection and repartitioning
   (the paper's minimum fault-tolerance model and its future-work concern);
 * :mod:`repro.cluster.local` — a *real* parallel backend executing the same
-  dispatch protocol across CPU processes with the vectorized kernels.
+  dispatch protocol across CPU processes with the vectorized kernels;
+* :mod:`repro.cluster.transport` — the length-prefixed TCP master/worker
+  transport speaking the same wire protocol across real sockets;
+* :mod:`repro.cluster.health` — heartbeat liveness, per-worker deadlines,
+  reconnect backoff, and the quarantine circuit breaker;
+* :mod:`repro.cluster.chaos` — seeded fault injection (drops, delays,
+  duplicates, corruption) for both transport seams.
 """
 
 from repro.cluster.events import Simulator
@@ -32,17 +38,45 @@ from repro.cluster.fault import FaultPlan, FaultToleranceReport, run_with_faults
 from repro.cluster.local import LocalCluster, LocalCrackOutcome
 from repro.cluster.dispatch import AdaptiveDispatcher, RoundRecord, WorkerEstimate
 from repro.cluster.protocol import (
+    ControlMessage,
     GatherMessage,
     HeartbeatMessage,
     ScatterMessage,
     decode_any,
 )
-from repro.cluster.runtime import DistributedMaster, RuntimeResult, WorkerConfig
+from repro.cluster.health import BackoffPolicy, HealthConfig, HealthMonitor
+from repro.cluster.chaos import ChaosConfig, ChaosStream, ChaosTransport
+from repro.cluster.transport import (
+    TcpMasterTransport,
+    WorkerClient,
+    parse_address,
+)
+from repro.cluster.runtime import (
+    AllWorkersDeadError,
+    DistributedMaster,
+    InProcessTransport,
+    RuntimeResult,
+    WorkerConfig,
+    execute_scatter,
+)
 
 __all__ = [
+    "AllWorkersDeadError",
     "DistributedMaster",
+    "InProcessTransport",
     "RuntimeResult",
     "WorkerConfig",
+    "execute_scatter",
+    "ControlMessage",
+    "BackoffPolicy",
+    "HealthConfig",
+    "HealthMonitor",
+    "ChaosConfig",
+    "ChaosStream",
+    "ChaosTransport",
+    "TcpMasterTransport",
+    "WorkerClient",
+    "parse_address",
     "AdaptiveDispatcher",
     "RoundRecord",
     "WorkerEstimate",

@@ -1,0 +1,239 @@
+"""Fault injection for the cluster transport: drops, delays, dups, garbage.
+
+The fault-tolerance claims in docs/FAULT_TOLERANCE.md are only worth
+anything if they survive a hostile network, so this module wraps the two
+transport seams with configurable, *seeded* (reproducible) faults:
+
+* :class:`ChaosStream` wraps a :class:`~repro.cluster.transport.
+  MessageStream` — send-side faults on a real socket: messages are
+  dropped before framing, delayed, duplicated, or shipped with flipped
+  payload bytes (which the receiver's CRC turns into a detected drop).
+* :class:`ChaosTransport` wraps a master transport (TCP or in-process) —
+  faults on both the scatter direction (``send``) and the gather
+  direction (``poll``), including held-back delayed deliveries and
+  corrupted payloads *inside* valid frames (which exercises the decoder
+  tolerance path rather than the CRC path).
+
+Every injected fault is counted on a :class:`repro.obs.Recorder` under
+the ``chaos.*`` metric names, so a chaos run's exported metrics document
+both what the network did and how the liveness layer answered.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.cluster.transport import encode_frame
+from repro.obs.schema import MetricNames
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Per-message fault probabilities (each rolled independently)."""
+
+    drop: float = 0.0  #: P(message silently dropped)
+    delay: float = 0.0  #: P(message delayed by ``delay_seconds``)
+    delay_seconds: float = 0.2
+    duplicate: float = 0.0  #: P(message delivered twice)
+    corrupt: float = 0.0  #: P(message bytes flipped in flight)
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "delay", "duplicate", "corrupt"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability in [0, 1]")
+        if self.delay_seconds < 0:
+            raise ValueError("delay_seconds must be non-negative")
+
+    @property
+    def active(self) -> bool:
+        return any((self.drop, self.delay, self.duplicate, self.corrupt))
+
+    def rng(self) -> random.Random:
+        return random.Random(self.seed)
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosConfig":
+        """Parse a CLI spec: ``drop=0.1,delay=0.3,delay-seconds=0.5,
+        duplicate=0.05,corrupt=0.02,seed=7``."""
+        kwargs: dict = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            if not sep:
+                raise ValueError(f"chaos spec entry {part!r} is not key=value")
+            key = key.strip().replace("-", "_")
+            if key == "seed":
+                kwargs[key] = int(value)
+            elif key in ("drop", "delay", "delay_seconds", "duplicate", "corrupt"):
+                kwargs[key] = float(value)
+            else:
+                raise ValueError(f"unknown chaos knob {key!r}")
+        return cls(**kwargs)
+
+
+def _flip_bytes(data: bytes, rng: random.Random, count: int = 2) -> bytes:
+    """Return *data* with up to *count* random bytes XOR-flipped."""
+    if not data:
+        return data
+    out = bytearray(data)
+    for _ in range(count):
+        pos = rng.randrange(len(out))
+        out[pos] ^= 0xFF
+    return bytes(out)
+
+
+class _FaultRoller:
+    """Shared dice-rolling + counting between the two wrappers."""
+
+    def __init__(self, config: ChaosConfig, recorder=None, rng=None) -> None:
+        self.config = config
+        self.recorder = recorder
+        self.rng = rng if rng is not None else config.rng()
+        self.dropped = 0
+        self.delayed = 0
+        self.duplicated = 0
+        self.corrupted = 0
+
+    def _count(self, what: str, metric: str) -> None:
+        setattr(self, what, getattr(self, what) + 1)
+        if self.recorder is not None:
+            self.recorder.counter(metric)
+
+    def roll_drop(self) -> bool:
+        if self.rng.random() < self.config.drop:
+            self._count("dropped", MetricNames.CHAOS_DROPPED)
+            return True
+        return False
+
+    def roll_delay(self) -> bool:
+        if self.rng.random() < self.config.delay:
+            self._count("delayed", MetricNames.CHAOS_DELAYED)
+            return True
+        return False
+
+    def roll_duplicate(self) -> bool:
+        if self.rng.random() < self.config.duplicate:
+            self._count("duplicated", MetricNames.CHAOS_DUPLICATED)
+            return True
+        return False
+
+    def roll_corrupt(self) -> bool:
+        if self.rng.random() < self.config.corrupt:
+            self._count("corrupted", MetricNames.CHAOS_CORRUPTED)
+            return True
+        return False
+
+
+class ChaosStream:
+    """A :class:`~repro.cluster.transport.MessageStream` with send faults.
+
+    Corruption flips bytes *inside the framed payload* while keeping the
+    original (now wrong) CRC, so the peer's decoder detects and drops the
+    frame — the realistic bit-rot path.  Receive passes through clean:
+    chaos on a socket pair only needs to mangle one direction to exercise
+    both endpoints' recovery.
+    """
+
+    def __init__(self, stream, config: ChaosConfig, recorder=None, rng=None) -> None:
+        self.inner = stream
+        self.faults = _FaultRoller(config, recorder, rng)
+
+    def send(self, payload: bytes) -> None:
+        if self.faults.roll_drop():
+            return
+        if self.faults.roll_delay():
+            time.sleep(self.faults.config.delay_seconds)
+        if self.faults.roll_corrupt():
+            frame = bytearray(encode_frame(payload))
+            start = 8  # leave the header intact: CRC must catch the flip
+            pos = self.faults.rng.randrange(start, len(frame))
+            frame[pos] ^= 0xFF
+            self.inner.send_raw(bytes(frame))
+            return
+        self.inner.send(payload)
+        if self.faults.roll_duplicate():
+            self.inner.send(payload)
+
+    def recv(self, timeout: float | None = None):
+        return self.inner.recv(timeout)
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class ChaosTransport:
+    """A master transport wrapper injecting faults in both directions.
+
+    Works over any transport speaking the ``poll/send/workers`` interface
+    (TCP or the in-process queues), which is what the fault-injection
+    test suite drives: scatters can vanish or arrive corrupted, gathers
+    can be dropped, delayed, duplicated, or mangled — and the master's
+    liveness layer must still finish the search with exact coverage.
+    """
+
+    def __init__(self, inner, config: ChaosConfig, recorder=None,
+                 clock=time.monotonic) -> None:
+        self.inner = inner
+        self.faults = _FaultRoller(config, recorder)
+        self._clock = clock
+        self._held: list = []  # (release_time, item) held-back deliveries
+
+    # -- master-transport interface ------------------------------------- #
+    def start(self):
+        if hasattr(self.inner, "start"):
+            self.inner.start()
+        return self
+
+    def poll(self, timeout: float):
+        now = self._clock()
+        for i, (release, item) in enumerate(self._held):
+            if release <= now:
+                del self._held[i]
+                return item
+        item = self.inner.poll(timeout)
+        if item is None:
+            return None
+        worker, payload = item
+        if payload is None:  # disconnect markers are never chaos targets
+            return item
+        if self.faults.roll_drop():
+            return None
+        if self.faults.roll_corrupt():
+            payload = _flip_bytes(payload, self.faults.rng)
+            item = (worker, payload)
+        if self.faults.roll_duplicate():
+            self._held.append((self._clock(), (worker, payload)))
+        if self.faults.roll_delay():
+            self._held.append(
+                (self._clock() + self.faults.config.delay_seconds, item)
+            )
+            return None
+        return item
+
+    def send(self, worker: str, payload: bytes) -> bool:
+        if self.faults.roll_drop():
+            return True  # looks sent; the liveness layer must notice
+        if self.faults.roll_corrupt():
+            payload = _flip_bytes(payload, self.faults.rng)
+        ok = self.inner.send(worker, payload)
+        if ok and self.faults.roll_duplicate():
+            self.inner.send(worker, payload)
+        return ok
+
+    def workers(self):
+        return self.inner.workers()
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)

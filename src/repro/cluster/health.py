@@ -1,0 +1,301 @@
+"""Liveness, deadlines, backoff, and quarantine for distributed workers.
+
+Section III's fault model is "the master monitors the nodes and
+repartitions on failure" — this module is the *monitoring* half, factored
+out of the gather loop so the policy is unit-testable with a fake clock:
+
+* **Heartbeat liveness** — every worker beacons
+  :class:`~repro.cluster.protocol.HeartbeatMessage` at a fixed interval;
+  a worker that misses ``heartbeat_grace`` consecutive intervals is
+  declared dead and its outstanding chunk is requeued, usually long
+  before the chunk's own deadline would expire.
+* **Per-worker chunk deadlines** — the time budget for an assignment is
+  scaled by *that worker's* measured throughput ``X_j``
+  (``deadline_slack * chunk_size / X_j``, floored at ``min_deadline``),
+  so one straggler can never condemn every outstanding worker the way a
+  single global reply timeout does.
+* **Quarantine / circuit breaker** — a worker that fails
+  ``quarantine_failures`` times within ``quarantine_window`` seconds is
+  excluded from dispatch for ``quarantine_period`` seconds, then probed
+  back in with a deliberately small chunk (``probe_chunk``); only a
+  completed probe restores full duty.
+* **Reconnect backoff** — :class:`BackoffPolicy` gives disconnected
+  workers exponential delays with jitter so a flapping master address is
+  not hammered in lockstep.
+
+All state transitions take an explicit ``now`` so tests (and the
+hypothesis property suite) drive the monitor deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+#: Worker lifecycle states the monitor tracks.
+ALIVE = "alive"
+DEAD = "dead"
+QUARANTINED = "quarantined"
+PROBING = "probing"
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Tuning knobs of the liveness model (see docs/FAULT_TOLERANCE.md)."""
+
+    #: Seconds between worker heartbeat beacons.
+    heartbeat_interval: float = 0.2
+    #: Missed intervals before a worker is declared dead.
+    heartbeat_grace: float = 3.0
+    #: Chunk deadline as a multiple of the expected scan time at the
+    #: worker's measured throughput.
+    deadline_slack: float = 4.0
+    #: Absolute floor on any chunk deadline, seconds.
+    min_deadline: float = 0.5
+    #: Failures within ``quarantine_window`` that open the circuit.
+    quarantine_failures: int = 3
+    #: Sliding window (seconds) the failure count is evaluated over.
+    quarantine_window: float = 30.0
+    #: How long a quarantined worker is excluded before it is probed.
+    quarantine_period: float = 5.0
+    #: Size of the small probationary chunk a quarantined worker must
+    #: complete to be restored to full duty.
+    probe_chunk: int = 256
+    #: A chunk older than ``speculation_slack * expected`` is a straggler
+    #: eligible for speculative re-dispatch to an idle worker.
+    speculation_slack: float = 3.0
+    #: Drain window after ``stop_on_first`` fires: how long the master
+    #: waits for cancelled workers' partial replies before returning.
+    cancel_grace: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.heartbeat_grace < 1:
+            raise ValueError("heartbeat_grace must be >= 1")
+        if self.deadline_slack < 1:
+            raise ValueError("deadline_slack must be >= 1")
+        if self.min_deadline <= 0:
+            raise ValueError("min_deadline must be positive")
+        if self.quarantine_failures < 1:
+            raise ValueError("quarantine_failures must be >= 1")
+        if self.quarantine_window <= 0 or self.quarantine_period < 0:
+            raise ValueError("quarantine window/period must be positive")
+        if self.probe_chunk < 1:
+            raise ValueError("probe_chunk must be >= 1")
+        if self.speculation_slack < 1:
+            raise ValueError("speculation_slack must be >= 1")
+        if self.cancel_grace < 0:
+            raise ValueError("cancel_grace must be non-negative")
+
+    @property
+    def heartbeat_timeout(self) -> float:
+        """Silence longer than this declares the worker dead."""
+        return self.heartbeat_interval * self.heartbeat_grace
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff with jitter for worker reconnect attempts."""
+
+    base: float = 0.2
+    cap: float = 15.0
+    multiplier: float = 2.0
+    #: Fraction of the raw delay randomized symmetrically around it.
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.base <= 0 or self.cap < self.base:
+            raise ValueError("need 0 < base <= cap")
+        if self.multiplier < 1:
+            raise ValueError("multiplier must be >= 1")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter must be within [0, 1]")
+
+    def delay(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Seconds to wait before reconnect *attempt* (0-based)."""
+        raw = min(self.cap, self.base * self.multiplier ** max(0, attempt))
+        if self.jitter == 0:
+            return raw
+        draw = (rng.random() if rng is not None else random.random())
+        span = raw * self.jitter
+        return max(0.0, raw - span + 2 * span * draw)
+
+
+@dataclass
+class WorkerHealth:
+    """Everything the monitor knows about one worker."""
+
+    name: str
+    state: str = ALIVE
+    last_heartbeat: float = 0.0
+    failures: list = field(default_factory=list)  #: recent failure times
+    quarantined_until: float = 0.0
+    deaths: int = 0
+    rejoins: int = 0
+
+
+class HealthMonitor:
+    """Per-worker liveness bookkeeping for a master gather loop.
+
+    The loop feeds it heartbeats and failures; the monitor answers
+    *who is dispatchable*, *whose silence has exceeded the grace*, and
+    *which quarantined workers are due a probation probe*.
+    """
+
+    def __init__(
+        self, config: HealthConfig | None = None, clock=time.monotonic
+    ) -> None:
+        self.config = config if config is not None else HealthConfig()
+        self._clock = clock
+        self._workers: dict[str, WorkerHealth] = {}
+
+    # -- introspection --------------------------------------------------- #
+    def known(self) -> list[str]:
+        return sorted(self._workers)
+
+    def get(self, name: str) -> WorkerHealth | None:
+        return self._workers.get(name)
+
+    def state(self, name: str) -> str:
+        entry = self._workers.get(name)
+        return entry.state if entry is not None else DEAD
+
+    def dispatchable(self, name: str) -> bool:
+        """May the master hand this worker a *regular* chunk right now?
+
+        Probing workers are excluded — they hold exactly one probationary
+        chunk until it completes.
+        """
+        return self.state(name) == ALIVE
+
+    # -- transitions ----------------------------------------------------- #
+    def register(self, name: str, now: float | None = None) -> WorkerHealth:
+        now = self._clock() if now is None else now
+        entry = self._workers.get(name)
+        if entry is None:
+            entry = WorkerHealth(name=name, last_heartbeat=now)
+            self._workers[name] = entry
+        return entry
+
+    def heartbeat(self, name: str, now: float | None = None) -> str:
+        """Record a beacon; returns the transition it caused.
+
+        ``"registered"`` — first contact; ``"rejoined"`` — a dead worker
+        came back (and is dispatchable again); ``"quarantined"`` — it
+        came back but the circuit is open, keep it benched; ``""`` — no
+        state change.
+        """
+        now = self._clock() if now is None else now
+        entry = self._workers.get(name)
+        if entry is None:
+            self.register(name, now)
+            return "registered"
+        entry.last_heartbeat = now
+        if entry.state == DEAD:
+            entry.rejoins += 1
+            if self._recent_failures(entry, now) >= self.config.quarantine_failures:
+                entry.state = QUARANTINED
+                entry.quarantined_until = now + self.config.quarantine_period
+                return "quarantined"
+            entry.state = ALIVE
+            return "rejoined"
+        return ""
+
+    def record_failure(self, name: str, now: float | None = None) -> str:
+        """A worker failed (missed heartbeats, blew a deadline, hung up).
+
+        Returns the new state: ``dead``, or ``quarantined`` when the
+        failure count within the window opened the circuit breaker (the
+        worker stays benched even if it immediately heartbeats again).
+        """
+        now = self._clock() if now is None else now
+        entry = self.register(name, now)
+        entry.failures.append(now)
+        entry.deaths += 1
+        cutoff = now - self.config.quarantine_window
+        entry.failures = [t for t in entry.failures if t >= cutoff]
+        if len(entry.failures) >= self.config.quarantine_failures:
+            entry.state = QUARANTINED
+            entry.quarantined_until = now + self.config.quarantine_period
+            return QUARANTINED
+        entry.state = DEAD
+        return DEAD
+
+    def missed_heartbeats(self, now: float | None = None) -> list[str]:
+        """Workers whose beacon silence exceeded the grace — liveness
+        failures the caller should treat like deaths."""
+        now = self._clock() if now is None else now
+        timeout = self.config.heartbeat_timeout
+        return [
+            entry.name
+            for entry in self._workers.values()
+            if entry.state in (ALIVE, PROBING)
+            and now - entry.last_heartbeat > timeout
+        ]
+
+    def recoverable(self, name: str, now: float | None = None) -> bool:
+        """Could this worker still return to duty without outside help?
+
+        ``ALIVE``/``PROBING`` workers obviously can.  A ``DEAD`` or
+        ``QUARANTINED`` worker can too *as long as its beacon is still
+        fresh*: the next heartbeat rejoins it (or the probe path readmits
+        it), and under a lossy network a worker is routinely marked dead
+        moments before its proof-of-life is polled.  Only silence beyond
+        the heartbeat timeout is terminal — when *no* worker is
+        recoverable and keyspace remains, the run has failed.
+        """
+        now = self._clock() if now is None else now
+        entry = self._workers.get(name)
+        if entry is None:
+            return False
+        if entry.state in (ALIVE, PROBING):
+            return True
+        return now - entry.last_heartbeat <= self.config.heartbeat_timeout
+
+    def due_probes(self, now: float | None = None) -> list[str]:
+        """Quarantined workers whose period elapsed *and* who are still
+        heartbeating — ready for a small probationary chunk."""
+        now = self._clock() if now is None else now
+        out = []
+        for entry in self._workers.values():
+            if entry.state != QUARANTINED or now < entry.quarantined_until:
+                continue
+            if now - entry.last_heartbeat > self.config.heartbeat_timeout:
+                continue  # benched *and* silent: nothing to probe
+            out.append(entry.name)
+        return sorted(out)
+
+    def probe_started(self, name: str) -> None:
+        entry = self.register(name)
+        entry.state = PROBING
+
+    def probe_succeeded(self, name: str, now: float | None = None) -> None:
+        """A probationary chunk completed: restore full duty and forget
+        the failure history (the circuit closes clean)."""
+        entry = self.register(name, now)
+        entry.state = ALIVE
+        entry.failures.clear()
+        entry.quarantined_until = 0.0
+
+    # -- deadlines ------------------------------------------------------- #
+    def deadline_for(
+        self,
+        chunk_size: int,
+        rate: float | None,
+        now: float | None = None,
+        fallback: float = 30.0,
+    ) -> float:
+        """Absolute deadline for a chunk of *chunk_size* ids on a worker
+        whose measured throughput is *rate* keys/s (``None`` = unmeasured,
+        use the *fallback* prior — the legacy ``reply_timeout``)."""
+        now = self._clock() if now is None else now
+        if rate is None or rate <= 0:
+            return now + fallback
+        expected = chunk_size / rate
+        return now + max(self.config.min_deadline, self.config.deadline_slack * expected)
+
+    def _recent_failures(self, entry: WorkerHealth, now: float) -> int:
+        cutoff = now - self.config.quarantine_window
+        return sum(1 for t in entry.failures if t >= cutoff)

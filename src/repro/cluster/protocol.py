@@ -27,6 +27,7 @@ MESSAGE_BUDGET = 1024
 _MAGIC_SCATTER = b"XKS\x01"
 _MAGIC_GATHER = b"XKS\x02"
 _MAGIC_HEARTBEAT = b"XKS\x03"
+_MAGIC_CONTROL = b"XKS\x04"
 
 _ID_BYTES = 16  # 128-bit candidate ids
 
@@ -208,6 +209,51 @@ class HeartbeatMessage:
         return cls(node, busy, rate)
 
 
+@dataclass(frozen=True)
+class ControlMessage:
+    """Master -> worker out-of-band command.
+
+    ``cancel`` asks the worker to abandon its current assignment at the
+    next batch boundary (the master no longer needs the chunk — a match
+    was found, or another worker finished the same interval first);
+    ``shutdown`` ends the worker process cleanly.  Commands are advisory:
+    a worker that ignores them is merely slow, never incorrect, because
+    the master's gather path is idempotent.
+    """
+
+    command: str  #: "cancel" | "shutdown"
+    reason: str = ""
+
+    COMMANDS = ("cancel", "shutdown")
+
+    def encode(self) -> bytes:
+        if self.command not in self.COMMANDS:
+            raise ValueError(f"unknown control command {self.command!r}")
+        command_b = self.command.encode("latin-1")
+        reason_b = self.reason.encode("latin-1")
+        out = (
+            _MAGIC_CONTROL
+            + struct.pack("!BB", len(command_b), len(reason_b))
+            + command_b
+            + reason_b
+        )
+        if len(out) > MESSAGE_BUDGET:
+            raise ValueError("control message breaks the <1KB budget")
+        return out
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ControlMessage":
+        if data[:4] != _MAGIC_CONTROL:
+            raise ValueError("not a control message")
+        clen, rlen = struct.unpack_from("!BB", data, 4)
+        pos = 6
+        command = _take(data, pos, clen, "command").decode("latin-1"); pos += clen
+        reason = _take(data, pos, rlen, "reason").decode("latin-1")
+        if command not in cls.COMMANDS:
+            raise ValueError(f"unknown control command {command!r}")
+        return cls(command, reason)
+
+
 def decode_any(data: bytes):
     """Dispatch on the magic header.
 
@@ -220,6 +266,7 @@ def decode_any(data: bytes):
         _MAGIC_SCATTER: ScatterMessage.decode,
         _MAGIC_GATHER: GatherMessage.decode,
         _MAGIC_HEARTBEAT: HeartbeatMessage.decode,
+        _MAGIC_CONTROL: ControlMessage.decode,
     }
     if magic not in decoders:
         raise ValueError(f"unknown message magic {magic!r}")

@@ -1,19 +1,29 @@
-"""An in-process distributed runtime: the full protocol, running for real.
+"""The distributed runtime: one gather loop over pluggable transports.
 
-Everything the paper's system does on a LAN, executed here over thread
-queues standing in for sockets:
+Everything the paper's system does on a LAN, executed either over thread
+queues standing in for sockets (:class:`InProcessTransport`) or over the
+real length-prefixed TCP transport
+(:class:`~repro.cluster.transport.TcpMasterTransport`):
 
 * the master serializes :class:`~repro.cluster.protocol.ScatterMessage`
-  bytes to worker inboxes and decodes
-  :class:`~repro.cluster.protocol.GatherMessage` bytes coming back — the
-  exact payloads whose size Section II bounds;
+  bytes out and decodes :class:`~repro.cluster.protocol.GatherMessage`
+  bytes coming back — the exact payloads whose size Section II bounds;
 * chunk sizes follow each worker's *measured* throughput (the adaptive
   balancing of Section III), starting from equal priors;
-* a worker that stops answering is declared dead after a timeout and its
-  outstanding interval is requeued over the survivors (the minimum fault
-  tolerance model);
-* a :class:`~repro.core.progress.ProgressLog` tracks exactly-once coverage
-  and makes the run resumable.
+* liveness is heartbeat-driven (:class:`~repro.cluster.health.
+  HealthMonitor`): a silent worker is declared dead after the grace and
+  its outstanding interval requeued, per-worker deadlines scale with the
+  worker's own ``X_j`` so a straggler never condemns the survivors, and
+  flapping workers are quarantined then probed back in;
+* stragglers' chunks are speculatively re-dispatched to idle workers and
+  the first reply wins — the gather path is *idempotent*
+  (:func:`~repro.keyspace.intervals.subtract_interval` keeps only the
+  novel pieces of any reply), so duplicates, late replies, and replays
+  can never double-count coverage;
+* a :class:`~repro.core.progress.ProgressLog` tracks exactly-once
+  coverage and makes the run resumable; when every worker is gone the
+  master raises :class:`AllWorkersDeadError` carrying that log (or, with
+  ``fallback="local"``, finishes the remaining gaps itself).
 
 Workers execute the real vectorized crack kernels, so a run of this
 runtime genuinely cracks hashes while exercising every protocol path.
@@ -27,11 +37,19 @@ import time
 from dataclasses import dataclass, field
 
 from repro.apps.cracking import CrackTarget
-from repro.cluster.protocol import GatherMessage, ScatterMessage
+from repro.cluster.health import ALIVE, PROBING, QUARANTINED, HealthConfig, HealthMonitor
+from repro.cluster.protocol import (
+    ControlMessage,
+    GatherMessage,
+    HeartbeatMessage,
+    ScatterMessage,
+    decode_any,
+)
 from repro.core.backend import resolve_backend
 from repro.core.progress import ProgressLog
 from repro.core.results import ResultMixin
 from repro.keyspace import Charset, Interval, split_interval
+from repro.keyspace.intervals import merge_intervals, subtract_interval
 from repro.obs.schema import MetricNames
 
 
@@ -52,74 +70,264 @@ class WorkerConfig:
     pool_workers: int = 1
 
 
-class _Worker(threading.Thread):
-    """A worker node: decode scatter, crack, encode gather."""
+def execute_scatter(
+    msg: ScatterMessage,
+    backend,
+    batch_size: int = 1 << 12,
+    preempt=None,
+    slowdown: float = 0.0,
+    match_cap: int = 8,
+):
+    """Execute one assignment; returns ``(replies, tested, elapsed)``.
 
-    def __init__(self, config: WorkerConfig, master_outbox: queue.Queue) -> None:
+    The shared worker-side engine of both the in-process ``_Worker`` and
+    the TCP :class:`~repro.cluster.transport.WorkerClient`.  The interval
+    is scanned in sub-chunks so a ``preempt`` signal (a cancel control
+    frame) takes effect at a chunk boundary; whatever *did* complete is
+    reported as one :class:`GatherMessage` per contiguous completed
+    region, so a cancelled worker still contributes exact coverage.  A
+    scan cancelled before any sub-chunk finished replies with an explicit
+    empty interval so the master retires the assignment promptly.
+    """
+    started = time.perf_counter()
+    if msg.algorithm == "ntlm":
+        from repro.apps.ntlm import NTLMTarget, crack_ntlm
+
+        ntlm = NTLMTarget(
+            digest=msg.digest,
+            charset=Charset(msg.charset),
+            min_length=msg.min_length,
+            max_length=msg.max_length,
+        )
+        matches = list(crack_ntlm(ntlm, msg.interval, batch_size=batch_size))
+        gathered = [msg.interval] if msg.interval else []
+    else:
+        target = CrackTarget(
+            algorithm=HashAlgorithm(msg.algorithm),
+            digest=msg.digest,
+            charset=Charset(msg.charset),
+            min_length=msg.min_length,
+            max_length=msg.max_length,
+            prefix=msg.prefix,
+            suffix=msg.suffix,
+        )
+        if backend.workers > 1:
+            # A multi-unit node spreads its interval over its own pool,
+            # like the paper's dispatcher inside a node.
+            sub = max(1, msg.interval.size // (backend.workers * 2))
+        else:
+            sub = max(batch_size, -(-msg.interval.size // 8))
+        chunks = split_interval(msg.interval, sub) if msg.interval else []
+        outcome = backend.run(target, chunks, batch_size=batch_size, preempt=preempt)
+        matches = list(outcome.found)
+        unfinished = set(outcome.unfinished)
+        gathered = merge_intervals(c for c in chunks if c not in unfinished)
+    if slowdown:
+        time.sleep(slowdown)
+    elapsed = time.perf_counter() - started
+    tested = sum(iv.size for iv in gathered)
+    replies: list[GatherMessage] = []
+    if not gathered:
+        replies.append(
+            GatherMessage(
+                interval=Interval(msg.interval.start, msg.interval.start),
+                tested=0,
+                elapsed_us=max(1, int(elapsed * 1e6)),
+            )
+        )
+    for iv in gathered:
+        iv_matches = tuple(m for m in matches if m[0] in iv)[:match_cap]
+        share = elapsed * (iv.size / tested) if tested else elapsed
+        replies.append(
+            GatherMessage(
+                interval=iv,
+                tested=iv.size,
+                elapsed_us=max(1, int(share * 1e6)),
+                matches=iv_matches,
+            )
+        )
+    return replies, tested, elapsed
+
+
+class _Worker(threading.Thread):
+    """An in-process worker node: decode scatter, crack, encode gather.
+
+    A separate daemon thread beacons :class:`HeartbeatMessage` at the
+    configured interval — a worker that crashes (``fail_after_chunks``)
+    goes *fully* silent, heartbeats included, which is exactly the signal
+    the master's liveness layer is built to catch.
+    """
+
+    def __init__(
+        self,
+        config: WorkerConfig,
+        master_outbox: queue.Queue,
+        heartbeat_interval: float = 0.2,
+    ) -> None:
         super().__init__(name=f"worker-{config.name}", daemon=True)
         self.config = config
         self.inbox: queue.Queue = queue.Queue()
         self.master_outbox = master_outbox
+        self.cancel_event = threading.Event()
+        self.heartbeat_interval = heartbeat_interval
+        self._halt = threading.Event()
         self._chunks_done = 0
+        self._tested = 0
+        self._elapsed = 0.0
         self._backend = resolve_backend(config.backend, workers=config.pool_workers)
+        self._beacon = threading.Thread(
+            target=self._heartbeat_loop,
+            name=f"heartbeat-{config.name}",
+            daemon=True,
+        )
+
+    def start(self) -> None:
+        super().start()
+        self._beacon.start()
+
+    def deliver(self, payload: bytes) -> None:
+        """Transport entry point — what the master's ``send`` calls.
+
+        Cancel is handled out-of-band: the inbox is not drained while a
+        chunk is being scanned, so the signal reaches the scan through
+        the preempt event instead of queueing behind the work.
+        """
+        try:
+            msg = decode_any(payload)
+        except ValueError:
+            msg = None
+        if isinstance(msg, ControlMessage) and msg.command == "cancel":
+            self.cancel_event.set()
+            return
+        self.inbox.put(payload)
+
+    def shutdown(self) -> None:
+        self.inbox.put(None)
+
+    def _heartbeat_loop(self) -> None:
+        while not self._halt.is_set():
+            rate = int(self._tested / self._elapsed) if self._elapsed > 0 else 0
+            beat = HeartbeatMessage(
+                node=self.config.name, busy=False, rate_keys_per_s=rate
+            )
+            self.master_outbox.put((self.config.name, beat.encode()))
+            self._halt.wait(self.heartbeat_interval)
 
     def run(self) -> None:
-        while True:
-            raw = self.inbox.get()
-            if raw is None:  # shutdown
-                return
-            msg = ScatterMessage.decode(raw)
-            if (
-                self.config.fail_after_chunks is not None
-                and self._chunks_done >= self.config.fail_after_chunks
-            ):
-                continue  # silently drop work: a crashed node
-            started = time.perf_counter()
-            if msg.algorithm == "ntlm":
-                from repro.apps.ntlm import NTLMTarget, crack_ntlm
-
-                ntlm = NTLMTarget(
-                    digest=msg.digest,
-                    charset=Charset(msg.charset),
-                    min_length=msg.min_length,
-                    max_length=msg.max_length,
+        try:
+            while True:
+                raw = self.inbox.get()
+                if raw is None:  # shutdown sentinel
+                    return
+                try:
+                    msg = decode_any(raw)
+                except ValueError:
+                    continue  # garbage frames are dropped, never fatal
+                if isinstance(msg, ControlMessage):
+                    if msg.command == "shutdown":
+                        return
+                    continue
+                if not isinstance(msg, ScatterMessage):
+                    continue
+                if (
+                    self.config.fail_after_chunks is not None
+                    and self._chunks_done >= self.config.fail_after_chunks
+                ):
+                    return  # crash: drop the chunk and go silent
+                self.cancel_event.clear()
+                replies, tested, elapsed = execute_scatter(
+                    msg,
+                    self._backend,
+                    batch_size=self.config.batch_size,
+                    preempt=self.cancel_event.is_set,
+                    slowdown=self.config.slowdown,
                 )
-                matches = crack_ntlm(ntlm, msg.interval, batch_size=self.config.batch_size)
-            else:
-                target = CrackTarget(
-                    algorithm=HashAlgorithm(msg.algorithm),
-                    digest=msg.digest,
-                    charset=Charset(msg.charset),
-                    min_length=msg.min_length,
-                    max_length=msg.max_length,
-                    prefix=msg.prefix,
-                    suffix=msg.suffix,
-                )
-                if self._backend.workers > 1:
-                    # A multi-unit node spreads its interval over its own
-                    # pool, like the paper's dispatcher inside a node.
-                    sub = max(1, msg.interval.size // (self._backend.workers * 2))
-                    chunks = split_interval(msg.interval, sub)
-                else:
-                    chunks = [msg.interval]
-                outcome = self._backend.run(
-                    target, chunks, batch_size=self.config.batch_size
-                )
-                matches = outcome.found
-            if self.config.slowdown:
-                time.sleep(self.config.slowdown)
-            elapsed = time.perf_counter() - started
-            reply = GatherMessage(
-                interval=msg.interval,
-                tested=msg.interval.size,
-                elapsed_us=max(1, int(elapsed * 1e6)),
-                matches=tuple(matches[:8]),  # wire budget: cap the list
-            )
-            self.master_outbox.put((self.config.name, reply.encode()))
-            self._chunks_done += 1
+                self._chunks_done += 1
+                self._tested += tested
+                self._elapsed += elapsed
+                for reply in replies:
+                    self.master_outbox.put((self.config.name, reply.encode()))
+        finally:
+            self._halt.set()
 
 
 from repro.kernels.variants import HashAlgorithm  # noqa: E402
+
+
+class InProcessTransport:
+    """Thread-queue transport with the same interface as the TCP master.
+
+    ``send`` never fails — a crashed worker's inbox still accepts frames,
+    like a kernel socket buffering toward a dead peer — so liveness must
+    come from heartbeats and deadlines, exactly as over a real network.
+    """
+
+    def __init__(
+        self, configs: list[WorkerConfig], heartbeat_interval: float = 0.2
+    ) -> None:
+        names = [cfg.name for cfg in configs]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate worker names")
+        self._inbound: queue.Queue = queue.Queue()
+        self._workers = {
+            cfg.name: _Worker(cfg, self._inbound, heartbeat_interval)
+            for cfg in configs
+        }
+        self._started = False
+
+    def start(self) -> "InProcessTransport":
+        if not self._started:
+            self._started = True
+            for worker in self._workers.values():
+                worker.start()
+        return self
+
+    def poll(self, timeout: float):
+        try:
+            return self._inbound.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def send(self, name: str, payload: bytes) -> bool:
+        worker = self._workers.get(name)
+        if worker is None:
+            return False
+        worker.deliver(payload)
+        return True
+
+    def workers(self) -> list[str]:
+        return sorted(self._workers)
+
+    def close(self) -> None:
+        for worker in self._workers.values():
+            worker.shutdown()
+
+
+class AllWorkersDeadError(RuntimeError):
+    """Every worker is gone and unfinished keyspace remains.
+
+    Carries the exact coverage at the moment of failure so callers — the
+    job scheduler, the CLI — can checkpoint it and resume the run later
+    instead of restarting from zero: ``progress`` is the
+    :class:`ProgressLog`, ``partial`` the :class:`RuntimeResult` with
+    everything gathered so far.
+    """
+
+    def __init__(self, message: str, progress=None, partial=None) -> None:
+        super().__init__(message)
+        self.progress = progress
+        self.partial = partial
+
+
+@dataclass
+class _Dispatch:
+    """One outstanding assignment the master is waiting on."""
+
+    chunk: Interval
+    sent_at: float
+    deadline: float
+    speculative: bool = False
+    probe: bool = False
 
 
 @dataclass
@@ -140,32 +348,66 @@ class RuntimeResult(ResultMixin):
     elapsed: float = 0.0  #: master wall-clock for the whole run
     backend: str = "distributed"
     metrics: dict | None = None  #: repro-metrics/v1 payload when recorded
+    # -- fault-tolerance accounting ------------------------------------- #
+    heartbeats: int = 0  #: beacons the master consumed
+    reconnects: int = 0  #: dead workers that rejoined
+    late_replies: int = 0  #: replies with no matching outstanding dispatch
+    duplicates: int = 0  #: replies whose coverage was already complete
+    speculated: int = 0  #: straggler chunks re-dispatched speculatively
+    speculative_wins: int = 0  #: speculative copies that beat the original
+    cancels_sent: int = 0  #: cancel control frames sent
+    corrupt_payloads: int = 0  #: undecodable inbound payloads dropped
+    quarantined: list = field(default_factory=list)  #: circuit-broken workers
+    fallback_used: bool = False  #: remaining gaps were finished locally
 
 
 class DistributedMaster:
-    """Drives a crack target (MD5/SHA1/NTLM) over protocol-speaking workers."""
+    """Drives a crack target (MD5/SHA1/NTLM) over protocol-speaking workers.
+
+    Two construction modes: the legacy in-process one (pass ``workers``,
+    a list of :class:`WorkerConfig` — the master builds and owns an
+    :class:`InProcessTransport` per run), or transport mode (pass a
+    started ``transport`` such as :class:`~repro.cluster.transport.
+    TcpMasterTransport` — the caller owns its lifetime).  Either way the
+    gather loop is the same: heartbeat liveness, per-worker deadlines,
+    quarantine + probes, speculation, idempotent first-reply-wins dedup.
+    """
 
     def __init__(
         self,
         target,
-        workers: list[WorkerConfig],
+        workers: list[WorkerConfig] | None = None,
         chunk_size: int = 5000,
         reply_timeout: float = 30.0,
         adaptive: bool = False,
+        transport=None,
+        health: HealthConfig | None = None,
+        fallback: str | None = None,
+        clock=time.monotonic,
     ) -> None:
-        if not workers:
+        if transport is None and not workers:
             raise ValueError("need at least one worker")
-        if len({w.name for w in workers}) != len(workers):
+        if transport is not None and workers:
+            raise ValueError("pass worker configs or a transport, not both")
+        if workers and len({w.name for w in workers}) != len(workers):
             raise ValueError("duplicate worker names")
         if chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
+        if fallback not in (None, "local"):
+            raise ValueError("fallback must be None or 'local'")
         self.target = target
-        self.worker_configs = list(workers)
+        self.worker_configs = list(workers) if workers else []
         self.chunk_size = chunk_size
+        #: With no measured throughput yet, the prior deadline for any
+        #: assignment (the legacy global reply timeout, now per-worker).
         self.reply_timeout = reply_timeout
         #: Size chunks by each worker's *measured* throughput (Section III's
         #: adaptive balancing): ``N_j = N_max * (X_j / X_max)``.
         self.adaptive = adaptive
+        self.transport = transport
+        self.health = health if health is not None else HealthConfig()
+        self.fallback = fallback
+        self.clock = clock
 
     # ------------------------------------------------------------------ #
     def run(
@@ -186,9 +428,15 @@ class DistributedMaster:
         master persists its coverage through the same durable store
         (:class:`repro.service.JobStore`) checkpointed local runs use.
         ``recorder`` (a :class:`repro.obs.Recorder`) captures the per-node
-        chunk timeline, adaptive rebalance decisions, and fault events
-        (worker deaths and requeues); the export lands on
+        chunk timeline, adaptive rebalance decisions, and every fault
+        event — heartbeat misses, deadline expiries, quarantines, probes,
+        speculations, late/duplicate replies; the export lands on
         ``result.metrics``.
+
+        Raises :class:`AllWorkersDeadError` (a ``RuntimeError``) when no
+        worker is recoverable and keyspace remains — unless the master
+        was built with ``fallback="local"``, in which case the remaining
+        gaps are finished on a local serial backend.
         """
         if checkpoint_every <= 0:
             raise ValueError("checkpoint_every must be positive")
@@ -197,27 +445,38 @@ class DistributedMaster:
         log = progress if progress is not None else ProgressLog(total=interval.stop)
         result = RuntimeResult(progress=log)
         run_started = time.perf_counter()
+        clock = self.clock
+        health = HealthMonitor(self.health, clock=clock)
         last_chunk_sizes: dict[str, int] = {}
 
-        replies: queue.Queue = queue.Queue()
-        threads = {cfg.name: _Worker(cfg, replies) for cfg in self.worker_configs}
-        for t in threads.values():
-            t.start()
-        alive = set(threads)
-        outstanding: dict[str, Interval] = {}
-        pending_gaps = [
-            gap
-            for gap in log.remaining()
-            if gap.overlaps(interval)
-        ]
-        queue_intervals: list[Interval] = [
-            Interval(max(gap.start, interval.start), min(gap.stop, interval.stop))
-            for gap in pending_gaps
-        ]
-        queue_intervals = [iv for iv in queue_intervals if iv]
+        own_transport = self.transport is None
+        transport = (
+            InProcessTransport(
+                self.worker_configs,
+                heartbeat_interval=self.health.heartbeat_interval,
+            )
+            if own_transport
+            else self.transport
+        )
+        transport.start()
 
+        pending: list[Interval] = []
+        for gap in log.remaining():
+            if not gap.overlaps(interval):
+                continue
+            clipped = Interval(max(gap.start, interval.start), min(gap.stop, interval.stop))
+            if clipped:
+                pending.append(clipped)
+
+        outstanding: dict[str, _Dispatch] = {}
+        #: chunk (start, stop) -> the workers currently scanning it; more
+        #: than one entry means a speculative copy is racing the original.
+        inflight: dict[tuple, set] = {}
         tested_by: dict[str, int] = {}
         elapsed_by: dict[str, float] = {}
+        stopping = False
+        stop_deadline = 0.0
+        tick = min(0.05, self.health.heartbeat_interval / 4)
 
         def chunk_size_for(worker: str) -> int:
             """Per-worker chunk: measured ``N_j = N_max * X_j / X_max``."""
@@ -247,22 +506,24 @@ class DistributedMaster:
             return size
 
         def next_chunk(size: int) -> Interval | None:
-            while queue_intervals:
-                head = queue_intervals[0]
+            while pending:
+                head = pending[0]
                 chunk, rest = head.take(size)
                 if rest:
-                    queue_intervals[0] = rest
+                    pending[0] = rest
                 else:
-                    queue_intervals.pop(0)
+                    pending.pop(0)
                 if chunk:
                     return chunk
             return None
 
-        def dispatch(worker: str) -> bool:
-            chunk = next_chunk(chunk_size_for(worker))
-            if chunk is None:
-                return False
-            msg = ScatterMessage(
+        def remove_from_pending(piece: Interval) -> None:
+            pending[:] = [
+                part for iv in pending for part in subtract_interval(iv, [piece])
+            ]
+
+        def scatter_for(chunk: Interval) -> ScatterMessage:
+            return ScatterMessage(
                 interval=chunk,
                 digest=target.digest,
                 charset=target.charset.symbols,
@@ -271,108 +532,429 @@ class DistributedMaster:
                 prefix=getattr(target, "prefix", b""),
                 suffix=getattr(target, "suffix", b""),
                 algorithm=(
-                    target.algorithm.value
-                    if hasattr(target, "algorithm")
-                    else "ntlm"
+                    target.algorithm.value if hasattr(target, "algorithm") else "ntlm"
                 ),
             )
-            raw = msg.encode()
+
+        def note_quarantined(worker: str) -> None:
+            if worker not in result.quarantined:
+                result.quarantined.append(worker)
+            if recorder is not None:
+                recorder.event(MetricNames.EVENT_WORKER_QUARANTINED, worker=worker)
+
+        def dispatch(
+            worker: str,
+            chunk: Interval | None = None,
+            probe: bool = False,
+            speculative: bool = False,
+        ) -> bool:
+            if stopping:
+                return False
+            if chunk is None:
+                size = self.health.probe_chunk if probe else chunk_size_for(worker)
+                chunk = next_chunk(size)
+                if chunk is None:
+                    return False
+            raw = scatter_for(chunk).encode()
+            now = clock()
+            deadline = health.deadline_for(
+                chunk.size,
+                result.worker_throughput.get(worker),
+                now=now,
+                fallback=self.reply_timeout,
+            )
+            outstanding[worker] = _Dispatch(
+                chunk, now, deadline, speculative=speculative, probe=probe
+            )
+            inflight.setdefault((chunk.start, chunk.stop), set()).add(worker)
             result.bytes_sent += len(raw)
-            outstanding[worker] = chunk
-            threads[worker].inbox.put(raw)
+            if not transport.send(worker, raw):
+                fail(worker, "send-failed", now)
             return True
 
-        # Prime every worker with one chunk.
-        for name in list(alive):
-            if not dispatch(name):
-                break
-        stopping = False
-        try:
-            while outstanding:
-                try:
-                    name, raw = replies.get(timeout=self.reply_timeout)
-                except queue.Empty:
-                    # Every outstanding worker missed the deadline: declare
-                    # them dead and requeue their intervals (Section III's
-                    # monitoring + repartitioning).
-                    for dead, chunk in list(outstanding.items()):
-                        alive.discard(dead)
-                        result.dead_workers.append(dead)
-                        result.requeued += chunk.size
-                        queue_intervals.insert(0, chunk)
-                        del outstanding[dead]
+        def fail(worker: str, reason: str, now: float) -> None:
+            """A liveness failure: requeue the assignment, maybe quarantine."""
+            dead_dispatch = outstanding.pop(worker, None)
+            state_after = health.record_failure(worker, now)
+            result.dead_workers.append(worker)
+            if recorder is not None:
+                recorder.event(
+                    MetricNames.EVENT_WORKER_DEAD, worker=worker, reason=reason
+                )
+                if dead_dispatch is not None:
+                    recorder.counter(MetricNames.CLUSTER_CHUNKS_FAILED)
+            if dead_dispatch is not None:
+                chunk = dead_dispatch.chunk
+                key = (chunk.start, chunk.stop)
+                holders = inflight.get(key, set())
+                holders.discard(worker)
+                if not holders:
+                    # No speculative twin still carries this chunk: requeue
+                    # whatever of it is not already covered.
+                    inflight.pop(key, None)
+                    requeue = subtract_interval(chunk, log.completed)
+                    for piece in reversed(requeue):
+                        pending.insert(0, piece)
+                    requeued = sum(p.size for p in requeue)
+                    if requeued:
+                        result.requeued += requeued
                         if recorder is not None:
-                            recorder.counter(MetricNames.CLUSTER_CHUNKS_FAILED)
-                            recorder.counter(MetricNames.CLUSTER_REQUEUED, chunk.size)
-                            recorder.event(
-                                MetricNames.EVENT_WORKER_DEAD, worker=dead
-                            )
+                            recorder.counter(MetricNames.CLUSTER_REQUEUED, requeued)
                             recorder.event(
                                 MetricNames.EVENT_CHUNK_REQUEUED,
-                                worker=dead,
+                                worker=worker,
                                 start=chunk.start,
                                 stop=chunk.stop,
                             )
-                    if not alive:
-                        raise RuntimeError("all workers died before completion")
-                    for name in list(alive):
-                        if name not in outstanding and not dispatch(name):
-                            break
-                    continue
-                reply = GatherMessage.decode(raw)
-                result.bytes_received += len(raw)
-                expected = outstanding.pop(name, None)
-                if expected != reply.interval:  # pragma: no cover - defensive
-                    raise RuntimeError("protocol violation: interval mismatch")
-                log.mark_done(reply.interval, reply.matches)
-                result.found.extend(reply.matches)
-                result.chunks += 1
-                result.tested += reply.tested
-                if checkpoint is not None and result.chunks % checkpoint_every == 0:
-                    checkpoint(log)
+            if state_after == QUARANTINED:
+                note_quarantined(worker)
+
+        def begin_stop(now: float) -> None:
+            nonlocal stopping, stop_deadline
+            stopping = True
+            stop_deadline = now + self.health.cancel_grace
+            if outstanding:
+                raw = ControlMessage("cancel", "stop_on_first").encode()
+                for worker in list(outstanding):
+                    transport.send(worker, raw)
+                    result.cancels_sent += 1
                     if recorder is not None:
-                        recorder.counter(MetricNames.SERVICE_CHECKPOINTS)
-                tested_by[name] = tested_by.get(name, 0) + reply.tested
-                elapsed_by[name] = elapsed_by.get(name, 0.0) + reply.elapsed_us / 1e6
-                if elapsed_by[name] > 0:
-                    result.worker_throughput[name] = tested_by[name] / elapsed_by[name]
+                        recorder.event(
+                            MetricNames.EVENT_CANCEL_SENT,
+                            worker=worker,
+                            reason="stop_on_first",
+                        )
+
+        def handle_heartbeat(name: str, rate: int, now: float) -> None:
+            transition = health.heartbeat(name, now)
+            result.heartbeats += 1
+            if recorder is not None:
+                recorder.counter(MetricNames.CLUSTER_HEARTBEATS, worker=name)
+            if name not in result.worker_throughput and rate > 0:
+                # A reconnecting worker advertises its measured rate, so
+                # deadlines are right-sized from its very first chunk.
+                result.worker_throughput[name] = float(rate)
+            if transition == "registered":
                 if recorder is not None:
-                    recorder.counter(MetricNames.CLUSTER_CHUNKS, worker=name)
-                    recorder.span_record(
-                        MetricNames.PHASE_SEARCH,
-                        reply.elapsed_us / 1e6,
-                        backend="distributed",
-                        worker=name,
-                    )
+                    recorder.event(MetricNames.EVENT_WORKER_CONNECTED, worker=name)
+                dispatch(name)
+            elif transition == "rejoined":
+                result.reconnects += 1
+                if recorder is not None:
+                    recorder.counter(MetricNames.CLUSTER_RECONNECTS)
+                    recorder.event(MetricNames.EVENT_WORKER_REJOINED, worker=name)
+                dispatch(name)
+            elif transition == "quarantined":
+                note_quarantined(name)
+
+        def handle_reply(name: str, reply: GatherMessage, now: float) -> None:
+            dispatched = outstanding.get(name)
+            consumed = (
+                dispatched is not None
+                and dispatched.chunk.start <= reply.interval.start
+                and reply.interval.stop <= dispatched.chunk.stop
+            )
+            if consumed:
+                del outstanding[name]
+            else:
+                # Late or unsolicited: a worker we already declared dead
+                # (or whose chunk was cancelled) finished anyway.  Its
+                # coverage still counts — exactly once — and the reply
+                # doubles as proof of life.
+                result.late_replies += 1
+                if recorder is not None:
                     recorder.event(
-                        MetricNames.EVENT_CHUNK_DONE,
+                        MetricNames.EVENT_LATE_REPLY,
                         worker=name,
                         start=reply.interval.start,
                         stop=reply.interval.stop,
-                        elapsed_us=reply.elapsed_us,
                     )
-                if stop_on_first and result.found:
-                    stopping = True
-                if not stopping:
-                    dispatch(name)
+                handle_heartbeat(name, 0, now)
+            lo = max(reply.interval.start, interval.start)
+            hi = min(reply.interval.stop, interval.stop)
+            covered_part = Interval(lo, hi) if hi > lo else None
+            novel = (
+                subtract_interval(covered_part, log.completed) if covered_part else []
+            )
+            if covered_part is not None and not novel:
+                result.duplicates += 1
+                if recorder is not None:
+                    recorder.counter(MetricNames.CLUSTER_DUPLICATES)
+            for piece in novel:
+                piece_matches = tuple(m for m in reply.matches if m[0] in piece)
+                log.mark_done(piece, piece_matches)
+                result.found.extend(piece_matches)
+                result.tested += piece.size
+                remove_from_pending(piece)
+            if reply.tested:
+                tested_by[name] = tested_by.get(name, 0) + reply.tested
+                elapsed_by[name] = elapsed_by.get(name, 0.0) + reply.elapsed_us / 1e6
+                if elapsed_by[name] > 0:
+                    result.worker_throughput[name] = (
+                        tested_by[name] / elapsed_by[name]
+                    )
+            if recorder is not None and reply.interval:
+                recorder.counter(MetricNames.CLUSTER_CHUNKS, worker=name)
+                recorder.span_record(
+                    MetricNames.PHASE_SEARCH,
+                    reply.elapsed_us / 1e6,
+                    backend="distributed",
+                    worker=name,
+                )
+                recorder.event(
+                    MetricNames.EVENT_CHUNK_DONE,
+                    worker=name,
+                    start=reply.interval.start,
+                    stop=reply.interval.stop,
+                    elapsed_us=reply.elapsed_us,
+                )
+            if not consumed:
+                return
+            if reply.interval:
+                result.chunks += 1
+            # First reply wins: retire every other copy of the chunk.
+            key = (dispatched.chunk.start, dispatched.chunk.stop)
+            holders = inflight.pop(key, set())
+            holders.discard(name)
+            for other in holders:
+                outstanding.pop(other, None)
+                transport.send(
+                    other, ControlMessage("cancel", "completed elsewhere").encode()
+                )
+                result.cancels_sent += 1
+                if recorder is not None:
+                    recorder.event(
+                        MetricNames.EVENT_CANCEL_SENT, worker=other, reason="dedup"
+                    )
+            if dispatched.speculative and reply.interval:
+                result.speculative_wins += 1
+                if recorder is not None:
+                    recorder.event(
+                        MetricNames.EVENT_SPECULATION_WIN,
+                        worker=name,
+                        start=dispatched.chunk.start,
+                        stop=dispatched.chunk.stop,
+                    )
+            if dispatched.probe and reply.interval:
+                health.probe_succeeded(name, now)
+                if recorder is not None:
+                    recorder.event(
+                        MetricNames.EVENT_WORKER_PROBED, worker=name, ok=True
+                    )
+            if not stopping:
+                # Any part of the assignment neither this (possibly
+                # partial) reply nor anyone else delivered goes back on
+                # the queue.
+                leftover = subtract_interval(dispatched.chunk, log.completed)
+                for other_dispatch in outstanding.values():
+                    leftover = [
+                        part
+                        for piece in leftover
+                        for part in subtract_interval(piece, [other_dispatch.chunk])
+                    ]
+                for piece in reversed(leftover):
+                    pending.insert(0, piece)
+            if (
+                checkpoint is not None
+                and reply.interval
+                and result.chunks % checkpoint_every == 0
+            ):
+                checkpoint(log)
+                if recorder is not None:
+                    recorder.counter(MetricNames.SERVICE_CHECKPOINTS)
+            if not stopping and health.dispatchable(name):
+                dispatch(name)
+
+        def try_speculate(worker: str, now: float) -> bool:
+            """Give an idle worker a copy of the oldest straggler chunk."""
+            best_name, best = None, None
+            for other, d in outstanding.items():
+                if other == worker or d.probe:
+                    continue
+                if len(inflight.get((d.chunk.start, d.chunk.stop), ())) > 1:
+                    continue  # already has a speculative copy
+                expected = (d.deadline - d.sent_at) / self.health.deadline_slack
+                # Never speculate before a full liveness window has passed:
+                # a *silently dead* straggler should be caught (and its
+                # chunk requeued) by the heartbeat timeout, not papered
+                # over; speculation is for workers that are alive but slow.
+                straggler_age = max(
+                    self.health.speculation_slack * expected,
+                    self.health.heartbeat_timeout,
+                )
+                if now - d.sent_at <= straggler_age:
+                    continue
+                if best is None or d.sent_at < best.sent_at:
+                    best_name, best = other, d
+            if best is None:
+                return False
+            result.speculated += 1
+            if recorder is not None:
+                recorder.counter(MetricNames.CLUSTER_SPECULATED)
+                recorder.event(
+                    MetricNames.EVENT_CHUNK_SPECULATED,
+                    worker=worker,
+                    origin=best_name,
+                    start=best.chunk.start,
+                    stop=best.chunk.stop,
+                )
+            dispatch(worker, chunk=best.chunk, speculative=True)
+            return True
+
+        def run_local_fallback() -> None:
+            """Graceful degradation: finish the remaining gaps in-process."""
+            result.fallback_used = True
+            gaps = merge_intervals(pending)
+            pending.clear()
+            if recorder is not None:
+                recorder.event(
+                    MetricNames.EVENT_FALLBACK_LOCAL,
+                    remaining=sum(g.size for g in gaps),
+                )
+            if hasattr(target, "algorithm"):
+                backend = resolve_backend("serial")
+                chunks = [
+                    c for gap in gaps for c in split_interval(gap, self.chunk_size)
+                ]
+                outcome = backend.run(
+                    target, chunks, batch_size=1 << 14, stop_on_first=stop_on_first
+                )
+                unfinished = set(outcome.unfinished)
+                for chunk in chunks:
+                    if chunk in unfinished:
+                        continue
+                    chunk_matches = tuple(
+                        m for m in outcome.found if m[0] in chunk
+                    )
+                    for piece in subtract_interval(chunk, log.completed):
+                        log.mark_done(
+                            piece, tuple(m for m in chunk_matches if m[0] in piece)
+                        )
+                    result.chunks += 1
+                    result.tested += chunk.size
+                result.found.extend(outcome.found)
+            else:
+                from repro.apps.ntlm import crack_ntlm
+
+                for gap in gaps:
+                    matches = crack_ntlm(target, gap)
+                    for piece in subtract_interval(gap, log.completed):
+                        log.mark_done(
+                            piece, tuple(m for m in matches if m[0] in piece)
+                        )
+                    result.found.extend(matches)
+                    result.chunks += 1
+                    result.tested += gap.size
+                    if stop_on_first and result.found:
+                        break
+
+        def finalize() -> None:
+            result.found.sort()
+            result.elapsed = time.perf_counter() - run_started
+            if recorder is not None:
+                for name, rate in sorted(result.worker_throughput.items()):
+                    recorder.gauge(
+                        MetricNames.WORKER_KEYS_PER_SECOND,
+                        rate,
+                        backend="distributed",
+                        worker=name,
+                    )
+                result.metrics = recorder.export()
+
+        try:
+            now = clock()
+            for name in transport.workers():
+                health.register(name, now)
+                if recorder is not None:
+                    recorder.event(MetricNames.EVENT_WORKER_CONNECTED, worker=name)
+                dispatch(name)
+            while True:
+                now = clock()
+                if stopping:
+                    if not outstanding or now >= stop_deadline:
+                        break
+                elif not pending and not outstanding:
+                    break
+                item = transport.poll(tick)
+                now = clock()
+                if item is not None:
+                    name, payload = item
+                    if payload is None:
+                        # The transport saw the connection drop.
+                        if health.state(name) in (ALIVE, PROBING):
+                            fail(name, "disconnect", now)
+                    else:
+                        try:
+                            msg = decode_any(payload)
+                        except ValueError:
+                            result.corrupt_payloads += 1
+                            if recorder is not None:
+                                recorder.counter(MetricNames.CLUSTER_CORRUPT)
+                            msg = None
+                        if isinstance(msg, HeartbeatMessage):
+                            handle_heartbeat(name, msg.rate_keys_per_s, now)
+                        elif isinstance(msg, GatherMessage):
+                            result.bytes_received += len(payload)
+                            handle_reply(name, msg, now)
+                if stop_on_first and result.found and not stopping:
+                    begin_stop(now)
+                if stopping:
+                    continue
+                for worker in health.missed_heartbeats(now):
+                    if recorder is not None:
+                        recorder.event(
+                            MetricNames.EVENT_HEARTBEAT_MISSED, worker=worker
+                        )
+                    fail(worker, "heartbeat", now)
+                for worker, d in list(outstanding.items()):
+                    if now > d.deadline:
+                        if recorder is not None:
+                            recorder.event(
+                                MetricNames.EVENT_DEADLINE_EXPIRED,
+                                worker=worker,
+                                start=d.chunk.start,
+                                stop=d.chunk.stop,
+                            )
+                        fail(worker, "deadline", now)
+                for worker in health.due_probes(now):
+                    if worker in outstanding or not pending:
+                        continue
+                    health.probe_started(worker)
+                    if recorder is not None:
+                        recorder.event(
+                            MetricNames.EVENT_WORKER_PROBED, worker=worker, ok=False
+                        )
+                    dispatch(worker, probe=True)
+                if (
+                    pending
+                    and not outstanding
+                    and health.known()
+                    and not any(
+                        health.recoverable(w, now) for w in health.known()
+                    )
+                ):
+                    if self.fallback == "local":
+                        run_local_fallback()
+                        break
+                    finalize()
+                    raise AllWorkersDeadError(
+                        "all workers died before completion",
+                        progress=log,
+                        partial=result,
+                    )
+                for worker in transport.workers():
+                    if worker in outstanding or not health.dispatchable(worker):
+                        continue
+                    if not dispatch(worker):
+                        try_speculate(worker, now)
         finally:
-            for t in threads.values():
-                t.inbox.put(None)
+            if own_transport:
+                transport.close()
             # Final durable write: whatever was gathered survives the run,
             # even when the loop above raised (e.g. every worker died).
             if checkpoint is not None:
                 checkpoint(log)
                 if recorder is not None:
                     recorder.counter(MetricNames.SERVICE_CHECKPOINTS)
-        result.found.sort()
-        result.elapsed = time.perf_counter() - run_started
-        if recorder is not None:
-            for name, rate in sorted(result.worker_throughput.items()):
-                recorder.gauge(
-                    MetricNames.WORKER_KEYS_PER_SECOND,
-                    rate,
-                    backend="distributed",
-                    worker=name,
-                )
-            result.metrics = recorder.export()
+        finalize()
         return result

@@ -1,0 +1,521 @@
+"""Real TCP master/worker transport for the dispatch protocol.
+
+The in-process runtime (:mod:`repro.cluster.runtime`) proved the protocol
+over thread queues; this module carries the *same* wire messages
+(:mod:`repro.cluster.protocol`) across real sockets, the way the paper's
+cluster and HashKitty-style client/server crackers actually run:
+
+* **Framing** — every message travels as a length + CRC32 prefixed frame.
+  The CRC turns random corruption into a *detected drop* (the liveness
+  layer retries it) instead of a silently wrong decode; an insane length
+  prefix means the byte stream itself is lost, which closes the
+  connection and lets the worker's reconnect logic take over.
+* **Registration** — a worker's first frame is a
+  :class:`~repro.cluster.protocol.HeartbeatMessage` carrying its name; the
+  master keys the connection by that name, so a reconnecting worker
+  replaces its old (dead) connection and keeps its identity, throughput
+  history, and quarantine record.
+* **Master side** — :class:`TcpMasterTransport` funnels every worker's
+  frames into one inbound queue shaped exactly like the in-process
+  transport's, so :class:`~repro.cluster.runtime.DistributedMaster` runs
+  unchanged over either.
+* **Worker side** — :class:`WorkerClient` executes scatter assignments on
+  a local execution backend, beacons heartbeats from a side thread,
+  honours ``cancel`` control frames at batch boundaries, and reconnects
+  with exponential backoff + jitter when the link drops.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import struct
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+
+from repro.cluster.health import BackoffPolicy
+from repro.cluster.protocol import (
+    ControlMessage,
+    HeartbeatMessage,
+    MESSAGE_BUDGET,
+    ScatterMessage,
+    decode_any,
+)
+from repro.obs.schema import MetricNames
+
+#: length (4 bytes) + CRC32 of the payload (4 bytes), network order.
+FRAME_HEADER = struct.Struct("!II")
+
+#: Hard ceiling on a frame payload.  Protocol messages respect the <1KB
+#: budget, so anything bigger is a desynchronized or hostile stream.
+MAX_FRAME_PAYLOAD = 4 * MESSAGE_BUDGET
+
+#: How long the master waits for a fresh connection's registration frame.
+REGISTER_TIMEOUT = 5.0
+
+
+class FrameError(ValueError):
+    """The byte stream cannot be framed any more (fatal for the link)."""
+
+
+class ConnectionClosed(ConnectionError):
+    """The peer hung up (or the stream desynchronized beyond recovery)."""
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Wrap one protocol message in a length+CRC frame."""
+    if len(payload) > MAX_FRAME_PAYLOAD:
+        raise FrameError(f"frame payload of {len(payload)} bytes exceeds "
+                         f"{MAX_FRAME_PAYLOAD}")
+    return FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame parser over an arbitrary chunking of the stream.
+
+    ``feed`` returns every *complete, checksum-valid* payload.  A frame
+    whose CRC does not match is counted on :attr:`corrupt` and skipped —
+    the length prefix still delimits it, so the stream stays in sync.  A
+    length prefix beyond :data:`MAX_FRAME_PAYLOAD` raises
+    :class:`FrameError`: framing itself is lost and the connection must
+    be torn down.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self.corrupt = 0
+
+    def feed(self, data: bytes) -> list[bytes]:
+        self._buffer.extend(data)
+        out: list[bytes] = []
+        while len(self._buffer) >= FRAME_HEADER.size:
+            length, crc = FRAME_HEADER.unpack_from(self._buffer)
+            if length > MAX_FRAME_PAYLOAD:
+                raise FrameError(f"frame length {length} exceeds "
+                                 f"{MAX_FRAME_PAYLOAD}: stream desynchronized")
+            end = FRAME_HEADER.size + length
+            if len(self._buffer) < end:
+                break
+            payload = bytes(self._buffer[FRAME_HEADER.size:end])
+            del self._buffer[:end]
+            if zlib.crc32(payload) != crc:
+                self.corrupt += 1
+                continue
+            out.append(payload)
+        return out
+
+
+class MessageStream:
+    """A framed, thread-safe message pipe over one connected socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - not a TCP socket (tests)
+            pass
+        self._sock = sock
+        self._decoder = FrameDecoder()
+        self._pending: list[bytes] = []
+        self._send_lock = threading.Lock()
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    @property
+    def corrupt_frames(self) -> int:
+        return self._decoder.corrupt
+
+    def send(self, payload: bytes) -> None:
+        self.send_raw(encode_frame(payload))
+
+    def send_raw(self, frame: bytes) -> None:
+        """Ship pre-framed bytes (the chaos wrapper's corruption hook)."""
+        try:
+            with self._send_lock:
+                self._sock.sendall(frame)
+                self.bytes_sent += len(frame)
+        except OSError as exc:
+            raise ConnectionClosed(f"send failed: {exc}") from exc
+
+    def recv(self, timeout: float | None = None) -> bytes | None:
+        """Next payload, ``None`` on timeout; :class:`ConnectionClosed` on
+        EOF or an unrecoverable framing fault."""
+        if self._pending:
+            return self._pending.pop(0)
+        self._sock.settimeout(timeout)
+        while True:
+            try:
+                data = self._sock.recv(65536)
+            except (TimeoutError, socket.timeout):
+                return None
+            except OSError as exc:
+                raise ConnectionClosed(f"recv failed: {exc}") from exc
+            if not data:
+                raise ConnectionClosed("peer closed the connection")
+            self.bytes_received += len(data)
+            try:
+                frames = self._decoder.feed(data)
+            except FrameError as exc:
+                raise ConnectionClosed(str(exc)) from exc
+            if frames:
+                self._pending.extend(frames[1:])
+                return frames[0]
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - double close
+            pass
+
+
+class TcpMasterTransport:
+    """Listening side: accepts workers, funnels their frames to one queue.
+
+    Presents the master-transport interface the
+    :class:`~repro.cluster.runtime.DistributedMaster` gather loop drives:
+    ``poll(timeout)`` yields ``(worker, payload)`` tuples (``payload is
+    None`` marks a disconnect), ``send(worker, payload)`` frames bytes to
+    one worker, ``workers()`` lists the currently connected names.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        recorder=None,
+        stream_wrapper=None,
+    ) -> None:
+        self._listener = socket.create_server((host, port))
+        self.address = self._listener.getsockname()[:2]
+        self._recorder = recorder
+        self._stream_wrapper = stream_wrapper
+        self._inbound: queue.Queue = queue.Queue()
+        self._streams: dict[str, MessageStream] = {}
+        self._lock = threading.Lock()
+        self._closed = threading.Event()
+        self._accept_thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> "TcpMasterTransport":
+        if self._accept_thread is None:
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, name="tcp-master-accept", daemon=True
+            )
+            self._accept_thread.start()
+        return self
+
+    def poll(self, timeout: float) -> tuple[str, bytes | None] | None:
+        try:
+            return self._inbound.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def send(self, worker: str, payload: bytes) -> bool:
+        with self._lock:
+            stream = self._streams.get(worker)
+        if stream is None:
+            return False
+        try:
+            stream.send(payload)
+        except ConnectionClosed:
+            self._drop(worker, stream)
+            return False
+        return True
+
+    def broadcast(self, payload: bytes) -> int:
+        """Best-effort send to every connected worker; returns the count."""
+        return sum(1 for worker in self.workers() if self.send(worker, payload))
+
+    def workers(self) -> list[str]:
+        with self._lock:
+            return sorted(self._streams)
+
+    def wait_for_workers(self, count: int, timeout: float = 30.0) -> bool:
+        """Block until *count* workers have registered (or timeout)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if len(self.workers()) >= count:
+                return True
+            time.sleep(0.02)
+        return len(self.workers()) >= count
+
+    def close(self) -> None:
+        self._closed.set()
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover
+            pass
+        with self._lock:
+            streams = list(self._streams.values())
+            self._streams.clear()
+        for stream in streams:
+            stream.close()
+
+    # ------------------------------------------------------------------ #
+    def _accept_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            ).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        stream = MessageStream(conn)
+        if self._stream_wrapper is not None:
+            stream = self._stream_wrapper(stream)
+        name = None
+        try:
+            hello = stream.recv(timeout=REGISTER_TIMEOUT)
+            if hello is None:
+                return
+            msg = decode_any(hello)
+            if not isinstance(msg, HeartbeatMessage):
+                return  # not speaking the registration protocol
+            name = msg.node
+            with self._lock:
+                old = self._streams.get(name)
+                self._streams[name] = stream
+            if old is not None:
+                old.close()
+            if self._recorder is not None:
+                self._recorder.event(
+                    MetricNames.EVENT_WORKER_CONNECTED, worker=name
+                )
+            self._inbound.put((name, hello))
+            while not self._closed.is_set():
+                payload = stream.recv(timeout=1.0)
+                if payload is None:
+                    continue
+                self._inbound.put((name, payload))
+        except (ConnectionClosed, ValueError, OSError):
+            pass
+        finally:
+            if name is not None:
+                self._drop(name, stream)
+            stream.close()
+
+    def _drop(self, worker: str, stream: MessageStream) -> None:
+        with self._lock:
+            if self._streams.get(worker) is stream:
+                del self._streams[worker]
+            else:
+                return  # a newer connection already replaced this one
+        self._inbound.put((worker, None))
+
+
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class WorkerStats:
+    """What one :class:`WorkerClient` lifetime accomplished."""
+
+    chunks: int = 0
+    tested: int = 0
+    cancelled: int = 0  #: cancel control frames honoured
+    reconnects: int = 0
+    connection_failures: int = 0
+    heartbeats: int = 0
+    corrupt_frames: int = 0
+    found: list = field(default_factory=list)
+
+
+class WorkerClient:
+    """A TCP worker node: connect, register, crack, heartbeat, reconnect.
+
+    ``repro worker --connect HOST:PORT`` is a thin CLI shell around this
+    class.  The client survives master restarts and dropped links: every
+    disconnect triggers a reconnect with exponential backoff + jitter,
+    bounded by ``max_failures`` *consecutive* failures; any successful
+    connection resets the count.  A ``shutdown`` control frame ends the
+    client cleanly; a ``cancel`` frame aborts the in-flight assignment at
+    the next batch boundary and replies with the completed prefix so the
+    master's ledger stays exact.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        host: str,
+        port: int,
+        backend: str = "serial",
+        pool_workers: int = 1,
+        batch_size: int = 1 << 14,
+        heartbeat_interval: float = 0.2,
+        backoff: BackoffPolicy | None = None,
+        max_failures: int = 8,
+        chaos=None,
+        slowdown: float = 0.0,
+        recorder=None,
+        rng=None,
+    ) -> None:
+        from repro.core.backend import resolve_backend
+
+        if not name:
+            raise ValueError("worker needs a non-empty name")
+        self.name = name
+        self.host = host
+        self.port = port
+        self.batch_size = batch_size
+        self.heartbeat_interval = heartbeat_interval
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self.max_failures = max_failures
+        self.chaos = chaos
+        self.slowdown = slowdown
+        self.recorder = recorder
+        self.rng = rng
+        self.stats = WorkerStats()
+        self._backend = resolve_backend(backend, workers=pool_workers)
+        self._shutdown = threading.Event()
+        self._cancel = threading.Event()
+        self._busy = threading.Event()
+        self._rate = 0
+
+    def stop(self) -> None:
+        """Ask the client to exit after the current assignment."""
+        self._shutdown.set()
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> WorkerStats:
+        failures = 0
+        connected_before = False
+        while not self._shutdown.is_set():
+            try:
+                sock = socket.create_connection((self.host, self.port), timeout=5)
+            except OSError:
+                failures += 1
+                self.stats.connection_failures += 1
+                if failures > self.max_failures:
+                    break
+                time.sleep(self.backoff.delay(failures - 1, self.rng))
+                continue
+            stream = MessageStream(sock)
+            if self.chaos is not None:
+                from repro.cluster.chaos import ChaosStream
+
+                stream = ChaosStream(stream, self.chaos, self.recorder, self.rng)
+            if connected_before:
+                self.stats.reconnects += 1
+                if self.recorder is not None:
+                    self.recorder.counter(
+                        MetricNames.CLUSTER_RECONNECTS, worker=self.name
+                    )
+            connected_before = True
+            try:
+                self._serve_connection(stream)
+                failures = 0
+            except ConnectionClosed:
+                failures += 1
+                self.stats.connection_failures += 1
+                if failures > self.max_failures:
+                    break
+                time.sleep(self.backoff.delay(failures - 1, self.rng))
+            finally:
+                self.stats.corrupt_frames += getattr(stream, "corrupt_frames", 0)
+                stream.close()
+        return self.stats
+
+    # ------------------------------------------------------------------ #
+    def _heartbeat(self) -> HeartbeatMessage:
+        return HeartbeatMessage(
+            node=self.name, busy=self._busy.is_set(), rate_keys_per_s=self._rate
+        )
+
+    def _heartbeat_loop(self, stream, link_up: threading.Event) -> None:
+        while link_up.is_set() and not self._shutdown.is_set():
+            try:
+                stream.send(self._heartbeat().encode())
+                self.stats.heartbeats += 1
+            except ConnectionClosed:
+                return
+            link_up.wait(0)  # fairness point
+            time.sleep(self.heartbeat_interval)
+
+    def _reader_loop(self, stream, work_q: queue.Queue, link_up: threading.Event):
+        try:
+            while link_up.is_set() and not self._shutdown.is_set():
+                payload = stream.recv(timeout=0.5)
+                if payload is None:
+                    continue
+                try:
+                    msg = decode_any(payload)
+                except ValueError:
+                    continue  # corrupt payload inside a valid frame: drop
+                if isinstance(msg, ScatterMessage):
+                    work_q.put(msg)
+                elif isinstance(msg, ControlMessage):
+                    if msg.command == "cancel":
+                        self._cancel.set()
+                        self.stats.cancelled += 1
+                    elif msg.command == "shutdown":
+                        self._shutdown.set()
+                        work_q.put(None)
+                        return
+        except ConnectionClosed as exc:
+            work_q.put(exc)
+
+    def _serve_connection(self, stream) -> None:
+        from repro.cluster.runtime import execute_scatter
+
+        stream.send(self._heartbeat().encode())
+        work_q: queue.Queue = queue.Queue()
+        link_up = threading.Event()
+        link_up.set()
+        threads = [
+            threading.Thread(
+                target=self._heartbeat_loop, args=(stream, link_up), daemon=True
+            ),
+            threading.Thread(
+                target=self._reader_loop, args=(stream, work_q, link_up), daemon=True
+            ),
+        ]
+        for t in threads:
+            t.start()
+        try:
+            while not self._shutdown.is_set():
+                item = work_q.get()
+                if item is None:
+                    return  # shutdown control frame
+                if isinstance(item, ConnectionClosed):
+                    raise item
+                self._cancel.clear()
+                self._busy.set()
+                try:
+                    replies, tested, elapsed = execute_scatter(
+                        item,
+                        self._backend,
+                        batch_size=self.batch_size,
+                        preempt=self._cancel.is_set,
+                        slowdown=self.slowdown,
+                    )
+                finally:
+                    self._busy.clear()
+                if elapsed > 0:
+                    self._rate = int(tested / elapsed)
+                self.stats.chunks += 1
+                self.stats.tested += tested
+                for reply in replies:
+                    self.stats.found.extend(reply.matches)
+                    stream.send(reply.encode())
+        finally:
+            link_up.clear()
+
+
+def parse_address(text: str) -> tuple[str, int]:
+    """``HOST:PORT`` or ``tcp://HOST:PORT`` -> ``(host, port)``."""
+    spec = text
+    if spec.startswith("tcp://"):
+        spec = spec[len("tcp://"):]
+    elif "//" in spec:
+        raise ValueError(f"address {text!r} has an unsupported scheme (use tcp://)")
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"address {text!r} is not HOST:PORT")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(f"address {text!r} has a non-numeric port") from None

@@ -139,6 +139,31 @@ def merge_intervals(intervals: Iterable[Interval]) -> list[Interval]:
     return out
 
 
+def subtract_interval(interval: Interval, covered: Iterable[Interval]) -> list[Interval]:
+    """The parts of *interval* not covered by any interval in *covered*.
+
+    The idempotent-gather primitive: a reply (or requeue) for an interval
+    that someone else already partially completed contributes only its
+    still-novel pieces, so duplicate and late deliveries can never
+    double-count coverage.  Returns sorted, disjoint, non-empty intervals.
+    """
+    remaining = [interval] if interval else []
+    for cover in merge_intervals(covered):
+        next_remaining: list[Interval] = []
+        for piece in remaining:
+            if not piece.overlaps(cover):
+                next_remaining.append(piece)
+                continue
+            if piece.start < cover.start:
+                next_remaining.append(Interval(piece.start, cover.start))
+            if cover.stop < piece.stop:
+                next_remaining.append(Interval(cover.stop, piece.stop))
+        remaining = next_remaining
+        if not remaining:
+            break
+    return remaining
+
+
 def is_exact_partition(whole: Interval, parts: Iterable[Interval]) -> bool:
     """True when *parts* tile *whole* exactly (no gap, no overlap)."""
     merged = merge_intervals(parts)

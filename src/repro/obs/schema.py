@@ -66,6 +66,30 @@ class MetricNames:
     EVENT_REBALANCE = "rebalance"
     EVENT_THROUGHPUT_FLOOR = "throughput.floor_clamped"
 
+    # -- transport liveness / fault tolerance (counters / events) -------- #
+    CLUSTER_HEARTBEATS = "cluster.heartbeats"  #: beacons gathered, labelled worker=
+    CLUSTER_RECONNECTS = "cluster.reconnects"
+    CLUSTER_DUPLICATES = "cluster.duplicate_replies"  #: already-covered replies
+    CLUSTER_SPECULATED = "cluster.speculative_dispatches"
+    CLUSTER_CORRUPT = "cluster.corrupt_payloads"  #: undecodable inbound payloads
+    EVENT_WORKER_CONNECTED = "worker.connected"
+    EVENT_WORKER_REJOINED = "worker.rejoined"
+    EVENT_HEARTBEAT_MISSED = "heartbeat.missed"
+    EVENT_DEADLINE_EXPIRED = "deadline.expired"
+    EVENT_WORKER_QUARANTINED = "worker.quarantined"
+    EVENT_WORKER_PROBED = "worker.probed"
+    EVENT_CHUNK_SPECULATED = "chunk.speculated"
+    EVENT_SPECULATION_WIN = "speculation.win"
+    EVENT_LATE_REPLY = "reply.late"
+    EVENT_CANCEL_SENT = "cancel.sent"
+    EVENT_FALLBACK_LOCAL = "fallback.local"
+
+    # -- chaos / fault injection (counters) ------------------------------ #
+    CHAOS_DROPPED = "chaos.dropped"
+    CHAOS_DELAYED = "chaos.delayed"
+    CHAOS_DUPLICATED = "chaos.duplicated"
+    CHAOS_CORRUPTED = "chaos.corrupted"
+
     # -- persistent job service (counters / spans / events) ------------- #
     SERVICE_SLICES = "service.slices"  #: scheduler dispatch slices, labelled job=
     SERVICE_JOB_TESTED = "service.job_tested"  #: candidates served, labelled job=

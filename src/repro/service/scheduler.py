@@ -30,6 +30,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.cluster.runtime import AllWorkersDeadError
 from repro.core.backend import resolve_backend
 from repro.core.progress import CorruptCheckpointError, ProgressLog, pending_chunks
 from repro.obs import Recorder
@@ -248,6 +249,28 @@ class Scheduler:
                 preempt=preempt,
                 on_result=gathered,
             )
+        except AllWorkersDeadError as exc:
+            # The distributed layer lost every worker but hands back the
+            # exact coverage it achieved: checkpoint *that* log, so the
+            # failed job records precisely how far it got and a later
+            # ``resume`` re-dispatches only the remaining gaps.
+            failed_log = exc.progress if exc.progress is not None else log
+            self._checkpoint(job_id, failed_log, job_recorder)
+            self.store.set_state(
+                job_id,
+                "failed",
+                f"all workers died: {failed_log.done_count}/{failed_log.total} done",
+            )
+            self._record_event(
+                MetricNames.EVENT_JOB_STATE,
+                job=job_id,
+                state="failed",
+                done=failed_log.done_count,
+                total=failed_log.total,
+            )
+            out.state = "failed"
+            out.found = list(failed_log.found)
+            return out
         except Exception as exc:  # noqa: BLE001 - job faults must not kill the service
             self._checkpoint(job_id, log, job_recorder)
             self.store.set_state(job_id, "failed", f"{type(exc).__name__}: {exc}")

@@ -1,0 +1,216 @@
+"""Fault injection: chaos config/wrappers, and a full run under chaos."""
+
+import socket
+
+import pytest
+
+from repro.apps.cracking import CrackTarget
+from repro.cluster.chaos import ChaosConfig, ChaosStream, ChaosTransport
+from repro.cluster.health import HealthConfig
+from repro.cluster.runtime import DistributedMaster, InProcessTransport, WorkerConfig
+from repro.cluster.transport import MessageStream
+from repro.keyspace import Charset
+from repro.obs import Recorder
+from repro.obs.schema import MetricNames
+
+ABC = Charset("abc", name="abc")
+
+
+class TestChaosConfig:
+    def test_parse_full_spec(self):
+        cfg = ChaosConfig.parse(
+            "drop=0.1, delay=0.3, delay-seconds=0.5, duplicate=0.05, corrupt=0.02, seed=7"
+        )
+        assert cfg == ChaosConfig(
+            drop=0.1, delay=0.3, delay_seconds=0.5,
+            duplicate=0.05, corrupt=0.02, seed=7,
+        )
+        assert cfg.active
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError, match="key=value"):
+            ChaosConfig.parse("drop")
+        with pytest.raises(ValueError, match="unknown chaos knob"):
+            ChaosConfig.parse("explode=1")
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(drop=1.5)
+        with pytest.raises(ValueError):
+            ChaosConfig(delay_seconds=-1)
+
+    def test_inactive_by_default(self):
+        assert not ChaosConfig().active
+
+
+def _pair():
+    a, b = socket.socketpair()
+    return MessageStream(a), MessageStream(b)
+
+
+class TestChaosStream:
+    def test_drop_everything(self):
+        left, right = _pair()
+        try:
+            chaotic = ChaosStream(left, ChaosConfig(drop=1.0, seed=1))
+            chaotic.send(b"into the void")
+            assert right.recv(timeout=0.1) is None
+            assert chaotic.faults.dropped == 1
+        finally:
+            left.close()
+            right.close()
+
+    def test_duplicate_everything(self):
+        left, right = _pair()
+        try:
+            chaotic = ChaosStream(left, ChaosConfig(duplicate=1.0, seed=1))
+            chaotic.send(b"twice")
+            assert right.recv(timeout=1) == b"twice"
+            assert right.recv(timeout=1) == b"twice"
+            assert chaotic.faults.duplicated == 1
+        finally:
+            left.close()
+            right.close()
+
+    def test_corruption_is_caught_by_the_crc(self):
+        left, right = _pair()
+        try:
+            chaotic = ChaosStream(left, ChaosConfig(corrupt=1.0, seed=1))
+            chaotic.send(b"bit rot incoming")
+            # The flipped byte breaks the CRC: the receiver detects and
+            # skips the frame instead of surfacing garbage.
+            assert right.recv(timeout=0.2) is None
+            assert right.corrupt_frames == 1
+            assert chaotic.faults.corrupted == 1
+        finally:
+            left.close()
+            right.close()
+
+
+class _FakeInner:
+    """Minimal poll/send/workers transport for wrapper tests."""
+
+    def __init__(self):
+        self.items = []
+        self.sent = []
+
+    def poll(self, timeout):
+        return self.items.pop(0) if self.items else None
+
+    def send(self, worker, payload):
+        self.sent.append((worker, payload))
+        return True
+
+    def workers(self):
+        return ["w"]
+
+    def close(self):
+        pass
+
+
+class TestChaosTransport:
+    def test_poll_drop_counts_and_records(self):
+        inner = _FakeInner()
+        inner.items = [("w", b"reply")]
+        rec = Recorder()
+        chaotic = ChaosTransport(inner, ChaosConfig(drop=1.0, seed=3), recorder=rec)
+        assert chaotic.poll(0) is None
+        assert chaotic.faults.dropped == 1
+        assert rec.counter_value(MetricNames.CHAOS_DROPPED) == 1
+
+    def test_poll_delay_holds_until_release(self):
+        inner = _FakeInner()
+        inner.items = [("w", b"late reply")]
+        now = [0.0]
+        chaotic = ChaosTransport(
+            inner,
+            ChaosConfig(delay=1.0, delay_seconds=5.0, seed=3),
+            clock=lambda: now[0],
+        )
+        assert chaotic.poll(0) is None  # held back
+        assert chaotic.poll(0) is None  # still in the future
+        now[0] = 6.0
+        assert chaotic.poll(0) == ("w", b"late reply")
+        assert chaotic.faults.delayed == 1
+
+    def test_poll_duplicate_delivers_twice(self):
+        inner = _FakeInner()
+        inner.items = [("w", b"echo")]
+        chaotic = ChaosTransport(inner, ChaosConfig(duplicate=1.0, seed=3))
+        assert chaotic.poll(0) == ("w", b"echo")
+        assert chaotic.poll(0) == ("w", b"echo")
+        assert chaotic.poll(0) is None
+
+    def test_poll_corrupts_payload_bytes(self):
+        inner = _FakeInner()
+        inner.items = [("w", b"pristine")]
+        chaotic = ChaosTransport(inner, ChaosConfig(corrupt=1.0, seed=3))
+        name, payload = chaotic.poll(0)
+        assert name == "w" and payload != b"pristine"
+
+    def test_disconnect_marker_is_never_mangled(self):
+        inner = _FakeInner()
+        inner.items = [("w", None)]
+        chaotic = ChaosTransport(
+            inner, ChaosConfig(drop=1.0, corrupt=1.0, seed=3)
+        )
+        assert chaotic.poll(0) == ("w", None)
+        assert chaotic.faults.dropped == 0
+
+    def test_send_drop_pretends_success(self):
+        inner = _FakeInner()
+        chaotic = ChaosTransport(inner, ChaosConfig(drop=1.0, seed=3))
+        assert chaotic.send("w", b"scatter") is True
+        assert inner.sent == []  # the liveness layer must notice
+
+
+class TestRunUnderChaos:
+    def test_master_completes_with_exact_coverage(self):
+        """Moderate seeded chaos on both directions: dropped scatters,
+        dropped/duplicated/corrupted/delayed gathers.  The liveness layer
+        (deadlines + heartbeats + idempotent replies) must still deliver
+        exactly-once coverage and find the key."""
+        target = CrackTarget.from_password("ccba", ABC, min_length=1, max_length=4)
+        rec = Recorder()
+        inner = InProcessTransport(
+            [WorkerConfig("w0", batch_size=16), WorkerConfig("w1", batch_size=16)],
+            heartbeat_interval=0.05,
+        )
+        chaos = ChaosConfig(
+            drop=0.1, delay=0.1, delay_seconds=0.02,
+            duplicate=0.1, corrupt=0.05, seed=1234,
+        )
+        transport = ChaosTransport(inner, chaos, recorder=rec).start()
+        try:
+            master = DistributedMaster(
+                target,
+                transport=transport,
+                chunk_size=13,
+                reply_timeout=0.4,
+                health=HealthConfig(
+                    heartbeat_interval=0.05,
+                    quarantine_period=0.3,
+                    min_deadline=0.2,
+                ),
+            )
+            result = master.run(recorder=rec)
+        finally:
+            transport.close()
+        assert "ccba" in result.keys
+        assert result.progress.is_complete
+        assert result.progress.check_invariant()
+        assert result.progress.done_count == target.space_size
+        # The run's metrics document what the network did to it.
+        faults = transport.faults
+        injected = faults.dropped + faults.delayed + faults.duplicated + faults.corrupted
+        assert injected > 0, "seeded chaos injected nothing; raise the rates"
+        total_recorded = sum(
+            rec.counter_value(name)
+            for name in (
+                MetricNames.CHAOS_DROPPED,
+                MetricNames.CHAOS_DELAYED,
+                MetricNames.CHAOS_DUPLICATED,
+                MetricNames.CHAOS_CORRUPTED,
+            )
+        )
+        assert total_recorded == injected

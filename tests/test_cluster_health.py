@@ -1,0 +1,189 @@
+"""Liveness policy unit tests, all driven by a fake clock."""
+
+import random
+
+import pytest
+
+from repro.cluster.health import (
+    ALIVE,
+    DEAD,
+    PROBING,
+    QUARANTINED,
+    BackoffPolicy,
+    HealthConfig,
+    HealthMonitor,
+)
+
+
+def monitor(**overrides) -> HealthMonitor:
+    config = HealthConfig(
+        heartbeat_interval=1.0,
+        heartbeat_grace=3.0,
+        quarantine_failures=3,
+        quarantine_window=100.0,
+        quarantine_period=10.0,
+        **overrides,
+    )
+    return HealthMonitor(config, clock=lambda: 0.0)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_knobs(self):
+        for kwargs in (
+            {"heartbeat_interval": 0},
+            {"heartbeat_grace": 0.5},
+            {"deadline_slack": 0.5},
+            {"min_deadline": 0},
+            {"quarantine_failures": 0},
+            {"quarantine_window": 0},
+            {"probe_chunk": 0},
+            {"speculation_slack": 0.5},
+            {"cancel_grace": -1},
+        ):
+            with pytest.raises(ValueError):
+                HealthConfig(**kwargs)
+
+    def test_heartbeat_timeout(self):
+        assert HealthConfig(
+            heartbeat_interval=0.5, heartbeat_grace=4
+        ).heartbeat_timeout == pytest.approx(2.0)
+
+
+class TestHeartbeatLiveness:
+    def test_register_then_silence_then_rejoin(self):
+        m = monitor()
+        assert m.heartbeat("w", now=0.0) == "registered"
+        assert m.state("w") == ALIVE
+        assert m.missed_heartbeats(now=2.0) == []  # within grace
+        assert m.missed_heartbeats(now=3.5) == ["w"]
+        assert m.record_failure("w", now=3.5) == DEAD
+        assert not m.dispatchable("w")
+        assert m.heartbeat("w", now=5.0) == "rejoined"
+        assert m.dispatchable("w")
+        assert m.get("w").rejoins == 1
+
+    def test_unknown_worker_is_dead(self):
+        m = monitor()
+        assert m.state("nobody") == DEAD
+        assert not m.dispatchable("nobody")
+
+    def test_repeat_heartbeat_is_no_transition(self):
+        m = monitor()
+        m.heartbeat("w", now=0.0)
+        assert m.heartbeat("w", now=1.0) == ""
+
+
+class TestQuarantine:
+    def test_circuit_opens_after_window_failures(self):
+        m = monitor()
+        m.heartbeat("flappy", now=0.0)
+        assert m.record_failure("flappy", now=1.0) == DEAD
+        m.heartbeat("flappy", now=2.0)
+        assert m.record_failure("flappy", now=3.0) == DEAD
+        m.heartbeat("flappy", now=4.0)
+        assert m.record_failure("flappy", now=5.0) == QUARANTINED
+        assert m.state("flappy") == QUARANTINED
+        assert not m.dispatchable("flappy")
+        # A heartbeat does not readmit a quarantined worker.
+        assert m.heartbeat("flappy", now=6.0) == ""
+        assert m.state("flappy") == QUARANTINED
+
+    def test_rejoin_with_open_circuit_stays_benched(self):
+        m = monitor()
+        for t in (0.0, 1.0, 2.0):
+            m.record_failure("w", now=t)
+        assert m.state("w") == QUARANTINED
+        # Suppose it then also went silent and was marked dead; a fresh
+        # beacon readmits it only as far as the bench.
+        m.get("w").state = DEAD
+        assert m.heartbeat("w", now=3.0) == "quarantined"
+        assert m.state("w") == QUARANTINED
+
+    def test_old_failures_age_out_of_the_window(self):
+        m = monitor()
+        m.heartbeat("w", now=0.0)
+        m.record_failure("w", now=0.0)
+        m.record_failure("w", now=1.0)
+        # Third failure lands after the first two left the 100s window.
+        assert m.record_failure("w", now=150.0) == DEAD
+
+    def test_probe_lifecycle(self):
+        m = monitor()
+        m.heartbeat("w", now=0.0)
+        for t in (1.0, 2.0, 3.0):
+            m.record_failure("w", now=t)
+        assert m.state("w") == QUARANTINED
+        # Not due before the period; never due while silent.
+        assert m.due_probes(now=5.0) == []
+        assert m.due_probes(now=50.0) == []  # silent since t=0
+        m.heartbeat("w", now=49.5)
+        assert m.due_probes(now=50.0) == ["w"]
+        m.probe_started("w")
+        assert m.state("w") == PROBING
+        assert not m.dispatchable("w")  # holds exactly the probe chunk
+        m.probe_succeeded("w", now=51.0)
+        assert m.state("w") == ALIVE
+        assert m.get("w").failures == []  # circuit closed clean
+
+    def test_recoverable(self):
+        m = monitor()
+        m.heartbeat("w", now=0.0)
+        assert m.recoverable("w", now=0.0)
+        for t in (1.0, 2.0, 3.0):
+            m.record_failure("w", now=t)
+        # Quarantined but heartbeating: can come back via a probe.
+        m.heartbeat("w", now=4.0)
+        assert m.recoverable("w", now=5.0)
+        # Quarantined *and* silent: gone for good.
+        assert not m.recoverable("w", now=20.0)
+        assert not m.recoverable("stranger", now=0.0)
+
+    def test_dead_with_fresh_beacon_is_recoverable(self):
+        # Marked dead a moment before its proof-of-life was polled: the
+        # next heartbeat rejoins it, so the run is not lost yet.
+        m = monitor()
+        m.heartbeat("w", now=0.0)
+        m.record_failure("w", now=1.0)
+        assert m.state("w") == DEAD
+        assert m.recoverable("w", now=2.0)
+        assert not m.recoverable("w", now=10.0)
+
+
+class TestDeadlines:
+    def test_scales_with_measured_rate(self):
+        m = monitor(deadline_slack=4.0, min_deadline=0.5)
+        # 1000 ids at 100/s -> 10s expected -> 40s deadline.
+        assert m.deadline_for(1000, 100.0, now=5.0) == pytest.approx(45.0)
+
+    def test_unmeasured_rate_uses_fallback(self):
+        m = monitor()
+        assert m.deadline_for(10**9, None, now=0.0, fallback=7.5) == 7.5
+        assert m.deadline_for(10**9, 0.0, now=0.0, fallback=7.5) == 7.5
+
+    def test_min_deadline_floor(self):
+        m = monitor(deadline_slack=4.0, min_deadline=0.5)
+        # Tiny chunk on a fast worker still gets the floor.
+        assert m.deadline_for(10, 1e9, now=0.0) == pytest.approx(0.5)
+
+
+class TestBackoffPolicy:
+    def test_exponential_growth_capped(self):
+        policy = BackoffPolicy(base=0.5, cap=4.0, multiplier=2.0, jitter=0.0)
+        assert [policy.delay(a) for a in range(5)] == [0.5, 1.0, 2.0, 4.0, 4.0]
+
+    def test_jitter_stays_within_band(self):
+        policy = BackoffPolicy(base=1.0, cap=60.0, multiplier=2.0, jitter=0.5)
+        rng = random.Random(7)
+        for attempt in range(8):
+            raw = min(60.0, 1.0 * 2.0**attempt)
+            for _ in range(50):
+                d = policy.delay(attempt, rng)
+                assert raw * 0.5 <= d <= raw * 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base=0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(base=2.0, cap=1.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=2.0)

@@ -1,0 +1,72 @@
+"""Property test: fault schedules never change the answer.
+
+Drives the gather loop with a scripted transport and fake clock under
+hypothesis-generated schedules of worker faults — dropped chunks, duped
+and late replies, permanent deaths — and checks the two invariants the
+fault-tolerance layer promises (docs/FAULT_TOLERANCE.md):
+
+* every candidate id is tested at least once (and marked exactly once);
+* ``found`` is byte-for-byte the uninterrupted single-node result.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.cracking import CrackTarget, crack_interval
+from repro.cluster.runtime import DistributedMaster
+from repro.keyspace import Charset, Interval
+from tests.test_cluster_runtime import ScriptedTransport
+
+ABC = Charset("abc", name="abc")
+
+#: Per-scatter faults: answer, swallow the chunk, die silently mid-run
+#: (beacon stops too), answer twice, or answer twice with the copies
+#: racing a re-dispatch.
+ACTIONS = ("ok", "drop", "die", "dup")
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_workers=st.integers(min_value=1, max_value=3),
+    password=st.sampled_from(["a", "cb", "bac", "ccc"]),
+    schedule=st.lists(st.sampled_from(ACTIONS), max_size=30),
+)
+def test_fault_schedules_preserve_exactness(n_workers, password, schedule):
+    names = [f"w{i}" for i in range(n_workers)]
+    transport = ScriptedTransport(names)
+    target = CrackTarget.from_password(password, ABC, min_length=1, max_length=3)
+    master = DistributedMaster(
+        target,
+        transport=transport,
+        clock=transport.clock,
+        chunk_size=7,
+        reply_timeout=0.2,
+    )
+    script = iter(schedule)
+
+    def on_scatter(worker, msg):
+        # After the schedule runs dry every worker behaves, so each
+        # requeued chunk is eventually answered and the run terminates.
+        action = next(script, "ok")
+        if action == "die" and worker != "w0":
+            # w0 is immortal: the run must end in success, not collapse
+            # (the all-dead path has its own dedicated tests).
+            transport.silenced.add(worker)
+            return
+        if action == "drop":
+            return
+        matches = crack_interval(target, msg.interval)
+        transport.push_reply(worker, msg.interval, matches=matches)
+        if action == "dup":
+            transport.push_reply(worker, msg.interval, matches=matches)
+
+    transport.on_scatter = on_scatter
+    result = master.run()
+    assert result.progress.is_complete
+    assert result.progress.check_invariant()
+    # Exactly-once accounting: duplicate and late replies never inflate
+    # the tested count past the keyspace.
+    assert result.tested == target.space_size
+    expected = crack_interval(target, Interval(0, target.space_size))
+    assert result.found == expected
+    assert password in result.keys

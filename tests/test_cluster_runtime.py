@@ -2,8 +2,20 @@
 
 import pytest
 
-from repro.apps.cracking import CrackTarget
-from repro.cluster.runtime import DistributedMaster, WorkerConfig
+from repro.apps.cracking import CrackTarget, crack_interval
+from repro.cluster.protocol import (
+    ControlMessage,
+    GatherMessage,
+    HeartbeatMessage,
+    ScatterMessage,
+    decode_any,
+)
+from repro.cluster.runtime import (
+    AllWorkersDeadError,
+    DistributedMaster,
+    RuntimeResult,
+    WorkerConfig,
+)
 from repro.core.progress import ProgressLog
 from repro.keyspace import Charset, Interval
 
@@ -117,6 +129,218 @@ class TestResume:
         total_chunks_dispatched = r1.chunks + r2.chunks
         assert total_chunks_dispatched == pytest.approx(-(-t.space_size // 17), abs=2)
         assert "ccb" in (r1.keys + r2.keys)
+
+
+class ScriptedTransport:
+    """A fake transport that is also the master's clock.
+
+    Every ``poll`` advances fake time by ``step`` and pops the next
+    scripted delivery; ``send`` routes scatters to a per-test handler and
+    records everything.  Heartbeats are auto-injected for every worker
+    not in ``silenced``, so liveness behaves exactly as it would with
+    real beacon threads — but deterministically.
+    """
+
+    def __init__(self, names, step=0.01, hb_every=0.1):
+        self.names = list(names)
+        self.step = step
+        self.hb_every = hb_every
+        self.now = 0.0
+        self._next_hb = 0.0
+        self.queue = []
+        self.sent = []  # (worker, decoded message)
+        self.silenced = set()
+        self.on_scatter = None  # callback(worker, ScatterMessage)
+
+    def clock(self):
+        return self.now
+
+    def start(self):
+        return self
+
+    def workers(self):
+        return list(self.names)
+
+    def close(self):
+        pass
+
+    def push_reply(self, worker, interval, matches=(), tested=None):
+        self.queue.append(
+            (
+                worker,
+                GatherMessage(
+                    interval,
+                    tested=interval.size if tested is None else tested,
+                    elapsed_us=1000,
+                    matches=tuple(matches),
+                ).encode(),
+            )
+        )
+
+    def send(self, worker, payload):
+        msg = decode_any(payload)
+        self.sent.append((worker, msg))
+        if isinstance(msg, ScatterMessage) and self.on_scatter is not None:
+            self.on_scatter(worker, msg)
+        return True
+
+    def poll(self, timeout):
+        self.now += self.step
+        if self.now >= self._next_hb:
+            self._next_hb = self.now + self.hb_every
+            for name in self.names:
+                if name not in self.silenced:
+                    self.queue.append(
+                        (name, HeartbeatMessage(name, False, 0).encode())
+                    )
+        return self.queue.pop(0) if self.queue else None
+
+    def cancels_to(self, worker):
+        return [
+            m
+            for w, m in self.sent
+            if w == worker and isinstance(m, ControlMessage) and m.command == "cancel"
+        ]
+
+
+class TestScriptedFaults:
+    """Deterministic gather-loop behavior under scripted failures."""
+
+    def make(self, transport, password="ccba", **kw):
+        target = CrackTarget.from_password(password, ABC, min_length=1, max_length=4)
+        kw.setdefault("chunk_size", 30)
+        kw.setdefault("reply_timeout", 0.2)
+        master = DistributedMaster(
+            target, transport=transport, clock=transport.clock, **kw
+        )
+        return target, master
+
+    def answer(self, target, transport, worker, msg):
+        transport.push_reply(
+            worker, msg.interval, matches=crack_interval(target, msg.interval)
+        )
+
+    def test_late_reply_is_idempotent(self):
+        """A worker that blows its deadline and then answers anyway: the
+        reply is accepted (once), counted late, and never crashes the
+        loop — the historical interval-mismatch RuntimeError."""
+        transport = ScriptedTransport(["a", "b"])
+        target, master = self.make(transport)
+        dropped = {}
+
+        def on_scatter(worker, msg):
+            if worker == "a" and not dropped:
+                dropped["chunk"] = msg.interval  # swallow a's first chunk
+                return
+            if dropped.get("chunk") is not None and msg.interval == dropped["chunk"]:
+                # The requeued chunk got re-dispatched; the original
+                # holder's long-lost answer for it lands first, then the
+                # new assignee's — the same candidates reported twice.
+                transport.push_reply(
+                    "a", dropped["chunk"],
+                    matches=crack_interval(target, dropped["chunk"]),
+                )
+                dropped["chunk"] = None
+            self.answer(target, transport, worker, msg)
+
+        transport.on_scatter = on_scatter
+        result = master.run()
+        assert "ccba" in result.keys
+        assert result.progress.is_complete
+        assert result.progress.check_invariant()
+        assert "a" in result.dead_workers
+        assert result.requeued > 0
+        assert result.late_replies >= 1
+        assert result.duplicates >= 1
+
+    def test_all_workers_dead_error_carries_partial_progress(self):
+        """One chunk lands, then the only worker goes silent: the typed
+        error exposes exactly what was covered before the collapse."""
+        transport = ScriptedTransport(["solo"])
+        target, master = self.make(transport)
+        first = {}
+
+        def on_scatter(worker, msg):
+            if not first:
+                first["chunk"] = msg.interval
+                self.answer(target, transport, worker, msg)
+            else:
+                transport.silenced.add(worker)  # beacon stops mid-run
+
+        transport.on_scatter = on_scatter
+        with pytest.raises(AllWorkersDeadError) as info:
+            master.run()
+        exc = info.value
+        assert isinstance(exc, RuntimeError)  # legacy callers still catch it
+        assert exc.progress is not None
+        assert exc.progress.done_count == first["chunk"].size
+        assert exc.progress.remaining()  # keyspace really was left over
+        assert isinstance(exc.partial, RuntimeResult)
+        assert exc.partial.tested == first["chunk"].size
+
+    def test_fallback_local_finishes_the_space(self):
+        """Same collapse, but fallback="local": the remaining gaps are
+        finished in-process and the run still succeeds."""
+        transport = ScriptedTransport(["solo"])
+        target, master = self.make(transport, fallback="local")
+        first = {}
+
+        def on_scatter(worker, msg):
+            if not first:
+                first["chunk"] = msg.interval
+                self.answer(target, transport, worker, msg)
+            else:
+                transport.silenced.add(worker)
+
+        transport.on_scatter = on_scatter
+        result = master.run()
+        assert result.fallback_used
+        assert "ccba" in result.keys
+        assert result.progress.is_complete
+        assert result.progress.check_invariant()
+
+    def test_stop_on_first_cancels_and_drains(self):
+        """stop_on_first must actively cancel outstanding workers and
+        return within the drain grace, not wait out their deadlines."""
+        transport = ScriptedTransport(["fast", "slow"])
+        target, master = self.make(transport, password="a", reply_timeout=60.0)
+
+        def on_scatter(worker, msg):
+            if worker == "fast":
+                self.answer(target, transport, worker, msg)
+            # slow never answers; its deadline is a full minute away.
+
+        transport.on_scatter = on_scatter
+        result = master.run(stop_on_first=True)
+        assert "a" in result.keys
+        assert not result.progress.is_complete
+        assert result.cancels_sent >= 1
+        assert transport.cancels_to("slow")
+        # Returned within the cancel grace, nowhere near the 60s deadline.
+        assert transport.now < 60.0
+
+    def test_speculation_beats_a_straggler(self):
+        """An idle worker gets a copy of the oldest straggler's chunk;
+        first reply wins and the loser is cancelled, not failed."""
+        transport = ScriptedTransport(["slug", "idle"])
+        target, master = self.make(transport, reply_timeout=30.0)
+        slug_chunk = {}
+
+        def on_scatter(worker, msg):
+            if worker == "slug" and not slug_chunk:
+                slug_chunk["iv"] = msg.interval  # slug sits on it forever
+                return
+            self.answer(target, transport, worker, msg)
+
+        transport.on_scatter = on_scatter
+        result = master.run()
+        assert result.progress.is_complete
+        assert "ccba" in result.keys
+        assert result.speculated >= 1
+        assert result.speculative_wins >= 1
+        # The straggler was cancelled by dedup, not declared dead.
+        assert transport.cancels_to("slug")
+        assert "slug" not in result.dead_workers
 
 
 class TestDistributedNTLM:

@@ -1,0 +1,92 @@
+"""End-to-end over real sockets: the acceptance scenario, scaled down.
+
+Three TCP workers; one is killed abruptly mid-run, one crawls with an
+artificial per-chunk delay.  The master must still finish the exhaustive
+search, requeue only the dead worker's interval, and leave a metrics
+document that validates against repro-metrics/v1.
+"""
+
+import threading
+import time
+
+from repro.apps.cracking import CrackTarget
+from repro.cluster.health import HealthConfig
+from repro.cluster.protocol import ControlMessage
+from repro.cluster.runtime import DistributedMaster
+from repro.cluster.transport import TcpMasterTransport, WorkerClient
+from repro.keyspace import Charset
+from repro.obs import Recorder
+from repro.obs.schema import MetricNames, validate_metrics
+
+ABCD = Charset("abcd", name="abcd")
+
+
+def test_kill_and_straggler_tcp_run():
+    target = CrackTarget.from_password("dcba", ABCD, min_length=1, max_length=4)
+    recorder = Recorder()
+    transport = TcpMasterTransport(recorder=recorder).start()
+    host, port = transport.address
+    clients = {
+        # Per-chunk sleep: quick/doomed dawdle a little so the run is
+        # still in flight when doomed dies; laggy is the 300ms straggler
+        # whose deadline must scale instead of condemning it.
+        "quick": WorkerClient("quick", host, port, heartbeat_interval=0.1,
+                              slowdown=0.03),
+        "laggy": WorkerClient("laggy", host, port, heartbeat_interval=0.1,
+                              slowdown=0.3),
+        "doomed": WorkerClient("doomed", host, port, heartbeat_interval=0.1,
+                               slowdown=0.03),
+    }
+    threads = [
+        threading.Thread(target=c.run, daemon=True) for c in clients.values()
+    ]
+    for t in threads:
+        t.start()
+
+    def assassin():
+        # Strike as soon as the victim has proven it was a working node.
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if clients["doomed"].stats.chunks >= 1:
+                break
+            time.sleep(0.01)
+        clients["doomed"].stop()
+
+    killer = threading.Thread(target=assassin, daemon=True)
+    try:
+        assert transport.wait_for_workers(3, timeout=10)
+        killer.start()
+        master = DistributedMaster(
+            target,
+            transport=transport,
+            chunk_size=8,
+            reply_timeout=5.0,
+            health=HealthConfig(heartbeat_interval=0.1),
+        )
+        result = master.run(recorder=recorder)
+    finally:
+        for c in clients.values():
+            c.stop()
+        transport.broadcast(ControlMessage("shutdown").encode())
+        killer.join(timeout=10)
+        for t in threads:
+            t.join(timeout=10)
+        transport.close()
+
+    assert "dcba" in result.keys
+    assert result.progress.is_complete
+    assert result.progress.check_invariant()
+    assert result.heartbeats > 0
+    # Only the murdered worker died; its loss was requeued and absorbed.
+    assert "doomed" in result.dead_workers
+    assert "quick" not in result.dead_workers
+    assert "laggy" not in result.dead_workers
+    assert result.requeued > 0
+    requeue_events = recorder.events_named(MetricNames.EVENT_CHUNK_REQUEUED)
+    assert requeue_events
+    assert all(e["fields"]["worker"] == "doomed" for e in requeue_events)
+    dead_events = recorder.events_named(MetricNames.EVENT_WORKER_DEAD)
+    assert {e["fields"]["worker"] for e in dead_events} == {"doomed"}
+    # The exported document is a valid repro-metrics/v1 artifact.
+    assert result.metrics is not None
+    assert validate_metrics(result.metrics) == []

@@ -1,0 +1,208 @@
+"""The TCP transport: framing, registration, reconnect, address parsing."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.cluster.protocol import (
+    ControlMessage,
+    GatherMessage,
+    HeartbeatMessage,
+    ScatterMessage,
+    decode_any,
+)
+from repro.cluster.transport import (
+    FrameDecoder,
+    FrameError,
+    MAX_FRAME_PAYLOAD,
+    MessageStream,
+    TcpMasterTransport,
+    WorkerClient,
+    encode_frame,
+    parse_address,
+)
+from repro.keyspace import Interval
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        decoder = FrameDecoder()
+        payloads = [b"alpha", b"", b"x" * 700]
+        stream = b"".join(encode_frame(p) for p in payloads)
+        assert decoder.feed(stream) == payloads
+
+    def test_incremental_byte_at_a_time(self):
+        decoder = FrameDecoder()
+        payload = HeartbeatMessage("w0", False, 123).encode()
+        out = []
+        for byte in encode_frame(payload):
+            out.extend(decoder.feed(bytes([byte])))
+        assert out == [payload]
+        assert decode_any(out[0]).node == "w0"
+
+    def test_bad_crc_is_skipped_and_counted(self):
+        decoder = FrameDecoder()
+        good = encode_frame(b"good")
+        bad = bytearray(encode_frame(b"evil"))
+        bad[-1] ^= 0xFF  # flip a payload byte: CRC mismatch
+        out = decoder.feed(bytes(bad) + good)
+        assert out == [b"good"]
+        assert decoder.corrupt == 1
+
+    def test_insane_length_is_fatal(self):
+        decoder = FrameDecoder()
+        frame = bytearray(encode_frame(b"tiny"))
+        frame[0:4] = (MAX_FRAME_PAYLOAD + 1).to_bytes(4, "big")
+        with pytest.raises(FrameError):
+            decoder.feed(bytes(frame))
+
+    def test_empty_feed_is_noop(self):
+        assert FrameDecoder().feed(b"") == []
+
+
+class TestParseAddress:
+    def test_plain_and_scheme(self):
+        assert parse_address("10.0.0.1:9000") == ("10.0.0.1", 9000)
+        assert parse_address("tcp://10.0.0.1:9000") == ("10.0.0.1", 9000)
+
+    def test_rejects_garbage(self):
+        for bad in ("nohost", "host:notaport", "udp://h:1", ""):
+            with pytest.raises(ValueError):
+                parse_address(bad)
+
+
+class TestMessageStream:
+    def test_socketpair_roundtrip(self):
+        a, b = socket.socketpair()
+        left, right = MessageStream(a), MessageStream(b)
+        try:
+            msg = ScatterMessage(
+                interval=Interval(0, 100),
+                digest=b"\x00" * 16,
+                charset="abc",
+                min_length=1,
+                max_length=3,
+            )
+            left.send(msg.encode())
+            got = right.recv(timeout=5)
+            assert decode_any(got).interval == Interval(0, 100)
+        finally:
+            left.close()
+            right.close()
+
+    def test_recv_timeout_returns_none(self):
+        a, b = socket.socketpair()
+        try:
+            assert MessageStream(b).recv(timeout=0.05) is None
+        finally:
+            a.close()
+            b.close()
+
+
+def _heartbeat(name: str) -> bytes:
+    return HeartbeatMessage(node=name, busy=False, rate_keys_per_s=0).encode()
+
+
+class TestTcpMasterTransport:
+    def test_registration_and_both_directions(self):
+        transport = TcpMasterTransport().start()
+        host, port = transport.address
+        sock = socket.create_connection((host, port))
+        stream = MessageStream(sock)
+        try:
+            stream.send(_heartbeat("node-a"))
+            assert transport.wait_for_workers(1, timeout=5)
+            assert transport.workers() == ["node-a"]
+            item = transport.poll(timeout=5)
+            assert item is not None and item[0] == "node-a"
+            reply = GatherMessage(Interval(0, 10), tested=10, elapsed_us=1)
+            stream.send(reply.encode())
+            got = None
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline:
+                item = transport.poll(timeout=0.2)
+                if item and item[1] is not None:
+                    msg = decode_any(item[1])
+                    if isinstance(msg, GatherMessage):
+                        got = msg
+                        break
+            assert got is not None and got.tested == 10
+            assert transport.send("node-a", ControlMessage("cancel").encode())
+            ctl = decode_any(stream.recv(timeout=5))
+            assert ctl.command == "cancel"
+        finally:
+            stream.close()
+            transport.close()
+
+    def test_disconnect_surfaces_as_none_payload(self):
+        transport = TcpMasterTransport().start()
+        host, port = transport.address
+        sock = socket.create_connection((host, port))
+        stream = MessageStream(sock)
+        try:
+            stream.send(_heartbeat("node-b"))
+            assert transport.wait_for_workers(1, timeout=5)
+            stream.close()
+            deadline = time.monotonic() + 5
+            dropped = False
+            while time.monotonic() < deadline:
+                item = transport.poll(timeout=0.2)
+                if item == ("node-b", None):
+                    dropped = True
+                    break
+            assert dropped
+            assert not transport.send("node-b", b"anything")
+        finally:
+            transport.close()
+
+    def test_send_to_unknown_worker_fails_cleanly(self):
+        transport = TcpMasterTransport().start()
+        try:
+            assert transport.send("ghost", b"boo") is False
+            assert transport.broadcast(b"boo") == 0
+        finally:
+            transport.close()
+
+
+class TestWorkerClientReconnect:
+    def test_client_survives_master_restart(self):
+        """Kill the master's socket mid-session; the client backs off,
+        reconnects to the new listener, and completes work there."""
+        first = TcpMasterTransport().start()
+        host, port = first.address
+        client = WorkerClient(
+            "phoenix",
+            host,
+            port,
+            batch_size=64,
+            heartbeat_interval=0.05,
+            max_failures=200,
+        )
+        runner = threading.Thread(target=client.run, daemon=True)
+        runner.start()
+        try:
+            assert first.wait_for_workers(1, timeout=5)
+        finally:
+            first.close()  # hard stop: every connection dies
+        # The OS usually hands the freed port back; retry binding it so the
+        # reconnecting client finds a listener at the same address.
+        second = None
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            try:
+                second = TcpMasterTransport(host=host, port=port).start()
+                break
+            except OSError:
+                time.sleep(0.1)
+        assert second is not None, "could not rebind the master port"
+        try:
+            assert second.wait_for_workers(1, timeout=10)
+            assert second.workers() == ["phoenix"]
+            assert client.stats.reconnects >= 1
+        finally:
+            client.stop()
+            second.broadcast(ControlMessage("shutdown").encode())
+            second.close()
+            runner.join(timeout=5)
