@@ -74,6 +74,16 @@ def _phase_totals(exports) -> dict:
     return totals
 
 
+def _overhead_ratios(phases: dict, elapsed: float) -> dict:
+    """Dispatch/gather share of wall time (see bench_backend_scaling)."""
+    if not elapsed or elapsed <= 0:
+        return {"dispatch_ratio": 0.0, "gather_ratio": 0.0}
+    return {
+        "dispatch_ratio": phases.get("scatter", 0.0) / elapsed,
+        "gather_ratio": phases.get("gather", 0.0) / elapsed,
+    }
+
+
 def bench_sequential(jobs: int) -> dict:
     """Baseline: the same scans, one after another on the bare backend."""
     backend = resolve_backend("serial")
@@ -92,6 +102,7 @@ def bench_sequential(jobs: int) -> dict:
         total += outcome.tested
     elapsed = time.perf_counter() - started
     metrics = recorder.export()
+    phases = _phase_totals([metrics])
     return {
         "backend": "serial",
         "mode": "sequential",
@@ -100,7 +111,8 @@ def bench_sequential(jobs: int) -> dict:
         "tested": total,
         "elapsed": elapsed,
         "keys_per_second": total / elapsed if elapsed else 0.0,
-        "phases": _phase_totals([metrics]),
+        "phases": phases,
+        "overheads": _overhead_ratios(phases, elapsed),
         "metrics": metrics,
     }
 
@@ -110,14 +122,17 @@ def bench_scheduler(jobs: int) -> dict:
     with tempfile.TemporaryDirectory(prefix="bench-scheduler-") as root:
         store = JobStore(root)
         recorder = Recorder()
-        sched = Scheduler(store, backend="serial", quantum=_QUANTUM, recorder=recorder)
-        ids = [sched.submit(_spec(index)).id for index in range(jobs)]
-        started = time.perf_counter()
-        sched.run_until_idle()
-        elapsed = time.perf_counter() - started
-        total = sum(sched.served(job_id) for job_id in ids)
+        with Scheduler(
+            store, backend="serial", quantum=_QUANTUM, recorder=recorder
+        ) as sched:
+            ids = [sched.submit(_spec(index)).id for index in range(jobs)]
+            started = time.perf_counter()
+            sched.run_until_idle()
+            elapsed = time.perf_counter() - started
+            total = sum(sched.served(job_id) for job_id in ids)
         complete = all(store.load_progress(job_id).is_complete for job_id in ids)
         job_exports = [store.load_metrics(job_id) for job_id in ids]
+    phases = _phase_totals(job_exports)
     return {
         "backend": "serial",
         "mode": "scheduler",
@@ -126,7 +141,8 @@ def bench_scheduler(jobs: int) -> dict:
         "tested": total,
         "elapsed": elapsed,
         "keys_per_second": total / elapsed if elapsed else 0.0,
-        "phases": _phase_totals(job_exports),
+        "phases": phases,
+        "overheads": _overhead_ratios(phases, elapsed),
         "metrics": recorder.export(),  # the cross-job decision timeline
         "coverage_complete": complete,
     }
@@ -135,8 +151,17 @@ def bench_scheduler(jobs: int) -> dict:
 def run(quick: bool = False, workers: int | None = None) -> dict:
     """Returns the ``BENCH_cracking.json`` payload fragment."""
     jobs = 3 if quick else 6
-    sequential = bench_sequential(jobs)
-    scheduled = bench_scheduler(jobs)
+    # Best-of-repeats on both sides: the ratio compares the two modes'
+    # capability, not which run a noisy-neighbour stall happened to hit.
+    repeats = 2 if quick else 3
+    sequential = max(
+        (bench_sequential(jobs) for _ in range(repeats)),
+        key=lambda row: row["keys_per_second"],
+    )
+    scheduled = max(
+        (bench_scheduler(jobs) for _ in range(repeats)),
+        key=lambda row: row["keys_per_second"],
+    )
     ratio = (
         scheduled["keys_per_second"] / sequential["keys_per_second"]
         if sequential["keys_per_second"]

@@ -1,0 +1,151 @@
+"""CI perf gate: fail the build when the parallelism race is lost.
+
+Runs the backend-scaling and scheduler benchmarks (quick mode) and
+enforces floors on the headline ratios::
+
+    PYTHONPATH=src python benchmarks/perf_gate.py
+
+Floors on a >= 4-core runner (the shape the acceptance criteria target):
+
+* ``speedup_process_vs_serial >= 1.5`` — a process pool that loses to a
+  single core means the dispatch path regressed (cold pools, per-chunk
+  pickling, per-chunk round trips).
+* ``scheduler_vs_sequential >= 0.9`` — fair-share multiplexing may cost
+  at most 10% over running the same jobs back-to-back.
+
+On hosts with fewer than 4 CPUs a process pool cannot beat serial no
+matter how good the dispatch is (the workers time-share the same core),
+so the process floor relaxes to a warm-pool sanity bound and the
+scheduler floor stays — scheduler overhead is core-count independent.
+The applied floors are printed so a gate failure is self-explaining.
+
+Escape hatch for noisy runners: set ``REPRO_PERF_GATE=skip`` to turn the
+gate into a report-only run (exit 0, ratios still printed), or
+``REPRO_PERF_GATE=floor:<process>,<scheduler>`` to override the floors,
+e.g. ``REPRO_PERF_GATE=floor:1.2,0.8``.  Use it to unblock a flaky
+runner, not to ratchet floors down permanently — the override is printed
+loudly in the job log.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_backend_scaling
+import bench_scheduler
+
+#: Acceptance floors on the 4-core runner shape.
+PROCESS_FLOOR = 1.5
+SCHEDULER_FLOOR = 0.9
+
+#: Below this core count a process pool is physically unable to beat
+#: serial (workers time-share one core); the relaxed floor only asserts
+#: the warm-pool dispatch path is not pathological.
+MIN_CPUS_FOR_SPEEDUP = 4
+RELAXED_PROCESS_FLOOR = 0.5
+
+GATE_ENV = "REPRO_PERF_GATE"
+
+
+def floors_for(cpus: int) -> tuple[float, float, str]:
+    """(process_floor, scheduler_floor, reason) for this host shape."""
+    override = os.environ.get(GATE_ENV, "")
+    if override.startswith("floor:"):
+        try:
+            process_s, scheduler_s = override[len("floor:"):].split(",")
+            return (
+                float(process_s),
+                float(scheduler_s),
+                f"OVERRIDDEN via {GATE_ENV}={override!r}",
+            )
+        except ValueError:
+            raise SystemExit(
+                f"error: bad {GATE_ENV} override {override!r}; "
+                "expected floor:<process>,<scheduler>"
+            )
+    if cpus < MIN_CPUS_FOR_SPEEDUP:
+        return (
+            RELAXED_PROCESS_FLOOR,
+            SCHEDULER_FLOOR,
+            f"relaxed: {cpus} CPU(s) < {MIN_CPUS_FOR_SPEEDUP} "
+            "(process pools cannot beat serial on a shared core)",
+        )
+    return PROCESS_FLOOR, SCHEDULER_FLOOR, "standard 4-core acceptance floors"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--full", action="store_true",
+        help="full-size benchmarks (default: quick, the CI shape)",
+    )
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the measured ratios as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    skip = os.environ.get(GATE_ENV) == "skip"
+    cpus = os.cpu_count() or 1
+    process_floor, scheduler_floor, reason = floors_for(cpus)
+    print(f"perf gate on {cpus} CPU(s): process >= {process_floor}, "
+          f"scheduler >= {scheduler_floor} ({reason})")
+
+    scaling = bench_backend_scaling.run(quick=not args.full, workers=args.workers)
+    scheduler = bench_scheduler.run(quick=not args.full, workers=args.workers)
+    ratios = {
+        "host_cpus": cpus,
+        "speedup_process_vs_serial": scaling["speedup_process_vs_serial"],
+        "speedup_thread_vs_serial": scaling["speedup_thread_vs_serial"],
+        "scheduler_vs_sequential": scheduler["scheduler_vs_sequential"],
+        "floors": {"process": process_floor, "scheduler": scheduler_floor},
+        "all_results_identical": (
+            scaling["all_results_identical"]
+            and scheduler["all_results_identical"]
+        ),
+    }
+    print(f"  process/serial : {ratios['speedup_process_vs_serial']:.2f}x")
+    print(f"  thread/serial  : {ratios['speedup_thread_vs_serial']:.2f}x")
+    print(f"  scheduler/seq  : {ratios['scheduler_vs_sequential']:.2f}x")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(ratios, handle, indent=2)
+            handle.write("\n")
+
+    failures = []
+    if not ratios["all_results_identical"]:
+        failures.append("backends disagreed on results (correctness, not perf)")
+    if ratios["speedup_process_vs_serial"] < process_floor:
+        failures.append(
+            f"speedup_process_vs_serial "
+            f"{ratios['speedup_process_vs_serial']:.2f} < {process_floor}"
+        )
+    if ratios["scheduler_vs_sequential"] < scheduler_floor:
+        failures.append(
+            f"scheduler_vs_sequential "
+            f"{ratios['scheduler_vs_sequential']:.2f} < {scheduler_floor}"
+        )
+    if failures:
+        for failure in failures:
+            print(f"PERF GATE FAIL: {failure}", file=sys.stderr)
+        if skip:
+            print(f"{GATE_ENV}=skip set: reporting only, not failing the build")
+            return 0
+        print(
+            f"(noisy runner? rerun, or set {GATE_ENV}=skip / "
+            f"{GATE_ENV}=floor:<p>,<s> — see docs/PERFORMANCE.md)",
+            file=sys.stderr,
+        )
+        return 1
+    print("perf gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

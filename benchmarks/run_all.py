@@ -6,16 +6,19 @@ compared::
 
     PYTHONPATH=src python benchmarks/run_all.py [--quick] [--output PATH]
 
-Schema (``bench-cracking/v2``)::
+Schema (``bench-cracking/v3``)::
 
     {
-      "schema": "bench-cracking/v2",
+      "schema": "bench-cracking/v3",
       "generated_at": <unix seconds>,
       "host": {"cpus": N, "platform": "..."},
       "benchmarks": [<bench payloads, each with "name" and "results">],
       "summary": {
         "best_keys_per_second": ...,
         "speedup_process_vs_serial": ...,
+        "speedup_thread_vs_serial": ...,
+        "scheduler_vs_sequential": ...,
+        "overheads": {"backend_scaling": {...}, "scheduler": {...}},
         "all_results_identical": true
       }
     }
@@ -25,6 +28,13 @@ v2 over v1: every result row embeds a ``repro-metrics/v1`` export under
 a ``"phases"`` scatter/search/gather seconds breakdown derived from it —
 the paper's ``K_scatter``/``K_search``/``K_gather`` split per
 configuration.
+
+v3 over v2: ``summary.speedup_thread_vs_serial`` joins the process
+speedup, and ``summary.overheads`` carries the per-phase dispatch/gather
+wall-clock ratios of the best process row and the scheduler row — so a
+parallelism regression is attributable to a phase, not just visible as a
+worse ratio.  Benchmarks run warm (pool start-up excluded) because
+production pools are persistent.
 """
 
 from __future__ import annotations
@@ -44,7 +54,26 @@ import bench_transport
 
 from repro.obs import validate_metrics
 
-SCHEMA = "bench-cracking/v2"
+SCHEMA = "bench-cracking/v3"
+
+
+def _summary_overheads(scaling: dict, scheduler: dict) -> dict:
+    """Headline dispatch/gather ratios: best process row + scheduler row."""
+    process_rows = [
+        r for r in scaling["results"]
+        if r["backend"] == "process" and "overheads" in r
+    ]
+    best_process = max(
+        process_rows, key=lambda r: r["keys_per_second"], default=None
+    )
+    sched_row = next(
+        (r for r in scheduler["results"] if r.get("mode") == "scheduler"), None
+    )
+    empty = {"dispatch_ratio": 0.0, "gather_ratio": 0.0}
+    return {
+        "backend_scaling": best_process["overheads"] if best_process else empty,
+        "scheduler": sched_row.get("overheads", empty) if sched_row else empty,
+    }
 
 
 def run_all(quick: bool = False, workers: int | None = None) -> dict:
@@ -65,8 +94,10 @@ def run_all(quick: bool = False, workers: int | None = None) -> dict:
         "summary": {
             "best_keys_per_second": best,
             "speedup_process_vs_serial": benchmarks[0]["speedup_process_vs_serial"],
+            "speedup_thread_vs_serial": benchmarks[0]["speedup_thread_vs_serial"],
             "scheduler_vs_sequential": benchmarks[1]["scheduler_vs_sequential"],
             "tcp_vs_in_process": benchmarks[2]["tcp_vs_in_process"],
+            "overheads": _summary_overheads(benchmarks[0], benchmarks[1]),
             "all_results_identical": all(
                 b.get("all_results_identical", True) for b in benchmarks
             ),
@@ -114,8 +145,28 @@ def validate(document: dict) -> list[str]:
                         f"metrics: {p}" for p in validate_metrics(metrics)
                     )
     summary = document.get("summary")
-    if not isinstance(summary, dict) or "speedup_process_vs_serial" not in summary:
-        problems.append("summary.speedup_process_vs_serial is required")
+    if not isinstance(summary, dict):
+        problems.append("summary object is required")
+        return problems
+    for key in (
+        "speedup_process_vs_serial",
+        "speedup_thread_vs_serial",
+        "scheduler_vs_sequential",
+    ):
+        if not isinstance(summary.get(key), (int, float)):
+            problems.append(f"summary.{key} must be a number")
+    overheads = summary.get("overheads")
+    if not isinstance(overheads, dict):
+        problems.append("summary.overheads is required")
+    else:
+        for group in ("backend_scaling", "scheduler"):
+            ratios = overheads.get(group)
+            if not isinstance(ratios, dict) or not {
+                "dispatch_ratio", "gather_ratio"
+            } <= set(ratios):
+                problems.append(
+                    f"summary.overheads.{group} needs dispatch_ratio/gather_ratio"
+                )
     return problems
 
 
@@ -150,6 +201,8 @@ def main(argv: list[str] | None = None) -> int:
     print(f"best throughput : {summary['best_keys_per_second'] / 1e6:.2f} Mkeys/s")
     print(f"process/serial  : {summary['speedup_process_vs_serial']:.2f}x "
           f"on {document['host']['cpus']} cpus")
+    print(f"thread/serial   : {summary['speedup_thread_vs_serial']:.2f}x")
+    print(f"scheduler/seq   : {summary['scheduler_vs_sequential']:.2f}x")
     return 0
 
 

@@ -1,0 +1,87 @@
+"""SWEEP — grid the dispatch knobs and lock the winners into tuning.json.
+
+Drives :mod:`repro.tuning.sweep` over worker count x chunk size x gather
+batch, prints the markdown audit report, and records the measured-best
+configuration per ``(backend, workers)`` into the versioned tuning store
+that :func:`repro.core.backend.resolve_backend` consults::
+
+    PYTHONPATH=src python benchmarks/sweep_dispatch.py [--quick]
+        [--out tuning.json] [--summary SWEEP_dispatch.md] [--dry-run]
+
+This is the optimization loop the perf work runs on: measure, compare
+against the serial baseline, persist only improvements, re-run after any
+dispatch-path change.  ``repro tune`` is the same engine with the same
+flags for end users.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.tuning import TuningStore, default_tuning_path
+from repro.tuning.sweep import apply_best, render_summary, sweep_dispatch
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller space, single repeat"
+    )
+    parser.add_argument("--space", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--batch-size", type=int, default=1 << 14)
+    parser.add_argument(
+        "--backends", default="thread,process",
+        help="comma-separated pool backends to grid",
+    )
+    parser.add_argument(
+        "--workers", default=None,
+        help="comma-separated worker counts (default: host-derived)",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="tuning.json to update (default: $REPRO_TUNING_FILE or ./tuning.json)",
+    )
+    parser.add_argument(
+        "--summary", metavar="PATH", default=None,
+        help="write the markdown report to PATH as well as stdout",
+    )
+    parser.add_argument(
+        "--dry-run", action="store_true", help="measure only; write nothing"
+    )
+    args = parser.parse_args(argv)
+
+    space = args.space if args.space is not None else (60_000 if args.quick else 400_000)
+    repeats = args.repeats if args.repeats is not None else (1 if args.quick else 3)
+    workers_grid = None
+    if args.workers:
+        workers_grid = tuple(int(w) for w in args.workers.split(",") if w.strip())
+    report = sweep_dispatch(
+        space=space,
+        backends=tuple(b.strip() for b in args.backends.split(",") if b.strip()),
+        workers_grid=workers_grid,
+        batch_size=args.batch_size,
+        repeats=repeats,
+        progress=lambda line: print(f"  {line}", file=sys.stderr),
+    )
+    path = args.out if args.out else default_tuning_path()
+    summary = render_summary(report, store_path=None if args.dry_run else path)
+    print(summary)
+    if args.summary:
+        with open(args.summary, "w") as handle:
+            handle.write(summary)
+    if args.dry_run:
+        return 0
+    store = TuningStore(path)
+    changed = apply_best(report, store)
+    print(
+        f"{len(changed)} config(s) improved and saved to {path}"
+        if changed
+        else f"no improvement over stored bests in {path}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

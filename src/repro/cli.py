@@ -9,11 +9,13 @@ Commands
 ``devices``   list the modelled GPU catalog with per-kernel throughput
 ``serve``     run the persistent job-service daemon over a store directory
 ``jobs``      submit/status/pause/resume/cancel/tail jobs in a store
+``tune``      sweep dispatch knobs on this host and lock in the winners
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.keyspace import (
@@ -63,6 +65,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend (auto: process pool when --workers > 1)",
     )
     crack.add_argument("--batch-size", type=int, default=1 << 14)
+    crack.add_argument(
+        "--gather-batch",
+        type=int,
+        default=None,
+        help="chunks a pool worker executes per gather reply "
+        "(default: the tuned or heuristic span width)",
+    )
+    crack.add_argument(
+        "--tuning-file",
+        metavar="PATH",
+        default=None,
+        help="tuning.json of measured-best dispatch configs to consult "
+        "(default: $REPRO_TUNING_FILE or ./tuning.json; see 'repro tune')",
+    )
     crack.add_argument(
         "--adaptive",
         action="store_true",
@@ -209,6 +225,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="gathered chunks between durable checkpoint writes",
     )
     serve.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=0.05,
+        help="minimum seconds between mid-slice checkpoint fsyncs "
+        "(slice-end checkpoints are never skipped; 0 = every N chunks)",
+    )
+    serve.add_argument(
+        "--gather-batch",
+        type=int,
+        default=None,
+        help="chunks a pool worker executes per gather reply",
+    )
+    serve.add_argument(
         "--poll", type=float, default=0.25, help="idle sleep between store polls, seconds"
     )
     serve.add_argument(
@@ -275,6 +304,37 @@ def build_parser() -> argparse.ArgumentParser:
     tail.add_argument("id")
     tail.add_argument("-n", "--lines", type=int, default=10)
 
+    tune = sub.add_parser(
+        "tune",
+        help="sweep dispatch knobs on this host and lock in the winners",
+    )
+    tune.add_argument(
+        "--space", type=int, default=200_000,
+        help="candidates per grid point (larger = less noisy, slower)",
+    )
+    tune.add_argument("--repeats", type=int, default=2, help="timed runs per point, best kept")
+    tune.add_argument("--batch-size", type=int, default=1 << 14)
+    tune.add_argument(
+        "--backends", default="thread,process",
+        help="comma-separated pool backends to grid (default: thread,process)",
+    )
+    tune.add_argument(
+        "--workers", default=None,
+        help="comma-separated worker counts to grid (default: host-derived)",
+    )
+    tune.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="tuning.json to update (default: $REPRO_TUNING_FILE or ./tuning.json)",
+    )
+    tune.add_argument(
+        "--summary", metavar="PATH", default=None,
+        help="also write the markdown sweep report to PATH",
+    )
+    tune.add_argument(
+        "--dry-run", action="store_true",
+        help="measure and report but do not write the tuning file",
+    )
+
     sub.add_parser("tables", help="reprint the paper's tables from the models")
     sub.add_parser("devices", help="list the GPU catalog with modelled throughput")
     sub.add_parser("report", help="regenerate the full paper-vs-measured report")
@@ -291,6 +351,7 @@ def main(argv: list[str] | None = None) -> int:
         "mask": _cmd_mask,
         "serve": _cmd_serve,
         "jobs": _cmd_jobs,
+        "tune": _cmd_tune,
         "tables": _cmd_tables,
         "devices": _cmd_devices,
         "report": _cmd_report,
@@ -315,6 +376,10 @@ def _cmd_crack(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.tuning_file:
+        from repro.tuning import TUNING_FILE_ENV
+
+        os.environ[TUNING_FILE_ENV] = args.tuning_file
     if args.algorithm == "ntlm":
         if args.checkpoint_dir:
             print(
@@ -375,6 +440,7 @@ def _cmd_crack(args) -> int:
             batch_size=args.batch_size,
             adaptive=args.adaptive,
             recorder=recorder,
+            gather_batch=args.gather_batch,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -662,6 +728,7 @@ def _crack_checkpointed(args, target) -> int:
             checkpoint=store.checkpoint_writer(job_id),
             chunk_size=spec.chunk_size,
             preempt=stop.is_set,
+            gather_batch=args.gather_batch,
         )
     except ValueError as exc:
         store.set_state(job_id, "failed", str(exc))
@@ -701,6 +768,8 @@ def _cmd_serve(args) -> int:
         workers=args.workers,
         quantum=args.quantum,
         checkpoint_every=args.checkpoint_every,
+        checkpoint_interval=args.checkpoint_interval,
+        gather_batch=args.gather_batch,
         poll_interval=args.poll,
         once=args.once,
         max_rounds=args.max_rounds,
@@ -711,6 +780,58 @@ def _cmd_serve(args) -> int:
     for state in sorted(summary.states):
         print(f"  {state:9s} {summary.states[state]}")
     _emit_metrics(args, summary.metrics)
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    """Grid the dispatch knobs, print the report, persist the winners."""
+    from pathlib import Path
+
+    from repro.tuning import TuningStore, default_tuning_path
+    from repro.tuning.sweep import apply_best, render_summary, sweep_dispatch
+
+    backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
+    workers_grid = None
+    if args.workers:
+        try:
+            workers_grid = tuple(
+                int(w) for w in str(args.workers).split(",") if w.strip()
+            )
+        except ValueError:
+            print("error: --workers must be comma-separated integers", file=sys.stderr)
+            return 2
+    try:
+        report = sweep_dispatch(
+            space=args.space,
+            backends=backends,
+            workers_grid=workers_grid,
+            batch_size=args.batch_size,
+            repeats=args.repeats,
+            progress=lambda line: print(f"  {line}", file=sys.stderr),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    path = Path(args.out) if args.out else default_tuning_path()
+    print(render_summary(report, store_path=None if args.dry_run else path))
+    if args.summary:
+        Path(args.summary).write_text(render_summary(report, store_path=path))
+        print(f"summary written to {args.summary}")
+    if args.dry_run:
+        print("dry run: tuning file not written")
+        return 0
+    store = TuningStore(path)
+    changed = apply_best(report, store)
+    if changed:
+        for entry in changed:
+            print(
+                f"locked in: {entry.backend} w={entry.workers} "
+                f"chunk={entry.chunk_size} gather={entry.gather_batch} "
+                f"({entry.keys_per_second:,.0f} keys/s)"
+            )
+        print(f"tuning file updated: {path}")
+    else:
+        print(f"no improvement over stored bests in {path}")
     return 0
 
 

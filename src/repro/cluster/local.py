@@ -85,6 +85,17 @@ class LocalCluster:
         self.backend = resolve_backend(backend, workers=workers)
         self.workers = self.backend.workers
 
+    def close(self) -> None:
+        """Release the backend's warm worker pool (idempotent)."""
+        self.backend.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
     # ------------------------------------------------------------------ #
     def crack(
         self,
@@ -94,6 +105,7 @@ class LocalCluster:
         stop_on_first: bool = False,
         adaptive: bool = False,
         recorder=None,
+        gather_batch: int | None = None,
     ) -> LocalCrackOutcome:
         """Search an interval (default: the whole space) in parallel.
 
@@ -101,13 +113,20 @@ class LocalCluster:
         been gathered (in-flight chunks still complete), the paper's "stop
         condition ... a satisfactory number of solutions has been found".
         ``adaptive`` runs the measured tuning step first and sizes chunks
-        by each worker's real throughput.  ``recorder`` captures phase
-        timings and rebalance decisions (see :mod:`repro.obs`).
+        by each worker's real throughput.  ``gather_batch`` sets the
+        chunks-per-reply span width (``None``: the backend's tuned or
+        heuristic default).  ``recorder`` captures phase timings and
+        rebalance decisions (see :mod:`repro.obs`).
         """
         interval = interval if interval is not None else Interval(0, target.space_size)
         if chunk_size is None:
-            # A few chunks per worker keeps the pool busy and the tail short.
-            chunk_size = max(1, interval.size // (self.workers * 4) or 1)
+            tuned = getattr(self.backend, "tuned", None)
+            if tuned is not None and tuned.chunk_size <= interval.size:
+                # The sweep's measured-best chunk for this backend shape.
+                chunk_size = tuned.chunk_size
+            else:
+                # A few chunks per worker keeps the pool busy, tail short.
+                chunk_size = max(1, interval.size // (self.workers * 4) or 1)
         started = time.perf_counter()
         outcome = LocalCrackOutcome(workers=self.workers, backend=self.backend.name)
         if adaptive and interval.size > 4 * chunk_size:
@@ -128,6 +147,7 @@ class LocalCluster:
             batch_size=self.batch_size,
             stop_on_first=stop_on_first,
             recorder=recorder,
+            gather_batch=gather_batch,
         )
         outcome.found.extend(result.found)
         outcome.found.sort()

@@ -111,7 +111,11 @@ def execute_scatter(
             prefix=msg.prefix,
             suffix=msg.suffix,
         )
-        if backend.workers > 1:
+        tuned = getattr(backend, "tuned", None)
+        if tuned is not None and tuned.chunk_size <= msg.interval.size:
+            # The sweep's measured-best sub-chunk for this pool shape.
+            sub = tuned.chunk_size
+        elif backend.workers > 1:
             # A multi-unit node spreads its interval over its own pool,
             # like the paper's dispatcher inside a node.
             sub = max(1, msg.interval.size // (backend.workers * 2))

@@ -14,8 +14,25 @@ module is that seam:
 * :class:`ProcessBackend` — a ``ProcessPoolExecutor``; one Python per
   core, the CPU analogue of the paper's multi-GPU node.
 
-Work travels as picklable :class:`WorkUnit` values (target + interval +
-batch size) and comes back as :class:`WorkUnitResult` with per-unit
+The dispatch path is built so parallel actually wins:
+
+* **Warm pools** — pool backends keep their executor alive across
+  :meth:`~ExecutionBackend.run` calls, so a scheduler slicing many jobs
+  over one backend pays worker start-up exactly once, not per slice.
+* **One target install per worker** — the :class:`CrackTarget` is pickled
+  once per run and shipped as an opaque blob; each worker deserializes it
+  once (keyed by fingerprint) and keeps a warm :class:`CrackEngine` in a
+  small per-worker LRU, so chunks of the same job never rebuild
+  workspaces.  Work itself travels as bare ``(start, stop)`` tuples.
+* **Batched gather** — workers execute *spans* of several chunks per
+  round trip (:class:`WorkSpan`) and reply once per span; the master
+  drains replies in bulk.  ``gather_batch`` controls the span width and
+  is autotuned via :mod:`repro.tuning`.
+* **Shared-memory counters** — per-chunk progress lands on a
+  :class:`repro.core.shm.ResultBoard` with plain stores, so live
+  throughput needs no extra IPC between span replies.
+
+Results come back as :class:`WorkUnitResult` values with per-chunk
 counters, which the backend merges into a :class:`BackendOutcome` carrying
 per-worker measured throughput — the real ``X_j`` the balancing rule
 ``N_j = N_max * (X_j / X_max)`` of :mod:`repro.cluster.balance` needs.
@@ -23,22 +40,29 @@ per-worker measured throughput — the real ``X_j`` the balancing rule
 
 from __future__ import annotations
 
+import hashlib
 import os
+import pickle
 import threading
 import time
+import weakref
+from collections import OrderedDict
 from concurrent.futures import (
     FIRST_COMPLETED,
+    BrokenExecutor,
     Executor,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     wait,
 )
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Iterable, Sequence
 
 from repro.apps.cracking import CrackEngine, CrackTarget
 from repro.core.results import ResultMixin
 from repro.core.search import SearchOutcome
+from repro.core.shm import ResultBoard
 from repro.keyspace import Interval
 from repro.obs.schema import MetricNames
 
@@ -47,7 +71,10 @@ from repro.obs.schema import MetricNames
 class WorkUnit:
     """One scatter payload: everything a worker needs, and nothing more.
 
-    Frozen and picklable — this crosses the process boundary.
+    Frozen and picklable — this crosses the process boundary.  The hot
+    dispatch path ships :class:`WorkSpan` batches instead; the single-unit
+    form remains the public currency for callers that want to execute one
+    chunk by hand (and for the cluster runtime's scatter messages).
     """
 
     target: CrackTarget
@@ -59,9 +86,26 @@ class WorkUnit:
             raise ValueError("batch_size must be positive")
 
 
+@dataclass(frozen=True)
+class WorkSpan:
+    """A batched scatter payload: several chunks, one round trip.
+
+    ``intervals`` are bare ``(start, stop)`` tuples — the chunk params and
+    nothing else.  The target rides along once as ``payload`` (pickled
+    bytes, a near-memcpy to re-pickle); workers deserialize it only on a
+    ``token`` cache miss, so a warm worker pays zero per-span target cost.
+    """
+
+    token: str  #: target fingerprint (worker-side install cache key)
+    intervals: tuple  #: ((start, stop), ...)
+    batch_size: int
+    payload: bytes  #: pickled CrackTarget, deserialized once per worker
+    stop_on_first: bool = False  #: worker may cut the span at a hit
+
+
 @dataclass
 class WorkUnitResult:
-    """The gather payload for one executed :class:`WorkUnit`."""
+    """The gather payload for one executed chunk."""
 
     interval: Interval
     matches: list  #: (index, key) pairs, sorted by index
@@ -77,20 +121,85 @@ class WorkUnitResult:
         return self.tested / self.elapsed
 
 
-#: Engines are cached per worker (thread-local, so thread-pool workers
-#: never share one) so a worker that receives many chunks of the same
-#: target reuses its preallocated workspace/scratch buffers — the
-#: allocation-free steady state survives chunk boundaries.
-_ENGINE_CACHE = threading.local()
+# --------------------------------------------------------------------- #
+# Worker-side warm state
+# --------------------------------------------------------------------- #
+
+#: How many live engines a single worker keeps warm.  Sized for the
+#: fair-share scheduler's round-robin: a handful of interleaved jobs can
+#: each keep their preallocated workspace across slices instead of
+#: thrashing a single slot.
+ENGINE_CACHE_SIZE = 4
+
+
+class _EngineCache(threading.local):
+    """Per-thread LRU of live engines (thread-pool workers never share)."""
+
+    def __init__(self) -> None:
+        self.entries: OrderedDict = OrderedDict()
+
+
+_ENGINE_CACHE = _EngineCache()
 
 
 def _cached_engine(target: CrackTarget, batch_size: int) -> CrackEngine:
+    """A warm engine for this (target, batch) on the calling worker.
+
+    Keyed by target *value* (frozen dataclass equality), so the cache
+    survives across chunks of the same job no matter how the target
+    reached the worker — re-pickled, re-built from a spec, or installed
+    once via a :class:`WorkSpan` token.  A small LRU instead of a single
+    slot keeps interleaved jobs (the scheduler's round-robin) from
+    evicting each other every slice.
+    """
+    entries = _ENGINE_CACHE.entries
     key = (target, batch_size)
-    if getattr(_ENGINE_CACHE, "key", None) != key:
-        # One live target per worker keeps memory flat.
-        _ENGINE_CACHE.key = key
-        _ENGINE_CACHE.engine = CrackEngine(target, batch_size=batch_size)
-    return _ENGINE_CACHE.engine
+    engine = entries.get(key)
+    if engine is None:
+        engine = CrackEngine(target, batch_size=batch_size)
+        entries[key] = engine
+        while len(entries) > ENGINE_CACHE_SIZE:
+            entries.popitem(last=False)
+    else:
+        entries.move_to_end(key)
+    return engine
+
+
+def engine_cache_stats() -> dict:
+    """Introspection for tests: cached keys on the calling thread."""
+    return {
+        "size": len(_ENGINE_CACHE.entries),
+        "capacity": ENGINE_CACHE_SIZE,
+        "keys": list(_ENGINE_CACHE.entries),
+    }
+
+
+#: Per-process install cache of deserialized targets, keyed by span token.
+_SPAN_TARGETS: dict[str, CrackTarget] = {}
+
+#: Process-pool worker identity, assigned once by the pool initializer.
+_WORKER_SLOT = -1
+_WORKER_BOARD = None  # AttachedBoard in process-pool workers
+
+
+def _init_process_worker(slot_counter, board_name: str | None, workers: int) -> None:
+    """Process-pool initializer: claim a board slot, attach the board.
+
+    Runs once per worker process at pool start — the warm-up moment.  The
+    heavy imports (NumPy, the kernels) are already paid here rather than
+    on the first chunk, and the worker's identity on the shared-memory
+    board is fixed for the life of the pool.
+    """
+    global _WORKER_SLOT, _WORKER_BOARD
+    if slot_counter is not None:
+        with slot_counter.get_lock():
+            _WORKER_SLOT = slot_counter.value
+            slot_counter.value += 1
+    if board_name is not None and 0 <= _WORKER_SLOT < workers:
+        try:
+            _WORKER_BOARD = ResultBoard.attach(board_name, workers)
+        except (OSError, ValueError):  # board gone: run blind, replies still flow
+            _WORKER_BOARD = None
 
 
 def _worker_label() -> str:
@@ -98,6 +207,67 @@ def _worker_label() -> str:
     if thread is threading.main_thread():
         return f"pid-{os.getpid()}"
     return f"pid-{os.getpid()}/{thread.name}"
+
+
+def _install_target(span: WorkSpan) -> CrackTarget:
+    target = _SPAN_TARGETS.get(span.token)
+    if target is None:
+        target = pickle.loads(span.payload)
+        if len(_SPAN_TARGETS) >= 2 * ENGINE_CACHE_SIZE:
+            _SPAN_TARGETS.clear()  # bounded; engines hold the hot state
+        _SPAN_TARGETS[span.token] = target
+    return target
+
+
+def _run_span(span: WorkSpan, record) -> list[WorkUnitResult]:
+    """Execute every chunk of a span on one warm engine; one reply."""
+    target = _install_target(span)
+    engine = _cached_engine(target, span.batch_size)
+    label = _worker_label()
+    results: list[WorkUnitResult] = []
+    for start, stop in span.intervals:
+        interval = Interval(start, stop)
+        tested0 = engine.stats.tested
+        batches0 = engine.stats.batches
+        elapsed0 = engine.stats.elapsed
+        matches = engine.search(interval)
+        tested = engine.stats.tested - tested0
+        batches = engine.stats.batches - batches0
+        elapsed = engine.stats.elapsed - elapsed0
+        if record is not None:
+            record(tested, batches, elapsed)
+        results.append(
+            WorkUnitResult(
+                interval=interval,
+                matches=matches,
+                tested=tested,
+                batches=batches,
+                elapsed=elapsed,
+                worker=label,
+            )
+        )
+        if span.stop_on_first and matches:
+            break  # the un-run rest of the span is reported unfinished
+    return results
+
+
+def execute_work_span(span: WorkSpan) -> list[WorkUnitResult]:
+    """Span entry point in process-pool workers (module-level: picklable)."""
+    record = None
+    if _WORKER_BOARD is not None:
+        record = partial(_WORKER_BOARD.record, _WORKER_SLOT)
+    return _run_span(span, record)
+
+
+def _execute_span_in_thread(span: WorkSpan, board: ResultBoard | None):
+    """Span entry point in thread-pool workers (board passed in-process)."""
+    record = None
+    if board is not None:
+        name = threading.current_thread().name
+        _, _, index = name.rpartition("_")
+        slot = int(index) if index.isdigit() else 0
+        record = partial(board.record, min(slot, board.workers - 1))
+    return _run_span(span, record)
 
 
 def execute_work_unit(unit: WorkUnit) -> WorkUnitResult:
@@ -146,6 +316,7 @@ class BackendOutcome(ResultMixin):
     tested: int = 0
     batches: int = 0
     chunks: int = 0
+    spans: int = 0  #: gather replies (== chunks unless batched)
     elapsed: float = 0.0  #: wall-clock of the whole run
     worker_elapsed: float = 0.0  #: summed in-worker search time
     per_worker: dict = field(default_factory=dict)  #: label -> WorkerThroughput
@@ -197,10 +368,10 @@ class BackendOutcome(ResultMixin):
 
 
 class ExecutionBackend:
-    """Common driver: dispatch work units, gather, merge.
+    """Common driver: dispatch spans of chunks, gather, merge.
 
-    Subclasses provide :meth:`_execute`, mapping an iterable of units to an
-    iterable of results in completion order.
+    Subclasses provide :meth:`_execute`, mapping the planned intervals to
+    an iterable of per-chunk results in completion order.
     """
 
     name = "serial"
@@ -215,16 +386,18 @@ class ExecutionBackend:
         recorder=None,
         preempt=None,
         on_result=None,
+        gather_batch: int | None = None,
     ) -> BackendOutcome:
         """Search the given intervals; returns the merged outcome.
 
         ``stop_on_first`` stops *dispatching* once a match has been
-        gathered; in-flight units still complete and are merged (the
-        paper's stop condition semantics).
+        gathered; in-flight spans cut themselves at the first hit's chunk
+        boundary and everything never executed is reported unfinished
+        (the paper's stop condition semantics).
 
-        ``preempt`` is a zero-argument callable checked at chunk
+        ``preempt`` is a zero-argument callable checked at gather
         boundaries: once it returns true the driver stops handing out new
-        units, lets in-flight units finish and merge, and reports the
+        spans, lets in-flight spans finish and merge, and reports the
         never-executed intervals on ``outcome.unfinished`` — cooperative
         preemption for fair-share scheduling and graceful drain, with
         exactly-once coverage preserved (an interval is either fully
@@ -234,16 +407,30 @@ class ExecutionBackend:
         merged, on the gathering thread — the per-chunk hook checkpointing
         callers use to mark a :class:`~repro.core.progress.ProgressLog`.
 
+        ``gather_batch`` is how many chunks a worker executes per reply
+        (pool backends only).  ``None`` consults the measured-best config
+        from :mod:`repro.tuning` when one is attached, then falls back to
+        a chunks-per-worker heuristic.  Wider spans amortize round trips;
+        narrower spans tighten preemption latency.
+
         ``recorder`` (a :class:`repro.obs.Recorder`) captures the paper's
-        cost-model phases — ``K_scatter`` (unit construction + pool
+        cost-model phases — ``K_scatter`` (span construction + pool
         submission), ``K_search`` (in-worker scan time, one span per
         gathered chunk, labelled by worker), ``K_gather`` (merge time on
         the master) — plus per-worker ``X_j`` gauges.  With ``None``
         (the default) the run is completely uninstrumented.
         """
-        prep_started = time.perf_counter()
-        units = [WorkUnit(target, iv, batch_size) for iv in intervals]
-        scatter_prep = time.perf_counter() - prep_started
+        if gather_batch is None:
+            tuned = getattr(self, "tuned", None)
+            if tuned is not None:
+                gather_batch = tuned.gather_batch
+                if recorder is not None:
+                    recorder.event(
+                        MetricNames.EVENT_TUNING_APPLIED,
+                        backend=self.name,
+                        gather_batch=tuned.gather_batch,
+                        chunk_size=tuned.chunk_size,
+                    )
         outcome = BackendOutcome(backend=self.name, workers=self.workers)
         gather_time = 0.0
         started = time.perf_counter()
@@ -254,7 +441,10 @@ class ExecutionBackend:
             return preempt is not None and bool(preempt())
 
         gathered: set = set()
-        for result in self._execute(units, should_stop, recorder):
+        for result in self._execute(
+            target, intervals, batch_size, should_stop, recorder,
+            stop_on_first, gather_batch,
+        ):
             merge_started = time.perf_counter()
             outcome.absorb(result)
             gathered.add(result.interval)
@@ -271,20 +461,19 @@ class ExecutionBackend:
         outcome.unfinished = [iv for iv in intervals if iv not in gathered]
         outcome.found.sort()
         outcome.elapsed = time.perf_counter() - started
+        outcome.spans = getattr(self, "_spans_gathered", outcome.chunks)
         if recorder is not None:
-            self._record_run(outcome, recorder, scatter_prep, gather_time, stop_on_first)
+            self._record_run(outcome, recorder, gather_time, stop_on_first)
         return outcome
 
     def _record_run(
-        self, outcome: BackendOutcome, recorder, scatter_prep, gather_time, stop_on_first
+        self, outcome: BackendOutcome, recorder, gather_time, stop_on_first
     ) -> None:
-        recorder.span_record(
-            MetricNames.PHASE_SCATTER, scatter_prep, backend=self.name
-        )
         recorder.span_record(MetricNames.PHASE_GATHER, gather_time, backend=self.name)
         recorder.counter(MetricNames.BACKEND_CHUNKS, outcome.chunks, backend=self.name)
         recorder.counter(MetricNames.BACKEND_TESTED, outcome.tested, backend=self.name)
         recorder.counter(MetricNames.BACKEND_BATCHES, outcome.batches, backend=self.name)
+        recorder.counter(MetricNames.BACKEND_SPANS, outcome.spans, backend=self.name)
         if stop_on_first and outcome.found:
             recorder.counter(MetricNames.BACKEND_EARLY_EXIT, 1, backend=self.name)
         # Summed idle seconds across the pool: wall time the workers were
@@ -299,8 +488,21 @@ class ExecutionBackend:
                 worker=name,
             )
 
-    def _execute(self, units, should_stop, recorder=None) -> Iterable[WorkUnitResult]:
+    def _execute(
+        self, target, intervals, batch_size, should_stop, recorder,
+        stop_on_first, gather_batch,
+    ) -> Iterable[WorkUnitResult]:
         raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pooled resources (no-op for inline execution)."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
 
 
 class SerialBackend(ExecutionBackend):
@@ -309,15 +511,33 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
     workers = 1
 
-    def _execute(self, units, should_stop, recorder=None):
-        for unit in units:
+    def _execute(
+        self, target, intervals, batch_size, should_stop, recorder,
+        stop_on_first, gather_batch,
+    ):
+        prep_started = time.perf_counter()
+        engine_warm = _cached_engine(target, batch_size)  # noqa: F841 - warm-up
+        if recorder is not None:
+            recorder.span_record(
+                MetricNames.PHASE_SCATTER,
+                time.perf_counter() - prep_started,
+                backend=self.name,
+            )
+        for interval in intervals:
             if should_stop():
                 return
-            yield execute_work_unit(unit)
+            yield execute_work_unit(WorkUnit(target, interval, batch_size))
 
 
 class _PoolBackend(ExecutionBackend):
-    """Shared scatter/gather loop over a ``concurrent.futures`` executor."""
+    """Shared scatter/gather loop over a persistent ``concurrent.futures``
+    executor.
+
+    The pool is created on first use and **kept warm across runs** — the
+    whole point of the dispatch rebuild: a scheduler slicing many jobs
+    over one backend, or a benchmark timing repeated runs, pays worker
+    start-up once.  :meth:`close` (or garbage collection) shuts it down.
+    """
 
     def __init__(self, workers: int | None = None) -> None:
         if workers is None:
@@ -325,51 +545,129 @@ class _PoolBackend(ExecutionBackend):
         if workers < 1:
             raise ValueError("need at least one worker")
         self.workers = workers
+        self.tuned = None  #: TuningEntry attached by resolve_backend()
+        self.pool_starts = 0  #: cold starts this instance has paid
+        self._pool: Executor | None = None
+        self._board: ResultBoard | None = None
+        self._finalizer = None
+        self._spans_gathered = 0
 
-    def _make_executor(self) -> Executor:
+    # -- pool lifecycle ------------------------------------------------- #
+    def _start_pool(self) -> tuple[Executor, ResultBoard | None]:
         raise NotImplementedError
 
-    def _execute(self, units, should_stop, recorder=None):
-        # Units are handed to the pool through a bounded window (a couple
-        # per worker) rather than scattered upfront: a ``preempt`` or
-        # ``stop_on_first`` signal then takes effect at the next chunk
-        # boundary with only the in-flight window left to drain.
-        units_iter = iter(units)
-        window = self.workers * 2
-        with self._make_executor() as pool:
-            pending: set = set()
+    def _submit(self, pool: Executor, span: WorkSpan):
+        raise NotImplementedError
 
-            def refill() -> float:
-                started = time.perf_counter()
-                while len(pending) < window:
-                    unit = next(units_iter, None)
-                    if unit is None:
-                        break
-                    pending.add(pool.submit(execute_work_unit, unit))
-                return time.perf_counter() - started
+    def _ensure_pool(self) -> Executor:
+        if self._pool is None:
+            self._pool, self._board = self._start_pool()
+            self.pool_starts += 1
+            self._finalizer = weakref.finalize(
+                self, _shutdown_pool, self._pool, self._board
+            )
+        return self._pool
 
-            submit_time = refill()
+    @property
+    def board(self) -> ResultBoard | None:
+        """Live shared counters for the current/last run (may be None)."""
+        return self._board
+
+    def close(self) -> None:
+        """Shut the warm pool down and release the shared board."""
+        if self._finalizer is not None:
+            self._finalizer()  # idempotent; runs _shutdown_pool once
+        self._pool = None
+        self._board = None
+        self._finalizer = None
+
+    # -- the batched scatter/gather loop -------------------------------- #
+    def _execute(
+        self, target, intervals, batch_size, should_stop, recorder,
+        stop_on_first, gather_batch,
+    ):
+        # Chunks are grouped into spans of ``gather_batch`` and handed to
+        # the pool through a bounded window (a couple of spans per worker)
+        # rather than scattered upfront: a ``preempt`` or ``stop_on_first``
+        # signal then takes effect at the next gather with only the
+        # in-flight window left to drain.
+        prep_started = time.perf_counter()
+        try:
+            pool = self._ensure_pool()
+        except BrokenExecutor:
+            self.close()
+            raise
+        if self._board is not None:
+            self._board.reset()
+        self._spans_gathered = 0
+        if gather_batch is None:
+            # Aim for a few replies per worker: wide enough to amortize
+            # round trips, narrow enough that the pool stays balanced.
+            gather_batch = max(1, -(-len(intervals) // (self.workers * 4)))
+        gather_batch = max(1, min(64, int(gather_batch)))
+        payload = pickle.dumps(target, protocol=pickle.HIGHEST_PROTOCOL)
+        token = hashlib.sha1(payload).hexdigest()
+
+        def spans():
+            window: list = []
+            for interval in intervals:
+                window.append((interval.start, interval.stop))
+                if len(window) >= gather_batch:
+                    yield WorkSpan(
+                        token, tuple(window), batch_size, payload, stop_on_first
+                    )
+                    window = []
+            if window:
+                yield WorkSpan(
+                    token, tuple(window), batch_size, payload, stop_on_first
+                )
+
+        spans_iter = spans()
+        window_size = self.workers * 2
+        pending: set = set()
+
+        def refill() -> None:
+            while len(pending) < window_size:
+                span = next(spans_iter, None)
+                if span is None:
+                    break
+                pending.add(self._submit(pool, span))
+
+        try:
+            refill()
             if recorder is not None:
                 recorder.span_record(
-                    MetricNames.PHASE_SCATTER, submit_time, backend=self.name
+                    MetricNames.PHASE_SCATTER,
+                    time.perf_counter() - prep_started,
+                    backend=self.name,
                 )
-            try:
-                while pending:
-                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        yield future.result()
-                    if should_stop():
-                        for future in pending:
-                            future.cancel()
-                        # In-flight units still complete; merge them too.
-                        for future in wait(pending).done:
-                            if not future.cancelled():
-                                yield future.result()
-                        return
-                    refill()
-            finally:
-                for future in pending:
-                    future.cancel()
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    self._spans_gathered += 1
+                    yield from future.result()
+                if should_stop():
+                    for future in pending:
+                        future.cancel()
+                    # In-flight spans still complete; merge them too.
+                    for future in wait(pending).done:
+                        if not future.cancelled():
+                            self._spans_gathered += 1
+                            yield from future.result()
+                    return
+                refill()
+        except BrokenExecutor:
+            self.close()  # a dead pool never serves another run
+            raise
+        finally:
+            for future in pending:
+                future.cancel()
+
+
+def _shutdown_pool(pool: Executor, board: ResultBoard | None) -> None:
+    pool.shutdown(wait=False, cancel_futures=True)
+    if board is not None:
+        board.close()
 
 
 class ThreadBackend(_PoolBackend):
@@ -377,19 +675,44 @@ class ThreadBackend(_PoolBackend):
 
     name = "thread"
 
-    def _make_executor(self) -> Executor:
-        return ThreadPoolExecutor(
+    def _start_pool(self) -> tuple[Executor, ResultBoard | None]:
+        pool = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="crack-worker"
         )
+        return pool, ResultBoard(self.workers, shared=False)
+
+    def _submit(self, pool: Executor, span: WorkSpan):
+        return pool.submit(_execute_span_in_thread, span, self._board)
 
 
 class ProcessBackend(_PoolBackend):
-    """Process-pool execution: one Python per core, the multi-GPU analogue."""
+    """Process-pool execution: one Python per core, the multi-GPU analogue.
+
+    Workers are **warm**: the pool initializer runs once per process,
+    claims a shared-memory board slot, and subsequent spans find their
+    target and engine already installed.  On platforms without ``fork``
+    the shared board is skipped (replies still carry exact counters).
+    """
 
     name = "process"
 
-    def _make_executor(self) -> Executor:
-        return ProcessPoolExecutor(max_workers=self.workers)
+    def _start_pool(self) -> tuple[Executor, ResultBoard | None]:
+        import multiprocessing as mp
+
+        if "fork" in mp.get_all_start_methods():
+            ctx = mp.get_context("fork")
+            board = ResultBoard(self.workers, shared=True)
+            pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=ctx,
+                initializer=_init_process_worker,
+                initargs=(ctx.Value("i", 0), board.name, self.workers),
+            )
+            return pool, board
+        return ProcessPoolExecutor(max_workers=self.workers), None
+
+    def _submit(self, pool: Executor, span: WorkSpan):
+        return pool.submit(execute_work_span, span)
 
 
 #: Registry used by config/CLI resolution.
@@ -406,7 +729,9 @@ def default_worker_count() -> int:
 
 
 def resolve_backend(
-    spec: str | ExecutionBackend | None, workers: int | None = None
+    spec: str | ExecutionBackend | None,
+    workers: int | None = None,
+    tuning: bool = True,
 ) -> ExecutionBackend:
     """Turn a config/CLI value into a backend instance.
 
@@ -414,21 +739,34 @@ def resolve_backend(
     (``"serial"``/``"thread"``/``"process"``), ``"auto"`` or ``None``
     (process pool when more than one worker is requested, serial
     otherwise).
+
+    With ``tuning=True`` (the default) the measured-best dispatch config
+    for this backend shape is looked up in the versioned ``tuning.json``
+    (see :mod:`repro.tuning`) and attached as ``backend.tuned`` — stale
+    entries (recorded for a different worker or CPU count) are ignored.
     """
     if isinstance(spec, ExecutionBackend):
         return spec
     if spec is None or spec == "auto":
         workers = workers if workers is not None else default_worker_count()
-        return ProcessBackend(workers) if workers > 1 else SerialBackend()
-    try:
-        cls = BACKENDS[spec]
-    except KeyError:
-        raise ValueError(
-            f"unknown backend {spec!r}; choose from {sorted(BACKENDS)} or 'auto'"
-        ) from None
-    if cls is SerialBackend:
-        return SerialBackend()
-    return cls(workers)
+        backend: ExecutionBackend = (
+            ProcessBackend(workers) if workers > 1 else SerialBackend()
+        )
+    else:
+        try:
+            cls = BACKENDS[spec]
+        except KeyError:
+            raise ValueError(
+                f"unknown backend {spec!r}; choose from {sorted(BACKENDS)} or 'auto'"
+            ) from None
+        backend = SerialBackend() if cls is SerialBackend else cls(workers)
+    if tuning and backend.workers > 1:
+        from repro import tuning as tuning_mod
+
+        entry = tuning_mod.lookup(backend.name, backend.workers)
+        if entry is not None:
+            backend.tuned = entry
+    return backend
 
 
 def measure_backend_throughput(
@@ -450,6 +788,7 @@ def measure_backend_throughput(
     from repro.keyspace import split_interval
 
     outcome = backend.run(
-        target, split_interval(probe, chunk), batch_size=batch_size, recorder=recorder
+        target, split_interval(probe, chunk), batch_size=batch_size,
+        recorder=recorder, gather_batch=1,  # per-chunk replies: this *is* the probe
     )
     return outcome.measured_throughput()

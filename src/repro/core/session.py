@@ -72,6 +72,7 @@ class CrackingSession:
         checkpoint_every: int = 8,
         chunk_size: int | None = None,
         preempt=None,
+        gather_batch: int | None = None,
     ) -> SessionResult:
         """Execute the search on the selected backend; the canonical API.
 
@@ -114,6 +115,7 @@ class CrackingSession:
                 checkpoint_every=checkpoint_every,
                 chunk_size=chunk_size,
                 preempt=preempt,
+                gather_batch=gather_batch,
             )
         if backend == "sequential":
             return self._run_sequential(
@@ -128,6 +130,7 @@ class CrackingSession:
             stop_on_first=stop_on_first,
             adaptive=adaptive,
             recorder=recorder,
+            gather_batch=gather_batch,
         )
         return SessionResult(
             found=outcome.found,
@@ -183,6 +186,7 @@ class CrackingSession:
         checkpoint_every: int,
         chunk_size: int | None,
         preempt,
+        gather_batch: int | None = None,
     ) -> SessionResult:
         """Chunked driver with per-chunk ProgressLog marking + checkpoints."""
         from repro.core.backend import resolve_backend
@@ -198,7 +202,12 @@ class CrackingSession:
                 f"progress log covers [0, {log.total}) but the run needs [0, {total})"
             )
         if chunk_size is None:
-            chunk_size = max(1, min(total, batch_size * 4))
+            tuned = getattr(executor, "tuned", None)
+            if tuned is not None:
+                # The sweep's measured-best chunk for this backend shape.
+                chunk_size = max(1, min(total, tuned.chunk_size))
+            else:
+                chunk_size = max(1, min(total, batch_size * 4))
         started = time.perf_counter()
         chunks_since_checkpoint = 0
 
@@ -220,6 +229,7 @@ class CrackingSession:
             recorder=recorder,
             preempt=preempt,
             on_result=gathered,
+            gather_batch=gather_batch,
         )
         if checkpoint is not None:
             checkpoint(log)

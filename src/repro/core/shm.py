@@ -1,0 +1,136 @@
+"""Shared-memory result board: cross-process counters without IPC.
+
+The batched gather path (:mod:`repro.core.backend`) makes workers reply
+once per *span* of chunks instead of once per chunk, which is what lets
+the process backend amortize its round-trip cost — but it also means the
+master would be blind between replies.  The :class:`ResultBoard` closes
+that gap: a tiny ``multiprocessing.shared_memory`` segment with one row
+of counters per worker slot (tested / batches / chunks / elapsed-ns).
+Each worker owns exactly one row and bumps it after every chunk with
+plain stores — no locks, no pickling, no pipe traffic — so the master
+can read live progress and per-worker throughput at any time for free.
+
+Thread and serial backends use the same board backed by an ordinary
+NumPy array (one address space, nothing to share), so every backend
+exposes the same live counters.
+
+Match payloads still travel over the executor's reply channel: hits are
+rare and small, counters are hot and frequent.  The board carries the
+hot part.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Column layout of one worker row.
+COL_TESTED = 0
+COL_BATCHES = 1
+COL_CHUNKS = 2
+COL_ELAPSED_NS = 3
+COLUMNS = 4
+
+
+class ResultBoard:
+    """One row of cumulative counters per worker slot.
+
+    With ``shared=True`` the storage is a ``multiprocessing.shared_memory``
+    segment that forked pool workers attach to by name; otherwise it is a
+    process-local array (threads and inline execution).  Single writer per
+    row, racy-but-monotonic reads on the master side — exactly the
+    guarantee live gauges need.
+    """
+
+    def __init__(self, workers: int, shared: bool = False) -> None:
+        if workers < 1:
+            raise ValueError("board needs at least one worker slot")
+        self.workers = workers
+        self._shm = None
+        if shared:
+            from multiprocessing import shared_memory
+
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=workers * COLUMNS * 8
+            )
+            self.array = np.ndarray(
+                (workers, COLUMNS), dtype=np.int64, buffer=self._shm.buf
+            )
+            self.array[:] = 0
+        else:
+            self.array = np.zeros((workers, COLUMNS), dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str | None:
+        """Segment name pool workers attach to (``None`` when in-process)."""
+        return self._shm.name if self._shm is not None else None
+
+    @staticmethod
+    def attach(name: str, workers: int) -> "AttachedBoard":
+        """Worker-side view of an existing shared segment."""
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=name)
+        array = np.ndarray((workers, COLUMNS), dtype=np.int64, buffer=shm.buf)
+        return AttachedBoard(shm, array)
+
+    # ------------------------------------------------------------------ #
+    def record(self, slot: int, tested: int, batches: int, elapsed: float) -> None:
+        """Credit one finished chunk to a slot (in-process writers)."""
+        row = self.array[slot]
+        row[COL_TESTED] += tested
+        row[COL_BATCHES] += batches
+        row[COL_CHUNKS] += 1
+        row[COL_ELAPSED_NS] += int(elapsed * 1e9)
+
+    def snapshot(self) -> np.ndarray:
+        """Point-in-time copy of every row (safe to aggregate)."""
+        return self.array.copy()
+
+    def totals(self) -> dict:
+        """Aggregate counters across all slots, elapsed in seconds."""
+        snap = self.snapshot()
+        return {
+            "tested": int(snap[:, COL_TESTED].sum()),
+            "batches": int(snap[:, COL_BATCHES].sum()),
+            "chunks": int(snap[:, COL_CHUNKS].sum()),
+            "worker_elapsed": float(snap[:, COL_ELAPSED_NS].sum()) / 1e9,
+        }
+
+    def per_slot_rates(self) -> dict[int, float]:
+        """Measured keys/second per active slot (live ``X_j`` view)."""
+        rates: dict[int, float] = {}
+        for slot, row in enumerate(self.snapshot()):
+            if row[COL_ELAPSED_NS] > 0:
+                rates[slot] = float(row[COL_TESTED]) / (row[COL_ELAPSED_NS] / 1e9)
+        return rates
+
+    def reset(self) -> None:
+        self.array[:] = 0
+
+    def close(self) -> None:
+        """Release the segment (master side owns unlinking)."""
+        if self._shm is not None:
+            # Views into the buffer must die before close(); drop ours.
+            self.array = self.array.copy()
+            try:
+                self._shm.close()
+                self._shm.unlink()
+            except (FileNotFoundError, BufferError):  # already gone / raced
+                pass
+            self._shm = None
+
+
+class AttachedBoard:
+    """A worker's handle on the master's shared board (one writable row)."""
+
+    def __init__(self, shm, array: np.ndarray) -> None:
+        self._shm = shm  # held so the mapping outlives this object's scope
+        self.array = array
+
+    def record(self, slot: int, tested: int, batches: int, elapsed: float) -> None:
+        row = self.array[slot]
+        row[COL_TESTED] += tested
+        row[COL_BATCHES] += batches
+        row[COL_CHUNKS] += 1
+        row[COL_ELAPSED_NS] += int(elapsed * 1e9)

@@ -54,7 +54,9 @@ class MetricNames:
     BACKEND_BATCHES = "backend.batches"
     BACKEND_EARLY_EXIT = "backend.early_exit"  #: stop_on_first fired
     BACKEND_QUEUE_WAIT = "backend.queue_wait"  #: summed worker idle seconds
+    BACKEND_SPANS = "backend.gather_spans"  #: batched gather replies drained
     WORKER_KEYS_PER_SECOND = "worker.keys_per_second"  #: X_j, labelled worker=
+    EVENT_TUNING_APPLIED = "tuning.applied"  #: resolve-time tuned config used
 
     # -- cluster drivers (counters / events) ---------------------------- #
     CLUSTER_CHUNKS = "cluster.chunks"

@@ -44,6 +44,8 @@ def serve(
     workers: int | None = None,
     quantum: int | None = None,
     checkpoint_every: int = 4,
+    checkpoint_interval: float = 0.05,
+    gather_batch: int | None = None,
     poll_interval: float = 0.25,
     once: bool = False,
     max_rounds: int | None = None,
@@ -64,12 +66,15 @@ def serve(
     thread.
     """
     store = store if isinstance(store, JobStore) else JobStore(store)
+    owns_scheduler = scheduler is None
     sched = scheduler or Scheduler(
         store,
         backend=backend,
         workers=workers,
         quantum=quantum,
         checkpoint_every=checkpoint_every,
+        checkpoint_interval=checkpoint_interval,
+        gather_batch=gather_batch,
         recorder=recorder,
     )
     summary = ServeSummary()
@@ -103,6 +108,8 @@ def serve(
     finally:
         for signum, handler in previous_handlers.items():
             signal.signal(signum, handler)
+        if owns_scheduler:
+            sched.close()  # release the warm backend pool we started
 
     for record in store.jobs():
         summary.states[record.state] = summary.states.get(record.state, 0) + 1

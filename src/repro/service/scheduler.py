@@ -68,9 +68,25 @@ class Scheduler:
     checkpoint_every:
         Durable :class:`ProgressLog` writes happen every this many
         gathered chunks (and always at slice end).
+    checkpoint_interval:
+        Minimum seconds between *mid-slice* durable writes.  Each
+        checkpoint is an fsync'd file replace, which dominates scheduler
+        overhead when chunks complete in microseconds; the throttle keeps
+        the every-N-chunks cadence but skips writes arriving faster than
+        this.  The slice-end checkpoint is never skipped, so pause/drain/
+        crash recovery semantics are unchanged (worst-case replay is still
+        bounded by one slice).  ``0`` restores pure count-based writes.
+    gather_batch:
+        Chunks a pool worker executes per gather reply (see
+        :meth:`repro.core.backend.ExecutionBackend.run`); ``None`` uses
+        the backend's tuned/heuristic span width.
     recorder:
         Optional scheduler-level :class:`repro.obs.Recorder` for the
         cross-job decision/checkpoint/preemption timeline.
+
+    The backend pool is persistent — every job's slices reuse the same
+    warm workers.  Call :meth:`close` (or use the scheduler as a context
+    manager) to release it.
     """
 
     def __init__(
@@ -80,20 +96,33 @@ class Scheduler:
         workers: int | None = None,
         quantum: int | None = None,
         checkpoint_every: int = 4,
+        checkpoint_interval: float = 0.05,
+        gather_batch: int | None = None,
         recorder: Recorder | None = None,
     ) -> None:
         if quantum is not None and quantum <= 0:
             raise ValueError("quantum must be positive")
         if checkpoint_every <= 0:
             raise ValueError("checkpoint_every must be positive")
+        if checkpoint_interval < 0:
+            raise ValueError("checkpoint_interval must be >= 0")
         self.store = store
         self.backend = resolve_backend(backend, workers=workers)
         self.quantum = quantum
         self.checkpoint_every = checkpoint_every
+        self.checkpoint_interval = checkpoint_interval
+        self.gather_batch = gather_batch
         self.recorder = recorder
         self._deficit: dict[str, int] = {}
         self._served: dict[str, int] = {}
         self._job_recorders: dict[str, Recorder] = {}
+        # Continuously-running jobs keep their ProgressLog in memory
+        # between slices (a pure read cache: the durable checkpoint at
+        # every slice end stays authoritative, so dropping an entry is
+        # always safe).  Re-parsing the checkpoint JSON per slice was
+        # measurable overhead on fast jobs.
+        self._live_logs: dict[str, ProgressLog] = {}
+        self._metrics_dirty: set[str] = set()
         self._control: dict[str, str] = {}  # job_id -> "pause" | "cancel"
         self._drain = threading.Event()
 
@@ -148,15 +177,19 @@ class Scheduler:
         another process (``repro jobs pause``) take effect here.
         """
         results: list[SliceResult] = []
-        for record in self.runnable_jobs():
+        runnable = self.runnable_jobs()
+        for record in runnable:
             if self._drain.is_set():
                 break
             results.append(self._run_slice(record))
         # Jobs whose deficit grew but never got a slice keep nothing: the
-        # deficit only exists for jobs with pending work, so prune.
-        live = {r.id for r in self.runnable_jobs()}
+        # deficit only exists for jobs with pending work, so prune.  The
+        # round's own accounting tells us who left the runnable set — no
+        # need for a second store scan.
+        scanned = {r.id for r in runnable}
+        ended = {r.job_id for r in results if r.state not in RUNNABLE_STATES}
         for job_id in list(self._deficit):
-            if job_id not in live:
+            if job_id not in scanned or job_id in ended:
                 del self._deficit[job_id]
         return results
 
@@ -170,9 +203,11 @@ class Scheduler:
         while not self._drain.is_set():
             if max_rounds is not None and rounds >= max_rounds:
                 break
-            if not self.runnable_jobs():
+            # step() scans the store itself; an empty round means no
+            # runnable work remained, so a separate pre-scan would only
+            # double the per-round record parsing.
+            if not self.step():
                 break
-            self.step()
             rounds += 1
         if self._drain.is_set():
             self._finish_drain()
@@ -183,6 +218,8 @@ class Scheduler:
         for record in self.store.jobs():
             if record.state == "running":
                 self.store.set_state(record.id, "queued", "drained")
+                self._live_logs.pop(record.id, None)
+                self._flush_metrics(record.id)
                 self._record_event(
                     MetricNames.EVENT_JOB_STATE, job=record.id, state="queued"
                 )
@@ -196,7 +233,9 @@ class Scheduler:
             out.state = self._apply_control(job_id)
             return out
         try:
-            log = self.store.load_progress(job_id)
+            log = self._live_logs.get(job_id)
+            if log is None:
+                log = self.store.load_progress(job_id)
         except KeyError:
             log = ProgressLog(total=spec.space_size)
         except CorruptCheckpointError as exc:
@@ -225,14 +264,20 @@ class Scheduler:
 
         job_recorder = self._job_recorders.setdefault(job_id, Recorder())
         chunks_since_checkpoint = 0
+        last_checkpoint = time.perf_counter()
 
         def gathered(result) -> None:
-            nonlocal chunks_since_checkpoint
+            nonlocal chunks_since_checkpoint, last_checkpoint
             log.mark_done(result.interval, result.matches)
             chunks_since_checkpoint += 1
-            if chunks_since_checkpoint >= self.checkpoint_every:
+            # Count-triggered but time-throttled: the fsync'd write is the
+            # expensive part, so never pay it more often than the interval.
+            if chunks_since_checkpoint >= self.checkpoint_every and (
+                time.perf_counter() - last_checkpoint >= self.checkpoint_interval
+            ):
                 self._checkpoint(job_id, log, job_recorder)
                 chunks_since_checkpoint = 0
+                last_checkpoint = time.perf_counter()
 
         def preempt() -> bool:
             return self._drain.is_set() or job_id in self._control
@@ -248,6 +293,7 @@ class Scheduler:
                 recorder=job_recorder,
                 preempt=preempt,
                 on_result=gathered,
+                gather_batch=self.gather_batch,
             )
         except AllWorkersDeadError as exc:
             # The distributed layer lost every worker but hands back the
@@ -310,7 +356,16 @@ class Scheduler:
                 self.recorder.counter(MetricNames.SERVICE_PREEMPTIONS, job=job_id)
 
         out.state = self._transition_after_slice(record, log)
-        self.store.save_metrics(job_id, job_recorder.export())
+        if out.state == "running":
+            # Metrics persistence rides state transitions (and close());
+            # a per-slice fsync'd write of a growing export was the other
+            # half of the scheduler's overhead.
+            self._live_logs[job_id] = log
+            self._metrics_dirty.add(job_id)
+        else:
+            self._live_logs.pop(job_id, None)
+            self._metrics_dirty.discard(job_id)
+            self.store.save_metrics(job_id, job_recorder.export())
         return out
 
     def _slice_done(self, record: JobRecord, log: ProgressLog, out: SliceResult) -> bool:
@@ -343,8 +398,17 @@ class Scheduler:
             return "queued"
         return "running"
 
+    def _flush_metrics(self, job_id: str) -> None:
+        if job_id in self._metrics_dirty:
+            self._metrics_dirty.discard(job_id)
+            recorder = self._job_recorders.get(job_id)
+            if recorder is not None:
+                self.store.save_metrics(job_id, recorder.export())
+
     def _apply_control(self, job_id: str) -> str:
         request = self._control.pop(job_id)
+        self._live_logs.pop(job_id, None)
+        self._flush_metrics(job_id)
         state = "paused" if request == "pause" else "cancelled"
         record = self.store.load(job_id)
         if record.state not in ("done", state):
@@ -354,6 +418,19 @@ class Scheduler:
         return state
 
     # -- plumbing --------------------------------------------------------- #
+    def close(self) -> None:
+        """Flush deferred metrics and release the warm pool (idempotent)."""
+        for job_id in list(self._metrics_dirty):
+            self._flush_metrics(job_id)
+        self.backend.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
     def _checkpoint(self, job_id: str, log: ProgressLog, job_recorder: Recorder) -> None:
         self.store.save_progress(job_id, log)
         job_recorder.counter(MetricNames.SERVICE_CHECKPOINTS)

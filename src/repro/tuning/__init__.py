@@ -1,0 +1,232 @@
+"""Best-known dispatch configurations, measured and persisted.
+
+The paper's tuning step measures each device's real throughput before
+committing a dispatch plan; this module is the same loop for the dispatch
+parameters themselves.  A sweep (:mod:`repro.tuning.sweep`, driven by
+``benchmarks/sweep_dispatch.py`` or ``repro tune``) grids over worker
+count x chunk size x gather batch, and the winning configuration per
+``(backend, workers)`` is written to a versioned ``tuning.json`` that
+:func:`repro.core.backend.resolve_backend` consults on every resolution —
+so a tuned machine stops paying for defaults sized for some other
+machine.
+
+Entries are **host-guarded**: a config recorded for a different CPU count
+or worker count is stale by definition (the measured optimum does not
+transfer) and is ignored, which is exactly the invalidation the tests
+pin down.
+
+Schema (``repro-tuning/v1``)::
+
+    {
+      "schema": "repro-tuning/v1",
+      "entries": [
+        {"backend": "process", "workers": 3, "cpus": 4,
+         "chunk_size": 65536, "gather_batch": 4, "batch_size": 16384,
+         "keys_per_second": 5.1e6, "measured_at": 1754500000}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+TUNING_SCHEMA = "repro-tuning/v1"
+
+#: Environment override for the default store location (CI, sweeps, tests).
+TUNING_FILE_ENV = "REPRO_TUNING_FILE"
+
+#: Default filename looked up in the working directory.
+DEFAULT_TUNING_FILENAME = "tuning.json"
+
+
+@dataclass(frozen=True)
+class TuningEntry:
+    """One measured-best dispatch configuration for a host shape."""
+
+    backend: str
+    workers: int
+    cpus: int
+    chunk_size: int
+    gather_batch: int
+    batch_size: int
+    keys_per_second: float
+    measured_at: int
+
+    def __post_init__(self) -> None:
+        if self.workers < 1 or self.cpus < 1:
+            raise ValueError("workers and cpus must be positive")
+        if min(self.chunk_size, self.gather_batch, self.batch_size) < 1:
+            raise ValueError("chunk_size, gather_batch and batch_size must be positive")
+
+    @property
+    def key(self) -> tuple[str, int]:
+        return (self.backend, self.workers)
+
+    def matches_host(self, workers: int, cpus: int | None = None) -> bool:
+        """Entry validity guard: measured on this worker count and host?"""
+        cpus = cpus if cpus is not None else (os.cpu_count() or 1)
+        return self.workers == workers and self.cpus == cpus
+
+
+def validate_tuning(document: object) -> list[str]:
+    """Schema check; returns problems (empty means conformant)."""
+    problems: list[str] = []
+    if not isinstance(document, dict):
+        return ["tuning payload must be an object"]
+    if document.get("schema") != TUNING_SCHEMA:
+        problems.append(f"schema must be {TUNING_SCHEMA!r}")
+    entries = document.get("entries")
+    if not isinstance(entries, list):
+        return problems + ["entries must be a list"]
+    for row in entries:
+        if not isinstance(row, dict):
+            problems.append("entries must be objects")
+            continue
+        if not isinstance(row.get("backend"), str) or not row.get("backend"):
+            problems.append("entry missing backend name")
+        for field in ("workers", "cpus", "chunk_size", "gather_batch",
+                      "batch_size", "measured_at"):
+            if not isinstance(row.get(field), int) or row.get(field, 0) < 1:
+                problems.append(f"entry field {field!r} must be a positive int")
+        if not isinstance(row.get("keys_per_second"), (int, float)):
+            problems.append("entry missing numeric keys_per_second")
+    return problems
+
+
+class TuningStore:
+    """The versioned ``tuning.json``: load, query, record-best, save."""
+
+    def __init__(self, path: str | os.PathLike | None = None) -> None:
+        self.path = Path(path) if path is not None else default_tuning_path()
+        self._entries: dict[tuple[str, int], TuningEntry] = {}
+        if self.path.exists():
+            self._load()
+
+    # ------------------------------------------------------------------ #
+    def _load(self) -> None:
+        document = json.loads(self.path.read_text())
+        problems = validate_tuning(document)
+        if problems:
+            raise ValueError(f"invalid tuning file {self.path}: {problems}")
+        for row in document["entries"]:
+            entry = TuningEntry(**row)
+            self._entries[entry.key] = entry
+
+    def to_document(self) -> dict:
+        return {
+            "schema": TUNING_SCHEMA,
+            "entries": [asdict(e) for e in sorted(
+                self._entries.values(), key=lambda e: e.key
+            )],
+        }
+
+    def save(self) -> None:
+        """Atomic write (temp + rename) so a concurrent reader never tears."""
+        payload = json.dumps(self.to_document(), indent=2) + "\n"
+        tmp = self.path.with_suffix(".tmp")
+        tmp.write_text(payload)
+        os.replace(tmp, self.path)
+
+    # ------------------------------------------------------------------ #
+    def entries(self) -> list[TuningEntry]:
+        return sorted(self._entries.values(), key=lambda e: e.key)
+
+    def record(self, entry: TuningEntry) -> bool:
+        """Keep the entry if it beats the stored best for its key.
+
+        A remeasured config for the same ``(backend, workers)`` always
+        replaces one recorded on a different host shape (it is stale
+        there anyway); on the same shape the faster one wins.  Returns
+        True when the store changed.
+        """
+        current = self._entries.get(entry.key)
+        if current is not None and current.cpus == entry.cpus:
+            if current.keys_per_second >= entry.keys_per_second:
+                return False
+        self._entries[entry.key] = entry
+        return True
+
+    def best_for(
+        self, backend: str, workers: int, cpus: int | None = None
+    ) -> TuningEntry | None:
+        """The valid best-known config, or None (missing or stale)."""
+        entry = self._entries.get((backend, workers))
+        if entry is None or not entry.matches_host(workers, cpus):
+            return None
+        return entry
+
+
+def default_tuning_path() -> Path:
+    return Path(os.environ.get(TUNING_FILE_ENV, DEFAULT_TUNING_FILENAME))
+
+
+def make_entry(
+    backend: str,
+    workers: int,
+    chunk_size: int,
+    gather_batch: int,
+    batch_size: int,
+    keys_per_second: float,
+    cpus: int | None = None,
+) -> TuningEntry:
+    return TuningEntry(
+        backend=backend,
+        workers=workers,
+        cpus=cpus if cpus is not None else (os.cpu_count() or 1),
+        chunk_size=chunk_size,
+        gather_batch=gather_batch,
+        batch_size=batch_size,
+        keys_per_second=keys_per_second,
+        measured_at=int(time.time()),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Cached default-store lookup: resolve_backend() calls this on every
+# resolution, so the file is re-read only when its mtime changes.
+# --------------------------------------------------------------------- #
+_CACHE: dict[str, tuple[float, TuningStore | None]] = {}
+
+
+def lookup(backend: str, workers: int) -> TuningEntry | None:
+    """Best valid entry from the default store (cheap, cached, safe).
+
+    Missing or malformed files mean "no tuning" — resolution must never
+    fail because a tuning file is absent or stale.
+    """
+    path = default_tuning_path()
+    key = str(path)
+    try:
+        mtime = path.stat().st_mtime
+    except OSError:
+        _CACHE.pop(key, None)
+        return None
+    cached = _CACHE.get(key)
+    if cached is None or cached[0] != mtime:
+        try:
+            store: TuningStore | None = TuningStore(path)
+        except (ValueError, OSError, json.JSONDecodeError):
+            store = None
+        _CACHE[key] = (mtime, store)
+    else:
+        store = cached[1]
+    if store is None:
+        return None
+    return store.best_for(backend, workers)
+
+
+__all__ = [
+    "TUNING_SCHEMA",
+    "TUNING_FILE_ENV",
+    "TuningEntry",
+    "TuningStore",
+    "default_tuning_path",
+    "lookup",
+    "make_entry",
+    "validate_tuning",
+]

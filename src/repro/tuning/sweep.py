@@ -1,0 +1,273 @@
+"""The sweep engine: grid the dispatch knobs, measure, lock in the best.
+
+This is the optimization loop behind ``benchmarks/sweep_dispatch.py`` and
+``repro tune``: run the same fixed search through every combination of
+worker count x chunk size x gather batch, time each point against a serial
+baseline measured on the same host, and persist the winners to the
+versioned ``tuning.json`` (:class:`repro.tuning.TuningStore`) that
+:func:`repro.core.backend.resolve_backend` consults.  The rendered summary
+(:func:`render_summary`) is the human-readable audit trail: what was
+tried, what won, and by how much.
+
+The sweep measures *warm* dispatch: each ``(backend, workers)`` pool is
+started once, primed with a warm-up run, and reused for every grid point —
+pool start-up is a one-time cost in production (persistent pools), so it
+must not contaminate the per-point timings either.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import asdict, dataclass, field
+
+from repro.apps.cracking import CrackTarget
+from repro.core.backend import resolve_backend
+from repro.keyspace import ALPHA_LOWER, Interval, split_interval
+from repro.tuning import TuningEntry, TuningStore, make_entry
+
+#: Planted deep enough that every grid point scans the full space.
+_PASSWORD = "zzyzx"
+
+#: Chunk sizes are gridded as space // (workers * divisor): a couple of
+#: chunks per worker (coarse, low dispatch overhead) down to many small
+#: chunks (fine-grained balance, more round trips).
+DEFAULT_CHUNK_DIVISORS = (2, 4, 8, 16)
+
+#: Chunks a worker executes per gather reply.
+DEFAULT_GATHER_GRID = (1, 2, 4, 8)
+
+
+def default_target() -> CrackTarget:
+    """The benchmark family's standard MD5 mask-style search target."""
+    return CrackTarget.from_password(
+        _PASSWORD, ALPHA_LOWER, min_length=1, max_length=5
+    )
+
+
+@dataclass
+class SweepPoint:
+    """One measured grid point (best-of-``repeats`` timing)."""
+
+    backend: str
+    workers: int
+    chunk_size: int
+    gather_batch: int
+    batch_size: int
+    elapsed: float
+    keys_per_second: float
+    speedup_vs_serial: float
+
+
+@dataclass
+class SweepReport:
+    """Everything the sweep measured, plus the per-shape winners."""
+
+    host_cpus: int
+    space: int
+    batch_size: int
+    repeats: int
+    serial_keys_per_second: float
+    points: list = field(default_factory=list)  #: every SweepPoint, in order
+    best: dict = field(default_factory=dict)  #: (backend, workers) -> SweepPoint
+
+    def to_document(self) -> dict:
+        return {
+            "host_cpus": self.host_cpus,
+            "space": self.space,
+            "batch_size": self.batch_size,
+            "repeats": self.repeats,
+            "serial_keys_per_second": self.serial_keys_per_second,
+            "points": [asdict(p) for p in self.points],
+            "best": {
+                f"{backend}/{workers}": asdict(point)
+                for (backend, workers), point in sorted(self.best.items())
+            },
+        }
+
+
+def _time_run(backend, target, chunks, batch_size, gather_batch, repeats) -> float:
+    best = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        outcome = backend.run(
+            target, chunks, batch_size=batch_size, gather_batch=gather_batch
+        )
+        elapsed = time.perf_counter() - started
+        if outcome.unfinished:  # a broken run must never become a "best" config
+            raise RuntimeError(f"sweep run left {len(outcome.unfinished)} chunks")
+        if best is None or elapsed < best:
+            best = elapsed
+    return best if best is not None else 0.0
+
+
+def sweep_dispatch(
+    target: CrackTarget | None = None,
+    space: int = 200_000,
+    backends: tuple = ("thread", "process"),
+    workers_grid: tuple | None = None,
+    chunk_divisors: tuple = DEFAULT_CHUNK_DIVISORS,
+    gather_grid: tuple = DEFAULT_GATHER_GRID,
+    batch_size: int = 1 << 14,
+    repeats: int = 2,
+    progress=None,
+) -> SweepReport:
+    """Run the full grid; returns the measured report (nothing persisted).
+
+    ``progress`` is an optional ``callable(str)`` fed one line per grid
+    point — the CLI wires it to stderr so long sweeps narrate themselves.
+    """
+    cpus = os.cpu_count() or 1
+    if workers_grid is None:
+        # The shapes a host would plausibly run: half the cores, all but
+        # one (the default), and all of them.
+        candidates = {max(1, cpus // 2), max(1, cpus - 1), cpus}
+        workers_grid = tuple(sorted(w for w in candidates if w > 1)) or (1,)
+    if target is None:
+        target = default_target()
+    interval = Interval(0, min(space, target.space_size))
+    say = progress if progress is not None else (lambda line: None)
+
+    serial = resolve_backend("serial", tuning=False)
+    serial_chunks = split_interval(interval, max(1, interval.size // 8))
+    serial_elapsed = _time_run(serial, target, serial_chunks, batch_size, None, repeats)
+    serial_rate = interval.size / serial_elapsed if serial_elapsed else 0.0
+    say(f"serial baseline: {serial_rate:,.0f} keys/s over {interval.size:,} keys")
+
+    report = SweepReport(
+        host_cpus=cpus,
+        space=interval.size,
+        batch_size=batch_size,
+        repeats=repeats,
+        serial_keys_per_second=serial_rate,
+    )
+    for name in backends:
+        for workers in workers_grid:
+            backend = resolve_backend(name, workers=workers, tuning=False)
+            try:
+                # Prime the pool: start-up and first-span target install
+                # are one-time costs, not per-point dispatch costs.
+                backend.run(
+                    target,
+                    split_interval(Interval(0, min(2_000, interval.size)), 500),
+                    batch_size=batch_size,
+                )
+                chunk_sizes = sorted(
+                    {
+                        max(batch_size // 4, interval.size // (workers * d))
+                        for d in chunk_divisors
+                    },
+                    reverse=True,
+                )
+                for chunk_size in chunk_sizes:
+                    chunks = split_interval(interval, chunk_size)
+                    for gather_batch in gather_grid:
+                        if gather_batch > max(1, len(chunks) // workers):
+                            continue  # span wider than a worker's share: skewed
+                        elapsed = _time_run(
+                            backend, target, chunks, batch_size,
+                            gather_batch, repeats,
+                        )
+                        rate = interval.size / elapsed if elapsed else 0.0
+                        point = SweepPoint(
+                            backend=name,
+                            workers=backend.workers,
+                            chunk_size=chunk_size,
+                            gather_batch=gather_batch,
+                            batch_size=batch_size,
+                            elapsed=elapsed,
+                            keys_per_second=rate,
+                            speedup_vs_serial=rate / serial_rate if serial_rate else 0.0,
+                        )
+                        report.points.append(point)
+                        key = (name, backend.workers)
+                        champ = report.best.get(key)
+                        if champ is None or rate > champ.keys_per_second:
+                            report.best[key] = point
+                        say(
+                            f"{name} w={backend.workers} chunk={chunk_size} "
+                            f"gather={gather_batch}: {rate:,.0f} keys/s "
+                            f"({point.speedup_vs_serial:.2f}x serial)"
+                        )
+            finally:
+                backend.close()
+    return report
+
+
+def apply_best(report: SweepReport, store: TuningStore) -> list[TuningEntry]:
+    """Record the report's winners into *store* (and save if any changed).
+
+    Returns the entries that actually improved on the stored bests.
+    """
+    changed: list[TuningEntry] = []
+    for (backend, workers), point in sorted(report.best.items()):
+        entry = make_entry(
+            backend=backend,
+            workers=workers,
+            chunk_size=point.chunk_size,
+            gather_batch=point.gather_batch,
+            batch_size=point.batch_size,
+            keys_per_second=point.keys_per_second,
+            cpus=report.host_cpus,
+        )
+        if store.record(entry):
+            changed.append(entry)
+    if changed:
+        store.save()
+    return changed
+
+
+def render_summary(report: SweepReport, store_path=None) -> str:
+    """Markdown audit trail of the sweep, in optimization-log style."""
+    lines = [
+        "# Dispatch tuning sweep",
+        "",
+        f"- host CPUs: **{report.host_cpus}**",
+        f"- keyspace per point: **{report.space:,}** candidates"
+        f" (batch {report.batch_size}, best of {report.repeats} runs)",
+        f"- serial baseline: **{report.serial_keys_per_second:,.0f} keys/s**",
+    ]
+    if store_path is not None:
+        lines.append(f"- tuning store: `{store_path}`")
+    lines += [
+        "",
+        "## Winning configurations",
+        "",
+        "| backend | workers | chunk_size | gather_batch | keys/s | vs serial |",
+        "|---|---|---|---|---|---|",
+    ]
+    for (backend, workers), p in sorted(report.best.items()):
+        lines.append(
+            f"| {backend} | {workers} | {p.chunk_size} | {p.gather_batch} "
+            f"| {p.keys_per_second:,.0f} | {p.speedup_vs_serial:.2f}x |"
+        )
+    lines += [
+        "",
+        "## Full grid",
+        "",
+        "| backend | workers | chunk_size | gather_batch | keys/s | vs serial |",
+        "|---|---|---|---|---|---|",
+    ]
+    for p in report.points:
+        lines.append(
+            f"| {p.backend} | {p.workers} | {p.chunk_size} | {p.gather_batch} "
+            f"| {p.keys_per_second:,.0f} | {p.speedup_vs_serial:.2f}x |"
+        )
+    lines += [
+        "",
+        "Re-run with `PYTHONPATH=src python benchmarks/sweep_dispatch.py` "
+        "(or `repro tune`); `resolve_backend` picks the stored winners up "
+        "automatically on the next run.",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+__all__ = [
+    "SweepPoint",
+    "SweepReport",
+    "apply_best",
+    "default_target",
+    "render_summary",
+    "sweep_dispatch",
+]

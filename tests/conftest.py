@@ -1,0 +1,19 @@
+"""Suite-wide isolation fixtures."""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolate_tuning_store(monkeypatch, tmp_path):
+    """Keep the repo's committed ``tuning.json`` out of test runs.
+
+    ``resolve_backend`` consults the default tuning store (cwd-relative),
+    so a tuning file at the repo root would silently change dispatch
+    behaviour — chunk sizing, span widths, preemption granularity — for
+    any test that does not opt in.  Tests that want a store set
+    ``REPRO_TUNING_FILE`` themselves (see ``tests/test_tuning.py``).
+    """
+    if "REPRO_TUNING_FILE" not in os.environ:
+        monkeypatch.setenv("REPRO_TUNING_FILE", str(tmp_path / "no-tuning.json"))

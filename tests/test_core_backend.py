@@ -264,3 +264,178 @@ class TestPreemption:
         assert outcome.found
         covered = sum(iv.size for iv in outcome.unfinished) + outcome.tested
         assert covered == target.space_size
+
+
+class TestWarmPools:
+    """The tentpole: pools persist across run() calls, spans batch chunks."""
+
+    @pytest.mark.parametrize("name", ["thread", "process"])
+    def test_pool_survives_across_runs(self, name):
+        target = target_for("abb")
+        chunks = split_interval(Interval(0, target.space_size), 9)
+        with resolve_backend(name, workers=2, tuning=False) as backend:
+            backend.run(target, chunks, batch_size=32)
+            backend.run(target, chunks, batch_size=32)
+            backend.run(target_for("bab"), chunks, batch_size=32)
+            assert backend.pool_starts == 1  # one cold start, three runs
+
+    @pytest.mark.parametrize("name", ["thread", "process"])
+    def test_close_is_idempotent_and_reopens(self, name):
+        target = target_for("ba")
+        chunks = split_interval(Interval(0, target.space_size), 5)
+        backend = resolve_backend(name, workers=2, tuning=False)
+        backend.run(target, chunks, batch_size=16)
+        backend.close()
+        backend.close()
+        # A fresh run after close() pays exactly one more cold start.
+        outcome = backend.run(target, chunks, batch_size=16)
+        assert outcome.found
+        assert backend.pool_starts == 2
+        backend.close()
+
+    @pytest.mark.parametrize("name", ["thread", "process"])
+    def test_gather_batch_reduces_spans(self, name):
+        target = target_for("aab")
+        chunks = split_interval(Interval(0, target.space_size), 12)
+        with resolve_backend(name, workers=2, tuning=False) as backend:
+            wide = backend.run(target, chunks, batch_size=32, gather_batch=4)
+            narrow = backend.run(target, chunks, batch_size=32, gather_batch=1)
+        assert wide.chunks == narrow.chunks == len(chunks)
+        assert narrow.spans == len(chunks)
+        assert wide.spans < narrow.spans
+        assert wide.found == narrow.found
+
+    def test_serial_spans_equal_chunks(self):
+        target = target_for("ab")
+        chunks = split_interval(Interval(0, target.space_size), 6)
+        outcome = SerialBackend().run(target, chunks, batch_size=16)
+        assert outcome.spans == outcome.chunks == len(chunks)
+
+
+class TestWorkSpans:
+    def _span(self, target, n_chunks=4, **kw):
+        import hashlib
+        import pickle
+
+        from repro.core.backend import WorkSpan
+
+        chunk = -(-target.space_size // n_chunks)
+        chunks = split_interval(Interval(0, target.space_size), chunk)
+        payload = pickle.dumps(target)
+        return WorkSpan(
+            token=hashlib.sha1(payload).hexdigest(),
+            intervals=tuple((iv.start, iv.stop) for iv in chunks),
+            batch_size=kw.get("batch_size", 32),
+            payload=payload,
+            stop_on_first=kw.get("stop_on_first", False),
+        )
+
+    def test_span_is_picklable(self):
+        import pickle
+
+        span = self._span(target_for("ab"))
+        clone = pickle.loads(pickle.dumps(span))
+        assert clone == span
+
+    def test_execute_span_covers_every_chunk(self):
+        from repro.core.backend import execute_work_span
+
+        target = target_for("bca")
+        span = self._span(target, n_chunks=5)
+        results = execute_work_span(span)
+        assert len(results) == len(span.intervals)
+        assert sum(r.tested for r in results) == target.space_size
+        found = sorted(m for r in results for m in r.matches)
+        assert found == crack_interval(target, Interval(0, target.space_size))
+
+    def test_stop_on_first_cuts_span_at_hit_chunk(self):
+        from repro.core.backend import execute_work_span
+
+        target = target_for("a")  # index 0: first chunk hits
+        span = self._span(target, n_chunks=4, stop_on_first=True)
+        results = execute_work_span(span)
+        assert len(results) < 4  # later chunks never executed
+        assert any(r.matches for r in results)
+
+
+class TestEngineCache:
+    def test_lru_keeps_engines_across_chunks_of_one_job(self):
+        from repro.core.backend import engine_cache_stats
+
+        target = target_for("abc")
+        for iv in split_interval(Interval(0, target.space_size), 20):
+            execute_work_unit(WorkUnit(target, iv, batch_size=32))
+        stats = engine_cache_stats()
+        # Six chunks of one (target, batch) job: one cache entry, not six.
+        assert stats["keys"].count((target, 32)) == 1
+
+    def test_lru_holds_multiple_jobs(self):
+        from repro.core.backend import ENGINE_CACHE_SIZE, engine_cache_stats
+
+        targets = [target_for(p) for p in ("ab", "ba", "cc")]
+        for _ in range(2):  # interleave: a|b|c|a|b|c
+            for target in targets:
+                execute_work_unit(WorkUnit(target, Interval(0, 50), 16))
+        stats = engine_cache_stats()
+        assert len(stats["keys"]) <= ENGINE_CACHE_SIZE
+        for target in targets:
+            assert (target, 16) in stats["keys"]
+
+    def test_lru_evicts_oldest_beyond_capacity(self):
+        from repro.core.backend import ENGINE_CACHE_SIZE, engine_cache_stats
+
+        first = target_for("aa")
+        execute_work_unit(WorkUnit(first, Interval(0, 30), 8))
+        for size in range(9, 9 + ENGINE_CACHE_SIZE):
+            execute_work_unit(WorkUnit(target_for("ab"), Interval(0, 30), size))
+        stats = engine_cache_stats()
+        assert len(stats["keys"]) == ENGINE_CACHE_SIZE
+        assert (first, 8) not in stats["keys"]
+
+
+class TestResultBoard:
+    def test_record_and_totals(self):
+        from repro.core.shm import ResultBoard
+
+        board = ResultBoard(workers=3)
+        board.record(0, tested=100, batches=4, elapsed=0.5)
+        board.record(1, tested=50, batches=2, elapsed=0.25)
+        board.record(0, tested=100, batches=4, elapsed=0.5)
+        totals = board.totals()
+        assert totals["tested"] == 250
+        assert totals["chunks"] == 3
+        rates = board.per_slot_rates()
+        assert rates[0] == pytest.approx(200.0)
+        assert 2 not in rates  # idle slot reports nothing
+        board.close()
+
+    def test_shared_attach_round_trip(self):
+        from repro.core.shm import ResultBoard
+
+        board = ResultBoard(workers=2, shared=True)
+        try:
+            attached = ResultBoard.attach(board.name, workers=2)
+            attached.record(1, tested=77, batches=3, elapsed=0.1)
+            assert board.totals()["tested"] == 77
+        finally:
+            board.close()
+
+    def test_reset_clears_between_runs(self):
+        from repro.core.shm import ResultBoard
+
+        board = ResultBoard(workers=2)
+        board.record(0, tested=10, batches=1, elapsed=0.1)
+        board.reset()
+        assert board.totals()["tested"] == 0
+        board.close()
+
+    @pytest.mark.parametrize("name", ["thread", "process"])
+    def test_backend_publishes_throughput(self, name):
+        target = target_for("abb")
+        chunks = split_interval(Interval(0, target.space_size), 8)
+        with resolve_backend(name, workers=2, tuning=False) as backend:
+            backend.run(target, chunks, batch_size=32)
+            board = backend.board
+            if board is None:  # process without fork: degraded, allowed
+                return
+            assert board.totals()["tested"] == target.space_size

@@ -1,0 +1,230 @@
+"""The autotuner's contract: persist winners, never poison a run.
+
+Three properties pin the tuning layer down:
+
+* **Round-trip** — a recorded best survives save/load bit-for-bit and
+  validates against ``repro-tuning/v1``.
+* **Invalidation** — an entry measured for a different worker count or
+  CPU count is stale by definition and must be ignored, both by the
+  store and by :func:`repro.core.backend.resolve_backend`.
+* **Equivalence** — a tuned run and an untuned run of the same search
+  find identical keys and test identical counts: tuning moves work
+  around, it never changes what the work is.
+"""
+
+import json
+import os
+
+import pytest
+
+import repro.tuning as tuning
+from repro.apps.cracking import CrackTarget, crack_interval
+from repro.core.backend import resolve_backend
+from repro.keyspace import Charset, Interval, split_interval
+from repro.tuning import (
+    TUNING_FILE_ENV,
+    TUNING_SCHEMA,
+    TuningEntry,
+    TuningStore,
+    default_tuning_path,
+    lookup,
+    make_entry,
+    validate_tuning,
+)
+
+ABC = Charset("abc", name="abc")
+HOST_CPUS = os.cpu_count() or 1
+
+
+def entry_for(backend="thread", workers=2, cpus=None, kps=1e6, **kw):
+    kw.setdefault("chunk_size", 4096)
+    kw.setdefault("gather_batch", 4)
+    kw.setdefault("batch_size", 1024)
+    return make_entry(
+        backend, workers, keys_per_second=kps, cpus=cpus, **kw
+    )
+
+
+@pytest.fixture
+def tuning_file(tmp_path, monkeypatch):
+    """Point the default store at a throwaway path, cache cleared."""
+    path = tmp_path / "tuning.json"
+    monkeypatch.setenv(TUNING_FILE_ENV, str(path))
+    tuning._CACHE.clear()
+    yield path
+    tuning._CACHE.clear()
+
+
+class TestRoundTrip:
+    def test_save_load_bit_for_bit(self, tuning_file):
+        store = TuningStore(tuning_file)
+        recorded = entry_for("process", workers=3, kps=5.5e6)
+        assert store.record(recorded)
+        store.save()
+
+        reloaded = TuningStore(tuning_file)
+        assert reloaded.entries() == [recorded]
+        assert validate_tuning(json.loads(tuning_file.read_text())) == []
+
+    def test_document_schema(self, tuning_file):
+        store = TuningStore(tuning_file)
+        store.record(entry_for())
+        document = store.to_document()
+        assert document["schema"] == TUNING_SCHEMA
+        assert len(document["entries"]) == 1
+
+    def test_record_keeps_faster_on_same_host(self, tuning_file):
+        store = TuningStore(tuning_file)
+        assert store.record(entry_for(kps=2e6, chunk_size=8192))
+        # A slower remeasurement on the same shape must not clobber.
+        assert not store.record(entry_for(kps=1e6, chunk_size=512))
+        assert store.best_for("thread", 2, cpus=HOST_CPUS).chunk_size == 8192
+        # A faster one replaces.
+        assert store.record(entry_for(kps=3e6, chunk_size=16384))
+        assert store.best_for("thread", 2, cpus=HOST_CPUS).chunk_size == 16384
+
+    def test_record_replaces_other_host_shape(self, tuning_file):
+        store = TuningStore(tuning_file)
+        store.record(entry_for(cpus=HOST_CPUS + 4, kps=9e9))
+        # Remeasured here: wins regardless of the foreign entry's speed.
+        assert store.record(entry_for(cpus=HOST_CPUS, kps=1e6))
+        assert store.best_for("thread", 2, cpus=HOST_CPUS).cpus == HOST_CPUS
+
+
+class TestInvalidation:
+    def test_stale_on_worker_count_change(self, tuning_file):
+        store = TuningStore(tuning_file)
+        store.record(entry_for(workers=2, cpus=HOST_CPUS))
+        store.save()
+        assert lookup("thread", 2) is not None
+        # The sweep measured 2 workers; a 3-worker pool must not reuse it.
+        assert lookup("thread", 3) is None
+
+    def test_stale_on_cpu_count_change(self, tuning_file):
+        store = TuningStore(tuning_file)
+        store.record(entry_for(cpus=HOST_CPUS + 2))
+        store.save()
+        tuning._CACHE.clear()
+        # Entry exists for (thread, 2) but was measured on another host.
+        assert lookup("thread", 2) is None
+        assert store.best_for("thread", 2, cpus=HOST_CPUS + 2) is not None
+
+    def test_matches_host_guard(self):
+        entry = entry_for(workers=2, cpus=4)
+        assert entry.matches_host(2, cpus=4)
+        assert not entry.matches_host(3, cpus=4)
+        assert not entry.matches_host(2, cpus=8)
+
+    def test_resolve_backend_attaches_valid_tuning(self, tuning_file):
+        store = TuningStore(tuning_file)
+        store.record(entry_for("thread", workers=2, cpus=HOST_CPUS))
+        store.save()
+        with resolve_backend("thread", workers=2) as backend:
+            assert backend.tuned is not None
+            assert backend.tuned.chunk_size == 4096
+
+    def test_resolve_backend_ignores_stale_tuning(self, tuning_file):
+        store = TuningStore(tuning_file)
+        store.record(entry_for("thread", workers=3, cpus=HOST_CPUS))
+        store.save()
+        with resolve_backend("thread", workers=2) as backend:
+            assert backend.tuned is None
+
+    def test_resolve_backend_opt_out(self, tuning_file):
+        store = TuningStore(tuning_file)
+        store.record(entry_for("thread", workers=2, cpus=HOST_CPUS))
+        store.save()
+        with resolve_backend("thread", workers=2, tuning=False) as backend:
+            assert backend.tuned is None
+
+
+class TestLookupSafety:
+    def test_missing_file(self, tuning_file):
+        assert not tuning_file.exists()
+        assert lookup("thread", 2) is None
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not json at all",
+            '{"schema": "wrong/v9", "entries": []}',
+            '{"schema": "repro-tuning/v1", "entries": [{"backend": ""}]}',
+            '{"schema": "repro-tuning/v1"}',
+        ],
+    )
+    def test_malformed_file_means_no_tuning(self, tuning_file, payload):
+        tuning_file.write_text(payload)
+        assert lookup("thread", 2) is None
+
+    def test_cache_follows_mtime(self, tuning_file):
+        store = TuningStore(tuning_file)
+        store.record(entry_for(chunk_size=2048))
+        store.save()
+        assert lookup("thread", 2).chunk_size == 2048
+        # Rewrite with a different winner and a newer mtime: picked up.
+        store2 = TuningStore(tuning_file)
+        store2.record(entry_for(kps=9e6, chunk_size=32768))
+        store2.save()
+        os.utime(tuning_file, (9_999_999_999, 9_999_999_999))
+        assert lookup("thread", 2).chunk_size == 32768
+
+    def test_default_path_env_override(self, tuning_file):
+        assert default_tuning_path() == tuning_file
+
+    def test_entry_rejects_nonpositive_knobs(self):
+        with pytest.raises(ValueError):
+            TuningEntry("thread", 2, 1, 0, 1, 1, 1.0, 1)
+        with pytest.raises(ValueError):
+            TuningEntry("thread", 0, 1, 64, 1, 1, 1.0, 1)
+
+
+class TestTunedUntunedEquivalence:
+    def _run(self, tuned_chunk):
+        target = CrackTarget.from_password("cba", ABC, min_length=1, max_length=4)
+        interval = Interval(0, target.space_size)
+        with resolve_backend("thread", workers=2, tuning=False) as backend:
+            if tuned_chunk is not None:
+                backend.tuned = entry_for(
+                    "thread", workers=2, cpus=HOST_CPUS,
+                    chunk_size=tuned_chunk, gather_batch=2,
+                )
+            outcome = backend.run(
+                target, split_interval(interval, 13), batch_size=32
+            )
+        return outcome
+
+    def test_identical_keys_and_counts(self):
+        untuned = self._run(None)
+        tuned = self._run(7)
+        target = CrackTarget.from_password("cba", ABC, min_length=1, max_length=4)
+        reference = crack_interval(target, Interval(0, target.space_size))
+        assert untuned.found == tuned.found == reference
+        assert untuned.tested == tuned.tested == target.space_size
+
+    def test_cluster_chunking_follows_tuning(self, tuning_file):
+        # End to end: LocalCluster with a tuned chunk size still finds
+        # the key, covering the sizing consult in cluster/local.py.
+        store = TuningStore(tuning_file)
+        store.record(
+            entry_for("thread", workers=2, cpus=HOST_CPUS, chunk_size=50)
+        )
+        store.save()
+        target = CrackTarget.from_password("bb", ABC, min_length=1, max_length=3)
+        with LocalClusterFactory() as cluster:
+            report = cluster.crack(target)
+        assert [key for _, key in report.found] == ["bb"]
+        assert report.tested == target.space_size
+
+
+class LocalClusterFactory:
+    """Context manager building a tuned 2-worker thread LocalCluster."""
+
+    def __enter__(self):
+        from repro.cluster.local import LocalCluster
+
+        self.cluster = LocalCluster(backend="thread", workers=2)
+        return self.cluster
+
+    def __exit__(self, *exc):
+        self.cluster.close()
+        return False
