@@ -67,7 +67,7 @@ def floors_for(cpus: int) -> tuple[float, float, str]:
             raise SystemExit(
                 f"error: bad {GATE_ENV} override {override!r}; "
                 "expected floor:<process>,<scheduler>"
-            )
+            ) from None
     if cpus < MIN_CPUS_FOR_SPEEDUP:
         return (
             RELAXED_PROCESS_FLOOR,

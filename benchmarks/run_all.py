@@ -23,7 +23,7 @@ Schema (``bench-cracking/v3``)::
       }
     }
 
-v2 over v1: every result row embeds a ``repro-metrics/v1`` export under
+v2 over v1: every result row embeds a ``repro-metrics/v2`` export under
 ``"metrics"`` (validated here via :func:`repro.obs.validate_metrics`) and
 a ``"phases"`` scatter/search/gather seconds breakdown derived from it —
 the paper's ``K_scatter``/``K_search``/``K_gather`` split per

@@ -1,0 +1,40 @@
+"""Domain-aware static analysis for the repro codebase (``repro check``).
+
+The paper's cluster design concentrates correctness risk in a few
+places — shared mutable state across threads, a hand-rolled wire
+protocol, allocation-free kernels — and this package turns those
+invariants into machine-checked rules.  See docs/STATIC_ANALYSIS.md for
+the rule catalog.
+"""
+
+from .engine import (
+    BASELINE_SCHEMA,
+    REPORT_SCHEMA,
+    Finding,
+    Project,
+    Rule,
+    all_rules,
+    apply_baseline,
+    load_baseline,
+    load_project,
+    register,
+    report_document,
+    run_checks,
+    save_baseline,
+)
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "REPORT_SCHEMA",
+    "Finding",
+    "Project",
+    "Rule",
+    "all_rules",
+    "apply_baseline",
+    "load_baseline",
+    "load_project",
+    "register",
+    "report_document",
+    "run_checks",
+    "save_baseline",
+]

@@ -1,0 +1,161 @@
+"""Command-line front end for the static-analysis suite.
+
+``repro check`` (or ``python -m repro.checks``) scans ``src/repro`` and
+``tests`` by default, applies every registered rule, subtracts the
+committed baseline, and exits non-zero when fresh error-severity
+findings remain (``--strict``: any fresh finding).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .engine import (
+    all_rules,
+    apply_baseline,
+    load_baseline,
+    load_project,
+    report_document,
+    run_checks,
+    save_baseline,
+)
+
+#: Scan roots, relative to the repo root, when none are given.
+DEFAULT_PATHS = ("src/repro", "tests")
+
+#: Directories never scanned: deliberately-broken rule fixtures.
+EXCLUDED_DIRS = frozenset({"checks_fixtures"})
+
+DEFAULT_BASELINE = "checks_baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description="Domain-aware static analysis for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files or directories to scan (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="project root findings are reported relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated subset of rules to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file of grandfathered findings (default: <root>/{DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file entirely",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable repro-checks/v1 report on stdout",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on any fresh finding, not just errors",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _resolve_paths(root: Path, raw: list[str]) -> list[Path]:
+    if raw:
+        return [Path(p) if Path(p).is_absolute() else root / p for p in raw]
+    paths = [root / rel for rel in DEFAULT_PATHS]
+    return [p for p in paths if p.exists()] or [root]
+
+
+def _filter_excluded(project) -> None:
+    project.files = [
+        parsed
+        for parsed in project.files
+        if not (EXCLUDED_DIRS & set(parsed.relpath.split("/")))
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.name:24s} [{rule.severity}] {' '.join(rule.doc.split())}")
+        return 0
+
+    root = Path(args.root).resolve()
+    rule_names = None
+    if args.rules:
+        rule_names = [name.strip() for name in args.rules.split(",") if name.strip()]
+
+    project = load_project(root, _resolve_paths(root, args.paths))
+    _filter_excluded(project)
+    try:
+        findings = run_checks(project, rule_names)
+    except SyntaxError as exc:
+        print(f"repro check: cannot parse {exc.filename}:{exc.lineno}: {exc.msg}",
+              file=sys.stderr)
+        return 2
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
+    )
+    if args.write_baseline:
+        save_baseline(baseline_path, findings)
+        print(f"wrote {len(findings)} finding(s) to {baseline_path}")
+        return 0
+
+    baseline = set() if args.no_baseline else load_baseline(baseline_path)
+    fresh, grandfathered = apply_baseline(findings, baseline)
+
+    if args.json:
+        document = report_document(
+            fresh,
+            grandfathered,
+            rules=all_rules() if rule_names is None else [
+                rule for rule in all_rules() if rule.name in rule_names
+            ],
+            files_scanned=len(project.files),
+        )
+        print(json.dumps(document, indent=2))
+    else:
+        for finding in fresh:
+            print(finding.render())
+        noun = "finding" if len(fresh) == 1 else "findings"
+        suffix = (
+            f" ({len(grandfathered)} grandfathered by baseline)"
+            if grandfathered
+            else ""
+        )
+        print(
+            f"repro check: {len(fresh)} {noun} in "
+            f"{len(project.files)} file(s){suffix}"
+        )
+
+    if args.strict:
+        return 1 if fresh else 0
+    return 1 if any(f.severity == "error" for f in fresh) else 0

@@ -1,0 +1,305 @@
+"""Core engine for the ``repro check`` static-analysis suite.
+
+The engine is deliberately small: it parses every python file under the
+scan roots once, hands the parsed project to each registered rule, and
+collects :class:`Finding` objects.  Policy — suppression comments, the
+committed baseline, strictness — lives here so individual rules stay
+pure functions from source to findings.
+
+Output and baseline documents are versioned JSON, mirroring the
+``repro-metrics``/``repro-job`` schema discipline used elsewhere in the
+repo.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+#: Schema tag for the machine-readable report emitted by ``--json``.
+REPORT_SCHEMA = "repro-checks/v1"
+
+#: Schema tag for the committed baseline of grandfathered findings.
+BASELINE_SCHEMA = "repro-checks-baseline/v1"
+
+#: Severities in increasing order of badness.
+SEVERITIES = ("info", "warning", "error")
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\(([a-z0-9_,\- ]+)\)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a rule."""
+
+    rule: str
+    severity: str
+    path: str  # project-root-relative, posix separators
+    line: int
+    col: int
+    message: str
+    symbol: str = ""  # e.g. "ClassName.attr" — stable across line moves
+
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching.
+
+        Line/column are deliberately excluded so unrelated edits above a
+        grandfathered finding do not un-baseline it.
+        """
+        raw = "\x1f".join((self.rule, self.path, self.symbol, self.message))
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+    def to_document(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "symbol": self.symbol,
+            "fingerprint": self.fingerprint(),
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.severity} [{self.rule}] {self.message}"
+        )
+
+
+@dataclass
+class ParsedFile:
+    """A parsed source file plus the per-line suppression map."""
+
+    path: Path  # absolute
+    relpath: str  # project-root-relative, posix separators
+    source: str
+    tree: ast.Module
+    #: line number -> set of rule names allowed on that line
+    allows: dict[int, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: Path, root: Path) -> "ParsedFile":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        allows: dict[int, set[str]] = {}
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _ALLOW_RE.search(line)
+            if match:
+                rules = {part.strip() for part in match.group(1).split(",")}
+                allows[lineno] = {r for r in rules if r}
+        return cls(
+            path=path,
+            relpath=path.relative_to(root).as_posix(),
+            source=source,
+            tree=tree,
+            allows=allows,
+        )
+
+    def allowed(self, rule: str, line: int) -> bool:
+        """Is ``rule`` suppressed on ``line``?
+
+        A ``# repro: allow(rule)`` comment suppresses findings on its
+        own line, and — when placed on a ``def``/``class`` header — on
+        every line of that definition's body.
+        """
+        direct = self.allows.get(line, ())
+        if rule in direct or "all" in direct:
+            return True
+        for header_line, rules in self.allows.items():
+            if rule not in rules and "all" not in rules:
+                continue
+            scope = self._scope_at(header_line)
+            if scope is not None and scope[0] <= line <= scope[1]:
+                return True
+        return False
+
+    def _scope_at(self, lineno: int) -> tuple[int, int] | None:
+        """(first, last) line of a def/class whose header is at lineno."""
+        for node in ast.walk(self.tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ) and node.lineno == lineno:
+                return node.lineno, node.end_lineno or node.lineno
+        return None
+
+
+@dataclass
+class Project:
+    """Everything a rule may look at: the parsed files and the root."""
+
+    root: Path
+    files: list[ParsedFile]
+
+    def by_suffix(self, suffix: str) -> ParsedFile | None:
+        """First file whose relpath ends with ``suffix``, if any."""
+        for parsed in self.files:
+            if parsed.relpath.endswith(suffix):
+                return parsed
+        return None
+
+
+#: A rule is a callable from Project to an iterable of findings.
+RuleFn = Callable[[Project], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    name: str
+    severity: str
+    doc: str
+    fn: RuleFn
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(name: str, *, severity: str = "error", doc: str = "") -> Callable[[RuleFn], RuleFn]:
+    """Decorator adding a rule to the global registry."""
+    if severity not in SEVERITIES:
+        raise ValueError(f"unknown severity {severity!r}; expected one of {SEVERITIES}")
+
+    def wrap(fn: RuleFn) -> RuleFn:
+        if name in _REGISTRY:
+            raise ValueError(f"duplicate rule name {name!r}")
+        _REGISTRY[name] = Rule(name=name, severity=severity, doc=doc or fn.__doc__ or "", fn=fn)
+        return fn
+
+    return wrap
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules in registration order (imports rule modules)."""
+    from . import rules as _rules  # noqa: F401  (side effect: registration)
+
+    return list(_REGISTRY.values())
+
+
+def get_rule(name: str) -> Rule:
+    rules = {rule.name: rule for rule in all_rules()}
+    try:
+        return rules[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown rule {name!r}; available: {sorted(rules)}"
+        ) from None
+
+
+def collect_files(root: Path, paths: Iterable[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def load_project(root: Path, paths: Iterable[Path] | None = None) -> Project:
+    """Parse every python file under ``paths`` (default: root itself)."""
+    root = root.resolve()
+    scan = [p.resolve() for p in paths] if paths else [root]
+    files = []
+    for path in collect_files(root, scan):
+        files.append(ParsedFile.parse(path, root))
+    return Project(root=root, files=files)
+
+
+def run_checks(
+    project: Project,
+    rule_names: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Run rules over the project, honouring inline suppressions."""
+    selected = all_rules()
+    if rule_names is not None:
+        wanted = list(rule_names)
+        selected = [get_rule(name) for name in wanted]
+    by_rel = {parsed.relpath: parsed for parsed in project.files}
+    findings: list[Finding] = []
+    for rule in selected:
+        for finding in rule.fn(project):
+            parsed = by_rel.get(finding.path)
+            if parsed is not None and parsed.allowed(finding.rule, finding.line):
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+
+
+def load_baseline(path: Path) -> set[str]:
+    """Fingerprints grandfathered by a committed baseline file."""
+    if not path.exists():
+        return set()
+    document = json.loads(path.read_text(encoding="utf-8"))
+    if document.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {BASELINE_SCHEMA!r}, "
+            f"got {document.get('schema')!r}"
+        )
+    return {entry["fingerprint"] for entry in document.get("findings", [])}
+
+
+def save_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    document = {
+        "schema": BASELINE_SCHEMA,
+        "findings": [
+            {
+                "fingerprint": finding.fingerprint(),
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+            }
+            for finding in sorted(
+                findings, key=lambda f: (f.path, f.line, f.rule)
+            )
+        ],
+    }
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(
+    findings: Iterable[Finding], baseline: set[str]
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into (fresh, grandfathered)."""
+    fresh: list[Finding] = []
+    old: list[Finding] = []
+    for finding in findings:
+        (old if finding.fingerprint() in baseline else fresh).append(finding)
+    return fresh, old
+
+
+# ---------------------------------------------------------------------------
+# Report
+
+
+def report_document(
+    findings: list[Finding],
+    grandfathered: list[Finding],
+    *,
+    rules: list[Rule],
+    files_scanned: int,
+) -> dict:
+    return {
+        "schema": REPORT_SCHEMA,
+        "rules": [
+            {"name": rule.name, "severity": rule.severity, "doc": rule.doc.strip()}
+            for rule in rules
+        ],
+        "files_scanned": files_scanned,
+        "findings": [finding.to_document() for finding in findings],
+        "grandfathered": [finding.to_document() for finding in grandfathered],
+        "counts": {
+            "total": len(findings),
+            "error": sum(1 for f in findings if f.severity == "error"),
+            "warning": sum(1 for f in findings if f.severity == "warning"),
+            "info": sum(1 for f in findings if f.severity == "info"),
+        },
+    }

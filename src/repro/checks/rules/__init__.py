@@ -1,0 +1,22 @@
+"""Domain rules for ``repro check``.
+
+Importing this package registers every rule with the engine registry.
+Add a new rule by creating a module here that decorates a function with
+:func:`repro.checks.engine.register` and importing it below.
+"""
+
+from . import (  # noqa: F401  (imported for the registration side effect)
+    fork_safety,
+    hot_path,
+    lock_discipline,
+    metric_registry,
+    protocol_symmetry,
+)
+
+__all__ = [
+    "fork_safety",
+    "hot_path",
+    "lock_discipline",
+    "metric_registry",
+    "protocol_symmetry",
+]

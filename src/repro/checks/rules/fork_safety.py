@@ -1,0 +1,183 @@
+"""Rule: objects crossing the process boundary must stay picklable.
+
+WorkUnit/WorkSpan/WorkUnitResult/CrackTarget instances are pickled into
+worker processes by the process backend, and pool ``submit(...)`` calls
+ship their callables the same way.  A lock, socket, or open file
+smuggled into one of these — as a dataclass field or via a closure —
+fails only at dispatch time, inside a pool worker, with a pickling
+traceback far from the bug.  This rule flags:
+
+* fields of the boundary dataclasses whose annotation or default names
+  an unpicklable type (``Lock``/``RLock``/``Condition``/``Event``/
+  ``socket``/``IO`` handles) or calls ``open()``/``socket()``/
+  ``threading.*``;
+* ``pool.submit(<lambda>, ...)`` and ``pool.submit(<nested function>,
+  ...)`` — closures cannot cross a process boundary; only module-level
+  callables can.
+
+Test trees are exempt (they exercise thread pools and in-process
+fakes).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, ParsedFile, Project, register
+
+RULE = "fork-safety"
+
+#: Class names treated as process-boundary payloads.
+BOUNDARY_CLASSES = frozenset(
+    {"WorkUnit", "WorkSpan", "WorkUnitResult", "CrackTarget"}
+)
+
+#: Type/attribute names that mark a field as unpicklable.
+UNPICKLABLE_NAMES = frozenset(
+    {
+        "Lock",
+        "RLock",
+        "Condition",
+        "Event",
+        "Semaphore",
+        "socket",
+        "Socket",
+        "IO",
+        "TextIO",
+        "BinaryIO",
+        "TextIOWrapper",
+        "BufferedReader",
+        "BufferedWriter",
+    }
+)
+
+_UNPICKLABLE_CALLS = frozenset({"open", "socket", "Lock", "RLock", "Condition"})
+
+
+def _is_test_path(parsed: ParsedFile) -> bool:
+    parts = parsed.relpath.split("/")
+    return any(part == "tests" or part.startswith("test") for part in parts)
+
+
+def _names_anywhere(node: ast.AST) -> set[str]:
+    found: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            found.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            found.add(sub.attr)
+    return found
+
+
+def _field_findings(parsed: ParsedFile, cls: ast.ClassDef) -> Iterator[Finding]:
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign):
+            target = stmt.target
+            pieces = [stmt.annotation]
+            if stmt.value is not None:
+                pieces.append(stmt.value)
+        elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            pieces = [stmt.value]
+        else:
+            continue
+        if not isinstance(target, ast.Name):
+            continue
+        suspicious = set()
+        for piece in pieces:
+            suspicious |= _names_anywhere(piece) & (
+                UNPICKLABLE_NAMES | _UNPICKLABLE_CALLS
+            )
+        if not suspicious:
+            continue
+        yield Finding(
+            rule=RULE,
+            severity="error",
+            path=parsed.relpath,
+            line=stmt.lineno,
+            col=stmt.col_offset + 1,
+            message=(
+                f"{cls.name}.{target.id} references unpicklable "
+                f"{sorted(suspicious)} but {cls.name} crosses the "
+                f"process boundary"
+            ),
+            symbol=f"{cls.name}.{target.id}",
+        )
+
+
+def _nested_function_names(tree: ast.Module) -> set[str]:
+    nested: set[str] = set()
+
+    def visit(node: ast.AST, depth: int) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if depth > 0:
+                    nested.add(child.name)
+                visit(child, depth + 1)
+            elif isinstance(child, ast.ClassDef):
+                visit(child, 0)  # methods are attribute-addressed, fine
+            else:
+                visit(child, depth)
+
+    visit(tree, 0)
+    return nested
+
+
+def _submit_findings(parsed: ParsedFile) -> Iterator[Finding]:
+    nested = _nested_function_names(parsed.tree)
+    for node in ast.walk(parsed.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "submit"):
+            continue
+        if not node.args:
+            continue
+        first = node.args[0]
+        if isinstance(first, ast.Lambda):
+            yield Finding(
+                rule=RULE,
+                severity="error",
+                path=parsed.relpath,
+                line=first.lineno,
+                col=first.col_offset + 1,
+                message=(
+                    "lambda passed to .submit() cannot cross a process "
+                    "boundary; use a module-level function"
+                ),
+                symbol="submit:lambda",
+            )
+        elif isinstance(first, ast.Name) and first.id in nested:
+            yield Finding(
+                rule=RULE,
+                severity="error",
+                path=parsed.relpath,
+                line=first.lineno,
+                col=first.col_offset + 1,
+                message=(
+                    f"nested function {first.id!r} passed to .submit() "
+                    f"closes over its frame and cannot be pickled; use a "
+                    f"module-level function"
+                ),
+                symbol=f"submit:{first.id}",
+            )
+
+
+@register(
+    RULE,
+    severity="error",
+    doc=(
+        "Process-boundary payloads (WorkUnit/WorkSpan/WorkUnitResult/"
+        "CrackTarget) must not carry locks/sockets/files, and "
+        ".submit() callables must be module-level."
+    ),
+)
+def check(project: Project) -> Iterator[Finding]:
+    for parsed in project.files:
+        if _is_test_path(parsed):
+            continue
+        for node in ast.walk(parsed.tree):
+            if isinstance(node, ast.ClassDef) and node.name in BOUNDARY_CLASSES:
+                yield from _field_findings(parsed, node)
+        yield from _submit_findings(parsed)

@@ -1,0 +1,90 @@
+"""Rule: the allocation-free kernels must stay allocation-free.
+
+PR 1 made the crack hot path allocation-free: the ``*_into`` /
+``*_compress_batch_into`` kernels write into caller-owned scratch via
+``out=`` ufuncs, and the ``keyspace/vectorized.py`` inner loops
+(``_fill_chars``, ``_stratum_digits``) fill preallocated buffers.  A
+stray ``bytes()``, comprehension, or ``.append`` in one of these
+functions reintroduces a per-chunk allocation that benchmarks catch
+only as an unexplained regression.  This rule flags, inside hot
+functions:
+
+* calls to the allocating constructors ``bytes``/``bytearray``/
+  ``list``/``dict``/``set``;
+* list/set/dict comprehensions and generator expressions;
+* ``.append(...)`` / ``.extend(...)`` calls.
+
+Hot functions are any ``def *_into(...)`` anywhere in the scan set,
+plus the named inner-loop helpers of ``keyspace/vectorized.py``.
+Genuinely cold fallback branches inside a hot function carry a
+``# repro: allow(hot-path-allocation)`` comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, ParsedFile, Project, register
+
+RULE = "hot-path-allocation"
+
+ALLOCATING_BUILTINS = frozenset({"bytes", "bytearray", "list", "dict", "set"})
+GROWING_METHODS = frozenset({"append", "extend"})
+
+#: Inner-loop helpers of the vectorized keyspace materialiser.
+VECTORIZED_HOT = frozenset({"_fill_chars", "_stratum_digits"})
+
+
+def _hot_functions(parsed: ParsedFile) -> Iterator[ast.FunctionDef]:
+    in_vectorized = parsed.relpath.endswith("keyspace/vectorized.py")
+    for node in ast.walk(parsed.tree):
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        if node.name.endswith("_into"):
+            yield node
+        elif in_vectorized and node.name in VECTORIZED_HOT:
+            yield node
+
+
+def _violations(func: ast.FunctionDef) -> Iterator[tuple[ast.AST, str]]:
+    for node in ast.walk(func):
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+            yield node, "comprehension allocates a fresh container"
+        elif isinstance(node, ast.GeneratorExp):
+            yield node, "generator expression allocates per element"
+        elif isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in ALLOCATING_BUILTINS
+            ):
+                yield node, f"{node.func.id}() allocates"
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in GROWING_METHODS
+            ):
+                yield node, f".{node.func.attr}() grows a container"
+
+
+@register(
+    RULE,
+    severity="warning",
+    doc=(
+        "No bytes()/list()/dict()/set(), comprehensions, or "
+        ".append/.extend inside *_into kernels and the "
+        "keyspace/vectorized.py inner loops."
+    ),
+)
+def check(project: Project) -> Iterator[Finding]:
+    for parsed in project.files:
+        for func in _hot_functions(parsed):
+            for node, why in _violations(func):
+                yield Finding(
+                    rule=RULE,
+                    severity="warning",
+                    path=parsed.relpath,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    message=f"allocation in hot function {func.name}(): {why}",
+                    symbol=f"{func.name}:{why}",
+                )

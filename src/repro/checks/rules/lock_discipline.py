@@ -1,0 +1,197 @@
+"""Rule: attributes guarded by a lock must always be accessed under it.
+
+The cluster/service layers share mutable state between the gather loop,
+daemon threads, and control RPCs.  The convention the codebase follows
+is *textual* lock discipline: an attribute mutated inside a
+``with self.<something-lock>:`` block belongs to that lock, and every
+other access in the class must sit inside such a block too.  This rule
+mechanises the convention: for each class it collects the set of
+attributes ever *written* under a lock, then flags any read or write of
+those attributes outside a lock block (``__init__`` is exempt — the
+object is not yet shared while it constructs itself).
+
+Nested functions inherit the textual context of their definition site;
+a closure defined under the lock is treated as guarded.  Helper methods
+that take the lock themselves (``def _take_x(self): with self._lock:
+...``) are the sanctioned way to expose guarded state.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..engine import Finding, Project, register
+
+RULE = "lock-discipline"
+
+
+def _is_self(node: ast.expr) -> bool:
+    return isinstance(node, ast.Name) and node.id == "self"
+
+
+def _lock_attr(expr: ast.expr) -> str | None:
+    """Name of the lock when *expr* is ``self.<attr>`` with 'lock' in it."""
+    if isinstance(expr, ast.Attribute) and _is_self(expr.value):
+        if "lock" in expr.attr.lower():
+            return expr.attr
+    return None
+
+
+@dataclass(frozen=True)
+class _Access:
+    attr: str
+    line: int
+    col: int
+    is_store: bool
+    in_lock: bool
+    method: str
+
+
+#: Method calls on ``self.<attr>`` that mutate the container in place.
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "remove",
+        "discard",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "appendleft",
+        "popleft",
+    }
+)
+
+
+def _self_attr(node: ast.expr) -> ast.Attribute | None:
+    if isinstance(node, ast.Attribute) and _is_self(node.value):
+        return node
+    return None
+
+
+def _collect_accesses(cls: ast.ClassDef) -> tuple[list[_Access], set[str]]:
+    accesses: list[_Access] = []
+    lock_attrs: set[str] = set()
+
+    def record(attr_node: ast.Attribute, is_store: bool, in_lock: bool, method: str) -> None:
+        accesses.append(
+            _Access(
+                attr=attr_node.attr,
+                line=attr_node.lineno,
+                col=attr_node.col_offset,
+                is_store=is_store,
+                in_lock=in_lock,
+                method=method or "<class body>",
+            )
+        )
+
+    def visit(node: ast.AST, in_lock: bool, method: str) -> None:
+        if isinstance(node, ast.ClassDef) and node is not cls:
+            return  # nested classes get their own analysis
+        if isinstance(node, ast.With):
+            holds = in_lock
+            for item in node.items:
+                name = _lock_attr(item.context_expr)
+                if name is not None:
+                    lock_attrs.add(name)
+                    holds = True
+                visit(item.context_expr, in_lock, method)
+                if item.optional_vars is not None:
+                    visit(item.optional_vars, in_lock, method)
+            for stmt in node.body:
+                visit(stmt, holds, method)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            name = method or node.name
+            for deco in node.decorator_list:
+                visit(deco, in_lock, name)
+            for stmt in node.body:
+                visit(stmt, in_lock, name)
+            return
+        if isinstance(node, ast.Subscript) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            # self._d[k] = v / del self._d[k] mutate the attribute even
+            # though the Attribute node itself carries a Load context.
+            base = _self_attr(node.value)
+            if base is not None:
+                record(base, True, in_lock, method)
+                visit(node.slice, in_lock, method)
+                return
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in MUTATING_METHODS
+                and _self_attr(func.value) is not None
+            ):
+                # self._d.pop(...) etc. mutate the attribute in place.
+                record(_self_attr(func.value), True, in_lock, method)
+                for arg in node.args:
+                    visit(arg, in_lock, method)
+                for kw in node.keywords:
+                    visit(kw, in_lock, method)
+                return
+        if isinstance(node, ast.Attribute) and _is_self(node.value):
+            record(
+                node,
+                isinstance(node.ctx, (ast.Store, ast.Del)),
+                in_lock,
+                method,
+            )
+            return
+        for child in ast.iter_child_nodes(node):
+            visit(child, in_lock, method)
+
+    for stmt in cls.body:
+        visit(stmt, False, "")
+    return accesses, lock_attrs
+
+
+@register(
+    RULE,
+    severity="error",
+    doc=(
+        "Attributes written under a `with self.<lock>:` block must be "
+        "accessed under a lock everywhere else in the class "
+        "(constructors exempt)."
+    ),
+)
+def check(project: Project) -> Iterator[Finding]:
+    for parsed in project.files:
+        for node in ast.walk(parsed.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            accesses, lock_attrs = _collect_accesses(node)
+            guarded = {
+                a.attr
+                for a in accesses
+                if a.is_store and a.in_lock and a.attr not in lock_attrs
+            }
+            if not guarded:
+                continue
+            for access in accesses:
+                if access.attr not in guarded or access.in_lock:
+                    continue
+                if access.method == "__init__":
+                    continue
+                kind = "written" if access.is_store else "read"
+                yield Finding(
+                    rule=RULE,
+                    severity="error",
+                    path=parsed.relpath,
+                    line=access.line,
+                    col=access.col + 1,
+                    message=(
+                        f"'{node.name}.{access.attr}' is lock-guarded "
+                        f"elsewhere but {kind} without the lock in "
+                        f"{access.method}()"
+                    ),
+                    symbol=f"{node.name}.{access.attr}:{access.method}",
+                )

@@ -1,0 +1,149 @@
+"""Rule: metric names flow through the canonical registry, both ways.
+
+Every metric the code records must be a constant in
+``repro.obs.schema.MetricNames`` — a raw string literal passed to
+``Recorder.counter(...)`` & friends is schema drift the runtime
+validator only catches after the run.  Symmetrically, a registry
+constant nothing references is a dead name that silently rots.
+
+The registry is read from the scanned ``obs/schema.py`` when the scan
+set contains one (so fixture projects can carry their own); otherwise
+it falls back to importing :mod:`repro.obs.schema`.  Test/benchmark/
+example trees are exempt from the literal check — toy metric names are
+legitimate there — and the dead-name check only runs when the registry
+file itself is in the scan set.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, ParsedFile, Project, register
+
+RULE = "metric-registry"
+
+#: Recorder methods whose first positional argument is a metric name.
+RECORDER_METHODS = frozenset(
+    {
+        "counter",
+        "gauge",
+        "event",
+        "span",
+        "span_record",
+        "counter_value",
+        "counter_total",
+        "gauges_named",
+        "events_named",
+    }
+)
+
+_EXEMPT_PARTS = ("tests", "benchmarks", "examples")
+
+
+def _registry_from_ast(schema_file: ParsedFile) -> tuple[set[str], dict[str, int]]:
+    """(names, constant->line) from a MetricNames class definition."""
+    names: set[str] = set()
+    lines: dict[str, int] = {}
+    for node in ast.walk(schema_file.tree):
+        if not (isinstance(node, ast.ClassDef) and node.name == "MetricNames"):
+            continue
+        for stmt in node.body:
+            value = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                target, value = stmt.target, stmt.value
+            else:
+                continue
+            if not isinstance(target, ast.Name):
+                continue
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                names.add(value.value)
+                lines[target.id] = stmt.lineno
+    return names, lines
+
+
+def _registry_names(project: Project) -> tuple[set[str], ParsedFile | None, dict[str, int]]:
+    schema_file = project.by_suffix("obs/schema.py")
+    if schema_file is not None:
+        names, lines = _registry_from_ast(schema_file)
+        return names, schema_file, lines
+    from repro.obs.schema import ALL_METRIC_NAMES
+
+    return set(ALL_METRIC_NAMES), None, {}
+
+
+def _is_exempt(parsed: ParsedFile) -> bool:
+    parts = parsed.relpath.split("/")
+    return any(part in _EXEMPT_PARTS for part in parts)
+
+
+@register(
+    RULE,
+    severity="error",
+    doc=(
+        "String literals passed to Recorder.counter/gauge/event/span "
+        "must be registered in obs/schema.py MetricNames, and every "
+        "registered constant must be referenced somewhere."
+    ),
+)
+def check(project: Project) -> Iterator[Finding]:
+    registry, schema_file, constant_lines = _registry_names(project)
+    if not registry:
+        return
+    referenced_constants: set[str] = set()
+    for parsed in project.files:
+        for node in ast.walk(parsed.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "MetricNames"
+            ):
+                referenced_constants.add(node.attr)
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute) and func.attr in RECORDER_METHODS
+            ):
+                continue
+            if not node.args:
+                continue
+            first = node.args[0]
+            if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+                continue
+            if _is_exempt(parsed):
+                continue
+            if first.value in registry:
+                continue
+            yield Finding(
+                rule=RULE,
+                severity="error",
+                path=parsed.relpath,
+                line=first.lineno,
+                col=first.col_offset + 1,
+                message=(
+                    f"metric name {first.value!r} passed to "
+                    f".{func.attr}() is not in the MetricNames registry "
+                    f"(obs/schema.py)"
+                ),
+                symbol=f"literal:{first.value}",
+            )
+    if schema_file is None:
+        return
+    for constant, lineno in sorted(constant_lines.items()):
+        if constant in referenced_constants:
+            continue
+        yield Finding(
+            rule=RULE,
+            severity="error",
+            path=schema_file.relpath,
+            line=lineno,
+            col=1,
+            message=(
+                f"MetricNames.{constant} is registered but never "
+                f"referenced anywhere in the scanned tree (dead metric)"
+            ),
+            symbol=f"dead:{constant}",
+        )

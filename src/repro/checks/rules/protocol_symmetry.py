@@ -1,0 +1,110 @@
+"""Rule: every wire message has encode + decode arms and test coverage.
+
+``cluster/protocol.py`` is a hand-rolled binary protocol: each
+``*Message`` class carries an ``encode`` method, a ``decode``
+classmethod, and a magic dispatched by ``decode_any``.  A message class
+missing any arm round-trips in one direction only — the kind of
+asymmetry that surfaces as a hung worker, not a stack trace.  This rule
+requires, for every ``*Message`` class in the protocol module:
+
+* an ``encode`` method and a ``decode`` (class)method;
+* a reference from the body of ``decode_any`` (the dispatch table);
+* when any ``test*`` file is in the scan set: at least one test module
+  that names the class (the fuzz/round-trip suite must know it exists).
+
+The rule is silent when no ``cluster/protocol.py`` is scanned.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, Project, register
+
+RULE = "protocol-symmetry"
+
+
+def _method_names(cls: ast.ClassDef) -> set[str]:
+    return {
+        stmt.name
+        for stmt in cls.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _names_in(node: ast.AST) -> set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+@register(
+    RULE,
+    severity="error",
+    doc=(
+        "Every *Message class in cluster/protocol.py needs encode + "
+        "decode arms, a decode_any dispatch entry, and a reference "
+        "from the protocol test suite."
+    ),
+)
+def check(project: Project) -> Iterator[Finding]:
+    protocol = project.by_suffix("cluster/protocol.py")
+    if protocol is None:
+        return
+    messages = [
+        node
+        for node in protocol.tree.body
+        if isinstance(node, ast.ClassDef) and node.name.endswith("Message")
+    ]
+    if not messages:
+        return
+
+    dispatch_names: set[str] = set()
+    for node in ast.walk(protocol.tree):
+        if isinstance(node, ast.FunctionDef) and node.name == "decode_any":
+            dispatch_names = _names_in(node)
+
+    test_files = [
+        parsed
+        for parsed in project.files
+        if parsed.relpath.rsplit("/", 1)[-1].startswith("test")
+    ]
+    tested_names: set[str] = set()
+    for parsed in test_files:
+        tested_names |= _names_in(parsed.tree)
+
+    for cls in messages:
+        methods = _method_names(cls)
+        for arm in ("encode", "decode"):
+            if arm not in methods:
+                yield Finding(
+                    rule=RULE,
+                    severity="error",
+                    path=protocol.relpath,
+                    line=cls.lineno,
+                    col=cls.col_offset + 1,
+                    message=f"{cls.name} has no {arm}() arm",
+                    symbol=f"{cls.name}.{arm}",
+                )
+        if dispatch_names and cls.name not in dispatch_names:
+            yield Finding(
+                rule=RULE,
+                severity="error",
+                path=protocol.relpath,
+                line=cls.lineno,
+                col=cls.col_offset + 1,
+                message=f"{cls.name} is not dispatched by decode_any()",
+                symbol=f"{cls.name}.decode_any",
+            )
+        if test_files and cls.name not in tested_names:
+            yield Finding(
+                rule=RULE,
+                severity="error",
+                path=protocol.relpath,
+                line=cls.lineno,
+                col=cls.col_offset + 1,
+                message=(
+                    f"{cls.name} is never referenced by any scanned test "
+                    f"module (no round-trip/fuzz coverage)"
+                ),
+                symbol=f"{cls.name}.tested",
+            )

@@ -335,6 +335,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="measure and report but do not write the tuning file",
     )
 
+    check = sub.add_parser(
+        "check",
+        help="run the domain static-analysis suite (docs/STATIC_ANALYSIS.md)",
+        add_help=False,
+    )
+    check.add_argument("check_args", nargs=argparse.REMAINDER)
+
     sub.add_parser("tables", help="reprint the paper's tables from the models")
     sub.add_parser("devices", help="list the GPU catalog with modelled throughput")
     sub.add_parser("report", help="regenerate the full paper-vs-measured report")
@@ -342,6 +349,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv[:1] == ["check"]:
+        # Delegated wholesale: the checks CLI owns its flags, and
+        # argparse.REMAINDER cannot capture leading options (bpo-17050).
+        from repro.checks.cli import main as check_main
+
+        return check_main(argv[1:])
     args = build_parser().parse_args(argv)
     return {
         "crack": _cmd_crack,
@@ -352,6 +366,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "jobs": _cmd_jobs,
         "tune": _cmd_tune,
+        "check": _cmd_check,
         "tables": _cmd_tables,
         "devices": _cmd_devices,
         "report": _cmd_report,
@@ -1035,6 +1050,12 @@ def _cmd_mask(args) -> int:
         print("no preimage matches the mask")
         return 1
     return 0
+
+
+def _cmd_check(args) -> int:
+    from repro.checks.cli import main as check_main
+
+    return check_main(args.check_args)
 
 
 def _cmd_report(args) -> int:

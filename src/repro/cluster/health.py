@@ -30,6 +30,7 @@ hypothesis property suite) drive the monitor deterministically.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -142,6 +143,15 @@ class HealthMonitor:
     The loop feeds it heartbeats and failures; the monitor answers
     *who is dispatchable*, *whose silence has exceeded the grace*, and
     *which quarantined workers are due a probation probe*.
+
+    The monitor is shared between the master's gather loop and the
+    transport's receive threads (heartbeats land on a socket thread), so
+    every ``_workers`` access holds ``_lock`` — an :class:`~threading.
+    RLock`, because ``heartbeat``/``record_failure``/``probe_*`` call
+    ``register`` while already holding it.  Without the lock a
+    ``register`` racing ``missed_heartbeats`` dies with *dictionary
+    changed size during iteration* (see
+    ``tests/test_cluster_health.py::test_register_during_sweep_is_safe``).
     """
 
     def __init__(
@@ -149,18 +159,22 @@ class HealthMonitor:
     ) -> None:
         self.config = config if config is not None else HealthConfig()
         self._clock = clock
+        self._lock = threading.RLock()
         self._workers: dict[str, WorkerHealth] = {}
 
     # -- introspection --------------------------------------------------- #
     def known(self) -> list[str]:
-        return sorted(self._workers)
+        with self._lock:
+            return sorted(self._workers)
 
     def get(self, name: str) -> WorkerHealth | None:
-        return self._workers.get(name)
+        with self._lock:
+            return self._workers.get(name)
 
     def state(self, name: str) -> str:
-        entry = self._workers.get(name)
-        return entry.state if entry is not None else DEAD
+        with self._lock:
+            entry = self._workers.get(name)
+            return entry.state if entry is not None else DEAD
 
     def dispatchable(self, name: str) -> bool:
         """May the master hand this worker a *regular* chunk right now?
@@ -173,11 +187,12 @@ class HealthMonitor:
     # -- transitions ----------------------------------------------------- #
     def register(self, name: str, now: float | None = None) -> WorkerHealth:
         now = self._clock() if now is None else now
-        entry = self._workers.get(name)
-        if entry is None:
-            entry = WorkerHealth(name=name, last_heartbeat=now)
-            self._workers[name] = entry
-        return entry
+        with self._lock:
+            entry = self._workers.get(name)
+            if entry is None:
+                entry = WorkerHealth(name=name, last_heartbeat=now)
+                self._workers[name] = entry
+            return entry
 
     def heartbeat(self, name: str, now: float | None = None) -> str:
         """Record a beacon; returns the transition it caused.
@@ -188,20 +203,21 @@ class HealthMonitor:
         state change.
         """
         now = self._clock() if now is None else now
-        entry = self._workers.get(name)
-        if entry is None:
-            self.register(name, now)
-            return "registered"
-        entry.last_heartbeat = now
-        if entry.state == DEAD:
-            entry.rejoins += 1
-            if self._recent_failures(entry, now) >= self.config.quarantine_failures:
-                entry.state = QUARANTINED
-                entry.quarantined_until = now + self.config.quarantine_period
-                return "quarantined"
-            entry.state = ALIVE
-            return "rejoined"
-        return ""
+        with self._lock:
+            entry = self._workers.get(name)
+            if entry is None:
+                self.register(name, now)
+                return "registered"
+            entry.last_heartbeat = now
+            if entry.state == DEAD:
+                entry.rejoins += 1
+                if self._recent_failures(entry, now) >= self.config.quarantine_failures:
+                    entry.state = QUARANTINED
+                    entry.quarantined_until = now + self.config.quarantine_period
+                    return "quarantined"
+                entry.state = ALIVE
+                return "rejoined"
+            return ""
 
     def record_failure(self, name: str, now: float | None = None) -> str:
         """A worker failed (missed heartbeats, blew a deadline, hung up).
@@ -211,29 +227,31 @@ class HealthMonitor:
         worker stays benched even if it immediately heartbeats again).
         """
         now = self._clock() if now is None else now
-        entry = self.register(name, now)
-        entry.failures.append(now)
-        entry.deaths += 1
-        cutoff = now - self.config.quarantine_window
-        entry.failures = [t for t in entry.failures if t >= cutoff]
-        if len(entry.failures) >= self.config.quarantine_failures:
-            entry.state = QUARANTINED
-            entry.quarantined_until = now + self.config.quarantine_period
-            return QUARANTINED
-        entry.state = DEAD
-        return DEAD
+        with self._lock:
+            entry = self.register(name, now)
+            entry.failures.append(now)
+            entry.deaths += 1
+            cutoff = now - self.config.quarantine_window
+            entry.failures = [t for t in entry.failures if t >= cutoff]
+            if len(entry.failures) >= self.config.quarantine_failures:
+                entry.state = QUARANTINED
+                entry.quarantined_until = now + self.config.quarantine_period
+                return QUARANTINED
+            entry.state = DEAD
+            return DEAD
 
     def missed_heartbeats(self, now: float | None = None) -> list[str]:
         """Workers whose beacon silence exceeded the grace — liveness
         failures the caller should treat like deaths."""
         now = self._clock() if now is None else now
         timeout = self.config.heartbeat_timeout
-        return [
-            entry.name
-            for entry in self._workers.values()
-            if entry.state in (ALIVE, PROBING)
-            and now - entry.last_heartbeat > timeout
-        ]
+        with self._lock:
+            return [
+                entry.name
+                for entry in self._workers.values()
+                if entry.state in (ALIVE, PROBING)
+                and now - entry.last_heartbeat > timeout
+            ]
 
     def recoverable(self, name: str, now: float | None = None) -> bool:
         """Could this worker still return to duty without outside help?
@@ -247,37 +265,41 @@ class HealthMonitor:
         recoverable and keyspace remains, the run has failed.
         """
         now = self._clock() if now is None else now
-        entry = self._workers.get(name)
-        if entry is None:
-            return False
-        if entry.state in (ALIVE, PROBING):
-            return True
-        return now - entry.last_heartbeat <= self.config.heartbeat_timeout
+        with self._lock:
+            entry = self._workers.get(name)
+            if entry is None:
+                return False
+            if entry.state in (ALIVE, PROBING):
+                return True
+            return now - entry.last_heartbeat <= self.config.heartbeat_timeout
 
     def due_probes(self, now: float | None = None) -> list[str]:
         """Quarantined workers whose period elapsed *and* who are still
         heartbeating — ready for a small probationary chunk."""
         now = self._clock() if now is None else now
         out = []
-        for entry in self._workers.values():
-            if entry.state != QUARANTINED or now < entry.quarantined_until:
-                continue
-            if now - entry.last_heartbeat > self.config.heartbeat_timeout:
-                continue  # benched *and* silent: nothing to probe
-            out.append(entry.name)
+        with self._lock:
+            for entry in self._workers.values():
+                if entry.state != QUARANTINED or now < entry.quarantined_until:
+                    continue
+                if now - entry.last_heartbeat > self.config.heartbeat_timeout:
+                    continue  # benched *and* silent: nothing to probe
+                out.append(entry.name)
         return sorted(out)
 
     def probe_started(self, name: str) -> None:
-        entry = self.register(name)
-        entry.state = PROBING
+        with self._lock:
+            entry = self.register(name)
+            entry.state = PROBING
 
     def probe_succeeded(self, name: str, now: float | None = None) -> None:
         """A probationary chunk completed: restore full duty and forget
         the failure history (the circuit closes clean)."""
-        entry = self.register(name, now)
-        entry.state = ALIVE
-        entry.failures.clear()
-        entry.quarantined_until = 0.0
+        with self._lock:
+            entry = self.register(name, now)
+            entry.state = ALIVE
+            entry.failures.clear()
+            entry.quarantined_until = 0.0
 
     # -- deadlines ------------------------------------------------------- #
     def deadline_for(

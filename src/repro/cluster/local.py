@@ -48,7 +48,7 @@ class LocalCrackOutcome(ResultMixin):
     backend: str = "serial"
     #: Per-worker measured throughput (keys/s) — the real ``X_j``.
     worker_throughput: dict = field(default_factory=dict)
-    metrics: dict | None = None  #: repro-metrics/v1 payload when recorded
+    metrics: dict | None = None  #: repro-metrics/v2 payload when recorded
 
     @property
     def candidates_tested(self) -> int:

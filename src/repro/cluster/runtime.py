@@ -351,7 +351,7 @@ class RuntimeResult(ResultMixin):
     tested: int = 0  #: candidates confirmed scanned via gather messages
     elapsed: float = 0.0  #: master wall-clock for the whole run
     backend: str = "distributed"
-    metrics: dict | None = None  #: repro-metrics/v1 payload when recorded
+    metrics: dict | None = None  #: repro-metrics/v2 payload when recorded
     # -- fault-tolerance accounting ------------------------------------- #
     heartbeats: int = 0  #: beacons the master consumed
     reconnects: int = 0  #: dead workers that rejoined

@@ -324,7 +324,7 @@ class BackendOutcome(ResultMixin):
     #: (``stop_on_first`` fired or a ``preempt`` callback asked the driver
     #: to yield); a checkpointing caller re-plans exactly these.
     unfinished: list = field(default_factory=list)
-    metrics: dict | None = None  #: repro-metrics/v1 payload when recorded
+    metrics: dict | None = None  #: repro-metrics/v2 payload when recorded
 
     def absorb(self, result: WorkUnitResult) -> None:
         """Merge one gather message into the outcome."""

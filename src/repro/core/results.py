@@ -7,7 +7,7 @@ All executed-run results in the library share one read surface, the
 * ``tested``  — candidates scanned;
 * ``elapsed`` — wall-clock seconds;
 * ``backend`` — which execution seam produced the run;
-* ``metrics`` — an optional ``repro-metrics/v1`` payload (see
+* ``metrics`` — an optional ``repro-metrics/v2`` payload (see
   :mod:`repro.obs`).
 
 :class:`ResultMixin` derives the convenience views (``passwords``,
@@ -70,7 +70,7 @@ class SessionResult(ResultMixin):
     elapsed: float = 0.0
     backend: str = "sequential"
     workers: int = 1
-    metrics: dict | None = None  #: repro-metrics/v1 payload when recorded
+    metrics: dict | None = None  #: repro-metrics/v2 payload when recorded
     #: The run's coverage ledger, set by checkpointed runs
     #: (``CrackingSession.run(progress=...)``); ``None`` otherwise.
     progress: object | None = None

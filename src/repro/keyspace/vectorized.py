@@ -278,14 +278,15 @@ def _stratum_digits(
         return lsd_first[:, ::-1]
     # Exact-integer fallback for gigantic strata: peel digits column by
     # column with Python ints, still vectorizing across the batch via
-    # object arrays only at the boundaries.
+    # object arrays only at the boundaries.  Cold path — only strata
+    # beyond 2**63 land here, so the comprehensions are acceptable.
     digits = np.empty((count, length), dtype=np.int64)
     value = within
-    row_values = [value + i for i in range(count)]
+    row_values = [value + i for i in range(count)]  # repro: allow(hot-path-allocation)
     for p in range(length):
-        col = [v % n for v in row_values]
+        col = [v % n for v in row_values]  # repro: allow(hot-path-allocation)
         digits[:, p] = col
-        row_values = [v // n for v in row_values]
+        row_values = [v // n for v in row_values]  # repro: allow(hot-path-allocation)
     if order is KeyOrder.SUFFIX_FASTEST:
         digits = digits[:, ::-1]
     return np.ascontiguousarray(digits)

@@ -10,7 +10,7 @@ is that measurement plane:
 * :data:`~repro.obs.recorder.NULL_RECORDER` — a no-op sink so hot paths
   can record unconditionally without branching on ``None``;
 * :mod:`repro.obs.schema` — the versioned export schema
-  (``repro-metrics/v1``), canonical metric names, and a validator;
+  (``repro-metrics/v2``), canonical metric names, and a validator;
 * :func:`~repro.obs.recorder.render_summary` — the human-readable view
   the CLI prints under ``--metrics summary``.
 

@@ -121,7 +121,7 @@ class Recorder:
 
     # ------------------------------------------------------------------ #
     def export(self) -> dict:
-        """Snapshot everything as a ``repro-metrics/v1`` document."""
+        """Snapshot everything as a ``repro-metrics/v2`` document."""
         from repro.obs.schema import METRICS_SCHEMA
 
         with self._lock:

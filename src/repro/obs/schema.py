@@ -5,10 +5,10 @@ One document shape, one version string, one validator — every producer
 ``--metrics json``, the benchmark harness, CI's schema gate), and the
 docs all reference this module rather than re-describing the payload.
 
-Schema (``repro-metrics/v1``)::
+Schema (``repro-metrics/v2``)::
 
     {
-      "schema": "repro-metrics/v1",
+      "schema": "repro-metrics/v2",
       "counters": [{"name": str, "labels": {str: str}, "value": int|float}],
       "gauges":   [{"name": str, "labels": {str: str}, "value": float}],
       "spans":    [{"name": str, "labels": {str: str},
@@ -21,11 +21,21 @@ count/total/min/max instead of raw samples so a million-batch run exports
 a bounded document.  ``events`` are the unaggregated timeline (rebalance
 decisions, worker deaths, chunk requeues) and carry arbitrary JSON-safe
 fields.
+
+v2 tightens v1 in exactly one way: every series/event ``name`` must be
+registered in :class:`MetricNames` (checked against
+:data:`ALL_METRIC_NAMES`), so schema drift — a producer inventing a
+name the dashboards and CI assertions don't know — fails validation
+instead of rotting silently.  v1 documents (no name registry) are still
+accepted by :func:`validate_metrics` for previously persisted exports.
 """
 
 from __future__ import annotations
 
-METRICS_SCHEMA = "repro-metrics/v1"
+METRICS_SCHEMA = "repro-metrics/v2"
+
+#: The pre-registry schema tag; still accepted by :func:`validate_metrics`.
+METRICS_SCHEMA_V1 = "repro-metrics/v1"
 
 
 class MetricNames:
@@ -104,7 +114,21 @@ class MetricNames:
     EVENT_SCHED_DECISION = "sched.decision"  #: one DRR pick (job, allowance)
 
 
-def _check_series(rows: object, kind: str, required: tuple, problems: list) -> None:
+#: Every registered metric name — the v2 validation registry.
+ALL_METRIC_NAMES: frozenset[str] = frozenset(
+    value
+    for key, value in vars(MetricNames).items()
+    if not key.startswith("_") and isinstance(value, str)
+)
+
+
+def _check_series(
+    rows: object,
+    kind: str,
+    required: tuple,
+    problems: list,
+    registry: frozenset[str] | None = None,
+) -> None:
     if not isinstance(rows, list):
         problems.append(f"{kind} must be a list")
         return
@@ -114,6 +138,10 @@ def _check_series(rows: object, kind: str, required: tuple, problems: list) -> N
             continue
         if not isinstance(row.get("name"), str) or not row.get("name"):
             problems.append(f"{kind} entry missing a non-empty name")
+        elif registry is not None and row["name"] not in registry:
+            problems.append(
+                f"{kind} entry {row['name']!r} is not a registered metric name"
+            )
         labels = row.get("labels", {})
         if not isinstance(labels, dict) or not all(
             isinstance(k, str) and isinstance(v, str) for k, v in labels.items()
@@ -129,19 +157,28 @@ def _check_series(rows: object, kind: str, required: tuple, problems: list) -> N
 def validate_metrics(document: object) -> list[str]:
     """Validate an exported metrics payload; returns a list of problems.
 
-    Empty list means the document conforms to ``repro-metrics/v1``.  Used
-    by the CLI before writing ``--metrics-out``, by the benchmark
-    harness, and by CI's bench smoke job.
+    Empty list means the document conforms to ``repro-metrics/v2`` (or
+    the legacy ``v1``, which skips the name-registry check).  Used by
+    the CLI before writing ``--metrics-out``, by the benchmark harness,
+    and by CI's bench smoke job.
     """
     problems: list[str] = []
     if not isinstance(document, dict):
         return ["metrics payload must be an object"]
-    if document.get("schema") != METRICS_SCHEMA:
-        problems.append(f"schema must be {METRICS_SCHEMA!r}")
-    _check_series(document.get("counters"), "counters", ("value",), problems)
-    _check_series(document.get("gauges"), "gauges", ("value",), problems)
+    schema = document.get("schema")
+    if schema not in (METRICS_SCHEMA, METRICS_SCHEMA_V1):
+        problems.append(
+            f"schema must be {METRICS_SCHEMA!r} (or legacy {METRICS_SCHEMA_V1!r})"
+        )
+    registry = ALL_METRIC_NAMES if schema == METRICS_SCHEMA else None
+    _check_series(document.get("counters"), "counters", ("value",), problems, registry)
+    _check_series(document.get("gauges"), "gauges", ("value",), problems, registry)
     _check_series(
-        document.get("spans"), "spans", ("count", "total", "min", "max"), problems
+        document.get("spans"),
+        "spans",
+        ("count", "total", "min", "max"),
+        problems,
+        registry,
     )
     events = document.get("events")
     if not isinstance(events, list):
@@ -151,8 +188,13 @@ def validate_metrics(document: object) -> list[str]:
             if not isinstance(event, dict):
                 problems.append("events entries must be objects")
                 continue
-            if not isinstance(event.get("name"), str) or not event.get("name"):
+            name = event.get("name")
+            if not isinstance(name, str) or not name:
                 problems.append("event missing a non-empty name")
+            elif registry is not None and name not in registry:
+                problems.append(
+                    f"event {name!r} is not a registered metric name"
+                )
             if not isinstance(event.get("time"), (int, float)):
                 problems.append(f"event {event.get('name')!r} missing numeric time")
             if not isinstance(event.get("fields"), dict):

@@ -35,7 +35,7 @@ class ServeSummary:
     drained: bool = False
     states: dict = field(default_factory=dict)  #: state -> count at exit
     served: dict = field(default_factory=dict)  #: job id -> candidates run
-    metrics: dict | None = None  #: scheduler-level repro-metrics/v1 export
+    metrics: dict | None = None  #: scheduler-level repro-metrics/v2 export
 
 
 def serve(

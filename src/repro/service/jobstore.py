@@ -11,7 +11,7 @@ survive process death.  This module is the persistence layer for that:
 * :class:`JobStore` — a directory of jobs, one subdirectory each, holding
   ``job.json`` (the record), ``checkpoint.json`` (the serialized
   :class:`~repro.core.progress.ProgressLog`), ``metrics.json`` (the job's
-  latest ``repro-metrics/v1`` export) and ``events.log`` (an appended
+  latest ``repro-metrics/v2`` export) and ``events.log`` (an appended
   human-readable timeline for ``repro jobs tail``).
 
 Every document carries the versioned ``repro-job/v1`` schema tag and is
@@ -248,7 +248,7 @@ class JobStore:
 
         <root>/<job-id>/job.json         # JobRecord (repro-job/v1, kind=job)
         <root>/<job-id>/checkpoint.json  # ProgressLog (kind=checkpoint)
-        <root>/<job-id>/metrics.json     # latest repro-metrics/v1 export
+        <root>/<job-id>/metrics.json     # latest repro-metrics/v2 export
         <root>/<job-id>/events.log       # appended timeline lines
     """
 

@@ -123,6 +123,11 @@ class Scheduler:
         # measurable overhead on fast jobs.
         self._live_logs: dict[str, ProgressLog] = {}
         self._metrics_dirty: set[str] = set()
+        # pause/cancel requests land from other threads (the serve
+        # daemon's signal handler, tests driving the scheduler while a
+        # slice runs), so every _control access goes through the
+        # _request/_pending/_take/_clear helpers below, under this lock.
+        self._control_lock = threading.Lock()
         self._control: dict[str, str] = {}  # job_id -> "pause" | "cancel"
         self._drain = threading.Event()
 
@@ -134,21 +139,21 @@ class Scheduler:
 
     def pause(self, job_id: str) -> None:
         """Park a job at the next chunk boundary (checkpointed, resumable)."""
-        self._control[job_id] = "pause"
+        self._request_control(job_id, "pause")
         record = self.store.load(job_id)
         if record.state == "queued":  # not mid-slice: takes effect now
             self._apply_control(job_id)
 
     def cancel(self, job_id: str) -> None:
         """Stop a job at the next chunk boundary; terminal unless resumed."""
-        self._control[job_id] = "cancel"
+        self._request_control(job_id, "cancel")
         record = self.store.load(job_id)
         if record.state in ("queued", "paused"):
             self._apply_control(job_id)
 
     def resume(self, job_id: str) -> JobRecord:
         """Requeue a paused/cancelled/failed job from its last checkpoint."""
-        self._control.pop(job_id, None)
+        self._clear_control(job_id)
         record = self.store.set_state(job_id, "queued", "resumed")
         self._record_event(MetricNames.EVENT_JOB_STATE, job=job_id, state="queued")
         return record
@@ -229,7 +234,7 @@ class Scheduler:
         job_id = record.id
         spec = record.spec
         out = SliceResult(job_id=job_id)
-        if job_id in self._control:  # pause/cancel landed between slices
+        if self._pending_control(job_id):  # pause/cancel landed between slices
             out.state = self._apply_control(job_id)
             return out
         try:
@@ -280,7 +285,7 @@ class Scheduler:
                 last_checkpoint = time.perf_counter()
 
         def preempt() -> bool:
-            return self._drain.is_set() or job_id in self._control
+            return self._drain.is_set() or self._pending_control(job_id)
 
         target = spec.to_target()
         slice_started = time.perf_counter()
@@ -387,10 +392,10 @@ class Scheduler:
         if log.is_complete or (spec.stop_on_first and log.found):
             self.store.set_state(job_id, "done", f"{len(log.found)} found")
             self._deficit.pop(job_id, None)
-            self._control.pop(job_id, None)
+            self._clear_control(job_id)
             self._record_event(MetricNames.EVENT_JOB_STATE, job=job_id, state="done")
             return "done"
-        if job_id in self._control:
+        if self._pending_control(job_id):
             return self._apply_control(job_id)
         if self._drain.is_set():
             self.store.set_state(job_id, "queued", "drained")
@@ -405,8 +410,30 @@ class Scheduler:
             if recorder is not None:
                 self.store.save_metrics(job_id, recorder.export())
 
+    # -- cross-thread control requests ------------------------------------ #
+    def _request_control(self, job_id: str, request: str) -> None:
+        with self._control_lock:
+            self._control[job_id] = request
+
+    def _pending_control(self, job_id: str) -> bool:
+        with self._control_lock:
+            return job_id in self._control
+
+    def _take_control(self, job_id: str) -> str | None:
+        with self._control_lock:
+            return self._control.pop(job_id, None)
+
+    def _clear_control(self, job_id: str) -> None:
+        with self._control_lock:
+            self._control.pop(job_id, None)
+
     def _apply_control(self, job_id: str) -> str:
-        request = self._control.pop(job_id)
+        request = self._take_control(job_id)
+        if request is None:
+            # A concurrent resume() withdrew the request between our
+            # pending-check and the take: nothing to apply.  (The
+            # unlocked dict used to raise KeyError here.)
+            return self.store.load(job_id).state
         self._live_logs.pop(job_id, None)
         self._flush_metrics(job_id)
         state = "paused" if request == "pause" else "cancelled"

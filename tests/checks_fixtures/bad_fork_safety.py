@@ -1,0 +1,20 @@
+"""Fixture: unpicklable state on a process-boundary payload."""
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WorkSpan:
+    units: tuple = ()
+    guard: threading.Lock = field(default_factory=threading.Lock)  # flagged
+    handle = open  # flagged: file factory smuggled onto the payload
+
+
+def dispatch(pool, span):
+    pool.submit(lambda: span)  # flagged: lambda cannot cross processes
+
+    def run_one():
+        return span
+
+    pool.submit(run_one)  # flagged: nested function closure

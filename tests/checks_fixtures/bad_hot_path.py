@@ -1,0 +1,14 @@
+"""Fixture: allocations inside a hot ``*_into`` kernel."""
+
+
+def fake_compress_batch_into(blocks, out):
+    staging = bytes(64)  # flagged: bytes() allocates
+    collected = [b for b in blocks]  # flagged: comprehension
+    for block in collected:
+        out.append(block + len(staging))  # flagged: .append grows
+    return out
+
+
+def cold_helper(blocks):
+    # Not a hot function: the same constructs are fine here.
+    return [b * 2 for b in blocks]

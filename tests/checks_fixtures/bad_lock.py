@@ -1,0 +1,28 @@
+"""Fixture: deliberate lock-discipline violations (see test_checks.py)."""
+
+import threading
+
+
+class LeakyRegistry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}
+        self._hits = 0
+
+    def put(self, key, value):
+        with self._lock:
+            self._items[key] = value
+            self._hits += 1
+
+    def size(self):  # read without the lock: flagged
+        return len(self._items)
+
+    def drop(self, key):  # mutating call without the lock: flagged
+        self._items.pop(key, None)
+
+    def bump(self):  # write without the lock: flagged
+        self._hits += 1
+
+    def snapshot(self):  # correctly guarded: not flagged
+        with self._lock:
+            return dict(self._items)

@@ -1,0 +1,10 @@
+"""Fixture: a metric name that is not in the MetricNames registry."""
+
+
+class Worker:
+    def __init__(self, recorder):
+        self.recorder = recorder
+
+    def run(self):
+        self.recorder.counter("totally.made.up", 1)  # flagged
+        self.recorder.event("another.rogue.name", detail="x")  # flagged

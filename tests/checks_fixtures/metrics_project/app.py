@@ -1,0 +1,7 @@
+"""Fixture consumer referencing only one of the registered names."""
+
+from .obs.schema import MetricNames
+
+
+def run(recorder):
+    recorder.counter(MetricNames.USED, 1)

@@ -1,0 +1,6 @@
+"""Fixture registry with one dead metric name."""
+
+
+class MetricNames:
+    USED = "fixture.used"
+    DEAD = "fixture.dead"  # flagged: registered but never referenced

@@ -1,0 +1,24 @@
+"""Fixture protocol module with a deliberately asymmetric message."""
+
+_MAGIC_GOOD = b"FIX\x01"
+_MAGIC_BROKEN = b"FIX\x02"
+
+
+class GoodMessage:
+    def encode(self):
+        return _MAGIC_GOOD
+
+    @classmethod
+    def decode(cls, payload):
+        return cls()
+
+
+class BrokenMessage:  # flagged: no decode arm, not dispatched
+    def encode(self):
+        return _MAGIC_BROKEN
+
+
+def decode_any(payload):
+    if payload.startswith(_MAGIC_GOOD):
+        return GoodMessage.decode(payload)
+    raise ValueError("unknown message magic")

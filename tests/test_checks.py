@@ -1,0 +1,233 @@
+"""Tests for the ``repro check`` static-analysis suite.
+
+Each deliberately-broken fixture under ``tests/checks_fixtures/`` must
+fail exactly its rule, the baseline round-trips, the JSON report is
+schema-stable, and the suppression comment works — plus the acceptance
+bar: the repo itself is clean under ``--strict``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.checks import (
+    BASELINE_SCHEMA,
+    REPORT_SCHEMA,
+    all_rules,
+    apply_baseline,
+    load_baseline,
+    load_project,
+    run_checks,
+    save_baseline,
+)
+from repro.checks.cli import main as check_main
+
+FIXTURES = Path(__file__).parent / "checks_fixtures"
+REPO_ROOT = Path(__file__).parent.parent
+
+RULE_NAMES = {
+    "lock-discipline",
+    "metric-registry",
+    "protocol-symmetry",
+    "hot-path-allocation",
+    "fork-safety",
+}
+
+
+def findings_for(paths, rules=None, root=FIXTURES):
+    project = load_project(root, [root / p for p in paths])
+    return run_checks(project, rules)
+
+
+class TestRuleCatalog:
+    def test_all_five_domain_rules_registered(self):
+        assert {rule.name for rule in all_rules()} >= RULE_NAMES
+
+    def test_rules_carry_severity_and_doc(self):
+        for rule in all_rules():
+            assert rule.severity in ("info", "warning", "error")
+            assert rule.doc.strip()
+
+
+class TestFixturesFailTheirRules:
+    def test_lock_discipline_fixture(self):
+        found = findings_for(["bad_lock.py"], ["lock-discipline"])
+        methods = {f.symbol.split(":")[1] for f in found}
+        assert methods == {"size", "drop", "bump"}
+        assert all(f.rule == "lock-discipline" for f in found)
+        assert all(f.severity == "error" for f in found)
+
+    def test_metric_registry_fixture(self):
+        found = findings_for(["bad_metric.py"], ["metric-registry"])
+        names = {f.symbol for f in found}
+        assert names == {"literal:totally.made.up", "literal:another.rogue.name"}
+
+    def test_metric_registry_dead_name_fixture(self):
+        found = findings_for(["metrics_project"], ["metric-registry"])
+        assert {f.symbol for f in found} == {"dead:DEAD"}
+
+    def test_protocol_symmetry_fixture(self):
+        found = findings_for(["proto_project"], ["protocol-symmetry"])
+        symbols = {f.symbol for f in found}
+        assert "BrokenMessage.decode" in symbols
+        assert "BrokenMessage.decode_any" in symbols
+        assert not any(s.startswith("GoodMessage") for s in symbols)
+
+    def test_hot_path_fixture(self):
+        found = findings_for(["bad_hot_path.py"], ["hot-path-allocation"])
+        assert len(found) == 3  # bytes(), comprehension, .append
+        assert all("fake_compress_batch_into" in f.message for f in found)
+
+    def test_fork_safety_fixture(self):
+        found = findings_for(["bad_fork_safety.py"], ["fork-safety"])
+        symbols = {f.symbol for f in found}
+        assert "WorkSpan.guard" in symbols
+        assert "WorkSpan.handle" in symbols
+        assert "submit:lambda" in symbols
+        assert "submit:run_one" in symbols
+
+
+class TestSuppression:
+    def test_allow_comment_silences_one_line(self, tmp_path):
+        src = tmp_path / "mod.py"
+        src.write_text(
+            "import threading\n"
+            "class Box:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._n = 0\n"
+            "    def inc(self):\n"
+            "        with self._lock:\n"
+            "            self._n += 1\n"
+            "    def peek(self):\n"
+            "        return self._n  # repro: allow(lock-discipline)\n"
+            "    def poke(self):\n"
+            "        return self._n\n"
+        )
+        found = run_checks(load_project(tmp_path), ["lock-discipline"])
+        assert [f.line for f in found] == [12]  # only the unsuppressed access
+
+    def test_allow_on_def_header_covers_the_body(self, tmp_path):
+        src = tmp_path / "mod.py"
+        src.write_text(
+            "def x_into(out):  # repro: allow(hot-path-allocation)\n"
+            "    out.append(1)\n"
+            "    return bytes(2)\n"
+        )
+        found = run_checks(load_project(tmp_path), ["hot-path-allocation"])
+        assert found == []
+
+
+class TestBaseline:
+    def test_round_trip_and_apply(self, tmp_path):
+        found = findings_for(["bad_lock.py"], ["lock-discipline"])
+        assert found
+        baseline_path = tmp_path / "baseline.json"
+        save_baseline(baseline_path, found)
+        document = json.loads(baseline_path.read_text())
+        assert document["schema"] == BASELINE_SCHEMA
+        fingerprints = load_baseline(baseline_path)
+        assert fingerprints == {f.fingerprint() for f in found}
+        fresh, grandfathered = apply_baseline(found, fingerprints)
+        assert fresh == []
+        assert grandfathered == found
+
+    def test_fingerprint_survives_line_moves(self, tmp_path):
+        def finding_after(prefix):
+            src = tmp_path / "mod.py"
+            src.write_text(
+                prefix
+                + "import threading\n"
+                "class Box:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._n = 0\n"
+                "    def inc(self):\n"
+                "        with self._lock:\n"
+                "            self._n += 1\n"
+                "    def peek(self):\n"
+                "        return self._n\n"
+            )
+            (found,) = run_checks(load_project(tmp_path), ["lock-discipline"])
+            return found
+
+        before = finding_after("")
+        after = finding_after("# a comment pushing everything down\n\n\n")
+        assert before.line != after.line
+        assert before.fingerprint() == after.fingerprint()
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == set()
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"schema": "bogus/v9", "findings": []}))
+        with pytest.raises(ValueError, match="bogus"):
+            load_baseline(path)
+
+
+class TestCli:
+    def test_json_report_schema(self, capsys):
+        code = check_main(
+            [
+                "--root", str(FIXTURES),
+                "--rules", "lock-discipline",
+                "--json", "--no-baseline",
+                "bad_lock.py",
+            ]
+        )
+        assert code == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == REPORT_SCHEMA
+        assert document["files_scanned"] == 1
+        assert document["counts"]["total"] == document["counts"]["error"] == 3
+        for finding in document["findings"]:
+            assert set(finding) == {
+                "rule", "severity", "path", "line", "col",
+                "message", "symbol", "fingerprint",
+            }
+
+    def test_strict_fails_on_warnings_default_does_not(self, capsys):
+        args = [
+            "--root", str(FIXTURES),
+            "--rules", "hot-path-allocation",
+            "--no-baseline",
+            "bad_hot_path.py",
+        ]
+        assert check_main(args) == 0  # warnings only
+        assert check_main(args + ["--strict"]) == 1
+        capsys.readouterr()
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        args = [
+            "--root", str(FIXTURES),
+            "--rules", "lock-discipline",
+            "--baseline", str(baseline),
+            "bad_lock.py",
+        ]
+        assert check_main(args + ["--write-baseline"]) == 0
+        assert check_main(args + ["--strict"]) == 0  # grandfathered
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        assert check_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for name in RULE_NAMES:
+            assert name in out
+
+    def test_unknown_rule_errors(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            check_main(["--root", str(FIXTURES), "--rules", "nope", "bad_lock.py"])
+
+
+class TestRepoIsClean:
+    def test_repo_passes_strict_with_empty_baseline(self, capsys):
+        """The acceptance bar: no findings on src/repro + tests, and the
+        committed baseline grandfathers nothing."""
+        code = check_main(["--root", str(REPO_ROOT), "--strict"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        baseline = load_baseline(REPO_ROOT / "checks_baseline.json")
+        assert baseline == set()

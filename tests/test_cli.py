@@ -169,7 +169,7 @@ class TestMetricsFlags:
     def test_metrics_summary_renders_phases(self, capsys):
         assert main(self.crack_args("--metrics", "summary")) == 0
         out = capsys.readouterr().out
-        assert "metrics (repro-metrics/v1)" in out
+        assert "metrics (repro-metrics/v2)" in out
         assert "phase.search" in out
         assert "worker.keys_per_second" in out
         assert "FOUND: 'cab'" in out
@@ -184,7 +184,7 @@ class TestMetricsFlags:
         start, stop = out.index("{"), out.rindex("}") + 1
         document = json_module.loads(out[start:stop])
         assert validate_metrics(document) == []
-        assert document["schema"] == "repro-metrics/v1"
+        assert document["schema"] == "repro-metrics/v2"
 
     def test_metrics_out_writes_file(self, capsys, tmp_path):
         import json as json_module
@@ -205,5 +205,5 @@ class TestMetricsFlags:
                      "--metrics", "summary"])
         out = capsys.readouterr().out
         assert code == 0
-        assert "metrics (repro-metrics/v1)" in out
+        assert "metrics (repro-metrics/v2)" in out
         assert "backend=ntlm" in out

@@ -88,7 +88,7 @@ class TestServeAndStatus:
         capsys.readouterr()
         assert main(["jobs", "status", str(tmp_path), "j",
                      "--metrics", "summary"]) == 0
-        assert "metrics (repro-metrics/v1)" in capsys.readouterr().out
+        assert "metrics (repro-metrics/v2)" in capsys.readouterr().out
 
 
 class TestJobsControl:

@@ -187,3 +187,65 @@ class TestBackoffPolicy:
             BackoffPolicy(base=2.0, cap=1.0)
         with pytest.raises(ValueError):
             BackoffPolicy(jitter=2.0)
+
+
+class TestThreadSafety:
+    def test_register_during_sweep_is_safe(self):
+        """register() racing missed_heartbeats() must not blow up.
+
+        Heartbeats land on the transport's receive thread while the
+        gather loop sweeps for silence; before the monitor grew its
+        lock this crashed with "dictionary changed size during
+        iteration" under load.
+        """
+        import threading
+
+        m = HealthMonitor(HealthConfig(), clock=lambda: 0.0)
+        stop = threading.Event()
+        errors = []
+
+        def churn():
+            i = 0
+            while not stop.is_set():
+                # Unbounded names: the dict keeps growing (and resizing)
+                # for the whole test, which is what races the sweeps.
+                m.register(f"w{i}", now=0.0)
+                m.record_failure(f"x{i}", now=0.0)
+                i += 1
+
+        def sweep():
+            while not stop.is_set():
+                m.missed_heartbeats(now=100.0)
+                m.due_probes(now=100.0)
+                m.known()
+
+        threads = [threading.Thread(target=with_errors(fn, errors)) for fn in (churn, sweep, sweep)]
+        for t in threads:
+            t.start()
+        import time as _time
+
+        _time.sleep(0.5)
+        stop.set()
+        for t in threads:
+            t.join(timeout=5)
+        assert errors == [], errors
+
+    def test_reentrant_transitions_under_lock(self):
+        # record_failure/heartbeat/probe_* call register() while already
+        # holding the monitor lock: an ordinary Lock would deadlock here.
+        m = monitor()
+        assert m.record_failure("w", now=0.0) == DEAD
+        assert m.heartbeat("w", now=1.0) == "rejoined"
+        m.probe_started("w")
+        m.probe_succeeded("w", now=2.0)
+        assert m.state("w") == ALIVE
+
+
+def with_errors(fn, errors):
+    def run():
+        try:
+            fn()
+        except BaseException as exc:  # pragma: no cover - only on regression
+            errors.append(exc)
+
+    return run

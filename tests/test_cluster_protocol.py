@@ -6,6 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cluster.protocol import (
+    ControlMessage,
     GatherMessage,
     HeartbeatMessage,
     MESSAGE_BUDGET,
@@ -106,14 +107,46 @@ class TestHeartbeat:
         assert len(HeartbeatMessage("x" * 200, False, 0).encode()) < MESSAGE_BUDGET
 
 
+class TestControlMessage:
+    def test_roundtrip_every_command(self):
+        for command in ControlMessage.COMMANDS:
+            msg = ControlMessage(command, reason="match found")
+            assert ControlMessage.decode(msg.encode()) == msg
+
+    def test_empty_reason_roundtrip(self):
+        msg = ControlMessage("shutdown")
+        assert decode_any(msg.encode()) == msg
+
+    def test_unknown_command_rejected_at_encode(self):
+        with pytest.raises(ValueError, match="control command"):
+            ControlMessage("reboot").encode()
+
+    def test_budget(self):
+        msg = ControlMessage("cancel", reason="r" * 200)
+        assert len(msg.encode()) < MESSAGE_BUDGET
+
+    @given(
+        command=st.sampled_from(ControlMessage.COMMANDS),
+        reason=st.text(
+            alphabet=st.characters(min_codepoint=1, max_codepoint=255), max_size=120
+        ),
+    )
+    @settings(max_examples=40)
+    def test_property_roundtrip(self, command, reason):
+        msg = ControlMessage(command, reason=reason)
+        assert decode_any(msg.encode()) == msg
+
+
 class TestDecodeAny:
     def test_dispatch(self):
         s = scatter()
         g = GatherMessage(Interval(0, 1), 1, 1)
         h = HeartbeatMessage("n", False, 1)
+        c = ControlMessage("cancel", reason="found")
         assert decode_any(s.encode()) == s
         assert decode_any(g.encode()) == g
         assert decode_any(h.encode()) == h
+        assert decode_any(c.encode()) == c
 
     def test_unknown_magic(self):
         with pytest.raises(ValueError, match="unknown message magic"):
@@ -130,6 +163,7 @@ class TestMalformedBytes:
                 Interval(100, 200), 100, 123, ((150, "S3cret9"), (199, "zzz"))
             ),
             HeartbeatMessage("node-C", True, 71_000_000),
+            ControlMessage("cancel", reason="stop_on_first fired"),
         ]
 
     def test_every_truncation_raises_value_error(self):
@@ -149,7 +183,7 @@ class TestMalformedBytes:
     @given(noise=st.binary(min_size=0, max_size=64))
     @settings(max_examples=60)
     def test_garbage_after_valid_magic_never_escapes_value_error(self, noise):
-        for magic in (b"XKS\x01", b"XKS\x02", b"XKS\x03"):
+        for magic in (b"XKS\x01", b"XKS\x02", b"XKS\x03", b"XKS\x04"):
             try:
                 decode_any(magic + noise)
             except ValueError:

@@ -3,7 +3,7 @@
 Three TCP workers; one is killed abruptly mid-run, one crawls with an
 artificial per-chunk delay.  The master must still finish the exhaustive
 search, requeue only the dead worker's interval, and leave a metrics
-document that validates against repro-metrics/v1.
+document that validates against repro-metrics/v2.
 """
 
 import threading
@@ -87,6 +87,6 @@ def test_kill_and_straggler_tcp_run():
     assert all(e["fields"]["worker"] == "doomed" for e in requeue_events)
     dead_events = recorder.events_named(MetricNames.EVENT_WORKER_DEAD)
     assert {e["fields"]["worker"] for e in dead_events} == {"doomed"}
-    # The exported document is a valid repro-metrics/v1 artifact.
+    # The exported document is a valid repro-metrics/v2 artifact.
     assert result.metrics is not None
     assert validate_metrics(result.metrics) == []

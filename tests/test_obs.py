@@ -88,7 +88,7 @@ class TestExportSchema:
         rec.span_record(MetricNames.PHASE_SEARCH, 0.5, backend="serial")
         rec.event(MetricNames.EVENT_REBALANCE, before=8, after=4)
         document = rec.export()
-        assert document["schema"] == "repro-metrics/v1"
+        assert document["schema"] == "repro-metrics/v2"
         assert validate_metrics(document) == []
         assert json.loads(json.dumps(document)) == document
 
@@ -107,6 +107,34 @@ class TestExportSchema:
         doc = Recorder().export()
         doc["events"] = [{"name": "e", "fields": {}}]  # missing time
         assert any("time" in p for p in validate_metrics(doc))
+
+    def test_v2_rejects_unregistered_metric_names(self):
+        doc = Recorder().export()
+        assert doc["schema"] == "repro-metrics/v2"
+        doc["counters"] = [{"name": "made.up", "labels": {}, "value": 1}]
+        assert any("registered" in p for p in validate_metrics(doc))
+        doc = Recorder().export()
+        doc["events"] = [{"name": "made.up", "time": 0.0, "fields": {}}]
+        assert any("registered" in p for p in validate_metrics(doc))
+
+    def test_legacy_v1_documents_skip_the_registry(self):
+        # Previously persisted exports (job stores, archived benchmark
+        # artifacts) predate the registry and stay loadable.
+        doc = Recorder().export()
+        doc["schema"] = "repro-metrics/v1"
+        doc["counters"] = [{"name": "made.up", "labels": {}, "value": 1}]
+        assert validate_metrics(doc) == []
+
+    def test_registry_covers_every_metric_constant(self):
+        from repro.obs.schema import ALL_METRIC_NAMES
+
+        constants = {
+            value
+            for key, value in vars(MetricNames).items()
+            if not key.startswith("_") and isinstance(value, str)
+        }
+        assert constants == set(ALL_METRIC_NAMES)
+        assert MetricNames.PHASE_SEARCH in ALL_METRIC_NAMES
 
     def test_null_recorder_records_nothing(self):
         rec = NullRecorder()
@@ -132,7 +160,7 @@ class TestRenderSummary:
         rec.counter(MetricNames.BACKEND_TESTED, 1000, backend="serial")
         rec.event(MetricNames.EVENT_WORKER_DEAD, worker="w1")
         text = render_summary(rec.export())
-        assert "repro-metrics/v1" in text
+        assert "repro-metrics/v2" in text
         assert "phase.search{backend=serial}" in text
         assert "worker.keys_per_second" in text
         assert "backend.tested" in text
@@ -140,7 +168,7 @@ class TestRenderSummary:
 
     def test_summary_of_empty_export_is_just_header(self):
         assert render_summary(Recorder().export()).splitlines() == [
-            "metrics (repro-metrics/v1)"
+            "metrics (repro-metrics/v2)"
         ]
 
 

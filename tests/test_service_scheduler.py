@@ -254,3 +254,34 @@ class TestValidation:
         assert document["schema"] == "repro-job/v1"
         assert document["kind"] == "checkpoint"
         assert document["job"] == job
+
+
+class TestControlThreadSafety:
+    def test_apply_control_survives_concurrent_resume(self, tmp_path):
+        """resume() withdrawing a pause between check and take is a no-op.
+
+        pause/cancel arrive from other threads (the serve daemon's
+        control surface) while the scheduler applies them at chunk
+        boundaries.  Before _control grew its lock, _apply_control did
+        an unconditional ``pop(job_id)`` and a resume() landing in the
+        window between the pending-check and the pop crashed the whole
+        serve loop with KeyError.
+        """
+        store = JobStore(tmp_path)
+        with Scheduler(store, quantum=1000) as sched:
+            job = sched.submit(endless()).id
+            sched._request_control(job, "pause")
+            assert sched._pending_control(job)
+            sched.resume(job)  # withdraws the request, as another thread would
+            state = sched._apply_control(job)  # must not raise
+            assert state == "queued"  # safe no-op: the store state stands
+            assert not sched._pending_control(job)
+
+    def test_control_requests_are_applied_once(self, tmp_path):
+        store = JobStore(tmp_path)
+        with Scheduler(store, quantum=1000) as sched:
+            job = sched.submit(endless()).id
+            sched.step()  # the job starts running
+            sched._request_control(job, "pause")
+            assert sched._take_control(job) == "pause"
+            assert sched._take_control(job) is None  # second taker gets nothing
