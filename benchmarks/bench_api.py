@@ -1,0 +1,197 @@
+"""BENCH — gateway admission throughput and event-stream fan-out.
+
+Measures the crack-as-a-service front door, not the kernels: how fast
+concurrent tenants can push jobs through authentication + rate limiting
++ quota + the durable store (submissions/s), how many long-poll event
+streams the asyncio loop serves at once (events/s across the fan-out),
+and how fast the status plane drains (status reads/s).  The three walls
+map onto the paper's phase split the way the gateway experiences it:
+scatter = job intake, search = stream serving, gather = status drain.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_api.py [--quick]
+
+or imported by :mod:`benchmarks.run_all`, which folds the row into
+``BENCH_cracking.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import tempfile
+import threading
+import time
+
+from repro.service import (
+    ApiKeyring,
+    ApiServer,
+    ApiServerThread,
+    GatewayClient,
+    JobStore,
+    TenantConfig,
+    TenantRegistry,
+)
+from repro.service.jobstore import JobSpec
+
+#: >= 4 tenants so fair-share weights and per-tenant gauges all light up.
+TENANT_NAMES = ("acme", "zeta", "tiny", "bulk")
+_JOBS = 1000
+_JOBS_QUICK = 200
+_SUBMITTERS = 8
+_STREAMS = 32
+
+
+def _spec(i: int) -> dict:
+    return JobSpec(
+        digest=hashlib.md5(b"bench-%d" % i).digest(),
+        charset="abcdefgo",
+        max_length=3,
+    ).to_dict()
+
+
+def _registry(total_jobs: int) -> tuple[ApiKeyring, TenantRegistry]:
+    keys = {f"k-{name}": name for name in TENANT_NAMES}
+    configs = [
+        TenantConfig(
+            name,
+            weight=weight,
+            max_queued=total_jobs,  # admission sized for the burst on purpose
+            rate=1e6,
+            burst=1e6,
+        )
+        for weight, name in enumerate(TENANT_NAMES, start=1)
+    ]
+    return ApiKeyring(keys), TenantRegistry(configs)
+
+
+def _submit_burst(url: str, total_jobs: int) -> float:
+    """Fan *total_jobs* submits over _SUBMITTERS threads; returns seconds.
+
+    Worker *w* owns the stride ``w, w+_SUBMITTERS, ...`` and submits as
+    tenant ``w % len(TENANT_NAMES)`` — with _SUBMITTERS a multiple of the
+    tenant count, job ``i`` deterministically lands under tenant
+    ``i % len(TENANT_NAMES)``, which the stream/status phases rely on.
+    """
+    errors: list[Exception] = []
+
+    def submit_loop(worker: int) -> None:
+        # GatewayClient is not thread-safe: one keep-alive socket each.
+        tenant = TENANT_NAMES[worker % len(TENANT_NAMES)]
+        with GatewayClient(url, f"k-{tenant}") as client:
+            for i in range(worker, total_jobs, _SUBMITTERS):
+                try:
+                    client.submit(_spec(i), priority=1 + i % 4, job=f"job-{i}")
+                except Exception as exc:  # noqa: BLE001 - surfaced below
+                    errors.append(exc)
+                    return
+
+    threads = [
+        threading.Thread(target=submit_loop, args=(w,)) for w in range(_SUBMITTERS)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    return elapsed
+
+
+def _stream_fanout(url: str) -> tuple[float, int]:
+    """_STREAMS concurrent long-polls drain their timelines; (secs, events)."""
+    delivered = {"events": 0}
+    lock = threading.Lock()
+
+    def stream(index: int) -> None:
+        tenant = TENANT_NAMES[index % len(TENANT_NAMES)]
+        with GatewayClient(url, f"k-{tenant}") as client:
+            job = f"{tenant}--job-{index}"
+            cursor, got = 0, 1
+            while got:
+                delta = client.events(job, cursor=cursor, timeout=0.0)
+                got = len(delta["events"])
+                cursor = delta["cursor"]
+                with lock:
+                    delivered["events"] += got
+
+    threads = [threading.Thread(target=stream, args=(i,)) for i in range(_STREAMS)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - started, delivered["events"]
+
+
+def _status_drain(url: str) -> tuple[float, int]:
+    """Every tenant lists its jobs and reads its quota; (secs, jobs seen)."""
+    seen = 0
+    started = time.perf_counter()
+    for name in TENANT_NAMES:
+        with GatewayClient(url, f"k-{name}") as client:
+            listing = client.jobs()
+            seen += len(listing["jobs"])
+            client.quota(name)
+    return time.perf_counter() - started, seen
+
+
+def run(quick: bool = False, workers: int | None = None) -> dict:
+    """Returns the ``BENCH_cracking.json`` payload fragment."""
+    total_jobs = _JOBS_QUICK if quick else _JOBS
+    with tempfile.TemporaryDirectory(prefix="bench-api-") as root:
+        store = JobStore(root)
+        keyring, tenants = _registry(total_jobs)
+        server = ApiServer(store, keyring, tenants, poll_interval=0.01)
+        thread = ApiServerThread(server)
+        host, port = thread.start()
+        url = f"http://{host}:{port}"
+        try:
+            scatter = _submit_burst(url, total_jobs)
+            search, events = _stream_fanout(url)
+            gather, listed = _status_drain(url)
+        finally:
+            thread.stop()
+        metrics = server.recorder.export()
+    row = {
+        "backend": "gateway",
+        "workers": _SUBMITTERS,
+        "batch_size": total_jobs,
+        "tenants": len(TENANT_NAMES),
+        "jobs": total_jobs,
+        "submissions_per_second": total_jobs / scatter if scatter else 0.0,
+        "streams": _STREAMS,
+        "events_delivered": events,
+        "events_per_second": events / search if search else 0.0,
+        "status_reads_per_second": listed / gather if gather else 0.0,
+        # The gateway moves requests, not key tests; requests/s is the
+        # comparable throughput figure the shared row schema expects.
+        "keys_per_second": (total_jobs + events + listed) / (scatter + search + gather),
+        "phases": {"scatter": scatter, "search": search, "gather": gather},
+        "metrics": metrics,
+    }
+    return {
+        "name": "api_gateway",
+        "results": [row],
+        "submissions_per_second": row["submissions_per_second"],
+        # Consistency bar: every job submitted is visible to exactly its
+        # owning tenant; the status drain must count them all, once.
+        "all_results_identical": listed == total_jobs,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="smaller burst")
+    args = parser.parse_args(argv)
+    payload = run(quick=args.quick)
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -48,6 +48,7 @@ import time
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
+import bench_api
 import bench_backend_scaling
 import bench_scheduler
 import bench_transport
@@ -81,6 +82,7 @@ def run_all(quick: bool = False, workers: int | None = None) -> dict:
         bench_backend_scaling.run(quick=quick, workers=workers),
         bench_scheduler.run(quick=quick, workers=workers),
         bench_transport.run(quick=quick, workers=workers),
+        bench_api.run(quick=quick, workers=workers),
     ]
     best = max(
         (r["keys_per_second"] for b in benchmarks for r in b["results"]),
@@ -97,6 +99,7 @@ def run_all(quick: bool = False, workers: int | None = None) -> dict:
             "speedup_thread_vs_serial": benchmarks[0]["speedup_thread_vs_serial"],
             "scheduler_vs_sequential": benchmarks[1]["scheduler_vs_sequential"],
             "tcp_vs_in_process": benchmarks[2]["tcp_vs_in_process"],
+            "api_submissions_per_second": benchmarks[3]["submissions_per_second"],
             "overheads": _summary_overheads(benchmarks[0], benchmarks[1]),
             "all_results_identical": all(
                 b.get("all_results_identical", True) for b in benchmarks
@@ -144,6 +147,18 @@ def validate(document: dict) -> list[str]:
                     problems.extend(
                         f"metrics: {p}" for p in validate_metrics(metrics)
                     )
+    gateway = next(
+        (b for b in benches or [] if isinstance(b, dict) and b.get("name") == "api_gateway"),
+        None,
+    )
+    if gateway is None:
+        problems.append("benchmarks must include the api_gateway row")
+    else:
+        for row in gateway.get("results") or [{}]:
+            for key in ("tenants", "jobs", "submissions_per_second", "streams",
+                        "events_per_second"):
+                if key not in row:
+                    problems.append(f"api_gateway row missing {key!r}")
     summary = document.get("summary")
     if not isinstance(summary, dict):
         problems.append("summary object is required")

@@ -12,7 +12,17 @@ requires, for every ``*Message`` class in the protocol module:
 * when any ``test*`` file is in the scan set: at least one test module
   that names the class (the fuzz/round-trip suite must know it exists).
 
-The rule is silent when no ``cluster/protocol.py`` is scanned.
+``service/wire.py`` is the same discipline over HTTP: the
+``REQUEST_VALIDATORS`` / ``RESPONSE_VALIDATORS`` dict literals are the
+machine-checkable index of the ``repro-api/v1`` contract.  For every
+kind registered there the rule requires:
+
+* the entry's value to be a validator function defined in the module;
+* when any ``test*`` file is in the scan set: at least one test module
+  that spells the kind as a string literal (or names its validator),
+  so no document type ships without fuzz/round-trip coverage.
+
+The rule is silent for whichever of the two modules is not scanned.
 """
 
 from __future__ import annotations
@@ -37,16 +47,31 @@ def _names_in(node: ast.AST) -> set[str]:
     return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
 
 
+def _test_files(project: Project) -> list:
+    return [
+        parsed
+        for parsed in project.files
+        if parsed.relpath.rsplit("/", 1)[-1].startswith("test")
+    ]
+
+
 @register(
     RULE,
     severity="error",
     doc=(
         "Every *Message class in cluster/protocol.py needs encode + "
         "decode arms, a decode_any dispatch entry, and a reference "
-        "from the protocol test suite."
+        "from the protocol test suite; every repro-api/v1 kind in "
+        "service/wire.py's validator registries needs a validator "
+        "function defined there and a test that names it."
     ),
 )
 def check(project: Project) -> Iterator[Finding]:
+    yield from _check_cluster_protocol(project)
+    yield from _check_api_registries(project)
+
+
+def _check_cluster_protocol(project: Project) -> Iterator[Finding]:
     protocol = project.by_suffix("cluster/protocol.py")
     if protocol is None:
         return
@@ -63,11 +88,7 @@ def check(project: Project) -> Iterator[Finding]:
         if isinstance(node, ast.FunctionDef) and node.name == "decode_any":
             dispatch_names = _names_in(node)
 
-    test_files = [
-        parsed
-        for parsed in project.files
-        if parsed.relpath.rsplit("/", 1)[-1].startswith("test")
-    ]
+    test_files = _test_files(project)
     tested_names: set[str] = set()
     for parsed in test_files:
         tested_names |= _names_in(parsed.tree)
@@ -108,3 +129,80 @@ def check(project: Project) -> Iterator[Finding]:
                 ),
                 symbol=f"{cls.name}.tested",
             )
+
+
+_API_REGISTRIES = ("REQUEST_VALIDATORS", "RESPONSE_VALIDATORS")
+
+
+def _check_api_registries(project: Project) -> Iterator[Finding]:
+    wire = project.by_suffix("service/wire.py")
+    if wire is None:
+        return
+    defined = {
+        node.name
+        for node in wire.tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    registries: list[tuple[str, ast.Dict]] = []
+    for node in wire.tree.body:
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Dict):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id in _API_REGISTRIES:
+                registries.append((target.id, node.value))
+    if not registries:
+        return
+
+    test_files = _test_files(project)
+    tested_names: set[str] = set()
+    tested_strings: set[str] = set()
+    for parsed in test_files:
+        tested_names |= _names_in(parsed.tree)
+        tested_strings |= {
+            node.value
+            for node in ast.walk(parsed.tree)
+            if isinstance(node, ast.Constant) and isinstance(node.value, str)
+        }
+
+    for registry, literal in registries:
+        for key, value in zip(literal.keys, literal.values):
+            if not isinstance(key, ast.Constant) or not isinstance(key.value, str):
+                yield Finding(
+                    rule=RULE,
+                    severity="error",
+                    path=wire.relpath,
+                    line=literal.lineno,
+                    col=literal.col_offset + 1,
+                    message=f"{registry} keys must be string kind literals",
+                    symbol=f"{registry}.keys",
+                )
+                continue
+            kind = key.value
+            validator = value.id if isinstance(value, ast.Name) else None
+            if validator is None or validator not in defined:
+                yield Finding(
+                    rule=RULE,
+                    severity="error",
+                    path=wire.relpath,
+                    line=value.lineno,
+                    col=value.col_offset + 1,
+                    message=(
+                        f"kind {kind!r} in {registry} does not map to a "
+                        f"validator function defined in this module"
+                    ),
+                    symbol=f"{registry}.{kind}.validator",
+                )
+                continue
+            if test_files and kind not in tested_strings and validator not in tested_names:
+                yield Finding(
+                    rule=RULE,
+                    severity="error",
+                    path=wire.relpath,
+                    line=key.lineno,
+                    col=key.col_offset + 1,
+                    message=(
+                        f"kind {kind!r} ({registry}) is never named by any "
+                        f"scanned test module (no fuzz/round-trip coverage)"
+                    ),
+                    symbol=f"{registry}.{kind}.tested",
+                )

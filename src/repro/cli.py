@@ -7,9 +7,22 @@ Commands
 ``mine``      scan a nonce interval for a proof-of-work winner
 ``tables``    reprint the paper's tables from the reproduction models
 ``devices``   list the modelled GPU catalog with per-kernel throughput
-``serve``     run the persistent job-service daemon over a store directory
-``jobs``      submit/status/pause/resume/cancel/tail jobs in a store
+``serve``     run the job-service daemon (``--listen`` adds the HTTP gateway)
+``jobs``      submit/status/pause/resume/cancel/tail jobs, local or remote
 ``tune``      sweep dispatch knobs on this host and lock in the winners
+
+Exit codes (documented in docs/API.md; ``repro jobs`` maps HTTP statuses
+onto the same codes so shell scripts behave identically against a local
+store and a remote gateway)::
+
+    0  success / password found
+    1  clean miss (no preimage; empty store listing)
+    2  usage error: malformed input, illegal transition, duplicate id
+    3  unknown job id                       (HTTP 404)
+    4  daemon/gateway unreachable           (connection failure)
+    5  authentication or authorization      (HTTP 401/403)
+    6  quota or rate limit exceeded         (HTTP 429)
+    130 interrupted (checkpoint written)
 """
 
 from __future__ import annotations
@@ -17,6 +30,15 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+
+EXIT_OK = 0
+EXIT_MISS = 1
+EXIT_USAGE = 2
+EXIT_NO_JOB = 3
+EXIT_NO_DAEMON = 4
+EXIT_AUTH = 5
+EXIT_LIMIT = 6
+EXIT_INTERRUPTED = 130
 
 from repro.keyspace import (
     ALNUM_LOWER,
@@ -255,12 +277,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the scheduler-level decision/checkpoint/preemption timeline",
     )
     serve.add_argument("--metrics-out", metavar="PATH", default=None)
+    serve.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        default=None,
+        help="also mount the multi-tenant HTTP gateway (repro-api/v1) on "
+        "this address (port 0 = pick a free port); requires --api-keys",
+    )
+    serve.add_argument(
+        "--api-keys",
+        metavar="PATH",
+        default=None,
+        help="repro-api-keys/v1 tenant/key config file for --listen",
+    )
 
-    jobs = sub.add_parser("jobs", help="submit/inspect/control jobs in a store")
+    def _connect_args(p):
+        p.add_argument(
+            "--connect",
+            metavar="http://HOST:PORT",
+            default=None,
+            help="drive a remote gateway instead of a local store directory",
+        )
+        p.add_argument(
+            "--api-key",
+            default=None,
+            help="gateway API key (default: $REPRO_API_KEY)",
+        )
+
+    jobs = sub.add_parser(
+        "jobs", help="submit/inspect/control jobs, local store or remote gateway"
+    )
     jsub = jobs.add_subparsers(dest="jobs_command", required=True)
     submit = jsub.add_parser("submit", help="queue a new crack job")
-    submit.add_argument("store", help="job store directory (created if missing)")
+    submit.add_argument(
+        "store",
+        nargs="?",
+        default=None,
+        help="job store directory (created if missing; omit with --connect)",
+    )
     submit.add_argument("digest", help="target digest, hex (32 chars MD5, 40 SHA1)")
+    _connect_args(submit)
     submit.add_argument("--algorithm", choices=["md5", "sha1"], default="md5")
     submit.add_argument("--charset", choices=sorted(CHARSETS), default="lower")
     submit.add_argument("--min-length", type=int, default=1)
@@ -280,7 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--job-id", default=None, help="explicit id (default: derived)")
 
     status = jsub.add_parser("status", help="per-job progress from the persisted store")
-    status.add_argument("store")
+    status.add_argument("store", nargs="?", default=None)
     status.add_argument("id", nargs="?", default=None, help="one job (default: all)")
     status.add_argument(
         "--metrics",
@@ -289,6 +345,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also show the job's persisted metrics.json (single-job form only)",
     )
     status.add_argument("--metrics-out", metavar="PATH", default=None)
+    _connect_args(status)
 
     for name, text in (
         ("pause", "park a job (checkpointed, resumable)"),
@@ -296,13 +353,21 @@ def build_parser() -> argparse.ArgumentParser:
         ("cancel", "stop a job (resumable with 'jobs resume')"),
     ):
         control = jsub.add_parser(name, help=text)
-        control.add_argument("store")
+        control.add_argument("store", nargs="?", default=None)
         control.add_argument("id")
+        _connect_args(control)
 
     tail = jsub.add_parser("tail", help="last lines of a job's event timeline")
-    tail.add_argument("store")
+    tail.add_argument("store", nargs="?", default=None)
     tail.add_argument("id")
     tail.add_argument("-n", "--lines", type=int, default=10)
+    _connect_args(tail)
+
+    quota = jsub.add_parser(
+        "quota", help="a tenant's quota/rate state (gateway only)"
+    )
+    quota.add_argument("tenant", help="the tenant name your API key maps to")
+    _connect_args(quota)
 
     tune = sub.add_parser(
         "tune",
@@ -776,20 +841,33 @@ def _crack_checkpointed(args, target) -> int:
 def _cmd_serve(args) -> int:
     from repro.service import JobStore, serve
 
+    if args.listen and not args.api_keys:
+        print("error: --listen requires --api-keys", file=sys.stderr)
+        return EXIT_USAGE
     recorder = _make_recorder(args)
-    summary = serve(
-        JobStore(args.store),
-        backend=args.backend,
-        workers=args.workers,
-        quantum=args.quantum,
-        checkpoint_every=args.checkpoint_every,
-        checkpoint_interval=args.checkpoint_interval,
-        gather_batch=args.gather_batch,
-        poll_interval=args.poll,
-        once=args.once,
-        max_rounds=args.max_rounds,
-        recorder=recorder,
-    )
+    try:
+        summary = serve(
+            JobStore(args.store),
+            backend=args.backend,
+            workers=args.workers,
+            quantum=args.quantum,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_interval=args.checkpoint_interval,
+            gather_batch=args.gather_batch,
+            poll_interval=args.poll,
+            once=args.once,
+            max_rounds=args.max_rounds,
+            recorder=recorder,
+            listen=args.listen,
+            api_keys=args.api_keys,
+            on_api_start=lambda address: print(
+                f"gateway listening on http://{address[0]}:{address[1]}",
+                flush=True,
+            ),
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
     outcome = "drained" if summary.drained else "idle"
     print(f"serve: {summary.rounds} rounds, exited {outcome}")
     for state in sorted(summary.states):
@@ -851,24 +929,82 @@ def _cmd_tune(args) -> int:
 
 
 def _cmd_jobs(args) -> int:
-    return {
+    from repro.service.client import ApiClientError, GatewayUnreachable
+
+    handler = {
         "submit": _jobs_submit,
         "status": _jobs_status,
         "pause": _jobs_control,
         "resume": _jobs_control,
         "cancel": _jobs_control,
         "tail": _jobs_tail,
-    }[args.jobs_command](args)
+        "quota": _jobs_quota,
+    }[args.jobs_command]
+    client = _make_client(args)
+    if client is None:
+        return EXIT_USAGE
+    try:
+        with client:
+            return handler(args, client)
+    except GatewayUnreachable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_NO_DAEMON
+    except ApiClientError as exc:
+        print(f"error: {exc.message}", file=sys.stderr)
+        return _status_exit(exc.status)
 
 
-def _jobs_submit(args) -> int:
-    from repro.service import JobSpec, JobStore
+def _status_exit(status: int) -> int:
+    """Map an HTTP status onto the documented CLI exit codes."""
+    if status == 404:
+        return EXIT_NO_JOB
+    if status in (401, 403):
+        return EXIT_AUTH
+    if status == 429:
+        return EXIT_LIMIT
+    return EXIT_USAGE
+
+
+def _make_client(args):
+    """A GatewayClient (``--connect``) or LocalClient (store path)."""
+    from repro.service import JobStore
+    from repro.service.client import GatewayClient, LocalClient
+
+    if getattr(args, "connect", None):
+        key = args.api_key or os.environ.get("REPRO_API_KEY")
+        if not key:
+            print(
+                "error: --connect needs --api-key or $REPRO_API_KEY",
+                file=sys.stderr,
+            )
+            return None
+        # argparse fills the optional `store` positional first, so with
+        # --connect a lone id lands there; shift it where it belongs.
+        if getattr(args, "store", None) is not None and hasattr(args, "id"):
+            if args.id is None:
+                args.store, args.id = None, args.store
+        try:
+            return GatewayClient(args.connect, key)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return None
+    if getattr(args, "store", None) is None:
+        print(
+            "error: give a job store directory or --connect http://...",
+            file=sys.stderr,
+        )
+        return None
+    return LocalClient(JobStore(args.store))
+
+
+def _jobs_submit(args, client) -> int:
+    from repro.service import JobSpec
 
     try:
         digest = bytes.fromhex(args.digest)
     except ValueError:
         print("error: digest must be hexadecimal", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     try:
         spec = JobSpec(
             digest=digest,
@@ -884,85 +1020,71 @@ def _jobs_submit(args) -> int:
             backend=args.backend,
             workers=args.workers,
         )
-        record = JobStore(args.store).submit(
-            spec, priority=args.priority, job_id=args.job_id
-        )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
-    print(f"submitted {record.id} (priority {record.priority}, "
-          f"{spec.space_size:,} candidates)")
-    return 0
+        return EXIT_USAGE
+    if args.priority < 1:
+        print("error: priority must be >= 1", file=sys.stderr)
+        return EXIT_USAGE
+    document = client.submit(spec.to_dict(), priority=args.priority, job=args.job_id)
+    print(f"submitted {document['job']} (priority {document['priority']}, "
+          f"{document['space']:,} candidates)")
+    return EXIT_OK
 
 
-def _jobs_status(args) -> int:
-    from repro.core.progress import CorruptCheckpointError
-    from repro.service import JobStore
+def _render_job_line(document: dict) -> str:
+    progress = document["progress"]
+    total = progress["total"]
+    percent = 100.0 * progress["done"] / total if total else 100.0
+    return (f"{document['job']:24s} {document['state']:9s} "
+            f"{document['priority']:3d} {percent:6.1f}% "
+            f"{progress['done']:>14,} {len(progress['found'])!s:>5s}")
 
-    store = JobStore(args.store)
-    try:
-        records = [store.load(args.id)] if args.id else store.jobs()
-    except (KeyError, ValueError) as exc:
-        print(f"error: {exc.args[0]}", file=sys.stderr)
-        return 2
-    if not records:
-        print(f"no jobs in {store.root}")
-        return 1
-    exit_code = 0
-    print(f"{'id':24s} {'state':9s} {'pri':>3s} {'done':>7s} {'tested':>14s} {'found':>5s}")
-    for record in records:
-        try:
-            log = store.load_progress(record.id)
-            percent = 100.0 * log.done_count / log.total if log.total else 100.0
-            done, tested, found = f"{percent:6.1f}%", f"{log.done_count:,}", len(log.found)
-        except KeyError:
-            log, done, tested, found = None, "?", "?", "?"
-        except CorruptCheckpointError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            log, done, tested, found = None, "corrupt", "?", "?"
-            exit_code = 1
-        print(f"{record.id:24s} {record.state:9s} {record.priority:3d} "
-              f"{done:>7s} {tested:>14s} {found!s:>5s}")
-        if args.id and log is not None:
-            for index, key in log.found:
+
+def _jobs_status(args, client) -> int:
+    if args.id:
+        documents = [client.status(args.id)]
+    else:
+        documents = client.jobs()["jobs"]
+    if not documents:
+        where = args.connect if args.connect else args.store
+        print(f"no jobs in {where}")
+        return EXIT_MISS
+    print(f"{'id':24s} {'state':9s} {'pri':>3s} {'done':>7s} "
+          f"{'tested':>14s} {'found':>5s}")
+    for document in documents:
+        print(_render_job_line(document))
+        if args.id:
+            for index, key in document["progress"]["found"]:
                 print(f"  FOUND: {key!r} (id {index})")
-            if record.message:
-                print(f"  note: {record.message}")
+            if document["message"]:
+                print(f"  note: {document['message']}")
     if args.id and (args.metrics != "off" or args.metrics_out):
-        _emit_metrics(args, store.load_metrics(args.id))
-    return exit_code
+        payload = client.metrics(args.id)["metrics"]
+        _emit_metrics(args, payload if payload else None)
+    return EXIT_OK
 
 
-def _jobs_control(args) -> int:
-    from repro.service import JobStore
-
-    store = JobStore(args.store)
-    transition = {
-        "pause": ("paused", "paused from the CLI"),
-        "resume": ("queued", "resumed"),
-        "cancel": ("cancelled", "cancelled from the CLI"),
-    }[args.jobs_command]
-    try:
-        record = store.set_state(args.id, *transition)
-    except (KeyError, ValueError) as exc:
-        print(f"error: {exc.args[0]}", file=sys.stderr)
-        return 2
-    print(f"{record.id}: {record.state}")
-    return 0
+def _jobs_control(args, client) -> int:
+    document = client.control(args.id, args.jobs_command)
+    print(f"{document['job']}: {document['state']}")
+    return EXIT_OK
 
 
-def _jobs_tail(args) -> int:
-    from repro.service import JobStore
-
-    store = JobStore(args.store)
-    try:
-        store.load(args.id)
-    except KeyError as exc:
-        print(f"error: {exc.args[0]}", file=sys.stderr)
-        return 2
-    for line in store.tail_events(args.id, count=args.lines):
+def _jobs_tail(args, client) -> int:
+    document = client.events(args.id, cursor=0, timeout=0.0)
+    for line in document["events"][-args.lines:]:
         print(line)
-    return 0
+    return EXIT_OK
+
+
+def _jobs_quota(args, client) -> int:
+    document = client.quota(args.tenant)
+    print(f"tenant {document['tenant']}: weight {document['weight']}, "
+          f"{document['active']}/{document['max_queued']} active jobs, "
+          f"{document['tokens']:.1f}/{document['burst']:.0f} rate tokens "
+          f"(refill {document['rate']:.0f}/s)")
+    return EXIT_OK
 
 
 def _cmd_estimate(args) -> int:

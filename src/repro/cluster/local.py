@@ -50,11 +50,6 @@ class LocalCrackOutcome(ResultMixin):
     worker_throughput: dict = field(default_factory=dict)
     metrics: dict | None = None  #: repro-metrics/v2 payload when recorded
 
-    @property
-    def candidates_tested(self) -> int:
-        """Back-compat alias of :attr:`tested` (pre-unification name)."""
-        return self.tested
-
 
 class LocalCluster:
     """Master + worker-pool executor for crack targets.

@@ -19,6 +19,7 @@ outcome types all behave interchangeably.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
@@ -60,6 +61,17 @@ class ResultMixin:
             return 0.0
         return self.tested / self.elapsed / 1e6
 
+    @property
+    def candidates_tested(self) -> int:
+        """Deprecated alias of :attr:`tested`; removed in the next release."""
+        warnings.warn(
+            "candidates_tested is deprecated; use .tested "
+            "(alias will be removed in the next release)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.tested
+
 
 @dataclass
 class SessionResult(ResultMixin):
@@ -74,11 +86,6 @@ class SessionResult(ResultMixin):
     #: The run's coverage ledger, set by checkpointed runs
     #: (``CrackingSession.run(progress=...)``); ``None`` otherwise.
     progress: object | None = None
-
-    @property
-    def candidates_tested(self) -> int:
-        """Back-compat alias of :attr:`tested` (pre-unification name)."""
-        return self.tested
 
 
 @dataclass(frozen=True)

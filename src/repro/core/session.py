@@ -23,8 +23,9 @@ execution seam, returning one result type
   ``result.metrics``.
 
 The pre-redesign entry points — :meth:`run_sequential` and
-:meth:`run_local` — survive as thin delegating aliases that emit
-:class:`DeprecationWarning`.  The modelled-network questions keep their
+:meth:`run_local` — completed their deprecation cycle and now raise
+:class:`TypeError` pointing at the ``run(backend=...)`` spelling (see
+docs/API.md, "Migration").  The modelled-network questions keep their
 own methods:
 
 * :meth:`estimate_on` — predicted wall time on a (simulated) GPU network,
@@ -34,8 +35,6 @@ own methods:
 """
 
 from __future__ import annotations
-
-import warnings
 
 import time
 
@@ -47,6 +46,22 @@ from repro.core.progress import ProgressLog, pending_chunks
 from repro.core.results import SessionEstimate, SessionResult
 from repro.core.search import ExhaustiveSearch, keyspace_problem
 from repro.keyspace import Interval
+
+
+def _deprecated_entry(name: str, replacement: str) -> None:
+    """Refuse a removed pre-unification entry point, loudly and uniformly.
+
+    Every retired method funnels through this one helper so the error
+    text, the exception type, and the place to grep for the removal list
+    are all singular.  ``TypeError`` (not ``DeprecationWarning``): these
+    names spent their deprecation cycle warning-and-delegating; silently
+    keeping them alive under a frozen wire contract would be worse than
+    breaking now with an exact replacement in the message.
+    """
+    raise TypeError(
+        f"CrackingSession.{name}() was removed; call CrackingSession."
+        f"{replacement} instead (see docs/API.md, 'Migration')"
+    )
 
 
 class CrackingSession:
@@ -246,43 +261,17 @@ class CrackingSession:
             progress=log,
         )
 
-    # -- deprecated pre-redesign entry points -------------------------- #
-    def run_sequential(
-        self, interval: Interval | None = None, stop_after: int | None = None
-    ) -> SessionResult:
-        """Deprecated alias of ``run(backend="sequential", ...)``."""
-        warnings.warn(
-            "CrackingSession.run_sequential() is deprecated; use "
-            "CrackingSession.run(backend='sequential')",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self._run_sequential(interval=interval, stop_after=stop_after)
+    # -- removed pre-redesign entry points ----------------------------- #
+    # One deprecation cycle as warning-and-delegate aliases (PR 2 .. PR 7);
+    # now they error so the frozen repro-api/v1 wire contract (PR 8) never
+    # leaks a second way to spell run().  See docs/API.md ("Migration").
+    def run_sequential(self, *args, **kwargs):
+        """Removed: use ``run(backend="sequential", ...)``."""
+        _deprecated_entry("run_sequential", "run(backend='sequential')")
 
-    def run_local(
-        self,
-        workers: int | None = None,
-        interval: Interval | None = None,
-        stop_on_first: bool = False,
-        batch_size: int = 1 << 14,
-        backend: str = "auto",
-        adaptive: bool = False,
-    ) -> SessionResult:
-        """Deprecated alias of ``run(backend=..., workers=..., ...)``."""
-        warnings.warn(
-            "CrackingSession.run_local() is deprecated; use "
-            "CrackingSession.run(backend=..., workers=...)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.run(
-            backend,
-            workers=workers,
-            interval=interval,
-            stop_on_first=stop_on_first,
-            batch_size=batch_size,
-            adaptive=adaptive,
-        )
+    def run_local(self, *args, **kwargs):
+        """Removed: use ``run(backend=..., workers=..., ...)``."""
+        _deprecated_entry("run_local", "run(backend=..., workers=...)")
 
     # ------------------------------------------------------------------ #
     def estimate_on(self, network: ClusterNode) -> SessionEstimate:

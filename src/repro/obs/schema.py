@@ -113,6 +113,18 @@ class MetricNames:
     EVENT_JOB_PREEMPTED = "job.preempted"
     EVENT_SCHED_DECISION = "sched.decision"  #: one DRR pick (job, allowance)
 
+    # -- HTTP gateway (counters / gauges / spans / events) --------------- #
+    API_REQUESTS = "api.requests"  #: served requests, labelled route=, status=
+    API_ERRORS = "api.errors"  #: 4xx/5xx responses, labelled status=
+    API_AUTH_FAILURES = "api.auth_failures"  #: missing/unknown API keys
+    API_RATE_LIMITED = "api.rate_limited"  #: 429s, labelled tenant=
+    API_QUOTA_REJECTED = "api.quota_rejected"  #: max_queued hits, labelled tenant=
+    API_QUEUE_DEPTH = "api.queue_depth"  #: active jobs gauge, labelled tenant=
+    API_STREAMS = "api.streams"  #: concurrently open long-poll streams (gauge)
+    API_STREAM_EVENTS = "api.stream_events"  #: timeline lines fanned out
+    API_REQUEST_SECONDS = "api.request_seconds"  #: span per request, labelled route=
+    EVENT_API_SUBMITTED = "api.submitted"  #: one accepted job submission
+
 
 #: Every registered metric name — the v2 validation registry.
 ALL_METRIC_NAMES: frozenset[str] = frozenset(

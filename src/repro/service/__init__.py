@@ -11,7 +11,14 @@ concurrent searches over one machine's execution backends:
   shared backend pool across prioritized jobs, with cooperative
   chunk-boundary preemption (pause/resume/cancel/drain);
 * :mod:`repro.service.daemon` — the ``repro serve`` loop: poll the store,
-  schedule, drain gracefully on SIGINT/SIGTERM.
+  schedule, drain gracefully on SIGINT/SIGTERM;
+* :mod:`repro.service.api` — the multi-tenant asyncio HTTP gateway
+  (``repro serve --listen``): API-key auth, per-tenant quotas and rate
+  limits, ``repro-api/v1`` wire documents (:mod:`repro.service.wire`,
+  :mod:`repro.service.auth`, :mod:`repro.service.tenancy`);
+* :mod:`repro.service.client` — :class:`GatewayClient` (HTTP) and
+  :class:`LocalClient` (direct store) behind one interface, so the CLI
+  drives either with the same code paths.
 
 Typical embedding::
 
@@ -35,6 +42,23 @@ from repro.service.jobstore import (
 )
 from repro.service.scheduler import Scheduler, SliceResult
 from repro.service.daemon import ServeSummary, serve
+from repro.service.wire import API_SCHEMA, validate_request, validate_response
+from repro.service.auth import ApiKeyring, AuthError
+from repro.service.tenancy import (
+    KEYS_SCHEMA,
+    QuotaError,
+    RateLimitError,
+    TenantConfig,
+    TenantRegistry,
+    load_tenants,
+)
+from repro.service.api import ApiServer, ApiServerThread
+from repro.service.client import (
+    ApiClientError,
+    GatewayClient,
+    GatewayUnreachable,
+    LocalClient,
+)
 
 __all__ = [
     "JOB_SCHEMA",
@@ -50,4 +74,21 @@ __all__ = [
     "SliceResult",
     "ServeSummary",
     "serve",
+    "API_SCHEMA",
+    "validate_request",
+    "validate_response",
+    "ApiKeyring",
+    "AuthError",
+    "KEYS_SCHEMA",
+    "QuotaError",
+    "RateLimitError",
+    "TenantConfig",
+    "TenantRegistry",
+    "load_tenants",
+    "ApiServer",
+    "ApiServerThread",
+    "ApiClientError",
+    "GatewayClient",
+    "GatewayUnreachable",
+    "LocalClient",
 ]

@@ -1,0 +1,625 @@
+"""Crack-as-a-service: the asyncio multi-tenant HTTP gateway.
+
+:class:`ApiServer` mounts an HTTP/1.1 front door on a
+:class:`~repro.service.jobstore.JobStore` (and, when embedded in the
+serve daemon, the live :class:`~repro.service.scheduler.Scheduler`), so
+many tenants can drive the fair-share cracking service over the network
+instead of sharing a same-host CLI.  The framing is hand-rolled on
+``asyncio.start_server`` — stdlib only, no new dependencies — with
+keep-alive connections and ``Content-Length`` bodies.
+
+Routes (all bodies are validated ``repro-api/v1`` documents, see
+:mod:`repro.service.wire` and docs/API.md)::
+
+    POST /v1/jobs                    submit a job (kind=submit)
+    GET  /v1/jobs                    list the tenant's jobs
+    GET  /v1/jobs/{id}               one job's status + progress
+    GET  /v1/jobs/{id}/events        long-poll the job timeline
+    GET  /v1/jobs/{id}/metrics       the job's persisted metrics export
+    POST /v1/jobs/{id}/pause         control (kind=control, optional body)
+    POST /v1/jobs/{id}/resume
+    POST /v1/jobs/{id}/cancel
+    GET  /v1/tenants/{t}/quota       the tenant's own quota/rate state
+    GET  /v1/metrics                 the gateway's live repro-metrics export
+
+Every request is authenticated (``Authorization: Bearer <key>`` or
+``X-Api-Key``) and mapped to a tenant namespace; admission control —
+token-bucket rate limit, ``max_queued`` quota, fair-share weight — runs
+*before* the Scheduler ever sees a job.  Tenants only see jobs whose ids
+live under their own ``{tenant}--`` prefix; everyone else's jobs 404
+rather than 403, so ids do not leak across namespaces.
+
+Status mapping (mirrored by the CLI's exit codes, see docs/API.md):
+400 malformed document, 401 bad/missing key, 403 cross-tenant quota
+read, 404 unknown/foreign job, 405 wrong method, 409 illegal lifecycle
+transition or duplicate id, 413 oversized body, 429 rate limit or
+quota exceeded, 500 internal.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+
+from urllib.parse import parse_qs, urlsplit
+
+from repro.obs import Recorder
+from repro.obs.schema import MetricNames
+from repro.service import wire
+from repro.service.auth import ApiKeyring, AuthError, from_header
+from repro.service.jobstore import (
+    _TRANSITIONS,
+    JobRecord,
+    JobSpec,
+    JobStore,
+    TERMINAL_STATES,
+)
+from repro.service.tenancy import TenantRegistry
+
+#: Framing limits: a request line / header block / body beyond these is
+#: rejected, not buffered — the gateway is a front door, not a proxy.
+MAX_HEADERS = 64
+MAX_BODY = 1 << 20
+
+#: Long-poll bounds (seconds): requested timeouts are clamped into range.
+MAX_POLL_TIMEOUT = 30.0
+DEFAULT_POLL_TIMEOUT = 10.0
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+#: Which lifecycle states each control verb may act on.  Stricter than
+#: the raw ``_TRANSITIONS`` table on purpose: ``running -> queued`` is a
+#: legal *store* transition (the drain path uses it) but ``resume`` of a
+#: running job is a client error, not a requeue.
+_CONTROL_OK = {
+    "pause": ("queued", "running"),
+    "resume": ("paused", "cancelled", "failed"),
+    "cancel": ("queued", "running", "paused"),
+}
+_CONTROL_TARGET = {"pause": "paused", "resume": "queued", "cancel": "cancelled"}
+
+
+class ApiError(Exception):
+    """An HTTP-visible failure; rendered as a ``repro-api/v1`` error doc."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class _Request:
+    """One parsed HTTP request."""
+
+    __slots__ = ("method", "path", "query", "headers", "body", "keep_alive")
+
+    def __init__(self, method, path, query, headers, body, keep_alive) -> None:
+        self.method = method
+        self.path = path
+        self.query = query
+        self.headers = headers
+        self.body = body
+        self.keep_alive = keep_alive
+
+
+class ApiServer:
+    """The gateway: admission control + job-service routes over asyncio.
+
+    Parameters
+    ----------
+    store:
+        The shared :class:`JobStore` all tenants' jobs persist into.
+    keyring, tenants:
+        Authentication and tenancy config, usually from
+        :func:`repro.service.tenancy.load_tenants`.
+    scheduler:
+        The live :class:`Scheduler` when the gateway runs inside the
+        serve daemon; control verbs then preempt running slices at the
+        next chunk boundary instead of waiting for the next store scan.
+        ``None`` (store-only mode) still supports every route.
+    host, port:
+        Bind address; port 0 picks a free port (reported by
+        :meth:`start`).
+    recorder:
+        Gateway-level :class:`Recorder`; ``GET /v1/metrics`` exports it.
+    poll_interval:
+        Sleep between long-poll re-checks of the events file.
+    """
+
+    def __init__(
+        self,
+        store: JobStore,
+        keyring: ApiKeyring,
+        tenants: TenantRegistry,
+        scheduler=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        recorder: Recorder | None = None,
+        poll_interval: float = 0.05,
+    ) -> None:
+        self.store = store
+        self.keyring = keyring
+        self.tenants = tenants
+        self.scheduler = scheduler
+        self.host = host
+        self.port = port
+        self.recorder = recorder if recorder is not None else Recorder()
+        self.poll_interval = poll_interval
+        self.address: tuple[str, int] | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._tasks: set[asyncio.Task] = set()
+        self._submit_lock: asyncio.Lock | None = None
+        self._open_streams = 0
+
+    # ---------------------------------------------------------------- #
+    # Lifecycle.
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound (host, port)."""
+        self._submit_lock = asyncio.Lock()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    async def stop(self) -> None:
+        """Stop accepting, then cancel every open connection/stream."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+
+    # ---------------------------------------------------------------- #
+    # HTTP framing.
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._tasks.add(task)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except ApiError as exc:
+                    await self._write_response(
+                        writer, exc.status,
+                        wire.error_response(exc.message, exc.status),
+                        keep_alive=False,
+                    )
+                    return
+                if request is None:  # clean EOF between requests
+                    return
+                status, document = await self._serve(request)
+                await self._write_response(
+                    writer, status, document, keep_alive=request.keep_alive
+                )
+                if not request.keep_alive:
+                    return
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        except asyncio.IncompleteReadError:
+            pass
+        finally:
+            if task is not None:
+                self._tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _read_request(self, reader) -> _Request | None:
+        try:
+            line = await reader.readline()
+        except ValueError:  # request line over the stream limit
+            raise ApiError(400, "request line too long") from None
+        if not line:
+            return None
+        parts = line.decode("latin-1", "replace").split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise ApiError(400, "malformed request line")
+        method, target, version = parts
+        headers: dict[str, str] = {}
+        while True:
+            try:
+                raw = await reader.readline()
+            except ValueError:
+                raise ApiError(400, "header line too long") from None
+            if raw in (b"\r\n", b"\n"):
+                break
+            if not raw:
+                return None  # EOF mid-headers: treat as disconnect
+            if len(headers) >= MAX_HEADERS:
+                raise ApiError(400, "too many headers")
+            name, sep, value = raw.decode("latin-1", "replace").partition(":")
+            if not sep:
+                raise ApiError(400, "malformed header")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise ApiError(400, "malformed content-length") from None
+        if length < 0:
+            raise ApiError(400, "malformed content-length")
+        if length > MAX_BODY:
+            raise ApiError(413, f"body exceeds {MAX_BODY} bytes")
+        body = await reader.readexactly(length) if length else b""
+        connection = headers.get("connection", "").lower()
+        keep_alive = connection != "close" and version != "HTTP/1.0"
+        split = urlsplit(target)
+        query = {
+            key: values[-1] for key, values in parse_qs(split.query).items()
+        }
+        return _Request(method, split.path, query, headers, body, keep_alive)
+
+    async def _write_response(
+        self, writer, status: int, document: dict, keep_alive: bool
+    ) -> None:
+        body = (json.dumps(document) + "\n").encode()
+        reason = _REASONS.get(status, "Unknown")
+        connection = "keep-alive" if keep_alive else "close"
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {connection}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # ---------------------------------------------------------------- #
+    # Routing + instrumentation.
+
+    async def _serve(self, request: _Request) -> tuple[int, dict]:
+        started = time.perf_counter()
+        route = self._route_label(request)
+        try:
+            status, document = await self._dispatch(request)
+        except ApiError as exc:
+            status, document = exc.status, wire.error_response(exc.message, exc.status)
+        except Exception as exc:  # noqa: BLE001 - the gateway must not die
+            status = 500
+            document = wire.error_response(f"internal error: {exc}", 500)
+        problems = wire.validate_response(document)
+        if problems:  # a response we would not accept ourselves is a bug
+            status = 500
+            document = wire.error_response(
+                f"internal error: invalid response document: {problems[0]}", 500
+            )
+        elapsed = time.perf_counter() - started
+        self.recorder.counter(
+            MetricNames.API_REQUESTS, route=route, status=str(status)
+        )
+        self.recorder.span_record(
+            MetricNames.API_REQUEST_SECONDS, elapsed, route=route
+        )
+        if status >= 400:
+            self.recorder.counter(MetricNames.API_ERRORS, status=str(status))
+        return status, document
+
+    @staticmethod
+    def _route_label(request: _Request) -> str:
+        """Collapse ids out of the path so label cardinality stays bounded."""
+        segments = [s for s in request.path.split("/") if s]
+        if len(segments) >= 2 and segments[0] == "v1":
+            if segments[1] == "jobs" and len(segments) >= 3:
+                segments[2] = "{id}"
+            elif segments[1] == "tenants" and len(segments) >= 3:
+                segments[2] = "{tenant}"
+        return f"{request.method} /" + "/".join(segments)
+
+    async def _dispatch(self, request: _Request) -> tuple[int, dict]:
+        try:
+            tenant = self.keyring.authenticate(from_header(request.headers))
+        except AuthError as exc:
+            self.recorder.counter(MetricNames.API_AUTH_FAILURES)
+            raise ApiError(401, str(exc)) from None
+        if tenant not in self.tenants:
+            # A key whose tenant was deconfigured is as good as unknown.
+            self.recorder.counter(MetricNames.API_AUTH_FAILURES)
+            raise ApiError(401, f"tenant {tenant!r} is not configured")
+        if not self.tenants.bucket(tenant).try_take():
+            self.recorder.counter(MetricNames.API_RATE_LIMITED, tenant=tenant)
+            raise ApiError(429, f"tenant {tenant}: rate limit exceeded")
+
+        segments = [s for s in request.path.split("/") if s]
+        if not segments or segments[0] != "v1":
+            raise ApiError(404, f"no such route: {request.path}")
+        if segments[1:] == ["jobs"]:
+            if request.method == "POST":
+                return await self._submit(tenant, request.body)
+            if request.method == "GET":
+                return await self._list_jobs(tenant)
+            raise ApiError(405, f"{request.method} not allowed on /v1/jobs")
+        if len(segments) >= 3 and segments[1] == "jobs":
+            job_id = segments[2]
+            if len(segments) == 3:
+                if request.method != "GET":
+                    raise ApiError(405, "job status is GET-only")
+                return await self._status(tenant, job_id)
+            if len(segments) == 4:
+                verb = segments[3]
+                if verb == "events":
+                    if request.method != "GET":
+                        raise ApiError(405, "events is GET-only")
+                    return await self._events(tenant, job_id, request.query)
+                if verb == "metrics":
+                    if request.method != "GET":
+                        raise ApiError(405, "metrics is GET-only")
+                    return await self._job_metrics(tenant, job_id)
+                if verb in wire.CONTROL_ACTIONS:
+                    if request.method != "POST":
+                        raise ApiError(405, "control verbs are POST-only")
+                    return await self._control(tenant, job_id, verb, request.body)
+            raise ApiError(404, f"no such route: {request.path}")
+        if len(segments) == 4 and segments[1] == "tenants" and segments[3] == "quota":
+            if request.method != "GET":
+                raise ApiError(405, "quota is GET-only")
+            return await self._quota(tenant, segments[2])
+        if segments[1:] == ["metrics"]:
+            if request.method != "GET":
+                raise ApiError(405, "metrics is GET-only")
+            return 200, wire.metrics_response(self.recorder.export())
+        raise ApiError(404, f"no such route: {request.path}")
+
+    # ---------------------------------------------------------------- #
+    # Handlers.
+
+    def _parse_document(self, body: bytes, kind: str) -> dict:
+        if not body:
+            raise ApiError(400, f"missing {kind} request body")
+        try:
+            document = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise ApiError(400, f"body is not valid JSON: {exc}") from None
+        problems = wire.validate_request(document)
+        if problems:
+            raise ApiError(400, "; ".join(problems))
+        if document.get("kind") != kind:
+            raise ApiError(400, f"expected a {kind!r} document")
+        return document
+
+    async def _submit(self, tenant: str, body: bytes) -> tuple[int, dict]:
+        document = self._parse_document(body, "submit")
+        spec = JobSpec.from_dict(document["spec"])
+        priority = document.get("priority", 1)
+        effective = self.tenants.effective_priority(tenant, priority)
+        suffix = document.get("job")
+        assert self._submit_lock is not None
+        async with self._submit_lock:
+            # Quota check + id allocation + submit are one critical
+            # section, so concurrent submitters cannot overshoot
+            # max_queued between the count and the write.
+            try:
+                self.tenants.check_quota(self.store, tenant)
+            except Exception as exc:
+                self.recorder.counter(MetricNames.API_QUOTA_REJECTED, tenant=tenant)
+                raise ApiError(429, str(exc)) from None
+            if suffix is not None:
+                job_id = TenantRegistry.namespaced(tenant, suffix)
+            else:
+                job_id = self._fresh_namespaced_id(tenant, spec)
+            try:
+                record = await asyncio.to_thread(
+                    self.store.submit, spec, effective, job_id
+                )
+            except ValueError as exc:
+                raise ApiError(409, str(exc)) from None
+            depth = await asyncio.to_thread(
+                self.tenants.active_jobs, self.store, tenant
+            )
+        self.recorder.gauge(MetricNames.API_QUEUE_DEPTH, depth, tenant=tenant)
+        self.recorder.event(
+            MetricNames.EVENT_API_SUBMITTED,
+            tenant=tenant,
+            job=record.id,
+            priority=effective,
+        )
+        return 201, wire.submitted_response(
+            record.id, tenant, effective, spec.space_size
+        )
+
+    def _fresh_namespaced_id(self, tenant: str, spec: JobSpec) -> str:
+        stem = spec.digest.hex()[:8]
+        job_id = TenantRegistry.namespaced(tenant, f"job-{stem}")
+        n = 1
+        while self.store.job_dir(job_id).exists():
+            n += 1
+            job_id = TenantRegistry.namespaced(tenant, f"job-{stem}-{n}")
+        return job_id
+
+    async def _load_owned(self, tenant: str, job_id: str) -> JobRecord:
+        """Load a record the tenant owns; foreign/unknown ids 404 alike."""
+        if not TenantRegistry.owns(tenant, job_id):
+            raise ApiError(404, f"no job {job_id!r}")
+        try:
+            return await asyncio.to_thread(self.store.load, job_id)
+        except KeyError:
+            raise ApiError(404, f"no job {job_id!r}") from None
+
+    async def _job_document(self, tenant: str, record: JobRecord) -> dict:
+        try:
+            log = await asyncio.to_thread(self.store.load_progress, record.id)
+        except KeyError:
+            from repro.core.progress import ProgressLog
+
+            log = ProgressLog(total=record.spec.space_size)
+        return wire.job_response(record, log, tenant)
+
+    async def _status(self, tenant: str, job_id: str) -> tuple[int, dict]:
+        record = await self._load_owned(tenant, job_id)
+        return 200, await self._job_document(tenant, record)
+
+    async def _list_jobs(self, tenant: str) -> tuple[int, dict]:
+        prefix = TenantRegistry.job_prefix(tenant)
+        records = await asyncio.to_thread(self.store.jobs)
+        documents = [
+            await self._job_document(tenant, record)
+            for record in records
+            if record.id.startswith(prefix)
+        ]
+        return 200, wire.job_list_response(documents)
+
+    async def _events(
+        self, tenant: str, job_id: str, query: dict[str, str]
+    ) -> tuple[int, dict]:
+        record = await self._load_owned(tenant, job_id)
+        try:
+            cursor = int(query.get("cursor", "0"))
+            timeout = float(query.get("timeout", str(DEFAULT_POLL_TIMEOUT)))
+        except ValueError:
+            raise ApiError(400, "cursor and timeout must be numeric") from None
+        if cursor < 0:
+            raise ApiError(400, "cursor must be >= 0")
+        timeout = min(max(timeout, 0.0), MAX_POLL_TIMEOUT)
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        self._open_streams += 1
+        self.recorder.gauge(MetricNames.API_STREAMS, self._open_streams)
+        try:
+            while True:
+                lines, new_cursor = await asyncio.to_thread(
+                    self.store.events_since, job_id, cursor
+                )
+                record = await asyncio.to_thread(self.store.load, job_id)
+                terminal = record.state in TERMINAL_STATES
+                if lines or terminal or loop.time() >= deadline:
+                    document = await self._job_document(tenant, record)
+                    if lines:
+                        self.recorder.counter(
+                            MetricNames.API_STREAM_EVENTS, len(lines)
+                        )
+                    return 200, wire.events_response(
+                        job_id,
+                        new_cursor,
+                        lines,
+                        record.state,
+                        document["progress"],
+                        complete=terminal,
+                    )
+                await asyncio.sleep(self.poll_interval)
+        finally:
+            self._open_streams -= 1
+            self.recorder.gauge(MetricNames.API_STREAMS, self._open_streams)
+
+    async def _job_metrics(self, tenant: str, job_id: str) -> tuple[int, dict]:
+        await self._load_owned(tenant, job_id)
+        payload = await asyncio.to_thread(self.store.load_metrics, job_id)
+        return 200, wire.metrics_response(payload)
+
+    async def _control(
+        self, tenant: str, job_id: str, action: str, body: bytes
+    ) -> tuple[int, dict]:
+        if body:  # optional body, but when present it must agree with the URL
+            document = self._parse_document(body, "control")
+            if document["action"] != action:
+                raise ApiError(
+                    400, f"body action {document['action']!r} != URL verb {action!r}"
+                )
+        record = await self._load_owned(tenant, job_id)
+        if record.state not in _CONTROL_OK[action]:
+            raise ApiError(
+                409, f"cannot {action} a {record.state} job ({job_id})"
+            )
+        target = _CONTROL_TARGET[action]
+        assert target in _TRANSITIONS[record.state] or record.state == target
+        if self.scheduler is not None:
+            control = getattr(self.scheduler, action)
+            await asyncio.to_thread(control, job_id)
+        else:
+            await asyncio.to_thread(
+                self.store.set_state, job_id, target, f"{action} via api"
+            )
+        record = await asyncio.to_thread(self.store.load, job_id)
+        return 200, await self._job_document(tenant, record)
+
+    async def _quota(self, tenant: str, requested: str) -> tuple[int, dict]:
+        if requested != tenant:
+            raise ApiError(403, "quota is visible to the owning tenant only")
+        config = self.tenants.get(tenant)
+        active = await asyncio.to_thread(
+            self.tenants.active_jobs, self.store, tenant
+        )
+        self.recorder.gauge(MetricNames.API_QUEUE_DEPTH, active, tenant=tenant)
+        return 200, wire.quota_response(
+            tenant,
+            config.weight,
+            config.max_queued,
+            active,
+            config.rate,
+            config.burst,
+            self.tenants.bucket(tenant).tokens,
+        )
+
+
+class ApiServerThread:
+    """Run an :class:`ApiServer` event loop in a daemon thread.
+
+    The serve daemon, tests, and benchmarks are synchronous; this wrapper
+    owns the asyncio loop so they can ``start()`` (returns the bound
+    address), drive the gateway over real sockets, and ``stop()``.
+    """
+
+    def __init__(self, server: ApiServer) -> None:
+        self.server = server
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown: asyncio.Event | None = None
+        self._error: BaseException | None = None
+
+    def start(self, timeout: float = 10.0) -> tuple[str, int]:
+        self._thread = threading.Thread(
+            target=self._run, name="repro-api", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError("API server failed to start in time")
+        if self._error is not None:
+            raise RuntimeError(f"API server failed to start: {self._error}")
+        assert self.server.address is not None
+        return self.server.address
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 - surfaced via start()
+            self._error = exc
+            self._started.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        await self.server.start()
+        self._started.set()
+        await self._shutdown.wait()
+        await self.server.stop()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None and self._shutdown is not None:
+            self._loop.call_soon_threadsafe(self._shutdown.set)
+        self._thread.join(timeout)
+        self._thread = None

@@ -1,0 +1,65 @@
+"""API-key authentication for the ``repro-api/v1`` gateway.
+
+Keys are opaque bearer tokens mapped to tenant names.  Lookup compares
+the presented key against *every* registered key with
+:func:`hmac.compare_digest` so the comparison cost is independent of
+which (if any) key matches — a timing probe cannot bisect the keyring.
+"""
+
+from __future__ import annotations
+
+import hmac
+
+
+class AuthError(Exception):
+    """The request carried no credential, or one we do not recognise."""
+
+
+class ApiKeyring:
+    """Immutable-ish key -> tenant map with constant-time lookup."""
+
+    def __init__(self, keys: dict[str, str]) -> None:
+        for key, tenant in keys.items():
+            if not isinstance(key, str) or not key:
+                raise ValueError("API keys must be non-empty strings")
+            if not isinstance(tenant, str) or not tenant:
+                raise ValueError(f"key {key[:8]}...: tenant must be a non-empty string")
+        self._keys = dict(keys)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def tenants(self) -> set[str]:
+        return set(self._keys.values())
+
+    def authenticate(self, presented: str | None) -> str:
+        """Return the tenant owning *presented*, or raise :class:`AuthError`.
+
+        Scans the whole keyring unconditionally: the matched tenant is
+        recorded but the loop never exits early.
+        """
+        if not presented or not isinstance(presented, str):
+            raise AuthError("missing API key")
+        matched: str | None = None
+        for key, tenant in self._keys.items():
+            if hmac.compare_digest(key.encode(), presented.encode()):
+                matched = tenant
+        if matched is None:
+            raise AuthError("unknown API key")
+        return matched
+
+    def revoke(self, key: str) -> bool:
+        """Drop *key*; returns True when it existed (replay tests use this)."""
+        return self._keys.pop(key, None) is not None
+
+
+def from_header(headers: dict[str, str]) -> str | None:
+    """Extract the API key from ``Authorization: Bearer X`` or ``X-Api-Key``.
+
+    *headers* must already be lower-cased keys (the HTTP layer does this).
+    """
+    authorization = headers.get("authorization", "")
+    if authorization.lower().startswith("bearer "):
+        return authorization[7:].strip() or None
+    api_key = headers.get("x-api-key", "").strip()
+    return api_key or None

@@ -1,0 +1,268 @@
+"""One client interface, two transports: HTTP gateway or local store.
+
+``repro jobs`` drives a :class:`LocalClient` when given a store path and
+a :class:`GatewayClient` when given ``--connect http://...`` — the same
+rendering code consumes the same ``repro-api/v1`` documents either way,
+so nothing in the CLI (or in scripts built on it) needs to know whether
+the daemon is in-process, on the same host, or across the network.
+
+Both clients raise the same exceptions:
+
+* :class:`ApiClientError` — the request was understood and refused;
+  carries the HTTP status (LocalClient synthesizes the matching status
+  for the same failure: 404 unknown job, 409 illegal transition, ...).
+* :class:`GatewayUnreachable` — nobody answered at the address
+  (connection refused/reset, DNS failure); LocalClient never raises it.
+
+:class:`GatewayClient` holds one keep-alive connection and is **not**
+thread-safe — concurrent submitters each construct their own (the
+benchmark and the concurrency tests do exactly this).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from urllib.parse import quote, urlsplit
+
+from repro.service import wire
+from repro.service.jobstore import TERMINAL_STATES, JobSpec, JobStore
+
+
+class ApiClientError(Exception):
+    """The service refused the request; ``status`` is the HTTP code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class GatewayUnreachable(Exception):
+    """No gateway answered at the configured address."""
+
+
+class GatewayClient:
+    """Drive a remote ``repro-api/v1`` gateway over one keep-alive socket."""
+
+    def __init__(self, base_url: str, api_key: str, timeout: float = 60.0) -> None:
+        split = urlsplit(base_url)
+        if split.scheme != "http" or not split.hostname:
+            raise ValueError(
+                f"--connect wants http://HOST:PORT, got {base_url!r}"
+            )
+        self.host = split.hostname
+        self.port = split.port if split.port is not None else 80
+        self.api_key = api_key
+        self.timeout = timeout
+        self._connection: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------- #
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str, document: dict | None = None) -> dict:
+        body = json.dumps(document).encode() if document is not None else None
+        headers = {"Authorization": f"Bearer {self.api_key}"}
+        if body is not None:
+            headers["Content-Type"] = "application/json"
+        for attempt in (1, 2):
+            if self._connection is None:
+                self._connection = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                self._connection.request(method, path, body=body, headers=headers)
+                response = self._connection.getresponse()
+                payload = response.read()
+                break
+            except (
+                http.client.RemoteDisconnected,
+                http.client.BadStatusLine,
+                ConnectionResetError,
+                BrokenPipeError,
+            ):
+                # The server closed our idle keep-alive socket; one clean
+                # retry on a fresh connection, then give up.
+                self.close()
+                if attempt == 2:
+                    raise GatewayUnreachable(
+                        f"gateway at {self.host}:{self.port} closed the connection"
+                    ) from None
+            except OSError as exc:
+                self.close()
+                raise GatewayUnreachable(
+                    f"cannot reach gateway at {self.host}:{self.port}: {exc}"
+                ) from None
+        try:
+            parsed = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise ApiClientError(
+                502, f"gateway returned non-JSON ({response.status}): {exc}"
+            ) from None
+        if response.status >= 400:
+            message = parsed.get("error", payload.decode("utf-8", "replace"))
+            raise ApiClientError(response.status, message)
+        problems = wire.validate_response(parsed)
+        if problems:
+            raise ApiClientError(
+                502, f"gateway response failed validation: {problems[0]}"
+            )
+        return parsed
+
+    # ------------------------------------------------------------- #
+    def submit(self, spec: dict, priority: int = 1, job: str | None = None) -> dict:
+        return self._request(
+            "POST", "/v1/jobs", wire.submit_request(spec, priority, job)
+        )
+
+    def jobs(self) -> dict:
+        return self._request("GET", "/v1/jobs")
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{quote(job_id)}")
+
+    def control(self, job_id: str, action: str) -> dict:
+        return self._request(
+            "POST",
+            f"/v1/jobs/{quote(job_id)}/{action}",
+            wire.control_request(action),
+        )
+
+    def events(self, job_id: str, cursor: int = 0, timeout: float = 10.0) -> dict:
+        return self._request(
+            "GET",
+            f"/v1/jobs/{quote(job_id)}/events?cursor={cursor}&timeout={timeout}",
+        )
+
+    def metrics(self, job_id: str | None = None) -> dict:
+        if job_id is None:
+            return self._request("GET", "/v1/metrics")
+        return self._request("GET", f"/v1/jobs/{quote(job_id)}/metrics")
+
+    def quota(self, tenant: str) -> dict:
+        return self._request("GET", f"/v1/tenants/{quote(tenant)}/quota")
+
+
+#: Control legality for the store-backed client: mirror of the gateway's
+#: rules so both transports refuse the same requests with the same status.
+_CONTROL_OK = {
+    "pause": ("queued", "running"),
+    "resume": ("paused", "cancelled", "failed"),
+    "cancel": ("queued", "running", "paused"),
+}
+_CONTROL_TARGET = {"pause": "paused", "resume": "queued", "cancel": "cancelled"}
+
+LOCAL_TENANT = "local"
+
+
+class LocalClient:
+    """The same interface served straight from a :class:`JobStore`.
+
+    Job ids are un-namespaced (no ``tenant--`` prefix): the store path
+    *is* the trust boundary, exactly as ``repro jobs`` has always
+    worked.  Failures raise :class:`ApiClientError` with the status the
+    gateway would have used, so the CLI's exit-code mapping is one code
+    path for both transports.
+    """
+
+    def __init__(self, store: JobStore) -> None:
+        self.store = store
+
+    def close(self) -> None:  # interface parity with GatewayClient
+        pass
+
+    def __enter__(self) -> "LocalClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+    # ------------------------------------------------------------- #
+    def _load(self, job_id: str):
+        try:
+            return self.store.load(job_id)
+        except KeyError:
+            raise ApiClientError(404, f"no job {job_id!r}") from None
+
+    def _document(self, record) -> dict:
+        try:
+            log = self.store.load_progress(record.id)
+        except KeyError:
+            from repro.core.progress import ProgressLog
+
+            log = ProgressLog(total=record.spec.space_size)
+        return wire.job_response(record, log, LOCAL_TENANT)
+
+    # ------------------------------------------------------------- #
+    def submit(self, spec: dict, priority: int = 1, job: str | None = None) -> dict:
+        document = wire.submit_request(spec, priority, job)
+        problems = wire.validate_request(document)
+        if problems:
+            raise ApiClientError(400, "; ".join(problems))
+        parsed = JobSpec.from_dict(spec)
+        try:
+            record = self.store.submit(parsed, priority=priority, job_id=job)
+        except ValueError as exc:
+            raise ApiClientError(409, str(exc)) from None
+        return wire.submitted_response(
+            record.id, LOCAL_TENANT, priority, parsed.space_size
+        )
+
+    def jobs(self) -> dict:
+        return wire.job_list_response(
+            [self._document(record) for record in self.store.jobs()]
+        )
+
+    def status(self, job_id: str) -> dict:
+        return self._document(self._load(job_id))
+
+    def control(self, job_id: str, action: str) -> dict:
+        if action not in _CONTROL_OK:
+            raise ApiClientError(400, f"unknown action {action!r}")
+        record = self._load(job_id)
+        if record.state not in _CONTROL_OK[action]:
+            raise ApiClientError(
+                409, f"cannot {action} a {record.state} job ({job_id})"
+            )
+        self.store.set_state(job_id, _CONTROL_TARGET[action], f"{action} via cli")
+        return self._document(self._load(job_id))
+
+    def events(self, job_id: str, cursor: int = 0, timeout: float = 0.0) -> dict:
+        record = self._load(job_id)
+        deadline = time.monotonic() + max(timeout, 0.0)
+        while True:
+            lines, new_cursor = self.store.events_since(job_id, cursor)
+            record = self._load(job_id)
+            terminal = record.state in TERMINAL_STATES
+            if lines or terminal or time.monotonic() >= deadline:
+                document = self._document(record)
+                return wire.events_response(
+                    job_id,
+                    new_cursor,
+                    lines,
+                    record.state,
+                    document["progress"],
+                    complete=terminal,
+                )
+            time.sleep(0.05)
+
+    def metrics(self, job_id: str | None = None) -> dict:
+        if job_id is None:
+            return wire.metrics_response({})
+        self._load(job_id)
+        return wire.metrics_response(self.store.load_metrics(job_id))
+
+    def quota(self, tenant: str) -> dict:
+        raise ApiClientError(
+            400, "quota is a gateway feature; use --connect http://..."
+        )

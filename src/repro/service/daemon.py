@@ -11,9 +11,16 @@ no duplicated coverage.
 Job control happens through the same directory: ``repro jobs submit``
 drops a new job in, ``repro jobs pause/resume/cancel`` rewrite the job's
 state, and the daemon picks the changes up at the next scheduling round
-(records are reloaded every round).  No sockets, no extra daemons — the
+(records are reloaded every round).  No sockets by default — the
 filesystem is the queue, which is exactly what the atomic-rename
 checkpoint discipline makes safe.
+
+With ``listen`` + ``api_keys`` the daemon additionally mounts the
+multi-tenant HTTP gateway (:mod:`repro.service.api`) on the same store
+and the live scheduler, so remote tenants submit and control jobs over
+``repro-api/v1`` while the scheduling loop keeps running unchanged —
+gateway control verbs preempt running slices at the next chunk boundary
+through the scheduler handle instead of waiting for a store re-scan.
 """
 
 from __future__ import annotations
@@ -36,6 +43,8 @@ class ServeSummary:
     states: dict = field(default_factory=dict)  #: state -> count at exit
     served: dict = field(default_factory=dict)  #: job id -> candidates run
     metrics: dict | None = None  #: scheduler-level repro-metrics/v2 export
+    api_address: tuple | None = None  #: (host, port) the gateway bound to
+    api_metrics: dict | None = None  #: gateway-level repro-metrics/v2 export
 
 
 def serve(
@@ -52,6 +61,9 @@ def serve(
     recorder: Recorder | None = None,
     install_signal_handlers: bool = True,
     scheduler: Scheduler | None = None,
+    listen: str | None = None,
+    api_keys: str | None = None,
+    on_api_start=None,
 ) -> ServeSummary:
     """Run the scheduling loop until idle (``once``), drained, or stopped.
 
@@ -64,6 +76,12 @@ def serve(
     ``install_signal_handlers`` is set (previous handlers are restored on
     exit); embedders can instead call ``scheduler.drain()`` from any
     thread.
+
+    ``listen`` (``"HOST:PORT"``, port 0 for ephemeral) mounts the HTTP
+    gateway; it requires ``api_keys``, a ``repro-api-keys/v1`` tenant
+    config file (:func:`repro.service.tenancy.load_tenants`).
+    ``on_api_start`` is called with the bound ``(host, port)`` once the
+    gateway accepts connections — tests and the CLI banner use it.
     """
     store = store if isinstance(store, JobStore) else JobStore(store)
     owns_scheduler = scheduler is None
@@ -78,6 +96,31 @@ def serve(
         recorder=recorder,
     )
     summary = ServeSummary()
+
+    api_thread = None
+    if listen is not None:
+        if api_keys is None:
+            raise ValueError("serving an HTTP gateway requires an api_keys file")
+        from repro.service.api import ApiServer, ApiServerThread
+        from repro.service.tenancy import load_tenants
+
+        host, _, port_text = listen.rpartition(":")
+        if not host or not port_text.isdigit():
+            raise ValueError(f"listen wants HOST:PORT, got {listen!r}")
+        keyring, tenants = load_tenants(api_keys)
+        api_server = ApiServer(
+            store,
+            keyring,
+            tenants,
+            scheduler=sched,
+            host=host,
+            port=int(port_text),
+            recorder=Recorder(),
+        )
+        api_thread = ApiServerThread(api_server)
+        summary.api_address = api_thread.start()
+        if on_api_start is not None:
+            on_api_start(summary.api_address)
 
     previous_handlers = {}
     if install_signal_handlers:
@@ -108,6 +151,9 @@ def serve(
     finally:
         for signum, handler in previous_handlers.items():
             signal.signal(signum, handler)
+        if api_thread is not None:
+            summary.api_metrics = api_thread.server.recorder.export()
+            api_thread.stop()
         if owns_scheduler:
             sched.close()  # release the warm backend pool we started
 

@@ -400,6 +400,23 @@ class JobStore:
         with open(self._events_path(job_id), "a") as handle:
             handle.write(f"{time.time():.3f} {text}\n")
 
+    def events_since(self, job_id: str, cursor: int = 0) -> tuple[list[str], int]:
+        """Timeline lines after *cursor*, plus the new cursor (line count).
+
+        The long-poll gateway stream is built on this: a client holds the
+        cursor from its last delta and asks again.  A cursor beyond the
+        file (e.g. after a store rebuild) restarts from the beginning
+        rather than silently dropping lines forever.
+        """
+        path = self._events_path(job_id)
+        if not path.exists():
+            return [], 0
+        with open(path) as handle:
+            lines = [line.rstrip("\n") for line in handle]
+        if cursor > len(lines) or cursor < 0:
+            cursor = 0
+        return lines[cursor:], len(lines)
+
     def tail_events(self, job_id: str, count: int = 10) -> list[str]:
         path = self._events_path(job_id)
         if not path.exists():

@@ -1,0 +1,218 @@
+"""Tenant namespaces, quotas, and token-bucket rate limits.
+
+A *tenant* is an isolation domain in front of the shared
+:class:`~repro.service.scheduler.Scheduler`:
+
+* **namespace** — every job a tenant submits is stored as
+  ``{tenant}--{suffix}``, so one flat :class:`JobStore` serves all
+  tenants while ownership stays decidable from the id alone.
+* **fair-share weight** — multiplied into the requested priority, so
+  the deficit-round-robin scheduler gives a weight-3 tenant three times
+  the key-search budget of a weight-1 tenant at equal requested
+  priority.
+* **max_queued quota** — upper bound on queued+running+paused jobs;
+  enforced at submit time, *before* the Scheduler ever sees the job.
+* **token-bucket rate limit** — smooths request bursts per tenant;
+  every authenticated request (not just submits) spends one token.
+
+Tenant configuration ships as a ``repro-api-keys/v1`` JSON document
+(see :func:`load_tenants`), the same file that carries the API keys.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.service.auth import ApiKeyring
+from repro.service.jobstore import JobStore
+from repro.service.wire import safe_name
+
+KEYS_SCHEMA = "repro-api-keys/v1"
+
+#: Separator between tenant namespace and job suffix; tenant names and
+#: suffixes themselves may never contain it (enforced by safe_name).
+NAMESPACE_SEP = "--"
+
+
+class QuotaError(Exception):
+    """The tenant is at its max_queued ceiling."""
+
+
+class RateLimitError(Exception):
+    """The tenant's token bucket is empty."""
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One tenant's scheduling weight and admission limits."""
+
+    name: str
+    weight: int = 1
+    max_queued: int = 16
+    rate: float = 50.0  # tokens (requests) refilled per second
+    burst: float = 100.0  # bucket capacity
+
+    def __post_init__(self) -> None:
+        if not safe_name(self.name):
+            raise ValueError(
+                f"tenant name {self.name!r} must be filesystem-safe without '--'"
+            )
+        if self.weight < 1:
+            raise ValueError(f"tenant {self.name}: weight must be >= 1")
+        if self.max_queued < 1:
+            raise ValueError(f"tenant {self.name}: max_queued must be >= 1")
+        if self.rate <= 0 or self.burst <= 0:
+            raise ValueError(f"tenant {self.name}: rate and burst must be > 0")
+
+
+class TokenBucket:
+    """Thread-safe token bucket on the monotonic clock."""
+
+    def __init__(self, rate: float, burst: float) -> None:
+        self._rate = rate
+        self._burst = burst
+        self._tokens = burst
+        self._stamp = time.monotonic()
+        self._lock = threading.Lock()
+
+    def try_take(self, tokens: float = 1.0) -> bool:
+        """Take *tokens* if available; never blocks."""
+        with self._lock:
+            now = time.monotonic()
+            self._tokens = min(
+                self._burst, self._tokens + (now - self._stamp) * self._rate
+            )
+            self._stamp = now
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            now = time.monotonic()
+            return min(self._burst, self._tokens + (now - self._stamp) * self._rate)
+
+
+class TenantRegistry:
+    """All configured tenants plus their live rate-limit state."""
+
+    def __init__(self, tenants: list[TenantConfig]) -> None:
+        self._tenants: dict[str, TenantConfig] = {}
+        self._buckets: dict[str, TokenBucket] = {}
+        for config in tenants:
+            if config.name in self._tenants:
+                raise ValueError(f"duplicate tenant {config.name!r}")
+            self._tenants[config.name] = config
+            self._buckets[config.name] = TokenBucket(config.rate, config.burst)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tenants
+
+    def names(self) -> list[str]:
+        return sorted(self._tenants)
+
+    def get(self, name: str) -> TenantConfig:
+        try:
+            return self._tenants[name]
+        except KeyError:
+            raise KeyError(f"unknown tenant {name!r}") from None
+
+    def bucket(self, name: str) -> TokenBucket:
+        return self._buckets[name]
+
+    def check_rate(self, name: str) -> None:
+        """Spend one request token or raise :class:`RateLimitError`."""
+        if not self._buckets[name].try_take():
+            raise RateLimitError(f"tenant {name}: rate limit exceeded")
+
+    # ------------------------------------------------------------- #
+    # Namespacing.
+
+    @staticmethod
+    def job_prefix(tenant: str) -> str:
+        return f"{tenant}{NAMESPACE_SEP}"
+
+    @classmethod
+    def namespaced(cls, tenant: str, suffix: str) -> str:
+        return f"{tenant}{NAMESPACE_SEP}{suffix}"
+
+    @classmethod
+    def owns(cls, tenant: str, job_id: str) -> bool:
+        return job_id.startswith(cls.job_prefix(tenant))
+
+    # ------------------------------------------------------------- #
+    # Quotas.
+
+    def active_jobs(self, store: JobStore, tenant: str) -> int:
+        """Jobs counting against *tenant*'s max_queued quota."""
+        prefix = self.job_prefix(tenant)
+        return sum(
+            1
+            for record in store.jobs()
+            if record.id.startswith(prefix)
+            and record.state in ("queued", "running", "paused")
+        )
+
+    def check_quota(self, store: JobStore, tenant: str) -> None:
+        """Raise :class:`QuotaError` when one more job would breach quota."""
+        config = self.get(tenant)
+        active = self.active_jobs(store, tenant)
+        if active >= config.max_queued:
+            raise QuotaError(
+                f"tenant {tenant}: {active} active jobs at max_queued="
+                f"{config.max_queued}"
+            )
+
+    def effective_priority(self, tenant: str, priority: int) -> int:
+        """Fair share: the DRR scheduler budgets by weight x priority."""
+        return self.get(tenant).weight * priority
+
+
+def load_tenants(path: str | Path) -> tuple[ApiKeyring, TenantRegistry]:
+    """Parse a ``repro-api-keys/v1`` file into keyring + registry.
+
+    Shape::
+
+        {
+          "schema": "repro-api-keys/v1",
+          "tenants": {
+            "acme": {"weight": 3, "max_queued": 32, "rate": 50, "burst": 100,
+                     "keys": ["k-acme-1", "k-acme-2"]},
+            ...
+          }
+        }
+    """
+    document = json.loads(Path(path).read_text())
+    if document.get("schema") != KEYS_SCHEMA:
+        raise ValueError(f"{path}: schema must be {KEYS_SCHEMA!r}")
+    tenants_field = document.get("tenants")
+    if not isinstance(tenants_field, dict) or not tenants_field:
+        raise ValueError(f"{path}: tenants must be a non-empty object")
+    configs: list[TenantConfig] = []
+    keys: dict[str, str] = {}
+    for name, entry in tenants_field.items():
+        if not isinstance(entry, dict):
+            raise ValueError(f"{path}: tenant {name!r} must be an object")
+        configs.append(
+            TenantConfig(
+                name=name,
+                weight=entry.get("weight", 1),
+                max_queued=entry.get("max_queued", 16),
+                rate=entry.get("rate", 50.0),
+                burst=entry.get("burst", 100.0),
+            )
+        )
+        tenant_keys = entry.get("keys")
+        if not isinstance(tenant_keys, list) or not tenant_keys:
+            raise ValueError(f"{path}: tenant {name!r} needs a non-empty keys list")
+        for key in tenant_keys:
+            if key in keys:
+                raise ValueError(f"{path}: key {key[:8]}... assigned twice")
+            keys[key] = name
+    return ApiKeyring(keys), TenantRegistry(configs)

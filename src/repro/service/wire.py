@@ -1,0 +1,339 @@
+"""The ``repro-api/v1`` wire contract: document builders and validators.
+
+Every body that crosses the HTTP gateway — request or response — is a
+versioned JSON document carrying ``"schema": "repro-api/v1"`` and a
+``"kind"`` discriminator, validated with the same discipline as
+``repro-job/v1`` (:func:`repro.service.jobstore.validate_job`) and
+``repro-metrics/v2`` (:func:`repro.obs.validate_metrics`): one builder
+and one validator per document type, referenced by the server, the
+client, the CLI, CI's api-smoke job, and the fuzz tests.
+
+The registries :data:`REQUEST_VALIDATORS` and :data:`RESPONSE_VALIDATORS`
+are the machine-checkable index of the contract: the
+``protocol-symmetry`` static-analysis rule requires every kind to map to
+a validator function defined in this module and to be named by at least
+one test — exactly the ``*Message`` encode/decode/test discipline of
+:mod:`repro.cluster.protocol`, applied to the HTTP layer.
+
+Document kinds
+--------------
+Requests:  ``submit``, ``control``.
+Responses: ``submitted``, ``job``, ``job-list``, ``events``, ``quota``,
+``metrics``, ``error``.
+"""
+
+from __future__ import annotations
+
+import re
+
+API_SCHEMA = "repro-api/v1"
+
+#: Job lifecycle states a response may carry (mirrors ``repro-job/v1``).
+from repro.service.jobstore import JOB_STATES, TERMINAL_STATES, JobRecord, JobSpec
+
+#: Control verbs a ``control`` request may carry.
+CONTROL_ACTIONS = ("pause", "resume", "cancel")
+
+#: Client-supplied job suffixes and tenant names must be filesystem-safe
+#: single path components; ``--`` is reserved as the tenant/job separator.
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
+
+
+def safe_name(value: object) -> bool:
+    """True when *value* is usable as a tenant name or job-id suffix."""
+    return (
+        isinstance(value, str)
+        and bool(_NAME_RE.match(value))
+        and "--" not in value
+        and len(value) <= 64
+    )
+
+
+def _document(kind: str, **fields) -> dict:
+    return {"schema": API_SCHEMA, "kind": kind, **fields}
+
+
+# --------------------------------------------------------------------- #
+# Builders — the only way the server/client construct wire documents.
+
+
+def submit_request(spec: dict, priority: int = 1, job: str | None = None) -> dict:
+    """Body of ``POST /v1/jobs``: a job spec plus scheduling hints."""
+    document = _document("submit", spec=dict(spec), priority=priority)
+    if job is not None:
+        document["job"] = job
+    return document
+
+
+def control_request(action: str) -> dict:
+    """Body of ``POST /v1/jobs/{id}/pause|resume|cancel``."""
+    return _document("control", action=action)
+
+
+def submitted_response(job_id: str, tenant: str, priority: int, space: int) -> dict:
+    return _document(
+        "submitted", job=job_id, tenant=tenant, priority=priority, space=space
+    )
+
+
+def progress_fields(log) -> dict:
+    """The ``progress`` sub-object shared by job/events documents."""
+    return {
+        "done": log.done_count,
+        "total": log.total,
+        "found": [[index, key] for index, key in log.found],
+    }
+
+
+def job_response(record: JobRecord, log, tenant: str) -> dict:
+    """One job's status document, built from the durable record + ledger."""
+    return _document(
+        "job",
+        job=record.id,
+        tenant=tenant,
+        state=record.state,
+        priority=record.priority,
+        message=record.message,
+        progress=progress_fields(log),
+    )
+
+
+def job_list_response(jobs: list[dict]) -> dict:
+    return _document("job-list", jobs=list(jobs))
+
+
+def events_response(
+    job_id: str,
+    cursor: int,
+    events: list[str],
+    state: str,
+    progress: dict,
+    complete: bool,
+) -> dict:
+    """One long-poll delta of a job's timeline + checkpointed progress."""
+    return _document(
+        "events",
+        job=job_id,
+        cursor=cursor,
+        events=list(events),
+        state=state,
+        progress=dict(progress),
+        complete=complete,
+    )
+
+
+def quota_response(
+    tenant: str,
+    weight: int,
+    max_queued: int,
+    active: int,
+    rate: float,
+    burst: float,
+    tokens: float,
+) -> dict:
+    return _document(
+        "quota",
+        tenant=tenant,
+        weight=weight,
+        max_queued=max_queued,
+        active=active,
+        rate=rate,
+        burst=burst,
+        tokens=tokens,
+    )
+
+
+def metrics_response(payload: dict | None) -> dict:
+    """A persisted or live ``repro-metrics`` export, wrapped for the wire."""
+    return _document("metrics", metrics=payload if payload is not None else {})
+
+
+def error_response(message: str, status: int) -> dict:
+    return _document("error", error=message, status=status)
+
+
+# --------------------------------------------------------------------- #
+# Validators — one per kind; each returns a list of problems (empty = ok).
+
+
+def _validate_submit(document: dict) -> list[str]:
+    problems: list[str] = []
+    spec = document.get("spec")
+    if not isinstance(spec, dict):
+        problems.append("submit needs a spec object")
+    else:
+        try:
+            JobSpec.from_dict(spec)
+        except (KeyError, TypeError, ValueError) as exc:
+            problems.append(f"spec does not describe a valid job: {exc}")
+    priority = document.get("priority", 1)
+    if not isinstance(priority, int) or not 1 <= priority <= 100:
+        problems.append("priority must be an integer in [1, 100]")
+    if "job" in document and not safe_name(document["job"]):
+        problems.append("job must be a filesystem-safe name without '--'")
+    return problems
+
+
+def _validate_control(document: dict) -> list[str]:
+    if document.get("action") not in CONTROL_ACTIONS:
+        return [f"action must be one of {CONTROL_ACTIONS}"]
+    return []
+
+
+def _validate_submitted(document: dict) -> list[str]:
+    problems: list[str] = []
+    if not isinstance(document.get("job"), str) or not document.get("job"):
+        problems.append("submitted needs a non-empty job id")
+    if not isinstance(document.get("tenant"), str):
+        problems.append("submitted needs the owning tenant")
+    if not isinstance(document.get("priority"), int) or document.get("priority", 0) < 1:
+        problems.append("priority must be an integer >= 1")
+    if not isinstance(document.get("space"), int) or document.get("space", -1) < 0:
+        problems.append("space must be a non-negative integer")
+    return problems
+
+
+def _validate_progress(progress: object, problems: list[str]) -> None:
+    if not isinstance(progress, dict):
+        problems.append("progress must be an object")
+        return
+    for key in ("done", "total"):
+        if not isinstance(progress.get(key), int) or progress.get(key, -1) < 0:
+            problems.append(f"progress.{key} must be a non-negative integer")
+    found = progress.get("found")
+    if not isinstance(found, list) or not all(
+        isinstance(pair, (list, tuple)) and len(pair) == 2 for pair in found
+    ):
+        problems.append("progress.found must be a list of [index, key] pairs")
+
+
+def _validate_job(document: dict) -> list[str]:
+    problems: list[str] = []
+    if not isinstance(document.get("job"), str) or not document.get("job"):
+        problems.append("job document needs a non-empty job id")
+    if not isinstance(document.get("tenant"), str):
+        problems.append("job document needs the owning tenant")
+    if document.get("state") not in JOB_STATES:
+        problems.append(f"state must be one of {JOB_STATES}")
+    if not isinstance(document.get("priority"), int) or document.get("priority", 0) < 1:
+        problems.append("priority must be an integer >= 1")
+    if not isinstance(document.get("message"), str):
+        problems.append("message must be a string")
+    _validate_progress(document.get("progress"), problems)
+    return problems
+
+
+def _validate_job_list(document: dict) -> list[str]:
+    jobs = document.get("jobs")
+    if not isinstance(jobs, list):
+        return ["job-list needs a jobs array"]
+    problems: list[str] = []
+    for entry in jobs:
+        if not isinstance(entry, dict) or entry.get("kind") != "job":
+            problems.append("job-list entries must be kind='job' documents")
+            continue
+        problems.extend(_validate_job(entry))
+    return problems
+
+
+def _validate_events(document: dict) -> list[str]:
+    problems: list[str] = []
+    if not isinstance(document.get("job"), str) or not document.get("job"):
+        problems.append("events needs a non-empty job id")
+    if not isinstance(document.get("cursor"), int) or document.get("cursor", -1) < 0:
+        problems.append("cursor must be a non-negative integer")
+    events = document.get("events")
+    if not isinstance(events, list) or not all(isinstance(e, str) for e in events):
+        problems.append("events must be a list of timeline lines")
+    if document.get("state") not in JOB_STATES:
+        problems.append(f"state must be one of {JOB_STATES}")
+    if not isinstance(document.get("complete"), bool):
+        problems.append("complete must be a boolean")
+    _validate_progress(document.get("progress"), problems)
+    return problems
+
+
+def _validate_quota(document: dict) -> list[str]:
+    problems: list[str] = []
+    if not isinstance(document.get("tenant"), str) or not document.get("tenant"):
+        problems.append("quota needs a non-empty tenant")
+    for key in ("weight", "max_queued"):
+        if not isinstance(document.get(key), int) or document.get(key, 0) < 1:
+            problems.append(f"{key} must be an integer >= 1")
+    if not isinstance(document.get("active"), int) or document.get("active", -1) < 0:
+        problems.append("active must be a non-negative integer")
+    for key in ("rate", "burst", "tokens"):
+        if not isinstance(document.get(key), (int, float)):
+            problems.append(f"{key} must be a number")
+    return problems
+
+
+def _validate_metrics(document: dict) -> list[str]:
+    payload = document.get("metrics")
+    if not isinstance(payload, dict):
+        return ["metrics must carry a metrics object"]
+    if payload:  # empty export means "nothing persisted yet"
+        from repro.obs import validate_metrics
+
+        return [f"metrics: {p}" for p in validate_metrics(payload)]
+    return []
+
+
+def _validate_error(document: dict) -> list[str]:
+    problems: list[str] = []
+    if not isinstance(document.get("error"), str) or not document.get("error"):
+        problems.append("error needs a non-empty message")
+    status = document.get("status")
+    if not isinstance(status, int) or not 400 <= status <= 599:
+        problems.append("status must be an HTTP error code (400-599)")
+    return problems
+
+
+#: kind -> validator for every request body the gateway accepts.  The
+#: protocol-symmetry check requires each entry to reference a function
+#: defined in this module and to be exercised by name in a test.
+REQUEST_VALIDATORS = {
+    "submit": _validate_submit,
+    "control": _validate_control,
+}
+
+#: kind -> validator for every response body the gateway emits.
+RESPONSE_VALIDATORS = {
+    "submitted": _validate_submitted,
+    "job": _validate_job,
+    "job-list": _validate_job_list,
+    "events": _validate_events,
+    "quota": _validate_quota,
+    "metrics": _validate_metrics,
+    "error": _validate_error,
+}
+
+
+def _validate(document: object, registry: dict, side: str) -> list[str]:
+    if not isinstance(document, dict):
+        return [f"{side} body must be a JSON object"]
+    problems: list[str] = []
+    if document.get("schema") != API_SCHEMA:
+        problems.append(f"schema must be {API_SCHEMA!r}")
+    kind = document.get("kind")
+    validator = registry.get(kind) if isinstance(kind, str) else None
+    if validator is None:
+        problems.append(f"kind must be one of {sorted(registry)}")
+        return problems
+    problems.extend(validator(document))
+    return problems
+
+
+def validate_request(document: object) -> list[str]:
+    """Validate a ``repro-api/v1`` request body; empty list means valid."""
+    return _validate(document, REQUEST_VALIDATORS, "request")
+
+
+def validate_response(document: object) -> list[str]:
+    """Validate a ``repro-api/v1`` response body; empty list means valid."""
+    return _validate(document, RESPONSE_VALIDATORS, "response")
+
+
+def is_terminal(state: str) -> bool:
+    """True when no scheduler will pick the job up again on its own."""
+    return state in TERMINAL_STATES

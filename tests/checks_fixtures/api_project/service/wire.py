@@ -1,0 +1,19 @@
+"""Fixture: an api wire module with a broken and an untested registry kind."""
+
+
+def _validate_good(document):
+    return []
+
+
+def _validate_orphan(document):
+    return []
+
+
+REQUEST_VALIDATORS = {
+    "good": _validate_good,
+    "broken": _validate_missing,  # noqa: F821 - deliberately undefined
+}
+
+RESPONSE_VALIDATORS = {
+    "orphan": _validate_orphan,  # defined, but no test ever names it
+}

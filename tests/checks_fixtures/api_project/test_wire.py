@@ -1,0 +1,5 @@
+"""Fixture test module: covers kind 'good' only."""
+
+
+def test_good_round_trip():
+    assert "good" == "good"

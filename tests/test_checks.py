@@ -74,6 +74,15 @@ class TestFixturesFailTheirRules:
         assert "BrokenMessage.decode_any" in symbols
         assert not any(s.startswith("GoodMessage") for s in symbols)
 
+    def test_protocol_symmetry_api_registry_fixture(self):
+        found = findings_for(["api_project"], ["protocol-symmetry"])
+        symbols = {f.symbol for f in found}
+        assert symbols == {
+            "REQUEST_VALIDATORS.broken.validator",  # maps to an undefined name
+            "RESPONSE_VALIDATORS.orphan.tested",  # no test names the kind
+        }
+        assert all(f.severity == "error" for f in found)
+
     def test_hot_path_fixture(self):
         found = findings_for(["bad_hot_path.py"], ["hot-path-allocation"])
         assert len(found) == 3  # bytes(), comprehension, .append

@@ -78,8 +78,8 @@ class TestServeAndStatus:
         assert main(["jobs", "status", str(tmp_path)]) == 1
         assert "no jobs" in capsys.readouterr().out
 
-    def test_status_unknown_id_returns_2(self, tmp_path, capsys):
-        assert main(["jobs", "status", str(tmp_path), "ghost"]) == 2
+    def test_status_unknown_id_returns_3(self, tmp_path, capsys):
+        assert main(["jobs", "status", str(tmp_path), "ghost"]) == 3
         assert "no job" in capsys.readouterr().err
 
     def test_status_single_job_metrics(self, tmp_path, capsys):
@@ -111,7 +111,7 @@ class TestJobsControl:
         assert main(submit_args(tmp_path, b"dog", "--job-id", "j")) == 0
         assert main(["serve", str(tmp_path), "--once", "--quantum", "20000"]) == 0
         assert main(["jobs", "pause", str(tmp_path), "j"]) == 2  # done job
-        assert "cannot go" in capsys.readouterr().err
+        assert "cannot pause" in capsys.readouterr().err
 
     def test_tail_prints_timeline(self, tmp_path, capsys):
         assert main(submit_args(tmp_path, b"dog", "--job-id", "j")) == 0
@@ -121,8 +121,8 @@ class TestJobsControl:
         out = capsys.readouterr().out
         assert "submitted" in out and "state -> done" in out
 
-    def test_tail_unknown_job_returns_2(self, tmp_path, capsys):
-        assert main(["jobs", "tail", str(tmp_path), "ghost"]) == 2
+    def test_tail_unknown_job_returns_3(self, tmp_path, capsys):
+        assert main(["jobs", "tail", str(tmp_path), "ghost"]) == 3
 
 
 class TestCrackCheckpointDir:

@@ -103,7 +103,7 @@ class TestLocalCluster:
         target = CrackTarget.from_password("cab", ABC, min_length=1, max_length=4)
         outcome = LocalCluster(workers=1, batch_size=512).crack(target)
         assert "cab" in outcome.keys
-        assert outcome.candidates_tested == target.space_size
+        assert outcome.tested == target.space_size
         assert outcome.elapsed > 0
         assert outcome.mkeys_per_second > 0
 
@@ -111,7 +111,7 @@ class TestLocalCluster:
         target = CrackTarget.from_password("bcab", ABC, min_length=1, max_length=4)
         outcome = LocalCluster(workers=2, batch_size=512).crack(target, chunk_size=17)
         assert "bcab" in outcome.keys
-        assert outcome.candidates_tested == target.space_size
+        assert outcome.tested == target.space_size
 
     def test_stop_on_first_prunes_dispatch(self):
         target = CrackTarget.from_password("a", ABC, min_length=1, max_length=4)
@@ -119,7 +119,7 @@ class TestLocalCluster:
             target, chunk_size=8, stop_on_first=True
         )
         assert "a" in outcome.keys
-        assert outcome.candidates_tested < target.space_size
+        assert outcome.tested < target.space_size
 
     def test_interval_restriction(self):
         target = CrackTarget.from_password("cc", ABC, min_length=1, max_length=3)

@@ -118,7 +118,7 @@ class TestEquivalence:
             target, chunk_size=13, adaptive=True
         )
         assert "ccca" in outcome.keys
-        assert outcome.candidates_tested == target.space_size
+        assert outcome.tested == target.space_size
         assert outcome.worker_throughput  # the tuning step measured X_j
 
 

@@ -98,20 +98,22 @@ class TestCrackingSession:
         return CrackTarget.from_password(password, ABC, min_length=1, max_length=3)
 
     def test_sequential_backend(self):
-        result = CrackingSession(self.target()).run_sequential()
+        result = CrackingSession(self.target()).run(backend="sequential")
         assert result.passwords == ["cab"]
         assert result.backend == "sequential"
-        assert result.candidates_tested == self.target().space_size
+        assert result.tested == self.target().space_size
 
     def test_sequential_stop_after(self):
-        result = CrackingSession(self.target("a")).run_sequential(stop_after=1)
+        result = CrackingSession(self.target("a")).run(
+            backend="sequential", stop_after=1
+        )
         assert result.cracked
-        assert result.candidates_tested < self.target().space_size
+        assert result.tested < self.target().space_size
 
     def test_local_backend_agrees_with_sequential(self):
         session = CrackingSession(self.target())
-        seq = session.run_sequential()
-        loc = session.run_local(workers=1, batch_size=64)
+        seq = session.run(backend="sequential")
+        loc = session.run(backend="serial", workers=1, batch_size=64)
         assert seq.found == loc.found
         assert loc.backend == "serial"  # one worker resolves to the inline backend
 

@@ -29,13 +29,13 @@ class TestBackendAgreement:
             "bac", ABC, algorithm=algorithm, min_length=1, max_length=4
         )
         session = CrackingSession(target)
-        seq = session.run_sequential()
-        loc = session.run_local(workers=1, batch_size=53)
+        seq = session.run(backend="sequential")
+        loc = session.run(backend="serial", workers=1, batch_size=53)
         from repro.apps.cracking import CrackEngine
 
         naive = CrackEngine(target, batch_size=53, force_naive=True).search_all()
         assert seq.found == loc.found == naive
-        assert seq.candidates_tested == loc.candidates_tested == target.space_size
+        assert seq.tested == loc.tested == target.space_size
 
 
 class TestTuningFeedsDispatch:
@@ -93,7 +93,7 @@ class TestSessionOnPaperNetworkFindsPlantedKey:
 
     def test_local_backend_agrees_with_planted_id(self):
         target = CrackTarget.from_password("Zz9", ALNUM_MIXED, min_length=1, max_length=3)
-        result = CrackingSession(target).run_local(workers=1)
+        result = CrackingSession(target).run(backend="serial", workers=1)
         assert result.passwords == ["Zz9"]
 
 

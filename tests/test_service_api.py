@@ -1,0 +1,406 @@
+"""Gateway tests: concurrency, long-poll lifecycle, quotas, and auth fuzz.
+
+Everything here drives a real :class:`ApiServer` over real sockets (via
+:class:`ApiServerThread` + :class:`GatewayClient`), store-only mode — the
+daemon-embedded path is exercised end-to-end by CI's api-smoke job.
+"""
+
+import hashlib
+import json
+import random
+import socket
+import threading
+
+import pytest
+
+from repro.service import (
+    ApiClientError,
+    ApiKeyring,
+    ApiServer,
+    ApiServerThread,
+    GatewayClient,
+    JobStore,
+    TenantConfig,
+    TenantRegistry,
+    load_tenants,
+)
+from repro.service.jobstore import JobSpec
+
+KEYS = {"k-acme": "acme", "k-zeta": "zeta", "k-tiny": "tiny", "k-slow": "slow"}
+TENANTS = [
+    TenantConfig("acme", weight=3, max_queued=32),
+    TenantConfig("zeta", weight=1, max_queued=32),
+    TenantConfig("tiny", weight=1, max_queued=2),
+    TenantConfig("slow", weight=1, max_queued=32, rate=0.001, burst=3.0),
+]
+
+
+def spec(password=b"dog"):
+    return JobSpec(
+        digest=hashlib.md5(password).digest(), charset="abcdefgo", max_length=3
+    ).to_dict()
+
+
+@pytest.fixture()
+def gateway(tmp_path):
+    store = JobStore(tmp_path / "store")
+    server = ApiServer(
+        store, ApiKeyring(KEYS), TenantRegistry(TENANTS), poll_interval=0.01
+    )
+    thread = ApiServerThread(server)
+    host, port = thread.start()
+    try:
+        yield f"http://{host}:{port}", store, server
+    finally:
+        thread.stop()
+
+
+def client_for(url, key):
+    return GatewayClient(url, key, timeout=10.0)
+
+
+class TestConcurrentSubmitters:
+    def test_parallel_submits_get_unique_namespaced_ids(self, gateway):
+        url, store, _ = gateway
+        results, errors = [], []
+
+        def submit(i):
+            # GatewayClient is not thread-safe: one per thread.
+            try:
+                with client_for(url, "k-acme") as client:
+                    results.append(client.submit(spec(), priority=1))
+            except Exception as exc:  # noqa: BLE001 - collected for the assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=submit, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        ids = [doc["job"] for doc in results]
+        assert len(set(ids)) == 8  # the submit lock serializes id allocation
+        assert all(job.startswith("acme--") for job in ids)
+        assert len(store.jobs()) == 8
+
+    def test_quota_never_overshoots_under_concurrency(self, gateway):
+        url, store, _ = gateway
+        statuses = []
+
+        def submit(i):
+            try:
+                with client_for(url, "k-tiny") as client:
+                    client.submit(spec(bytes([i])))
+                    statuses.append(201)
+            except ApiClientError as exc:
+                statuses.append(exc.status)
+
+        threads = [threading.Thread(target=submit, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # max_queued=2: exactly two admitted, the rest rejected with 429.
+        assert sorted(statuses) == [201, 201, 429, 429, 429, 429]
+        assert len(store.jobs()) == 2
+
+
+class TestLongPollLifecycle:
+    def test_stream_sees_pause_resume_cancel_mid_poll(self, gateway):
+        url, _, _ = gateway
+        with client_for(url, "k-acme") as client:
+            job = client.submit(spec(), job="watched")["job"]
+            # Drain the submission-time lines first so the next poll blocks.
+            drained = client.events(job, cursor=0, timeout=0.0)
+            assert any("submitted" in line for line in drained["events"])
+            cursor = drained["cursor"]
+
+        holder = {}
+
+        def poll():
+            with client_for(url, "k-acme") as poller:
+                holder["delta"] = poller.events(job, cursor=cursor, timeout=10.0)
+
+        waiter = threading.Thread(target=poll)
+        waiter.start()
+        with client_for(url, "k-acme") as control:
+            assert control.control(job, "pause")["state"] == "paused"
+        waiter.join(timeout=10.0)
+        assert not waiter.is_alive()
+        delta = holder["delta"]
+        assert delta["state"] == "paused" and not delta["complete"]
+        assert any("pause" in line for line in delta["events"])
+
+        with client_for(url, "k-acme") as control:
+            assert control.control(job, "resume")["state"] == "queued"
+            # Cancel terminates the stream: the next poll returns complete.
+            assert control.control(job, "cancel")["state"] == "cancelled"
+            final = control.events(job, cursor=delta["cursor"], timeout=10.0)
+        assert final["complete"] and final["state"] == "cancelled"
+
+    def test_poll_on_terminal_job_returns_immediately(self, gateway):
+        url, store, _ = gateway
+        with client_for(url, "k-acme") as client:
+            job = client.submit(spec(), job="dead")["job"]
+            client.control(job, "cancel")
+            doc = client.events(job, cursor=0, timeout=30.0)  # must not block
+        assert doc["complete"] and doc["state"] == "cancelled"
+
+    def test_illegal_transitions_are_409(self, gateway):
+        url, _, _ = gateway
+        with client_for(url, "k-acme") as client:
+            job = client.submit(spec(), job="locked")["job"]
+            with pytest.raises(ApiClientError) as err:
+                client.control(job, "resume")  # queued -> resume is nonsense
+            assert err.value.status == 409
+            client.control(job, "cancel")
+            with pytest.raises(ApiClientError) as err:
+                client.control(job, "pause")  # cancelled -> pause
+            assert err.value.status == 409
+
+
+class TestQuotaIsolation:
+    def test_rejected_tenant_does_not_perturb_anothers_running_job(self, gateway):
+        url, store, _ = gateway
+        with client_for(url, "k-acme") as acme:
+            running = acme.submit(spec(), job="crunching")["job"]
+        store.set_state(running, "running", "picked up")
+        before = store.load(running)
+
+        with client_for(url, "k-tiny") as tiny:
+            tiny.submit(spec(b"a"))
+            tiny.submit(spec(b"b"))
+            with pytest.raises(ApiClientError) as err:
+                tiny.submit(spec(b"c"))
+        assert err.value.status == 429
+        assert "max_queued" in err.value.message
+
+        # The acceptance bar: acme's running job is byte-for-byte untouched.
+        after = store.load(running)
+        assert after.state == "running"
+        assert after.to_document() == before.to_document()
+        with client_for(url, "k-acme") as acme:
+            assert acme.status(running)["state"] == "running"
+
+    def test_quota_endpoint_reports_admission_state(self, gateway):
+        url, _, _ = gateway
+        with client_for(url, "k-tiny") as tiny:
+            tiny.submit(spec(b"a"))
+            doc = tiny.quota("tiny")
+        assert doc["active"] == 1 and doc["max_queued"] == 2
+        assert doc["tokens"] <= doc["burst"]
+
+    def test_quota_is_private_to_the_tenant(self, gateway):
+        url, _, _ = gateway
+        with client_for(url, "k-acme") as acme:
+            with pytest.raises(ApiClientError) as err:
+                acme.quota("tiny")
+        assert err.value.status == 403
+
+    def test_rate_limit_rejects_with_429(self, gateway):
+        url, _, _ = gateway
+        with client_for(url, "k-slow") as slow:  # burst=3, refill ~0
+            statuses = []
+            for _ in range(6):
+                try:
+                    slow.jobs()
+                    statuses.append(200)
+                except ApiClientError as exc:
+                    statuses.append(exc.status)
+        assert statuses == [200, 200, 200, 429, 429, 429]
+
+
+class TestAuthFuzz:
+    BAD_KEYS = ["", "K-ACME", "k-acm", "k-acme2", "k-acmee", "k--acme",
+                "Bearer k-acme", "k-zeta k-acme", "x" * 4096]
+
+    def test_garbage_keys_all_401(self, gateway):
+        url, _, server = gateway
+        for bad in self.BAD_KEYS:
+            with client_for(url, bad) as client:
+                with pytest.raises(ApiClientError) as err:
+                    client.jobs()
+            assert err.value.status == 401, bad
+
+    def test_padded_key_is_equivalent_to_the_key_itself(self, gateway):
+        # Header whitespace is insignificant: "Bearer  k-acme " is k-acme.
+        url, _, _ = gateway
+        with client_for(url, " k-acme ") as client:
+            assert client.jobs()["kind"] == "job-list"
+
+    def test_random_header_soup_never_crashes_the_gateway(self, gateway):
+        url, _, _ = gateway
+        rng = random.Random(0xBEEF)
+        alphabet = "abcXYZ 0189:;,-_"
+        for _ in range(30):
+            name = "".join(rng.choice(alphabet) for _ in range(rng.randrange(1, 20)))
+            value = "".join(rng.choice(alphabet) for _ in range(rng.randrange(0, 40)))
+            status, _ = raw_http(url, headers={name.strip() or "x": value})
+            assert status in (400, 401)
+        with client_for(url, "k-acme") as client:  # still alive afterwards
+            assert client.jobs()["kind"] == "job-list"
+
+    def test_revoked_key_stops_working_immediately(self, gateway):
+        url, _, server = gateway
+        with client_for(url, "k-zeta") as client:
+            client.jobs()
+            assert server.keyring.revoke("k-zeta")
+            with pytest.raises(ApiClientError) as err:
+                client.jobs()  # a replayed captured key is now worthless
+        assert err.value.status == 401
+
+    def test_valid_key_of_unconfigured_tenant_is_401(self, tmp_path):
+        store = JobStore(tmp_path / "store")
+        keyring = ApiKeyring({"k-ghost": "ghost", "k-acme": "acme"})
+        server = ApiServer(store, keyring, TenantRegistry([TenantConfig("acme")]))
+        thread = ApiServerThread(server)
+        host, port = thread.start()
+        try:
+            with client_for(f"http://{host}:{port}", "k-ghost") as client:
+                with pytest.raises(ApiClientError) as err:
+                    client.jobs()
+            assert err.value.status == 401
+        finally:
+            thread.stop()
+
+    def test_foreign_jobs_404_not_403(self, gateway):
+        url, _, _ = gateway
+        with client_for(url, "k-acme") as acme:
+            job = acme.submit(spec(), job="secret")["job"]
+        with client_for(url, "k-zeta") as zeta:
+            for attempt in (
+                lambda: zeta.status(job),
+                lambda: zeta.control(job, "cancel"),
+                lambda: zeta.events(job, timeout=0.0),
+                lambda: zeta.metrics(job),
+            ):
+                with pytest.raises(ApiClientError) as err:
+                    attempt()
+                assert err.value.status == 404  # no existence oracle
+            assert zeta.jobs()["jobs"] == []  # listing does not leak either
+
+
+def raw_http(url, request_bytes=None, headers=None):
+    """Speak raw HTTP/1.1 for the malformed-framing tests."""
+    host, port = url[len("http://"):].split(":")
+    with socket.create_connection((host, int(port)), timeout=10.0) as sock:
+        if request_bytes is None:
+            lines = ["GET /v1/jobs HTTP/1.1", f"Host: {host}"]
+            for name, value in (headers or {}).items():
+                lines.append(f"{name}: {value}")
+            request_bytes = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        sock.sendall(request_bytes)
+        sock.shutdown(socket.SHUT_WR)
+        payload = b""
+        while chunk := sock.recv(65536):
+            payload += chunk
+    if not payload:
+        return None, b""
+    head, _, body = payload.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, body
+
+
+class TestMalformedFraming:
+    def test_garbage_request_line_is_400(self, gateway):
+        url, _, _ = gateway
+        status, body = raw_http(url, b"\x16\x03\x01 oops\r\n\r\n")
+        assert status == 400
+        assert json.loads(body)["kind"] == "error"
+
+    def test_oversized_body_is_413(self, gateway):
+        url, _, _ = gateway
+        request = (
+            b"POST /v1/jobs HTTP/1.1\r\n"
+            b"Authorization: Bearer k-acme\r\n"
+            b"Content-Length: 999999999\r\n\r\n"
+        )
+        status, _ = raw_http(url, request)
+        assert status == 413
+
+    def test_bad_json_body_is_400(self, gateway):
+        url, _, _ = gateway
+        body = b"{not json"
+        request = (
+            b"POST /v1/jobs HTTP/1.1\r\n"
+            b"Authorization: Bearer k-acme\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n\r\n" + body
+        )
+        status, payload = raw_http(url, request)
+        assert status == 400
+        assert "JSON" in json.loads(payload)["error"]
+
+    def test_wrong_kind_document_is_400(self, gateway):
+        url, _, _ = gateway
+        from repro.service.wire import control_request
+
+        body = json.dumps(control_request("pause")).encode()
+        request = (
+            b"POST /v1/jobs HTTP/1.1\r\n"
+            b"Authorization: Bearer k-acme\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n\r\n" + body
+        )
+        status, payload = raw_http(url, request)
+        assert status == 400
+        assert "submit" in json.loads(payload)["error"]
+
+    def test_unknown_route_and_wrong_method(self, gateway):
+        url, _, _ = gateway
+        with client_for(url, "k-acme") as client:
+            with pytest.raises(ApiClientError) as err:
+                client._request("GET", "/v2/jobs")
+            assert err.value.status == 404
+            with pytest.raises(ApiClientError) as err:
+                client._request("DELETE", "/v1/jobs")
+            assert err.value.status == 405
+
+
+class TestGatewayMetrics:
+    def test_live_export_counts_requests_and_errors(self, gateway):
+        url, _, _ = gateway
+        with client_for(url, "k-acme") as client:
+            client.submit(spec())
+            with pytest.raises(ApiClientError):
+                client.status("acme--ghost")
+            doc = client.metrics()
+        from repro.obs import validate_metrics
+
+        payload = doc["metrics"]
+        assert validate_metrics(payload) == []
+        names = {c["name"] for c in payload["counters"]}
+        assert "api.requests" in names and "api.errors" in names
+        submitted = [e for e in payload["events"] if e["name"] == "api.submitted"]
+        assert submitted and submitted[0]["fields"]["tenant"] == "acme"
+
+
+class TestLoadTenants:
+    def document(self):
+        return {
+            "schema": "repro-api-keys/v1",
+            "tenants": {
+                "acme": {"weight": 3, "keys": ["k-1", "k-2"]},
+                "zeta": {"max_queued": 4, "rate": 5, "burst": 10, "keys": ["k-3"]},
+            },
+        }
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "keys.json"
+        path.write_text(json.dumps(self.document()))
+        keyring, tenants = load_tenants(path)
+        assert keyring.authenticate("k-2") == "acme"
+        assert tenants.get("zeta").max_queued == 4
+        assert tenants.effective_priority("acme", 2) == 6
+
+    def test_duplicate_key_rejected(self, tmp_path):
+        document = self.document()
+        document["tenants"]["zeta"]["keys"] = ["k-1"]
+        path = tmp_path / "keys.json"
+        path.write_text(json.dumps(document))
+        with pytest.raises(ValueError, match="assigned twice"):
+            load_tenants(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "keys.json"
+        path.write_text(json.dumps({"schema": "nope", "tenants": {}}))
+        with pytest.raises(ValueError, match="schema"):
+            load_tenants(path)

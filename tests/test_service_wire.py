@@ -1,0 +1,209 @@
+"""Fuzz and round-trip tests for the ``repro-api/v1`` wire contract.
+
+Every document kind crossing the gateway is exercised by name here —
+``submit``, ``control``, ``submitted``, ``job``, ``job-list``,
+``events``, ``quota``, ``metrics``, ``error`` — which is exactly the
+coverage the protocol-symmetry static check demands for the
+:data:`REQUEST_VALIDATORS` / :data:`RESPONSE_VALIDATORS` registries.
+"""
+
+import hashlib
+import random
+
+import pytest
+
+from repro.core.progress import ProgressLog
+from repro.service.jobstore import JobSpec
+from repro.service.wire import (
+    API_SCHEMA,
+    CONTROL_ACTIONS,
+    REQUEST_VALIDATORS,
+    RESPONSE_VALIDATORS,
+    control_request,
+    error_response,
+    events_response,
+    job_list_response,
+    job_response,
+    metrics_response,
+    quota_response,
+    safe_name,
+    submit_request,
+    submitted_response,
+    validate_request,
+    validate_response,
+)
+
+
+def spec_dict(password=b"dog"):
+    return JobSpec(
+        digest=hashlib.md5(password).digest(), charset="abcdefgo", max_length=3
+    ).to_dict()
+
+
+class FakeRecord:
+    def __init__(self, job="t--j", state="queued", priority=2, message="m"):
+        self.id = job
+        self.state = state
+        self.priority = priority
+        self.message = message
+
+
+def sample_documents():
+    """One valid document per kind, built through the public builders."""
+    log = ProgressLog(total=100)
+    job = job_response(FakeRecord(), log, "t")
+    return {
+        "submit": submit_request(spec_dict(), priority=3, job="mine"),
+        "control": control_request("pause"),
+        "submitted": submitted_response("t--j", "t", 6, 100),
+        "job": job,
+        "job-list": job_list_response([job]),
+        "events": events_response(
+            "t--j", 2, ["line one"], "running", job["progress"], complete=False
+        ),
+        "quota": quota_response("t", 2, 16, 3, 50.0, 100.0, 99.5),
+        "metrics": metrics_response({}),
+        "error": error_response("boom", 404),
+    }
+
+
+class TestBuildersRoundTrip:
+    """Every builder's output passes its own validator."""
+
+    @pytest.mark.parametrize("kind", sorted(REQUEST_VALIDATORS))
+    def test_request_kinds(self, kind):
+        assert validate_request(sample_documents()[kind]) == []
+
+    @pytest.mark.parametrize("kind", sorted(RESPONSE_VALIDATORS))
+    def test_response_kinds(self, kind):
+        assert validate_response(sample_documents()[kind]) == []
+
+    def test_registries_cover_every_sample_and_nothing_else(self):
+        kinds = set(REQUEST_VALIDATORS) | set(RESPONSE_VALIDATORS)
+        assert kinds == set(sample_documents())
+
+    def test_request_and_response_sides_are_disjoint(self):
+        assert not set(REQUEST_VALIDATORS) & set(RESPONSE_VALIDATORS)
+        # A valid request is never a valid response and vice versa.
+        docs = sample_documents()
+        for kind in REQUEST_VALIDATORS:
+            assert validate_response(docs[kind]) != []
+        for kind in RESPONSE_VALIDATORS:
+            assert validate_request(docs[kind]) != []
+
+
+class TestValidatorRejections:
+    def test_wrong_schema_rejected(self):
+        document = control_request("pause")
+        document["schema"] = "repro-api/v0"
+        assert any("schema" in p for p in validate_request(document))
+
+    def test_unknown_kind_rejected(self):
+        assert validate_request({"schema": API_SCHEMA, "kind": "nuke"}) != []
+
+    @pytest.mark.parametrize("junk", [None, 7, "hi", [1, 2], b"x"])
+    def test_non_object_bodies_rejected(self, junk):
+        assert validate_request(junk) != []
+        assert validate_response(junk) != []
+
+    def test_submit_rejects_bad_spec_priority_and_job(self):
+        bad_spec = submit_request({"digest": "zz"})
+        assert any("spec" in p for p in validate_request(bad_spec))
+        bad_priority = submit_request(spec_dict(), priority=0)
+        assert any("priority" in p for p in validate_request(bad_priority))
+        for name in ("", "a--b", "../escape", "x" * 65):
+            doc = submit_request(spec_dict(), job="ok")
+            doc["job"] = name
+            assert validate_request(doc) != []
+
+    def test_control_rejects_unknown_actions(self):
+        for action in ("destroy", "", None, 3):
+            doc = control_request("pause")
+            doc["action"] = action
+            assert validate_request(doc) != []
+        for action in CONTROL_ACTIONS:
+            assert validate_request(control_request(action)) == []
+
+    def test_error_status_must_be_an_http_error_code(self):
+        assert validate_response(error_response("x", 200)) != []
+        assert validate_response(error_response("", 404)) != []
+
+    def test_events_progress_and_flags_checked(self):
+        good = sample_documents()["events"]
+        for field, bad in [
+            ("complete", "yes"),
+            ("cursor", -1),
+            ("events", [1, 2]),
+            ("state", "exploded"),
+            ("progress", {"done": -1, "total": 0, "found": []}),
+        ]:
+            doc = dict(good)
+            doc[field] = bad
+            assert validate_response(doc) != [], field
+
+    def test_job_list_entries_must_be_job_documents(self):
+        assert validate_response(job_list_response([{"kind": "quota"}])) != []
+
+    def test_metrics_payload_must_satisfy_metrics_schema(self):
+        assert validate_response(metrics_response({"schema": "nope"})) != []
+        assert validate_response(metrics_response({})) == []
+
+    def test_quota_numbers_checked(self):
+        good = sample_documents()["quota"]
+        for field in ("weight", "max_queued", "active", "rate", "burst", "tokens"):
+            doc = dict(good)
+            doc[field] = "many"
+            assert validate_response(doc) != [], field
+
+
+class TestFuzz:
+    """Random mutations must be *rejected*, never crash a validator."""
+
+    JUNK = [None, True, 0, -3, 2**70, 1.5, "", "x", [], [[]], {}, {"a": 1}]
+
+    def mutate(self, rng, document):
+        doc = dict(document)
+        op = rng.randrange(3)
+        if op == 0 and doc:  # drop a field
+            doc.pop(rng.choice(sorted(doc)))
+        elif op == 1 and doc:  # corrupt a field
+            doc[rng.choice(sorted(doc))] = rng.choice(self.JUNK)
+        else:  # graft an alien field (must not crash; may stay valid)
+            doc[rng.choice("abcdef")] = rng.choice(self.JUNK)
+        return doc
+
+    def test_mutated_documents_never_crash(self):
+        rng = random.Random(0xC0FFEE)
+        docs = sample_documents()
+        for _ in range(2000):
+            kind = rng.choice(sorted(docs))
+            mutated = self.mutate(rng, docs[kind])
+            problems = (
+                validate_request(mutated)
+                if kind in REQUEST_VALIDATORS
+                else validate_response(mutated)
+            )
+            assert isinstance(problems, list)
+            # Dropping or corrupting schema/kind/required fields must fail.
+            if "schema" not in mutated or "kind" not in mutated:
+                assert problems != []
+
+    def test_deeply_nested_garbage(self):
+        nested = {"schema": API_SCHEMA, "kind": "submit", "spec": {}}
+        for _ in range(50):
+            nested = {"schema": API_SCHEMA, "kind": "submit", "spec": nested}
+        assert validate_request(nested) != []
+
+
+class TestSafeName:
+    @pytest.mark.parametrize("name", ["a", "job-1", "A.b_c-9", "x" * 64])
+    def test_accepts(self, name):
+        assert safe_name(name)
+
+    @pytest.mark.parametrize(
+        "name",
+        ["", "a--b", "-lead", ".lead", "_lead", "sp ace", "sl/ash", "x" * 65,
+         None, 3, b"bytes", "unié"],
+    )
+    def test_rejects(self, name):
+        assert not safe_name(name)

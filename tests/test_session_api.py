@@ -48,12 +48,11 @@ class TestRunDispatcher:
     def test_run_without_recorder_has_no_metrics(self):
         assert session().run("serial").metrics is None
 
-    def test_deprecated_aliases_still_work_and_warn(self):
-        with pytest.warns(DeprecationWarning, match="run_sequential"):
-            sequential = session().run_sequential()
-        with pytest.warns(DeprecationWarning, match="run_local"):
-            local = session().run_local(backend="serial")
-        assert sequential.passwords == local.passwords == ["cab"]
+    def test_removed_entry_points_raise_with_migration_hint(self):
+        with pytest.raises(TypeError, match=r"run\(backend='sequential'\)"):
+            session().run_sequential()
+        with pytest.raises(TypeError, match=r"run\(backend=\.\.\., workers="):
+            session().run_local(backend="serial")
 
 
 class TestUnifiedResultSurface:
@@ -61,7 +60,8 @@ class TestUnifiedResultSurface:
         result = session().run("serial")
         assert isinstance(result, SessionResult)
         assert isinstance(result, RunResult)
-        assert result.candidates_tested == result.tested  # back-compat alias
+        with pytest.warns(DeprecationWarning, match="candidates_tested"):
+            assert result.candidates_tested == result.tested  # deprecated alias
 
     def test_search_outcome_has_unified_fields(self):
         target = session().target
