@@ -1,0 +1,136 @@
+"""BENCH — elastic multi-master sharding: speedup vs agents, ± stealing.
+
+One keyspace is sharded across 1/2/4 masters (`ShardCoordinator`); the
+first lane is a deliberate straggler (per-chunk `slowdown`), so without
+work stealing the whole run waits on the slow shard while the fast
+lanes idle.  The benchmark scans the same no-match space at each agent
+count with stealing on, plus a 4-agent run with stealing off, and
+reports the speedup curve — the elastic analogue of the paper's
+static-balancing rule (`N_j = N_max · X_j/X_max`), achieved at runtime
+by moving pending intervals instead of by pre-sizing them.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_elastic.py [--quick]
+
+or imported by :mod:`benchmarks.run_all`, which folds the results into
+``BENCH_cracking.json`` (``summary.elastic_speedup_4_agents``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import time
+
+from repro.apps.cracking import CrackTarget, HashAlgorithm
+from repro.cluster.elastic import ShardCoordinator
+from repro.cluster.runtime import WorkerConfig
+from repro.keyspace import ALPHA_LOWER
+from repro.obs import Recorder
+from repro.obs.schema import MetricNames
+
+_BATCH = 1 << 14
+_AGENTS = (1, 2, 4)
+
+
+def _target(quick: bool) -> CrackTarget:
+    return CrackTarget(
+        algorithm=HashAlgorithm.MD5,
+        digest=hashlib.md5(b"*no match*").digest(),  # full scan: 0 found
+        charset=ALPHA_LOWER,
+        min_length=1,
+        max_length=3 if quick else 4,
+    )
+
+
+def _phase_totals(export) -> dict:
+    totals = {"scatter": 0.0, "search": 0.0, "gather": 0.0}
+    for row in (export or {}).get("spans", []):
+        if row["name"] == MetricNames.PHASE_SEARCH:
+            totals["search"] += row["total"]
+        elif row["name"] == MetricNames.PHASE_SCATTER:
+            totals["scatter"] += row["total"]
+        elif row["name"] == MetricNames.PHASE_GATHER:
+            totals["gather"] += row["total"]
+    return totals
+
+
+def _lanes(agents: int, quick: bool) -> list[list[WorkerConfig]]:
+    """One worker per master; lane 0 drags its feet on every chunk."""
+    slowdown = 0.01 if quick else 0.02
+    return [
+        [
+            WorkerConfig(
+                name=f"a{i}w0",
+                batch_size=_BATCH,
+                slowdown=slowdown if i == 0 else 0.0,
+            )
+        ]
+        for i in range(agents)
+    ]
+
+
+def bench_agents(agents: int, stealing: bool, quick: bool) -> dict:
+    target = _target(quick)
+    recorder = Recorder()
+    coordinator = ShardCoordinator(
+        target,
+        masters=agents,
+        worker_configs=_lanes(agents, quick),
+        chunk_size=1 << 9 if quick else 1 << 12,
+        stealing=stealing,
+    )
+    started = time.perf_counter()
+    result = coordinator.run(recorder=recorder)
+    elapsed = time.perf_counter() - started
+    return {
+        "backend": "elastic",
+        "mode": f"{agents}-agents-{'steal' if stealing else 'no-steal'}",
+        "agents": agents,
+        "stealing": stealing,
+        "workers": agents,  # one worker per master lane
+        "batch_size": _BATCH,
+        "tested": result.tested,
+        "elapsed": elapsed,
+        "keys_per_second": result.tested / elapsed if elapsed else 0.0,
+        "chunks": result.chunks,
+        "steals": result.steals,
+        "stolen_candidates": result.stolen_candidates,
+        "duplicates": result.duplicates,
+        "phases": _phase_totals(result.metrics),
+        "metrics": result.metrics,
+    }
+
+
+def run(quick: bool = False, workers: int | None = None) -> dict:
+    """Returns the ``BENCH_cracking.json`` payload fragment."""
+    rows = [bench_agents(agents, True, quick) for agents in _AGENTS]
+    rows.append(bench_agents(_AGENTS[-1], False, quick))
+    by_mode = {row["mode"]: row for row in rows}
+    base = by_mode["1-agents-steal"]["keys_per_second"]
+    four = by_mode["4-agents-steal"]["keys_per_second"]
+    no_steal = by_mode["4-agents-no-steal"]["keys_per_second"]
+    space = _target(quick).space_size
+    return {
+        "name": "elastic_sharding",
+        "space": space,
+        "results": rows,
+        "elastic_speedup_4_agents": four / base if base else 0.0,
+        "steal_vs_no_steal_4_agents": four / no_steal if no_steal else 0.0,
+        "all_results_identical": all(row["tested"] == space for row in rows),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="smaller keyspace")
+    args = parser.parse_args(argv)
+    payload = run(quick=args.quick)
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,7 @@ Schema (``bench-cracking/v3``)::
         "speedup_process_vs_serial": ...,
         "speedup_thread_vs_serial": ...,
         "scheduler_vs_sequential": ...,
+        "elastic_speedup_4_agents": ...,
         "overheads": {"backend_scaling": {...}, "scheduler": {...}},
         "all_results_identical": true
       }
@@ -50,6 +51,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 import bench_api
 import bench_backend_scaling
+import bench_elastic
 import bench_scheduler
 import bench_transport
 
@@ -83,6 +85,7 @@ def run_all(quick: bool = False, workers: int | None = None) -> dict:
         bench_scheduler.run(quick=quick, workers=workers),
         bench_transport.run(quick=quick, workers=workers),
         bench_api.run(quick=quick, workers=workers),
+        bench_elastic.run(quick=quick, workers=workers),
     ]
     best = max(
         (r["keys_per_second"] for b in benchmarks for r in b["results"]),
@@ -100,6 +103,7 @@ def run_all(quick: bool = False, workers: int | None = None) -> dict:
             "scheduler_vs_sequential": benchmarks[1]["scheduler_vs_sequential"],
             "tcp_vs_in_process": benchmarks[2]["tcp_vs_in_process"],
             "api_submissions_per_second": benchmarks[3]["submissions_per_second"],
+            "elastic_speedup_4_agents": benchmarks[4]["elastic_speedup_4_agents"],
             "overheads": _summary_overheads(benchmarks[0], benchmarks[1]),
             "all_results_identical": all(
                 b.get("all_results_identical", True) for b in benchmarks
@@ -167,6 +171,7 @@ def validate(document: dict) -> list[str]:
         "speedup_process_vs_serial",
         "speedup_thread_vs_serial",
         "scheduler_vs_sequential",
+        "elastic_speedup_4_agents",
     ):
         if not isinstance(summary.get(key), (int, float)):
             problems.append(f"summary.{key} must be a number")
@@ -218,6 +223,7 @@ def main(argv: list[str] | None = None) -> int:
           f"on {document['host']['cpus']} cpus")
     print(f"thread/serial   : {summary['speedup_thread_vs_serial']:.2f}x")
     print(f"scheduler/seq   : {summary['scheduler_vs_sequential']:.2f}x")
+    print(f"elastic 4-agent : {summary['elastic_speedup_4_agents']:.2f}x")
     return 0
 
 

@@ -165,6 +165,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="when every remote worker dies: 'local' finishes the remaining "
         "keyspace on this machine instead of failing the run",
     )
+    crack.add_argument(
+        "--masters",
+        type=int,
+        default=1,
+        help="shard the keyspace across N elastic masters (each owning a "
+        "contiguous shard) with inter-master work stealing",
+    )
+    crack.add_argument(
+        "--no-steal",
+        action="store_true",
+        help="disable inter-master work stealing in --masters mode",
+    )
 
     worker = sub.add_parser(
         "worker", help="run a TCP worker node serving a cluster master"
@@ -289,6 +301,26 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="repro-api-keys/v1 tenant/key config file for --listen",
+    )
+    serve.add_argument(
+        "--cluster",
+        metavar="tcp://HOST:PORT",
+        default=None,
+        help="execute every job on an elastic TCP cluster: listen on "
+        "HOST:PORT and dispatch to 'repro worker' nodes, which may "
+        "join or leave mid-run (port 0 = pick a free port)",
+    )
+    serve.add_argument(
+        "--cluster-workers",
+        type=int,
+        default=1,
+        help="wait for at least this many workers before scheduling",
+    )
+    serve.add_argument(
+        "--cluster-wait",
+        type=float,
+        default=30.0,
+        help="seconds to wait for --cluster-workers to connect",
     )
 
     def _connect_args(p):
@@ -456,6 +488,16 @@ def _cmd_crack(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.masters < 1:
+        print("error: --masters must be >= 1", file=sys.stderr)
+        return 2
+    if args.masters > 1 and (args.cluster or args.checkpoint_dir):
+        print(
+            "error: --masters is mutually exclusive with --cluster "
+            "and --checkpoint-dir",
+            file=sys.stderr,
+        )
+        return 2
     if args.tuning_file:
         from repro.tuning import TUNING_FILE_ENV
 
@@ -467,7 +509,7 @@ def _cmd_crack(args) -> int:
                 file=sys.stderr,
             )
             return 2
-        if args.cluster:
+        if args.cluster or args.masters > 1:
             from repro.apps.ntlm import NTLMTarget
 
             if args.prefix or args.suffix:
@@ -483,7 +525,9 @@ def _cmd_crack(args) -> int:
             except ValueError as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
-            return _crack_cluster(args, ntlm)
+            if args.cluster:
+                return _crack_cluster(args, ntlm)
+            return _crack_elastic(args, ntlm)
         return _crack_ntlm(args, digest)
     algorithm = HashAlgorithm(args.algorithm)
     try:
@@ -501,6 +545,8 @@ def _cmd_crack(args) -> int:
         return 2
     if args.cluster:
         return _crack_cluster(args, target)
+    if args.masters > 1:
+        return _crack_elastic(args, target)
     if args.checkpoint_dir:
         if args.adaptive:
             print(
@@ -613,12 +659,57 @@ def _crack_cluster(args, target) -> int:
     return 1
 
 
+def _crack_elastic(args, target) -> int:
+    """Run the crack across N in-process elastic masters (one shard each)."""
+    from repro.cluster.elastic import ShardCoordinator
+    from repro.cluster.runtime import AllWorkersDeadError
+
+    stealing = not args.no_steal
+    print(f"searching {target.space_size:,} candidates over {args.masters} "
+          f"master(s), {args.workers or 2} worker(s) each "
+          f"(stealing {'on' if stealing else 'off'})")
+    recorder = _make_recorder(args)
+    try:
+        coordinator = ShardCoordinator(
+            target,
+            masters=args.masters,
+            workers_per_master=args.workers or 2,
+            chunk_size=args.chunk_size,
+            stealing=stealing,
+            adaptive=args.adaptive,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        result = coordinator.run(stop_on_first=not args.all, recorder=recorder)
+    except AllWorkersDeadError as exc:
+        done = exc.progress.done_count if exc.progress is not None else 0
+        print(
+            f"error: every lane lost all its workers before completion "
+            f"({done:,} candidates covered)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"tested {result.tested:,} in {result.elapsed:.2f}s "
+          f"({result.mkeys_per_second:.2f} Mkeys/s, {result.chunks} chunks, "
+          f"{result.steals} steals, {result.stolen_candidates:,} candidates "
+          f"restolen, {result.duplicates:,} duplicate replies)")
+    _emit_metrics(args, result.metrics)
+    if result.found:
+        for index, key in result.found:
+            print(f"FOUND: {key!r} (id {index})")
+        return 0
+    print("no preimage in the window")
+    return 1
+
+
 def _cmd_worker(args) -> int:
     import os
     import socket as socket_mod
 
     from repro.cluster.chaos import ChaosConfig
-    from repro.cluster.transport import WorkerClient, parse_address
+    from repro.cluster.transport import EvictedError, WorkerClient, parse_address
 
     try:
         host, port = parse_address(args.connect)
@@ -651,6 +742,14 @@ def _cmd_worker(args) -> int:
     except KeyboardInterrupt:  # pragma: no cover - interactive path
         client.stop()
         stats = client.stats
+    except EvictedError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        stats = client.stats
+        print(
+            f"worker {name!r} evicted after {stats.chunks} chunks, "
+            f"{stats.tested:,} tested"
+        )
+        return 1
     print(
         f"worker {name!r} done: {stats.chunks} chunks, {stats.tested:,} tested, "
         f"{stats.cancelled} cancelled, {stats.reconnects} reconnects"
@@ -839,15 +938,54 @@ def _crack_checkpointed(args, target) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from repro.service import JobStore, serve
+    from repro.service import JobStore, Scheduler, serve
 
     if args.listen and not args.api_keys:
         print("error: --listen requires --api-keys", file=sys.stderr)
         return EXIT_USAGE
     recorder = _make_recorder(args)
+    scheduler = None
+    transport = None
+    if args.cluster:
+        from repro.cluster.elastic import ElasticBackend
+        from repro.cluster.transport import TcpMasterTransport, parse_address
+
+        try:
+            host, port = parse_address(args.cluster)
+            transport = TcpMasterTransport(host=host, port=port, recorder=recorder)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        transport.start()
+        bound_host, bound_port = transport.address
+        print(f"cluster master listening on {bound_host}:{bound_port}", flush=True)
+        if args.cluster_workers > 0 and not transport.wait_for_workers(
+            args.cluster_workers, timeout=args.cluster_wait
+        ):
+            print(
+                f"error: only {len(transport.workers())} worker(s) "
+                "connected in time",
+                file=sys.stderr,
+            )
+            transport.close()
+            return 1
+        try:
+            scheduler = Scheduler(
+                JobStore(args.store),
+                backend=ElasticBackend(transport, adaptive=True),
+                quantum=args.quantum,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_interval=args.checkpoint_interval,
+                gather_batch=args.gather_batch,
+                recorder=recorder,
+            )
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            transport.close()
+            return EXIT_USAGE
     try:
         summary = serve(
-            JobStore(args.store),
+            JobStore(args.store) if scheduler is None else scheduler.store,
             backend=args.backend,
             workers=args.workers,
             quantum=args.quantum,
@@ -858,6 +996,7 @@ def _cmd_serve(args) -> int:
             once=args.once,
             max_rounds=args.max_rounds,
             recorder=recorder,
+            scheduler=scheduler,
             listen=args.listen,
             api_keys=args.api_keys,
             on_api_start=lambda address: print(
@@ -868,6 +1007,14 @@ def _cmd_serve(args) -> int:
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
+    finally:
+        if transport is not None:
+            from repro.cluster.protocol import ControlMessage
+
+            transport.broadcast(
+                ControlMessage("shutdown", "service drained").encode()
+            )
+            transport.close()
     outcome = "drained" if summary.drained else "idle"
     print(f"serve: {summary.rounds} rounds, exited {outcome}")
     for state in sorted(summary.states):

@@ -21,7 +21,10 @@ package provides:
 * :mod:`repro.cluster.health` — heartbeat liveness, per-worker deadlines,
   reconnect backoff, and the quarantine circuit breaker;
 * :mod:`repro.cluster.chaos` — seeded fault injection (drops, delays,
-  duplicates, corruption) for both transport seams.
+  duplicates, corruption) for both transport seams;
+* :mod:`repro.cluster.elastic` — dynamic membership (join/leave/evict),
+  multi-master keyspace sharding, and inter-master work stealing
+  (see docs/ELASTICITY.md).
 """
 
 from repro.cluster.events import Simulator
@@ -39,14 +42,21 @@ from repro.cluster.local import LocalCluster, LocalCrackOutcome
 from repro.cluster.dispatch import AdaptiveDispatcher, RoundRecord, WorkerEstimate
 from repro.cluster.protocol import (
     ControlMessage,
+    EvictMessage,
     GatherMessage,
     HeartbeatMessage,
+    JoinMessage,
+    LeaveMessage,
     ScatterMessage,
+    StealGrantMessage,
+    StealRequestMessage,
+    WelcomeMessage,
     decode_any,
 )
 from repro.cluster.health import BackoffPolicy, HealthConfig, HealthMonitor
 from repro.cluster.chaos import ChaosConfig, ChaosStream, ChaosTransport
 from repro.cluster.transport import (
+    EvictedError,
     TcpMasterTransport,
     WorkerClient,
     parse_address,
@@ -55,19 +65,40 @@ from repro.cluster.runtime import (
     AllWorkersDeadError,
     DistributedMaster,
     InProcessTransport,
+    PendingQueue,
     RuntimeResult,
     WorkerConfig,
     execute_scatter,
+)
+from repro.cluster.elastic import (
+    ElasticBackend,
+    ElasticResult,
+    MemberRegistry,
+    ShardBoard,
+    ShardCoordinator,
 )
 
 __all__ = [
     "AllWorkersDeadError",
     "DistributedMaster",
     "InProcessTransport",
+    "PendingQueue",
     "RuntimeResult",
     "WorkerConfig",
     "execute_scatter",
+    "ElasticBackend",
+    "ElasticResult",
+    "MemberRegistry",
+    "ShardBoard",
+    "ShardCoordinator",
+    "EvictedError",
     "ControlMessage",
+    "EvictMessage",
+    "JoinMessage",
+    "LeaveMessage",
+    "WelcomeMessage",
+    "StealGrantMessage",
+    "StealRequestMessage",
     "BackoffPolicy",
     "HealthConfig",
     "HealthMonitor",

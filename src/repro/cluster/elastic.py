@@ -1,0 +1,691 @@
+"""Elastic cluster coordination: membership, sharding, work stealing.
+
+ROADMAP item 3: the paper's fleet is carved up once at launch, but real
+clusters breathe — workers join a live run, leave gracefully, or get
+evicted, and very large keyspaces want *several* cooperating masters
+rather than one.  This module adds the three pieces on top of the
+existing gather loop (:mod:`repro.cluster.runtime`):
+
+* :class:`MemberRegistry` — the membership ledger behind the
+  Join/Welcome/Leave/Evict messages.  Liveness stays the
+  :class:`~repro.cluster.health.HealthMonitor`'s job; the registry
+  tracks *admission*: who is in the run, who departed on purpose, and
+  who is banned.
+* :class:`ShardBoard` — exactly-once coverage for a keyspace split
+  across N contiguous shards, each with its own
+  :class:`~repro.core.progress.ProgressLog`.  Its :meth:`ShardBoard.
+  claim` is the one atomic mark-and-dedup step every master goes
+  through, so two masters racing on a stolen-then-completed span can
+  never double-count: ``subtract_interval`` under the board lock keeps
+  only the pieces nobody owned yet (first owner wins).
+* :class:`ShardCoordinator` — runs one :class:`~repro.cluster.runtime.
+  DistributedMaster` per shard and wires their pending queues into a
+  work-stealing protocol: an idle master sends a
+  :class:`~repro.cluster.protocol.StealRequestMessage`, the most-loaded
+  victim answers with a :class:`~repro.cluster.protocol.
+  StealGrantMessage` carrying ~half its pending spans (removed from its
+  queue *before* the grant is encoded, so a span is pending on at most
+  one master at any instant).
+
+Exactness argument, in one paragraph: a candidate id is counted toward
+``tested`` only when :meth:`ShardBoard.claim` returns it as novel, and
+``claim`` marks the id into exactly one shard log under one lock —
+re-marking raises in :meth:`~repro.core.progress.ProgressLog.mark_done`,
+and the subtract step filters everything already owned.  Stealing moves
+*pending* (undispatched) spans between queues, which affects who scans
+an id but never how it is accounted; duplicated, late, or replayed
+replies are deduplicated exactly like in the single-master runtime.
+:class:`ElasticBackend` adapts the whole arrangement to the
+:class:`~repro.core.backend.ExecutionBackend` interface so the job
+scheduler can target an elastic cluster like any local pool.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import cast
+
+from repro.cluster.health import HealthConfig
+from repro.cluster.protocol import (
+    StealGrantMessage,
+    StealRequestMessage,
+    decode_any,
+)
+from repro.cluster.runtime import (
+    AllWorkersDeadError,
+    DistributedMaster,
+    InProcessTransport,
+    PendingQueue,
+    WorkerConfig,
+)
+from repro.core.backend import BackendOutcome, ExecutionBackend, WorkUnitResult
+from repro.core.progress import ProgressLog
+from repro.core.results import ResultMixin
+from repro.keyspace import Interval
+from repro.keyspace.intervals import (
+    is_exact_partition,
+    merge_intervals,
+    partition_evenly,
+    subtract_interval,
+)
+from repro.obs.schema import MetricNames
+
+#: Membership states a node moves through.
+ACTIVE = "active"
+LEFT = "left"
+EVICTED = "evicted"
+
+
+@dataclass
+class MemberInfo:
+    """Everything the registry knows about one member."""
+
+    name: str
+    state: str = ACTIVE
+    joined_at: float = 0.0
+    departed_at: float = 0.0
+    rate_keys_per_s: int = 0  #: advertised throughput from the JoinMessage
+    backend: str = ""  #: advertised engine tag
+    reason: str = ""  #: why it left / was evicted
+    joins: int = 0  #: admissions, counting rejoins
+
+
+class MemberRegistry:
+    """Admission ledger of an elastic run.
+
+    Deliberately small: liveness (who is *responding*) belongs to the
+    :class:`~repro.cluster.health.HealthMonitor`; the registry answers
+    who is *allowed in*.  Eviction is terminal for the run — an evicted
+    node's joins and heartbeats are answered with a fresh
+    :class:`~repro.cluster.protocol.EvictMessage`, never re-admission.
+
+    Shared between the master's gather loop and transport receive
+    threads, so every access holds the lock.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._members: dict[str, MemberInfo] = {}
+
+    def join(
+        self, name: str, now: float = 0.0, rate: int = 0, backend: str = ""
+    ) -> bool:
+        """Admit (or re-admit) a node; returns ``True`` when the node was
+        not active before — the signal to emit a ``member.join`` event.
+        Evicted nodes are refused (returns ``False``, state unchanged)."""
+        with self._lock:
+            info = self._members.get(name)
+            if info is None:
+                info = MemberInfo(name=name)
+                self._members[name] = info
+            if info.state == EVICTED:
+                return False
+            newly = info.joins == 0 or info.state != ACTIVE
+            if newly:
+                info.joins += 1
+                info.joined_at = now
+            info.state = ACTIVE
+            if rate:
+                info.rate_keys_per_s = rate
+            if backend:
+                info.backend = backend
+            return newly
+
+    def leave(self, name: str, now: float = 0.0, reason: str = "") -> None:
+        with self._lock:
+            info = self._members.get(name)
+            if info is None or info.state == EVICTED:
+                return
+            info.state = LEFT
+            info.departed_at = now
+            info.reason = reason
+
+    def evict(self, name: str, now: float = 0.0, reason: str = "") -> None:
+        with self._lock:
+            info = self._members.get(name)
+            if info is None:
+                info = MemberInfo(name=name)
+                self._members[name] = info
+            info.state = EVICTED
+            info.departed_at = now
+            info.reason = reason
+
+    def is_active(self, name: str) -> bool:
+        with self._lock:
+            info = self._members.get(name)
+            return info is not None and info.state == ACTIVE
+
+    def is_evicted(self, name: str) -> bool:
+        with self._lock:
+            info = self._members.get(name)
+            return info is not None and info.state == EVICTED
+
+    def active(self) -> list[str]:
+        with self._lock:
+            return sorted(
+                name for name, info in self._members.items() if info.state == ACTIVE
+            )
+
+    def get(self, name: str) -> MemberInfo | None:
+        with self._lock:
+            return self._members.get(name)
+
+
+class ShardBoard:
+    """Exactly-once coverage for a keyspace sharded across N masters.
+
+    Each shard owns a contiguous span of ``[0, total)`` and its own
+    :class:`~repro.core.progress.ProgressLog` (shard *i*'s log spans
+    ``[0, shard.stop)`` with everything below ``shard.start``
+    pre-marked, so ``is_complete`` means *this shard* is covered).  All
+    marking goes through :meth:`claim`, which holds the board lock for
+    the whole subtract-then-mark step — the atomicity that makes
+    first-owner-wins dedup exact when masters race on stolen spans.
+
+    The board quacks enough like a ``ProgressLog`` (``completed``,
+    ``remaining``, ``is_complete``, ``check_invariant``) to be passed
+    as the ``progress`` ledger of every lane's
+    :meth:`~repro.cluster.runtime.DistributedMaster.run`.
+    """
+
+    def __init__(self, total: int, shards: list[Interval], on_match=None) -> None:
+        if not is_exact_partition(Interval(0, total), shards):
+            raise ValueError("shards must tile [0, total) exactly")
+        self.total = total
+        self.shards = list(shards)
+        self._lock = threading.Lock()
+        self._logs: list[ProgressLog] = []
+        for shard in self.shards:
+            log = ProgressLog(total=shard.stop)
+            if shard.start:
+                log.mark_done(Interval(0, shard.start))
+            self._logs.append(log)
+        self._on_match = on_match
+
+    # -- the one write path --------------------------------------------- #
+    def claim(self, piece: Interval, matches=()) -> list[Interval]:
+        """Atomically mark the unowned part of *piece*; returns it.
+
+        Routes each sub-span to its owning shard log.  Everything some
+        master already claimed is filtered out by ``subtract_interval``
+        under the lock, so the union of all return values over the whole
+        run tiles the space exactly — no id is ever returned twice.
+        """
+        novel_all: list[Interval] = []
+        hit = False
+        with self._lock:
+            for shard, log in zip(self.shards, self._logs):
+                if not piece.overlaps(shard):
+                    continue
+                sub = Interval(
+                    max(piece.start, shard.start), min(piece.stop, shard.stop)
+                )
+                for novel in subtract_interval(sub, log.completed):
+                    piece_matches = tuple(m for m in matches if m[0] in novel)
+                    log.mark_done(novel, piece_matches)
+                    novel_all.append(novel)
+                    hit = hit or bool(piece_matches)
+        if hit and self._on_match is not None:
+            self._on_match()
+        return novel_all
+
+    # -- ProgressLog-compatible views ----------------------------------- #
+    @property
+    def completed(self) -> list[Interval]:
+        """Globally covered spans (each shard's log clipped to its shard)."""
+        with self._lock:
+            covered = []
+            for shard, log in zip(self.shards, self._logs):
+                for iv in log.completed:
+                    lo = max(iv.start, shard.start)
+                    hi = min(iv.stop, shard.stop)
+                    if hi > lo:
+                        covered.append(Interval(lo, hi))
+            return merge_intervals(covered)
+
+    @property
+    def found(self) -> list:
+        with self._lock:
+            out = [m for log in self._logs for m in log.found]
+        out.sort()
+        return out
+
+    def remaining(self) -> list[Interval]:
+        return subtract_interval(Interval(0, self.total), self.completed)
+
+    @property
+    def done_count(self) -> int:
+        return sum(iv.size for iv in self.completed)
+
+    @property
+    def is_complete(self) -> bool:
+        with self._lock:
+            return all(log.is_complete for log in self._logs)
+
+    def check_invariant(self) -> bool:
+        """Covered + remaining must tile [0, total), globally and per shard."""
+        with self._lock:
+            per_shard = all(log.check_invariant() for log in self._logs)
+        return per_shard and is_exact_partition(
+            Interval(0, self.total), self.completed + self.remaining()
+        )
+
+    def shard_log(self, index: int) -> ProgressLog:
+        return self._logs[index]
+
+
+@dataclass
+class ElasticResult(ResultMixin):
+    """Merged outcome of a multi-master elastic run."""
+
+    found: list = field(default_factory=list)
+    tested: int = 0
+    elapsed: float = 0.0
+    backend: str = "elastic"
+    masters: int = 0
+    workers: int = 0
+    chunks: int = 0
+    steals: int = 0  #: granted steal requests (ownership moved)
+    steal_denied: int = 0  #: requests that found every queue empty
+    stolen_candidates: int = 0  #: ids whose pending ownership moved
+    duplicates: int = 0
+    members_joined: int = 0
+    members_left: int = 0
+    progress: ShardBoard | None = None
+    lanes: list = field(default_factory=list)  #: per-master RuntimeResults
+    shards: list = field(default_factory=list)  #: the contiguous partition
+    metrics: dict | None = None
+
+
+class ShardCoordinator:
+    """N cooperating masters over one keyspace, with work stealing.
+
+    Splits ``[0, space_size)`` evenly into contiguous shards, runs one
+    :class:`~repro.cluster.runtime.DistributedMaster` per shard (each
+    with its own transport and :class:`~repro.cluster.runtime.
+    PendingQueue`), and serves steal requests between them through the
+    real wire messages — requests and grants are encoded/decoded even
+    in-process, so the protocol's budget and symmetry are exercised on
+    every steal.
+
+    A lane that loses all its workers leaves its remaining spans in its
+    pending queue, where surviving lanes steal them; the run only fails
+    if the board is still incomplete once every lane has returned.
+    """
+
+    def __init__(
+        self,
+        target,
+        masters: int = 2,
+        workers_per_master: int = 2,
+        worker_configs: list[list[WorkerConfig]] | None = None,
+        chunk_size: int = 5000,
+        stealing: bool = True,
+        adaptive: bool = False,
+        health: HealthConfig | None = None,
+        name: str = "cluster",
+    ) -> None:
+        if masters < 1:
+            raise ValueError("need at least one master")
+        if worker_configs is not None and len(worker_configs) != masters:
+            raise ValueError("worker_configs must have one list per master")
+        if worker_configs is None:
+            if workers_per_master < 1:
+                raise ValueError("need at least one worker per master")
+            worker_configs = [
+                [WorkerConfig(name=f"m{i}w{j}") for j in range(workers_per_master)]
+                for i in range(masters)
+            ]
+        self.target = target
+        self.masters = masters
+        self.worker_configs = worker_configs
+        self.chunk_size = chunk_size
+        self.stealing = stealing
+        self.adaptive = adaptive
+        self.health = health if health is not None else HealthConfig()
+        self.name = name
+        self._names = [f"{name}-m{i}" for i in range(masters)]
+        self._pools: list[PendingQueue] = []
+        self._recorder = None
+        self._board: ShardBoard | None = None
+        self._lane_done: list[bool] = []
+        self._steal_lock = threading.Lock()
+        self._steals = 0
+        self._denied = 0
+        self._stolen = 0
+
+    # -- the inter-master stealing protocol ----------------------------- #
+    def _steal_for(self, thief: int) -> list[Interval] | None:
+        """One steal round on behalf of lane *thief*; returns the loot.
+
+        The request and grant travel as protocol bytes: the victim's
+        spans leave its queue *before* the grant is encoded, so no id is
+        ever pending on two masters, and a grant that would not fit the
+        <1KB budget is impossible by construction (``steal_half`` caps
+        the span count).
+
+        Tri-state return (the :meth:`~repro.cluster.runtime.
+        DistributedMaster.run` steal contract): loot, ``None`` when every
+        sibling queue is empty but a sibling lane is still running — its
+        in-flight chunks may yet fail and be requeued, so the thief must
+        keep polling instead of exiting — or ``[]`` once the cluster is
+        drained (board complete, or every other lane finished and left
+        nothing behind).
+        """
+        victim = None
+        best = 0
+        for j, pool in enumerate(self._pools):
+            if j == thief:
+                continue
+            backlog = pool.total()
+            if backlog > best:
+                victim, best = j, backlog
+        recorder = self._recorder
+        if victim is None:
+            board = self._board
+            drained = (board is not None and board.is_complete) or all(
+                done for j, done in enumerate(self._lane_done) if j != thief
+            )
+            if not drained:
+                return None  # a sibling may still requeue work: retry
+            with self._steal_lock:
+                self._denied += 1
+            if recorder is not None:
+                recorder.counter(
+                    MetricNames.STEAL_REQUESTS, thief=self._names[thief]
+                )
+                recorder.event(
+                    MetricNames.EVENT_STEAL_DENIED, thief=self._names[thief]
+                )
+            return []
+        request = cast(
+            StealRequestMessage,
+            decode_any(StealRequestMessage(thief=self._names[thief]).encode()),
+        )
+        if recorder is not None:
+            recorder.counter(MetricNames.STEAL_REQUESTS, thief=request.thief)
+        loot = self._pools[victim].steal_half()
+        grant = cast(
+            StealGrantMessage,
+            decode_any(
+                StealGrantMessage(
+                    victim=self._names[victim], intervals=tuple(loot)
+                ).encode()
+            ),
+        )
+        if not grant.intervals:
+            # The victim's queue drained between selection and the grab:
+            # not a drained cluster, just a lost race — retry.
+            with self._steal_lock:
+                self._denied += 1
+            if recorder is not None:
+                recorder.event(MetricNames.EVENT_STEAL_DENIED, thief=request.thief)
+            return None
+        moved = sum(iv.size for iv in grant.intervals)
+        with self._steal_lock:
+            self._steals += 1
+            self._stolen += moved
+        if recorder is not None:
+            recorder.counter(MetricNames.STEAL_CANDIDATES, moved)
+            recorder.event(
+                MetricNames.EVENT_STEAL_GRANTED,
+                thief=request.thief,
+                victim=grant.victim,
+                candidates=moved,
+                spans=len(grant.intervals),
+            )
+        return list(grant.intervals)
+
+    # -- the run -------------------------------------------------------- #
+    def run(self, stop_on_first: bool = False, recorder=None) -> ElasticResult:
+        started = time.perf_counter()
+        total = self.target.space_size
+        shards = partition_evenly(Interval(0, total), self.masters)
+        found_event = threading.Event()
+        board = ShardBoard(
+            total, shards, on_match=found_event.set if stop_on_first else None
+        )
+        self._pools = [PendingQueue() for _ in shards]
+        self._recorder = recorder
+        self._board = board
+        self._lane_done = [False] * self.masters
+        with self._steal_lock:
+            self._steals = 0
+            self._denied = 0
+            self._stolen = 0
+
+        results: list = [None] * self.masters
+        errors: list = [None] * self.masters
+
+        def lane(index: int) -> None:
+            transport = InProcessTransport(
+                self.worker_configs[index],
+                heartbeat_interval=self.health.heartbeat_interval,
+            )
+            master = DistributedMaster(
+                self.target,
+                transport=transport,
+                chunk_size=self.chunk_size,
+                adaptive=self.adaptive,
+                health=self.health,
+                name=self._names[index],
+            )
+            try:
+                results[index] = master.run(
+                    interval=shards[index],
+                    progress=cast(ProgressLog, board),
+                    stop_on_first=stop_on_first,
+                    recorder=recorder,
+                    pending_pool=self._pools[index],
+                    steal_source=(
+                        (lambda: self._steal_for(index)) if self.stealing else None
+                    ),
+                    preempt=found_event.is_set if stop_on_first else None,
+                )
+                if stop_on_first and results[index].found:
+                    found_event.set()
+            except AllWorkersDeadError as exc:
+                errors[index] = exc
+                results[index] = exc.partial
+            finally:
+                self._lane_done[index] = True
+                transport.close()
+
+        threads = [
+            threading.Thread(target=lane, args=(i,), name=self._names[i])
+            for i in range(self.masters)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        if not board.is_complete and not (stop_on_first and board.found):
+            raise AllWorkersDeadError(
+                "elastic run incomplete: "
+                f"{board.done_count}/{total} covered, "
+                f"{sum(1 for e in errors if e is not None)} lane(s) failed",
+                progress=board,
+                partial=None,
+            )
+
+        lanes = [r for r in results if r is not None]
+        with self._steal_lock:
+            steals, denied, stolen = self._steals, self._denied, self._stolen
+        result = ElasticResult(
+            found=board.found,
+            tested=sum(lane.tested for lane in lanes),
+            elapsed=time.perf_counter() - started,
+            masters=self.masters,
+            workers=sum(len(configs) for configs in self.worker_configs),
+            chunks=sum(lane.chunks for lane in lanes),
+            steals=steals,
+            steal_denied=denied,
+            stolen_candidates=stolen,
+            duplicates=sum(lane.duplicates for lane in lanes),
+            members_joined=sum(lane.members_joined for lane in lanes),
+            members_left=sum(lane.members_left for lane in lanes),
+            progress=board,
+            lanes=lanes,
+            shards=list(shards),
+            metrics=recorder.export() if recorder is not None else None,
+        )
+        return result
+
+
+class _LedgerRelay:
+    """A :class:`ProgressLog` proxy that reports every novel mark.
+
+    The elastic backend hands this to the master as the run's ledger;
+    each ``mark_done`` both records coverage and forwards the piece to
+    the scheduler's ``on_result`` hook as a
+    :class:`~repro.core.backend.WorkUnitResult`, so the job's own
+    durable log stays current *during* the slice (crash-safe
+    checkpoints), not just at the end.
+    """
+
+    def __init__(self, log: ProgressLog, notify) -> None:
+        self._log = log
+        self._notify = notify
+
+    def mark_done(self, piece: Interval, matches=()) -> None:
+        self._log.mark_done(piece, matches)
+        self._notify(piece, matches)
+
+    @property
+    def completed(self) -> list[Interval]:
+        return self._log.completed
+
+    @property
+    def found(self) -> list:
+        return self._log.found
+
+    @property
+    def is_complete(self) -> bool:
+        return self._log.is_complete
+
+    @property
+    def done_count(self) -> int:
+        return self._log.done_count
+
+    def remaining(self) -> list[Interval]:
+        return self._log.remaining()
+
+    def check_invariant(self) -> bool:
+        return self._log.check_invariant()
+
+
+class ElasticBackend(ExecutionBackend):
+    """The job scheduler's window onto an elastic cluster.
+
+    Wraps a started master transport (TCP or in-process) in the
+    :class:`~repro.core.backend.ExecutionBackend` contract: the
+    scheduler keeps its DRR slicing, cooperative preemption, and
+    durable per-chunk checkpointing, while execution happens on
+    whatever workers are currently members — including ones that join
+    mid-slice.  The transport is caller-owned in spirit but closed by
+    :meth:`close` (the scheduler's shutdown path).
+    """
+
+    name = "elastic"
+
+    def __init__(
+        self,
+        transport,
+        chunk_size: int = 5000,
+        adaptive: bool = True,
+        health: HealthConfig | None = None,
+        master_name: str = "service-master",
+    ) -> None:
+        self.transport = transport
+        self.chunk_size = chunk_size
+        self.adaptive = adaptive
+        self.health = health if health is not None else HealthConfig()
+        self.master_name = master_name
+
+    @property
+    def workers(self) -> int:
+        return max(1, len(self.transport.workers()))
+
+    def run(
+        self,
+        target,
+        intervals,
+        batch_size: int = 1 << 12,
+        stop_on_first: bool = False,
+        recorder=None,
+        preempt=None,
+        on_result=None,
+        gather_batch=None,
+    ) -> BackendOutcome:
+        started = time.perf_counter()
+        chunks = [iv for iv in intervals if iv]
+        outcome = BackendOutcome(backend=self.name, workers=self.workers)
+        if not chunks:
+            outcome.elapsed = time.perf_counter() - started
+            return outcome
+        hull = Interval(
+            min(c.start for c in chunks), max(c.stop for c in chunks)
+        )
+        log = ProgressLog(total=hull.stop)
+        # Holes between the requested chunks are outside this slice:
+        # pre-mark them (before the relay is attached) so the master
+        # never dispatches them and the relay never reports them.
+        for hole in subtract_interval(hull, chunks):
+            log.mark_done(hole)
+
+        def notify(piece: Interval, matches) -> None:
+            if on_result is None:
+                return
+            on_result(
+                WorkUnitResult(
+                    interval=piece,
+                    matches=list(matches),
+                    tested=piece.size,
+                    batches=1,
+                    elapsed=0.0,
+                    worker=self.master_name,
+                )
+            )
+
+        ledger = _LedgerRelay(log, notify)
+        master = DistributedMaster(
+            target,
+            transport=self.transport,
+            chunk_size=min(self.chunk_size, max(c.size for c in chunks)),
+            adaptive=self.adaptive,
+            health=self.health,
+            name=self.master_name,
+        )
+        try:
+            result = master.run(
+                interval=hull,
+                progress=cast(ProgressLog, ledger),
+                stop_on_first=stop_on_first,
+                recorder=recorder,
+                preempt=preempt,
+            )
+        except AllWorkersDeadError as exc:
+            # The scheduler's own log was kept current by the relay; its
+            # ledger — not this slice-local hull log with pre-marked
+            # holes — is the one to checkpoint.
+            exc.progress = None
+            exc.partial = None
+            raise
+        covered = log.completed
+        outcome.found = sorted(result.found)
+        outcome.tested = result.tested
+        outcome.chunks = result.chunks
+        outcome.batches = result.chunks
+        outcome.spans = result.chunks
+        outcome.elapsed = time.perf_counter() - started
+        outcome.unfinished = [
+            part for c in chunks for part in subtract_interval(c, covered)
+        ]
+        outcome.metrics = result.metrics
+        return outcome
+
+    def close(self) -> None:
+        self.transport.close()

@@ -69,6 +69,12 @@ class HealthConfig:
     #: Drain window after ``stop_on_first`` fires: how long the master
     #: waits for cancelled workers' partial replies before returning.
     cancel_grace: float = 1.0
+    #: Deaths before the master revokes membership entirely (sends an
+    #: :class:`~repro.cluster.protocol.EvictMessage` and refuses
+    #: re-admission for the rest of the run).  ``0`` disables eviction —
+    #: the legacy behaviour, where a flapping worker cycles through
+    #: quarantine forever.
+    evict_after_deaths: int = 0
 
     def __post_init__(self) -> None:
         if self.heartbeat_interval <= 0:
@@ -89,6 +95,8 @@ class HealthConfig:
             raise ValueError("speculation_slack must be >= 1")
         if self.cancel_grace < 0:
             raise ValueError("cancel_grace must be non-negative")
+        if self.evict_after_deaths < 0:
+            raise ValueError("evict_after_deaths must be non-negative")
 
     @property
     def heartbeat_timeout(self) -> float:
@@ -286,6 +294,18 @@ class HealthMonitor:
                     continue  # benched *and* silent: nothing to probe
                 out.append(entry.name)
         return sorted(out)
+
+    def forget(self, name: str) -> None:
+        """Drop a node from liveness tracking entirely.
+
+        Used for *planned* departures — a graceful leave or a master
+        eviction — where the node must stop counting toward the
+        "anyone recoverable?" test that decides whether the run has
+        failed.  Unlike a death, a forgotten node keeps no failure
+        history: if it is later re-admitted it starts clean.
+        """
+        with self._lock:
+            self._workers.pop(name, None)
 
     def probe_started(self, name: str) -> None:
         with self._lock:

@@ -28,6 +28,12 @@ _MAGIC_SCATTER = b"XKS\x01"
 _MAGIC_GATHER = b"XKS\x02"
 _MAGIC_HEARTBEAT = b"XKS\x03"
 _MAGIC_CONTROL = b"XKS\x04"
+_MAGIC_JOIN = b"XKS\x05"
+_MAGIC_WELCOME = b"XKS\x06"
+_MAGIC_LEAVE = b"XKS\x07"
+_MAGIC_EVICT = b"XKS\x08"
+_MAGIC_STEAL_REQUEST = b"XKS\x09"
+_MAGIC_STEAL_GRANT = b"XKS\x0a"
 
 _ID_BYTES = 16  # 128-bit candidate ids
 
@@ -254,6 +260,243 @@ class ControlMessage:
         return cls(command, reason)
 
 
+@dataclass(frozen=True)
+class JoinMessage:
+    """Worker -> master: request membership in a (possibly live) run.
+
+    Sent as the very first frame of a connection.  Unlike a bare
+    heartbeat — which merely proves liveness — a join carries the
+    worker's advertised capabilities so the master can seed its
+    weight estimate before the first gather arrives, and it is the
+    explicit trigger for a :class:`WelcomeMessage` plus an immediate
+    dispatch from the pending queue (elastic scale-out, ROADMAP 3).
+    """
+
+    node: str
+    rate_keys_per_s: int = 0  #: advertised throughput hint; 0 = unknown
+    backend: str = ""  #: informational engine tag ("serial", "process", ...)
+
+    def encode(self) -> bytes:
+        node_b = self.node.encode("latin-1")
+        backend_b = self.backend.encode("latin-1")
+        out = (
+            _MAGIC_JOIN
+            + struct.pack("!BQB", len(node_b), self.rate_keys_per_s, len(backend_b))
+            + node_b
+            + backend_b
+        )
+        if len(out) > MESSAGE_BUDGET:
+            raise ValueError("join message breaks the <1KB budget")
+        return out
+
+    @classmethod
+    def decode(cls, data: bytes) -> "JoinMessage":
+        if data[:4] != _MAGIC_JOIN:
+            raise ValueError("not a join message")
+        nlen, rate, blen = struct.unpack_from("!BQB", data, 4)
+        pos = 14
+        node = _take(data, pos, nlen, "node name").decode("latin-1"); pos += nlen
+        backend = _take(data, pos, blen, "backend tag").decode("latin-1")
+        return cls(node, rate, backend)
+
+
+@dataclass(frozen=True)
+class WelcomeMessage:
+    """Master -> worker: membership acknowledged.
+
+    Tells the new arrival who admitted it and how many members the
+    registry currently holds — enough for the worker to log a useful
+    join line and for tests to assert the registry's view made it to
+    the other end of the wire.
+    """
+
+    master: str
+    members: int  #: active members including the new arrival
+
+    def encode(self) -> bytes:
+        master_b = self.master.encode("latin-1")
+        out = (
+            _MAGIC_WELCOME
+            + struct.pack("!BI", len(master_b), self.members)
+            + master_b
+        )
+        if len(out) > MESSAGE_BUDGET:
+            raise ValueError("welcome message breaks the <1KB budget")
+        return out
+
+    @classmethod
+    def decode(cls, data: bytes) -> "WelcomeMessage":
+        if data[:4] != _MAGIC_WELCOME:
+            raise ValueError("not a welcome message")
+        mlen, members = struct.unpack_from("!BI", data, 4)
+        master = _take(data, 9, mlen, "master name").decode("latin-1")
+        return cls(master, members)
+
+
+@dataclass(frozen=True)
+class LeaveMessage:
+    """Worker -> master: graceful departure.
+
+    A leaving worker's outstanding chunk is requeued without the
+    failure accounting a crash would incur — departure is a planned
+    event, not a fault, so it must not push the node toward
+    quarantine/eviction thresholds if it later rejoins.
+    """
+
+    node: str
+    reason: str = ""
+
+    def encode(self) -> bytes:
+        node_b = self.node.encode("latin-1")
+        reason_b = self.reason.encode("latin-1")
+        out = (
+            _MAGIC_LEAVE
+            + struct.pack("!BB", len(node_b), len(reason_b))
+            + node_b
+            + reason_b
+        )
+        if len(out) > MESSAGE_BUDGET:
+            raise ValueError("leave message breaks the <1KB budget")
+        return out
+
+    @classmethod
+    def decode(cls, data: bytes) -> "LeaveMessage":
+        if data[:4] != _MAGIC_LEAVE:
+            raise ValueError("not a leave message")
+        nlen, rlen = struct.unpack_from("!BB", data, 4)
+        pos = 6
+        node = _take(data, pos, nlen, "node name").decode("latin-1"); pos += nlen
+        reason = _take(data, pos, rlen, "leave reason").decode("latin-1")
+        return cls(node, reason)
+
+
+@dataclass(frozen=True)
+class EvictMessage:
+    """Master -> worker: membership revoked for this run.
+
+    Terminal for the connection *and* for the reconnect loop: a
+    worker that receives this must stop retrying (the registry will
+    refuse it anyway) and surface a typed error to its operator
+    instead of spinning on the backoff policy forever.
+    """
+
+    node: str
+    reason: str = ""
+
+    def encode(self) -> bytes:
+        node_b = self.node.encode("latin-1")
+        reason_b = self.reason.encode("latin-1")
+        out = (
+            _MAGIC_EVICT
+            + struct.pack("!BB", len(node_b), len(reason_b))
+            + node_b
+            + reason_b
+        )
+        if len(out) > MESSAGE_BUDGET:
+            raise ValueError("evict message breaks the <1KB budget")
+        return out
+
+    @classmethod
+    def decode(cls, data: bytes) -> "EvictMessage":
+        if data[:4] != _MAGIC_EVICT:
+            raise ValueError("not an evict message")
+        nlen, rlen = struct.unpack_from("!BB", data, 4)
+        pos = 6
+        node = _take(data, pos, nlen, "node name").decode("latin-1"); pos += nlen
+        reason = _take(data, pos, rlen, "evict reason").decode("latin-1")
+        return cls(node, reason)
+
+
+#: A steal grant must fit the same <1KB budget as every other message:
+#: each interval is two 128-bit ids, so 24 spans (768 bytes of ids plus
+#: the header) is the most one grant can carry.
+STEAL_GRANT_MAX_INTERVALS = 24
+
+
+@dataclass(frozen=True)
+class StealRequestMessage:
+    """Thief master -> victim master: ask for pending work.
+
+    ``budget`` caps how many ids the thief wants (0 = "half of
+    whatever you have", the classic work-stealing split).
+    """
+
+    thief: str
+    budget: int = 0
+
+    def encode(self) -> bytes:
+        thief_b = self.thief.encode("latin-1")
+        out = (
+            _MAGIC_STEAL_REQUEST
+            + struct.pack("!B", len(thief_b))
+            + _pack_id(self.budget)
+            + thief_b
+        )
+        if len(out) > MESSAGE_BUDGET:
+            raise ValueError("steal request breaks the <1KB budget")
+        return out
+
+    @classmethod
+    def decode(cls, data: bytes) -> "StealRequestMessage":
+        if data[:4] != _MAGIC_STEAL_REQUEST:
+            raise ValueError("not a steal request")
+        (tlen,) = struct.unpack_from("!B", data, 4)
+        pos = 5
+        budget = _unpack_id(_take(data, pos, _ID_BYTES, "steal budget"))
+        pos += _ID_BYTES
+        thief = _take(data, pos, tlen, "thief name").decode("latin-1")
+        return cls(thief, budget)
+
+
+@dataclass(frozen=True)
+class StealGrantMessage:
+    """Victim master -> thief master: ownership of these spans moves.
+
+    The victim removes the spans from its own pending queue *before*
+    encoding the grant, so at any instant each id is pending on at
+    most one master; completed replies that race the transfer are
+    deduplicated by ``subtract_interval`` against the shard board
+    (first owner wins).  An empty grant is a valid "nothing to steal".
+    """
+
+    victim: str
+    intervals: tuple = field(default_factory=tuple)  #: (Interval, ...)
+
+    def encode(self) -> bytes:
+        if len(self.intervals) > STEAL_GRANT_MAX_INTERVALS:
+            raise ValueError(
+                f"steal grant of {len(self.intervals)} intervals exceeds "
+                f"the {STEAL_GRANT_MAX_INTERVALS}-span budget"
+            )
+        victim_b = self.victim.encode("latin-1")
+        parts = [
+            _MAGIC_STEAL_GRANT,
+            struct.pack("!BB", len(victim_b), len(self.intervals)),
+            victim_b,
+        ]
+        for span in self.intervals:
+            parts.append(_pack_id(span.start))
+            parts.append(_pack_id(span.stop))
+        out = b"".join(parts)
+        if len(out) > MESSAGE_BUDGET:
+            raise ValueError("steal grant breaks the <1KB budget")
+        return out
+
+    @classmethod
+    def decode(cls, data: bytes) -> "StealGrantMessage":
+        if data[:4] != _MAGIC_STEAL_GRANT:
+            raise ValueError("not a steal grant")
+        vlen, n = struct.unpack_from("!BB", data, 4)
+        pos = 6
+        victim = _take(data, pos, vlen, "victim name").decode("latin-1"); pos += vlen
+        intervals = []
+        for _ in range(n):
+            start = _unpack_id(_take(data, pos, _ID_BYTES, "span start")); pos += _ID_BYTES
+            stop = _unpack_id(_take(data, pos, _ID_BYTES, "span stop")); pos += _ID_BYTES
+            intervals.append(Interval(start, stop))
+        return cls(victim, tuple(intervals))
+
+
 def decode_any(data: bytes):
     """Dispatch on the magic header.
 
@@ -267,6 +510,12 @@ def decode_any(data: bytes):
         _MAGIC_GATHER: GatherMessage.decode,
         _MAGIC_HEARTBEAT: HeartbeatMessage.decode,
         _MAGIC_CONTROL: ControlMessage.decode,
+        _MAGIC_JOIN: JoinMessage.decode,
+        _MAGIC_WELCOME: WelcomeMessage.decode,
+        _MAGIC_LEAVE: LeaveMessage.decode,
+        _MAGIC_EVICT: EvictMessage.decode,
+        _MAGIC_STEAL_REQUEST: StealRequestMessage.decode,
+        _MAGIC_STEAL_GRANT: StealGrantMessage.decode,
     }
     if magic not in decoders:
         raise ValueError(f"unknown message magic {magic!r}")

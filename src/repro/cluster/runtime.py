@@ -39,10 +39,15 @@ from dataclasses import dataclass, field
 from repro.apps.cracking import CrackTarget
 from repro.cluster.health import ALIVE, PROBING, QUARANTINED, HealthConfig, HealthMonitor
 from repro.cluster.protocol import (
+    STEAL_GRANT_MAX_INTERVALS,
     ControlMessage,
+    EvictMessage,
     GatherMessage,
     HeartbeatMessage,
+    JoinMessage,
+    LeaveMessage,
     ScatterMessage,
+    WelcomeMessage,
     decode_any,
 )
 from repro.core.backend import resolve_backend
@@ -151,6 +156,103 @@ def execute_scatter(
             )
         )
     return replies, tested, elapsed
+
+
+class PendingQueue:
+    """Thread-safe pool of not-yet-dispatched intervals — the unit of
+    work stealing.
+
+    The owning master dispatches from the *head*; a thief steals from
+    the *tail* (:meth:`steal_half`), so the two ends never contend for
+    the same span.  Every mutation holds the lock: the queue is shared
+    between a lane's gather loop and the coordinator thread serving a
+    sibling's :class:`~repro.cluster.protocol.StealRequestMessage`, and
+    a span must never be visible in two queues at once (the grant is
+    encoded only after the spans left this pool).
+    """
+
+    def __init__(self, intervals=()) -> None:
+        self._lock = threading.Lock()
+        self._items: list[Interval] = [iv for iv in intervals if iv]
+
+    def __bool__(self) -> bool:
+        with self._lock:
+            return bool(self._items)
+
+    def total(self) -> int:
+        """Pending candidate ids (the victim-selection heuristic)."""
+        with self._lock:
+            return sum(iv.size for iv in self._items)
+
+    def snapshot(self) -> list[Interval]:
+        with self._lock:
+            return list(self._items)
+
+    def seed(self, intervals) -> None:
+        with self._lock:
+            self._items.extend(iv for iv in intervals if iv)
+
+    def push_front(self, intervals) -> None:
+        """Requeue spans at the head (hot work: failures, steal loot)."""
+        with self._lock:
+            self._items[:0] = [iv for iv in intervals if iv]
+
+    def take(self, size: int) -> Interval | None:
+        """Pop up to *size* ids off the head; ``None`` when empty."""
+        with self._lock:
+            while self._items:
+                head = self._items[0]
+                chunk, rest = head.take(size)
+                if rest:
+                    self._items[0] = rest
+                else:
+                    self._items.pop(0)
+                if chunk:
+                    return chunk
+            return None
+
+    def subtract(self, piece: Interval) -> None:
+        """Drop every id of *piece* wherever it appears in the queue."""
+        with self._lock:
+            self._items[:] = [
+                part for iv in self._items for part in subtract_interval(iv, [piece])
+            ]
+
+    def drain(self) -> list[Interval]:
+        with self._lock:
+            items = self._items
+            self._items = []
+            return items
+
+    def steal_half(
+        self, max_intervals: int = STEAL_GRANT_MAX_INTERVALS
+    ) -> list[Interval]:
+        """Remove and return ~half the pending ids, tail first.
+
+        The spans are gone from this queue before the caller sees them,
+        so at any instant each id is pending on at most one master —
+        the first-owner-wins half of the stealing exactness argument
+        (the other half is ``subtract_interval`` dedup on the board).
+        """
+        with self._lock:
+            total = sum(iv.size for iv in self._items)
+            if total == 0:
+                return []
+            budget = (total + 1) // 2
+            stolen: list[Interval] = []
+            got = 0
+            while self._items and got < budget and len(stolen) < max_intervals:
+                tail = self._items[-1]
+                need = budget - got
+                if tail.size <= need:
+                    stolen.append(self._items.pop())
+                    got += tail.size
+                else:
+                    self._items[-1] = Interval(tail.start, tail.stop - need)
+                    stolen.append(Interval(tail.stop - need, tail.stop))
+                    got += need
+            stolen.reverse()
+            return stolen
 
 
 class _Worker(threading.Thread):
@@ -273,6 +375,7 @@ class InProcessTransport:
         if len(set(names)) != len(names):
             raise ValueError("duplicate worker names")
         self._inbound: queue.Queue = queue.Queue()
+        self._heartbeat_interval = heartbeat_interval
         self._workers = {
             cfg.name: _Worker(cfg, self._inbound, heartbeat_interval)
             for cfg in configs
@@ -285,6 +388,20 @@ class InProcessTransport:
             for worker in self._workers.values():
                 worker.start()
         return self
+
+    def add_worker(self, config: WorkerConfig) -> None:
+        """Admit a new worker into a (possibly live) run — elastic join.
+
+        The worker's first heartbeat registers it with the master's
+        liveness layer, which immediately hands it a chunk from the
+        pending queue; nothing else needs to know it is new.
+        """
+        if config.name in self._workers:
+            raise ValueError(f"duplicate worker name {config.name!r}")
+        worker = _Worker(config, self._inbound, self._heartbeat_interval)
+        self._workers[config.name] = worker
+        if self._started:
+            worker.start()
 
     def poll(self, timeout: float):
         try:
@@ -363,6 +480,13 @@ class RuntimeResult(ResultMixin):
     corrupt_payloads: int = 0  #: undecodable inbound payloads dropped
     quarantined: list = field(default_factory=list)  #: circuit-broken workers
     fallback_used: bool = False  #: remaining gaps were finished locally
+    # -- elastic membership / work stealing ------------------------------ #
+    members_joined: int = 0  #: explicit JoinMessages admitted
+    members_left: int = 0  #: graceful LeaveMessage departures
+    evicted: list = field(default_factory=list)  #: membership revocations
+    steals: int = 0  #: successful steals from sibling masters
+    stolen_candidates: int = 0  #: ids whose ownership moved here
+    preempted: bool = False  #: the run was cut short by ``preempt``
 
 
 class DistributedMaster:
@@ -388,6 +512,8 @@ class DistributedMaster:
         health: HealthConfig | None = None,
         fallback: str | None = None,
         clock=time.monotonic,
+        name: str = "master",
+        membership=None,
     ) -> None:
         if transport is None and not workers:
             raise ValueError("need at least one worker")
@@ -412,6 +538,12 @@ class DistributedMaster:
         self.health = health if health is not None else HealthConfig()
         self.fallback = fallback
         self.clock = clock
+        #: This master's identity on the wire (WelcomeMessage.master and
+        #: the thief/victim names of the stealing protocol).
+        self.name = name
+        #: A :class:`~repro.cluster.elastic.MemberRegistry`; built per
+        #: run when not supplied, so membership events always flow.
+        self.membership = membership
 
     # ------------------------------------------------------------------ #
     def run(
@@ -422,6 +554,9 @@ class DistributedMaster:
         recorder=None,
         checkpoint=None,
         checkpoint_every: int = 8,
+        preempt=None,
+        pending_pool: PendingQueue | None = None,
+        steal_source=None,
     ) -> RuntimeResult:
         """Execute the search; returns the gathered matches and accounting.
 
@@ -441,6 +576,19 @@ class DistributedMaster:
         worker is recoverable and keyspace remains — unless the master
         was built with ``fallback="local"``, in which case the remaining
         gaps are finished on a local serial backend.
+
+        Elastic hooks: ``preempt`` (a callable) cuts the run short at
+        the next loop tick — outstanding chunks are cancelled, the drain
+        window collected, and ``result.preempted`` set; ``pending_pool``
+        substitutes a shared :class:`PendingQueue` so a coordinator can
+        steal from this master while it runs; ``steal_source`` (a
+        callable returning intervals) is consulted whenever the local
+        pool runs dry — non-empty loot extends the run's domain instead
+        of ending it.  ``progress`` may be any ledger exposing the
+        :class:`~repro.core.progress.ProgressLog` surface; one with a
+        ``claim(piece, matches)`` method (the shard board) gets
+        atomic first-owner-wins marking instead of the two-step
+        subtract-then-mark.
         """
         if checkpoint_every <= 0:
             raise ValueError("checkpoint_every must be positive")
@@ -464,13 +612,27 @@ class DistributedMaster:
         )
         transport.start()
 
-        pending: list[Interval] = []
+        membership = self.membership
+        if membership is None:
+            from repro.cluster.elastic import MemberRegistry
+
+            membership = MemberRegistry()
+        #: Atomic mark-and-dedup when the ledger is a shard board; the
+        #: plain ProgressLog path keeps the legacy two-step below.
+        claim = getattr(log, "claim", None)
+
+        seed: list[Interval] = []
         for gap in log.remaining():
             if not gap.overlaps(interval):
                 continue
             clipped = Interval(max(gap.start, interval.start), min(gap.stop, interval.stop))
             if clipped:
-                pending.append(clipped)
+                seed.append(clipped)
+        pending = pending_pool if pending_pool is not None else PendingQueue()
+        pending.seed(seed)
+        #: The id range replies may legitimately cover — starts as the
+        #: requested interval, grows with every stolen span.
+        domain = [interval.start, interval.stop]
 
         outstanding: dict[str, _Dispatch] = {}
         #: chunk (start, stop) -> the workers currently scanning it; more
@@ -510,21 +672,34 @@ class DistributedMaster:
             return size
 
         def next_chunk(size: int) -> Interval | None:
-            while pending:
-                head = pending[0]
-                chunk, rest = head.take(size)
-                if rest:
-                    pending[0] = rest
-                else:
-                    pending.pop(0)
-                if chunk:
-                    return chunk
-            return None
+            return pending.take(size)
 
         def remove_from_pending(piece: Interval) -> None:
-            pending[:] = [
-                part for iv in pending for part in subtract_interval(iv, [piece])
-            ]
+            pending.subtract(piece)
+
+        def try_steal(now: float) -> bool:
+            """Ask the coordinator for a sibling's pending spans.
+
+            The source speaks a tri-state: a list of spans (loot), ``[]``
+            (the whole cluster is drained — exiting is safe), or ``None``
+            (nothing stealable *yet*, but a sibling still has work in
+            flight that may be requeued — stay in the gather loop and
+            ask again next tick).
+            """
+            if steal_source is None or stopping:
+                return False
+            loot = steal_source()
+            if loot is None:
+                return True
+            if not loot:
+                return False
+            pending.push_front(loot)
+            for span in loot:
+                domain[0] = min(domain[0], span.start)
+                domain[1] = max(domain[1], span.stop)
+            result.steals += 1
+            result.stolen_candidates += sum(span.size for span in loot)
+            return True
 
         def scatter_for(chunk: Interval) -> ScatterMessage:
             return ScatterMessage(
@@ -597,8 +772,7 @@ class DistributedMaster:
                     # whatever of it is not already covered.
                     inflight.pop(key, None)
                     requeue = subtract_interval(chunk, log.completed)
-                    for piece in reversed(requeue):
-                        pending.insert(0, piece)
+                    pending.push_front(requeue)
                     requeued = sum(p.size for p in requeue)
                     if requeued:
                         result.requeued += requeued
@@ -612,13 +786,29 @@ class DistributedMaster:
                             )
             if state_after == QUARANTINED:
                 note_quarantined(worker)
+            threshold = self.health.evict_after_deaths
+            if threshold and membership.is_active(worker):
+                info = health.get(worker)
+                if info is not None and info.deaths >= threshold:
+                    evict_worker(worker, now, f"{info.deaths} deaths")
 
-        def begin_stop(now: float) -> None:
+        def evict_worker(worker: str, now: float, reason: str) -> None:
+            """Revoke membership: terminal for this run, never re-admitted."""
+            membership.evict(worker, now, reason)
+            health.forget(worker)
+            transport.send(worker, EvictMessage(node=worker, reason=reason).encode())
+            result.evicted.append(worker)
+            if recorder is not None:
+                recorder.event(
+                    MetricNames.EVENT_MEMBER_EVICTED, worker=worker, reason=reason
+                )
+
+        def begin_stop(now: float, reason: str = "stop_on_first") -> None:
             nonlocal stopping, stop_deadline
             stopping = True
             stop_deadline = now + self.health.cancel_grace
             if outstanding:
-                raw = ControlMessage("cancel", "stop_on_first").encode()
+                raw = ControlMessage("cancel", reason).encode()
                 for worker in list(outstanding):
                     transport.send(worker, raw)
                     result.cancels_sent += 1
@@ -626,10 +816,19 @@ class DistributedMaster:
                         recorder.event(
                             MetricNames.EVENT_CANCEL_SENT,
                             worker=worker,
-                            reason="stop_on_first",
+                            reason=reason,
                         )
 
         def handle_heartbeat(name: str, rate: int, now: float) -> None:
+            if membership.is_evicted(name):
+                # Membership revocations are terminal for the run: any
+                # proof of life from an evicted node is answered with a
+                # (re-)evict instead of re-admission.
+                transport.send(
+                    name, EvictMessage(node=name, reason="membership revoked").encode()
+                )
+                return
+            membership.join(name, now)
             transition = health.heartbeat(name, now)
             result.heartbeats += 1
             if recorder is not None:
@@ -650,6 +849,61 @@ class DistributedMaster:
                 dispatch(name)
             elif transition == "quarantined":
                 note_quarantined(name)
+
+        def handle_join(name: str, msg: JoinMessage, now: float) -> None:
+            """Admit (or refuse) an explicit membership request."""
+            if membership.is_evicted(name):
+                transport.send(
+                    name, EvictMessage(node=name, reason="membership revoked").encode()
+                )
+                return
+            newly = membership.join(
+                name, now, rate=msg.rate_keys_per_s, backend=msg.backend
+            )
+            if newly:
+                result.members_joined += 1
+                if recorder is not None:
+                    recorder.event(
+                        MetricNames.EVENT_MEMBER_JOINED,
+                        worker=name,
+                        backend=msg.backend,
+                        rate=msg.rate_keys_per_s,
+                    )
+            handle_heartbeat(name, msg.rate_keys_per_s, now)
+            welcome = WelcomeMessage(
+                master=self.name, members=len(membership.active())
+            )
+            transport.send(name, welcome.encode())
+            if (
+                not stopping
+                and name not in outstanding
+                and health.dispatchable(name)
+            ):
+                # A rejoining member whose heartbeat caused no transition
+                # still deserves work right away.
+                dispatch(name)
+
+        def handle_leave(name: str, msg: LeaveMessage, now: float) -> None:
+            """Graceful departure: requeue without failure accounting."""
+            was_active = membership.is_active(name)
+            membership.leave(name, now, msg.reason)
+            parted = outstanding.pop(name, None)
+            if parted is not None:
+                key = (parted.chunk.start, parted.chunk.stop)
+                holders = inflight.get(key, set())
+                holders.discard(name)
+                if not holders:
+                    inflight.pop(key, None)
+                    requeue = subtract_interval(parted.chunk, log.completed)
+                    pending.push_front(requeue)
+                    result.requeued += sum(p.size for p in requeue)
+            health.forget(name)
+            if was_active:
+                result.members_left += 1
+                if recorder is not None:
+                    recorder.event(
+                        MetricNames.EVENT_MEMBER_LEFT, worker=name, reason=msg.reason
+                    )
 
         def handle_reply(name: str, reply: GatherMessage, now: float) -> None:
             dispatched = outstanding.get(name)
@@ -674,19 +928,26 @@ class DistributedMaster:
                         stop=reply.interval.stop,
                     )
                 handle_heartbeat(name, 0, now)
-            lo = max(reply.interval.start, interval.start)
-            hi = min(reply.interval.stop, interval.stop)
+            lo = max(reply.interval.start, domain[0])
+            hi = min(reply.interval.stop, domain[1])
             covered_part = Interval(lo, hi) if hi > lo else None
-            novel = (
-                subtract_interval(covered_part, log.completed) if covered_part else []
-            )
+            if covered_part is None:
+                novel = []
+            elif claim is not None:
+                # The shard board marks and dedups under one lock —
+                # first owner wins even when sibling masters race on a
+                # stolen-then-completed span.
+                novel = claim(covered_part, reply.matches)
+            else:
+                novel = subtract_interval(covered_part, log.completed)
             if covered_part is not None and not novel:
                 result.duplicates += 1
                 if recorder is not None:
                     recorder.counter(MetricNames.CLUSTER_DUPLICATES)
             for piece in novel:
                 piece_matches = tuple(m for m in reply.matches if m[0] in piece)
-                log.mark_done(piece, piece_matches)
+                if claim is None:
+                    log.mark_done(piece, piece_matches)
                 result.found.extend(piece_matches)
                 result.tested += piece.size
                 remove_from_pending(piece)
@@ -756,8 +1017,7 @@ class DistributedMaster:
                         for piece in leftover
                         for part in subtract_interval(piece, [other_dispatch.chunk])
                     ]
-                for piece in reversed(leftover):
-                    pending.insert(0, piece)
+                pending.push_front(leftover)
             if (
                 checkpoint is not None
                 and reply.interval
@@ -808,8 +1068,7 @@ class DistributedMaster:
         def run_local_fallback() -> None:
             """Graceful degradation: finish the remaining gaps in-process."""
             result.fallback_used = True
-            gaps = merge_intervals(pending)
-            pending.clear()
+            gaps = merge_intervals(pending.drain())
             if recorder is not None:
                 recorder.event(
                     MetricNames.EVENT_FALLBACK_LOCAL,
@@ -863,11 +1122,24 @@ class DistributedMaster:
                         backend="distributed",
                         worker=name,
                     )
+                recorder.gauge(
+                    MetricNames.MEMBER_COUNT,
+                    float(len(membership.active())),
+                    master=self.name,
+                )
                 result.metrics = recorder.export()
 
         try:
             now = clock()
             for name in transport.workers():
+                membership.join(name, now)
+                if membership.is_evicted(name):
+                    # Banned before the run started: notify, never dispatch.
+                    transport.send(
+                        name,
+                        EvictMessage(node=name, reason="membership revoked").encode(),
+                    )
+                    continue
                 health.register(name, now)
                 if recorder is not None:
                     recorder.event(MetricNames.EVENT_WORKER_CONNECTED, worker=name)
@@ -878,7 +1150,8 @@ class DistributedMaster:
                     if not outstanding or now >= stop_deadline:
                         break
                 elif not pending and not outstanding:
-                    break
+                    if not try_steal(now):
+                        break
                 item = transport.poll(tick)
                 now = clock()
                 if item is not None:
@@ -900,8 +1173,15 @@ class DistributedMaster:
                         elif isinstance(msg, GatherMessage):
                             result.bytes_received += len(payload)
                             handle_reply(name, msg, now)
+                        elif isinstance(msg, JoinMessage):
+                            handle_join(name, msg, now)
+                        elif isinstance(msg, LeaveMessage):
+                            handle_leave(name, msg, now)
                 if stop_on_first and result.found and not stopping:
                     begin_stop(now)
+                if preempt is not None and not stopping and preempt():
+                    result.preempted = True
+                    begin_stop(now, reason="preempted")
                 if stopping:
                     continue
                 for worker in health.missed_heartbeats(now):
@@ -929,14 +1209,19 @@ class DistributedMaster:
                             MetricNames.EVENT_WORKER_PROBED, worker=worker, ok=False
                         )
                     dispatch(worker, probe=True)
-                if (
-                    pending
-                    and not outstanding
-                    and health.known()
-                    and not any(
-                        health.recoverable(w, now) for w in health.known()
-                    )
-                ):
+                known = health.known()
+                exhausted = (
+                    bool(known)
+                    and not any(health.recoverable(w, now) for w in known)
+                ) or (
+                    # Everyone left or was evicted: no liveness entries
+                    # remain, but unlike a fresh cluster awaiting its
+                    # first join, nobody is coming back.
+                    not known
+                    and bool(result.members_left or result.evicted)
+                    and not membership.active()
+                )
+                if pending and not outstanding and exhausted:
                     if self.fallback == "local":
                         run_local_fallback()
                         break
@@ -947,9 +1232,17 @@ class DistributedMaster:
                         partial=result,
                     )
                 for worker in transport.workers():
-                    if worker in outstanding or not health.dispatchable(worker):
+                    if (
+                        worker in outstanding
+                        or not health.dispatchable(worker)
+                        or not membership.is_active(worker)
+                    ):
                         continue
                     if not dispatch(worker):
+                        # An idle worker with an empty local pool: real
+                        # stolen work beats a speculative duplicate.
+                        if try_steal(now) and dispatch(worker):
+                            continue
                         try_speculate(worker, now)
         finally:
             if own_transport:

@@ -11,10 +11,11 @@ cluster and HashKitty-style client/server crackers actually run:
   prefix means the byte stream itself is lost, which closes the
   connection and lets the worker's reconnect logic take over.
 * **Registration** — a worker's first frame is a
-  :class:`~repro.cluster.protocol.HeartbeatMessage` carrying its name; the
-  master keys the connection by that name, so a reconnecting worker
-  replaces its old (dead) connection and keeps its identity, throughput
-  history, and quarantine record.
+  :class:`~repro.cluster.protocol.JoinMessage` (legacy clients may still
+  open with a :class:`~repro.cluster.protocol.HeartbeatMessage`) carrying
+  its name; the master keys the connection by that name, so a
+  reconnecting worker replaces its old (dead) connection and keeps its
+  identity, throughput history, and quarantine record.
 * **Master side** — :class:`TcpMasterTransport` funnels every worker's
   frames into one inbound queue shaped exactly like the in-process
   transport's, so :class:`~repro.cluster.runtime.DistributedMaster` runs
@@ -38,9 +39,12 @@ from dataclasses import dataclass, field
 from repro.cluster.health import BackoffPolicy
 from repro.cluster.protocol import (
     ControlMessage,
+    EvictMessage,
     HeartbeatMessage,
+    JoinMessage,
     MESSAGE_BUDGET,
     ScatterMessage,
+    WelcomeMessage,
     decode_any,
 )
 from repro.obs.schema import MetricNames
@@ -62,6 +66,25 @@ class FrameError(ValueError):
 
 class ConnectionClosed(ConnectionError):
     """The peer hung up (or the stream desynchronized beyond recovery)."""
+
+
+class EvictedError(RuntimeError):
+    """The master revoked this worker's membership with an ``EvictMessage``.
+
+    Eviction is *terminal*: the master will answer every subsequent
+    heartbeat or join attempt from this name with another eviction frame,
+    so reconnecting can never succeed.  :meth:`WorkerClient.run` raises
+    this instead of burning its reconnect budget against a closed door;
+    the CLI surfaces the reason and exits non-zero.
+    """
+
+    def __init__(self, worker: str, reason: str = "") -> None:
+        detail = f"worker {worker!r} was evicted by the master"
+        if reason:
+            detail += f": {reason}"
+        super().__init__(detail)
+        self.worker = worker
+        self.reason = reason
 
 
 def encode_frame(payload: bytes) -> bytes:
@@ -273,7 +296,7 @@ class TcpMasterTransport:
             if hello is None:
                 return
             msg = decode_any(hello)
-            if not isinstance(msg, HeartbeatMessage):
+            if not isinstance(msg, (JoinMessage, HeartbeatMessage)):
                 return  # not speaking the registration protocol
             name = msg.node
             with self._lock:
@@ -321,6 +344,8 @@ class WorkerStats:
     connection_failures: int = 0
     heartbeats: int = 0
     corrupt_frames: int = 0
+    welcomes: int = 0  #: WelcomeMessage acks received on registration
+    cluster_members: int = 0  #: member count from the latest welcome
     found: list = field(default_factory=list)
 
 
@@ -334,7 +359,10 @@ class WorkerClient:
     connection resets the count.  A ``shutdown`` control frame ends the
     client cleanly; a ``cancel`` frame aborts the in-flight assignment at
     the next batch boundary and replies with the completed prefix so the
-    master's ledger stays exact.
+    master's ledger stays exact.  An ``EvictMessage`` is terminal: the
+    client stops immediately and :meth:`run` raises
+    :class:`EvictedError` rather than reconnecting into a master that
+    has revoked its membership.
     """
 
     def __init__(
@@ -369,11 +397,13 @@ class WorkerClient:
         self.recorder = recorder
         self.rng = rng
         self.stats = WorkerStats()
+        self.backend_label = backend
         self._backend = resolve_backend(backend, workers=pool_workers)
         self._shutdown = threading.Event()
         self._cancel = threading.Event()
         self._busy = threading.Event()
         self._rate = 0
+        self._evicted: str | None = None
 
     def stop(self) -> None:
         """Ask the client to exit after the current assignment."""
@@ -417,6 +447,8 @@ class WorkerClient:
             finally:
                 self.stats.corrupt_frames += getattr(stream, "corrupt_frames", 0)
                 stream.close()
+        if self._evicted is not None:
+            raise EvictedError(self.name, self._evicted)
         return self.stats
 
     # ------------------------------------------------------------------ #
@@ -447,6 +479,16 @@ class WorkerClient:
                     continue  # corrupt payload inside a valid frame: drop
                 if isinstance(msg, ScatterMessage):
                     work_q.put(msg)
+                elif isinstance(msg, WelcomeMessage):
+                    self.stats.welcomes += 1
+                    self.stats.cluster_members = msg.members
+                elif isinstance(msg, EvictMessage):
+                    # Terminal: membership is revoked, reconnecting would
+                    # only earn another eviction frame.
+                    self._evicted = msg.reason or "membership revoked"
+                    self._shutdown.set()
+                    work_q.put(None)
+                    return
                 elif isinstance(msg, ControlMessage):
                     if msg.command == "cancel":
                         self._cancel.set()
@@ -458,10 +500,15 @@ class WorkerClient:
         except ConnectionClosed as exc:
             work_q.put(exc)
 
+    def _join(self) -> JoinMessage:
+        return JoinMessage(
+            node=self.name, rate_keys_per_s=self._rate, backend=self.backend_label
+        )
+
     def _serve_connection(self, stream) -> None:
         from repro.cluster.runtime import execute_scatter
 
-        stream.send(self._heartbeat().encode())
+        stream.send(self._join().encode())
         work_q: queue.Queue = queue.Queue()
         link_up = threading.Event()
         link_up.set()

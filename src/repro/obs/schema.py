@@ -96,6 +96,16 @@ class MetricNames:
     EVENT_CANCEL_SENT = "cancel.sent"
     EVENT_FALLBACK_LOCAL = "fallback.local"
 
+    # -- elastic membership / work stealing (counters / events) ---------- #
+    MEMBER_COUNT = "member.count"  #: active members gauge, labelled master=
+    EVENT_MEMBER_JOINED = "member.join"  #: explicit JoinMessage admitted
+    EVENT_MEMBER_LEFT = "member.leave"  #: graceful LeaveMessage departure
+    EVENT_MEMBER_EVICTED = "member.evict"  #: master revoked membership
+    STEAL_REQUESTS = "steal.requests"  #: StealRequestMessages issued
+    STEAL_CANDIDATES = "steal.candidates"  #: ids whose ownership moved
+    EVENT_STEAL_GRANTED = "steal.grant"  #: one non-empty grant (thief, victim)
+    EVENT_STEAL_DENIED = "steal.denied"  #: victim had nothing pending
+
     # -- chaos / fault injection (counters) ------------------------------ #
     CHAOS_DROPPED = "chaos.dropped"
     CHAOS_DELAYED = "chaos.delayed"

@@ -214,3 +214,65 @@ class TestRunUnderChaos:
             )
         )
         assert total_recorded == injected
+
+
+class TestElasticJoinUnderChaos:
+    def test_half_the_fleet_joins_midway_and_the_answer_stays_exact(self):
+        """The elastic acceptance scenario under seeded chaos: two
+        workers start the run, two more join once half the keyspace is
+        covered, and the seeded fault schedule keeps dropping/duping/
+        corrupting frames throughout.  The key and the tested count must
+        come out exact anyway."""
+        target = CrackTarget.from_password("ccba", ABC, min_length=1, max_length=5)
+        rec = Recorder()
+        inner = InProcessTransport(
+            [WorkerConfig("w0", batch_size=16), WorkerConfig("w1", batch_size=16)],
+            heartbeat_interval=0.05,
+        )
+        chaos = ChaosConfig(
+            drop=0.08, delay=0.08, delay_seconds=0.02,
+            duplicate=0.08, corrupt=0.04, seed=2026,
+        )
+        transport = ChaosTransport(inner, chaos, recorder=rec).start()
+        half = target.space_size // 2
+        joined = []
+
+        def join_at_half(log):
+            # Runs on the gather loop at every chunk boundary, so the
+            # join lands at a deterministic point of the schedule.
+            if not joined and log.done_count >= half:
+                for name in ("w2", "w3"):
+                    inner.add_worker(WorkerConfig(name, batch_size=16))
+                    joined.append(name)
+
+        try:
+            master = DistributedMaster(
+                target,
+                transport=transport,
+                chunk_size=13,
+                reply_timeout=0.4,
+                health=HealthConfig(
+                    heartbeat_interval=0.05,
+                    quarantine_period=0.3,
+                    min_deadline=0.2,
+                ),
+            )
+            result = master.run(
+                recorder=rec, checkpoint=join_at_half, checkpoint_every=1
+            )
+        finally:
+            transport.close()
+        assert joined == ["w2", "w3"]
+        assert "ccba" in result.keys
+        assert result.tested == target.space_size
+        assert result.progress.is_complete
+        assert result.progress.check_invariant()
+        assert result.progress.done_count == target.space_size
+        # The late arrivals were dispatched real work from the pending
+        # queue: both report measured throughput by the end.
+        assert {"w2", "w3"} <= set(result.worker_throughput)
+        faults = transport.faults
+        injected = (
+            faults.dropped + faults.delayed + faults.duplicated + faults.corrupted
+        )
+        assert injected > 0, "seeded chaos injected nothing; raise the rates"

@@ -1,0 +1,405 @@
+"""Tests for elastic membership, multi-master sharding, and work stealing.
+
+The acceptance bar of ROADMAP item 3: workers join a live run and
+immediately receive rebalanced intervals; a master whose shard drains
+steals ~half of a loaded sibling's pending spans over the real wire
+messages; and no interleaving of steal / complete / duplicate-reply ever
+double-counts a candidate id (first owner wins via ``subtract_interval``
+on the shard board).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.apps.cracking import CrackTarget, crack_interval
+from repro.cluster.elastic import (
+    ACTIVE,
+    EVICTED,
+    LEFT,
+    ElasticBackend,
+    MemberRegistry,
+    ShardBoard,
+    ShardCoordinator,
+)
+from repro.cluster.health import HealthConfig
+from repro.cluster.protocol import STEAL_GRANT_MAX_INTERVALS
+from repro.cluster.runtime import (
+    AllWorkersDeadError,
+    DistributedMaster,
+    InProcessTransport,
+    PendingQueue,
+    WorkerConfig,
+)
+from repro.keyspace import Charset, Interval
+from repro.keyspace.intervals import merge_intervals, partition_evenly
+from repro.obs import Recorder, validate_metrics
+from repro.obs.schema import MetricNames
+
+ABC = Charset("abc", name="abc")
+
+
+def target_for(password="cab", **kw):
+    kw.setdefault("min_length", 1)
+    kw.setdefault("max_length", 4)
+    return CrackTarget.from_password(password, ABC, **kw)
+
+
+def fast_health(**kw):
+    kw.setdefault("heartbeat_interval", 0.05)
+    return HealthConfig(**kw)
+
+
+class TestMemberRegistry:
+    def test_first_join_is_newly_active(self):
+        reg = MemberRegistry()
+        assert reg.join("w0", now=1.0, rate=500, backend="serial") is True
+        assert reg.join("w0", now=2.0) is False  # already active
+        assert reg.is_active("w0")
+        info = reg.get("w0")
+        assert info.state == ACTIVE and info.rate_keys_per_s == 500
+        assert info.joins == 1
+
+    def test_leave_then_rejoin_counts_again(self):
+        reg = MemberRegistry()
+        reg.join("w0")
+        reg.leave("w0", now=5.0, reason="drain")
+        assert not reg.is_active("w0")
+        assert reg.get("w0").state == LEFT
+        assert reg.join("w0", now=6.0) is True  # rejoin is a fresh join
+        assert reg.get("w0").joins == 2
+
+    def test_eviction_is_terminal(self):
+        reg = MemberRegistry()
+        reg.join("w0")
+        reg.evict("w0", now=3.0, reason="3 deaths")
+        assert reg.is_evicted("w0")
+        assert reg.join("w0") is False  # no re-admission, ever
+        assert reg.get("w0").state == EVICTED
+        reg.leave("w0")  # cannot soften an eviction into a leave
+        assert reg.get("w0").state == EVICTED
+
+    def test_evict_unknown_name_preemptively_bans(self):
+        reg = MemberRegistry()
+        reg.evict("mallory", reason="banned before arrival")
+        assert reg.join("mallory") is False
+        assert not reg.is_active("mallory")
+
+    def test_active_lists_sorted_members(self):
+        reg = MemberRegistry()
+        for name in ("c", "a", "b"):
+            reg.join(name)
+        reg.leave("b")
+        assert reg.active() == ["a", "c"]
+
+
+class TestPendingQueue:
+    def test_take_dispatches_from_the_head_in_order(self):
+        q = PendingQueue([Interval(0, 10), Interval(20, 25)])
+        assert q.take(7) == Interval(0, 7)
+        assert q.take(7) == Interval(7, 10)
+        assert q.take(7) == Interval(20, 25)
+        assert q.take(7) is None
+        assert not q
+
+    def test_push_front_requeues_hot_work_first(self):
+        q = PendingQueue([Interval(50, 60)])
+        q.push_front([Interval(0, 5)])
+        assert q.take(100) == Interval(0, 5)
+
+    def test_steal_half_takes_from_the_tail(self):
+        q = PendingQueue([Interval(0, 10), Interval(10, 20)])
+        loot = q.steal_half()
+        assert sum(iv.size for iv in loot) == 10
+        # The tail span moved; the head stayed dispatchable by the owner.
+        assert q.take(100) == Interval(0, 10)
+        assert merge_intervals(loot) == [Interval(10, 20)]
+
+    def test_steal_half_splits_a_single_span(self):
+        q = PendingQueue([Interval(0, 100)])
+        loot = q.steal_half()
+        assert merge_intervals(loot) == [Interval(50, 100)]
+        assert q.snapshot() == [Interval(0, 50)]
+
+    def test_steal_half_respects_the_grant_span_cap(self):
+        q = PendingQueue([Interval(i * 10, i * 10 + 1) for i in range(100)])
+        loot = q.steal_half()
+        assert len(loot) <= STEAL_GRANT_MAX_INTERVALS
+        # Nothing stolen is still pending here.
+        pending = q.snapshot()
+        for iv in loot:
+            assert all(not iv.overlaps(p) for p in pending)
+
+    def test_steal_from_empty_queue_is_denied(self):
+        assert PendingQueue().steal_half() == []
+
+    def test_subtract_drops_covered_ids_everywhere(self):
+        q = PendingQueue([Interval(0, 10), Interval(10, 20)])
+        q.subtract(Interval(5, 15))
+        assert q.total() == 10
+        assert merge_intervals(q.snapshot()) == [Interval(0, 5), Interval(15, 20)]
+
+
+class TestShardBoard:
+    def test_rejects_a_leaky_partition(self):
+        with pytest.raises(ValueError, match="tile"):
+            ShardBoard(100, [Interval(0, 40), Interval(50, 100)])
+
+    def test_claim_is_first_owner_wins(self):
+        board = ShardBoard(100, partition_evenly(Interval(0, 100), 2))
+        novel = board.claim(Interval(10, 30))
+        assert merge_intervals(novel) == [Interval(10, 30)]
+        # The exact same span again: already owned, nothing novel.
+        assert board.claim(Interval(10, 30)) == []
+        # Partial overlap: only the fresh tail comes back.
+        assert merge_intervals(board.claim(Interval(20, 40))) == [Interval(30, 40)]
+
+    def test_claim_routes_across_shard_boundaries(self):
+        board = ShardBoard(100, partition_evenly(Interval(0, 100), 2))
+        novel = board.claim(Interval(45, 55))
+        assert merge_intervals(novel) == [Interval(45, 55)]
+        assert board.shard_log(0).completed[-1].stop == 50
+        assert board.done_count == 10
+
+    def test_duplicate_claims_never_duplicate_matches(self):
+        board = ShardBoard(100, partition_evenly(Interval(0, 100), 2))
+        board.claim(Interval(0, 50), matches=((7, "abc"),))
+        board.claim(Interval(0, 100), matches=((7, "abc"), (80, "zzz")))
+        assert board.found == [(7, "abc"), (80, "zzz")]
+
+    def test_complete_coverage_and_invariant(self):
+        board = ShardBoard(120, partition_evenly(Interval(0, 120), 3))
+        claimed = 0
+        for piece in partition_evenly(Interval(0, 120), 7):
+            claimed += sum(iv.size for iv in board.claim(piece))
+        assert claimed == 120
+        assert board.is_complete
+        assert board.check_invariant()
+        assert board.remaining() == []
+
+    def test_on_match_fires_only_for_novel_matches(self):
+        hits = []
+        board = ShardBoard(
+            100, [Interval(0, 100)], on_match=lambda: hits.append(1)
+        )
+        board.claim(Interval(0, 50), matches=((7, "abc"),))
+        board.claim(Interval(0, 50), matches=((7, "abc"),))  # duplicate reply
+        assert hits == [1]
+
+
+class TestShardCoordinator:
+    def test_two_masters_cover_the_space_exactly(self):
+        target = target_for("ccba")
+        coord = ShardCoordinator(
+            target, masters=2, workers_per_master=2, chunk_size=9,
+            health=fast_health(),
+        )
+        result = coord.run()
+        assert "ccba" in result.keys
+        assert result.tested == target.space_size
+        assert result.progress.is_complete
+        assert result.progress.check_invariant()
+        assert result.masters == 2 and result.workers == 4
+
+    def test_idle_master_steals_from_the_loaded_sibling(self):
+        target = target_for("ccba", max_length=5)
+        slow = [WorkerConfig("s0", slowdown=0.01)]
+        fast = [WorkerConfig("f0"), WorkerConfig("f1")]
+        rec = Recorder()
+        coord = ShardCoordinator(
+            target, masters=2, worker_configs=[slow, fast], chunk_size=9,
+            stealing=True, health=fast_health(),
+        )
+        result = coord.run(recorder=rec)
+        assert "ccba" in result.keys
+        assert result.tested == target.space_size
+        assert result.steals >= 1
+        assert result.stolen_candidates > 0
+        doc = rec.export()
+        assert validate_metrics(doc) == []
+        events = {e["name"] for e in doc["events"]}
+        assert MetricNames.EVENT_STEAL_GRANTED in events
+        grant = next(
+            e for e in doc["events"]
+            if e["name"] == MetricNames.EVENT_STEAL_GRANTED
+        )
+        assert grant["fields"]["thief"] != grant["fields"]["victim"]
+
+    def test_stealing_disabled_still_covers_exactly(self):
+        target = target_for("ccba")
+        coord = ShardCoordinator(
+            target, masters=2, workers_per_master=1, chunk_size=9,
+            stealing=False, health=fast_health(),
+        )
+        result = coord.run()
+        assert result.steals == 0 and result.stolen_candidates == 0
+        assert result.tested == target.space_size
+        assert "ccba" in result.keys
+
+    def test_stop_on_first_preempts_the_other_lanes(self):
+        target = target_for("ccba", max_length=5)
+        coord = ShardCoordinator(
+            target, masters=2, workers_per_master=1, chunk_size=9,
+            health=fast_health(),
+        )
+        result = coord.run(stop_on_first=True)
+        assert "ccba" in result.keys
+        assert result.tested <= target.space_size
+
+    def test_dead_lane_is_finished_by_the_survivor(self):
+        target = target_for("ccba", max_length=5)
+        # Lane 0's only worker dies after one chunk; lane 1 must steal
+        # the leftovers, so the run still covers the space exactly.
+        dying = [WorkerConfig("d0", fail_after_chunks=1)]
+        healthy = [WorkerConfig("h0"), WorkerConfig("h1")]
+        coord = ShardCoordinator(
+            target, masters=2, worker_configs=[dying, healthy], chunk_size=9,
+            stealing=True,
+            health=fast_health(min_deadline=0.2, quarantine_period=0.3),
+        )
+        result = coord.run()
+        assert "ccba" in result.keys
+        assert result.progress.is_complete
+        assert result.steals >= 1
+
+    def test_validation(self):
+        target = target_for()
+        with pytest.raises(ValueError, match="at least one master"):
+            ShardCoordinator(target, masters=0)
+        with pytest.raises(ValueError, match="one list per master"):
+            ShardCoordinator(target, masters=2, worker_configs=[[]])
+
+
+class TestMidRunJoin:
+    def test_workers_joining_a_live_run_receive_pending_work(self):
+        target = target_for("ccccb", max_length=5)
+        transport = InProcessTransport(
+            [WorkerConfig("w0", slowdown=0.01)], heartbeat_interval=0.05
+        )
+        master = DistributedMaster(
+            target, transport=transport, chunk_size=9, health=fast_health()
+        )
+        joined = []
+
+        def joiner():
+            time.sleep(0.1)
+            for name in ("w1", "w2"):
+                transport.add_worker(WorkerConfig(name))
+                joined.append(name)
+
+        thread = threading.Thread(target=joiner)
+        thread.start()
+        try:
+            result = master.run()
+        finally:
+            thread.join()
+        assert joined == ["w1", "w2"]
+        assert "ccccb" in result.keys
+        assert result.tested == target.space_size
+        assert result.progress.is_complete
+        # The joiners actually participated: they report throughput.
+        assert set(result.worker_throughput) >= {"w1", "w2"}
+
+
+class TestEviction:
+    def test_repeated_deaths_cross_the_eviction_threshold(self):
+        target = target_for("ccba", max_length=5)
+        rec = Recorder()
+        transport = InProcessTransport(
+            [
+                WorkerConfig("flaky", fail_after_chunks=1),
+                WorkerConfig("steady"),
+            ],
+            heartbeat_interval=0.05,
+        )
+        master = DistributedMaster(
+            target,
+            transport=transport,
+            chunk_size=9,
+            health=fast_health(
+                min_deadline=0.2, quarantine_period=0.3, evict_after_deaths=1
+            ),
+        )
+        result = master.run(recorder=rec)
+        assert "ccba" in result.keys
+        assert result.tested == target.space_size
+        assert result.evicted == ["flaky"]
+        doc = rec.export()
+        assert validate_metrics(doc) == []
+        evictions = [
+            e for e in doc["events"]
+            if e["name"] == MetricNames.EVENT_MEMBER_EVICTED
+        ]
+        assert len(evictions) == 1
+        assert evictions[0]["fields"]["worker"] == "flaky"
+
+    def test_eviction_disabled_by_default(self):
+        assert HealthConfig().evict_after_deaths == 0
+        with pytest.raises(ValueError, match="evict_after_deaths"):
+            HealthConfig(evict_after_deaths=-1)
+
+
+class TestElasticBackend:
+    def test_runs_scheduler_shaped_chunks_exactly(self):
+        target = target_for("ccba")
+        transport = InProcessTransport(
+            [WorkerConfig("w0"), WorkerConfig("w1")], heartbeat_interval=0.05
+        ).start()
+        backend = ElasticBackend(
+            transport, chunk_size=9, health=fast_health()
+        )
+        gathered = []
+        try:
+            chunks = partition_evenly(Interval(0, target.space_size), 5)
+            outcome = backend.run(
+                target, chunks, on_result=gathered.append
+            )
+        finally:
+            backend.close()
+        assert outcome.backend == "elastic"
+        assert outcome.tested == target.space_size
+        assert ("ccba" in dict(outcome.found).values()) or any(
+            key == "ccba" for _i, key in outcome.found
+        )
+        assert outcome.unfinished == []
+        # The relay streamed every covered piece to the gather hook.
+        covered = merge_intervals([r.interval for r in gathered])
+        assert covered == [Interval(0, target.space_size)]
+
+    def test_holes_between_chunks_stay_untouched(self):
+        target = target_for("ccba")
+        transport = InProcessTransport(
+            [WorkerConfig("w0")], heartbeat_interval=0.05
+        ).start()
+        backend = ElasticBackend(transport, chunk_size=9, health=fast_health())
+        gathered = []
+        try:
+            chunks = [Interval(0, 30), Interval(60, 90)]
+            outcome = backend.run(target, chunks, on_result=gathered.append)
+        finally:
+            backend.close()
+        assert outcome.tested == 60
+        assert outcome.unfinished == []
+        covered = merge_intervals([r.interval for r in gathered])
+        assert covered == chunks
+
+    def test_all_workers_dead_does_not_leak_the_hull_log(self):
+        target = target_for("ccba")
+        transport = InProcessTransport(
+            [WorkerConfig("w0", fail_after_chunks=0)], heartbeat_interval=0.05
+        ).start()
+        backend = ElasticBackend(
+            transport,
+            chunk_size=9,
+            health=fast_health(min_deadline=0.2, quarantine_period=0.3),
+        )
+        try:
+            with pytest.raises(AllWorkersDeadError) as exc_info:
+                backend.run(target, [Interval(0, 30), Interval(60, 90)])
+        finally:
+            backend.close()
+        # The scheduler must fall back to its own live-updated ledger,
+        # never checkpoint the slice-local log with pre-marked holes.
+        assert exc_info.value.progress is None
+        assert exc_info.value.partial is None

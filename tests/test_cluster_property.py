@@ -70,3 +70,71 @@ def test_fault_schedules_preserve_exactness(n_workers, password, schedule):
     expected = crack_interval(target, Interval(0, target.space_size))
     assert result.found == expected
     assert password in result.keys
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    masters=st.integers(min_value=2, max_value=3),
+    chunk=st.integers(min_value=1, max_value=17),
+    password=st.sampled_from(["a", "cb", "bac", "ccc"]),
+    schedule=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),
+            st.sampled_from(["take", "steal", "dup"]),
+        ),
+        max_size=60,
+    ),
+)
+def test_steal_complete_duplicate_interleavings_never_double_count(
+    masters, chunk, password, schedule
+):
+    """The elastic exactness property (docs/ELASTICITY.md): over any
+    interleaving of dispatches, inter-master steals, and duplicated
+    replies, the sum of novel spans returned by ``ShardBoard.claim``
+    tiles the keyspace exactly — no id is ever counted twice, and every
+    match surfaces exactly once."""
+    from repro.cluster.elastic import ShardBoard
+    from repro.cluster.runtime import PendingQueue
+    from repro.keyspace.intervals import partition_evenly
+
+    target = CrackTarget.from_password(password, ABC, min_length=1, max_length=3)
+    total = target.space_size
+    shards = partition_evenly(Interval(0, total), masters)
+    board = ShardBoard(total, shards)
+    pools = [PendingQueue([shard]) for shard in shards]
+    claimed = 0
+    last_piece = None
+
+    def claim(piece):
+        nonlocal claimed
+        novel = board.claim(piece, matches=crack_interval(target, piece))
+        claimed += sum(iv.size for iv in novel)
+
+    for lane_raw, op in schedule:
+        lane = lane_raw % masters
+        if op == "take":
+            piece = pools[lane].take(chunk)
+            if piece is not None:
+                claim(piece)
+                last_piece = piece
+        elif op == "steal":
+            victim = max(
+                (j for j in range(masters) if j != lane),
+                key=lambda j: pools[j].total(),
+            )
+            pools[lane].push_front(pools[victim].steal_half())
+        elif op == "dup" and last_piece is not None:
+            claim(last_piece)  # a duplicated / replayed reply
+    # Whatever the schedule left pending, finishing the queues must land
+    # the claimed total on the keyspace size exactly.
+    for pool in pools:
+        while True:
+            piece = pool.take(chunk)
+            if piece is None:
+                break
+            claim(piece)
+    assert claimed == total
+    assert board.is_complete
+    assert board.check_invariant()
+    expected = crack_interval(target, Interval(0, total))
+    assert board.found == expected

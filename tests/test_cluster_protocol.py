@@ -7,13 +7,25 @@ from hypothesis import given, settings, strategies as st
 
 from repro.cluster.protocol import (
     ControlMessage,
+    EvictMessage,
     GatherMessage,
     HeartbeatMessage,
+    JoinMessage,
+    LeaveMessage,
     MESSAGE_BUDGET,
+    STEAL_GRANT_MAX_INTERVALS,
     ScatterMessage,
+    StealGrantMessage,
+    StealRequestMessage,
+    WelcomeMessage,
     decode_any,
 )
 from repro.keyspace import ALNUM_MIXED, ASCII_PRINTABLE, Interval
+
+#: latin-1 safe text for name/reason fields in property tests.
+_names = st.text(
+    alphabet=st.characters(min_codepoint=1, max_codepoint=255), max_size=100
+)
 
 
 def scatter(**kw):
@@ -137,6 +149,149 @@ class TestControlMessage:
         assert decode_any(msg.encode()) == msg
 
 
+class TestJoinMessage:
+    def test_roundtrip(self):
+        msg = JoinMessage("node-D", rate_keys_per_s=71_000_000, backend="process")
+        assert JoinMessage.decode(msg.encode()) == msg
+        assert decode_any(msg.encode()) == msg
+
+    def test_defaults_roundtrip(self):
+        msg = JoinMessage("w")
+        clone = JoinMessage.decode(msg.encode())
+        assert clone == msg and clone.rate_keys_per_s == 0 and clone.backend == ""
+
+    def test_wrong_magic_rejected(self):
+        with pytest.raises(ValueError, match="not a join"):
+            JoinMessage.decode(b"XXXX" + b"\x00" * 20)
+
+    def test_budget(self):
+        msg = JoinMessage("n" * 200, rate_keys_per_s=2**63, backend="b" * 40)
+        assert len(msg.encode()) < MESSAGE_BUDGET
+
+    @given(node=_names, rate=st.integers(0, 2**64 - 1), backend=_names)
+    @settings(max_examples=40)
+    def test_property_roundtrip(self, node, rate, backend):
+        msg = JoinMessage(node, rate, backend)
+        assert decode_any(msg.encode()) == msg
+
+
+class TestWelcomeMessage:
+    def test_roundtrip(self):
+        msg = WelcomeMessage(master="cluster-m0", members=5)
+        assert WelcomeMessage.decode(msg.encode()) == msg
+        assert decode_any(msg.encode()) == msg
+
+    def test_wrong_magic_rejected(self):
+        with pytest.raises(ValueError, match="not a welcome"):
+            WelcomeMessage.decode(b"XXXX" + b"\x00" * 20)
+
+    @given(master=_names, members=st.integers(0, 2**32 - 1))
+    @settings(max_examples=40)
+    def test_property_roundtrip(self, master, members):
+        msg = WelcomeMessage(master, members)
+        assert decode_any(msg.encode()) == msg
+
+
+class TestLeaveMessage:
+    def test_roundtrip(self):
+        msg = LeaveMessage("node-B", reason="operator drain")
+        assert LeaveMessage.decode(msg.encode()) == msg
+        assert decode_any(msg.encode()) == msg
+
+    def test_empty_reason(self):
+        msg = LeaveMessage("w")
+        assert LeaveMessage.decode(msg.encode()).reason == ""
+
+    def test_wrong_magic_rejected(self):
+        with pytest.raises(ValueError, match="not a leave"):
+            LeaveMessage.decode(b"XXXX" + b"\x00" * 20)
+
+    @given(node=_names, reason=_names)
+    @settings(max_examples=40)
+    def test_property_roundtrip(self, node, reason):
+        msg = LeaveMessage(node, reason)
+        assert decode_any(msg.encode()) == msg
+
+
+class TestEvictMessage:
+    def test_roundtrip(self):
+        msg = EvictMessage("node-B", reason="3 deaths")
+        assert EvictMessage.decode(msg.encode()) == msg
+        assert decode_any(msg.encode()) == msg
+
+    def test_wrong_magic_rejected(self):
+        with pytest.raises(ValueError, match="not an evict"):
+            EvictMessage.decode(b"XXXX" + b"\x00" * 20)
+
+    def test_budget(self):
+        msg = EvictMessage("n" * 120, reason="r" * 120)
+        assert len(msg.encode()) < MESSAGE_BUDGET
+
+    @given(node=_names, reason=_names)
+    @settings(max_examples=40)
+    def test_property_roundtrip(self, node, reason):
+        msg = EvictMessage(node, reason)
+        assert decode_any(msg.encode()) == msg
+
+
+class TestStealMessages:
+    def test_request_roundtrip(self):
+        msg = StealRequestMessage("m1", budget=12)
+        assert StealRequestMessage.decode(msg.encode()) == msg
+        assert decode_any(msg.encode()) == msg
+
+    def test_request_half_convention(self):
+        msg = StealRequestMessage("m1")  # budget 0 = "half of yours"
+        assert StealRequestMessage.decode(msg.encode()).budget == 0
+
+    def test_request_wrong_magic_rejected(self):
+        with pytest.raises(ValueError, match="not a steal request"):
+            StealRequestMessage.decode(b"XXXX" + b"\x00" * 24)
+
+    def test_grant_roundtrip(self):
+        spans = (Interval(10**20, 10**20 + 500), Interval(7, 9))
+        msg = StealGrantMessage("m0", intervals=spans)
+        clone = StealGrantMessage.decode(msg.encode())
+        assert clone == msg and clone.intervals == spans
+
+    def test_grant_empty_means_denied(self):
+        msg = StealGrantMessage("m0")
+        assert decode_any(msg.encode()) == msg
+
+    def test_grant_wrong_magic_rejected(self):
+        with pytest.raises(ValueError, match="not a steal grant"):
+            StealGrantMessage.decode(b"XXXX" + b"\x00" * 24)
+
+    def test_grant_budget_at_max_spans(self):
+        spans = tuple(
+            Interval(2**120 + i * 10, 2**120 + i * 10 + 5)
+            for i in range(STEAL_GRANT_MAX_INTERVALS)
+        )
+        encoded = StealGrantMessage("victim-master", spans).encode()
+        assert len(encoded) < MESSAGE_BUDGET
+
+    def test_grant_over_max_spans_rejected(self):
+        spans = tuple(
+            Interval(i * 10, i * 10 + 5)
+            for i in range(STEAL_GRANT_MAX_INTERVALS + 1)
+        )
+        with pytest.raises(ValueError, match="span budget"):
+            StealGrantMessage("v", spans).encode()
+
+    @given(
+        victim=_names,
+        raw=st.lists(
+            st.tuples(st.integers(0, 2**100), st.integers(0, 2**30)),
+            max_size=STEAL_GRANT_MAX_INTERVALS,
+        ),
+    )
+    @settings(max_examples=40)
+    def test_grant_property_roundtrip(self, victim, raw):
+        spans = tuple(Interval(start, start + size) for start, size in raw)
+        msg = StealGrantMessage(victim, spans)
+        assert decode_any(msg.encode()) == msg
+
+
 class TestDecodeAny:
     def test_dispatch(self):
         s = scatter()
@@ -164,6 +319,12 @@ class TestMalformedBytes:
             ),
             HeartbeatMessage("node-C", True, 71_000_000),
             ControlMessage("cancel", reason="stop_on_first fired"),
+            JoinMessage("node-D", 71_000_000, "process"),
+            WelcomeMessage("cluster-m0", 4),
+            LeaveMessage("node-B", "operator drain"),
+            EvictMessage("node-B", "3 deaths"),
+            StealRequestMessage("m1", 8),
+            StealGrantMessage("m0", (Interval(3, 9), Interval(2**90, 2**90 + 7))),
         ]
 
     def test_every_truncation_raises_value_error(self):
@@ -183,7 +344,10 @@ class TestMalformedBytes:
     @given(noise=st.binary(min_size=0, max_size=64))
     @settings(max_examples=60)
     def test_garbage_after_valid_magic_never_escapes_value_error(self, noise):
-        for magic in (b"XKS\x01", b"XKS\x02", b"XKS\x03", b"XKS\x04"):
+        for magic in (
+            b"XKS\x01", b"XKS\x02", b"XKS\x03", b"XKS\x04", b"XKS\x05",
+            b"XKS\x06", b"XKS\x07", b"XKS\x08", b"XKS\x09", b"XKS\x0a",
+        ):
             try:
                 decode_any(magic + noise)
             except ValueError:

@@ -90,3 +90,63 @@ def test_kill_and_straggler_tcp_run():
     # The exported document is a valid repro-metrics/v2 artifact.
     assert result.metrics is not None
     assert validate_metrics(result.metrics) == []
+
+
+def test_evicted_worker_stops_with_typed_error_instead_of_reconnecting():
+    """The satellite fix: a master-initiated Evict used to trap the
+    client in its reconnect loop forever (every successful registration
+    reset the failure count).  Eviction is now terminal — the client
+    raises :class:`EvictedError` and never dials back in."""
+    from repro.cluster.elastic import MemberRegistry
+    from repro.cluster.transport import EvictedError
+
+    target = CrackTarget.from_password("cba", ABCD, min_length=1, max_length=3)
+    registry = MemberRegistry()
+    registry.evict("banned", reason="operator ban")
+    transport = TcpMasterTransport().start()
+    host, port = transport.address
+    banned = WorkerClient("banned", host, port, heartbeat_interval=0.1)
+    steady = WorkerClient("steady", host, port, heartbeat_interval=0.1)
+    raised = []
+
+    def run_banned():
+        try:
+            banned.run()
+        except EvictedError as exc:
+            raised.append(exc)
+
+    threads = [
+        threading.Thread(target=run_banned, daemon=True),
+        threading.Thread(target=steady.run, daemon=True),
+    ]
+    for t in threads:
+        t.start()
+    try:
+        assert transport.wait_for_workers(2, timeout=10)
+        master = DistributedMaster(
+            target,
+            transport=transport,
+            chunk_size=8,
+            health=HealthConfig(heartbeat_interval=0.1),
+            membership=registry,
+        )
+        result = master.run()
+    finally:
+        steady.stop()
+        banned.stop()
+        transport.broadcast(ControlMessage("shutdown").encode())
+        for t in threads:
+            t.join(timeout=10)
+        transport.close()
+
+    assert "cba" in result.keys
+    assert result.progress.is_complete
+    assert result.progress.check_invariant()
+    assert len(raised) == 1
+    assert raised[0].worker == "banned"
+    assert "evicted" in str(raised[0])
+    # The client stopped at the eviction frame: no reconnect attempts.
+    assert banned.stats.reconnects == 0
+    # The surviving worker was welcomed into the membership.
+    assert steady.stats.welcomes >= 1
+    assert steady.stats.cluster_members >= 1
