@@ -1,0 +1,269 @@
+"""BENCH — what storm-proofing costs when nothing is on fire.
+
+The resilience layer (:mod:`repro.service.faultfs`, ``repro fsck``,
+gateway load shedding, the circuit breaker) buys crash-consistency and
+bounded degradation; this benchmark prices the purchase on the healthy
+path and shows the two latencies the sick path trades between:
+
+* **faultfs shim overhead** — checkpoint writes/s through a plain
+  :class:`JobStore` vs one wrapped in an armed-but-silent
+  :class:`FaultInjector` (all rates 0).  The delta is the per-write
+  price of the injection hook every production write now carries.
+* **fsck throughput** — jobs/s for a read-only scan of a healthy store,
+  then wall-clock to repair one with a corrupted-checkpoint fraction.
+  Bounds how long "fsck before restart" adds to an ops runbook.
+* **shed latency** — how fast a saturated gateway (1 inflight slot,
+  empty queue, slot held by a long-poll hog) refuses extra work with
+  429 + ``Retry-After``.  The whole point of shedding: a refusal must
+  be orders of magnitude cheaper than the work it refuses.
+* **breaker fast-fail** — per-call latency against a dead address while
+  the circuit is open vs the real connect-refused probes that opened
+  it.  The breaker's value is this gap, paid on every call of an
+  outage.
+
+Standalone by design — resilience numbers are environment-theatre on a
+shared CI runner, so this does NOT fold into ``run_all.py``::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import socket
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.core.progress import ProgressLog
+from repro.keyspace import Interval
+from repro.service import (
+    ApiClientError,
+    ApiKeyring,
+    ApiServer,
+    ApiServerThread,
+    BreakerConfig,
+    BreakerRegistry,
+    CircuitOpenError,
+    FaultConfig,
+    FaultInjector,
+    GatewayClient,
+    GatewayUnreachable,
+    JobStore,
+    RetryPolicy,
+    TenantConfig,
+    TenantRegistry,
+    fsck_store,
+)
+from repro.service.jobstore import JobSpec
+from repro.service.resilience import BackoffPolicy
+
+_WRITES = 400
+_JOBS = 60
+_SHED_PROBES = 50
+_FAST_FAILS = 200
+
+
+def _spec(i: int) -> JobSpec:
+    return JobSpec(
+        digest=hashlib.md5(b"resilience-%d" % i).digest(),
+        charset="abcdefgo",
+        max_length=3,
+    )
+
+
+def _checkpoint_rate(store: JobStore, writes: int) -> float:
+    """save_progress writes/s against one job, alternating coverage."""
+    store.submit(_spec(0), job_id="bench")
+    log = store.load_progress("bench")
+    started = time.perf_counter()
+    for i in range(writes):
+        log.mark_done(Interval(i * 4, i * 4 + 4))
+        store.save_progress("bench", log)
+    elapsed = time.perf_counter() - started
+    return writes / elapsed if elapsed else 0.0
+
+
+def bench_shim_overhead(writes: int) -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench-shim-") as root:
+        plain = _checkpoint_rate(JobStore(Path(root) / "plain"), writes)
+        armed = _checkpoint_rate(
+            JobStore(
+                Path(root) / "armed",
+                faults=FaultInjector(FaultConfig(seed=7)),  # armed, all rates 0
+            ),
+            writes,
+        )
+    return {
+        "writes": writes,
+        "plain_writes_per_second": plain,
+        "armed_writes_per_second": armed,
+        "shim_overhead_ratio": plain / armed if armed else 0.0,
+    }
+
+
+def _populate(root: Path, jobs: int) -> JobStore:
+    store = JobStore(root)
+    for i in range(jobs):
+        job_id = f"job-{i}"
+        store.submit(_spec(i), job_id=job_id)
+        log = store.load_progress(job_id)
+        log.mark_done(Interval(0, 8))
+        store.save_progress(job_id, log)  # a second generation → prev exists
+        log.mark_done(Interval(8, 16))
+        store.save_progress(job_id, log)
+    return store
+
+
+def bench_fsck(jobs: int) -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench-fsck-") as root:
+        root = Path(root)
+        _populate(root, jobs)
+
+        started = time.perf_counter()
+        report = fsck_store(root)
+        scan = time.perf_counter() - started
+        assert report["clean"], report["findings"]
+
+        # Tear every 4th checkpoint the way a lying fsync leaves it.
+        corrupted = 0
+        for i in range(0, jobs, 4):
+            path = root / f"job-{i}" / "checkpoint.json"
+            path.write_text(path.read_text()[: path.stat().st_size // 2])
+            corrupted += 1
+        started = time.perf_counter()
+        repaired = fsck_store(root, repair=True)
+        repair = time.perf_counter() - started
+        assert repaired["repaired"] >= corrupted, repaired
+    return {
+        "jobs": jobs,
+        "scan_jobs_per_second": jobs / scan if scan else 0.0,
+        "corrupted": corrupted,
+        "repair_seconds": repair,
+        "repair_jobs_per_second": corrupted / repair if repair else 0.0,
+    }
+
+
+def bench_shed_latency(probes: int) -> dict:
+    """Median/worst time for a saturated gateway to refuse a request."""
+    with tempfile.TemporaryDirectory(prefix="bench-shed-") as root:
+        store = JobStore(root)
+        server = ApiServer(
+            store,
+            ApiKeyring({"k": "acme"}),
+            TenantRegistry([TenantConfig("acme", rate=1e6, burst=1e6)]),
+            max_inflight=1,
+            max_queue=0,
+        )
+        thread = ApiServerThread(server)
+        host, port = thread.start()
+        url = f"http://{host}:{port}"
+        store.submit(_spec(0), job_id="acme--hog")
+        hogging = threading.Event()
+
+        def hog() -> None:
+            with GatewayClient(url, "k") as client:
+                # Drain the submit event first so the second poll has
+                # nothing to deliver and actually waits out its timeout,
+                # holding the single inflight slot for ~2 s.
+                cursor = client.events("acme--hog", timeout=0.0)["cursor"]
+                hogging.set()
+                client.events("acme--hog", cursor=cursor, timeout=2.0)
+
+        hog_thread = threading.Thread(target=hog)
+        hog_thread.start()
+        hogging.wait()
+        time.sleep(0.2)  # let the long-poll actually occupy the slot
+        latencies = []
+        shed = 0
+        with GatewayClient(url, "k", retry=RetryPolicy(attempts=1)) as client:
+            for _ in range(probes):
+                started = time.perf_counter()
+                try:
+                    client.jobs()
+                except ApiClientError as exc:
+                    if exc.status == 429:
+                        shed += 1
+                latencies.append(time.perf_counter() - started)
+        hog_thread.join()
+        thread.stop()
+    latencies.sort()
+    return {
+        "probes": probes,
+        "shed": shed,
+        "p50_ms": latencies[len(latencies) // 2] * 1e3,
+        "p99_ms": latencies[int(len(latencies) * 0.99)] * 1e3,
+    }
+
+
+def bench_breaker_fast_fail(calls: int) -> dict:
+    """Open a breaker against a dead port, then price its fast-fails."""
+    with socket.socket() as probe:  # reserve, then release, a dead port
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+    config = BreakerConfig(failures=3, window=60.0, period=60.0)
+    registry = BreakerRegistry(config)
+    client = GatewayClient(
+        f"http://127.0.0.1:{dead_port}",
+        "k",
+        retry=RetryPolicy(attempts=1, backoff=BackoffPolicy(base=1e-6, cap=1e-6, jitter=0.0)),
+        breakers=registry,
+    )
+    connect_times, fast_times = [], []
+    with client:
+        for _ in range(config.failures):  # the probes that open the circuit
+            started = time.perf_counter()
+            try:
+                client.jobs()
+            except GatewayUnreachable:
+                pass
+            connect_times.append(time.perf_counter() - started)
+        for _ in range(calls):
+            started = time.perf_counter()
+            try:
+                client.jobs()
+            except CircuitOpenError:
+                pass
+            fast_times.append(time.perf_counter() - started)
+    assert client.stats["breaker_fast_fails"] == calls, client.stats
+    connect_avg = sum(connect_times) / len(connect_times)
+    fast_avg = sum(fast_times) / len(fast_times)
+    return {
+        "calls": calls,
+        "connect_fail_ms": connect_avg * 1e3,
+        "fast_fail_ms": fast_avg * 1e3,
+        "speedup": connect_avg / fast_avg if fast_avg else 0.0,
+    }
+
+
+def run(quick: bool = False) -> dict:
+    scale = 4 if quick else 1
+    return {
+        "name": "service_resilience",
+        "shim": bench_shim_overhead(_WRITES // scale),
+        "fsck": bench_fsck(_JOBS // scale),
+        "shed": bench_shed_latency(_SHED_PROBES // scale),
+        "breaker": bench_breaker_fast_fail(_FAST_FAILS // scale),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="smaller probes")
+    args = parser.parse_args(argv)
+    payload = run(quick=args.quick)
+    print(json.dumps(payload, indent=2))
+    shim = payload["shim"]["shim_overhead_ratio"]
+    breaker = payload["breaker"]["speedup"]
+    print(
+        f"# shim overhead {shim:.2f}x, shed p50 {payload['shed']['p50_ms']:.1f} ms, "
+        f"breaker fast-fail {breaker:.1f}x faster than a connect failure"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

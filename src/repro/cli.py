@@ -303,6 +303,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="repro-api-keys/v1 tenant/key config file for --listen",
     )
     serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="gateway overload protection: concurrent requests executing "
+        "before new arrivals queue (default 64)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=128,
+        help="gateway overload protection: requests allowed to wait behind "
+        "--max-inflight before the rest are shed with 429 + Retry-After "
+        "(default 128)",
+    )
+    serve.add_argument(
         "--cluster",
         metavar="tcp://HOST:PORT",
         default=None,
@@ -321,6 +336,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=30.0,
         help="seconds to wait for --cluster-workers to connect",
+    )
+    serve.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="TESTING ONLY: inject seeded storage faults into every store "
+        "write, e.g. 'torn=0.05,enospc=0.02,eio=0.02,fsync-lie=0.05,seed=7' "
+        "(see repro.service.faultfs)",
     )
 
     def _connect_args(p):
@@ -432,6 +455,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="measure and report but do not write the tuning file",
     )
 
+    fsck = sub.add_parser(
+        "fsck",
+        help="scan a job store for corrupt records; --repair restores from "
+        "the last consistent checkpoint (docs/FAULT_TOLERANCE.md)",
+    )
+    fsck.add_argument("store", help="job store directory to scan")
+    fsck.add_argument(
+        "--repair",
+        action="store_true",
+        help="quarantine corrupt artifacts under <store>/.quarantine and "
+        "restore checkpoints from the last consistent generation",
+    )
+    fsck.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 if the scan produced any finding (CI gate: a healthy "
+        "store must be perfectly clean)",
+    )
+    fsck.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full repro-fsck/v1 report as JSON instead of a summary",
+    )
+
     check = sub.add_parser(
         "check",
         help="run the domain static-analysis suite (docs/STATIC_ANALYSIS.md)",
@@ -462,6 +509,7 @@ def main(argv: list[str] | None = None) -> int:
         "mask": _cmd_mask,
         "serve": _cmd_serve,
         "jobs": _cmd_jobs,
+        "fsck": _cmd_fsck,
         "tune": _cmd_tune,
         "check": _cmd_check,
         "tables": _cmd_tables,
@@ -872,7 +920,25 @@ def _crack_checkpointed(args, target) -> int:
         record = store.submit(spec, job_id=job_id)
         log = store.load_progress(job_id)
         print(f"job {job_id}: checkpointing under {store.job_dir(job_id)}")
-    except (CorruptCheckpointError, ValueError) as exc:
+    except CorruptCheckpointError as exc:
+        # The live checkpoint is torn; fsck quarantines it and restores
+        # the last consistent generation, so the resume loses at most the
+        # chunks gathered since that checkpoint — never the whole run.
+        from repro.service.fsck import fsck_store
+
+        print(f"checkpoint corrupt ({exc}); repairing store", file=sys.stderr)
+        fsck_store(args.checkpoint_dir, repair=True)
+        try:
+            record = store.load(job_id)
+            log = store.load_progress(job_id)
+        except (KeyError, CorruptCheckpointError, ValueError) as unrepaired:
+            print(f"error: {unrepaired}", file=sys.stderr)
+            return 2
+        print(
+            f"resuming job {job_id}: {log.done_count:,}/{log.total:,} recovered "
+            "from the last consistent checkpoint"
+        )
+    except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -944,6 +1010,17 @@ def _cmd_serve(args) -> int:
         print("error: --listen requires --api-keys", file=sys.stderr)
         return EXIT_USAGE
     recorder = _make_recorder(args)
+    faults = None
+    if args.faults:
+        from repro.service.faultfs import FaultConfig, FaultInjector
+
+        try:
+            faults = FaultInjector(FaultConfig.parse(args.faults), recorder=recorder)
+        except ValueError as exc:
+            print(f"error: --faults: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        print(f"WARNING: storage fault injection active ({args.faults})", flush=True)
+    store = JobStore(args.store, faults=faults)
     scheduler = None
     transport = None
     if args.cluster:
@@ -971,7 +1048,7 @@ def _cmd_serve(args) -> int:
             return 1
         try:
             scheduler = Scheduler(
-                JobStore(args.store),
+                store,
                 backend=ElasticBackend(transport, adaptive=True),
                 quantum=args.quantum,
                 checkpoint_every=args.checkpoint_every,
@@ -985,7 +1062,7 @@ def _cmd_serve(args) -> int:
             return EXIT_USAGE
     try:
         summary = serve(
-            JobStore(args.store) if scheduler is None else scheduler.store,
+            store,
             backend=args.backend,
             workers=args.workers,
             quantum=args.quantum,
@@ -999,6 +1076,8 @@ def _cmd_serve(args) -> int:
             scheduler=scheduler,
             listen=args.listen,
             api_keys=args.api_keys,
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
             on_api_start=lambda address: print(
                 f"gateway listening on http://{address[0]}:{address[1]}",
                 flush=True,
@@ -1021,6 +1100,51 @@ def _cmd_serve(args) -> int:
         print(f"  {state:9s} {summary.states[state]}")
     _emit_metrics(args, summary.metrics)
     return 0
+
+
+def _cmd_fsck(args) -> int:
+    """Scan (and optionally repair) a job store; print a repro-fsck/v1 report.
+
+    Exit codes: 0 = scan ran (clean, or findings merely reported /
+    repaired), 1 = ``--strict`` and the scan produced findings,
+    2 = usage error (store missing, internal report invalid).
+    """
+    import json as _json
+    from pathlib import Path
+
+    from repro.service.fsck import fsck_store, validate_fsck_report
+
+    if not args.store:
+        print("error: fsck needs a store path", file=sys.stderr)
+        return EXIT_USAGE
+    root = Path(args.store)
+    if not root.exists():
+        print(f"error: no store at {root}", file=sys.stderr)
+        return EXIT_USAGE
+    report = fsck_store(root, repair=args.repair)
+    problems = validate_fsck_report(report)
+    if problems:  # a report we would not accept ourselves is a bug
+        print(f"error: internal: invalid fsck report: {problems[0]}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.json:
+        print(_json.dumps(report, indent=2))
+    else:
+        print(
+            f"fsck {root}: {report['scanned']} job(s) scanned, "
+            f"{len(report['findings'])} finding(s), "
+            f"{report['repaired']} repaired, {report['quarantined']} quarantined, "
+            f"{report['removed']} removed"
+        )
+        for finding in report["findings"]:
+            print(
+                f"  [{finding['artifact']}] {finding['path']}: "
+                f"{finding['problem']} -> {finding['action']}"
+            )
+    if report["clean"] and not args.json:
+        print("store is clean")
+    if args.strict and report["findings"]:
+        return 1
+    return EXIT_OK
 
 
 def _cmd_tune(args) -> int:

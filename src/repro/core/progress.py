@@ -13,6 +13,7 @@ Invariant (property-tested): the completed set and the remaining set tile
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 
@@ -102,6 +103,16 @@ class ProgressLog:
                 "found": [[index, key] for index, key in self.found],
             }
         )
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical JSON form — the checkpoint checksum.
+
+        :meth:`to_json` is deterministic (sorted merged intervals, sorted
+        found pairs, fixed key order), so any two ledgers with the same
+        coverage produce the same digest and a flipped byte in a persisted
+        checkpoint is caught before it can corrupt a resume.
+        """
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
 
     @classmethod
     def from_json(cls, text: str) -> "ProgressLog":

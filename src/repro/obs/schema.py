@@ -135,6 +135,17 @@ class MetricNames:
     API_REQUEST_SECONDS = "api.request_seconds"  #: span per request, labelled route=
     EVENT_API_SUBMITTED = "api.submitted"  #: one accepted job submission
 
+    # -- service resilience: storage faults, shedding, fsck -------------- #
+    FAULT_INJECTED = "fault.injected"  #: injected storage faults, labelled kind=
+    SHED_REQUESTS = "shed.requests"  #: requests shed by admission control
+    SHED_QUEUE_DEPTH = "shed.queue_depth"  #: admission queue depth gauge
+    API_IDEMPOTENT_REPLAYS = "api.idempotent_replays"  #: dedup'd resubmits
+    SERVICE_STORE_ERRORS = "service.store_errors"  #: storage writes that failed
+    FSCK_SCANNED = "fsck.scanned"  #: job directories examined
+    FSCK_CORRUPT = "fsck.corrupt"  #: corrupt artifacts found, labelled artifact=
+    FSCK_REPAIRED = "fsck.repaired"  #: artifacts restored from a prev generation
+    FSCK_QUARANTINED = "fsck.quarantined"  #: artifacts moved out of the store
+
 
 #: Every registered metric name — the v2 validation registry.
 ALL_METRIC_NAMES: frozenset[str] = frozenset(

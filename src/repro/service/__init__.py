@@ -18,7 +18,12 @@ concurrent searches over one machine's execution backends:
   :mod:`repro.service.auth`, :mod:`repro.service.tenancy`);
 * :mod:`repro.service.client` — :class:`GatewayClient` (HTTP) and
   :class:`LocalClient` (direct store) behind one interface, so the CLI
-  drives either with the same code paths.
+  drives either with the same code paths;
+* :mod:`repro.service.faultfs` / :mod:`repro.service.fsck` /
+  :mod:`repro.service.resilience` — the storm-proofing layer: seeded
+  storage fault injection, the ``repro fsck`` scan/quarantine/repair
+  machinery (``repro-fsck/v1`` reports), and the client-side retry +
+  circuit-breaker policies (docs/FAULT_TOLERANCE.md).
 
 Typical embedding::
 
@@ -55,9 +60,18 @@ from repro.service.tenancy import (
 from repro.service.api import ApiServer, ApiServerThread
 from repro.service.client import (
     ApiClientError,
+    CircuitOpenError,
     GatewayClient,
     GatewayUnreachable,
     LocalClient,
+)
+from repro.service.faultfs import FaultConfig, FaultInjector, InjectedFault
+from repro.service.fsck import FSCK_SCHEMA, fsck_store, validate_fsck_report
+from repro.service.resilience import (
+    BreakerConfig,
+    BreakerRegistry,
+    CircuitBreaker,
+    RetryPolicy,
 )
 
 __all__ = [
@@ -88,7 +102,18 @@ __all__ = [
     "ApiServer",
     "ApiServerThread",
     "ApiClientError",
+    "CircuitOpenError",
     "GatewayClient",
     "GatewayUnreachable",
     "LocalClient",
+    "FaultConfig",
+    "FaultInjector",
+    "InjectedFault",
+    "FSCK_SCHEMA",
+    "fsck_store",
+    "validate_fsck_report",
+    "BreakerConfig",
+    "BreakerRegistry",
+    "CircuitBreaker",
+    "RetryPolicy",
 ]

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import threading
 import time
 
@@ -94,13 +95,25 @@ _CONTROL_OK = {
 _CONTROL_TARGET = {"pause": "paused", "resume": "queued", "cancel": "cancelled"}
 
 
-class ApiError(Exception):
-    """An HTTP-visible failure; rendered as a ``repro-api/v1`` error doc."""
+#: Bound on accepted ``Idempotency-Key`` values, characters.
+MAX_IDEMPOTENCY_KEY = 128
 
-    def __init__(self, status: int, message: str) -> None:
+
+class ApiError(Exception):
+    """An HTTP-visible failure; rendered as a ``repro-api/v1`` error doc.
+
+    ``retry_after`` (seconds) rides along on overload refusals (shed or
+    rate-limited 429s) and becomes both the document's ``retry_after``
+    field and the HTTP ``Retry-After`` header.
+    """
+
+    def __init__(
+        self, status: int, message: str, retry_after: float | None = None
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.retry_after = retry_after
 
 
 class _Request:
@@ -139,6 +152,15 @@ class ApiServer:
         Gateway-level :class:`Recorder`; ``GET /v1/metrics`` exports it.
     poll_interval:
         Sleep between long-poll re-checks of the events file.
+    max_inflight, max_queue:
+        Overload protection: at most ``max_inflight`` requests execute
+        concurrently, at most ``max_queue`` more wait behind them, and
+        everything beyond that is *shed* — refused immediately with 429
+        and a ``Retry-After`` — so a traffic storm degrades into fast,
+        honest refusals instead of unbounded queueing and timeouts.
+    idempotency_cache:
+        How many ``(tenant, Idempotency-Key) -> response`` entries the
+        submit dedup cache retains (oldest evicted first).
     """
 
     def __init__(
@@ -151,7 +173,14 @@ class ApiServer:
         port: int = 0,
         recorder: Recorder | None = None,
         poll_interval: float = 0.05,
+        max_inflight: int = 64,
+        max_queue: int = 128,
+        idempotency_cache: int = 1024,
     ) -> None:
+        if max_inflight < 1 or max_queue < 0 or idempotency_cache < 1:
+            raise ValueError(
+                "need max_inflight >= 1, max_queue >= 0, idempotency_cache >= 1"
+            )
         self.store = store
         self.keyring = keyring
         self.tenants = tenants
@@ -160,11 +189,19 @@ class ApiServer:
         self.port = port
         self.recorder = recorder if recorder is not None else Recorder()
         self.poll_interval = poll_interval
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.idempotency_cache = idempotency_cache
         self.address: tuple[str, int] | None = None
         self._server: asyncio.base_events.Server | None = None
         self._tasks: set[asyncio.Task] = set()
         self._submit_lock: asyncio.Lock | None = None
+        self._admission: asyncio.Semaphore | None = None
+        self._waiting = 0  #: requests queued behind the admission semaphore
         self._open_streams = 0
+        #: (tenant, Idempotency-Key) -> (status, response document),
+        #: insertion-ordered so eviction drops the oldest entry.
+        self._idempotency: dict[tuple[str, str], tuple[int, dict]] = {}
 
     # ---------------------------------------------------------------- #
     # Lifecycle.
@@ -172,6 +209,7 @@ class ApiServer:
     async def start(self) -> tuple[str, int]:
         """Bind and start accepting; returns the bound (host, port)."""
         self._submit_lock = asyncio.Lock()
+        self._admission = asyncio.Semaphore(self.max_inflight)
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -278,11 +316,18 @@ class ApiServer:
         body = (json.dumps(document) + "\n").encode()
         reason = _REASONS.get(status, "Unknown")
         connection = "keep-alive" if keep_alive else "close"
+        extra = ""
+        retry_after = document.get("retry_after")
+        if document.get("kind") == "error" and isinstance(retry_after, (int, float)):
+            # HTTP Retry-After is integer delta-seconds; round up so the
+            # client never comes back before the document said it could.
+            extra = f"Retry-After: {max(1, math.ceil(retry_after))}\r\n"
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {connection}\r\n"
+            f"{extra}"
             "\r\n"
         ).encode("latin-1")
         writer.write(head + body)
@@ -295,9 +340,11 @@ class ApiServer:
         started = time.perf_counter()
         route = self._route_label(request)
         try:
-            status, document = await self._dispatch(request)
+            status, document = await self._admit(request)
         except ApiError as exc:
-            status, document = exc.status, wire.error_response(exc.message, exc.status)
+            status, document = exc.status, wire.error_response(
+                exc.message, exc.status, exc.retry_after
+            )
         except Exception as exc:  # noqa: BLE001 - the gateway must not die
             status = 500
             document = wire.error_response(f"internal error: {exc}", 500)
@@ -329,6 +376,36 @@ class ApiServer:
                 segments[2] = "{tenant}"
         return f"{request.method} /" + "/".join(segments)
 
+    async def _admit(self, request: _Request) -> tuple[int, dict]:
+        """Admission control: bounded concurrency + bounded queue + shed.
+
+        Runs *before* auth so an overloaded gateway spends nothing on a
+        request it is about to refuse.  Shed responses carry an honest
+        ``Retry-After`` instead of letting the request rot in a queue.
+        """
+        assert self._admission is not None
+        # A request only "queues" when every inflight slot is taken; an
+        # idle server admits immediately even with max_queue=0.
+        if self._admission.locked() and self._waiting >= self.max_queue:
+            self.recorder.counter(MetricNames.SHED_REQUESTS)
+            raise ApiError(
+                429,
+                f"server overloaded ({self.max_inflight} in flight, "
+                f"{self._waiting} queued); request shed",
+                retry_after=1.0,
+            )
+        self._waiting += 1
+        self.recorder.gauge(MetricNames.SHED_QUEUE_DEPTH, self._waiting)
+        try:
+            await self._admission.acquire()
+        finally:
+            self._waiting -= 1
+            self.recorder.gauge(MetricNames.SHED_QUEUE_DEPTH, self._waiting)
+        try:
+            return await self._dispatch(request)
+        finally:
+            self._admission.release()
+
     async def _dispatch(self, request: _Request) -> tuple[int, dict]:
         try:
             tenant = self.keyring.authenticate(from_header(request.headers))
@@ -339,16 +416,21 @@ class ApiServer:
             # A key whose tenant was deconfigured is as good as unknown.
             self.recorder.counter(MetricNames.API_AUTH_FAILURES)
             raise ApiError(401, f"tenant {tenant!r} is not configured")
-        if not self.tenants.bucket(tenant).try_take():
+        bucket = self.tenants.bucket(tenant)
+        if not bucket.try_take():
             self.recorder.counter(MetricNames.API_RATE_LIMITED, tenant=tenant)
-            raise ApiError(429, f"tenant {tenant}: rate limit exceeded")
+            raise ApiError(
+                429,
+                f"tenant {tenant}: rate limit exceeded",
+                retry_after=bucket.seconds_until(),
+            )
 
         segments = [s for s in request.path.split("/") if s]
         if not segments or segments[0] != "v1":
             raise ApiError(404, f"no such route: {request.path}")
         if segments[1:] == ["jobs"]:
             if request.method == "POST":
-                return await self._submit(tenant, request.body)
+                return await self._submit(tenant, request)
             if request.method == "GET":
                 return await self._list_jobs(tenant)
             raise ApiError(405, f"{request.method} not allowed on /v1/jobs")
@@ -363,7 +445,9 @@ class ApiServer:
                 if verb == "events":
                     if request.method != "GET":
                         raise ApiError(405, "events is GET-only")
-                    return await self._events(tenant, job_id, request.query)
+                    return await self._events(
+                        tenant, job_id, request.query, request.headers
+                    )
                 if verb == "metrics":
                     if request.method != "GET":
                         raise ApiError(405, "metrics is GET-only")
@@ -400,14 +484,36 @@ class ApiServer:
             raise ApiError(400, f"expected a {kind!r} document")
         return document
 
-    async def _submit(self, tenant: str, body: bytes) -> tuple[int, dict]:
-        document = self._parse_document(body, "submit")
+    def _idempotency_key(self, request: _Request) -> str | None:
+        key = request.headers.get("idempotency-key")
+        if key is None:
+            return None
+        if not key or len(key) > MAX_IDEMPOTENCY_KEY or not key.isprintable():
+            raise ApiError(
+                400,
+                f"Idempotency-Key must be 1..{MAX_IDEMPOTENCY_KEY} printable "
+                "characters",
+            )
+        return key
+
+    async def _submit(self, tenant: str, request: _Request) -> tuple[int, dict]:
+        idem = self._idempotency_key(request)
+        document = self._parse_document(request.body, "submit")
         spec = JobSpec.from_dict(document["spec"])
         priority = document.get("priority", 1)
         effective = self.tenants.effective_priority(tenant, priority)
         suffix = document.get("job")
         assert self._submit_lock is not None
         async with self._submit_lock:
+            if idem is not None:
+                cached = self._idempotency.get((tenant, idem))
+                if cached is not None:
+                    # A retried submission: replay the original response
+                    # verbatim instead of double-running the job.
+                    self.recorder.counter(
+                        MetricNames.API_IDEMPOTENT_REPLAYS, tenant=tenant
+                    )
+                    return cached
             # Quota check + id allocation + submit are one critical
             # section, so concurrent submitters cannot overshoot
             # max_queued between the count and the write.
@@ -429,6 +535,14 @@ class ApiServer:
             depth = await asyncio.to_thread(
                 self.tenants.active_jobs, self.store, tenant
             )
+            response = (
+                201,
+                wire.submitted_response(record.id, tenant, effective, spec.space_size),
+            )
+            if idem is not None:
+                while len(self._idempotency) >= self.idempotency_cache:
+                    self._idempotency.pop(next(iter(self._idempotency)))
+                self._idempotency[(tenant, idem)] = response
         self.recorder.gauge(MetricNames.API_QUEUE_DEPTH, depth, tenant=tenant)
         self.recorder.event(
             MetricNames.EVENT_API_SUBMITTED,
@@ -436,9 +550,7 @@ class ApiServer:
             job=record.id,
             priority=effective,
         )
-        return 201, wire.submitted_response(
-            record.id, tenant, effective, spec.space_size
-        )
+        return response
 
     def _fresh_namespaced_id(self, tenant: str, spec: JobSpec) -> str:
         stem = spec.digest.hex()[:8]
@@ -482,7 +594,11 @@ class ApiServer:
         return 200, wire.job_list_response(documents)
 
     async def _events(
-        self, tenant: str, job_id: str, query: dict[str, str]
+        self,
+        tenant: str,
+        job_id: str,
+        query: dict[str, str],
+        headers: dict[str, str] | None = None,
     ) -> tuple[int, dict]:
         record = await self._load_owned(tenant, job_id)
         try:
@@ -493,6 +609,16 @@ class ApiServer:
         if cursor < 0:
             raise ApiError(400, "cursor must be >= 0")
         timeout = min(max(timeout, 0.0), MAX_POLL_TIMEOUT)
+        if headers and "x-request-timeout" in headers:
+            # The client's own deadline, propagated so the long-poll wait
+            # never outlives the caller that asked for it.
+            try:
+                client_budget = float(headers["x-request-timeout"])
+            except ValueError:
+                raise ApiError(400, "X-Request-Timeout must be numeric") from None
+            if client_budget < 0:
+                raise ApiError(400, "X-Request-Timeout must be >= 0")
+            timeout = min(timeout, client_budget)
         loop = asyncio.get_running_loop()
         deadline = loop.time() + timeout
         self._open_streams += 1

@@ -13,21 +13,38 @@ Both clients raise the same exceptions:
   for the same failure: 404 unknown job, 409 illegal transition, ...).
 * :class:`GatewayUnreachable` — nobody answered at the address
   (connection refused/reset, DNS failure); LocalClient never raises it.
+  Its subclass :class:`CircuitOpenError` means the client's per-host
+  circuit breaker is refusing to even try.
 
 :class:`GatewayClient` holds one keep-alive connection and is **not**
 thread-safe — concurrent submitters each construct their own (the
-benchmark and the concurrency tests do exactly this).
+benchmark and the concurrency tests do exactly this).  What it *is* is
+resilient: transport failures retry under a jittered
+:class:`~repro.service.resilience.RetryPolicy`, a per-host
+:class:`~repro.service.resilience.CircuitBreaker` fast-fails while the
+gateway is sick, and every ``submit`` carries an ``Idempotency-Key`` so
+a retried submission can never double-run a job.  The retry rules are
+deliberately asymmetric:
+
+* a *connect* failure (nothing was ever sent) retries for any verb;
+* a *mid-request* failure (stale keep-alive socket, reset after send —
+  the server may already have acted) retries only when the request is
+  idempotent: ``GET``, or a ``POST`` carrying an ``Idempotency-Key``.
+  Non-idempotent verbs surface the error immediately.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import os
+import random
 import time
 from urllib.parse import quote, urlsplit
 
 from repro.service import wire
 from repro.service.jobstore import TERMINAL_STATES, JobSpec, JobStore
+from repro.service.resilience import DEFAULT_BREAKERS, BreakerRegistry, RetryPolicy
 
 
 class ApiClientError(Exception):
@@ -43,10 +60,29 @@ class GatewayUnreachable(Exception):
     """No gateway answered at the configured address."""
 
 
+class CircuitOpenError(GatewayUnreachable):
+    """The per-host circuit breaker is open; the request was not sent."""
+
+
+class _ConnectFailed(Exception):
+    """Transport failure before anything was sent — retry-safe for any verb."""
+
+
+class _MidRequestFailed(Exception):
+    """Transport failure after (part of) the request may have been sent."""
+
+
 class GatewayClient:
     """Drive a remote ``repro-api/v1`` gateway over one keep-alive socket."""
 
-    def __init__(self, base_url: str, api_key: str, timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        api_key: str,
+        timeout: float = 60.0,
+        retry: RetryPolicy | None = None,
+        breakers: BreakerRegistry | None = None,
+    ) -> None:
         split = urlsplit(base_url)
         if split.scheme != "http" or not split.hostname:
             raise ValueError(
@@ -56,7 +92,15 @@ class GatewayClient:
         self.port = split.port if split.port is not None else 80
         self.api_key = api_key
         self.timeout = timeout
+        self.retry = retry or RetryPolicy()
+        self._breaker = (breakers or DEFAULT_BREAKERS).breaker_for(
+            f"{self.host}:{self.port}"
+        )
+        self._rng = random.Random()
         self._connection: http.client.HTTPConnection | None = None
+        #: Observable resilience counters (asserted on by tests, surfaced
+        #: nowhere else): retries, reconnects, breaker fast-fails.
+        self.stats = {"retries": 0, "reconnects": 0, "breaker_fast_fails": 0}
 
     # ------------------------------------------------------------- #
     def close(self) -> None:
@@ -70,39 +114,90 @@ class GatewayClient:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _request(self, method: str, path: str, document: dict | None = None) -> dict:
+    def _once(self, method: str, path: str, body, headers) -> tuple:
+        """One request attempt on the current (or a fresh) connection."""
+        if self._connection is None:
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            try:
+                connection.connect()
+            except OSError as exc:
+                raise _ConnectFailed(
+                    f"cannot reach gateway at {self.host}:{self.port}: {exc}"
+                ) from None
+            self._connection = connection
+            self.stats["reconnects"] += 1
+        try:
+            self._connection.request(method, path, body=body, headers=headers)
+            response = self._connection.getresponse()
+            payload = response.read()
+        except (
+            http.client.RemoteDisconnected,
+            http.client.BadStatusLine,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            self.close()
+            raise _MidRequestFailed(
+                f"gateway at {self.host}:{self.port} closed the connection"
+            ) from None
+        except OSError as exc:
+            self.close()
+            raise _MidRequestFailed(
+                f"gateway at {self.host}:{self.port} failed mid-request: {exc}"
+            ) from None
+        return response, payload
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        document: dict | None = None,
+        idempotency_key: str | None = None,
+        request_timeout: float | None = None,
+    ) -> dict:
         body = json.dumps(document).encode() if document is not None else None
         headers = {"Authorization": f"Bearer {self.api_key}"}
         if body is not None:
             headers["Content-Type"] = "application/json"
-        for attempt in (1, 2):
-            if self._connection is None:
-                self._connection = http.client.HTTPConnection(
-                    self.host, self.port, timeout=self.timeout
-                )
+        if idempotency_key is not None:
+            headers["Idempotency-Key"] = idempotency_key
+        if request_timeout is not None:
+            headers["X-Request-Timeout"] = f"{request_timeout:.3f}"
+        idempotent = method == "GET" or idempotency_key is not None
+
+        last_error: Exception | None = None
+        response = payload = None
+        for attempt in range(self.retry.attempts):
+            if attempt:
+                self.stats["retries"] += 1
+                time.sleep(self.retry.delay(attempt - 1, self._rng))
+            if not self._breaker.allow():
+                self.stats["breaker_fast_fails"] += 1
+                raise CircuitOpenError(
+                    f"circuit open for {self.host}:{self.port}; next probe in "
+                    f"{self._breaker.seconds_until_probe():.1f}s"
+                ) from last_error
             try:
-                self._connection.request(method, path, body=body, headers=headers)
-                response = self._connection.getresponse()
-                payload = response.read()
+                response, payload = self._once(method, path, body, headers)
+            except _ConnectFailed as exc:
+                self._breaker.record_failure()
+                last_error = GatewayUnreachable(str(exc))
+            except _MidRequestFailed as exc:
+                self._breaker.record_failure()
+                last_error = GatewayUnreachable(str(exc))
+                if not idempotent:
+                    # The server may already have acted on this request;
+                    # a blind replay could double-run it.
+                    raise last_error from None
+            else:
+                self._breaker.record_success()
                 break
-            except (
-                http.client.RemoteDisconnected,
-                http.client.BadStatusLine,
-                ConnectionResetError,
-                BrokenPipeError,
-            ):
-                # The server closed our idle keep-alive socket; one clean
-                # retry on a fresh connection, then give up.
-                self.close()
-                if attempt == 2:
-                    raise GatewayUnreachable(
-                        f"gateway at {self.host}:{self.port} closed the connection"
-                    ) from None
-            except OSError as exc:
-                self.close()
-                raise GatewayUnreachable(
-                    f"cannot reach gateway at {self.host}:{self.port}: {exc}"
-                ) from None
+        if response is None:
+            assert last_error is not None
+            raise last_error
+
         try:
             parsed = json.loads(payload)
         except json.JSONDecodeError as exc:
@@ -120,9 +215,27 @@ class GatewayClient:
         return parsed
 
     # ------------------------------------------------------------- #
-    def submit(self, spec: dict, priority: int = 1, job: str | None = None) -> dict:
+    def submit(
+        self,
+        spec: dict,
+        priority: int = 1,
+        job: str | None = None,
+        idempotency_key: str | None = None,
+    ) -> dict:
+        """Submit a job; always idempotent.
+
+        A fresh ``Idempotency-Key`` is generated per call when none is
+        supplied and reused across that call's internal retries, so a
+        submission that raced a dropped connection can be replayed safely
+        — the gateway returns the original job instead of a duplicate.
+        """
+        if idempotency_key is None:
+            idempotency_key = os.urandom(16).hex()
         return self._request(
-            "POST", "/v1/jobs", wire.submit_request(spec, priority, job)
+            "POST",
+            "/v1/jobs",
+            wire.submit_request(spec, priority, job),
+            idempotency_key=idempotency_key,
         )
 
     def jobs(self) -> dict:
@@ -139,9 +252,12 @@ class GatewayClient:
         )
 
     def events(self, job_id: str, cursor: int = 0, timeout: float = 10.0) -> dict:
+        # X-Request-Timeout propagates the client's deadline so the
+        # server's long-poll wait never outlives the caller's patience.
         return self._request(
             "GET",
             f"/v1/jobs/{quote(job_id)}/events?cursor={cursor}&timeout={timeout}",
+            request_timeout=timeout,
         )
 
     def metrics(self, job_id: str | None = None) -> dict:
@@ -238,6 +354,9 @@ class LocalClient:
         return self._document(self._load(job_id))
 
     def events(self, job_id: str, cursor: int = 0, timeout: float = 0.0) -> dict:
+        if cursor < 0:
+            # Gateway parity: a negative cursor is a 400, never a replay.
+            raise ApiClientError(400, "cursor must be >= 0")
         record = self._load(job_id)
         deadline = time.monotonic() + max(timeout, 0.0)
         while True:

@@ -29,7 +29,7 @@ import signal
 import time
 from dataclasses import dataclass, field
 
-from repro.obs import Recorder
+from repro.obs import MetricNames, Recorder
 from repro.service.jobstore import JobStore, RUNNABLE_STATES
 from repro.service.scheduler import Scheduler
 
@@ -63,6 +63,8 @@ def serve(
     scheduler: Scheduler | None = None,
     listen: str | None = None,
     api_keys: str | None = None,
+    max_inflight: int = 64,
+    max_queue: int = 128,
     on_api_start=None,
 ) -> ServeSummary:
     """Run the scheduling loop until idle (``once``), drained, or stopped.
@@ -82,6 +84,9 @@ def serve(
     config file (:func:`repro.service.tenancy.load_tenants`).
     ``on_api_start`` is called with the bound ``(host, port)`` once the
     gateway accepts connections — tests and the CLI banner use it.
+    ``max_inflight``/``max_queue`` bound the gateway's admission control
+    (see :class:`~repro.service.api.ApiServer`): beyond them requests are
+    shed with 429 + ``Retry-After`` instead of queueing unboundedly.
     """
     store = store if isinstance(store, JobStore) else JobStore(store)
     owns_scheduler = scheduler is None
@@ -116,6 +121,8 @@ def serve(
             host=host,
             port=int(port_text),
             recorder=Recorder(),
+            max_inflight=max_inflight,
+            max_queue=max_queue,
         )
         api_thread = ApiServerThread(api_server)
         summary.api_address = api_thread.start()
@@ -133,21 +140,47 @@ def serve(
             except ValueError:  # not the main thread
                 break
 
+    store_failures = 0  #: consecutive rounds lost to storage faults
     try:
         while not sched.draining:
             if max_rounds is not None and summary.rounds >= max_rounds:
                 break
-            runnable = sched.runnable_jobs()
-            if not runnable:
-                if once:
-                    break
-                time.sleep(poll_interval)
+            try:
+                runnable = sched.runnable_jobs()
+                if not runnable:
+                    if once:
+                        break
+                    time.sleep(poll_interval)
+                    continue
+                sched.step()
+            except (OSError, ValueError):
+                # A storage fault escaped the scheduler's slice guards —
+                # e.g. a torn job.json breaking the store scan.  The
+                # daemon is the wrong place to die: repair the store in
+                # place and resume.  Only a fault that survives repeated
+                # repairs (a genuinely broken disk) still propagates.
+                from repro.service.fsck import fsck_store
+
+                store_failures += 1
+                if store_failures > 3:
+                    raise
+                if recorder is not None:
+                    recorder.counter(MetricNames.SERVICE_STORE_ERRORS)
+                fsck_store(store.root, repair=True)
                 continue
-            sched.step()
+            store_failures = 0
             summary.rounds += 1
         if sched.draining:
             summary.drained = True
-            sched.run_until_idle(max_rounds=0)  # parks running jobs as queued
+            try:
+                sched.run_until_idle(max_rounds=0)  # parks running jobs as queued
+            except (OSError, ValueError):
+                from repro.service.fsck import fsck_store
+
+                # Parking tripped over a storage fault; leave the store
+                # consistent for the restart even if some jobs stay
+                # marked running (the next serve resumes them anyway).
+                fsck_store(store.root, repair=True)
     finally:
         for signum, handler in previous_handlers.items():
             signal.signal(signum, handler)

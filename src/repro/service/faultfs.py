@@ -1,0 +1,228 @@
+"""Seeded filesystem fault injection for the job-service storage layer.
+
+The cluster layer earned its crash-safety claims through seeded chaos
+(:mod:`repro.cluster.chaos`); this module gives the *storage* path the
+same treatment.  A :class:`FaultInjector` threads through
+:func:`repro.service.jobstore.atomic_write_json` and fires one of four
+storage failure modes, each chosen deterministically from a seed:
+
+* ``enospc`` — the write fails up front with ``OSError(ENOSPC)``; the
+  target file is untouched (disk-full before anything landed);
+* ``eio`` — the temp file is half-written, then the write fails with
+  ``OSError(EIO)``; the target is untouched but an orphan ``.tmp`` is
+  left behind for ``repro fsck`` to sweep;
+* ``torn`` — a truncated document lands *in the target itself* and the
+  process "crashes" (:class:`InjectedFault` is raised): the storage
+  stack reordered the rename ahead of the data blocks, the classic
+  rename-without-barrier corruption;
+* ``fsync_lie`` — the call reports success but the target holds a
+  truncated document: the drive acknowledged a flush it never did.
+  This is the silent case — nothing raises, so only a later read (or
+  ``repro fsck``) can notice.
+
+At most one fault fires per write (a single uniform draw partitioned
+across the configured rates), so a fault schedule is reproducible from
+``(seed, write sequence)`` alone.  Every injection increments the
+``fault.injected`` counter (labelled ``kind=``) on the recorder, and the
+injector keeps its own per-kind tally for tests to assert on.
+
+All of this is opt-in: a ``JobStore`` without an injector pays zero
+overhead, and nothing in the production path constructs one.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.obs import MetricNames, Recorder
+
+#: The storage failure modes an injector can fire, in draw order.
+FAULT_KINDS = ("torn", "enospc", "eio", "fsync_lie")
+
+
+class InjectedFault(OSError):
+    """A deliberately injected storage failure (simulated crash or I/O error).
+
+    Subclasses :class:`OSError` so production code that already guards
+    storage with ``except OSError`` treats injected faults exactly like
+    real ones; tests can still catch :class:`InjectedFault` specifically
+    to distinguish injection from genuine disk trouble.
+    """
+
+    def __init__(self, kind: str, path: Path, message: str) -> None:
+        number = {
+            "enospc": errno.ENOSPC,
+            "eio": errno.EIO,
+        }.get(kind, errno.EIO)
+        super().__init__(number, message, str(path))
+        self.kind = kind
+        self.fault_path = Path(path)
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Per-write probabilities for each storage failure mode.
+
+    Rates are independent probabilities in ``[0, 1]``; their sum must not
+    exceed 1 because a single uniform draw is partitioned across them
+    (at most one fault per write).  ``seed`` makes the schedule
+    reproducible.
+    """
+
+    torn: float = 0.0
+    enospc: float = 0.0
+    eio: float = 0.0
+    fsync_lie: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for kind in FAULT_KINDS:
+            rate = getattr(self, kind)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{kind} rate must be in [0, 1], got {rate}")
+        if self.total_rate > 1.0:
+            raise ValueError(
+                f"fault rates sum to {self.total_rate}; at most one fault "
+                "fires per write so the sum must be <= 1"
+            )
+
+    @property
+    def total_rate(self) -> float:
+        return self.torn + self.enospc + self.eio + self.fsync_lie
+
+    @property
+    def enabled(self) -> bool:
+        return self.total_rate > 0.0
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultConfig":
+        """Parse a ``torn=0.05,eio=0.02,seed=7`` spec string.
+
+        Mirrors :meth:`repro.cluster.chaos.ChaosConfig.parse` so the two
+        fault surfaces share one CLI idiom (``repro serve --faults ...``).
+        Dashes in knob names normalize to underscores.
+        """
+        kwargs: dict[str, object] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(f"fault spec {part!r} is not key=value")
+            key, _, value = part.partition("=")
+            key = key.strip().replace("-", "_")
+            value = value.strip()
+            if key == "seed":
+                kwargs[key] = int(value)
+            elif key in FAULT_KINDS:
+                kwargs[key] = float(value)
+            else:
+                raise ValueError(
+                    f"unknown fault knob {key!r} (expected one of "
+                    f"{', '.join(FAULT_KINDS)} or seed)"
+                )
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+
+class FaultInjector:
+    """Draws from a seeded RNG and fires storage faults at write sites.
+
+    The two hooks are called by :func:`~repro.service.jobstore.atomic_write_json`:
+    :meth:`before_write` may fail the operation before the data lands
+    (``enospc``/``eio``), :meth:`after_replace` may corrupt the freshly
+    renamed target (``torn`` raises, ``fsync_lie`` stays silent).  One
+    draw in :meth:`before_write` decides the whole write's fate, so the
+    schedule is a pure function of the seed and the write sequence.
+    """
+
+    def __init__(self, config: FaultConfig, recorder: Recorder | None = None) -> None:
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._recorder = recorder
+        self.counts: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        self._pending: str | None = None
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.counts.values())
+
+    def _record(self, kind: str) -> None:
+        self.counts[kind] += 1
+        if self._recorder is not None:
+            self._recorder.counter(MetricNames.FAULT_INJECTED, kind=kind)
+
+    def _draw(self) -> str | None:
+        if not self.config.enabled:
+            return None
+        roll = self._rng.random()
+        edge = 0.0
+        for kind in FAULT_KINDS:
+            edge += getattr(self.config, kind)
+            if roll < edge:
+                return kind
+        return None
+
+    # -- hooks called by atomic_write_json ------------------------------ #
+    def before_write(self, path: Path, tmp: Path, payload: str) -> None:
+        """Decide this write's fate; raise for the pre-rename failures.
+
+        ``enospc`` raises with nothing on disk.  ``eio`` half-writes the
+        temp file first — the orphan ``.tmp`` is what a real interrupted
+        write leaves for ``repro fsck`` to sweep.  ``torn``/``fsync_lie``
+        are remembered for :meth:`after_replace`.
+        """
+        kind = self._draw()
+        self._pending = None
+        if kind is None:
+            return
+        if kind == "enospc":
+            self._record(kind)
+            raise InjectedFault(kind, path, "injected ENOSPC: no space left on device")
+        if kind == "eio":
+            self._record(kind)
+            with open(tmp, "w") as handle:
+                handle.write(payload[: max(1, len(payload) // 2)])
+            raise InjectedFault(kind, path, "injected EIO: I/O error mid-write")
+        self._pending = kind
+
+    def after_replace(self, path: Path, payload: str) -> None:
+        """Fire a post-rename fault decided in :meth:`before_write`.
+
+        ``torn`` truncates the target and raises (the simulated crash);
+        ``fsync_lie`` truncates and returns success — the caller learns
+        nothing, which is precisely the failure ``repro fsck`` exists
+        to catch.
+        """
+        kind, self._pending = self._pending, None
+        if kind is None:
+            return
+        truncated = payload[: max(1, len(payload) // 2)]
+        with open(path, "w") as handle:
+            handle.write(truncated)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._record(kind)
+        if kind == "torn":
+            raise InjectedFault(
+                kind, path, "injected torn write: rename reordered ahead of data"
+            )
+
+    def before_append(self, path: Path) -> None:
+        """Gate an ``events.log`` append; only the raising kinds apply.
+
+        Appends are not atomic-rename writes, so ``torn``/``fsync_lie``
+        draws are counted against the raising modes' semantics: a torn
+        append simply fails like EIO (the half-line never lands).
+        """
+        kind = self._draw()
+        if kind is None:
+            return
+        if kind == "enospc":
+            self._record(kind)
+            raise InjectedFault(kind, path, "injected ENOSPC: no space left on device")
+        self._record("eio")
+        raise InjectedFault("eio", path, "injected EIO: append failed")

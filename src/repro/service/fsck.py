@@ -1,0 +1,364 @@
+"""``repro fsck`` — scan, quarantine, and repair a job store.
+
+The storage layer promises that every document is either absent or whole
+(:func:`~repro.service.jobstore.atomic_write_json`), but
+:mod:`~repro.service.faultfs` exists precisely because disks break that
+promise: a lying fsync leaves a truncated ``checkpoint.json`` that nothing
+notices until a resume explodes hours later.  ``fsck_store`` is the offline
+recovery tool for that world.  It walks a store directory, checks every
+artifact a :class:`~repro.service.jobstore.JobStore` owns, and — in repair
+mode — quarantines what is corrupt and restores what it can:
+
+* ``job.json`` unreadable/invalid → restored from the previous generation
+  (``job.prev.json``, retained by :meth:`JobStore.save`) when one survives;
+  with no usable previous generation the spec is unrecoverable and the
+  whole job directory is quarantined (moved under ``<root>/.quarantine/``);
+* ``checkpoint.json`` unreadable/invalid → the corrupt file is quarantined
+  and the last consistent generation (``checkpoint.prev.json``, retained by
+  :meth:`JobStore.save_progress`) is restored; with no usable previous
+  generation the job gets a fresh empty checkpoint (coverage restarts, but
+  correctness — every candidate tested at least once — is preserved);
+* a stale ``checkpoint.prev.json`` that is itself corrupt → removed;
+* ``metrics.json`` unreadable → removed (it is a replaceable export);
+* orphan ``*.tmp`` files (an interrupted write) → removed.
+
+Every run produces a ``repro-fsck/v1`` report; :func:`validate_fsck_report`
+is its schema gate, mirroring ``validate_job``/``validate_metrics``.  A
+*clean* store — one a healthy service produced — yields zero findings, a
+property the test suite asserts so fsck can never train operators to
+ignore it.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+from repro.core.progress import ProgressLog
+from repro.obs import NULL_RECORDER, MetricNames, Recorder
+from repro.service.jobstore import JobSpec, validate_job
+
+FSCK_SCHEMA = "repro-fsck/v1"
+
+#: Artifact classes a finding can name.
+FSCK_ARTIFACTS = ("job", "job_prev", "checkpoint", "checkpoint_prev", "metrics", "tmp")
+
+#: What repair mode did about a finding.
+FSCK_ACTIONS = ("none", "repaired", "quarantined", "removed")
+
+_QUARANTINE_DIR = ".quarantine"
+
+
+def _finding(job: str, artifact: str, path: Path, root: Path, problem: str) -> dict:
+    try:
+        rel = str(path.relative_to(root))
+    except ValueError:  # pragma: no cover - paths always live under root
+        rel = str(path)
+    return {
+        "job": job,
+        "artifact": artifact,
+        "path": rel,
+        "problem": problem,
+        "action": "none",
+    }
+
+
+def _quarantine_path(root: Path, name: str) -> Path:
+    """A fresh destination under ``<root>/.quarantine`` (never clobbers)."""
+    base = root / _QUARANTINE_DIR
+    base.mkdir(parents=True, exist_ok=True)
+    dest = base / name
+    n = 1
+    while dest.exists():
+        n += 1
+        dest = base / f"{name}.{n}"
+    return dest
+
+
+def _load_json(path: Path) -> tuple[dict | None, str | None]:
+    """Parse a JSON document; returns ``(document, problem)``."""
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+        return None, f"unreadable: {exc}"
+    if not isinstance(document, dict):
+        return None, "not a JSON object"
+    return document, None
+
+
+def _job_record_problem(document: dict, job_id: str) -> str | None:
+    """Validate one job-record document against its directory."""
+    problems = validate_job(document)
+    if problems:
+        return "; ".join(problems)
+    if document.get("kind") != "job":
+        return f"kind is {document.get('kind')!r}, expected 'job'"
+    if document.get("id") != job_id:
+        return f"record id {document.get('id')!r} does not match directory name"
+    return None
+
+
+def _checkpoint_problem(document: dict, job_id: str, space_size: int | None) -> str | None:
+    """Validate one checkpoint document against its owning job."""
+    problems = validate_job(document)
+    if problems:
+        return "; ".join(problems)
+    if document.get("kind") != "checkpoint":
+        return f"kind is {document.get('kind')!r}, expected 'checkpoint'"
+    if document.get("job") != job_id:
+        return f"belongs to job {document.get('job')!r}, found under {job_id!r}"
+    if space_size is not None:
+        total = document["progress"].get("total")
+        if total != space_size:
+            return f"progress total {total} does not match the spec's space of {space_size}"
+    return None
+
+
+def _fresh_checkpoint(store, job_id: str, space_size: int) -> None:
+    store.save_progress(job_id, ProgressLog(total=space_size))
+
+
+def fsck_store(
+    root: str | Path,
+    repair: bool = False,
+    recorder: Recorder | None = None,
+) -> dict:
+    """Scan (and optionally repair) a job store; return a ``repro-fsck/v1`` report.
+
+    With ``repair=False`` this is a pure read-only audit — nothing on disk
+    moves.  With ``repair=True`` corrupt artifacts are quarantined under
+    ``<root>/.quarantine/`` (never deleted outright, except replaceable
+    metrics exports and orphan temp files) and checkpoints are restored
+    from the last consistent generation where one survives.
+    """
+    from repro.service.jobstore import JobStore
+
+    recorder = recorder or NULL_RECORDER
+    root = Path(root)
+    findings: list[dict] = []
+    scanned = 0
+    store = JobStore(root) if repair else None
+
+    job_dirs = sorted(
+        path
+        for path in (root.iterdir() if root.exists() else [])
+        if path.is_dir() and path.name != _QUARANTINE_DIR
+    )
+    for job_dir in job_dirs:
+        scanned += 1
+        recorder.counter(MetricNames.FSCK_SCANNED)
+        findings.extend(_fsck_job_dir(job_dir, root, repair, store, recorder))
+
+    repaired = sum(1 for f in findings if f["action"] == "repaired")
+    quarantined = sum(1 for f in findings if f["action"] == "quarantined")
+    removed = sum(1 for f in findings if f["action"] == "removed")
+    return {
+        "schema": FSCK_SCHEMA,
+        "store": str(root),
+        "scanned": scanned,
+        "clean": not findings,
+        "findings": findings,
+        "repaired": repaired,
+        "quarantined": quarantined,
+        "removed": removed,
+    }
+
+
+def _fsck_job_dir(
+    job_dir: Path, root: Path, repair: bool, store, recorder: Recorder
+) -> list[dict]:
+    job_id = job_dir.name
+    findings: list[dict] = []
+    job_path = job_dir / "job.json"
+    job_prev_path = job_dir / "job.prev.json"
+    checkpoint_path = job_dir / "checkpoint.json"
+    prev_path = job_dir / "checkpoint.prev.json"
+    metrics_path = job_dir / "metrics.json"
+
+    def flag(artifact: str, path: Path, problem: str) -> dict:
+        finding = _finding(job_id, artifact, path, root, problem)
+        findings.append(finding)
+        recorder.counter(MetricNames.FSCK_CORRUPT, artifact=artifact)
+        return finding
+
+    # -- the previous job-record generation ------------------------------ #
+    job_prev_ok = False
+    if job_prev_path.exists():
+        prev_doc, prev_problem = _load_json(job_prev_path)
+        if prev_problem is None:
+            prev_problem = _job_record_problem(prev_doc, job_id)
+        if prev_problem is None:
+            job_prev_ok = True
+        else:
+            finding = flag("job_prev", job_prev_path, prev_problem)
+            if repair:
+                job_prev_path.unlink()
+                finding["action"] = "removed"
+                recorder.counter(MetricNames.FSCK_QUARANTINED)
+
+    # -- the job record: restore from prev, else the spec is gone -------- #
+    problem = None
+    if not job_path.exists():
+        problem = "missing job.json (orphan job directory)"
+        job_doc = None
+    else:
+        job_doc, problem = _load_json(job_path)
+        if job_doc is not None and problem is None:
+            problem = _job_record_problem(job_doc, job_id)
+    if problem is not None:
+        finding = flag("job", job_path, problem)
+        if repair:
+            if job_prev_ok:
+                # A single bad rewrite of job.json must never lose the
+                # submission: quarantine the corpse, restore the previous
+                # generation (an older lifecycle state is safe — the
+                # scheduler simply resumes from the durable checkpoint).
+                if job_path.exists():
+                    shutil.move(
+                        str(job_path),
+                        str(_quarantine_path(root, f"{job_id}.job.json")),
+                    )
+                shutil.copy2(job_prev_path, job_path)
+                finding["action"] = "repaired"
+                recorder.counter(MetricNames.FSCK_REPAIRED)
+                job_doc, _ = _load_json(job_path)
+            else:
+                shutil.move(str(job_dir), str(_quarantine_path(root, job_id)))
+                finding["action"] = "quarantined"
+                recorder.counter(MetricNames.FSCK_QUARANTINED)
+                return findings
+        else:
+            return findings
+
+    spec = JobSpec.from_dict(job_doc["spec"])
+    space_size = spec.space_size
+
+    # -- the previous checkpoint generation ----------------------------- #
+    prev_ok = False
+    if prev_path.exists():
+        prev_doc, prev_problem = _load_json(prev_path)
+        if prev_problem is None:
+            prev_problem = _checkpoint_problem(prev_doc, job_id, space_size)
+        if prev_problem is None:
+            prev_ok = True
+        else:
+            finding = flag("checkpoint_prev", prev_path, prev_problem)
+            if repair:
+                prev_path.unlink()
+                finding["action"] = "removed"
+                recorder.counter(MetricNames.FSCK_QUARANTINED)
+
+    # -- the live checkpoint -------------------------------------------- #
+    checkpoint_restored = False
+    if not checkpoint_path.exists():
+        finding = flag("checkpoint", checkpoint_path, "missing checkpoint.json")
+        if repair:
+            if prev_ok:
+                shutil.copy2(prev_path, checkpoint_path)
+                finding["action"] = "repaired"
+                recorder.counter(MetricNames.FSCK_REPAIRED)
+            else:
+                _fresh_checkpoint(store, job_id, space_size)
+                finding["action"] = "repaired"
+                recorder.counter(MetricNames.FSCK_REPAIRED)
+            checkpoint_restored = True
+    else:
+        ck_doc, ck_problem = _load_json(checkpoint_path)
+        if ck_problem is None:
+            ck_problem = _checkpoint_problem(ck_doc, job_id, space_size)
+        if ck_problem is not None:
+            finding = flag("checkpoint", checkpoint_path, ck_problem)
+            if repair:
+                dest = _quarantine_path(root, f"{job_id}.checkpoint.json")
+                shutil.move(str(checkpoint_path), str(dest))
+                if prev_ok:
+                    shutil.copy2(prev_path, checkpoint_path)
+                    finding["action"] = "repaired"
+                    recorder.counter(MetricNames.FSCK_REPAIRED)
+                else:
+                    _fresh_checkpoint(store, job_id, space_size)
+                    finding["action"] = "quarantined"
+                    recorder.counter(MetricNames.FSCK_QUARANTINED)
+                checkpoint_restored = True
+
+    # -- reconcile a terminal record with a rolled-back checkpoint -------- #
+    # ``done`` has no outbound transitions, so a job whose checkpoint was
+    # restored to an earlier (unsatisfied) generation would be stuck
+    # claiming completion its ledger no longer backs.  Requeue it: the
+    # record write goes through JobStore.save directly, which is exactly
+    # the transition-table bypass an offline repair tool is licensed to use.
+    if checkpoint_restored and job_doc.get("state") == "done":
+        restored_doc, _ = _load_json(checkpoint_path)
+        log = ProgressLog.from_json(json.dumps(restored_doc["progress"]))
+        if not (log.is_complete or (spec.stop_on_first and log.found)):
+            record = store.load(job_id)
+            record.state = "queued"
+            record.message = "requeued by fsck: checkpoint rolled back before completion"
+            store.save(record)
+            finding = flag(
+                "job", job_path, "state 'done' is ahead of the restored checkpoint"
+            )
+            finding["action"] = "repaired"
+            recorder.counter(MetricNames.FSCK_REPAIRED)
+
+    # -- the metrics export: replaceable, so corrupt means remove -------- #
+    if metrics_path.exists():
+        _, metrics_problem = _load_json(metrics_path)
+        if metrics_problem is not None:
+            finding = flag("metrics", metrics_path, metrics_problem)
+            if repair:
+                metrics_path.unlink()
+                finding["action"] = "removed"
+                recorder.counter(MetricNames.FSCK_QUARANTINED)
+
+    # -- orphan temp files from interrupted writes ----------------------- #
+    for tmp in sorted(job_dir.glob("*.tmp")):
+        finding = flag("tmp", tmp, "orphan temp file from an interrupted write")
+        if repair:
+            tmp.unlink()
+            finding["action"] = "removed"
+            recorder.counter(MetricNames.FSCK_QUARANTINED)
+
+    return findings
+
+
+def validate_fsck_report(document: object) -> list[str]:
+    """Validate a ``repro-fsck/v1`` report; returns a list of problems."""
+    problems: list[str] = []
+    if not isinstance(document, dict):
+        return ["fsck report must be an object"]
+    if document.get("schema") != FSCK_SCHEMA:
+        problems.append(f"schema must be {FSCK_SCHEMA!r}")
+    if not isinstance(document.get("store"), str) or not document.get("store"):
+        problems.append("store must be a non-empty path string")
+    for count in ("scanned", "repaired", "quarantined", "removed"):
+        value = document.get(count)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            problems.append(f"{count} must be a non-negative integer")
+    if not isinstance(document.get("clean"), bool):
+        problems.append("clean must be a boolean")
+    findings = document.get("findings")
+    if not isinstance(findings, list):
+        problems.append("findings must be a list")
+        return problems
+    if document.get("clean") is True and findings:
+        problems.append("clean is true but findings is non-empty")
+    for finding in findings:
+        if not isinstance(finding, dict):
+            problems.append("findings entries must be objects")
+            continue
+        for key in ("job", "path", "problem"):
+            if not isinstance(finding.get(key), str) or not finding.get(key):
+                problems.append(f"finding missing a non-empty {key!r}")
+        if finding.get("artifact") not in FSCK_ARTIFACTS:
+            problems.append(
+                f"finding artifact {finding.get('artifact')!r} must be one of "
+                f"{FSCK_ARTIFACTS}"
+            )
+        if finding.get("action") not in FSCK_ACTIONS:
+            problems.append(
+                f"finding action {finding.get('action')!r} must be one of {FSCK_ACTIONS}"
+            )
+    return problems

@@ -25,6 +25,7 @@ clear error instead of a silently wrong resume.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import time
@@ -54,22 +55,50 @@ RUNNABLE_STATES = ("queued", "running")
 TERMINAL_STATES = ("done", "cancelled", "failed")
 
 
-def atomic_write_json(path: Path, document: dict) -> None:
+def _fsync_dir(path: Path) -> None:
+    """Best-effort fsync of a directory so a rename survives power loss.
+
+    Directories cannot be opened for fsync on every platform; failure to
+    flush metadata must never fail the write that already landed.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_json(path: Path, document: dict, faults=None) -> None:
     """Durably replace *path* with *document*: write-temp + fsync + rename.
 
     ``os.replace`` is atomic on POSIX within one filesystem, so a reader
     sees either the old complete document or the new complete document —
     never a prefix.  The temp file lives next to the target to stay on the
-    same filesystem.
+    same filesystem, and the parent directory is fsynced after the rename
+    so a crash immediately afterwards cannot roll the entry back.
+
+    *faults* is an optional :class:`~repro.service.faultfs.FaultInjector`;
+    when set, the write may fail with an injected :class:`OSError` or land
+    corrupted, exactly as a failing disk would make it.
     """
     path = Path(path)
     tmp = path.with_name(path.name + ".tmp")
+    payload = json.dumps(document, indent=2) + "\n"
+    if faults is not None:
+        faults.before_write(path, tmp, payload)
     with open(tmp, "w") as handle:
-        json.dump(document, handle, indent=2)
-        handle.write("\n")
+        handle.write(payload)
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
+    _fsync_dir(path.parent)
+    if faults is not None:
+        faults.after_replace(path, payload)
 
 
 @dataclass(frozen=True)
@@ -233,9 +262,15 @@ def validate_job(document: object) -> list[str]:
             problems.append("checkpoint needs a progress object")
         else:
             try:
-                ProgressLog.from_json(json.dumps(progress))
+                log = ProgressLog.from_json(json.dumps(progress))
             except CorruptCheckpointError as exc:
                 problems.append(f"progress: {exc}")
+            else:
+                checksum = document.get("progress_sha256")
+                if checksum is not None and checksum != log.digest():
+                    problems.append(
+                        "progress_sha256 does not match the progress payload"
+                    )
     else:
         problems.append("kind must be 'job' or 'checkpoint'")
     return problems
@@ -252,9 +287,12 @@ class JobStore:
         <root>/<job-id>/events.log       # appended timeline lines
     """
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(self, root: str | Path, faults=None) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: optional :class:`~repro.service.faultfs.FaultInjector`; every
+        #: durable write in this store flows through it when set.
+        self.faults = faults
 
     # -- paths --------------------------------------------------------- #
     def job_dir(self, job_id: str) -> Path:
@@ -265,6 +303,12 @@ class JobStore:
 
     def _checkpoint_path(self, job_id: str) -> Path:
         return self.job_dir(job_id) / "checkpoint.json"
+
+    def _checkpoint_prev_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "checkpoint.prev.json"
+
+    def _job_prev_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "job.prev.json"
 
     def _metrics_path(self, job_id: str) -> Path:
         return self.job_dir(job_id) / "metrics.json"
@@ -286,7 +330,19 @@ class JobStore:
         except FileExistsError:
             raise ValueError(f"job {job_id!r} already exists in {self.root}") from None
         record = JobRecord(id=job_id, spec=spec, priority=priority)
-        atomic_write_json(self._job_path(job_id), record.to_document())
+        atomic_write_json(self._job_path(job_id), record.to_document(), self.faults)
+        # Read-back gate: an *accepted* submission must be durably whole.
+        # A lying fsync can leave job.json truncated while the write
+        # reported success; without this check the client would treat the
+        # submission as accepted and fsck would later have nothing to
+        # repair it from.  Failing the submit here keeps the contract
+        # "accepted means never lost" — the caller retries.
+        try:
+            self.load(job_id)
+        except (ValueError, json.JSONDecodeError) as exc:
+            raise OSError(
+                errno.EIO, f"job record for {job_id!r} failed read-back: {exc}"
+            ) from None
         self.save_progress(job_id, ProgressLog(total=spec.space_size))
         self.append_event(
             job_id,
@@ -314,7 +370,14 @@ class JobStore:
 
     def save(self, record: JobRecord) -> None:
         record.updated_at = time.time()
-        atomic_write_json(self._job_path(record.id), record.to_document())
+        path = self._job_path(record.id)
+        if path.exists():
+            # Same retention as checkpoints: if this rewrite lands torn
+            # (or a lying fsync truncates it), ``repro fsck`` restores the
+            # previous generation instead of quarantining the whole job —
+            # an accepted submission survives any single bad write.
+            self._retain_previous(path, self._job_prev_path(record.id))
+        atomic_write_json(path, record.to_document(), self.faults)
 
     def jobs(self) -> list[JobRecord]:
         """All valid job records, sorted by id."""
@@ -350,15 +413,42 @@ class JobStore:
 
     # -- checkpoints ---------------------------------------------------- #
     def save_progress(self, job_id: str, log: ProgressLog) -> None:
-        """Atomically persist one job's coverage ledger."""
+        """Atomically persist one job's coverage ledger.
+
+        The outgoing generation is retained as ``checkpoint.prev.json``
+        (via a hard link, so retention is atomic and costs no copy)
+        before the new one replaces ``checkpoint.json``.  If the new
+        write lands corrupted — a torn write or a lying fsync —
+        ``repro fsck`` repairs from that last consistent generation
+        instead of resetting the job to zero coverage.
+        """
         document = {
             "schema": JOB_SCHEMA,
             "kind": "checkpoint",
             "job": job_id,
             "written_at": time.time(),
             "progress": json.loads(log.to_json()),
+            "progress_sha256": log.digest(),
         }
-        atomic_write_json(self._checkpoint_path(job_id), document)
+        current = self._checkpoint_path(job_id)
+        if current.exists():
+            self._retain_previous(current, self._checkpoint_prev_path(job_id))
+        atomic_write_json(current, document, self.faults)
+
+    @staticmethod
+    def _retain_previous(current: Path, prev: Path) -> None:
+        """Keep *current* as *prev* via a hard link (atomic, no copy)."""
+        tmp = prev.with_name(prev.name + ".tmp")
+        try:
+            if tmp.exists():
+                tmp.unlink()
+            os.link(current, tmp)
+            os.replace(tmp, prev)
+        except OSError:
+            # Retention is an optimization for fsck repair; it must never
+            # block the write itself (e.g. no hard links on this
+            # filesystem).
+            pass
 
     def load_progress(self, job_id: str) -> ProgressLog:
         """Restore one job's ledger; corrupt checkpoints raise clearly."""
@@ -387,7 +477,7 @@ class JobStore:
 
     # -- metrics + events ----------------------------------------------- #
     def save_metrics(self, job_id: str, payload: dict) -> None:
-        atomic_write_json(self._metrics_path(job_id), payload)
+        atomic_write_json(self._metrics_path(job_id), payload, self.faults)
 
     def load_metrics(self, job_id: str) -> dict | None:
         path = self._metrics_path(job_id)
@@ -397,7 +487,10 @@ class JobStore:
             return json.load(handle)
 
     def append_event(self, job_id: str, text: str) -> None:
-        with open(self._events_path(job_id), "a") as handle:
+        path = self._events_path(job_id)
+        if self.faults is not None:
+            self.faults.before_append(path)
+        with open(path, "a") as handle:
             handle.write(f"{time.time():.3f} {text}\n")
 
     def events_since(self, job_id: str, cursor: int = 0) -> tuple[list[str], int]:

@@ -1,0 +1,202 @@
+"""Client-side retry, backoff, and circuit breaking for the gateway path.
+
+The cluster layer already knows how to live with flaky peers: workers
+reconnect under :class:`~repro.cluster.health.BackoffPolicy` and the
+master quarantines repeat offenders
+(:class:`~repro.cluster.health.HealthMonitor`).  This module ports those
+exact semantics to the *client* side of the HTTP gateway so a burst of
+connection errors neither gives up on the first drop nor hammers a sick
+server in a tight loop:
+
+* :class:`RetryPolicy` — how many attempts an operation gets and the
+  jittered exponential delay between them (delegating the delay math to
+  the shared :class:`BackoffPolicy`, one backoff idiom repo-wide);
+* :class:`CircuitBreaker` — per-host closed → open → half-open state
+  machine mirroring the health monitor's quarantine: ``failures``
+  errors within ``window`` seconds open the circuit for ``period``
+  seconds, then exactly one probe request is let through, and only its
+  success restores full traffic;
+* :class:`BreakerRegistry` — the per-host breaker table a process-wide
+  client shares, with a ``reset()`` for tests.
+
+Everything takes an explicit clock so the whole state machine is
+unit-testable without sleeping, exactly like ``HealthMonitor``.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.cluster.health import BackoffPolicy
+
+#: Circuit states, named after the electrical metaphor: a *closed*
+#: circuit conducts (requests flow), an *open* one does not.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a gateway operation retries: attempt budget + jittered backoff."""
+
+    #: Total attempts including the first (1 disables retries).
+    attempts: int = 4
+    #: Delay schedule between attempts; the defaults keep a full retry
+    #: cycle under ~2 s so an interactive CLI stays responsive.
+    backoff: BackoffPolicy = field(
+        default_factory=lambda: BackoffPolicy(base=0.05, cap=1.0, jitter=0.5)
+    )
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+
+    def delay(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Seconds to sleep before retry *attempt* (0-based, i.e. after
+        the ``attempt + 1``-th failure)."""
+        return self.backoff.delay(attempt, rng)
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Quarantine knobs, defaulting to the health monitor's shape."""
+
+    #: Failures within ``window`` that open the circuit.
+    failures: int = 3
+    #: Sliding window (seconds) the failure count is evaluated over.
+    window: float = 30.0
+    #: How long the circuit stays open before one probe is allowed.
+    period: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.failures < 1:
+            raise ValueError("failures must be >= 1")
+        if self.window <= 0 or self.period < 0:
+            raise ValueError("window/period must be positive")
+
+
+class CircuitBreaker:
+    """One host's closed → open → half-open quarantine state machine.
+
+    Thread-safe; all transitions take an explicit ``now`` (falling back
+    to the injected clock) so tests drive it deterministically.
+    """
+
+    def __init__(
+        self,
+        config: BreakerConfig | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.config = config or BreakerConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures: list[float] = []  #: recent failure timestamps
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self, now: float | None = None) -> bool:
+        """May a request go out right now?
+
+        Open circuits fast-fail until ``period`` elapses; then the
+        breaker goes half-open and admits exactly one probe — concurrent
+        callers keep fast-failing until that probe reports back.
+        """
+        now = self._clock() if now is None else now
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if now - self._opened_at < self.config.period:
+                    return False
+                self._state = HALF_OPEN
+                self._probing = False
+            if self._probing:
+                return False
+            self._probing = True
+            return True
+
+    def record_success(self, now: float | None = None) -> None:
+        """A request completed; a successful probe restores full duty."""
+        with self._lock:
+            self._failures.clear()
+            self._state = CLOSED
+            self._probing = False
+
+    def record_failure(self, now: float | None = None) -> None:
+        """A request failed at the transport level.
+
+        A failed probe re-opens the circuit for a fresh ``period``;
+        otherwise failures accumulate in the sliding window until they
+        cross the threshold.
+        """
+        now = self._clock() if now is None else now
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._state = OPEN
+                self._opened_at = now
+                self._probing = False
+                self._failures.clear()
+                return
+            self._failures.append(now)
+            self._failures = [
+                t for t in self._failures if now - t <= self.config.window
+            ]
+            if len(self._failures) >= self.config.failures:
+                self._state = OPEN
+                self._opened_at = now
+                self._failures.clear()
+
+    def seconds_until_probe(self, now: float | None = None) -> float:
+        """How long until an open circuit will admit its probe (0 if now)."""
+        now = self._clock() if now is None else now
+        with self._lock:
+            if self._state != OPEN:
+                return 0.0
+            return max(0.0, self.config.period - (now - self._opened_at))
+
+
+class BreakerRegistry:
+    """The per-host breaker table shared by every client in a process.
+
+    One breaker per ``host:port`` string means two clients talking to the
+    same sick gateway share its quarantine state instead of each paying
+    the full failure budget independently.
+    """
+
+    def __init__(
+        self,
+        config: BreakerConfig | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.config = config or BreakerConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def breaker_for(self, host: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(host)
+            if breaker is None:
+                breaker = CircuitBreaker(self.config, self._clock)
+                self._breakers[host] = breaker
+            return breaker
+
+    def reset(self) -> None:
+        """Forget all breaker state (test isolation)."""
+        with self._lock:
+            self._breakers.clear()
+
+
+#: The process-wide registry :class:`~repro.service.client.GatewayClient`
+#: uses by default; tests construct their own.
+DEFAULT_BREAKERS = BreakerRegistry()

@@ -186,7 +186,22 @@ class Scheduler:
         for record in runnable:
             if self._drain.is_set():
                 break
-            results.append(self._run_slice(record))
+            try:
+                results.append(self._run_slice(record))
+            except OSError as exc:
+                # Storage faults on the bookkeeping writes (state files,
+                # event log) fail the *slice*, never the scheduler loop;
+                # the job stays runnable and the next round retries.
+                if self.recorder is not None:
+                    self.recorder.counter(
+                        MetricNames.SERVICE_STORE_ERRORS, job=record.id
+                    )
+                self._record_event(
+                    MetricNames.EVENT_JOB_STATE,
+                    job=record.id,
+                    state=record.state,
+                    store_error=f"{type(exc).__name__}: {exc}",
+                )
         # Jobs whose deficit grew but never got a slice keep nothing: the
         # deficit only exists for jobs with pending work, so prune.  The
         # round's own accounting tells us who left the runnable set — no
@@ -222,7 +237,15 @@ class Scheduler:
         """Park still-running jobs as queued so a later serve resumes them."""
         for record in self.store.jobs():
             if record.state == "running":
-                self.store.set_state(record.id, "queued", "drained")
+                try:
+                    self.store.set_state(record.id, "queued", "drained")
+                except OSError:
+                    # Drain is best-effort bookkeeping; a resuming serve
+                    # treats a leftover "running" record as runnable.
+                    if self.recorder is not None:
+                        self.recorder.counter(
+                            MetricNames.SERVICE_STORE_ERRORS, job=record.id
+                        )
                 self._live_logs.pop(record.id, None)
                 self._flush_metrics(record.id)
                 self._record_event(
@@ -373,14 +396,49 @@ class Scheduler:
             self.store.save_metrics(job_id, job_recorder.export())
         return out
 
+    def _finalize_checkpoint(self, job_id: str, log: ProgressLog) -> bool:
+        """Durably persist the *final* checkpoint, read-back verified.
+
+        A job may only go ``done`` once the checkpoint carrying its found
+        keys provably survives on disk: a write that failed — or one a
+        lying fsync left truncated while reporting success — would
+        otherwise produce a ``done`` job whose durable record has no
+        result.  The read-back digest comparison is paid once per job
+        completion, not per checkpoint.
+        """
+        try:
+            self.store.save_progress(job_id, log)
+            durable = self.store.load_progress(job_id)
+            if durable.digest() != log.digest():
+                raise OSError(
+                    f"final checkpoint for {job_id} failed read-back verification"
+                )
+        except (OSError, CorruptCheckpointError) as exc:
+            if self.recorder is not None:
+                self.recorder.counter(MetricNames.SERVICE_STORE_ERRORS, job=job_id)
+            self._record_event(
+                MetricNames.EVENT_JOB_CHECKPOINT,
+                job=job_id,
+                failed=f"{type(exc).__name__}: {exc}",
+            )
+            return False
+        return True
+
     def _slice_done(self, record: JobRecord, log: ProgressLog, out: SliceResult) -> bool:
         """Handle already-satisfied jobs before dispatching anything."""
         spec = record.spec
         satisfied = log.is_complete or (spec.stop_on_first and log.found)
         if satisfied:
+            if not self._finalize_checkpoint(record.id, log):
+                # Keep the job runnable; the next round retries the final
+                # write (the in-memory log stays authoritative).
+                self._live_logs[record.id] = log
+                out.state = record.state
+                return True
             self.store.set_state(record.id, "done", f"{len(log.found)} found")
             self._record_event(MetricNames.EVENT_JOB_STATE, job=record.id, state="done")
             self._deficit.pop(record.id, None)
+            self._live_logs.pop(record.id, None)
             out.state = "done"
             out.found = list(log.found)
             return True
@@ -390,6 +448,8 @@ class Scheduler:
         job_id = record.id
         spec = record.spec
         if log.is_complete or (spec.stop_on_first and log.found):
+            if not self._finalize_checkpoint(job_id, log):
+                return "running"  # stays runnable; next round retries
             self.store.set_state(job_id, "done", f"{len(log.found)} found")
             self._deficit.pop(job_id, None)
             self._clear_control(job_id)
@@ -408,7 +468,16 @@ class Scheduler:
             self._metrics_dirty.discard(job_id)
             recorder = self._job_recorders.get(job_id)
             if recorder is not None:
-                self.store.save_metrics(job_id, recorder.export())
+                try:
+                    self.store.save_metrics(job_id, recorder.export())
+                except OSError:
+                    # A metrics export is replaceable; mark it dirty again
+                    # so the next flush retries.
+                    self._metrics_dirty.add(job_id)
+                    if self.recorder is not None:
+                        self.recorder.counter(
+                            MetricNames.SERVICE_STORE_ERRORS, job=job_id
+                        )
 
     # -- cross-thread control requests ------------------------------------ #
     def _request_control(self, job_id: str, request: str) -> None:
@@ -459,7 +528,21 @@ class Scheduler:
         return False
 
     def _checkpoint(self, job_id: str, log: ProgressLog, job_recorder: Recorder) -> None:
-        self.store.save_progress(job_id, log)
+        try:
+            self.store.save_progress(job_id, log)
+        except OSError as exc:
+            # A failed checkpoint write (disk full, injected fault) must
+            # not kill the slice: the in-memory log stays authoritative
+            # and the next checkpoint persists the full coverage again.
+            job_recorder.counter(MetricNames.SERVICE_STORE_ERRORS)
+            if self.recorder is not None:
+                self.recorder.counter(MetricNames.SERVICE_STORE_ERRORS, job=job_id)
+            self._record_event(
+                MetricNames.EVENT_JOB_CHECKPOINT,
+                job=job_id,
+                failed=f"{type(exc).__name__}: {exc}",
+            )
+            return
         job_recorder.counter(MetricNames.SERVICE_CHECKPOINTS)
         self._record_event(
             MetricNames.EVENT_JOB_CHECKPOINT,

@@ -98,6 +98,14 @@ class TokenBucket:
             now = time.monotonic()
             return min(self._burst, self._tokens + (now - self._stamp) * self._rate)
 
+    def seconds_until(self, tokens: float = 1.0) -> float:
+        """How long until *tokens* will be available (0 when they already
+        are) — the honest ``Retry-After`` for a rate-limited request."""
+        available = self.tokens
+        if available >= tokens:
+            return 0.0
+        return (tokens - available) / self._rate
+
 
 class TenantRegistry:
     """All configured tenants plus their live rate-limit state."""

@@ -148,8 +148,12 @@ def metrics_response(payload: dict | None) -> dict:
     return _document("metrics", metrics=payload if payload is not None else {})
 
 
-def error_response(message: str, status: int) -> dict:
-    return _document("error", error=message, status=status)
+def error_response(message: str, status: int, retry_after: float | None = None) -> dict:
+    """An error document; *retry_after* (seconds) rides along on 429s so
+    shed/rate-limited clients know when the gateway wants them back."""
+    if retry_after is None:
+        return _document("error", error=message, status=status)
+    return _document("error", error=message, status=status, retry_after=retry_after)
 
 
 # --------------------------------------------------------------------- #
@@ -286,6 +290,11 @@ def _validate_error(document: dict) -> list[str]:
     status = document.get("status")
     if not isinstance(status, int) or not 400 <= status <= 599:
         problems.append("status must be an HTTP error code (400-599)")
+    retry_after = document.get("retry_after")
+    if retry_after is not None and (
+        not isinstance(retry_after, (int, float)) or retry_after < 0
+    ):
+        problems.append("retry_after must be a non-negative number of seconds")
     return problems
 
 

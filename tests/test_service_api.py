@@ -373,6 +373,269 @@ class TestGatewayMetrics:
         assert submitted and submitted[0]["fields"]["tenant"] == "acme"
 
 
+class TestOverloadShedding:
+    @pytest.fixture()
+    def tiny_gateway(self, tmp_path):
+        """One request slot, zero queue: the second request is shed."""
+        store = JobStore(tmp_path / "store")
+        server = ApiServer(
+            store, ApiKeyring(KEYS), TenantRegistry(TENANTS),
+            poll_interval=0.01, max_inflight=1, max_queue=0,
+        )
+        thread = ApiServerThread(server)
+        host, port = thread.start()
+        try:
+            yield f"http://{host}:{port}", store, server
+        finally:
+            thread.stop()
+
+    def test_shed_request_gets_429_with_retry_after(self, tiny_gateway):
+        url, _, server = tiny_gateway
+        with client_for(url, "k-acme") as client:
+            job = client.submit(spec(), job="hog")["job"]
+
+        started = threading.Event()
+        done = threading.Event()
+
+        def occupy():
+            # Long-polls hold the single inflight slot.  The hog itself can
+            # lose the slot race to a probe and get shed — retry until the
+            # job goes terminal so the slot stays held almost continuously.
+            with client_for(url, "k-acme") as poller:
+                cursor = poller.events(job, cursor=0, timeout=0.0)["cursor"]
+                started.set()
+                while True:
+                    try:
+                        delta = poller.events(job, cursor=cursor, timeout=5.0)
+                    except ApiClientError as exc:
+                        if exc.status != 429:
+                            raise
+                        continue
+                    cursor = delta["cursor"]
+                    if delta["complete"]:
+                        break
+            done.set()
+
+        hog = threading.Thread(target=occupy)
+        hog.start()
+        try:
+            assert started.wait(timeout=10.0)
+            shed = []
+            # The slot is held; with max_queue=0 concurrent probes are shed.
+            # A probe may still slip into the slot between two hog polls, so
+            # tolerate interleaved 200s and require shed refusals, not purity.
+            for _ in range(40):
+                if done.is_set() or len(shed) >= 3:
+                    break
+                try:
+                    with client_for(url, "k-acme") as client:
+                        client.jobs()
+                except ApiClientError as exc:
+                    shed.append(exc)
+            assert shed, "no request was shed while the slot was held"
+            assert all(exc.status == 429 for exc in shed)
+            assert all("overloaded" in exc.message for exc in shed)
+            assert server.recorder.counter_value("shed.requests") >= len(shed)
+        finally:
+            # Unblock the hog's long-poll promptly (terminal => complete).
+            server.store.set_state(job, "cancelled", "test over")
+            hog.join(timeout=10.0)
+        assert not hog.is_alive()
+
+    def test_retry_after_header_is_emitted(self, tiny_gateway):
+        url, _, server = tiny_gateway
+        with client_for(url, "k-acme") as client:
+            job = client.submit(spec(), job="hog2")["job"]
+        started = threading.Event()
+
+        def occupy():
+            with client_for(url, "k-acme") as poller:
+                cursor = poller.events(job, cursor=0, timeout=0.0)["cursor"]
+                started.set()
+                while True:
+                    try:
+                        delta = poller.events(job, cursor=cursor, timeout=5.0)
+                    except ApiClientError as exc:
+                        if exc.status != 429:  # shed: lost the slot race
+                            raise
+                        continue
+                    cursor = delta["cursor"]
+                    if delta["complete"]:
+                        break
+
+        hog = threading.Thread(target=occupy)
+        hog.start()
+        try:
+            assert started.wait(timeout=10.0)
+            headers = {}
+            for _ in range(20):
+                status, body, headers = raw_http_with_headers(
+                    url, headers={"Authorization": "Bearer k-acme"}
+                )
+                if status == 429:
+                    break
+            else:
+                pytest.fail("never observed a shed request")
+            assert "retry-after" in headers
+            assert int(headers["retry-after"]) >= 1
+            assert json.loads(body)["retry_after"] >= 0
+        finally:
+            server.store.set_state(job, "cancelled", "test over")
+            hog.join(timeout=10.0)
+
+    def test_rate_limited_429_carries_retry_after(self, gateway):
+        url, _, _ = gateway
+        with client_for(url, "k-slow") as slow:  # burst=3, refill 0.001/s
+            for _ in range(3):
+                slow.jobs()
+        for _ in range(3):
+            status, body, headers = raw_http_with_headers(
+                url, headers={"Authorization": "Bearer k-slow"}
+            )
+            if status == 429:
+                break
+        else:
+            pytest.fail("rate limit never tripped")
+        assert "retry-after" in headers
+        assert json.loads(body)["retry_after"] > 0
+
+
+class TestIdempotency:
+    def test_replayed_submit_returns_the_original_job(self, gateway):
+        url, store, server = gateway
+        key = "retry-abc123"
+        with client_for(url, "k-acme") as client:
+            first = client.submit(spec(), job="only-one", idempotency_key=key)
+            replay = client.submit(spec(), job="only-one", idempotency_key=key)
+        assert first == replay  # byte-identical document, not a 409
+        assert len(store.jobs()) == 1
+        assert server.recorder.counter_total("api.idempotent_replays") == 1
+
+    def test_different_keys_are_different_submissions(self, gateway):
+        url, store, _ = gateway
+        with client_for(url, "k-acme") as client:
+            a = client.submit(spec(b"a"), idempotency_key="key-a")
+            b = client.submit(spec(b"b"), idempotency_key="key-b")
+        assert a["job"] != b["job"]
+        assert len(store.jobs()) == 2
+
+    def test_idempotency_keys_are_tenant_scoped(self, gateway):
+        url, store, _ = gateway
+        with client_for(url, "k-acme") as acme:
+            first = acme.submit(spec(), idempotency_key="shared-key")
+        with client_for(url, "k-zeta") as zeta:
+            second = zeta.submit(spec(), idempotency_key="shared-key")
+        # Same key, different tenants: two distinct jobs, no cache leak.
+        assert first["job"].startswith("acme--")
+        assert second["job"].startswith("zeta--")
+        assert len(store.jobs()) == 2
+
+    def test_oversized_or_garbage_key_is_400(self, gateway):
+        url, _, _ = gateway
+        with client_for(url, "k-acme") as client:
+            with pytest.raises(ApiClientError) as err:
+                client._request(
+                    "POST", "/v1/jobs",
+                    {"schema": "repro-api/v1", "kind": "submit",
+                     "spec": spec(), "priority": 1},
+                    idempotency_key="x" * 500,
+                )
+            assert err.value.status == 400
+            with pytest.raises(ApiClientError) as err:
+                client._request(
+                    "POST", "/v1/jobs",
+                    {"schema": "repro-api/v1", "kind": "submit",
+                     "spec": spec(), "priority": 1},
+                    idempotency_key="bad\x01key",
+                )
+            assert err.value.status == 400
+
+    def test_client_generates_a_key_per_submit(self, gateway):
+        # Auto-generated keys must differ call to call, or two intentional
+        # submissions of the same spec would silently collapse into one.
+        url, store, _ = gateway
+        with client_for(url, "k-acme") as client:
+            client.submit(spec())
+            client.submit(spec())
+        assert len(store.jobs()) == 2
+
+
+class TestRequestDeadline:
+    def test_deadline_header_clamps_the_long_poll(self, gateway):
+        import time as _time
+
+        url, _, _ = gateway
+        with client_for(url, "k-acme") as client:
+            job = client.submit(spec(), job="patient")["job"]
+            cursor = client.events(job, cursor=0, timeout=0.0)["cursor"]
+            started = _time.monotonic()
+            # Query asks for 30s of long-poll; the header says the caller
+            # only waits 0.2s.  The server honors the smaller budget.
+            document = client._request(
+                "GET",
+                f"/v1/jobs/{job}/events?cursor={cursor}&timeout=30",
+                request_timeout=0.2,
+            )
+            elapsed = _time.monotonic() - started
+        assert document["events"] == []
+        assert elapsed < 5.0
+
+    def test_bad_deadline_header_is_400(self, gateway):
+        url, _, _ = gateway
+        with client_for(url, "k-acme") as client:
+            job = client.submit(spec(), job="strict")["job"]
+        status, body, _ = raw_http_with_headers(
+            url,
+            path=f"/v1/jobs/{job}/events?cursor=0&timeout=0",
+            headers={
+                "Authorization": "Bearer k-acme",
+                "X-Request-Timeout": "soonish",
+            },
+        )
+        assert status == 400
+        assert "X-Request-Timeout" in json.loads(body)["error"]
+
+    def test_negative_cursor_is_400_on_both_transports(self, gateway, tmp_path):
+        from repro.service import LocalClient
+
+        url, _, _ = gateway
+        with client_for(url, "k-acme") as client:
+            job = client.submit(spec(), job="cursor")["job"]
+            with pytest.raises(ApiClientError) as err:
+                client.events(job, cursor=-1, timeout=0.0)
+            assert err.value.status == 400
+
+        local_store = JobStore(tmp_path / "local")
+        local = LocalClient(local_store)
+        local_job = local.submit(spec(), job="cursor")["job"]
+        with pytest.raises(ApiClientError) as err:
+            local.events(local_job, cursor=-1)
+        assert err.value.status == 400  # exact parity with the gateway
+
+
+def raw_http_with_headers(url, path="/v1/jobs", headers=None):
+    """Like :func:`raw_http` but returns the response headers too."""
+    host, port = url[len("http://"):].split(":")
+    with socket.create_connection((host, int(port)), timeout=10.0) as sock:
+        lines = [f"GET {path} HTTP/1.1", f"Host: {host}"]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        sock.sendall(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+        sock.shutdown(socket.SHUT_WR)
+        payload = b""
+        while chunk := sock.recv(65536):
+            payload += chunk
+    head, _, body = payload.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    parsed = {}
+    for line in head.split(b"\r\n")[1:]:
+        name, _, value = line.partition(b":")
+        parsed[name.decode("latin-1").strip().lower()] = (
+            value.decode("latin-1").strip()
+        )
+    return status, body, parsed
+
+
 class TestLoadTenants:
     def document(self):
         return {

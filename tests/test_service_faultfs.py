@@ -1,0 +1,190 @@
+"""Fault-injection shim: config parsing, determinism, on-disk semantics.
+
+Each fault kind has a precise disk contract (see faultfs's module doc):
+``enospc`` leaves the target untouched, ``eio`` leaves an orphan ``.tmp``,
+``torn`` corrupts the target *and* raises, ``fsync_lie`` corrupts it
+silently.  These tests pin those contracts down file-by-file, because
+``repro fsck`` and the storm test both depend on them exactly.
+"""
+
+import errno
+import json
+
+import pytest
+
+from repro.obs import MetricNames, Recorder
+from repro.service.faultfs import FAULT_KINDS, FaultConfig, FaultInjector, InjectedFault
+from repro.service.jobstore import atomic_write_json
+
+DOC = {"schema": "repro-job/v1", "kind": "job", "payload": "x" * 200}
+
+
+def write(tmp_path, injector, name="doc.json"):
+    path = tmp_path / name
+    atomic_write_json(path, DOC, faults=injector)
+    return path
+
+
+def always(kind, seed=0):
+    """An injector that fires *kind* on every write."""
+    return FaultInjector(FaultConfig(**{kind: 1.0, "seed": seed}))
+
+
+class TestFaultConfig:
+    def test_parse_full_spec(self):
+        config = FaultConfig.parse("torn=0.05, eio=0.02,fsync-lie=0.01,seed=7")
+        assert config.torn == 0.05
+        assert config.eio == 0.02
+        assert config.fsync_lie == 0.01
+        assert config.enospc == 0.0
+        assert config.seed == 7
+        assert config.enabled
+
+    def test_parse_empty_spec_is_disabled(self):
+        config = FaultConfig.parse("")
+        assert not config.enabled
+        assert config.total_rate == 0.0
+
+    @pytest.mark.parametrize(
+        "spec", ["bogus=0.1", "torn", "torn=0.1,unknown-knob=1"]
+    )
+    def test_parse_rejects_unknown_or_malformed(self, spec):
+        with pytest.raises(ValueError):
+            FaultConfig.parse(spec)
+
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            FaultConfig(torn=1.5)
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            FaultConfig(eio=-0.1)
+
+    def test_rates_must_sum_to_at_most_one(self):
+        with pytest.raises(ValueError, match="sum"):
+            FaultConfig(torn=0.6, eio=0.6)
+        FaultConfig(torn=0.5, eio=0.5)  # exactly 1.0 is legal
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self, tmp_path):
+        def schedule(seed):
+            (tmp_path / str(seed)).mkdir(exist_ok=True)
+            injector = FaultInjector(
+                FaultConfig(torn=0.1, enospc=0.1, eio=0.1, fsync_lie=0.1, seed=seed)
+            )
+            kinds = []
+            for i in range(200):
+                try:
+                    write(tmp_path / str(seed), injector, f"doc-{i}.json")
+                    kinds.append(None)
+                except InjectedFault as exc:
+                    kinds.append(exc.kind)
+            # fsync_lie never raises; recover it from the tally deltas.
+            return kinds, dict(injector.counts)
+
+        kinds_a, counts_a = schedule(42)
+        kinds_b, counts_b = schedule(42)
+        kinds_c, counts_c = schedule(43)
+        assert kinds_a == kinds_b
+        assert counts_a == counts_b
+        assert sum(counts_a.values()) > 0  # 40% rate over 200 writes: fired
+        assert (kinds_a, counts_a) != (kinds_c, counts_c)
+
+    def test_zero_rate_never_fires(self, tmp_path):
+        injector = FaultInjector(FaultConfig())
+        for i in range(50):
+            write(tmp_path, injector, f"doc-{i}.json")
+        assert injector.total_injected == 0
+
+
+class TestFaultSemantics:
+    def test_enospc_leaves_target_untouched(self, tmp_path):
+        path = tmp_path / "doc.json"
+        atomic_write_json(path, {"old": True})
+        injector = always("enospc")
+        with pytest.raises(InjectedFault) as info:
+            atomic_write_json(path, DOC, faults=injector)
+        assert info.value.kind == "enospc"
+        assert info.value.errno == errno.ENOSPC
+        assert isinstance(info.value, OSError)  # prod code catches OSError
+        assert json.loads(path.read_text()) == {"old": True}
+        assert not path.with_name("doc.json.tmp").exists()
+
+    def test_eio_leaves_orphan_tmp_and_intact_target(self, tmp_path):
+        path = tmp_path / "doc.json"
+        atomic_write_json(path, {"old": True})
+        injector = always("eio")
+        with pytest.raises(InjectedFault) as info:
+            atomic_write_json(path, DOC, faults=injector)
+        assert info.value.errno == errno.EIO
+        assert json.loads(path.read_text()) == {"old": True}
+        tmp = path.with_name("doc.json.tmp")
+        assert tmp.exists()  # the orphan fsck sweeps
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(tmp.read_text())  # half a document
+
+    def test_torn_corrupts_target_and_raises(self, tmp_path):
+        injector = always("torn")
+        path = tmp_path / "doc.json"
+        with pytest.raises(InjectedFault) as info:
+            atomic_write_json(path, DOC, faults=injector)
+        assert info.value.kind == "torn"
+        assert path.exists()
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(path.read_text())
+
+    def test_fsync_lie_corrupts_target_silently(self, tmp_path):
+        injector = always("fsync_lie")
+        path = write(tmp_path, injector)  # no exception: the lie
+        assert injector.counts["fsync_lie"] == 1
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(path.read_text())
+
+    def test_truncation_is_always_invalid_json(self, tmp_path):
+        # The detection guarantee: half an indent=2 JSON document never
+        # parses, so fsck/validators catch 100% of injected corruption.
+        injector = always("fsync_lie")
+        for i, doc in enumerate([{"a": 1}, DOC, {"nested": {"x": [1, 2, 3]}}]):
+            path = tmp_path / f"v{i}.json"
+            atomic_write_json(path, doc, faults=injector)
+            with pytest.raises(json.JSONDecodeError):
+                json.loads(path.read_text())
+
+
+class TestAppendFaults:
+    def test_append_enospc_raises_before_write(self, tmp_path):
+        injector = always("enospc")
+        path = tmp_path / "events.log"
+        with pytest.raises(InjectedFault) as info:
+            injector.before_append(path)
+        assert info.value.kind == "enospc"
+        assert injector.counts["enospc"] == 1
+
+    def test_append_maps_other_kinds_to_eio(self, tmp_path):
+        # Appends are not rename-writes; a drawn "torn" fails like EIO.
+        injector = always("torn")
+        with pytest.raises(InjectedFault) as info:
+            injector.before_append(tmp_path / "events.log")
+        assert info.value.kind == "eio"
+        assert injector.counts["eio"] == 1
+        assert injector.counts["torn"] == 0
+
+
+class TestAccounting:
+    def test_counts_and_recorder_counter(self, tmp_path):
+        recorder = Recorder()
+        injector = FaultInjector(
+            FaultConfig(torn=0.25, enospc=0.25, eio=0.25, fsync_lie=0.25, seed=3),
+            recorder=recorder,
+        )
+        for i in range(40):
+            try:
+                write(tmp_path, injector, f"doc-{i}.json")
+            except InjectedFault:
+                pass
+        assert injector.total_injected == 40  # total rate 1.0: every write
+        for kind in FAULT_KINDS:
+            assert (
+                recorder.counter_value(MetricNames.FAULT_INJECTED, kind=kind)
+                == injector.counts[kind]
+            )
+        assert recorder.counter_total(MetricNames.FAULT_INJECTED) == 40

@@ -1,0 +1,277 @@
+"""``repro fsck``: clean stores stay clean, corruption is always caught.
+
+The two acceptance properties from the issue:
+
+* fsck never flags a store a healthy service produced (so operators can
+  trust a clean report), and
+* fsck detects 100% of deliberately corrupted records, repairing
+  checkpoints from the last consistent generation where one survives.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.progress import CorruptCheckpointError
+from repro.keyspace import Interval
+from repro.service import JobSpec, JobStore, fsck_store, validate_fsck_report
+from repro.service.fsck import FSCK_SCHEMA
+
+
+def spec(password=b"dog"):
+    return JobSpec(
+        digest=hashlib.md5(password).digest(), charset="abcdefgo", max_length=3
+    )
+
+
+def make_store(root, jobs=3):
+    store = JobStore(root)
+    records = []
+    for i in range(jobs):
+        records.append(store.submit(spec(bytes([65 + i])), job_id=f"job-{i}"))
+    return store, records
+
+
+def advance(store, job_id, upto=10):
+    """Write a second checkpoint generation with real coverage."""
+    log = store.load_progress(job_id)
+    log.mark_done(Interval(log.done_count, upto))
+    store.save_progress(job_id, log)
+    return log
+
+
+class TestCleanStore:
+    def test_fresh_store_is_clean(self, tmp_path):
+        make_store(tmp_path / "store")
+        report = fsck_store(tmp_path / "store")
+        assert validate_fsck_report(report) == []
+        assert report["schema"] == "repro-fsck/v1"
+        assert report["clean"] is True
+        assert report["findings"] == []
+        assert report["scanned"] == 3
+
+    def test_store_with_history_is_clean(self, tmp_path):
+        # Multiple checkpoint generations + metrics: still zero findings.
+        store, _ = make_store(tmp_path / "store")
+        advance(store, "job-0")
+        advance(store, "job-0", upto=20)
+        store.save_metrics("job-1", {"schema": "repro-metrics/v2"})
+        assert (tmp_path / "store" / "job-0" / "checkpoint.prev.json").exists()
+        report = fsck_store(tmp_path / "store")
+        assert report["clean"] is True
+
+    def test_missing_store_scans_nothing(self, tmp_path):
+        report = fsck_store(tmp_path / "nowhere")
+        assert report["clean"] is True
+        assert report["scanned"] == 0
+
+    def test_scan_mode_never_touches_disk(self, tmp_path):
+        store, _ = make_store(tmp_path / "store", jobs=1)
+        path = tmp_path / "store" / "job-0" / "checkpoint.json"
+        path.write_text("{ torn")
+        before = sorted(p.relative_to(tmp_path) for p in tmp_path.rglob("*"))
+        report = fsck_store(tmp_path / "store", repair=False)
+        after = sorted(p.relative_to(tmp_path) for p in tmp_path.rglob("*"))
+        assert not report["clean"]
+        assert all(f["action"] == "none" for f in report["findings"])
+        assert before == after
+
+
+class TestDetection:
+    """Every deliberate corruption produces a finding (100% detection)."""
+
+    CORRUPTIONS = {
+        "truncated_checkpoint": ("checkpoint.json", "{ \"schema\": \"repro-j"),
+        "empty_checkpoint": ("checkpoint.json", ""),
+        "non_object_checkpoint": ("checkpoint.json", "[1, 2, 3]"),
+        "truncated_job": ("job.json", "{ \"id\": "),
+        "binary_job": ("job.json", "\x00\xff garbage"),
+        "truncated_metrics": ("metrics.json", "{ \"schema"),
+    }
+
+    @pytest.mark.parametrize("name", sorted(CORRUPTIONS))
+    def test_corruption_is_detected(self, tmp_path, name):
+        store, _ = make_store(tmp_path / "store", jobs=1)
+        store.save_metrics("job-0", {"schema": "repro-metrics/v2"})
+        filename, payload = self.CORRUPTIONS[name]
+        (tmp_path / "store" / "job-0" / filename).write_text(payload)
+        report = fsck_store(tmp_path / "store")
+        assert not report["clean"]
+        assert any(f["path"].endswith(filename) for f in report["findings"])
+
+    def test_checksum_mismatch_is_detected(self, tmp_path):
+        # Valid JSON, valid progress — but the sha256 does not match: the
+        # torn-write case a plain parse would miss.
+        store, _ = make_store(tmp_path / "store", jobs=1)
+        path = tmp_path / "store" / "job-0" / "checkpoint.json"
+        document = json.loads(path.read_text())
+        document["progress"]["completed"] = [[0, 5]]
+        path.write_text(json.dumps(document))
+        with pytest.raises(CorruptCheckpointError, match="progress_sha256"):
+            store.load_progress("job-0")
+        report = fsck_store(tmp_path / "store")
+        assert any("progress_sha256" in f["problem"] for f in report["findings"])
+
+    def test_wrong_owner_checkpoint_is_detected(self, tmp_path):
+        store, _ = make_store(tmp_path / "store", jobs=2)
+        src = tmp_path / "store" / "job-0" / "checkpoint.json"
+        (tmp_path / "store" / "job-1" / "checkpoint.json").write_text(src.read_text())
+        report = fsck_store(tmp_path / "store")
+        assert any(
+            f["job"] == "job-1" and "belongs to job" in f["problem"]
+            for f in report["findings"]
+        )
+
+    def test_orphan_tmp_and_orphan_dir_are_detected(self, tmp_path):
+        store, _ = make_store(tmp_path / "store", jobs=1)
+        (tmp_path / "store" / "job-0" / "checkpoint.json.tmp").write_text("{ half")
+        orphan = tmp_path / "store" / "job-orphan"
+        orphan.mkdir()
+        (orphan / "checkpoint.json").write_text("{}")
+        report = fsck_store(tmp_path / "store")
+        artifacts = {f["artifact"] for f in report["findings"]}
+        assert "tmp" in artifacts
+        assert any(
+            f["job"] == "job-orphan" and "missing job.json" in f["problem"]
+            for f in report["findings"]
+        )
+
+    def test_missing_checkpoint_is_detected(self, tmp_path):
+        store, _ = make_store(tmp_path / "store", jobs=1)
+        (tmp_path / "store" / "job-0" / "checkpoint.json").unlink()
+        report = fsck_store(tmp_path / "store")
+        assert any(f["artifact"] == "checkpoint" for f in report["findings"])
+
+
+class TestRepair:
+    def test_repairs_checkpoint_from_previous_generation(self, tmp_path):
+        store, _ = make_store(tmp_path / "store", jobs=1)
+        advance(store, "job-0", upto=10)
+        advance(store, "job-0", upto=25)  # prev now holds the upto=10 state
+        prev_digest = json.loads(
+            (tmp_path / "store" / "job-0" / "checkpoint.prev.json").read_text()
+        )["progress_sha256"]
+        (tmp_path / "store" / "job-0" / "checkpoint.json").write_text("{ torn")
+
+        report = fsck_store(tmp_path / "store", repair=True)
+        assert report["repaired"] == 1
+        restored = store.load_progress("job-0")
+        assert restored.digest() == prev_digest
+        assert restored.done_count == 10  # the last consistent generation
+        # The corrupt original is preserved for post-mortem, not deleted.
+        quarantined = list((tmp_path / "store" / ".quarantine").iterdir())
+        assert any("job-0.checkpoint.json" in p.name for p in quarantined)
+        # A second pass over the repaired store is clean.
+        assert fsck_store(tmp_path / "store")["clean"] is True
+
+    def test_no_previous_generation_means_fresh_checkpoint(self, tmp_path):
+        store, _ = make_store(tmp_path / "store", jobs=1)
+        (tmp_path / "store" / "job-0" / "checkpoint.json").write_text("not json")
+        report = fsck_store(tmp_path / "store", repair=True)
+        assert report["quarantined"] == 1
+        restored = store.load_progress("job-0")
+        assert restored.done_count == 0  # coverage restarts; correctness holds
+        assert restored.total == spec().space_size
+        assert fsck_store(tmp_path / "store")["clean"] is True
+
+    def test_corrupt_job_record_quarantines_the_directory(self, tmp_path):
+        store, _ = make_store(tmp_path / "store", jobs=2)
+        (tmp_path / "store" / "job-0" / "job.json").write_text("{ broken")
+        report = fsck_store(tmp_path / "store", repair=True)
+        assert report["quarantined"] == 1
+        assert not (tmp_path / "store" / "job-0").exists()
+        assert (tmp_path / "store" / ".quarantine" / "job-0" / "job.json").exists()
+        assert [r.id for r in store.jobs()] == ["job-1"]
+        assert fsck_store(tmp_path / "store")["clean"] is True
+
+    def test_orphans_and_metrics_are_removed(self, tmp_path):
+        store, _ = make_store(tmp_path / "store", jobs=1)
+        job_dir = tmp_path / "store" / "job-0"
+        (job_dir / "checkpoint.json.tmp").write_text("{ half")
+        (job_dir / "metrics.json").write_text("{ torn metrics")
+        report = fsck_store(tmp_path / "store", repair=True)
+        assert report["removed"] == 2
+        assert not (job_dir / "checkpoint.json.tmp").exists()
+        assert not (job_dir / "metrics.json").exists()
+        assert fsck_store(tmp_path / "store")["clean"] is True
+
+    def test_corrupt_previous_generation_is_removed(self, tmp_path):
+        store, _ = make_store(tmp_path / "store", jobs=1)
+        advance(store, "job-0")
+        (tmp_path / "store" / "job-0" / "checkpoint.prev.json").write_text("junk")
+        report = fsck_store(tmp_path / "store", repair=True)
+        assert any(f["artifact"] == "checkpoint_prev" for f in report["findings"])
+        assert not (tmp_path / "store" / "job-0" / "checkpoint.prev.json").exists()
+        assert fsck_store(tmp_path / "store")["clean"] is True
+
+    def test_repair_is_idempotent(self, tmp_path):
+        store, _ = make_store(tmp_path / "store", jobs=2)
+        (tmp_path / "store" / "job-0" / "checkpoint.json").write_text("{ torn")
+        (tmp_path / "store" / "job-1" / "job.json").write_text("junk")
+        first = fsck_store(tmp_path / "store", repair=True)
+        assert not first["clean"]
+        second = fsck_store(tmp_path / "store", repair=True)
+        assert second["clean"] is True
+
+
+class TestReportSchema:
+    def test_reports_validate(self, tmp_path):
+        store, _ = make_store(tmp_path / "store", jobs=1)
+        (tmp_path / "store" / "job-0" / "checkpoint.json").write_text("x")
+        for repair in (False, True):
+            report = fsck_store(tmp_path / "store", repair=repair)
+            assert validate_fsck_report(report) == []
+
+    def test_schema_string_is_versioned(self):
+        assert FSCK_SCHEMA == "repro-fsck/v1"
+
+    def test_validator_rejects_malformed_reports(self):
+        assert validate_fsck_report("nope") == ["fsck report must be an object"]
+        assert any(
+            "schema" in p for p in validate_fsck_report({"schema": "wrong/v9"})
+        )
+        report = {
+            "schema": FSCK_SCHEMA, "store": "s", "scanned": 1, "clean": True,
+            "findings": [{"job": "j", "artifact": "job", "path": "p",
+                          "problem": "x", "action": "none"}],
+            "repaired": 0, "quarantined": 0, "removed": 0,
+        }
+        assert any("clean is true" in p for p in validate_fsck_report(report))
+        report["clean"] = False
+        assert validate_fsck_report(report) == []
+        report["findings"][0]["artifact"] = "bogus"
+        assert any("artifact" in p for p in validate_fsck_report(report))
+        report["scanned"] = True  # bools are not counts
+        assert any("scanned" in p for p in validate_fsck_report(report))
+
+
+class TestFsckCli:
+    def test_clean_store_exits_zero(self, tmp_path, capsys):
+        make_store(tmp_path / "store", jobs=1)
+        assert main(["fsck", str(tmp_path / "store")]) == 0
+        assert "store is clean" in capsys.readouterr().out
+
+    def test_strict_flags_findings_with_exit_one(self, tmp_path, capsys):
+        make_store(tmp_path / "store", jobs=1)
+        (tmp_path / "store" / "job-0" / "checkpoint.json").write_text("{ torn")
+        assert main(["fsck", str(tmp_path / "store")]) == 0  # scan only reports
+        assert main(["fsck", str(tmp_path / "store"), "--strict"]) == 1
+        out = capsys.readouterr().out
+        assert "checkpoint" in out
+
+    def test_repair_then_strict_is_clean(self, tmp_path):
+        make_store(tmp_path / "store", jobs=1)
+        (tmp_path / "store" / "job-0" / "checkpoint.json").write_text("{ torn")
+        assert main(["fsck", str(tmp_path / "store"), "--repair"]) == 0
+        assert main(["fsck", str(tmp_path / "store"), "--strict"]) == 0
+
+    def test_json_output_is_a_valid_report(self, tmp_path, capsys):
+        make_store(tmp_path / "store", jobs=1)
+        assert main(["fsck", str(tmp_path / "store"), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert validate_fsck_report(report) == []
+
+    def test_usage_error_without_a_store(self, capsys):
+        assert main(["fsck", ""]) == 2

@@ -1,0 +1,329 @@
+"""Client-side resilience: retry policy, circuit breaker, reconnects.
+
+The breaker state machine runs on an injected clock (no sleeping, same
+style as the HealthMonitor tests).  The client-level tests drive a real
+:class:`GatewayClient` against a real gateway where possible, and patch
+the single-attempt transport (``_once``) where the failure mode — a stale
+keep-alive socket dying mid-request — is awkward to stage with a live
+server.
+"""
+
+import hashlib
+import random
+import socket
+import threading
+
+import pytest
+
+from repro.cluster.health import BackoffPolicy
+from repro.service import (
+    ApiKeyring,
+    ApiServer,
+    ApiServerThread,
+    BreakerConfig,
+    BreakerRegistry,
+    CircuitBreaker,
+    CircuitOpenError,
+    GatewayClient,
+    GatewayUnreachable,
+    JobStore,
+    RetryPolicy,
+    TenantConfig,
+    TenantRegistry,
+)
+from repro.service.client import _MidRequestFailed
+from repro.service.resilience import CLOSED, HALF_OPEN, OPEN
+
+KEYS = {"k-acme": "acme"}
+TENANTS = [TenantConfig("acme", max_queued=32)]
+
+
+class Clock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def fast_retry(attempts=3):
+    """A retry policy whose sleeps are negligible in tests."""
+    return RetryPolicy(
+        attempts=attempts, backoff=BackoffPolicy(base=0.001, cap=0.002, jitter=0.0)
+    )
+
+
+def spec(password=b"dog"):
+    from repro.service.jobstore import JobSpec
+
+    return JobSpec(
+        digest=hashlib.md5(password).digest(), charset="abcdefgo", max_length=3
+    ).to_dict()
+
+
+@pytest.fixture()
+def gateway(tmp_path):
+    store = JobStore(tmp_path / "store")
+    server = ApiServer(
+        store, ApiKeyring(KEYS), TenantRegistry(TENANTS), poll_interval=0.01
+    )
+    thread = ApiServerThread(server)
+    host, port = thread.start()
+    try:
+        yield f"http://{host}:{port}", store
+    finally:
+        thread.stop()
+
+
+def free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestRetryPolicy:
+    def test_attempts_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+
+    def test_delay_is_jittered_exponential(self):
+        policy = RetryPolicy(
+            attempts=4, backoff=BackoffPolicy(base=0.1, cap=10.0, jitter=0.0)
+        )
+        rng = random.Random(0)
+        assert policy.delay(0, rng) == pytest.approx(0.1)
+        assert policy.delay(1, rng) == pytest.approx(0.2)
+        assert policy.delay(2, rng) == pytest.approx(0.4)
+
+
+class TestCircuitBreaker:
+    def test_threshold_failures_open_the_circuit(self):
+        clock = Clock()
+        breaker = CircuitBreaker(BreakerConfig(failures=3), clock=clock)
+        assert breaker.state == CLOSED
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.seconds_until_probe() == pytest.approx(5.0)
+
+    def test_failures_outside_the_window_do_not_count(self):
+        clock = Clock()
+        breaker = CircuitBreaker(
+            BreakerConfig(failures=3, window=30.0), clock=clock
+        )
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(31.0)  # the first two age out of the sliding window
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = Clock()
+        breaker = CircuitBreaker(
+            BreakerConfig(failures=1, period=5.0), clock=clock
+        )
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        clock.advance(5.1)
+        assert breaker.allow()  # the probe
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow()  # concurrent callers keep fast-failing
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_for_a_fresh_period(self):
+        clock = Clock()
+        breaker = CircuitBreaker(
+            BreakerConfig(failures=1, period=5.0), clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(5.1)
+        assert breaker.allow()
+        breaker.record_failure()  # the probe failed
+        assert breaker.state == OPEN
+        assert breaker.seconds_until_probe() == pytest.approx(5.0)
+        clock.advance(5.1)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_success_clears_accumulated_failures(self):
+        breaker = CircuitBreaker(BreakerConfig(failures=3), clock=Clock())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BreakerConfig(failures=0)
+        with pytest.raises(ValueError):
+            BreakerConfig(window=0.0)
+
+
+class TestBreakerRegistry:
+    def test_same_host_shares_one_breaker(self):
+        registry = BreakerRegistry()
+        assert registry.breaker_for("h:1") is registry.breaker_for("h:1")
+        assert registry.breaker_for("h:1") is not registry.breaker_for("h:2")
+
+    def test_reset_forgets_state(self):
+        registry = BreakerRegistry(BreakerConfig(failures=1))
+        registry.breaker_for("h:1").record_failure()
+        assert registry.breaker_for("h:1").state == OPEN
+        registry.reset()
+        assert registry.breaker_for("h:1").state == CLOSED
+
+    def test_two_clients_share_quarantine_state(self):
+        registry = BreakerRegistry(BreakerConfig(failures=1), clock=Clock())
+        a = GatewayClient("http://h:1", "k", breakers=registry)
+        b = GatewayClient("http://h:1", "k", breakers=registry)
+        assert a._breaker is b._breaker
+
+
+class TestClientRetry:
+    def test_connect_failure_retries_then_raises_unreachable(self):
+        client = GatewayClient(
+            f"http://127.0.0.1:{free_port()}",
+            "k-acme",
+            timeout=0.5,
+            retry=fast_retry(attempts=3),
+            breakers=BreakerRegistry(BreakerConfig(failures=100)),
+        )
+        with pytest.raises(GatewayUnreachable):
+            client.jobs()
+        assert client.stats["retries"] == 2  # attempts - 1
+
+    def test_breaker_opens_then_fast_fails(self):
+        registry = BreakerRegistry(BreakerConfig(failures=2, period=60.0))
+        client = GatewayClient(
+            f"http://127.0.0.1:{free_port()}",
+            "k-acme",
+            timeout=0.5,
+            retry=fast_retry(attempts=3),
+            breakers=registry,
+        )
+        # Two connect failures open the circuit mid-loop; the third
+        # attempt is refused without touching the network.
+        with pytest.raises(CircuitOpenError):
+            client.jobs()
+        assert client.stats["breaker_fast_fails"] == 1
+        # A fresh call fast-fails immediately (period=60 still running).
+        with pytest.raises(CircuitOpenError):
+            client.jobs()
+        assert client.stats["breaker_fast_fails"] == 2
+
+    def test_circuit_open_error_is_unreachable(self):
+        # CLI exit-code mapping catches GatewayUnreachable; the breaker
+        # refusal must ride the same path.
+        assert issubclass(CircuitOpenError, GatewayUnreachable)
+
+    def test_stale_keepalive_get_reconnects_and_retries(self, gateway, monkeypatch):
+        url, _ = gateway
+        client = GatewayClient(
+            url,
+            "k-acme",
+            retry=fast_retry(attempts=3),
+            breakers=BreakerRegistry(BreakerConfig(failures=100)),
+        )
+        real_once = GatewayClient._once
+        calls = {"n": 0}
+
+        def flaky_once(self, method, path, body, headers):
+            calls["n"] += 1
+            if calls["n"] == 1:  # the server closed our idle keep-alive
+                self.close()
+                raise _MidRequestFailed("stale socket")
+            return real_once(self, method, path, body, headers)
+
+        monkeypatch.setattr(GatewayClient, "_once", flaky_once)
+        document = client.jobs()  # GET: idempotent, retried transparently
+        assert document["kind"] == "job-list"
+        assert calls["n"] == 2
+        assert client.stats["retries"] == 1
+        client.close()
+
+    def test_mid_request_failure_never_blind_retries_a_post(
+        self, gateway, monkeypatch
+    ):
+        url, store = gateway
+        client = GatewayClient(
+            url,
+            "k-acme",
+            retry=fast_retry(attempts=3),
+            breakers=BreakerRegistry(BreakerConfig(failures=100)),
+        )
+        job = client.submit(spec(), job="victim")["job"]
+        calls = {"n": 0}
+
+        def dying_once(self, method, path, body, headers):
+            calls["n"] += 1
+            self.close()
+            raise _MidRequestFailed("reset after send")
+
+        monkeypatch.setattr(GatewayClient, "_once", dying_once)
+        # control() carries no Idempotency-Key: the server may already have
+        # acted, so the error surfaces after ONE attempt — no blind replay.
+        with pytest.raises(GatewayUnreachable):
+            client.control(job, "pause")
+        assert calls["n"] == 1
+        client.close()
+
+    def test_submit_mid_request_failure_is_retried_via_idempotency(
+        self, gateway, monkeypatch
+    ):
+        url, store = gateway
+        client = GatewayClient(
+            url,
+            "k-acme",
+            retry=fast_retry(attempts=3),
+            breakers=BreakerRegistry(BreakerConfig(failures=100)),
+        )
+        real_once = GatewayClient._once
+        calls = {"n": 0}
+
+        def flaky_once(self, method, path, body, headers):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                # First attempt reaches the server (the job IS created),
+                # but the response is lost on the way back.
+                real_once(self, method, path, body, headers)
+                self.close()
+                raise _MidRequestFailed("response lost")
+            return real_once(self, method, path, body, headers)
+
+        monkeypatch.setattr(GatewayClient, "_once", flaky_once)
+        document = client.submit(spec(), job="once-only")
+        assert calls["n"] == 2
+        # The replayed submit hit the idempotency cache: one job, no 409.
+        assert document["job"] == "acme--once-only"
+        assert len(store.jobs()) == 1
+        client.close()
+
+    def test_probe_success_closes_the_circuit(self, gateway, monkeypatch):
+        url, _ = gateway
+        registry = BreakerRegistry(BreakerConfig(failures=1, period=0.0))
+        client = GatewayClient(
+            url,
+            "k-acme",
+            retry=fast_retry(attempts=1),
+            breakers=registry,
+        )
+        breaker = client._breaker
+        breaker.record_failure()  # opened by some earlier disaster
+        # period=0: the next allow() goes straight to half-open and the
+        # live request is the probe; its success restores full duty.
+        assert client.jobs()["kind"] == "job-list"
+        assert breaker.state == CLOSED
+        client.close()

@@ -1,0 +1,252 @@
+"""Cross-layer chaos: storage faults + crashes never corrupt a result.
+
+The tentpole property from the issue, stated as invariants a storm can
+never break:
+
+* the cracked key never changes — a job that completes reports exactly
+  the password its digest encodes;
+* no candidate is ever billed twice — every surviving checkpoint's
+  interval ledger stays non-overlapping (the at-most-once *marking*
+  guarantee under at-least-once *testing*);
+* no accepted submission is ever lost — every submit that returned
+  success is a ``done`` job at the end, however many crashes, torn
+  writes, and fsck repairs happened in between.
+
+The storm loop models the real ops flow: the service crashes on an
+injected fault, ``repro fsck --repair`` makes the store consistent, a
+fresh scheduler resumes.  Faults are seeded, so a failure reproduces.
+"""
+
+import hashlib
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cli import main
+from repro.core.progress import ProgressLog
+from repro.service import FaultConfig, FaultInjector, JobSpec, JobStore, fsck_store
+from repro.service.scheduler import Scheduler
+
+PASSWORDS = ["ab", "ca", "bbc", "c"]
+
+
+def spec_for(password):
+    return JobSpec(
+        digest=hashlib.md5(password.encode()).digest(),
+        charset="abc",
+        min_length=1,
+        max_length=3,
+        chunk_size=8,
+        batch_size=8,
+    )
+
+
+class TestStormProperty:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        rate=st.sampled_from([0.02, 0.05, 0.10]),
+    )
+    def test_faults_never_change_results_or_lose_jobs(self, tmp_path_factory, seed, rate):
+        root = tmp_path_factory.mktemp("storm")
+        injector = FaultInjector(
+            FaultConfig(
+                torn=rate, enospc=rate / 2, eio=rate / 2, fsync_lie=rate, seed=seed
+            )
+        )
+        store = JobStore(root, faults=injector)
+
+        # -- submissions under fire: only a returned submit is "accepted" --- #
+        accepted = {}
+        for i, password in enumerate(PASSWORDS):
+            for attempt in range(25):
+                job_id = f"job-{i}-{attempt}"
+                try:
+                    record = store.submit(spec_for(password), job_id=job_id)
+                except OSError:
+                    # The client saw a failure; the job may half-exist.
+                    # fsck makes the store consistent before the retry.
+                    fsck_store(root, repair=True)
+                    continue
+                accepted[record.id] = password
+                break
+            else:
+                pytest.fail(f"submission of {password!r} never got through")
+
+        # -- the crash/repair/resume loop ----------------------------------- #
+        crashes = 0
+        for restart in range(80):
+            scheduler = Scheduler(store, checkpoint_every=1)
+            try:
+                scheduler.run_until_idle(max_rounds=500)
+            except (OSError, ValueError):
+                # An injected fault escaped the scheduler's slice guard
+                # (e.g. a torn job.json broke the store scan): that is the
+                # process crash.  fsck repairs, a fresh scheduler resumes.
+                crashes += 1
+            finally:
+                scheduler.close()
+            fsck_store(root, repair=True)
+            clean = JobStore(root)  # fault-free view for the convergence check
+            # A job that failed on a corrupt checkpoint is resumable now
+            # that fsck restored a consistent one — the operator flow.
+            for record in clean.jobs():
+                if record.state == "failed":
+                    clean.set_state(record.id, "queued", "resumed after fsck")
+            if all(
+                record.state not in ("queued", "running")
+                for record in clean.jobs()
+            ):
+                break
+        else:
+            pytest.fail(f"storm never converged (crashes={crashes}, seed={seed})")
+
+        # -- the invariants --------------------------------------------------#
+        clean = JobStore(root)
+        final = {record.id: record for record in clean.jobs()}
+        for job_id, password in accepted.items():
+            assert job_id in final, f"accepted job {job_id} was lost"
+            assert final[job_id].state == "done", (job_id, final[job_id].state)
+            log = clean.load_progress(job_id)
+            assert log.check_invariant()  # no candidate billed twice
+            keys = [key for _, key in log.found]
+            assert keys == [password], f"{job_id}: cracked {keys}, not {password!r}"
+
+        # -- and the store itself ends consistent --------------------------- #
+        fsck_store(root, repair=True)
+        assert fsck_store(root)["clean"] is True
+
+
+class TestTornCheckpointResume:
+    """Satellite: a crash mid-checkpoint-write recovers the last consistent
+    generation with an exact tested count."""
+
+    def test_torn_write_rolls_back_to_previous_generation(self, tmp_path):
+        password = "cab"
+        store = JobStore(tmp_path, faults=None)
+        store.submit(spec_for(password), job_id="victim")
+
+        # Two real generations, then a torn third: the classic power-cut.
+        log = store.load_progress("victim")
+        from repro.keyspace import Interval
+
+        log.mark_done(Interval(0, 8))
+        store.save_progress("victim", log)
+        log.mark_done(Interval(8, 16))
+        store.save_progress("victim", log)
+
+        torn = JobStore(tmp_path, faults=FaultInjector(FaultConfig(torn=1.0)))
+        log.mark_done(Interval(16, 24))
+        with pytest.raises(OSError):
+            torn.save_progress("victim", log)  # dies mid-write, target torn
+
+        # The live checkpoint is garbage; prev holds exactly 16 tested.
+        report = fsck_store(tmp_path, repair=True)
+        assert report["repaired"] == 1
+        recovered = store.load_progress("victim")
+        assert recovered.done_count == 16  # exact: the last durable state
+        assert recovered.check_invariant()
+        assert fsck_store(tmp_path)["clean"] is True
+
+    def test_cli_resume_repairs_a_torn_checkpoint(self, tmp_path, capsys):
+        password = "maaa"  # ~46% into the length-4 space: many generations
+        digest = hashlib.md5(password.encode()).hexdigest()
+        args = [
+            "crack", digest, "--charset", "lower",
+            "--min-length", "4", "--max-length", "4",
+            "--checkpoint-dir", str(tmp_path),
+            "--chunk-size", "5000", "--job-id", "tornjob",
+        ]
+        assert main(args) == 0  # a full healthy run, several generations
+        capsys.readouterr()
+
+        job_dir = tmp_path / "tornjob"
+        prev = json.loads((job_dir / "checkpoint.prev.json").read_text())
+        prev_done = ProgressLog.from_json(json.dumps(prev["progress"])).done_count
+        payload = (job_dir / "checkpoint.json").read_text()
+        (job_dir / "checkpoint.json").write_text(payload[: len(payload) // 2])
+
+        # The rerun hits CorruptCheckpointError, repairs in place, resumes
+        # from the previous generation, and still finds the password.
+        assert main(args) == 0
+        out = capsys.readouterr()
+        assert "repairing store" in out.err
+        assert (
+            f"resuming job tornjob: {prev_done:,}/{26**4:,} recovered" in out.out
+        )
+        assert f"FOUND: '{password}'" in out.out
+
+
+class TestKillDuringCheckpointStorm:
+    """SIGKILL a checkpointing crack while its store injects torn writes:
+    the resume recovers the last consistent checkpoint, never zero."""
+
+    PASSWORD = "aaaam"
+    CHUNK = 20_000
+
+    @pytest.mark.slow
+    def test_sigkill_with_torn_tail_resumes_from_prev(self, tmp_path, capsys):
+        digest = hashlib.md5(self.PASSWORD.encode()).hexdigest()
+        args = [
+            "crack", digest, "--charset", "lower",
+            "--min-length", "5", "--max-length", "5",
+            "--checkpoint-dir", str(tmp_path),
+            "--chunk-size", str(self.CHUNK), "--job-id", "stormy",
+        ]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", *args],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        checkpoint = tmp_path / "stormy" / "checkpoint.json"
+        prev = tmp_path / "stormy" / "checkpoint.prev.json"
+        def durable_done(path):
+            # Reads race the crack's atomic rewrites, so any torn view
+            # (missing file, half-superseded parse) just means "not yet".
+            try:
+                doc = json.loads(path.read_text())
+                return ProgressLog.from_json(json.dumps(doc["progress"])).done_count
+            except (OSError, KeyError, ValueError):
+                return 0
+
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                # Wait until prev retains a generation with real coverage
+                # (the first prev is the empty submit-time checkpoint).
+                if durable_done(prev) > 0:
+                    break
+                assert proc.poll() is None, "crack finished before the kill"
+                time.sleep(0.01)
+            else:
+                pytest.fail("no non-empty prev generation within deadline")
+            proc.send_signal(signal.SIGKILL)
+        finally:
+            proc.wait(timeout=30)
+
+        # The kill landed "mid-write": make the live checkpoint torn, the
+        # way a crashed write under a lying disk leaves it.
+        payload = checkpoint.read_text()
+        checkpoint.write_text(payload[: len(payload) // 2])
+        prev_doc = json.loads(prev.read_text())
+        prev_done = ProgressLog.from_json(
+            json.dumps(prev_doc["progress"])
+        ).done_count
+        assert prev_done > 0
+
+        assert main(args) == 0
+        out = capsys.readouterr()
+        assert "repairing store" in out.err
+        assert f"{prev_done:,}" in out.out  # exact recovered tested count
+        assert f"FOUND: '{self.PASSWORD}'" in out.out
+        restored = json.loads(checkpoint.read_text())
+        final = ProgressLog.from_json(json.dumps(restored["progress"]))
+        assert final.check_invariant()
